@@ -1,0 +1,247 @@
+package sqo_test
+
+// One benchmark per table and figure of the paper's evaluation (Section 4),
+// plus the ablations indexed in DESIGN.md. `go test -bench=. -benchmem`
+// regenerates everything; cmd/sqobench prints the same experiments as
+// paper-style tables.
+
+import (
+	"testing"
+
+	"sqo"
+	"sqo/internal/bench"
+	"sqo/internal/datagen"
+)
+
+// quickFigure23 is the optimizer invocation benchmarked throughout.
+func quickFigure23(b *testing.B) (*sqo.Optimizer, *sqo.Query) {
+	b.Helper()
+	sch := datagen.Schema()
+	cat := datagen.Constraints()
+	opt := sqo.NewOptimizer(sch, sqo.CatalogSource{Catalog: cat}, sqo.Options{})
+	q := sqo.NewQuery("supplier", "cargo", "vehicle").
+		AddProject("vehicle", "vehicle#").
+		AddProject("cargo", "desc").
+		AddSelect(sqo.Eq("vehicle", "desc", sqo.StringValue("refrigerated truck"))).
+		AddSelect(sqo.Eq("supplier", "name", sqo.StringValue("SFI"))).
+		AddRelationship("collects").
+		AddRelationship("supplies")
+	return opt, q
+}
+
+// BenchmarkOptimize is the headline number: one full optimization of the
+// paper's Figure 2.3 query against the logistics constraint catalog.
+func BenchmarkOptimize(b *testing.B) {
+	opt, q := quickFigure23(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.Optimize(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig41_TransformationTime regenerates Figure 4.1: transformation
+// time as a function of query classes and relevant constraints. Each
+// sub-benchmark is one curve point.
+func BenchmarkFig41_TransformationTime(b *testing.B) {
+	for _, classes := range []int{1, 3, 5} {
+		for _, constraints := range []int{1, 5, 9} {
+			b.Run(benchName(classes, constraints), func(b *testing.B) {
+				opt, q := bench.Fig41Cell(classes, constraints)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := opt.Optimize(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func benchName(classes, constraints int) string {
+	return "classes=" + string(rune('0'+classes)) + "/constraints=" + string(rune('0'+constraints))
+}
+
+// BenchmarkTable41_Generate regenerates the Table 4.1 database instances.
+func BenchmarkTable41_Generate(b *testing.B) {
+	for _, cfg := range sqo.DBConfigs() {
+		cfg := cfg
+		b.Run(cfg.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sqo.GenerateDatabase(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable42_WorkloadPair measures the Table 4.2 unit of work on each
+// database: optimize one workload query and execute both versions.
+func BenchmarkTable42_WorkloadPair(b *testing.B) {
+	w1, err := bench.NewWorld(sqo.DB1())
+	if err != nil {
+		b.Fatal(err)
+	}
+	workload, err := w1.Workload(8, 41)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range sqo.DBConfigs() {
+		cfg := cfg
+		b.Run(cfg.Name, func(b *testing.B) {
+			w, err := bench.NewWorld(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := workload[i%len(workload)]
+				res, err := w.Optimize.Optimize(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := w.Exec.Execute(q); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := w.Exec.Execute(res.Optimized); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkComplexity_MN checks the O(m·n) transformation bound by timing
+// growing constraint chains.
+func BenchmarkComplexity_MN(b *testing.B) {
+	for _, n := range []int{8, 16, 32, 64} {
+		n := n
+		b.Run("n="+itoa(n), func(b *testing.B) {
+			opt, q := bench.ComplexityCell(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := opt.Optimize(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGroupingPolicies measures constraint retrieval under the three
+// grouping policies (ablation A).
+func BenchmarkGroupingPolicies(b *testing.B) {
+	db, err := sqo.GenerateDatabase(sqo.DB1())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cat := sqo.LogisticsConstraints()
+	gen := sqo.NewWorkloadGenerator(db, cat, sqo.WorkloadOptions{Seed: 41})
+	workload, err := gen.Workload(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, policy := range []sqo.GroupPolicy{sqo.GroupArbitrary, sqo.GroupLeastAccessed, sqo.GroupEvenSpread} {
+		policy := policy
+		b.Run(policy.String(), func(b *testing.B) {
+			stats := sqo.NewAccessStats()
+			store := sqo.NewGroupStore(cat, policy, stats)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				store.Retrieve(workload[i%len(workload)])
+			}
+		})
+	}
+}
+
+// BenchmarkClosureMaterialize measures precompile-time closure cost
+// (ablation B's one-off expense).
+func BenchmarkClosureMaterialize(b *testing.B) {
+	cat := sqo.LogisticsConstraints()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := sqo.MaterializeClosure(cat, sqo.ClosureOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBudget measures budgeted optimization (ablation C).
+func BenchmarkBudget(b *testing.B) {
+	for _, budget := range []int{1, 2, 0} {
+		budget := budget
+		name := "budget=" + itoa(budget)
+		if budget == 0 {
+			name = "budget=inf"
+		}
+		b.Run(name, func(b *testing.B) {
+			sch := datagen.Schema()
+			cat := datagen.Constraints()
+			opt := sqo.NewOptimizer(sch, sqo.CatalogSource{Catalog: cat},
+				sqo.Options{Budget: budget, UsePriorities: true})
+			_, q := quickFigure23(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := opt.Optimize(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBaselineVsCore compares optimization costs of the three
+// optimizers (ablation D) on the Figure 2.3 query.
+func BenchmarkBaselineVsCore(b *testing.B) {
+	rows, err := bench.OptimizerComparisonCell()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range rows {
+		r := r
+		b.Run(r.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := r.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExecute measures raw executor throughput on DB4 (the substrate's
+// own cost, independent of optimization).
+func BenchmarkExecute(b *testing.B) {
+	db, err := sqo.GenerateDatabase(sqo.DB4())
+	if err != nil {
+		b.Fatal(err)
+	}
+	exec := sqo.NewExecutor(db)
+	q := sqo.NewQuery("cargo", "vehicle").
+		AddProject("cargo", "desc").
+		AddSelect(sqo.Eq("vehicle", "desc", sqo.StringValue("refrigerated truck"))).
+		AddRelationship("collects")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.Execute(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,120 @@
+// Command sqobench regenerates the paper's evaluation (Section 4): every
+// table and figure, plus the ablations indexed in DESIGN.md, printed as
+// paper-style ASCII tables.
+//
+// Usage:
+//
+//	sqobench                 # run everything
+//	sqobench -exp table42    # one experiment
+//	sqobench -queries 40 -seed 41
+//
+// Experiments: fig41, table41, table42, grouping, closure, budget,
+// optimizers, complexity, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sqo/internal/bench"
+)
+
+var (
+	exp     = flag.String("exp", "all", "experiment to run (fig41|table41|table42|grouping|closure|budget|optimizers|complexity|all)")
+	queries = flag.Int("queries", 40, "workload size (the paper used 40)")
+	seed    = flag.Int64("seed", 41, "workload selection seed")
+	csvTo   = flag.String("csv", "", "also write the raw per-query Table 4.2 data as CSV to this file")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sqobench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	want := strings.ToLower(*exp)
+	all := want == "all"
+	ran := false
+
+	if all || want == "fig41" {
+		ran = true
+		fmt.Println(bench.RunFig41().Render())
+	}
+	if all || want == "table41" {
+		ran = true
+		rows, err := bench.RunTable41()
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderTable41(rows))
+	}
+	if all || want == "table42" {
+		ran = true
+		res, err := bench.RunTable42(*queries, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		if *csvTo != "" {
+			if err := os.WriteFile(*csvTo, []byte(res.CSV()), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	if all || want == "grouping" {
+		ran = true
+		rows, err := bench.RunGrouping(*queries, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderGrouping(rows))
+	}
+	if all || want == "closure" {
+		ran = true
+		rows, err := bench.RunClosure([]int{2, 3, 4, 6})
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderClosure(rows))
+	}
+	if all || want == "budget" {
+		ran = true
+		rows, err := bench.RunBudget([]int{1, 2, 3, 0}, min(*queries, 15), *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderBudget(rows))
+	}
+	if all || want == "optimizers" {
+		ran = true
+		rows, err := bench.RunOptimizerComparison(min(*queries, 15), *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderOptimizerComparison(rows))
+	}
+	if all || want == "complexity" {
+		ran = true
+		rows, err := bench.RunComplexity([]int{4, 8, 16, 32, 64})
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderComplexity(rows))
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

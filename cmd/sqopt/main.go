@@ -1,0 +1,201 @@
+// Command sqopt optimizes a query against the built-in logistics schema and
+// semantic constraint catalog, printing the transformation trace, the final
+// predicate tags, and the optimized query in the paper's textual form.
+//
+// Usage:
+//
+//	sqopt [flags] '(SELECT {...} {...} {...} {...} {...})'
+//	echo '(SELECT ...)' | sqopt [flags]
+//
+// With no query argument, the query is read from standard input. Run with
+// -demo to optimize the paper's Figure 2.3 example.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"sqo"
+)
+
+var (
+	demo          = flag.Bool("demo", false, "optimize the paper's Figure 2.3 example query")
+	budget        = flag.Int("budget", 0, "maximum number of transformations (0 = unlimited)")
+	priorities    = flag.Bool("priorities", false, "use the Section 4 priority queue")
+	contradict    = flag.Bool("contradictions", false, "prove contradictory queries empty")
+	noIntro       = flag.Bool("no-introduction", false, "disable index/restriction introduction")
+	noElim        = flag.Bool("no-elimination", false, "disable restriction elimination")
+	noClassElim   = flag.Bool("no-class-elimination", false, "disable class elimination")
+	dbName        = flag.String("db", "DB1", "database instance for the cost model (DB1..DB4)")
+	showPlan      = flag.Bool("plan", false, "print executor plans for both queries")
+	executeResult = flag.Bool("execute", false, "execute both queries and report measured costs")
+	constraintsAt = flag.String("constraints", "", "load the semantic constraint catalog from a file instead of the built-in one")
+	dataAt        = flag.String("data", "", "load the database from a JSON dump (sqogen -dump) instead of generating the logistics instance")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sqopt:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	input, err := queryText()
+	if err != nil {
+		return err
+	}
+	q, err := sqo.ParseQuery(input)
+	if err != nil {
+		return err
+	}
+
+	var db *sqo.Database
+	if *dataAt != "" {
+		data, err := os.ReadFile(*dataAt)
+		if err != nil {
+			return err
+		}
+		db, err = sqo.LoadDatabase(data)
+		if err != nil {
+			return err
+		}
+	} else {
+		cfg, err := dbConfig(*dbName)
+		if err != nil {
+			return err
+		}
+		db, err = sqo.GenerateDatabase(cfg)
+		if err != nil {
+			return err
+		}
+	}
+	sch := db.Schema()
+	cat := sqo.LogisticsConstraints()
+	if *constraintsAt != "" {
+		data, err := os.ReadFile(*constraintsAt)
+		if err != nil {
+			return err
+		}
+		cat, err = sqo.ParseConstraintCatalog(string(data))
+		if err != nil {
+			return err
+		}
+		if err := cat.Validate(sch); err != nil {
+			return fmt.Errorf("constraints do not fit the logistics schema: %w", err)
+		}
+	}
+	model := sqo.NewCostModel(sch, db.Analyze(), sqo.DefaultWeights)
+
+	rules := sqo.AllRules
+	if *noIntro {
+		rules &^= sqo.RuleIntroduction
+	}
+	if *noElim {
+		rules &^= sqo.RuleElimination
+	}
+	if *noClassElim {
+		rules &^= sqo.RuleClassElimination
+	}
+	opt := sqo.NewOptimizer(sch, sqo.CatalogSource{Catalog: cat}, sqo.Options{
+		Cost:                 model,
+		Budget:               *budget,
+		UsePriorities:        *priorities,
+		DetectContradictions: *contradict,
+		Rules:                rules,
+	})
+
+	res, err := opt.Optimize(q)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("original: ", res.Original)
+	fmt.Println()
+	fmt.Println("transformations:")
+	if len(res.Trace) == 0 {
+		fmt.Println("  (none)")
+	}
+	for i, tr := range res.Trace {
+		switch {
+		case tr.Class != "":
+			fmt.Printf("  %2d. %-24s class %s\n", i+1, tr.Kind, tr.Class)
+		case tr.Constraint != "":
+			fmt.Printf("  %2d. %-24s %s (via %s) -> %s\n", i+1, tr.Kind, tr.Pred, tr.Constraint, tr.NewTag)
+		default:
+			fmt.Printf("  %2d. %-24s %s\n", i+1, tr.Kind, tr.Pred)
+		}
+	}
+	fmt.Println()
+	fmt.Println("final predicate tags:")
+	for _, tp := range res.TaggedPredicates() {
+		fmt.Printf("  %-10s %s\n", tp.Tag, tp.Pred)
+	}
+	fmt.Println()
+	fmt.Println("optimized:", res.Optimized)
+	if res.EmptyResult {
+		fmt.Println("           (provably empty in every legal database state)")
+	}
+	fmt.Printf("\nstats: %d relevant constraints, %d predicates, %d transformations, %d table ops, %v\n",
+		res.Stats.RelevantConstraints, res.Stats.Predicates, res.Stats.Fires,
+		res.Stats.Ops, res.Stats.Duration.Round(1000))
+
+	if *showPlan || *executeResult {
+		exec := sqo.NewExecutor(db)
+		if err := report(exec, "original ", q, *showPlan, *executeResult); err != nil {
+			return err
+		}
+		if err := report(exec, "optimized", res.Optimized, *showPlan, *executeResult); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func report(exec *sqo.Executor, label string, q *sqo.Query, plan, execute bool) error {
+	res, err := exec.Execute(q)
+	if err != nil {
+		return fmt.Errorf("%s: %w", strings.TrimSpace(label), err)
+	}
+	fmt.Println()
+	if plan {
+		fmt.Printf("%s plan:\n%s\n", label, res.Plan)
+	}
+	if execute {
+		fmt.Printf("%s: %d rows, measured cost %.2f units\n",
+			label, len(res.Rows), res.Cost(sqo.DefaultWeights))
+	}
+	return nil
+}
+
+func queryText() (string, error) {
+	if *demo {
+		return `(SELECT {vehicle.vehicle#, cargo.desc, cargo.quantity} {}
+		         {vehicle.desc = "refrigerated truck", supplier.name = "SFI"}
+		         {collects, supplies} {supplier, cargo, vehicle})`, nil
+	}
+	if flag.NArg() > 0 {
+		return strings.Join(flag.Args(), " "), nil
+	}
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		return "", err
+	}
+	if strings.TrimSpace(string(data)) == "" {
+		return "", fmt.Errorf("no query given; pass one as an argument, pipe it on stdin, or use -demo")
+	}
+	return string(data), nil
+}
+
+func dbConfig(name string) (sqo.DBConfig, error) {
+	for _, cfg := range sqo.DBConfigs() {
+		if strings.EqualFold(cfg.Name, name) {
+			return cfg, nil
+		}
+	}
+	return sqo.DBConfig{}, fmt.Errorf("unknown database %q (want DB1..DB4)", name)
+}

@@ -1,0 +1,91 @@
+// Quickstart walks through the paper's running example (Figures 2.1-2.3 and
+// Section 3.5): the refrigerated-truck query is optimized with constraints
+// c1 ("refrigerated trucks can only carry frozen food") and c2 ("we get
+// frozen food only from SFI"), reproducing the three transformations the
+// paper illustrates — restriction introduction, restriction elimination, and
+// class elimination.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sqo"
+)
+
+func main() {
+	// Figure 2.1, restricted to the three classes the example touches.
+	sch, err := sqo.NewSchemaBuilder().
+		Class("supplier",
+			sqo.Attribute{Name: "name", Type: sqo.KindString, Indexed: true},
+			sqo.Attribute{Name: "address", Type: sqo.KindString}).
+		Class("cargo",
+			sqo.Attribute{Name: "code", Type: sqo.KindString, Indexed: true},
+			sqo.Attribute{Name: "desc", Type: sqo.KindString},
+			sqo.Attribute{Name: "quantity", Type: sqo.KindInt}).
+		Class("vehicle",
+			sqo.Attribute{Name: "vehicle#", Type: sqo.KindString, Indexed: true},
+			sqo.Attribute{Name: "desc", Type: sqo.KindString},
+			sqo.Attribute{Name: "class", Type: sqo.KindInt}).
+		Relationship("supplies", "supplier", "cargo", sqo.OneToMany).
+		Relationship("collects", "vehicle", "cargo", sqo.OneToMany).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure 2.2: the two semantic constraints the example fires.
+	cat := sqo.MustCatalog(
+		sqo.NewConstraint("c1",
+			[]sqo.Predicate{sqo.Eq("vehicle", "desc", sqo.StringValue("refrigerated truck"))},
+			[]string{"collects"},
+			sqo.Eq("cargo", "desc", sqo.StringValue("frozen food")),
+		).WithDoc("refrigerated trucks can only be used to carry frozen food"),
+		sqo.NewConstraint("c2",
+			[]sqo.Predicate{sqo.Eq("cargo", "desc", sqo.StringValue("frozen food"))},
+			[]string{"supplies"},
+			sqo.Eq("supplier", "name", sqo.StringValue("SFI")),
+		).WithDoc("we get frozen food only from the Singapore Food Industries"),
+	)
+
+	// The sample query: "List the vehicle# of refrigerated trucks that we
+	// sent to SFI to collect cargoes, and the description and quantity of
+	// the cargoes to be collected."
+	q := sqo.NewQuery("supplier", "cargo", "vehicle").
+		AddProject("vehicle", "vehicle#").
+		AddProject("cargo", "desc").
+		AddProject("cargo", "quantity").
+		AddSelect(sqo.Eq("vehicle", "desc", sqo.StringValue("refrigerated truck"))).
+		AddSelect(sqo.Eq("supplier", "name", sqo.StringValue("SFI"))).
+		AddRelationship("collects").
+		AddRelationship("supplies")
+
+	opt := sqo.NewOptimizer(sch, sqo.CatalogSource{Catalog: cat}, sqo.Options{})
+	res, err := opt.Optimize(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("original:")
+	fmt.Println(" ", res.Original)
+	fmt.Println()
+	fmt.Println("transformations (cf. Figure 2.3):")
+	for i, tr := range res.Trace {
+		switch {
+		case tr.Class != "":
+			fmt.Printf("  #%d %s: dropped class %s\n", i+1, tr.Kind, tr.Class)
+		case tr.Constraint != "":
+			fmt.Printf("  #%d %s via %s: %s is now %s\n", i+1, tr.Kind, tr.Constraint, tr.Pred, tr.NewTag)
+		default:
+			fmt.Printf("  #%d %s: %s stays %s\n", i+1, tr.Kind, tr.Pred, tr.NewTag)
+		}
+	}
+	fmt.Println()
+	fmt.Println("final tags (cf. Section 3.5: p1 imperative, p2 and p3 optional):")
+	for _, tp := range res.TaggedPredicates() {
+		fmt.Printf("  %-10s %s\n", tp.Tag, tp.Pred)
+	}
+	fmt.Println()
+	fmt.Println("optimized (cf. the final query of Figure 2.3):")
+	fmt.Println(" ", res.Optimized)
+}

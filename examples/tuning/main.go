@@ -1,0 +1,102 @@
+// Tuning demonstrates the paper's Section 4 engineering knobs: the priority
+// queue, transformation budgets, contradiction detection (an extension), and
+// the paper's concluding advice — disable semantic optimization when the
+// database is small and enable it when it is large.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sqo"
+)
+
+func main() {
+	cat := sqo.LogisticsConstraints()
+
+	fmt.Println("== budgets and priorities ==")
+	db, err := sqo.GenerateDatabase(sqo.DB1())
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := sqo.NewCostModel(db.Schema(), db.Analyze(), sqo.DefaultWeights)
+	q := sqo.NewQuery("supplier", "cargo", "vehicle").
+		AddProject("vehicle", "vehicle#").
+		AddProject("cargo", "desc").
+		AddSelect(sqo.Eq("vehicle", "desc", sqo.StringValue("refrigerated truck"))).
+		AddSelect(sqo.Eq("supplier", "name", sqo.StringValue("SFI"))).
+		AddRelationship("collects").
+		AddRelationship("supplies")
+	for _, budget := range []int{1, 2, 0} {
+		opt := sqo.NewOptimizer(db.Schema(), sqo.CatalogSource{Catalog: cat}, sqo.Options{
+			Cost:          model,
+			Budget:        budget,
+			UsePriorities: true, // index introductions first (Section 4)
+		})
+		res, err := opt.Optimize(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := fmt.Sprintf("budget %d", budget)
+		if budget == 0 {
+			label = "unlimited"
+		}
+		fmt.Printf("  %-10s %d transformations, %d table ops -> %s\n",
+			label, res.Stats.Fires, res.Stats.Ops, res.Optimized)
+	}
+
+	fmt.Println("\n== contradiction detection (extension, off by default) ==")
+	opt := sqo.NewOptimizer(db.Schema(), sqo.CatalogSource{Catalog: cat}, sqo.Options{
+		Cost:                 model,
+		DetectContradictions: true,
+	})
+	contradictory := sqo.NewQuery("cargo", "vehicle").
+		AddProject("cargo", "code").
+		AddSelect(sqo.Eq("cargo", "desc", sqo.StringValue("oil"))).
+		AddSelect(sqo.Eq("vehicle", "desc", sqo.StringValue("refrigerated truck"))).
+		AddRelationship("collects")
+	res, err := opt.Optimize(contradictory)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  query: %s\n", contradictory)
+	fmt.Printf("  provably empty: %v (c8 says oil travels only on tankers)\n", res.EmptyResult)
+
+	fmt.Println("\n== when to enable the optimizer (the paper's conclusion) ==")
+	for _, cfg := range []sqo.DBConfig{sqo.DB1(), sqo.DB4()} {
+		db, err := sqo.GenerateDatabase(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model := sqo.NewCostModel(db.Schema(), db.Analyze(), sqo.DefaultWeights)
+		opt := sqo.NewOptimizer(db.Schema(), sqo.CatalogSource{Catalog: cat}, sqo.Options{Cost: model})
+		exec := sqo.NewExecutor(db)
+		gen := sqo.NewWorkloadGenerator(db, cat, sqo.WorkloadOptions{Seed: 41})
+		workload, err := gen.Workload(15)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var before, after float64
+		for _, wq := range workload {
+			r, err := opt.Optimize(wq)
+			if err != nil {
+				log.Fatal(err)
+			}
+			b, err := exec.Execute(wq)
+			if err != nil {
+				log.Fatal(err)
+			}
+			a, err := exec.Execute(r.Optimized)
+			if err != nil {
+				log.Fatal(err)
+			}
+			before += b.Cost(sqo.DefaultWeights)
+			after += a.Cost(sqo.DefaultWeights)
+		}
+		fmt.Printf("  %s: workload cost %.0f -> %.0f units (%.1f%%)\n",
+			cfg.Name, before, after, 100*after/before)
+	}
+	fmt.Println("\n\"it is probably not worth doing semantic query optimization when the")
+	fmt.Println(" database is small ... when the database is large ... the optimizer")
+	fmt.Println(" becomes very useful.\" — Section 4")
+}

@@ -1,0 +1,272 @@
+// Package baseline implements the comparison optimizers the paper argues
+// against in Section 4:
+//
+//   - Straightforward: "evaluate the profitability of each transformation,
+//     and if deemed profitable, immediately apply it to the query. This way,
+//     some transformations might preclude other transformations … and hence
+//     the order of transformations is important." Every candidate costs a
+//     cost-model invocation, and eliminated/introduced predicates must be
+//     tracked to guarantee termination — exactly the overheads the paper's
+//     tentative-application algorithm avoids.
+//
+//   - Exhaustive: explores every application order and keeps the cheapest
+//     outcome; exponential, usable only on small constraint sets. The tests
+//     use it as ground truth that the core algorithm loses nothing.
+package baseline
+
+import (
+	"time"
+
+	"sqo/internal/constraint"
+	"sqo/internal/core"
+	"sqo/internal/predicate"
+	"sqo/internal/query"
+	"sqo/internal/schema"
+)
+
+// Estimator prices whole queries; costmodel.Model implements it.
+type Estimator interface {
+	EstimateQuery(q *query.Query) float64
+}
+
+// Result reports one baseline run.
+type Result struct {
+	Optimized *query.Query
+	// Steps counts applied transformations.
+	Steps int
+	// CostCalls counts cost-model invocations — the expense the paper's
+	// design avoids paying per candidate.
+	CostCalls int
+	// Explored counts distinct query states visited (Exhaustive only).
+	Explored int
+	Duration time.Duration
+}
+
+// Straightforward is the immediate-apply optimizer.
+type Straightforward struct {
+	sch    *schema.Schema
+	source core.ConstraintSource
+	est    Estimator
+}
+
+// NewStraightforward builds the baseline over the same inputs as the core
+// optimizer.
+func NewStraightforward(sch *schema.Schema, source core.ConstraintSource, est Estimator) *Straightforward {
+	return &Straightforward{sch: sch, source: source, est: est}
+}
+
+// Optimize repeatedly scans the relevant constraints in catalog order and
+// immediately applies any profitable transformation, physically rewriting
+// the query each time. Termination is guaranteed by never re-introducing an
+// eliminated predicate and never eliminating an introduced one (the paper's
+// "special effort" note).
+func (s *Straightforward) Optimize(q *query.Query) (*Result, error) {
+	start := time.Now()
+	if err := q.Validate(s.sch); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	cur := q.Clone()
+	relevant := s.source.Retrieve(q)
+
+	eliminated := map[string]bool{}
+	introduced := map[string]bool{}
+
+	for changed := true; changed; {
+		changed = false
+		for _, c := range relevant {
+			if !c.RelevantTo(cur) || !s.fireable(c, cur) {
+				continue
+			}
+			key := c.Consequent.Key()
+			if has(cur, c.Consequent) {
+				// Candidate restriction elimination.
+				if introduced[key] || eliminated[key] {
+					continue
+				}
+				candidate := removePred(cur, c.Consequent)
+				res.CostCalls += 2
+				if s.est.EstimateQuery(candidate) < s.est.EstimateQuery(cur) {
+					cur = candidate
+					eliminated[key] = true
+					res.Steps++
+					changed = true
+				} else {
+					// Unprofitable now; mark so we do not re-evaluate
+					// the same candidate every scan.
+					eliminated[key] = false
+				}
+			} else {
+				// Candidate restriction introduction.
+				if eliminated[key] || introduced[key] {
+					continue
+				}
+				candidate := addPred(cur, c.Consequent)
+				res.CostCalls += 2
+				if s.est.EstimateQuery(candidate) < s.est.EstimateQuery(cur) {
+					cur = candidate
+					introduced[key] = true
+					res.Steps++
+					changed = true
+				} else {
+					introduced[key] = false
+				}
+			}
+		}
+	}
+
+	cur = s.classElimination(cur, relevant, res)
+	res.Optimized = cur
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// fireable reports whether every antecedent of c appears verbatim in q.
+func (s *Straightforward) fireable(c *constraint.Constraint, q *query.Query) bool {
+	for _, a := range c.Antecedents {
+		if !has(q, a) {
+			return false
+		}
+	}
+	return true
+}
+
+// classElimination drops dangling classes the way the core optimizer does,
+// but may only drop predicates it can prove implied: those whose constraint
+// is fireable against the current query.
+func (s *Straightforward) classElimination(q *query.Query, relevant []*constraint.Constraint, res *Result) *query.Query {
+	for {
+		victim, viaRel := "", ""
+		for _, class := range q.Classes {
+			if len(q.Classes) <= 1 || q.ProjectsFrom(class) {
+				continue
+			}
+			// Predicates on the class must all be implied (removable).
+			removable := true
+			for _, p := range q.PredicatesOn(class) {
+				if !s.implied(p, q, relevant) {
+					removable = false
+					break
+				}
+			}
+			if !removable {
+				continue
+			}
+			var touching []string
+			for _, rn := range q.Relationships {
+				if r := s.sch.Relationship(rn); r != nil && r.Involves(class) {
+					touching = append(touching, rn)
+				}
+			}
+			if len(touching) != 1 {
+				continue
+			}
+			r := s.sch.Relationship(touching[0])
+			other, _ := r.Other(class)
+			if !r.SingleValuedFrom(other) || !r.TotalFrom(other) {
+				continue
+			}
+			reduced := dropClass(q, class, touching[0], s.sch)
+			res.CostCalls += 2
+			if s.est.EstimateQuery(reduced) <= s.est.EstimateQuery(q) {
+				victim, viaRel = class, touching[0]
+				break
+			}
+		}
+		if victim == "" {
+			return q
+		}
+		q = dropClass(q, victim, viaRel, s.sch)
+		res.Steps++
+	}
+}
+
+// implied reports whether p is derivable from the rest of q via some
+// fireable relevant constraint whose consequent is p.
+func (s *Straightforward) implied(p predicate.Predicate, q *query.Query, relevant []*constraint.Constraint) bool {
+	for _, c := range relevant {
+		if c.Consequent.Key() != p.Key() || !c.RelevantTo(q) {
+			continue
+		}
+		ok := true
+		for _, a := range c.Antecedents {
+			if a.Key() == p.Key() || !has(q, a) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func has(q *query.Query, p predicate.Predicate) bool {
+	for _, x := range q.Predicates() {
+		if x.Key() == p.Key() {
+			return true
+		}
+	}
+	return false
+}
+
+func addPred(q *query.Query, p predicate.Predicate) *query.Query {
+	c := q.Clone()
+	if p.IsJoin() {
+		c.Joins = append(c.Joins, p)
+	} else {
+		c.Selects = append(c.Selects, p)
+	}
+	return c
+}
+
+func removePred(q *query.Query, p predicate.Predicate) *query.Query {
+	c := q.Clone()
+	c.Joins = filterOut(c.Joins, p)
+	c.Selects = filterOut(c.Selects, p)
+	return c
+}
+
+func filterOut(preds []predicate.Predicate, p predicate.Predicate) []predicate.Predicate {
+	var out []predicate.Predicate
+	for _, x := range preds {
+		if x.Key() != p.Key() {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func dropClass(q *query.Query, class, rel string, sch *schema.Schema) *query.Query {
+	c := q.Clone()
+	var classes []string
+	for _, cl := range c.Classes {
+		if cl != class {
+			classes = append(classes, cl)
+		}
+	}
+	c.Classes = classes
+	var rels []string
+	for _, rn := range c.Relationships {
+		if rn != rel {
+			rels = append(rels, rn)
+		}
+	}
+	c.Relationships = rels
+	var sel []predicate.Predicate
+	for _, p := range c.Selects {
+		if !p.References(class) {
+			sel = append(sel, p)
+		}
+	}
+	c.Selects = sel
+	var joins []predicate.Predicate
+	for _, p := range c.Joins {
+		if !p.References(class) {
+			joins = append(joins, p)
+		}
+	}
+	c.Joins = joins
+	return c
+}

@@ -1,0 +1,246 @@
+package baseline
+
+import (
+	"testing"
+
+	"sqo/internal/constraint"
+	"sqo/internal/core"
+	"sqo/internal/costmodel"
+	"sqo/internal/datagen"
+	"sqo/internal/engine"
+	"sqo/internal/pathgen"
+	"sqo/internal/predicate"
+	"sqo/internal/query"
+	"sqo/internal/value"
+)
+
+func setup(t *testing.T) (*costmodel.Model, core.CatalogSource, *pathgen.Generator) {
+	t.Helper()
+	model, source, gen, _ := setupDB(t)
+	return model, source, gen
+}
+
+func setupDB(t *testing.T) (*costmodel.Model, core.CatalogSource, *pathgen.Generator, *engine.Executor) {
+	t.Helper()
+	db := datagen.MustGenerate(datagen.DB1())
+	cat := datagen.Constraints()
+	model := costmodel.New(db.Schema(), db.Analyze(), engine.DefaultWeights)
+	gen := pathgen.NewGenerator(db, cat, pathgen.Options{Seed: 17})
+	return model, core.CatalogSource{Catalog: cat}, gen, engine.New(db)
+}
+
+// paperishQuery is the Figure 2.3 query against the datagen schema.
+func paperishQuery() *query.Query {
+	return query.New("supplier", "cargo", "vehicle").
+		AddProject("vehicle", "vehicle#").
+		AddProject("cargo", "desc").
+		AddSelect(predicate.Eq("vehicle", "desc", value.String("refrigerated truck"))).
+		AddSelect(predicate.Eq("supplier", "name", value.String("SFI"))).
+		AddRelationship("collects").
+		AddRelationship("supplies")
+}
+
+func TestStraightforwardTerminates(t *testing.T) {
+	model, source, _ := setup(t)
+	sf := NewStraightforward(datagen.Schema(), source, model)
+	res, err := sf.Optimize(paperishQuery())
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if res.Optimized == nil {
+		t.Fatal("no result")
+	}
+	if res.CostCalls == 0 {
+		t.Error("straightforward must invoke the cost model per candidate")
+	}
+	if err := res.Optimized.Validate(datagen.Schema()); err != nil {
+		t.Errorf("output invalid: %v\n%s", err, res.Optimized)
+	}
+}
+
+func TestStraightforwardRejectsInvalidQuery(t *testing.T) {
+	model, source, _ := setup(t)
+	sf := NewStraightforward(datagen.Schema(), source, model)
+	if _, err := sf.Optimize(query.New("ghost")); err == nil {
+		t.Error("invalid query should be rejected")
+	}
+	ex := NewExhaustive(datagen.Schema(), source, model)
+	if _, err := ex.Optimize(query.New("ghost")); err == nil {
+		t.Error("invalid query should be rejected")
+	}
+}
+
+func TestStraightforwardNeverWorseThanOriginalEstimate(t *testing.T) {
+	model, source, gen := setup(t)
+	sf := NewStraightforward(datagen.Schema(), source, model)
+	qs, err := gen.Workload(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		res, err := sf.Optimize(q)
+		if err != nil {
+			t.Fatalf("Optimize(%s): %v", q, err)
+		}
+		if got, orig := model.EstimateQuery(res.Optimized), model.EstimateQuery(q); got > orig+1e-9 {
+			t.Errorf("straightforward worsened estimate %.2f -> %.2f for %s", orig, got, q)
+		}
+	}
+}
+
+func TestExhaustiveFindsAtLeastStraightforward(t *testing.T) {
+	model, source, _ := setup(t)
+	sf := NewStraightforward(datagen.Schema(), source, model)
+	ex := NewExhaustive(datagen.Schema(), source, model)
+	q := paperishQuery()
+	rs, err := sf.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := ex.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Explored == 0 {
+		t.Error("exhaustive should explore states")
+	}
+	cs, ce := model.EstimateQuery(rs.Optimized), model.EstimateQuery(re.Optimized)
+	if ce > cs+1e-9 {
+		t.Errorf("exhaustive %.3f must be at least as good as straightforward %.3f", ce, cs)
+	}
+}
+
+// TestCoreMatchesExhaustive is the paper's optimality argument: "the outcome
+// using our approach is at least as good as that using the straight-forward
+// approach" — and, with a reasonable cost model, as good as any application
+// order. Estimates are a misleading yardstick here: the exhaustive searcher
+// happily keeps predicates the optimizer proved redundant (implied by
+// retained ones), and the independence-assuming estimator wrongly credits
+// them with extra selectivity. So the comparison runs both outputs on the
+// real database: results must match the original query's, and the core
+// output's *measured* cost must not be meaningfully worse.
+func TestCoreMatchesExhaustive(t *testing.T) {
+	model, source, gen, exec := setupDB(t)
+	ex := NewExhaustive(datagen.Schema(), source, model)
+	opt := core.NewOptimizer(datagen.Schema(), source, core.Options{Cost: model})
+	qs, err := gen.Workload(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		rc, err := opt.Optimize(q)
+		if err != nil {
+			t.Fatalf("core: %v", err)
+		}
+		re, err := ex.Optimize(q)
+		if err != nil {
+			t.Fatalf("exhaustive: %v", err)
+		}
+		baseRows, err := exec.Execute(q)
+		if err != nil {
+			t.Fatalf("execute original: %v", err)
+		}
+		coreRows, err := exec.Execute(rc.Optimized)
+		if err != nil {
+			t.Fatalf("execute core output: %v", err)
+		}
+		exhRows, err := exec.Execute(re.Optimized)
+		if err != nil {
+			t.Fatalf("execute exhaustive output: %v", err)
+		}
+		// Both must preserve semantics.
+		want := baseRows.Canonical()
+		if got := coreRows.Canonical(); len(got) != len(want) {
+			t.Fatalf("core changed semantics for %s: %d vs %d rows", q, len(got), len(want))
+		}
+		if got := exhRows.Canonical(); got != nil && len(got) != len(want) {
+			t.Fatalf("exhaustive changed semantics for %s: %d vs %d rows", q, len(got), len(want))
+		}
+		// Measured cost: core within 2x of whatever the exponential
+		// search found. The slack absorbs plan-shape luck: redundant
+		// predicates the exhaustive search retains can nudge the
+		// planner's seed choice through correlated-selectivity
+		// estimation errors, occasionally landing on a better plan for
+		// reasons neither optimizer can see.
+		cc := coreRows.Cost(engine.DefaultWeights)
+		ce := exhRows.Cost(engine.DefaultWeights)
+		if cc > ce*2.0+1.0 {
+			t.Errorf("core measured cost %.3f worse than exhaustive %.3f for %s\ncore: %s\nexh:  %s",
+				cc, ce, q, rc.Optimized, re.Optimized)
+		}
+	}
+}
+
+func TestStraightforwardOrderDependence(t *testing.T) {
+	// Constraint pair where eliminating first destroys an introduction:
+	//   cA: p -> q   (q in query: elimination candidate)
+	//   cB: q -> r   (r absent: introduction candidate, needs q verbatim)
+	// Scanning order {cA, cB}: cA removes q, then cB can never fire.
+	// Order {cB, cA}: cB introduces r first, then cA removes q.
+	// A tailored estimator makes removals profitable and the introduction
+	// of r profitable only while q is present.
+	sch := datagen.Schema()
+	p := predicate.Eq("cargo", "desc", value.String("frozen food"))
+	q := predicate.Sel("cargo", "quantity", predicate.LE, value.Int(500))
+	r := predicate.Sel("cargo", "priority", predicate.GE, value.Int(1))
+	cA := constraint.New("cA", []predicate.Predicate{p}, nil, q)
+	cB := constraint.New("cB", []predicate.Predicate{q}, nil, r)
+
+	base := query.New("cargo").
+		AddProject("cargo", "code").
+		AddSelect(p).
+		AddSelect(q)
+
+	est := keyEstimator{bonus: r.Key()}
+
+	sfAB := NewStraightforward(sch, core.CatalogSource{Catalog: constraint.MustCatalog(cA, cB)}, est)
+	resAB, err := sfAB.Optimize(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfBA := NewStraightforward(sch, core.CatalogSource{Catalog: constraint.MustCatalog(cB, cA)}, est)
+	resBA, err := sfBA.Optimize(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resAB.Optimized.Equal(resBA.Optimized) {
+		t.Errorf("expected order dependence, both orders gave %s", resAB.Optimized)
+	}
+
+	// The core optimizer is order independent on the same input.
+	optAB := core.NewOptimizer(sch, core.CatalogSource{Catalog: constraint.MustCatalog(cA, cB)}, core.Options{Cost: keepAllCost{}})
+	optBA := core.NewOptimizer(sch, core.CatalogSource{Catalog: constraint.MustCatalog(cB, cA)}, core.Options{Cost: keepAllCost{}})
+	ra, err := optAB.Optimize(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := optBA.Optimize(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ra.Optimized.Equal(rb.Optimized) {
+		t.Errorf("core became order dependent:\n%s\n%s", ra.Optimized, rb.Optimized)
+	}
+}
+
+// keyEstimator prices queries so that every predicate costs 1 except the
+// bonus predicate, which pays for itself: removals always look profitable,
+// and introducing the bonus predicate looks profitable too.
+type keyEstimator struct{ bonus string }
+
+func (e keyEstimator) EstimateQuery(q *query.Query) float64 {
+	cost := 10.0 * float64(len(q.Classes))
+	for _, p := range q.Predicates() {
+		if p.Key() == e.bonus {
+			cost -= 1
+		} else {
+			cost += 1
+		}
+	}
+	return cost
+}
+
+type keepAllCost struct{}
+
+func (keepAllCost) Profitable(*query.Query, predicate.Predicate) bool    { return true }
+func (keepAllCost) ClassEliminationBeneficial(*query.Query, string) bool { return true }

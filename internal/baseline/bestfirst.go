@@ -1,0 +1,142 @@
+package baseline
+
+import (
+	"container/heap"
+	"time"
+
+	"sqo/internal/core"
+	"sqo/internal/query"
+	"sqo/internal/schema"
+)
+
+// BestFirst is the search strategy of Shekhar, Srivastava and Dutta [SSD88],
+// which the paper surveys as prior art: states are physically rewritten
+// queries, successors apply one transformation each, and a priority queue
+// expands the cheapest-estimated state first. The paper's two termination
+// criteria are modeled by MaxExpansions (an optimization budget) and
+// Patience (stop when expansions stop improving the best state).
+//
+// Like Straightforward, every generated state costs a cost-model invocation
+// — the per-candidate expense the core algorithm's tentative application
+// avoids — and the no-flip-flop guards are required for termination.
+type BestFirst struct {
+	sch    *schema.Schema
+	source core.ConstraintSource
+	est    Estimator
+	// MaxExpansions caps expanded states; zero means 256.
+	MaxExpansions int
+	// Patience stops the search after this many consecutive expansions
+	// without improving the best state; zero means 32.
+	Patience int
+}
+
+// NewBestFirst builds the searcher over the same inputs as the core
+// optimizer.
+func NewBestFirst(sch *schema.Schema, source core.ConstraintSource, est Estimator) *BestFirst {
+	return &BestFirst{sch: sch, source: source, est: est}
+}
+
+// bfState is one search node.
+type bfState struct {
+	q          *query.Query
+	cost       float64
+	eliminated map[string]bool
+	introduced map[string]bool
+	index      int // heap bookkeeping
+}
+
+// bfFrontier is a min-heap on estimated cost.
+type bfFrontier []*bfState
+
+func (f bfFrontier) Len() int           { return len(f) }
+func (f bfFrontier) Less(i, j int) bool { return f[i].cost < f[j].cost }
+func (f bfFrontier) Swap(i, j int)      { f[i], f[j] = f[j], f[i]; f[i].index = i; f[j].index = j }
+func (f *bfFrontier) Push(x any)        { s := x.(*bfState); s.index = len(*f); *f = append(*f, s) }
+func (f *bfFrontier) Pop() any          { old := *f; n := len(old); s := old[n-1]; *f = old[:n-1]; return s }
+
+// Optimize runs the best-first search and finishes the best state with class
+// elimination.
+func (b *BestFirst) Optimize(q *query.Query) (*Result, error) {
+	start := time.Now()
+	if err := q.Validate(b.sch); err != nil {
+		return nil, err
+	}
+	maxExp := b.MaxExpansions
+	if maxExp == 0 {
+		maxExp = 256
+	}
+	patience := b.Patience
+	if patience == 0 {
+		patience = 32
+	}
+	relevant := b.source.Retrieve(q)
+	sf := &Straightforward{sch: b.sch, source: b.source, est: b.est}
+	res := &Result{}
+
+	root := &bfState{
+		q:          q.Clone(),
+		eliminated: map[string]bool{},
+		introduced: map[string]bool{},
+	}
+	res.CostCalls++
+	root.cost = b.est.EstimateQuery(root.q)
+
+	frontier := &bfFrontier{}
+	heap.Init(frontier)
+	heap.Push(frontier, root)
+	visited := map[string]bool{root.q.Signature(): true}
+
+	best := root
+	sinceImprove := 0
+	for frontier.Len() > 0 && res.Explored < maxExp && sinceImprove < patience {
+		cur := heap.Pop(frontier).(*bfState)
+		res.Explored++
+		improved := false
+		if cur.cost < best.cost {
+			best = cur
+			improved = true
+		}
+		if improved {
+			sinceImprove = 0
+		} else {
+			sinceImprove++
+		}
+
+		for _, c := range relevant {
+			if !c.RelevantTo(cur.q) || !sf.fireable(c, cur.q) {
+				continue
+			}
+			key := c.Consequent.Key()
+			if cur.eliminated[key] || cur.introduced[key] {
+				continue
+			}
+			var next *bfState
+			if has(cur.q, c.Consequent) {
+				next = &bfState{
+					q:          removePred(cur.q, c.Consequent),
+					eliminated: with(cur.eliminated, key),
+					introduced: cur.introduced,
+				}
+			} else {
+				next = &bfState{
+					q:          addPred(cur.q, c.Consequent),
+					eliminated: cur.eliminated,
+					introduced: with(cur.introduced, key),
+				}
+			}
+			sig := next.q.Signature()
+			if visited[sig] {
+				continue
+			}
+			visited[sig] = true
+			res.CostCalls++
+			next.cost = b.est.EstimateQuery(next.q)
+			res.Steps++
+			heap.Push(frontier, next)
+		}
+	}
+
+	res.Optimized = sf.classElimination(best.q, relevant, res)
+	res.Duration = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,148 @@
+package baseline
+
+import (
+	"testing"
+
+	"sqo/internal/core"
+	"sqo/internal/datagen"
+	"sqo/internal/engine"
+)
+
+func TestBestFirstTerminates(t *testing.T) {
+	model, source, _ := setup(t)
+	bf := NewBestFirst(datagen.Schema(), source, model)
+	res, err := bf.Optimize(paperishQuery())
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if res.Optimized == nil || res.Explored == 0 {
+		t.Fatalf("no search happened: %+v", res)
+	}
+	if res.CostCalls == 0 {
+		t.Error("best-first must pay per-state cost calls")
+	}
+	if err := res.Optimized.Validate(datagen.Schema()); err != nil {
+		t.Errorf("output invalid: %v\n%s", err, res.Optimized)
+	}
+}
+
+func TestBestFirstRejectsInvalidQuery(t *testing.T) {
+	model, source, _ := setup(t)
+	bf := NewBestFirst(datagen.Schema(), source, model)
+	if _, err := bf.Optimize(paperishQuery().Clone().AddRelationship("ghost")); err == nil {
+		t.Error("invalid query should be rejected")
+	}
+}
+
+func TestBestFirstBudgets(t *testing.T) {
+	model, source, _ := setup(t)
+	bf := NewBestFirst(datagen.Schema(), source, model)
+	bf.MaxExpansions = 1
+	res, err := bf.Optimize(paperishQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Explored != 1 {
+		t.Errorf("Explored = %d, want exactly the expansion budget", res.Explored)
+	}
+	// Patience: a hopeless search gives up early.
+	bf2 := NewBestFirst(datagen.Schema(), source, model)
+	bf2.Patience = 2
+	res2, err := bf2.Optimize(paperishQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Explored > 64 {
+		t.Errorf("patience 2 should stop quickly, explored %d", res2.Explored)
+	}
+}
+
+// TestBestFirstAtLeastStraightforward: expanding the cheapest state first
+// over the whole (guarded) state space must match or beat the greedy
+// immediate-apply scan on its own estimate metric.
+func TestBestFirstAtLeastStraightforward(t *testing.T) {
+	model, source, gen := setup(t)
+	sf := NewStraightforward(datagen.Schema(), source, model)
+	bf := NewBestFirst(datagen.Schema(), source, model)
+	qs, err := gen.Workload(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		rs, err := sf.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := bf.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := model.EstimateQuery(rs.Optimized)
+		cb := model.EstimateQuery(rb.Optimized)
+		if cb > cs+1e-9 {
+			t.Errorf("best-first %.3f worse than straightforward %.3f on %s", cb, cs, q)
+		}
+	}
+}
+
+// TestBestFirstPreservesSemantics: searched outputs still return the
+// original rows.
+func TestBestFirstPreservesSemantics(t *testing.T) {
+	model, source, gen, exec := setupDB(t)
+	bf := NewBestFirst(datagen.Schema(), source, model)
+	qs, err := gen.Workload(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		res, err := bf.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := exec.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := exec.Execute(res.Optimized)
+		if err != nil {
+			t.Fatalf("execute: %v\n%s", err, res.Optimized)
+		}
+		ca, cb := a.Canonical(), b.Canonical()
+		if len(ca) != len(cb) {
+			t.Fatalf("semantics changed: %d vs %d rows\nq: %s\nout: %s", len(ca), len(cb), q, res.Optimized)
+		}
+		for i := range ca {
+			if ca[i] != cb[i] {
+				t.Fatalf("row %d differs\nq: %s\nout: %s", i, q, res.Optimized)
+			}
+		}
+	}
+}
+
+// TestCoreBeatsBestFirstOnCostCalls: the headline economics — the core
+// optimizer's transformation loop never calls the cost model, while
+// best-first pays one call per generated state.
+func TestCoreBeatsBestFirstOnCostCalls(t *testing.T) {
+	model, source, gen := setup(t)
+	bf := NewBestFirst(datagen.Schema(), source, model)
+	opt := core.NewOptimizer(datagen.Schema(), source, core.Options{Cost: model})
+	qs, err := gen.Workload(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalCalls := 0
+	for _, q := range qs {
+		res, err := bf.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalCalls += res.CostCalls
+		if _, err := opt.Optimize(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if totalCalls == 0 {
+		t.Error("expected best-first to spend cost calls")
+	}
+	_ = engine.DefaultWeights
+}

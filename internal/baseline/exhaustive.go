@@ -1,0 +1,112 @@
+package baseline
+
+import (
+	"time"
+
+	"sqo/internal/core"
+	"sqo/internal/query"
+	"sqo/internal/schema"
+)
+
+// Exhaustive explores every order of applying restriction eliminations and
+// introductions (with the same no-flip-flop guards as Straightforward),
+// finishing each leaf with class elimination, and returns the cheapest
+// outcome under the estimator. The state space is exponential in the number
+// of fireable constraints; MaxStates caps the search.
+type Exhaustive struct {
+	sch       *schema.Schema
+	source    core.ConstraintSource
+	est       Estimator
+	MaxStates int // 0 means the default (100000)
+}
+
+// NewExhaustive builds the exhaustive searcher.
+func NewExhaustive(sch *schema.Schema, source core.ConstraintSource, est Estimator) *Exhaustive {
+	return &Exhaustive{sch: sch, source: source, est: est}
+}
+
+type searchState struct {
+	q          *query.Query
+	eliminated map[string]bool
+	introduced map[string]bool
+}
+
+// Optimize runs the search. The result's Explored field reports the number
+// of distinct query states visited.
+func (e *Exhaustive) Optimize(q *query.Query) (*Result, error) {
+	start := time.Now()
+	if err := q.Validate(e.sch); err != nil {
+		return nil, err
+	}
+	maxStates := e.MaxStates
+	if maxStates == 0 {
+		maxStates = 100000
+	}
+	relevant := e.source.Retrieve(q)
+	res := &Result{}
+	visited := map[string]bool{}
+	sf := &Straightforward{sch: e.sch, source: e.source, est: e.est}
+
+	var best *query.Query
+	bestCost := 0.0
+	consider := func(cand *query.Query) {
+		finished := sf.classElimination(cand, relevant, res)
+		res.CostCalls++
+		c := e.est.EstimateQuery(finished)
+		if best == nil || c < bestCost {
+			best, bestCost = finished, c
+		}
+	}
+
+	var walk func(st searchState)
+	walk = func(st searchState) {
+		sig := st.q.Signature()
+		if visited[sig] || len(visited) >= maxStates {
+			return
+		}
+		visited[sig] = true
+		consider(st.q)
+		for _, c := range relevant {
+			if !c.RelevantTo(st.q) || !sf.fireable(c, st.q) {
+				continue
+			}
+			key := c.Consequent.Key()
+			if has(st.q, c.Consequent) {
+				if st.eliminated[key] || st.introduced[key] {
+					continue
+				}
+				next := searchState{
+					q:          removePred(st.q, c.Consequent),
+					eliminated: with(st.eliminated, key),
+					introduced: st.introduced,
+				}
+				walk(next)
+			} else {
+				if st.eliminated[key] || st.introduced[key] {
+					continue
+				}
+				next := searchState{
+					q:          addPred(st.q, c.Consequent),
+					eliminated: st.eliminated,
+					introduced: with(st.introduced, key),
+				}
+				walk(next)
+			}
+		}
+	}
+	walk(searchState{q: q.Clone(), eliminated: map[string]bool{}, introduced: map[string]bool{}})
+
+	res.Optimized = best
+	res.Explored = len(visited)
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+func with(set map[string]bool, key string) map[string]bool {
+	out := make(map[string]bool, len(set)+1)
+	for k, v := range set {
+		out[k] = v
+	}
+	out[key] = true
+	return out
+}

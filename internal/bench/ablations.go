@@ -1,0 +1,415 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sqo/internal/baseline"
+	"sqo/internal/closure"
+	"sqo/internal/constraint"
+	"sqo/internal/core"
+	"sqo/internal/datagen"
+	"sqo/internal/engine"
+	"sqo/internal/groups"
+	"sqo/internal/predicate"
+	"sqo/internal/query"
+	"sqo/internal/value"
+)
+
+// --- Ablation A: constraint grouping policies -------------------------------
+
+// GroupingRow reports retrieval efficiency for one assignment policy.
+type GroupingRow struct {
+	Policy    string
+	Retrieved int64
+	Relevant  int64
+	Waste     float64 // fraction of retrieved constraints that were irrelevant
+}
+
+// RunGrouping measures, for each grouping policy, how many constraints the
+// store fetches versus how many are actually relevant across the workload —
+// the quantity the paper's least-frequently-accessed enhancement targets.
+// Access statistics are warmed with the same workload first so LeastAccessed
+// has a pattern to adapt to.
+func RunGrouping(queries int, seed int64) ([]GroupingRow, error) {
+	w, err := NewWorld(datagen.DB1())
+	if err != nil {
+		return nil, err
+	}
+	workload, err := w.Workload(queries, seed)
+	if err != nil {
+		return nil, err
+	}
+	var rows []GroupingRow
+	for _, policy := range []groups.Policy{groups.Arbitrary, groups.LeastAccessed, groups.EvenSpread} {
+		stats := groups.NewAccessStats()
+		for _, q := range workload {
+			stats.RecordQuery(q)
+		}
+		store := groups.NewStore(w.Catalog, policy, stats)
+		store.Rebuild() // pick up the warmed statistics
+		for _, q := range workload {
+			store.Retrieve(q)
+		}
+		rows = append(rows, GroupingRow{
+			Policy:    policy.String(),
+			Retrieved: store.Retrieved,
+			Relevant:  store.Relevant,
+			Waste:     store.WasteRatio(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderGrouping prints the grouping ablation.
+func RenderGrouping(rows []GroupingRow) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation A: constraint grouping policies (per-workload retrieval)\n")
+	fmt.Fprintf(&sb, "%-16s%12s%12s%10s\n", "policy", "retrieved", "relevant", "waste")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-16s%12d%12d%9.1f%%\n", r.Policy, r.Retrieved, r.Relevant, 100*r.Waste)
+	}
+	return sb.String()
+}
+
+// --- Ablation B: closure materialization ------------------------------------
+
+// ClosureRow compares optimizing with and without materialized closures for
+// one chain depth.
+type ClosureRow struct {
+	Depth            int
+	MaterializeMicro float64 // one-time closure cost
+	FiresWithClosure int     // transformations fired with the closed catalog
+	FiresWithout     int     // transformations fired with the raw catalog
+	ReachWithClosure int     // predicates proven derivable from the query
+	ReachWithout     int
+}
+
+// RunClosure builds constraint chains on a single class where every link
+// needs an *implication* step: hⱼ's consequent (aⱼ₊₁ = j+1) only implies
+// hⱼ₊₁'s antecedent (aⱼ₊₁ ≥ 1), never matches it verbatim. The table
+// algorithm chains verbatim matches on its own (introduced predicates enable
+// further constraints), so exact-match chains need no closure; these do.
+// Runtime implication matching is disabled to isolate what precompiled
+// closure materialization buys — exactly the trade the paper describes.
+func RunClosure(depths []int) ([]ClosureRow, error) {
+	var rows []ClosureRow
+	for _, d := range depths {
+		sch := chainSchema(1, d+2)
+		var cs []*constraint.Constraint
+		cs = append(cs, constraint.New("h0",
+			[]predicate.Predicate{predicate.Eq("t1", "a0", value.Int(0))},
+			nil,
+			predicate.Eq("t1", "a1", value.Int(1))))
+		for j := 1; j < d; j++ {
+			cs = append(cs, constraint.New(
+				fmt.Sprintf("h%d", j),
+				[]predicate.Predicate{predicate.Sel("t1", fmt.Sprintf("a%d", j), predicate.GE, value.Int(1))},
+				nil,
+				predicate.Eq("t1", fmt.Sprintf("a%d", j+1), value.Int(int64(j+1))),
+			))
+		}
+		raw := constraint.MustCatalog(cs...)
+
+		start := time.Now()
+		closed, _, _, err := closure.Materialize(raw, closure.Options{})
+		if err != nil {
+			return nil, err
+		}
+		matMicros := float64(time.Since(start).Microseconds())
+
+		q := query.New("t1").
+			AddProject("t1", fmt.Sprintf("a%d", d+1)).
+			AddSelect(predicate.Eq("t1", "a0", value.Int(0)))
+
+		// Verbatim antecedent matching isolates what the closure buys.
+		opts := core.Options{Cost: keepAllCost{}, DisableImpliedAntecedents: true}
+		run := func(cat *constraint.Catalog) (int, int, error) {
+			opt := core.NewOptimizer(sch, core.CatalogSource{Catalog: cat}, opts)
+			res, err := opt.Optimize(q)
+			if err != nil {
+				return 0, 0, err
+			}
+			return res.Stats.Fires, len(res.FinalTags), nil
+		}
+		fw, cw, err := run(closed)
+		if err != nil {
+			return nil, err
+		}
+		fo, co, err := run(raw)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ClosureRow{
+			Depth:            d,
+			MaterializeMicro: matMicros,
+			FiresWithClosure: fw,
+			FiresWithout:     fo,
+			ReachWithClosure: cw,
+			ReachWithout:     co,
+		})
+	}
+	return rows, nil
+}
+
+// RenderClosure prints the closure ablation.
+func RenderClosure(rows []ClosureRow) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation B: transitive closure materialization (chain head only in query)\n")
+	fmt.Fprintf(&sb, "%-7s%14s%16s%14s%16s%14s\n",
+		"depth", "closure (µs)", "fires (closed)", "fires (raw)", "reach (closed)", "reach (raw)")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-7d%14.1f%16d%14d%16d%14d\n",
+			r.Depth, r.MaterializeMicro, r.FiresWithClosure, r.FiresWithout,
+			r.ReachWithClosure, r.ReachWithout)
+	}
+	return sb.String()
+}
+
+// keepAllCost retains all optionals; the closure ablation only counts fires.
+type keepAllCost struct{}
+
+func (keepAllCost) Profitable(*query.Query, predicate.Predicate) bool    { return true }
+func (keepAllCost) ClassEliminationBeneficial(*query.Query, string) bool { return true }
+
+// --- Ablation C: priority queue + budget -------------------------------------
+
+// BudgetRow reports outcome quality under a transformation budget.
+type BudgetRow struct {
+	Budget       int // 0 = unlimited
+	Priorities   bool
+	MeanRatioPct float64 // mean optimized/original measured cost ratio
+	MeanFires    float64
+}
+
+// RunBudget sweeps transformation budgets on the DB4 workload, with and
+// without the Section 4 priority queue, measuring how much of the full
+// optimization quality a small budget retains.
+func RunBudget(budgets []int, queries int, seed int64) ([]BudgetRow, error) {
+	w, err := NewWorld(datagen.DB4())
+	if err != nil {
+		return nil, err
+	}
+	workload, err := w.Workload(queries, seed)
+	if err != nil {
+		return nil, err
+	}
+	var rows []BudgetRow
+	for _, prio := range []bool{false, true} {
+		for _, b := range budgets {
+			opt := core.NewOptimizer(w.DB.Schema(), core.CatalogSource{Catalog: w.Catalog},
+				core.Options{Cost: w.Model, Budget: b, UsePriorities: prio})
+			var ratioSum, fireSum float64
+			n := 0
+			for _, q := range workload {
+				res, err := opt.Optimize(q)
+				if err != nil {
+					return nil, err
+				}
+				orig, err := w.Exec.Execute(q)
+				if err != nil {
+					return nil, err
+				}
+				optimized, err := w.Exec.Execute(res.Optimized)
+				if err != nil {
+					return nil, err
+				}
+				oc := orig.Cost(engine.DefaultWeights)
+				if oc <= 0 {
+					continue
+				}
+				ratioSum += 100 * optimized.Cost(engine.DefaultWeights) / oc
+				fireSum += float64(res.Stats.Fires)
+				n++
+			}
+			rows = append(rows, BudgetRow{
+				Budget:       b,
+				Priorities:   prio,
+				MeanRatioPct: ratioSum / float64(n),
+				MeanFires:    fireSum / float64(n),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderBudget prints the budget ablation.
+func RenderBudget(rows []BudgetRow) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation C: transformation budget x priority queue (DB4 workload)\n")
+	fmt.Fprintf(&sb, "%-8s%12s%16s%12s\n", "budget", "priorities", "mean ratio", "mean fires")
+	for _, r := range rows {
+		label := fmt.Sprintf("%d", r.Budget)
+		if r.Budget == 0 {
+			label = "inf"
+		}
+		fmt.Fprintf(&sb, "%-8s%12v%15.1f%%%12.2f\n", label, r.Priorities, r.MeanRatioPct, r.MeanFires)
+	}
+	return sb.String()
+}
+
+// --- Ablation D: core vs straightforward vs exhaustive -----------------------
+
+// OptimizerRow compares optimizer implementations on the same workload.
+type OptimizerRow struct {
+	Name          string
+	MeanMicros    float64 // optimization time per query
+	MeanCostCalls float64 // cost model invocations per query
+	MeanRatioPct  float64 // measured optimized/original execution cost
+}
+
+// RunOptimizerComparison pits the core algorithm against the immediate-apply
+// baseline and the exhaustive searcher on the DB4 workload.
+func RunOptimizerComparison(queries int, seed int64) ([]OptimizerRow, error) {
+	w, err := NewWorld(datagen.DB4())
+	if err != nil {
+		return nil, err
+	}
+	workload, err := w.Workload(queries, seed)
+	if err != nil {
+		return nil, err
+	}
+	source := core.CatalogSource{Catalog: w.Catalog}
+
+	type runner func(q *query.Query) (*query.Query, float64, time.Duration, error)
+	coreOpt := core.NewOptimizer(w.DB.Schema(), source, core.Options{Cost: w.Model})
+	sf := baseline.NewStraightforward(w.DB.Schema(), source, w.Model)
+	bf := baseline.NewBestFirst(w.DB.Schema(), source, w.Model)
+	ex := baseline.NewExhaustive(w.DB.Schema(), source, w.Model)
+
+	runners := []struct {
+		name string
+		run  runner
+	}{
+		{"core (tentative)", func(q *query.Query) (*query.Query, float64, time.Duration, error) {
+			res, err := coreOpt.Optimize(q)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			// The core algorithm needs no per-candidate cost calls; its
+			// only cost-model use is the formulation-time subset pass.
+			return res.Optimized, -1, res.Stats.Duration, nil
+		}},
+		{"straightforward", func(q *query.Query) (*query.Query, float64, time.Duration, error) {
+			res, err := sf.Optimize(q)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			return res.Optimized, float64(res.CostCalls), res.Duration, nil
+		}},
+		{"best-first [SSD88]", func(q *query.Query) (*query.Query, float64, time.Duration, error) {
+			res, err := bf.Optimize(q)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			return res.Optimized, float64(res.CostCalls), res.Duration, nil
+		}},
+		{"exhaustive", func(q *query.Query) (*query.Query, float64, time.Duration, error) {
+			res, err := ex.Optimize(q)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			return res.Optimized, float64(res.CostCalls), res.Duration, nil
+		}},
+	}
+
+	var rows []OptimizerRow
+	for _, r := range runners {
+		var micros, calls, ratios float64
+		n := 0
+		for _, q := range workload {
+			out, cc, dur, err := r.run(q)
+			if err != nil {
+				return nil, err
+			}
+			orig, err := w.Exec.Execute(q)
+			if err != nil {
+				return nil, err
+			}
+			optimized, err := w.Exec.Execute(out)
+			if err != nil {
+				return nil, err
+			}
+			oc := orig.Cost(engine.DefaultWeights)
+			if oc <= 0 {
+				continue
+			}
+			micros += float64(dur.Microseconds())
+			calls += cc
+			ratios += 100 * optimized.Cost(engine.DefaultWeights) / oc
+			n++
+		}
+		rows = append(rows, OptimizerRow{
+			Name:          r.name,
+			MeanMicros:    micros / float64(n),
+			MeanCostCalls: calls / float64(n),
+			MeanRatioPct:  ratios / float64(n),
+		})
+	}
+	return rows, nil
+}
+
+// RenderOptimizerComparison prints the optimizer comparison.
+func RenderOptimizerComparison(rows []OptimizerRow) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation D: optimizer comparison (DB4 workload, measured execution cost)\n")
+	fmt.Fprintf(&sb, "%-20s%14s%14s%14s\n", "optimizer", "time (µs)", "cost calls", "mean ratio")
+	for _, r := range rows {
+		calls := fmt.Sprintf("%.1f", r.MeanCostCalls)
+		if r.MeanCostCalls < 0 {
+			calls = "n/a"
+		}
+		fmt.Fprintf(&sb, "%-20s%14.1f%14s%13.1f%%\n", r.Name, r.MeanMicros, calls, r.MeanRatioPct)
+	}
+	return sb.String()
+}
+
+// --- O(mn) complexity check ---------------------------------------------------
+
+// ComplexityRow records the primitive-operation count for one (m, n) cell.
+type ComplexityRow struct {
+	Predicates  int // m
+	Constraints int // n
+	Ops         int64
+}
+
+// RunComplexity sweeps the transformation table dimensions and reports the
+// optimizer's primitive operation counts, which should grow as O(m·n)
+// (Section 4's bound).
+func RunComplexity(constraintCounts []int) ([]ComplexityRow, error) {
+	var rows []ComplexityRow
+	for _, n := range constraintCounts {
+		sch := chainSchema(1, n+2)
+		cat := chainConstraints(1, n)
+		// Verbatim matching: the implication precompute is O(m²) and
+		// would mask the O(mn) core loop.
+		opt := core.NewOptimizer(sch, core.CatalogSource{Catalog: cat}, core.Options{
+			Cost:                      core.HeuristicCost{Schema: sch},
+			DisableImpliedAntecedents: true,
+		})
+		res, err := opt.Optimize(chainQuery(1))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ComplexityRow{
+			Predicates:  res.Stats.Predicates,
+			Constraints: res.Stats.RelevantConstraints,
+			Ops:         res.Stats.Ops,
+		})
+	}
+	return rows, nil
+}
+
+// RenderComplexity prints the sweep with the ops/(m·n) ratio, which should
+// stay near-constant.
+func RenderComplexity(rows []ComplexityRow) string {
+	var sb strings.Builder
+	sb.WriteString("Complexity: transformation ops vs m.n (should stay near-constant)\n")
+	fmt.Fprintf(&sb, "%-6s%6s%12s%14s\n", "m", "n", "ops", "ops/(m*n)")
+	for _, r := range rows {
+		mn := float64(r.Predicates * r.Constraints)
+		fmt.Fprintf(&sb, "%-6d%6d%12d%14.2f\n", r.Predicates, r.Constraints, r.Ops, float64(r.Ops)/mn)
+	}
+	return sb.String()
+}

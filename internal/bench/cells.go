@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"sqo/internal/baseline"
+	"sqo/internal/core"
+	"sqo/internal/datagen"
+	"sqo/internal/predicate"
+	"sqo/internal/query"
+	"sqo/internal/value"
+)
+
+// Fig41Cell builds the optimizer and query for one Figure 4.1 measurement
+// point, for use by testing.B benchmarks (RunFig41 does its own timing).
+func Fig41Cell(classes, constraints int) (*core.Optimizer, *query.Query) {
+	sch := chainSchema(classes, constraints+2)
+	cat := chainConstraints(classes, constraints)
+	opt := core.NewOptimizer(sch, core.CatalogSource{Catalog: cat}, core.Options{
+		Cost: core.HeuristicCost{Schema: sch},
+	})
+	return opt, chainQuery(classes)
+}
+
+// ComplexityCell builds the single-class n-constraint cell used by the
+// O(m·n) benchmark.
+func ComplexityCell(n int) (*core.Optimizer, *query.Query) {
+	sch := chainSchema(1, n+2)
+	cat := chainConstraints(1, n)
+	opt := core.NewOptimizer(sch, core.CatalogSource{Catalog: cat}, core.Options{
+		Cost:                      core.HeuristicCost{Schema: sch},
+		DisableImpliedAntecedents: true,
+	})
+	return opt, chainQuery(1)
+}
+
+// ComparisonRunner is one optimizer participating in the baseline benchmark.
+type ComparisonRunner struct {
+	Name string
+	Run  func() error
+}
+
+// OptimizerComparisonCell wires the three optimizers over the same world and
+// query, returning one runnable per optimizer.
+func OptimizerComparisonCell() ([]ComparisonRunner, error) {
+	w, err := NewWorld(datagen.DB1())
+	if err != nil {
+		return nil, err
+	}
+	source := core.CatalogSource{Catalog: w.Catalog}
+	q := query.New("supplier", "cargo", "vehicle").
+		AddProject("vehicle", "vehicle#").
+		AddProject("cargo", "desc").
+		AddSelect(predicate.Eq("vehicle", "desc", value.String("refrigerated truck"))).
+		AddSelect(predicate.Eq("supplier", "name", value.String("SFI"))).
+		AddRelationship("collects").
+		AddRelationship("supplies")
+
+	coreOpt := core.NewOptimizer(w.DB.Schema(), source, core.Options{Cost: w.Model})
+	sf := baseline.NewStraightforward(w.DB.Schema(), source, w.Model)
+	bf := baseline.NewBestFirst(w.DB.Schema(), source, w.Model)
+	ex := baseline.NewExhaustive(w.DB.Schema(), source, w.Model)
+	return []ComparisonRunner{
+		{"core", func() error { _, err := coreOpt.Optimize(q); return err }},
+		{"straightforward", func() error { _, err := sf.Optimize(q); return err }},
+		{"best-first", func() error { _, err := bf.Optimize(q); return err }},
+		{"exhaustive", func() error { _, err := ex.Optimize(q); return err }},
+	}, nil
+}

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig41CellRuns(t *testing.T) {
+	for _, k := range []int{1, 3, 5} {
+		for _, n := range []int{1, 5, 9} {
+			opt, q := Fig41Cell(k, n)
+			res, err := opt.Optimize(q)
+			if err != nil {
+				t.Fatalf("cell (%d,%d): %v", k, n, err)
+			}
+			if res.Stats.RelevantConstraints != n {
+				t.Errorf("cell (%d,%d): relevant = %d, want %d", k, n, res.Stats.RelevantConstraints, n)
+			}
+			// Every synthetic constraint fires (antecedents are in the query).
+			if res.Stats.Fires != n {
+				t.Errorf("cell (%d,%d): fires = %d, want %d", k, n, res.Stats.Fires, n)
+			}
+		}
+	}
+}
+
+func TestComplexityCellRuns(t *testing.T) {
+	for _, n := range []int{4, 16} {
+		opt, q := ComplexityCell(n)
+		res, err := opt.Optimize(q)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.Stats.RelevantConstraints != n {
+			t.Errorf("n=%d: relevant = %d", n, res.Stats.RelevantConstraints)
+		}
+		if res.Stats.Ops <= 0 {
+			t.Errorf("n=%d: no ops recorded", n)
+		}
+	}
+}
+
+func TestOptimizerComparisonCell(t *testing.T) {
+	runners, err := OptimizerComparisonCell()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runners) != 4 {
+		t.Fatalf("runners = %d, want core + 3 baselines", len(runners))
+	}
+	names := map[string]bool{}
+	for _, r := range runners {
+		names[r.Name] = true
+		if err := r.Run(); err != nil {
+			t.Errorf("%s: %v", r.Name, err)
+		}
+	}
+	for _, want := range []string{"core", "straightforward", "best-first", "exhaustive"} {
+		if !names[want] {
+			t.Errorf("runner %q missing", want)
+		}
+	}
+}
+
+func TestRunOptimizerComparisonRender(t *testing.T) {
+	rows, err := RunOptimizerComparison(6, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	out := RenderOptimizerComparison(rows)
+	for _, want := range []string{"core (tentative)", "best-first [SSD88]", "n/a"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Core produces at-least-as-good outcomes on this workload.
+	var coreRatio float64
+	for _, r := range rows {
+		if r.Name == "core (tentative)" {
+			coreRatio = r.MeanRatioPct
+		}
+	}
+	for _, r := range rows {
+		if r.MeanRatioPct < coreRatio-1e-9 {
+			t.Errorf("%s beat core on outcome (%.1f%% vs %.1f%%)", r.Name, r.MeanRatioPct, coreRatio)
+		}
+	}
+}
+
+func TestTable42CSV(t *testing.T) {
+	res, err := RunTable42(6, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := res.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 1+4*6 {
+		t.Fatalf("csv lines = %d, want header + 4 DBs x 6 queries", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "db,ratio_percent") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "DB1,") {
+		t.Errorf("first row = %q", lines[1])
+	}
+}

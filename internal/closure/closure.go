@@ -1,0 +1,189 @@
+// Package closure materializes the transitive closure of a semantic
+// constraint catalog at precompilation time, following Section 3 of the
+// paper (and [YuS89], which it cites): if (A = a) → (B > 20) and
+// (B > 10) → (C = c) then (A = a) → (C = c) is derived once, up front, so the
+// optimizer never has to chain constraints per query.
+//
+// Derivation is resolution between a consequent and an implied antecedent:
+//
+//	ci: Ai [Li] → p      cj: Aj ∪ {a} [Lj] → q      p ⊨ a
+//	─────────────────────────────────────────────────────
+//	         Ai ∪ Aj [Li ∪ Lj] → q
+//
+// The structural links of both constraints are kept. This preserves
+// soundness for chains through an intermediate class: the derived constraint
+// only becomes relevant to queries that include the intermediate links (and
+// therefore, by query validation, the intermediate classes). The paper's
+// observation that class-based relevance "is true only because the transitive
+// closures are materialized" is exactly this property.
+package closure
+
+import (
+	"fmt"
+
+	"sqo/internal/constraint"
+	"sqo/internal/predicate"
+)
+
+// Options tunes materialization.
+type Options struct {
+	// MaxRounds bounds the number of fixpoint iterations. Each round can
+	// only build chains one resolution step deeper, so this effectively
+	// caps chain depth. Zero means the default (8).
+	MaxRounds int
+	// MaxDerived aborts materialization when the number of derived
+	// constraints explodes past this bound. Zero means the default (10000).
+	MaxDerived int
+	// MaxAntecedents drops derivations whose antecedent set grows beyond
+	// this size; long bodies are never fireable in practice and bloat the
+	// transformation table. Zero means the default (8).
+	MaxAntecedents int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 8
+	}
+	if o.MaxDerived == 0 {
+		o.MaxDerived = 10000
+	}
+	if o.MaxAntecedents == 0 {
+		o.MaxAntecedents = 8
+	}
+	return o
+}
+
+// Stats reports what materialization did.
+type Stats struct {
+	Original       int // constraints in the input catalog
+	Derived        int // new constraints added by the closure
+	Rounds         int // fixpoint iterations executed
+	PooledPreds    int // distinct predicates across the closed catalog
+	PredOccurrence int // total predicate occurrences (pre-interning size)
+}
+
+// Materialize returns a new catalog containing the input constraints plus
+// all derived ones, together with the shared predicate pool (the paper's
+// pointer-compression structure) and statistics.
+func Materialize(cat *constraint.Catalog, opts Options) (*constraint.Catalog, *predicate.Pool, Stats, error) {
+	opts = opts.withDefaults()
+	out, err := constraint.NewCatalog(cat.All()...)
+	if err != nil {
+		return nil, nil, Stats{}, err
+	}
+	stats := Stats{Original: cat.Len()}
+
+	for round := 1; round <= opts.MaxRounds; round++ {
+		all := out.All()
+		added := 0
+		for _, ci := range all {
+			for _, cj := range all {
+				if ci == cj {
+					continue
+				}
+				derived, ok := resolve(ci, cj, opts)
+				if !ok {
+					continue
+				}
+				// Two different chains can synthesize the same ID
+				// (a*b + c vs a + b*c); rename rather than clash.
+				for n := 2; ; n++ {
+					prev := out.Get(derived.ID)
+					if prev == nil || prev.Key() == derived.Key() {
+						break
+					}
+					derived.ID = fmt.Sprintf("%s*%s#%d", ci.ID, cj.ID, n)
+				}
+				before := out.Len()
+				if err := out.Add(derived); err != nil {
+					return nil, nil, stats, fmt.Errorf("closure: %w", err)
+				}
+				if out.Len() > before {
+					added++
+				}
+				if out.Len()-cat.Len() > opts.MaxDerived {
+					return nil, nil, stats, fmt.Errorf("closure: derived more than %d constraints; constraint set is likely cyclic in a degenerate way", opts.MaxDerived)
+				}
+			}
+		}
+		stats.Rounds = round
+		if added == 0 {
+			break
+		}
+	}
+
+	stats.Derived = out.Len() - cat.Len()
+	pool := predicate.NewPool()
+	for _, c := range out.All() {
+		for _, a := range c.Antecedents {
+			pool.Intern(a)
+			stats.PredOccurrence++
+		}
+		pool.Intern(c.Consequent)
+		stats.PredOccurrence++
+	}
+	stats.PooledPreds = pool.Len()
+	return out, pool, stats, nil
+}
+
+// resolve attempts one resolution step chaining ci's consequent into one of
+// cj's antecedents. It returns ok=false when no antecedent matches or the
+// result would be trivial or oversized.
+func resolve(ci, cj *constraint.Constraint, opts Options) (*constraint.Constraint, bool) {
+	matched := -1
+	for k, a := range cj.Antecedents {
+		if ci.Consequent.Implies(a) {
+			matched = k
+			break
+		}
+	}
+	if matched < 0 {
+		return nil, false
+	}
+
+	// Merge antecedents (set semantics via keys) skipping the matched one.
+	var ants []predicate.Predicate
+	seen := map[string]bool{}
+	add := func(p predicate.Predicate) {
+		if !seen[p.Key()] {
+			seen[p.Key()] = true
+			ants = append(ants, p)
+		}
+	}
+	for _, a := range ci.Antecedents {
+		add(a)
+	}
+	for k, a := range cj.Antecedents {
+		if k != matched {
+			add(a)
+		}
+	}
+	if len(ants) > opts.MaxAntecedents {
+		return nil, false
+	}
+
+	consequent := cj.Consequent
+	// Trivial results are useless: the consequent is already entailed by
+	// an antecedent (p → p chains), or appears verbatim.
+	for _, a := range ants {
+		if a.Implies(consequent) {
+			return nil, false
+		}
+	}
+
+	var links []string
+	seenLink := map[string]bool{}
+	for _, l := range append(append([]string(nil), ci.Links...), cj.Links...) {
+		if !seenLink[l] {
+			seenLink[l] = true
+			links = append(links, l)
+		}
+	}
+
+	id := ci.ID + "*" + cj.ID
+	d := constraint.New(id, ants, links, consequent)
+	if d.Key() == ci.Key() || d.Key() == cj.Key() {
+		return nil, false
+	}
+	return d, true
+}

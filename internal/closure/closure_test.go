@@ -1,0 +1,267 @@
+package closure
+
+import (
+	"testing"
+
+	"sqo/internal/constraint"
+	"sqo/internal/predicate"
+	"sqo/internal/value"
+)
+
+// chain builds the paper's Section 3 example: (A=a) -> (B>20), (B>10) -> (C=c)
+// as intra-class constraints on a single class "t".
+func chainCatalog(t *testing.T) *constraint.Catalog {
+	t.Helper()
+	c1 := constraint.New("k1",
+		[]predicate.Predicate{predicate.Eq("t", "A", value.String("a"))},
+		nil,
+		predicate.Sel("t", "B", predicate.GT, value.Int(20)))
+	c2 := constraint.New("k2",
+		[]predicate.Predicate{predicate.Sel("t", "B", predicate.GT, value.Int(10))},
+		nil,
+		predicate.Eq("t", "C", value.String("c")))
+	return constraint.MustCatalog(c1, c2)
+}
+
+func TestPaperChainExample(t *testing.T) {
+	out, pool, stats, err := Materialize(chainCatalog(t), Options{})
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	if stats.Original != 2 {
+		t.Errorf("Original = %d, want 2", stats.Original)
+	}
+	if stats.Derived != 1 {
+		t.Fatalf("Derived = %d, want exactly the chained constraint", stats.Derived)
+	}
+	want := constraint.New("any",
+		[]predicate.Predicate{predicate.Eq("t", "A", value.String("a"))},
+		nil,
+		predicate.Eq("t", "C", value.String("c")))
+	found := false
+	for _, c := range out.All() {
+		if c.Key() == want.Key() {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("(A=a) -> (C=c) not derived; catalog: %v", out.All())
+	}
+	if pool.Len() == 0 || stats.PooledPreds != pool.Len() {
+		t.Errorf("pool stats inconsistent: %d vs %d", pool.Len(), stats.PooledPreds)
+	}
+	// Interning must compress: occurrences strictly exceed distinct preds.
+	if stats.PredOccurrence <= stats.PooledPreds {
+		t.Errorf("expected occurrence count %d > distinct %d", stats.PredOccurrence, stats.PooledPreds)
+	}
+}
+
+func TestExactMatchChain(t *testing.T) {
+	// Consequent exactly equals the antecedent (no strict implication).
+	c1 := constraint.New("c1",
+		[]predicate.Predicate{predicate.Eq("t", "A", value.Int(1))},
+		nil,
+		predicate.Eq("t", "B", value.Int(2)))
+	c2 := constraint.New("c2",
+		[]predicate.Predicate{predicate.Eq("t", "B", value.Int(2))},
+		nil,
+		predicate.Eq("t", "C", value.Int(3)))
+	out, _, stats, err := Materialize(constraint.MustCatalog(c1, c2), Options{})
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	if stats.Derived != 1 {
+		t.Fatalf("Derived = %d, want 1", stats.Derived)
+	}
+	d := out.All()[2]
+	if d.Consequent.Const != value.Int(3) || len(d.Antecedents) != 1 || d.Antecedents[0].Const != value.Int(1) {
+		t.Errorf("derived constraint wrong: %s", d)
+	}
+}
+
+func TestDeepChainNeedsMultipleRounds(t *testing.T) {
+	// A chain of length 4: A -> B -> C -> D -> E.
+	mk := func(id, from, to string) *constraint.Constraint {
+		return constraint.New(id,
+			[]predicate.Predicate{predicate.Eq("t", from, value.Int(1))},
+			nil,
+			predicate.Eq("t", to, value.Int(1)))
+	}
+	cat := constraint.MustCatalog(
+		mk("c1", "A", "B"), mk("c2", "B", "C"), mk("c3", "C", "D"), mk("c4", "D", "E"))
+	out, _, stats, err := Materialize(cat, Options{})
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	// All pairs (i<j) reachable: A->C, A->D, A->E, B->D, B->E, C->E = 6.
+	if stats.Derived != 6 {
+		t.Errorf("Derived = %d, want 6 (full reachability)", stats.Derived)
+	}
+	// The deepest chain A -> E must exist.
+	want := mk("x", "A", "E")
+	found := false
+	for _, c := range out.All() {
+		if c.Key() == want.Key() {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("A -> E not derived")
+	}
+}
+
+func TestClosureIdempotent(t *testing.T) {
+	out1, _, _, err := Materialize(chainCatalog(t), Options{})
+	if err != nil {
+		t.Fatalf("first Materialize: %v", err)
+	}
+	out2, _, stats2, err := Materialize(out1, Options{})
+	if err != nil {
+		t.Fatalf("second Materialize: %v", err)
+	}
+	if stats2.Derived != 0 {
+		t.Errorf("closure of a closed catalog derived %d constraints", stats2.Derived)
+	}
+	if out2.Len() != out1.Len() {
+		t.Errorf("Len changed: %d -> %d", out1.Len(), out2.Len())
+	}
+}
+
+func TestCycleTerminates(t *testing.T) {
+	// A=1 -> B=1, B=1 -> A=1: cyclic but the closure must terminate with
+	// no useful derivations (chaining yields trivially-entailed results).
+	c1 := constraint.New("c1",
+		[]predicate.Predicate{predicate.Eq("t", "A", value.Int(1))},
+		nil,
+		predicate.Eq("t", "B", value.Int(1)))
+	c2 := constraint.New("c2",
+		[]predicate.Predicate{predicate.Eq("t", "B", value.Int(1))},
+		nil,
+		predicate.Eq("t", "A", value.Int(1)))
+	_, _, stats, err := Materialize(constraint.MustCatalog(c1, c2), Options{})
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	if stats.Derived != 0 {
+		t.Errorf("cycle should derive nothing, got %d", stats.Derived)
+	}
+}
+
+func TestInterClassChainKeepsLinks(t *testing.T) {
+	// vehicle --collects--> cargo --supplies--> supplier (paper's c1, c2).
+	c1 := constraint.New("c1",
+		[]predicate.Predicate{predicate.Eq("vehicle", "desc", value.String("refrigerated truck"))},
+		[]string{"collects"},
+		predicate.Eq("cargo", "desc", value.String("frozen food")))
+	c2 := constraint.New("c2",
+		[]predicate.Predicate{predicate.Eq("cargo", "desc", value.String("frozen food"))},
+		[]string{"supplies"},
+		predicate.Eq("supplier", "name", value.String("SFI")))
+	out, _, stats, err := Materialize(constraint.MustCatalog(c1, c2), Options{})
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	if stats.Derived != 1 {
+		t.Fatalf("Derived = %d, want 1", stats.Derived)
+	}
+	var derived *constraint.Constraint
+	for _, c := range out.All() {
+		if c.ID == "c1*c2" {
+			derived = c
+		}
+	}
+	if derived == nil {
+		t.Fatal("derived constraint c1*c2 missing")
+	}
+	// Both links must be kept so the derived rule is only relevant to
+	// queries that still include the intermediate cargo class.
+	if len(derived.Links) != 2 {
+		t.Errorf("derived links = %v, want both collects and supplies", derived.Links)
+	}
+	if derived.Consequent.Left.Class != "supplier" {
+		t.Errorf("derived consequent = %s", derived.Consequent)
+	}
+}
+
+func TestMergedAntecedents(t *testing.T) {
+	// ci has an extra antecedent; merged body must contain both, deduped.
+	shared := predicate.Eq("t", "X", value.Int(9))
+	c1 := constraint.New("c1",
+		[]predicate.Predicate{predicate.Eq("t", "A", value.Int(1)), shared},
+		nil,
+		predicate.Eq("t", "B", value.Int(2)))
+	c2 := constraint.New("c2",
+		[]predicate.Predicate{predicate.Eq("t", "B", value.Int(2)), shared},
+		nil,
+		predicate.Eq("t", "C", value.Int(3)))
+	out, _, stats, err := Materialize(constraint.MustCatalog(c1, c2), Options{})
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	if stats.Derived != 1 {
+		t.Fatalf("Derived = %d, want 1", stats.Derived)
+	}
+	d := out.All()[2]
+	if len(d.Antecedents) != 2 {
+		t.Errorf("merged antecedents = %v, want A=1 and X=9 exactly once", d.Antecedents)
+	}
+}
+
+func TestMaxAntecedentsBound(t *testing.T) {
+	// Force a derivation whose body would exceed the bound.
+	ants1 := []predicate.Predicate{
+		predicate.Eq("t", "A1", value.Int(1)),
+		predicate.Eq("t", "A2", value.Int(1)),
+	}
+	ants2 := []predicate.Predicate{
+		predicate.Eq("t", "B", value.Int(2)),
+		predicate.Eq("t", "A3", value.Int(1)),
+	}
+	c1 := constraint.New("c1", ants1, nil, predicate.Eq("t", "B", value.Int(2)))
+	c2 := constraint.New("c2", ants2, nil, predicate.Eq("t", "C", value.Int(3)))
+	_, _, stats, err := Materialize(constraint.MustCatalog(c1, c2), Options{MaxAntecedents: 2})
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	if stats.Derived != 0 {
+		t.Errorf("derivation should have been dropped by MaxAntecedents, got %d", stats.Derived)
+	}
+}
+
+func TestImplicationChain(t *testing.T) {
+	// (A=5) -> (B=7); (B>3) -> (C=1). B=7 implies B>3, so chain applies.
+	c1 := constraint.New("c1",
+		[]predicate.Predicate{predicate.Eq("t", "A", value.Int(5))},
+		nil,
+		predicate.Eq("t", "B", value.Int(7)))
+	c2 := constraint.New("c2",
+		[]predicate.Predicate{predicate.Sel("t", "B", predicate.GT, value.Int(3))},
+		nil,
+		predicate.Eq("t", "C", value.Int(1)))
+	_, _, stats, err := Materialize(constraint.MustCatalog(c1, c2), Options{})
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	if stats.Derived != 1 {
+		t.Errorf("Derived = %d, want 1 via implication matching", stats.Derived)
+	}
+}
+
+func TestNoChainWhenNoImplication(t *testing.T) {
+	// (A=5) -> (B>3); (B>10) -> (C=1). B>3 does not imply B>10.
+	c1 := constraint.New("c1",
+		[]predicate.Predicate{predicate.Eq("t", "A", value.Int(5))},
+		nil,
+		predicate.Sel("t", "B", predicate.GT, value.Int(3)))
+	c2 := constraint.New("c2",
+		[]predicate.Predicate{predicate.Sel("t", "B", predicate.GT, value.Int(10))},
+		nil,
+		predicate.Eq("t", "C", value.Int(1)))
+	_, _, stats, err := Materialize(constraint.MustCatalog(c1, c2), Options{})
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	if stats.Derived != 0 {
+		t.Errorf("Derived = %d, want 0", stats.Derived)
+	}
+}

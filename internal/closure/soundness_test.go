@@ -1,0 +1,63 @@
+package closure
+
+import (
+	"testing"
+
+	"sqo/internal/datagen"
+	"sqo/internal/engine"
+)
+
+// TestClosureSoundOnData is the semantic soundness check for materialization:
+// every constraint derived from the logistics catalog must hold on databases
+// that satisfy the original catalog. A single violated derivation would make
+// the optimizer unsound whenever that derivation fires.
+func TestClosureSoundOnData(t *testing.T) {
+	cat := datagen.Constraints()
+	closed, _, stats, err := Materialize(cat, Options{})
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	if stats.Derived == 0 {
+		t.Fatal("expected the logistics catalog to yield derivations")
+	}
+	for _, cfg := range []datagen.Config{datagen.DB1(), datagen.DB2()} {
+		db := datagen.MustGenerate(cfg)
+		violated, err := engine.CheckCatalog(db, closed)
+		if err != nil {
+			t.Fatalf("%s: CheckCatalog: %v", cfg.Name, err)
+		}
+		if violated != "" {
+			t.Errorf("%s: derived constraint %s does not hold", cfg.Name, violated)
+		}
+	}
+}
+
+// TestClosureOfLogisticsCatalogShape: the closure adds the documented chains
+// (e.g. refrigerated truck -> frozen food -> SFI) without exploding.
+func TestClosureOfLogisticsCatalogShape(t *testing.T) {
+	cat := datagen.Constraints()
+	closed, _, stats, err := Materialize(cat, Options{})
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	if stats.Derived < 3 {
+		t.Errorf("Derived = %d, expected several chains (c1*c2, c7*c11, ...)", stats.Derived)
+	}
+	if closed.Len() > cat.Len()*6 {
+		t.Errorf("closure exploded: %d constraints from %d", closed.Len(), cat.Len())
+	}
+	// The flagship chain: refrigerated truck -> SFI through frozen food,
+	// carrying both links.
+	found := false
+	for _, c := range closed.All() {
+		if c.ID == "c1*c2" {
+			found = true
+			if len(c.Links) != 2 {
+				t.Errorf("c1*c2 should keep both links: %v", c.Links)
+			}
+		}
+	}
+	if !found {
+		t.Error("c1*c2 not derived")
+	}
+}

@@ -1,0 +1,249 @@
+package constraint
+
+import (
+	"strings"
+	"testing"
+
+	"sqo/internal/predicate"
+	"sqo/internal/query"
+	"sqo/internal/schema"
+	"sqo/internal/value"
+)
+
+func testSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	return schema.NewBuilder().
+		Class("supplier",
+			schema.Attribute{Name: "name", Type: value.KindString, Indexed: true}).
+		Class("cargo",
+			schema.Attribute{Name: "desc", Type: value.KindString},
+			schema.Attribute{Name: "quantity", Type: value.KindInt}).
+		Class("vehicle",
+			schema.Attribute{Name: "desc", Type: value.KindString},
+			schema.Attribute{Name: "class", Type: value.KindInt}).
+		Class("driver",
+			schema.Attribute{Name: "licenseClass", Type: value.KindInt},
+			schema.Attribute{Name: "rank", Type: value.KindString}).
+		Relationship("supplies", "supplier", "cargo", schema.OneToMany).
+		Relationship("collects", "vehicle", "cargo", schema.OneToMany).
+		Relationship("drives", "driver", "vehicle", schema.ManyToMany).
+		MustBuild()
+}
+
+// The paper's constraints (Figure 2.2), restricted to the classes above.
+func c1() *Constraint {
+	return New("c1",
+		[]predicate.Predicate{predicate.Eq("vehicle", "desc", value.String("refrigerated truck"))},
+		[]string{"collects"},
+		predicate.Eq("cargo", "desc", value.String("frozen food")),
+	).WithDoc("refrigerated trucks can only carry frozen food")
+}
+
+func c2() *Constraint {
+	return New("c2",
+		[]predicate.Predicate{predicate.Eq("cargo", "desc", value.String("frozen food"))},
+		[]string{"supplies"},
+		predicate.Eq("supplier", "name", value.String("SFI")),
+	).WithDoc("frozen food comes only from SFI")
+}
+
+func c3() *Constraint {
+	return New("c3",
+		nil,
+		[]string{"drives"},
+		predicate.Join("driver", "licenseClass", predicate.GE, "vehicle", "class"),
+	).WithDoc("drivers only drive vehicles within their license classification")
+}
+
+func c4() *Constraint {
+	return New("c4",
+		nil,
+		nil,
+		predicate.Eq("driver", "rank", value.String("research staff member")),
+	)
+}
+
+func TestKindClassification(t *testing.T) {
+	if c1().Kind() != Inter {
+		t.Error("c1 spans cargo and vehicle: inter")
+	}
+	if c3().Kind() != Inter {
+		t.Error("c3 spans driver and vehicle: inter")
+	}
+	if c4().Kind() != Intra {
+		t.Error("c4 references only driver: intra")
+	}
+	if Intra.String() != "intra" || Inter.String() != "inter" {
+		t.Error("Kind.String broken")
+	}
+}
+
+func TestClasses(t *testing.T) {
+	got := c1().Classes()
+	if len(got) != 2 || got[0] != "cargo" || got[1] != "vehicle" {
+		t.Errorf("c1.Classes() = %v", got)
+	}
+	// Returned slice must be a copy.
+	got[0] = "mutated"
+	if c := c1().Classes(); c[0] != "cargo" {
+		t.Error("Classes aliases internal state")
+	}
+}
+
+func TestKeyCanonical(t *testing.T) {
+	// Same logical constraint with antecedents in different order.
+	a := New("x",
+		[]predicate.Predicate{
+			predicate.Eq("cargo", "desc", value.String("f")),
+			predicate.Sel("cargo", "quantity", predicate.GT, value.Int(3)),
+		},
+		[]string{"collects", "supplies"},
+		predicate.Eq("supplier", "name", value.String("SFI")))
+	b := New("y",
+		[]predicate.Predicate{
+			predicate.Sel("cargo", "quantity", predicate.GT, value.Int(3)),
+			predicate.Eq("cargo", "desc", value.String("f")),
+		},
+		[]string{"supplies", "collects"},
+		predicate.Eq("supplier", "name", value.String("SFI")))
+	if a.Key() != b.Key() {
+		t.Errorf("keys differ:\n%s\n%s", a.Key(), b.Key())
+	}
+	if a.Key() == c1().Key() {
+		t.Error("distinct constraints share a key")
+	}
+}
+
+func TestRelevantTo(t *testing.T) {
+	q := query.New("supplier", "cargo", "vehicle").
+		AddRelationship("supplies").
+		AddRelationship("collects")
+	if !c1().RelevantTo(q) || !c2().RelevantTo(q) {
+		t.Error("c1, c2 should be relevant to the paper query")
+	}
+	if c3().RelevantTo(q) {
+		t.Error("c3 references driver, absent from the query")
+	}
+	if c4().RelevantTo(q) {
+		t.Error("c4 references driver, absent from the query")
+	}
+	// Class present but link missing: not relevant under our stricter rule.
+	q2 := query.New("cargo", "vehicle").AddRelationship("collects")
+	cNoLink := New("x",
+		[]predicate.Predicate{predicate.Eq("vehicle", "desc", value.String("v"))},
+		[]string{"drives"},
+		predicate.Eq("cargo", "desc", value.String("d")))
+	if cNoLink.RelevantTo(q2) {
+		t.Error("constraint requiring an absent relationship must not be relevant")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := testSchema(t)
+	for _, c := range []*Constraint{c1(), c2(), c3(), c4()} {
+		if err := c.Validate(s); err != nil {
+			t.Errorf("%s should validate: %v", c.ID, err)
+		}
+	}
+	bad := []*Constraint{
+		New("", nil, nil, predicate.Eq("cargo", "desc", value.String("x"))),
+		New("b1", nil, nil, predicate.Eq("cargo", "ghost", value.String("x"))),
+		New("b2", []predicate.Predicate{predicate.Eq("cargo", "desc", value.Int(3))}, nil,
+			predicate.Eq("cargo", "desc", value.String("x"))),
+		New("b3", nil, []string{"ghost"}, predicate.Eq("cargo", "desc", value.String("x"))),
+		// inter-class constraint with no connecting links
+		New("b4", []predicate.Predicate{predicate.Eq("vehicle", "desc", value.String("v"))}, nil,
+			predicate.Eq("cargo", "desc", value.String("d"))),
+	}
+	for _, c := range bad {
+		if err := c.Validate(s); err == nil {
+			t.Errorf("constraint %q should fail validation", c.ID)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	got := c1().String()
+	for _, want := range []string{"c1:", `vehicle.desc = "refrigerated truck"`, "[collects]", `-> cargo.desc = "frozen food"`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q, missing %q", got, want)
+		}
+	}
+	if !strings.Contains(c4().String(), "true ->") {
+		t.Errorf("empty antecedent should print as true: %q", c4().String())
+	}
+}
+
+func TestCatalogBasics(t *testing.T) {
+	cat := MustCatalog(c1(), c2(), c3(), c4())
+	if cat.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", cat.Len())
+	}
+	if cat.Get("c2") == nil || cat.Get("ghost") != nil {
+		t.Error("Get broken")
+	}
+	all := cat.All()
+	if len(all) != 4 || all[0].ID != "c1" {
+		t.Errorf("All() = %v", all)
+	}
+	// All returns a fresh slice.
+	all[0] = nil
+	if cat.All()[0] == nil {
+		t.Error("All aliases internal slice")
+	}
+}
+
+func TestCatalogDuplicates(t *testing.T) {
+	cat := MustCatalog(c1())
+	// Logical duplicate under a new ID merges silently and aliases the ID.
+	dup := New("c99",
+		[]predicate.Predicate{predicate.Eq("vehicle", "desc", value.String("refrigerated truck"))},
+		[]string{"collects"},
+		predicate.Eq("cargo", "desc", value.String("frozen food")))
+	if err := cat.Add(dup); err != nil {
+		t.Fatalf("logical duplicate should merge: %v", err)
+	}
+	if cat.Len() != 1 {
+		t.Errorf("Len = %d after merging duplicate, want 1", cat.Len())
+	}
+	if cat.Get("c99") != cat.Get("c1") {
+		t.Error("duplicate ID should alias the original constraint")
+	}
+	// Different constraint under an existing ID errors.
+	clash := New("c1", nil, nil, predicate.Eq("cargo", "desc", value.String("other")))
+	if err := cat.Add(clash); err == nil {
+		t.Error("id clash should error")
+	}
+}
+
+func TestCatalogRelevantTo(t *testing.T) {
+	cat := MustCatalog(c1(), c2(), c3(), c4())
+	q := query.New("cargo", "vehicle").AddRelationship("collects")
+	rel := cat.RelevantTo(q)
+	if len(rel) != 1 || rel[0].ID != "c1" {
+		t.Errorf("RelevantTo = %v, want just c1", rel)
+	}
+}
+
+func TestCatalogValidate(t *testing.T) {
+	s := testSchema(t)
+	cat := MustCatalog(c1(), c2())
+	if err := cat.Validate(s); err != nil {
+		t.Errorf("catalog should validate: %v", err)
+	}
+	bad := MustCatalog(New("b", nil, nil, predicate.Eq("ghost", "x", value.Int(1))))
+	if err := bad.Validate(s); err == nil {
+		t.Error("catalog with invalid constraint should fail")
+	}
+}
+
+func TestNewCopiesInputs(t *testing.T) {
+	ants := []predicate.Predicate{predicate.Eq("vehicle", "desc", value.String("x"))}
+	links := []string{"collects"}
+	c := New("c", ants, links, predicate.Eq("cargo", "desc", value.String("y")))
+	ants[0] = predicate.Eq("vehicle", "desc", value.String("mutated"))
+	links[0] = "mutated"
+	if c.Antecedents[0].Const.Str() != "x" || c.Links[0] != "collects" {
+		t.Error("New must copy its slice arguments")
+	}
+}

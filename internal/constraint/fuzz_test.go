@@ -1,0 +1,45 @@
+package constraint
+
+import (
+	"testing"
+)
+
+// FuzzParse: the constraint parser must never panic, and accepted inputs
+// must survive a render/re-parse round trip with identical identity.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`c1: vehicle.desc = "refrigerated truck" [collects] -> cargo.desc = "frozen food"`,
+		`c3: true [drives] -> driver.licenseClass >= vehicle.class`,
+		`k: a.x = 1 ∧ b.y <= 2 -> c.z != 3`,
+		`k: a.x = "∧ -> [tricky]" -> c.z = 1`,
+		`k: a.x = true & b.y = false -> c.z = -9`,
+		"nonsense",
+		"k: ->",
+		"k: a.b = [unclosed -> c.d = 1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		c, err := Parse(input)
+		if err != nil {
+			return
+		}
+		back, err := Parse(c.String())
+		if err != nil {
+			t.Fatalf("accepted %q but rendered form fails: %v\nrendered: %s", input, err, c)
+		}
+		if back.Key() != c.Key() {
+			t.Fatalf("round trip changed identity:\n in: %s\nout: %s", c, back)
+		}
+	})
+}
+
+// FuzzParseCatalog: multi-line catalogs never panic either.
+func FuzzParseCatalog(f *testing.F) {
+	f.Add("# comment\nc1: a.x = 1 -> b.y = 2\n\nc2: b.y = 2 -> a.x = 1\n")
+	f.Add("c1: a.x = 1 -> b.y = 2\nc1: a.x = 2 -> b.y = 3\n") // duplicate ID
+	f.Fuzz(func(t *testing.T, input string) {
+		_, _ = ParseCatalog(input)
+	})
+}

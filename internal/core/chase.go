@@ -1,0 +1,127 @@
+package core
+
+// This file implements the derivability ("chase") machinery that keeps
+// formulation sound.
+//
+// The tag algorithm lowers a predicate as soon as SOME fireable constraint
+// implies it — but two predicates can lower each other (c2: frozen food →
+// SFI and its converse both fire, tagging both optional), after which
+// nothing forces either to survive formulation. Dropping both changes the
+// query's meaning. The paper does not address this case; the guard here
+// restores the invariant the whole approach rests on:
+//
+//	every predicate of the original query must be derivable from the
+//	predicates retained in the formulated query.
+//
+// Derivability is computed by chasing the relevant constraints over a base
+// set: a predicate is available when some base or derived predicate implies
+// it, and a constraint fires when all its antecedents are available. The
+// chase also records which base predicates support each derivation, so class
+// elimination can pin its witnesses (promote them to imperative) before the
+// cost-benefit pass gets a chance to discard them.
+
+// chase runs derivations over the table's relevant constraints from a base
+// set of pool predicate IDs.
+type chase struct {
+	t       *table
+	inSet   []bool        // pool id -> in the derived set
+	derived map[int][]int // derived pred id -> antecedent pred ids used
+}
+
+// newChase starts a chase from the given base predicates and runs it to
+// fixpoint.
+func newChase(t *table, base []int) *chase {
+	c := &chase{
+		t:       t,
+		inSet:   make([]bool, t.pool.Len()),
+		derived: map[int][]int{},
+	}
+	for _, id := range base {
+		c.inSet[id] = true
+	}
+	c.run()
+	return c
+}
+
+// available reports whether predicate id is implied by the current set, and
+// returns the in-set predicate witnessing it.
+func (c *chase) available(id int) (int, bool) {
+	if c.inSet[id] {
+		return id, true
+	}
+	target := c.t.pool.At(id)
+	for p := range c.inSet {
+		if !c.inSet[p] {
+			continue
+		}
+		c.t.ops++
+		if c.t.pool.At(p).Implies(target) {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// run fires constraints until no new predicate becomes derivable.
+func (c *chase) run() {
+	for changed := true; changed; {
+		changed = false
+		for i, con := range c.t.constraints {
+			consID, _ := c.t.pool.Lookup(con.Consequent)
+			if c.inSet[consID] {
+				continue
+			}
+			ok := true
+			var used []int
+			for _, col := range c.t.antsCols[i] {
+				w, avail := c.available(col)
+				if !avail {
+					ok = false
+					break
+				}
+				used = append(used, w)
+			}
+			if !ok {
+				continue
+			}
+			c.inSet[consID] = true
+			c.derived[consID] = used
+			changed = true
+		}
+	}
+}
+
+// derivable reports whether the target predicate is implied by the chase set.
+func (c *chase) derivable(target int) bool {
+	_, ok := c.available(target)
+	return ok
+}
+
+// supports returns the base predicates underpinning the derivation of
+// target: the transitive antecedents of the witnessing derivations, stopping
+// at predicates that were never derived (i.e. base members).
+func (c *chase) supports(target int) []int {
+	w, ok := c.available(target)
+	if !ok {
+		return nil
+	}
+	seen := map[int]bool{}
+	var out []int
+	var walk func(id int)
+	walk = func(id int) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		ants, wasDerived := c.derived[id]
+		if !wasDerived {
+			out = append(out, id) // base predicate
+			return
+		}
+		for _, a := range ants {
+			walk(a)
+		}
+	}
+	walk(w)
+	return out
+}

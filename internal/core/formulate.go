@@ -1,0 +1,374 @@
+package core
+
+import (
+	"sqo/internal/predicate"
+	"sqo/internal/query"
+)
+
+// predState tracks one present predicate through the formulation passes.
+type predState struct {
+	id      int
+	pred    predicate.Predicate
+	tag     Tag
+	inQuery bool
+	dropped bool // removed by class elimination
+	pinned  bool // witness of a class elimination; must be retained
+}
+
+// formulate implements the paper's Query Formulation step (Section 3.4):
+// derive the final tag of every predicate from the table, apply class
+// elimination if desirable, run cost-benefit analysis on optional predicates,
+// and emit a query containing only the imperative and retained optional
+// predicates. The paper's order is followed — class elimination precedes the
+// per-predicate profitability pass, which is why the worked example can drop
+// supplier.name = "SFI" without ever costing it.
+//
+// Two soundness guards sharpen the paper's description (see chase.go):
+// class elimination must prove every original predicate on the victim
+// derivable from retained predicates (and pins those witnesses), and a final
+// repair pass restores any original predicate the retained set cannot
+// derive.
+func (o *Optimizer) formulate(t *table) *Result {
+	res := &Result{FinalTags: map[string]Tag{}}
+
+	m := t.pool.Len()
+	var states []*predState
+	stateByID := map[int]*predState{}
+	for id := 0; id < m; id++ {
+		if !t.present[id] {
+			continue
+		}
+		st := &predState{id: id, pred: t.pool.At(id), tag: t.tags[id], inQuery: t.inQuery[id]}
+		states = append(states, st)
+		stateByID[id] = st
+	}
+
+	// Contradiction detection (extension): every present predicate is
+	// implied by the original query, so any contradicting pair proves the
+	// result empty in all legal database states.
+	if o.opts.DetectContradictions {
+	outer:
+		for i := 0; i < len(states); i++ {
+			for j := i + 1; j < len(states); j++ {
+				t.ops++
+				if states[i].pred.Contradicts(states[j].pred) {
+					res.EmptyResult = true
+					break outer
+				}
+			}
+		}
+	}
+
+	// --- class elimination (King's rule, chase-checked) -----------------
+	classes := append([]string(nil), t.q.Classes...)
+	rels := append([]string(nil), t.q.Relationships...)
+	if o.opts.rules().Has(RuleClassElimination) {
+		for {
+			victim, viaRel := o.eliminationCandidate(t, classes, rels, states, stateByID)
+			if victim == "" {
+				break
+			}
+			classes = remove(classes, victim)
+			rels = remove(rels, viaRel)
+			for _, st := range states {
+				if !st.dropped && st.pred.References(victim) {
+					st.dropped = true
+				}
+			}
+			t.trace = append(t.trace, Transformation{
+				Kind:  TransformClassElimination,
+				Class: victim,
+			})
+		}
+	}
+
+	// --- cost-benefit analysis on optional predicates ------------------
+	// Build the working query with the imperative predicates only, then
+	// decide which optionals to keep: exact subset selection when the
+	// cost model can price whole queries, greedy fixpoint otherwise.
+	working := &query.Query{
+		Project:       append([]predicate.AttrRef(nil), t.q.Project...),
+		Relationships: rels,
+		Classes:       classes,
+	}
+	for _, st := range states {
+		if st.dropped || st.tag != TagImperative {
+			continue
+		}
+		working = appendPred(working, st.pred)
+	}
+	var optionals []*predState
+	for _, st := range states {
+		if st.dropped || st.tag != TagOptional {
+			continue
+		}
+		if st.pinned {
+			// Elimination witnesses are kept unconditionally; they
+			// join the working set rather than the choice set.
+			working = appendPred(working, st.pred)
+			continue
+		}
+		optionals = append(optionals, st)
+	}
+	kept := o.selectOptionals(working, optionals)
+	for i, st := range optionals {
+		if kept[i] {
+			continue
+		}
+		// "Those optional predicates that are not found to be
+		// profitable would be re-classified as redundant."
+		st.tag = TagRedundant
+		t.trace = append(t.trace, Transformation{
+			Kind:   TransformDiscardOptional,
+			Pred:   st.pred,
+			NewTag: TagRedundant,
+		})
+	}
+
+	// --- soundness repair ------------------------------------------------
+	// Every original predicate still on a surviving class must be
+	// derivable from what the formulated query retains; otherwise it is
+	// restored as imperative. (Mutually-implying constraints can tag two
+	// predicates optional through each other, and the cost pass might
+	// drop both.)
+	for {
+		var retained []int
+		for _, st := range states {
+			if !st.dropped && st.tag != TagRedundant {
+				retained = append(retained, st.id)
+			}
+		}
+		ch := newChase(t, retained)
+		promoted := false
+		for _, st := range states {
+			if st.dropped || !st.inQuery || st.tag != TagRedundant {
+				continue
+			}
+			if !ch.derivable(st.id) {
+				st.tag = TagImperative
+				t.trace = append(t.trace, Transformation{
+					Kind:   TransformRestoreSupport,
+					Pred:   st.pred,
+					NewTag: TagImperative,
+				})
+				promoted = true
+				break // rebuild the chase with the new support
+			}
+		}
+		if !promoted {
+			break
+		}
+	}
+
+	// --- subsumption among retained predicates -------------------------
+	// A retained predicate implied by another retained predicate filters
+	// nothing further; drop it (soundness: every present predicate is
+	// implied by the original query, and the implying predicate stays).
+	if !o.opts.DisableSubsumption {
+		isRetained := func(st *predState) bool {
+			return !st.dropped && st.tag != TagRedundant
+		}
+		for _, weak := range states {
+			if !isRetained(weak) {
+				continue
+			}
+			for _, strong := range states {
+				if strong == weak || !isRetained(strong) {
+					continue
+				}
+				t.ops++
+				if strong.pred.Implies(weak.pred) {
+					weak.dropped = true
+					t.trace = append(t.trace, Transformation{
+						Kind: TransformSubsumption,
+						Pred: weak.pred,
+					})
+					break
+				}
+			}
+		}
+	}
+
+	// --- emit -----------------------------------------------------------
+	out := &query.Query{
+		Project:       append([]predicate.AttrRef(nil), t.q.Project...),
+		Relationships: rels,
+		Classes:       classes,
+	}
+	for _, st := range states {
+		res.FinalTags[st.pred.Key()] = st.tag
+		res.tagged = append(res.tagged, TaggedPredicate{Pred: st.pred, Tag: st.tag})
+		if st.dropped || st.tag == TagRedundant {
+			continue
+		}
+		out = appendPred(out, st.pred)
+	}
+	res.Optimized = out
+	res.Trace = t.trace
+	return res
+}
+
+// maxSubsetSearch caps the exact optional-subset search: up to 2^10 whole-
+// query estimates. Relevant constraint sets rarely yield more optionals.
+const maxSubsetSearch = 10
+
+// selectOptionals decides which optional predicates to retain. With a
+// QueryEstimator cost model and few enough optionals it minimizes the
+// estimated cost over all subsets; otherwise it runs the per-predicate
+// profitable(p) test to a fixpoint (a predicate can become profitable once
+// another kept predicate changes the plan).
+func (o *Optimizer) selectOptionals(working *query.Query, optionals []*predState) []bool {
+	kept := make([]bool, len(optionals))
+	if len(optionals) == 0 {
+		return kept
+	}
+	if est, ok := o.opts.Cost.(QueryEstimator); ok && len(optionals) <= maxSubsetSearch {
+		bestMask, bestCost := 0, est.EstimateQuery(working)
+		for mask := 1; mask < 1<<len(optionals); mask++ {
+			cand := working.Clone()
+			for i := range optionals {
+				if mask&(1<<i) != 0 {
+					cand = appendPred(cand, optionals[i].pred)
+				}
+			}
+			if c := est.EstimateQuery(cand); c < bestCost {
+				bestMask, bestCost = mask, c
+			}
+		}
+		for i := range optionals {
+			if bestMask&(1<<i) != 0 {
+				kept[i] = true
+				working = appendPred(working, optionals[i].pred)
+			}
+		}
+		return kept
+	}
+	// Greedy fixpoint on the per-predicate test.
+	for changed := true; changed; {
+		changed = false
+		for i, st := range optionals {
+			if kept[i] {
+				continue
+			}
+			if o.opts.Cost.Profitable(working, st.pred) {
+				kept[i] = true
+				working = appendPred(working, st.pred)
+				changed = true
+			}
+		}
+	}
+	return kept
+}
+
+// eliminationCandidate finds one class that can be dropped: not projected,
+// dangling on exactly one relationship, reached from the retained side by a
+// total single-valued link, judged beneficial by the cost model, and — the
+// soundness core — every original predicate on it must be derivable from the
+// present predicates of the other classes. The witnesses of those
+// derivations are pinned (promoted to imperative) so later passes cannot
+// discard them. It returns the class and its relationship, or "" when none
+// qualifies.
+func (o *Optimizer) eliminationCandidate(t *table, classes, rels []string, states []*predState, stateByID map[int]*predState) (string, string) {
+	if len(classes) <= 1 {
+		return "", ""
+	}
+	for _, class := range classes {
+		if t.q.ProjectsFrom(class) {
+			continue
+		}
+		// Dangling: exactly one relationship in the query touches it.
+		var touching []string
+		for _, rn := range rels {
+			if r := o.schema.Relationship(rn); r != nil && r.Involves(class) {
+				touching = append(touching, rn)
+			}
+		}
+		if len(touching) != 1 {
+			continue
+		}
+		r := o.schema.Relationship(touching[0])
+		other, _ := r.Other(class)
+		// Safety (DESIGN.md deviation #4): every retained instance
+		// must link to exactly one instance of the victim, so removing
+		// the join changes neither membership nor multiplicity.
+		if !r.SingleValuedFrom(other) || !r.TotalFrom(other) {
+			continue
+		}
+
+		// Derivability: original predicates on the victim must follow
+		// from predicates that survive the elimination.
+		var base []int
+		var targets []*predState
+		for _, st := range states {
+			if st.dropped {
+				continue
+			}
+			if st.pred.References(class) {
+				if st.inQuery {
+					targets = append(targets, st)
+				}
+				continue
+			}
+			base = append(base, st.id)
+		}
+		ch := newChase(t, base)
+		ok := true
+		supportIDs := map[int]bool{}
+		for _, target := range targets {
+			if !ch.derivable(target.id) {
+				ok = false
+				break
+			}
+			for _, s := range ch.supports(target.id) {
+				supportIDs[s] = true
+			}
+		}
+		if !ok {
+			continue
+		}
+		if !o.opts.Cost.ClassEliminationBeneficial(t.q, class) {
+			continue
+		}
+		// Pin the witnesses: they keep their tags (the paper's worked
+		// example reports cargo.desc = "frozen food" as optional) but
+		// can no longer be discarded.
+		for id := range supportIDs {
+			st := stateByID[id]
+			if st == nil || st.dropped || st.pinned || st.tag == TagImperative {
+				continue
+			}
+			st.pinned = true
+			if st.tag == TagRedundant {
+				// A redundant witness would not survive emission;
+				// it must come back as a real predicate.
+				st.tag = TagOptional
+			}
+			t.trace = append(t.trace, Transformation{
+				Kind:   TransformRestoreSupport,
+				Pred:   st.pred,
+				NewTag: st.tag,
+			})
+		}
+		return class, touching[0]
+	}
+	return "", ""
+}
+
+func appendPred(q *query.Query, p predicate.Predicate) *query.Query {
+	if p.IsJoin() {
+		q.Joins = append(q.Joins, p)
+	} else {
+		q.Selects = append(q.Selects, p)
+	}
+	return q
+}
+
+func remove(list []string, item string) []string {
+	out := list[:0:0]
+	for _, s := range list {
+		if s != item {
+			out = append(out, s)
+		}
+	}
+	return out
+}

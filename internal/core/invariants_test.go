@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"sqo/internal/costmodel"
+	"sqo/internal/datagen"
+	"sqo/internal/engine"
+	"sqo/internal/pathgen"
+)
+
+// TestTraceTagsMonotone checks the algorithm's central structural invariant
+// on a real workload: once a predicate's tag appears in the trace, any later
+// trace entry for the same predicate carries an equal or lower tag (the
+// restore-support guard is the sanctioned exception — it may raise a tag,
+// and must be the only thing that does).
+func TestTraceTagsMonotone(t *testing.T) {
+	db := datagen.MustGenerate(datagen.DB1())
+	cat := datagen.Constraints()
+	model := costmodel.New(db.Schema(), db.Analyze(), engine.DefaultWeights)
+	opt := NewOptimizer(db.Schema(), CatalogSource{Catalog: cat}, Options{Cost: model})
+	gen := pathgen.NewGenerator(db, cat, pathgen.Options{Seed: 33})
+	queries, err := gen.Workload(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		res, err := opt.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := map[string]Tag{}
+		for _, tr := range res.Trace {
+			if tr.Class != "" {
+				continue // class eliminations carry no predicate
+			}
+			key := tr.Pred.Key()
+			prev, seen := last[key]
+			if seen && tr.NewTag > prev && tr.Kind != TransformRestoreSupport {
+				t.Errorf("tag raised outside restore-support: %s %v -> %v (%s)\nquery: %s",
+					tr.Pred, prev, tr.NewTag, tr.Kind, q)
+			}
+			last[key] = tr.NewTag
+		}
+	}
+}
+
+// TestFinalTagsConsistentWithOutput: every predicate in the optimized query
+// carries a non-redundant final tag, and every redundant-tagged predicate is
+// absent from it.
+func TestFinalTagsConsistentWithOutput(t *testing.T) {
+	db := datagen.MustGenerate(datagen.DB1())
+	cat := datagen.Constraints()
+	model := costmodel.New(db.Schema(), db.Analyze(), engine.DefaultWeights)
+	opt := NewOptimizer(db.Schema(), CatalogSource{Catalog: cat}, Options{Cost: model})
+	gen := pathgen.NewGenerator(db, cat, pathgen.Options{Seed: 34})
+	queries, err := gen.Workload(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		res, err := opt.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inOutput := map[string]bool{}
+		for _, p := range res.Optimized.Predicates() {
+			inOutput[p.Key()] = true
+		}
+		for key, tag := range res.FinalTags {
+			if tag == TagRedundant && inOutput[key] {
+				t.Errorf("redundant predicate in output: %s\nquery: %s\nout: %s", key, q, res.Optimized)
+			}
+		}
+		for _, p := range res.Optimized.Predicates() {
+			if tag, ok := res.FinalTags[p.Key()]; ok && tag == TagRedundant {
+				t.Errorf("output predicate %s tagged redundant", p)
+			}
+		}
+	}
+}
+
+// TestOptimizedQueriesAlwaysValidate: formulation output is always a valid
+// query against the schema — classes connected, predicates resolvable.
+func TestOptimizedQueriesAlwaysValidate(t *testing.T) {
+	db := datagen.MustGenerate(datagen.DB2())
+	cat := datagen.Constraints()
+	model := costmodel.New(db.Schema(), db.Analyze(), engine.DefaultWeights)
+	for _, opts := range []Options{
+		{Cost: model},
+		{Cost: model, UsePriorities: true, Budget: 1},
+		{Cost: model, DisableImpliedAntecedents: true},
+		{},
+	} {
+		opt := NewOptimizer(db.Schema(), CatalogSource{Catalog: cat}, opts)
+		gen := pathgen.NewGenerator(db, cat, pathgen.Options{Seed: 35})
+		queries, err := gen.Workload(20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range queries {
+			res, err := opt.Optimize(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Optimized.Validate(db.Schema()); err != nil {
+				t.Errorf("invalid output: %v\nin:  %s\nout: %s", err, q, res.Optimized)
+			}
+		}
+	}
+}

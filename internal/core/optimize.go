@@ -1,0 +1,290 @@
+package core
+
+import (
+	"time"
+
+	"sqo/internal/constraint"
+	"sqo/internal/predicate"
+	"sqo/internal/query"
+)
+
+// Stats summarizes one optimization run.
+type Stats struct {
+	// RelevantConstraints is n: constraints relevant to the query.
+	RelevantConstraints int
+	// Predicates is m: distinct predicates across query and constraints.
+	Predicates int
+	// Fires counts transformations actually applied.
+	Fires int
+	// Ops counts primitive table operations (cell writes, scans,
+	// implication checks). The experiment harness converts this into a
+	// deterministic "transformation cost" comparable with execution cost.
+	Ops int64
+	// TransformDuration is the wall-clock time of initialization plus the
+	// transformation loop — what Figure 4.1 reports. The paper excludes
+	// the formulation step's cost-benefit analyses from its measurements
+	// ("the cost-benefit analyses in the query formulation step are not
+	// considered"), and so does this field.
+	TransformDuration time.Duration
+	// Duration is the wall-clock time of the whole optimization,
+	// including retrieval and formulation.
+	Duration time.Duration
+}
+
+// Result is the outcome of optimizing one query.
+type Result struct {
+	// Original is the input query (never mutated).
+	Original *query.Query
+	// Optimized is the formulated output query.
+	Optimized *query.Query
+	// EmptyResult is true when contradiction detection proved that the
+	// query returns no instances in any database state satisfying the
+	// constraints. Optimized is still populated.
+	EmptyResult bool
+	// FinalTags maps every predicate that was present at the end of the
+	// transformation (original or introduced) to its final tag, keyed by
+	// predicate.Key().
+	FinalTags map[string]Tag
+	// Trace lists the transformations in application order.
+	Trace []Transformation
+	// Stats carries counters and timing.
+	Stats Stats
+
+	tagged []TaggedPredicate
+}
+
+// TaggedPredicate pairs a predicate with its final tag, for display.
+type TaggedPredicate struct {
+	Pred predicate.Predicate
+	Tag  Tag
+}
+
+// TaggedPredicates returns the final classification of every predicate that
+// was present at the end of the transformation, in deterministic (pool)
+// order — the human-readable companion of FinalTags.
+func (r *Result) TaggedPredicates() []TaggedPredicate {
+	return append([]TaggedPredicate(nil), r.tagged...)
+}
+
+// Optimize runs the full algorithm of Section 3 on q and returns the
+// transformed query. The input query is not modified. An invalid query
+// (per query.Validate) yields an error.
+func (o *Optimizer) Optimize(q *query.Query) (*Result, error) {
+	start := time.Now()
+	if err := q.Validate(o.schema); err != nil {
+		return nil, err
+	}
+
+	relevant := o.source.Retrieve(q)
+	transformStart := time.Now()
+	t := newTable(q, o.schema, relevant, o.opts)
+
+	// Main loop (Figure 3.1): update the queue, drain it, repeat until an
+	// update leaves the queue empty.
+	budget := o.opts.Budget
+	fires := 0
+	for {
+		t.updateQueue()
+		if t.queue.Len() == 0 {
+			break
+		}
+		for t.queue.Len() > 0 {
+			if budget > 0 && fires >= budget {
+				// Budget exhausted: stop transforming; whatever
+				// tags exist now feed formulation.
+				t.drainQueue()
+				break
+			}
+			row := t.queue.pop()
+			t.queued[row] = false
+			if t.fire(row) {
+				fires++
+			}
+		}
+		if budget > 0 && fires >= budget {
+			break
+		}
+	}
+
+	transformDur := time.Since(transformStart)
+
+	res := o.formulate(t)
+	res.Original = q
+	res.Stats = Stats{
+		RelevantConstraints: len(t.constraints),
+		Predicates:          t.pool.Len(),
+		Fires:               fires,
+		Ops:                 t.ops,
+		TransformDuration:   transformDur,
+		Duration:            time.Since(start),
+	}
+	return res, nil
+}
+
+// updateQueue implements the paper's "Update Transformation Queue"
+// (Section 3.2): enqueue every constraint that can fire, and drop from C the
+// constraints that can never fire again.
+func (t *table) updateQueue() {
+	for i := range t.constraints {
+		t.ops++
+		if t.fired[i] || t.removed[i] || t.queued[i] {
+			continue
+		}
+		cons := t.consCol[i]
+		switch t.cells[i][cons] {
+		case CellRedundant:
+			// Cannot be lowered further.
+			t.removed[i] = true
+		case CellOptional:
+			// Only an intra-class constraint with a non-indexed
+			// consequent can lower optional to redundant
+			// (Table 3.1); inter-class constraints are spent.
+			if t.producedTag(i) == TagRedundant {
+				t.maybeEnqueue(i)
+			} else {
+				t.removed[i] = true
+			}
+		case CellImperative:
+			if t.opts.rules().Has(RuleElimination) {
+				t.maybeEnqueue(i)
+			}
+		case CellAbsentConsequent:
+			if t.opts.rules().Has(RuleIntroduction) {
+				t.maybeEnqueue(i)
+			}
+		}
+	}
+}
+
+// maybeEnqueue inserts row i into the queue when all its antecedent
+// predicates are present.
+func (t *table) maybeEnqueue(i int) {
+	for _, col := range t.antsCols[i] {
+		t.ops++
+		if t.cells[i][col] != CellPresentAntecedent {
+			return
+		}
+	}
+	t.queued[i] = true
+	t.queue.push(i, t.priority(i))
+}
+
+// priority orders queue entries under Options.UsePriorities, implementing
+// the Section 4 preference: "index introduction is likely to be more
+// profitable than predicate elimination, and predicate elimination is
+// preferred over predicate introduction".
+func (t *table) priority(i int) int {
+	cons := t.consCol[i]
+	introducing := t.cells[i][cons] == CellAbsentConsequent
+	switch {
+	case introducing && t.consequentIndexed(i):
+		return 0 // index introduction
+	case !introducing:
+		return 1 // restriction elimination
+	default:
+		return 2 // plain restriction introduction
+	}
+}
+
+// drainQueue empties the queue without firing (budget exhaustion).
+func (t *table) drainQueue() {
+	for t.queue.Len() > 0 {
+		row := t.queue.pop()
+		t.queued[row] = false
+	}
+}
+
+// fire implements one step of the paper's Transformation algorithm
+// (Section 3.3): apply constraint row's transformation by lowering (or
+// assigning) its consequent's tag, then update the consequent's column across
+// all rows. Returns whether a transformation actually happened (a constraint
+// whose work was already done by an earlier firing is a no-op, mirroring the
+// paper's "some cₖ ahead of cᵢ in Q has already lowered t(cᵢ,pⱼ) — ignore").
+func (t *table) fire(row int) bool {
+	t.fired[row] = true
+	t.removed[row] = true
+	cons := t.consCol[row]
+	cell := t.cells[row][cons]
+	newTag := t.producedTag(row)
+
+	var kind TransformKind
+	switch cell {
+	case CellImperative, CellOptional:
+		// Restriction elimination: only ever lower the tag
+		// (monotonicity; DESIGN.md deviation #1).
+		if newTag >= tagOf(cell) {
+			return false
+		}
+		kind = TransformElimination
+	case CellAbsentConsequent:
+		// Index/restriction introduction (Table 3.2). A predicate
+		// another constraint already introduced at the same or a lower
+		// tag needs no second introduction.
+		if t.present[cons] && t.tags[cons] <= newTag {
+			return false
+		}
+		kind = TransformIntroduction
+	default:
+		return false
+	}
+
+	t.applyTag(cons, newTag)
+	t.trace = append(t.trace, Transformation{
+		Kind:       kind,
+		Constraint: t.constraints[row].ID,
+		Pred:       t.pool.At(cons),
+		NewTag:     newTag,
+	})
+	return true
+}
+
+// applyTag makes the predicate in column cons present with (at most) the
+// given tag and updates the column across all rows, plus — under implication
+// matching — the columns of everything the predicate implies.
+func (t *table) applyTag(cons int, newTag Tag) {
+	if t.present[cons] {
+		if newTag < t.tags[cons] {
+			t.tags[cons] = newTag
+		}
+	} else {
+		t.present[cons] = true
+		t.tags[cons] = newTag
+	}
+	effective := t.tags[cons]
+
+	for k := range t.constraints {
+		t.ops++
+		switch t.cells[k][cons] {
+		case CellAbsentAntecedent:
+			// The predicate is now implied by the query, so
+			// constraints using it as an antecedent may fire.
+			t.cells[k][cons] = CellPresentAntecedent
+		case CellImperative, CellOptional, CellRedundant:
+			t.cells[k][cons] = cellForTag(effective)
+		}
+	}
+
+	// Presence ripples to implied predicates' antecedent cells.
+	if t.implied != nil {
+		for _, j := range t.implied[cons] {
+			for k := range t.constraints {
+				t.ops++
+				if t.cells[k][j] == CellAbsentAntecedent {
+					t.cells[k][j] = CellPresentAntecedent
+				}
+			}
+		}
+	}
+}
+
+// relevantConstraints exposes the rows for tests.
+func (t *table) relevantConstraints() []*constraint.Constraint { return t.constraints }
+
+// predicateTag returns the current presence and tag of a predicate.
+func (t *table) predicateTag(p predicate.Predicate) (Tag, bool) {
+	id, ok := t.pool.Lookup(p)
+	if !ok || !t.present[id] {
+		return 0, false
+	}
+	return t.tags[id], true
+}

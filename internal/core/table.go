@@ -1,0 +1,305 @@
+package core
+
+import (
+	"container/heap"
+
+	"sqo/internal/constraint"
+	"sqo/internal/predicate"
+	"sqo/internal/query"
+	"sqo/internal/schema"
+)
+
+// table is the transformation table T plus the bookkeeping around it: the
+// predicate pool defining the columns, the relevant constraints defining the
+// rows, per-predicate presence/tag state, and the transformation queue.
+type table struct {
+	q    *query.Query
+	sch  *schema.Schema
+	opts Options
+
+	pool        *predicate.Pool
+	constraints []*constraint.Constraint
+	cells       [][]Cell // cells[row][col]
+
+	consCol  []int   // per row: column of the consequent
+	antsCols [][]int // per row: columns of the antecedents
+
+	present []bool // per column: predicate is in the query or introduced
+	inQuery []bool // per column: predicate appeared in the original query
+	tags    []Tag  // per column: current tag; meaningful when present
+
+	fired   []bool // per row: constraint already applied
+	removed []bool // per row: constraint removed from C (spent)
+	queued  []bool // per row: constraint currently in the queue
+
+	// implied[j] lists the columns whose predicates are implied by
+	// predicate j (excluding j itself). Used for implication-aware
+	// antecedent matching; nil when disabled.
+	implied [][]int
+
+	queue fireQueue
+
+	ops   int64 // primitive operation counter (cost accounting)
+	trace []Transformation
+}
+
+// Transformation records one applied (or formulation-time) action for the
+// explain trace.
+type Transformation struct {
+	Kind       TransformKind
+	Constraint string // constraint ID; empty for formulation actions
+	Pred       predicate.Predicate
+	Class      string // class name for class eliminations
+	NewTag     Tag
+}
+
+// TransformKind labels trace entries.
+type TransformKind uint8
+
+const (
+	// TransformElimination is a restriction elimination: a present
+	// predicate's tag was lowered.
+	TransformElimination TransformKind = iota
+	// TransformIntroduction is an index/restriction introduction: an
+	// absent consequent became present.
+	TransformIntroduction
+	// TransformDiscardOptional is the formulation step demoting a
+	// non-profitable optional predicate to redundant.
+	TransformDiscardOptional
+	// TransformSubsumption is the formulation step dropping a predicate
+	// implied by another retained predicate.
+	TransformSubsumption
+	// TransformClassElimination removed a dangling class.
+	TransformClassElimination
+	// TransformRestoreSupport promoted a predicate back to imperative
+	// because the retained set could not derive an original predicate
+	// without it (the soundness guard of chase.go).
+	TransformRestoreSupport
+)
+
+// String names the transformation kind.
+func (k TransformKind) String() string {
+	switch k {
+	case TransformElimination:
+		return "restriction-elimination"
+	case TransformIntroduction:
+		return "restriction-introduction"
+	case TransformDiscardOptional:
+		return "discard-optional"
+	case TransformSubsumption:
+		return "subsumption"
+	case TransformClassElimination:
+		return "class-elimination"
+	case TransformRestoreSupport:
+		return "restore-support"
+	default:
+		return "transform(?)"
+	}
+}
+
+// fireQueue is the transformation queue Q: FIFO by default, priority-ordered
+// under Options.UsePriorities. Entries are row indices.
+type fireQueue struct {
+	entries    []queueEntry
+	priorities bool
+	seq        int
+}
+
+type queueEntry struct {
+	row      int
+	priority int // lower fires first
+	seq      int // FIFO tiebreak
+}
+
+func (fq *fireQueue) Len() int { return len(fq.entries) }
+func (fq *fireQueue) Less(i, j int) bool {
+	a, b := fq.entries[i], fq.entries[j]
+	if fq.priorities && a.priority != b.priority {
+		return a.priority < b.priority
+	}
+	return a.seq < b.seq
+}
+func (fq *fireQueue) Swap(i, j int) { fq.entries[i], fq.entries[j] = fq.entries[j], fq.entries[i] }
+func (fq *fireQueue) Push(x any)    { fq.entries = append(fq.entries, x.(queueEntry)) }
+func (fq *fireQueue) Pop() any {
+	e := fq.entries[len(fq.entries)-1]
+	fq.entries = fq.entries[:len(fq.entries)-1]
+	return e
+}
+
+func (fq *fireQueue) push(row, priority int) {
+	fq.seq++
+	heap.Push(fq, queueEntry{row: row, priority: priority, seq: fq.seq})
+}
+
+func (fq *fireQueue) pop() int {
+	return heap.Pop(fq).(queueEntry).row
+}
+
+// newTable implements the paper's Initialization step (Section 3.1): collect
+// relevant constraints into C, predicates into P, and fill the table.
+func newTable(q *query.Query, sch *schema.Schema, relevant []*constraint.Constraint, opts Options) *table {
+	t := &table{q: q, sch: sch, opts: opts, pool: predicate.NewPool()}
+
+	// Filter for relevance defensively: custom ConstraintSources may not
+	// pre-filter, and firing an irrelevant constraint would be unsound.
+	for _, c := range relevant {
+		if c.RelevantTo(q) {
+			t.constraints = append(t.constraints, c)
+		}
+	}
+
+	// P: predicates of the query and of the relevant constraints.
+	queryPreds := q.Predicates()
+	for _, p := range queryPreds {
+		t.pool.Intern(p)
+	}
+	for _, c := range t.constraints {
+		for _, a := range c.Antecedents {
+			t.pool.Intern(a)
+		}
+		t.pool.Intern(c.Consequent)
+	}
+
+	m := t.pool.Len()
+	n := len(t.constraints)
+	t.present = make([]bool, m)
+	t.inQuery = make([]bool, m)
+	t.tags = make([]Tag, m)
+	for _, p := range queryPreds {
+		id, _ := t.pool.Lookup(p)
+		t.present[id] = true
+		t.inQuery[id] = true
+		// "We begin by making all the predicates in the query
+		// imperative" — unless proven otherwise they contribute to the
+		// results.
+		t.tags[id] = TagImperative
+	}
+
+	if !opts.DisableImpliedAntecedents {
+		t.buildImplied()
+	}
+
+	// Fill the table per the paper's Initialization algorithm. Consequent
+	// classification takes precedence over antecedent (a predicate that is
+	// both in one constraint would make the constraint trivial; the
+	// closure never produces those, but be deterministic anyway).
+	t.cells = make([][]Cell, n)
+	t.consCol = make([]int, n)
+	t.antsCols = make([][]int, n)
+	t.fired = make([]bool, n)
+	t.removed = make([]bool, n)
+	t.queued = make([]bool, n)
+	for i, c := range t.constraints {
+		row := make([]Cell, m)
+		t.ops += int64(m)
+		cons, _ := t.pool.Lookup(c.Consequent)
+		t.consCol[i] = cons
+		if t.present[cons] {
+			row[cons] = cellForTag(t.tags[cons])
+		} else {
+			row[cons] = CellAbsentConsequent
+		}
+		for _, a := range c.Antecedents {
+			col, _ := t.pool.Lookup(a)
+			if col == cons {
+				continue
+			}
+			t.antsCols[i] = append(t.antsCols[i], col)
+			if t.predicatePresent(col) {
+				row[col] = CellPresentAntecedent
+			} else {
+				row[col] = CellAbsentAntecedent
+			}
+		}
+		t.cells[i] = row
+	}
+	t.queue.priorities = opts.UsePriorities
+	return t
+}
+
+// buildImplied precomputes the implication adjacency between pooled
+// predicates (DESIGN.md deviation #3).
+func (t *table) buildImplied() {
+	m := t.pool.Len()
+	t.implied = make([][]int, m)
+	for i := 0; i < m; i++ {
+		pi := t.pool.At(i)
+		for j := 0; j < m; j++ {
+			t.ops++
+			if i == j {
+				continue
+			}
+			if pi.Implies(t.pool.At(j)) {
+				t.implied[i] = append(t.implied[i], j)
+			}
+		}
+	}
+}
+
+// predicatePresent reports whether the predicate in the given column should
+// count as present for antecedent matching: literally present, or implied by
+// a present predicate when implication matching is on.
+func (t *table) predicatePresent(col int) bool {
+	if t.present[col] {
+		return true
+	}
+	if t.implied == nil {
+		return false
+	}
+	for id := range t.present {
+		if !t.present[id] {
+			continue
+		}
+		for _, j := range t.implied[id] {
+			if j == col {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// tagOf converts a consequent cell back to a Tag; callers guarantee the cell
+// is one of the three tag cells.
+func tagOf(c Cell) Tag {
+	switch c {
+	case CellRedundant:
+		return TagRedundant
+	case CellOptional:
+		return TagOptional
+	default:
+		return TagImperative
+	}
+}
+
+// producedTag is Tables 3.1 and 3.2 in one function: the tag a constraint
+// assigns its consequent, keyed on the constraint's intra/inter class and
+// whether the consequent predicate is indexed.
+func (t *table) producedTag(row int) Tag {
+	c := t.constraints[row]
+	if c.Kind() == constraint.Inter {
+		// The consequent might be evaluated before the antecedents and
+		// cut intermediate results: optional.
+		return TagOptional
+	}
+	// Intra-class: the antecedents already determine the instances
+	// returned from the class, so the consequent only helps if it can use
+	// an index.
+	if t.consequentIndexed(row) {
+		return TagOptional
+	}
+	return TagRedundant
+}
+
+// consequentIndexed reports whether the consequent predicate of the row is a
+// selective predicate on an indexed attribute (an "indexed predicate" in the
+// paper's terms). Join consequents have no index to exploit here.
+func (t *table) consequentIndexed(row int) bool {
+	p := t.constraints[row].Consequent
+	if p.IsJoin() {
+		return false
+	}
+	a, ok := t.sch.Attr(p.Left.Class, p.Left.Attr)
+	return ok && a.Indexed
+}

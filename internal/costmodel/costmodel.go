@@ -1,0 +1,283 @@
+// Package costmodel implements the "conventional query optimizer" cost
+// estimates the paper's formulation step leans on: the profitable(p) test for
+// optional predicates and the benefit estimate for class elimination.
+//
+// The model mirrors the engine's greedy pointer-traversal planner: it walks
+// the same plan shape over statistics instead of data, pricing simulated
+// physical events with the same weights. Estimates therefore track the
+// executor's metered costs closely enough for the retain-or-discard decisions
+// the optimizer delegates to it.
+package costmodel
+
+import (
+	"sqo/internal/engine"
+	"sqo/internal/predicate"
+	"sqo/internal/query"
+	"sqo/internal/schema"
+	"sqo/internal/storage"
+)
+
+// Model estimates query execution costs from a statistics snapshot.
+// It implements core.CostModel.
+type Model struct {
+	sch     *schema.Schema
+	stats   *storage.Stats
+	weights engine.CostWeights
+}
+
+// New builds a cost model over a schema and statistics snapshot.
+func New(sch *schema.Schema, stats *storage.Stats, weights engine.CostWeights) *Model {
+	return &Model{sch: sch, stats: stats, weights: weights}
+}
+
+// Selectivity estimates the fraction of a class's instances satisfying p.
+func (m *Model) Selectivity(p predicate.Predicate) float64 {
+	as := m.stats.Classes[p.Left.Class].Attrs[p.Left.Attr]
+	return p.Selectivity(as.Distinct, as.Min, as.Max, as.HasRange)
+}
+
+// EstimateQuery walks the engine's plan shape over statistics and returns the
+// estimated execution cost in cost units. Like the engine's planner, the
+// seed is chosen by the cheapest full walk over all candidate seed classes.
+func (m *Model) EstimateQuery(q *query.Query) float64 {
+	if len(q.Classes) == 0 {
+		return 0
+	}
+	selects := map[string][]predicate.Predicate{}
+	for _, p := range q.Selects {
+		selects[p.Left.Class] = append(selects[p.Left.Class], p)
+	}
+	best := 0.0
+	for i, cl := range q.Classes {
+		c := m.estimateFrom(q, cl, selects)
+		if i == 0 || c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+// estimateFrom walks the greedy plan seeded at the given class.
+func (m *Model) estimateFrom(q *query.Query, seed string, selects map[string][]predicate.Predicate) float64 {
+	cost := m.seedCost(seed, selects[seed])
+	// Estimated surviving bindings after the seed.
+	bindings := m.selectedCard(seed, selects[seed])
+
+	bound := map[string]bool{seed: true}
+	relUsed := map[string]bool{}
+	joinsDone := map[string]bool{}
+	bindings = m.applyJoins(q, bound, joinsDone, bindings)
+
+	for len(bound) < len(q.Classes) {
+		type cand struct {
+			class, rel, from string
+			est              float64
+		}
+		var best *cand
+		for _, rn := range q.Relationships {
+			if relUsed[rn] {
+				continue
+			}
+			r := m.sch.Relationship(rn)
+			if r == nil {
+				continue
+			}
+			var from, to string
+			switch {
+			case bound[r.Source] && !bound[r.Target]:
+				from, to = r.Source, r.Target
+			case bound[r.Target] && !bound[r.Source]:
+				from, to = r.Target, r.Source
+			default:
+				continue
+			}
+			est := m.selectedCard(to, selects[to])
+			if best == nil || est < best.est {
+				best = &cand{class: to, rel: rn, from: from, est: est}
+			}
+		}
+		if best == nil {
+			// Disconnected query: price the remaining classes as full
+			// scans so the estimate stays finite and pessimistic.
+			for _, cl := range q.Classes {
+				if !bound[cl] {
+					cost += float64(m.stats.Classes[cl].Pages) + 1
+					bound[cl] = true
+				}
+			}
+			break
+		}
+		relUsed[best.rel] = true
+		bound[best.class] = true
+
+		fan := m.stats.Rels[best.rel].Fanout[best.from]
+		fetched := bindings * fan
+		preds := float64(len(selects[best.class]))
+		cost += bindings*m.weights.LinkTraversal +
+			fetched*m.weights.ObjectFetch +
+			fetched*preds*m.weights.PredEval
+		sel := 1.0
+		for _, p := range selects[best.class] {
+			sel *= m.Selectivity(p)
+		}
+		bindings = fetched * sel
+		bindings = m.applyJoins(q, bound, joinsDone, bindings)
+	}
+	return cost
+}
+
+// applyJoins scales the binding estimate by the selectivity of join
+// predicates that became checkable, charging their evaluation.
+func (m *Model) applyJoins(q *query.Query, bound map[string]bool, done map[string]bool, bindings float64) float64 {
+	for _, j := range q.Joins {
+		if done[j.Key()] {
+			continue
+		}
+		ok := true
+		for _, cl := range j.Classes() {
+			if !bound[cl] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		done[j.Key()] = true
+		bindings *= m.joinSelectivity(q, j)
+	}
+	return bindings
+}
+
+// joinSelectivity estimates an attribute-attribute comparison: equality via
+// the larger distinct count (the System-R rule), ranges as the default 1/3.
+// When the two classes are already connected by one of the query's
+// relationships the independence assumption is indefensible — linked
+// instances are correlated, and in this OODB the semantic constraints make
+// θ-predicates over linked pairs typically tautological (c3: every drives
+// link satisfies licenseClass >= class). Such predicates get selectivity 1.
+func (m *Model) joinSelectivity(q *query.Query, j predicate.Predicate) float64 {
+	cls := j.Classes()
+	if len(cls) == 2 {
+		for _, rn := range q.Relationships {
+			r := m.sch.Relationship(rn)
+			if r == nil {
+				continue
+			}
+			if (r.Source == cls[0] && r.Target == cls[1]) || (r.Source == cls[1] && r.Target == cls[0]) {
+				return 1.0
+			}
+		}
+	}
+	switch j.Op {
+	case predicate.EQ:
+		dl := m.stats.Classes[j.Left.Class].Attrs[j.Left.Attr].Distinct
+		dr := m.stats.Classes[j.RightAttr.Class].Attrs[j.RightAttr.Attr].Distinct
+		d := dl
+		if dr > d {
+			d = dr
+		}
+		if d < 1 {
+			d = 1
+		}
+		return 1 / float64(d)
+	case predicate.NE:
+		return 0.9
+	default:
+		return 1.0 / 3.0
+	}
+}
+
+// seedCost estimates accessing a class as the plan seed: an index probe plus
+// matching fetches when an indexed predicate exists, otherwise a full scan
+// plus filter evaluation.
+func (m *Model) seedCost(class string, preds []predicate.Predicate) float64 {
+	cs := m.stats.Classes[class]
+	for _, p := range preds {
+		if m.indexUsable(class, p) {
+			matches := m.Selectivity(p) * float64(cs.Card)
+			rest := float64(len(preds) - 1)
+			return m.weights.IndexProbe +
+				matches*m.weights.ObjectFetch +
+				matches*rest*m.weights.PredEval
+		}
+	}
+	return float64(cs.Pages)*m.weights.Page +
+		float64(cs.Card)*float64(len(preds))*m.weights.PredEval
+}
+
+func (m *Model) indexUsable(class string, p predicate.Predicate) bool {
+	if p.IsJoin() || p.Op == predicate.NE {
+		return false
+	}
+	a, ok := m.sch.Attr(class, p.Left.Attr)
+	return ok && a.Indexed
+}
+
+// selectedCard estimates the instances of a class surviving its predicates.
+func (m *Model) selectedCard(class string, preds []predicate.Predicate) float64 {
+	est := float64(m.stats.Classes[class].Card)
+	for _, p := range preds {
+		est *= m.Selectivity(p)
+	}
+	return est
+}
+
+// Profitable implements core.CostModel: keeping p must beat not keeping it.
+// The query q arrives without p (the optimizer's working set).
+func (m *Model) Profitable(q *query.Query, p predicate.Predicate) bool {
+	without := m.EstimateQuery(q)
+	with := m.EstimateQuery(withPred(q, p))
+	return with < without
+}
+
+// ClassEliminationBeneficial implements core.CostModel: dropping the class
+// (with its relationships and predicates) must not increase the estimate.
+func (m *Model) ClassEliminationBeneficial(q *query.Query, class string) bool {
+	reduced := q.Clone()
+	reduced.Classes = without(reduced.Classes, class)
+	if len(reduced.Classes) == 0 {
+		return false
+	}
+	var rels []string
+	for _, rn := range reduced.Relationships {
+		if r := m.sch.Relationship(rn); r != nil && r.Involves(class) {
+			continue
+		}
+		rels = append(rels, rn)
+	}
+	reduced.Relationships = rels
+	reduced.Selects = dropRef(reduced.Selects, class)
+	reduced.Joins = dropRef(reduced.Joins, class)
+	return m.EstimateQuery(reduced) <= m.EstimateQuery(q)
+}
+
+func withPred(q *query.Query, p predicate.Predicate) *query.Query {
+	c := q.Clone()
+	if p.IsJoin() {
+		c.Joins = append(c.Joins, p)
+	} else {
+		c.Selects = append(c.Selects, p)
+	}
+	return c
+}
+
+func without(list []string, item string) []string {
+	var out []string
+	for _, s := range list {
+		if s != item {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func dropRef(preds []predicate.Predicate, class string) []predicate.Predicate {
+	var out []predicate.Predicate
+	for _, p := range preds {
+		if !p.References(class) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

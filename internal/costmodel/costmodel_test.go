@@ -1,0 +1,241 @@
+package costmodel
+
+import (
+	"testing"
+
+	"sqo/internal/engine"
+	"sqo/internal/predicate"
+	"sqo/internal/query"
+	"sqo/internal/schema"
+	"sqo/internal/storage"
+	"sqo/internal/value"
+)
+
+func testSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	return schema.NewBuilder().
+		Class("supplier",
+			schema.Attribute{Name: "name", Type: value.KindString, Indexed: true}).
+		Class("cargo",
+			schema.Attribute{Name: "desc", Type: value.KindString},
+			schema.Attribute{Name: "quantity", Type: value.KindInt}).
+		Class("vehicle",
+			schema.Attribute{Name: "desc", Type: value.KindString},
+			schema.Attribute{Name: "class", Type: value.KindInt}).
+		Relationship("supplies", "supplier", "cargo", schema.OneToMany).
+		Relationship("collects", "vehicle", "cargo", schema.OneToMany).
+		MustBuild()
+}
+
+// loadDB populates a database big enough for estimates to be meaningful:
+// 20 suppliers, 200 cargos, 10 vehicles.
+func loadDB(t *testing.T) *storage.Database {
+	t.Helper()
+	db := storage.NewDatabase(testSchema(t))
+	var suppliers, vehicles []storage.OID
+	for i := 0; i < 20; i++ {
+		oid, err := db.Insert("supplier", map[string]value.Value{
+			"name": value.String("sup" + string(rune('A'+i%26)))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		suppliers = append(suppliers, oid)
+	}
+	for i := 0; i < 10; i++ {
+		desc := "flatbed"
+		if i%5 == 0 {
+			desc = "refrigerated truck"
+		}
+		oid, err := db.Insert("vehicle", map[string]value.Value{
+			"desc": value.String(desc), "class": value.Int(int64(i%5 + 1))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vehicles = append(vehicles, oid)
+	}
+	descs := []string{"frozen food", "steel", "paper", "timber", "oil"}
+	for i := 0; i < 200; i++ {
+		oid, err := db.Insert("cargo", map[string]value.Value{
+			"desc":     value.String(descs[i%len(descs)]),
+			"quantity": value.Int(int64(i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Link("supplies", suppliers[i%len(suppliers)], oid); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Link("collects", vehicles[i%len(vehicles)], oid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func newModel(t *testing.T) (*Model, *storage.Database) {
+	t.Helper()
+	db := loadDB(t)
+	return New(db.Schema(), db.Analyze(), engine.DefaultWeights), db
+}
+
+func TestSelectivity(t *testing.T) {
+	m, _ := newModel(t)
+	eq := predicate.Eq("cargo", "desc", value.String("frozen food"))
+	if got := m.Selectivity(eq); got != 0.2 {
+		t.Errorf("eq selectivity = %v, want 1/5", got)
+	}
+	rng := predicate.Sel("cargo", "quantity", predicate.LT, value.Int(100))
+	got := m.Selectivity(rng)
+	if got < 0.45 || got > 0.55 {
+		t.Errorf("range selectivity = %v, want ~0.5", got)
+	}
+}
+
+func TestEstimateQueryOrdering(t *testing.T) {
+	m, _ := newModel(t)
+	base := query.New("cargo").AddProject("cargo", "desc")
+	withPred := base.Clone().AddSelect(predicate.Eq("cargo", "desc", value.String("steel")))
+	// A filter on a scanned class costs extra CPU but cannot reduce the
+	// scan itself: estimate must not drop.
+	if m.EstimateQuery(withPred) < m.EstimateQuery(base) {
+		t.Error("adding a filter to a single-class scan cannot reduce cost")
+	}
+	// Two-class query estimates exceed the single-class ones.
+	join := query.New("supplier", "cargo").
+		AddProject("cargo", "desc").
+		AddRelationship("supplies")
+	if m.EstimateQuery(join) <= m.EstimateQuery(base) {
+		t.Error("join estimate should exceed single scan")
+	}
+	if m.EstimateQuery(&query.Query{}) != 0 {
+		t.Error("empty query estimates zero")
+	}
+}
+
+// TestEstimateTracksEngine compares the model's estimate against metered
+// execution for a few queries: within a factor of 3 is good enough for
+// retain/discard decisions.
+func TestEstimateTracksEngine(t *testing.T) {
+	m, db := newModel(t)
+	e := engine.New(db)
+	queries := []*query.Query{
+		query.New("cargo").AddProject("cargo", "desc").
+			AddSelect(predicate.Eq("cargo", "desc", value.String("steel"))),
+		query.New("supplier", "cargo").AddProject("cargo", "desc").
+			AddSelect(predicate.Eq("supplier", "name", value.String("supA"))).
+			AddRelationship("supplies"),
+		query.New("vehicle", "cargo").AddProject("cargo", "desc").
+			AddSelect(predicate.Eq("vehicle", "desc", value.String("refrigerated truck"))).
+			AddSelect(predicate.Eq("cargo", "desc", value.String("frozen food"))).
+			AddRelationship("collects"),
+	}
+	for _, q := range queries {
+		res, err := e.Execute(q)
+		if err != nil {
+			t.Fatalf("Execute: %v", err)
+		}
+		actual := res.Cost(engine.DefaultWeights)
+		est := m.EstimateQuery(q)
+		if est <= 0 {
+			t.Errorf("estimate for %s is %v", q, est)
+			continue
+		}
+		ratio := est / actual
+		if ratio < 1.0/3 || ratio > 3 {
+			t.Errorf("estimate %v vs actual %v (ratio %.2f) for %s", est, actual, ratio, q)
+		}
+	}
+}
+
+func TestProfitableSelectivePredicate(t *testing.T) {
+	m, _ := newModel(t)
+	// Query traverses supplier -> cargo; a selective predicate on cargo
+	// cuts the bindings flowing on, so it pays for itself... but cargo is
+	// the last class, so cutting bindings there saves nothing downstream.
+	// Instead: predicate on vehicle (seed side) of a vehicle->cargo path.
+	q := query.New("vehicle", "cargo").
+		AddProject("cargo", "desc").
+		AddRelationship("collects")
+	p := predicate.Eq("vehicle", "desc", value.String("refrigerated truck"))
+	if !m.Profitable(q, p) {
+		t.Error("a selective predicate on the seed class should be profitable")
+	}
+	// A predicate on the terminal class only adds CPU.
+	pTerm := predicate.Sel("cargo", "quantity", predicate.NE, value.Int(-1))
+	if m.Profitable(q, pTerm) {
+		t.Error("a non-selective predicate on the last class should not be profitable")
+	}
+}
+
+func TestClassEliminationBeneficial(t *testing.T) {
+	m, _ := newModel(t)
+	// An unfiltered dangling class only adds traversals and fetches:
+	// dropping it is a pure win.
+	q := query.New("supplier", "cargo", "vehicle").
+		AddProject("vehicle", "desc").
+		AddRelationship("supplies").
+		AddRelationship("collects")
+	if !m.ClassEliminationBeneficial(q, "supplier") {
+		t.Error("dropping an unfiltered dangling class should be beneficial")
+	}
+	// A dangling class carrying a selective indexed predicate is a cheap
+	// plan seed; the cost model should veto its elimination.
+	seeded := q.Clone().AddSelect(predicate.Eq("supplier", "name", value.String("supA")))
+	if m.ClassEliminationBeneficial(seeded, "supplier") {
+		t.Error("dropping the indexed seed class should not be beneficial")
+	}
+	// Eliminating the only class is never allowed.
+	single := query.New("cargo").AddProject("cargo", "desc")
+	if m.ClassEliminationBeneficial(single, "cargo") {
+		t.Error("cannot eliminate the last class")
+	}
+}
+
+func TestJoinSelectivity(t *testing.T) {
+	m, _ := newModel(t)
+	// Without the linking relationship in the query, System-R rules apply.
+	bare := query.New("vehicle", "cargo")
+	eq := predicate.Join("vehicle", "class", predicate.EQ, "cargo", "quantity")
+	// cargo.quantity has 200 distinct values, vehicle.class 5: rule takes
+	// the larger -> 1/200.
+	if got := m.joinSelectivity(bare, eq); got != 1.0/200 {
+		t.Errorf("EQ join selectivity = %v, want 1/200", got)
+	}
+	rng := predicate.Join("vehicle", "class", predicate.LE, "cargo", "quantity")
+	if got := m.joinSelectivity(bare, rng); got != 1.0/3 {
+		t.Errorf("range join selectivity = %v, want 1/3", got)
+	}
+	ne := predicate.Join("vehicle", "class", predicate.NE, "cargo", "quantity")
+	if got := m.joinSelectivity(bare, ne); got != 0.9 {
+		t.Errorf("NE join selectivity = %v, want 0.9", got)
+	}
+	// With the classes linked by a query relationship, instances are
+	// correlated and the predicate is assumed non-filtering.
+	linked := query.New("vehicle", "cargo").AddRelationship("collects")
+	if got := m.joinSelectivity(linked, rng); got != 1.0 {
+		t.Errorf("linked-pair join selectivity = %v, want 1.0", got)
+	}
+}
+
+func TestEstimateWithJoinPredicates(t *testing.T) {
+	m, _ := newModel(t)
+	base := query.New("vehicle", "cargo").
+		AddProject("cargo", "desc").
+		AddRelationship("collects")
+	withJoin := base.Clone().
+		AddJoin(predicate.Join("vehicle", "class", predicate.LE, "cargo", "quantity"))
+	// The join predicate reduces bindings after the last step only; cost
+	// must not increase by more than its evaluation epsilon.
+	if m.EstimateQuery(withJoin) < m.EstimateQuery(base) {
+		t.Error("join predicate on final bindings should not reduce cost below base")
+	}
+}
+
+func TestDisconnectedQueryFallback(t *testing.T) {
+	m, _ := newModel(t)
+	// No relationship: the estimate still terminates and prices scans.
+	q := query.New("supplier", "vehicle").AddProject("supplier", "name")
+	if m.EstimateQuery(q) <= 0 {
+		t.Error("disconnected estimate should be positive and finite")
+	}
+}

@@ -1,0 +1,602 @@
+// Package datagen builds the evaluation world of the paper: a logistics
+// schema in the spirit of Figure 2.1, a semantic constraint catalog
+// averaging three constraints per object class (Section 4), and seeded,
+// constraint-satisfying database instances at the four scales of Table 4.1.
+//
+// The generator *enforces* every constraint while populating instances —
+// semantic constraints are integrity constraints, so legal database states
+// satisfy them by definition. engine.CheckCatalog verifies this in the tests.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sqo/internal/constraint"
+	"sqo/internal/predicate"
+	"sqo/internal/schema"
+	"sqo/internal/storage"
+	"sqo/internal/value"
+)
+
+// Schema returns the logistics schema: five core object classes joined by
+// six relationships, the shape reported in Table 4.1 (5 classes, 6
+// relationships). Engines pair 1:1 with vehicles; the three M:N
+// relationships carry the scalable link load.
+func Schema() *schema.Schema {
+	return schema.NewBuilder().
+		Class("supplier",
+			schema.Attribute{Name: "name", Type: value.KindString, Indexed: true},
+			schema.Attribute{Name: "address", Type: value.KindString},
+			schema.Attribute{Name: "rating", Type: value.KindInt, Indexed: true}).
+		Class("cargo",
+			schema.Attribute{Name: "code", Type: value.KindString, Indexed: true},
+			schema.Attribute{Name: "desc", Type: value.KindString},
+			schema.Attribute{Name: "quantity", Type: value.KindInt},
+			schema.Attribute{Name: "priority", Type: value.KindInt}).
+		Class("vehicle",
+			schema.Attribute{Name: "vehicle#", Type: value.KindString, Indexed: true},
+			schema.Attribute{Name: "desc", Type: value.KindString},
+			schema.Attribute{Name: "class", Type: value.KindInt},
+			schema.Attribute{Name: "capacity", Type: value.KindInt}).
+		Class("engine",
+			schema.Attribute{Name: "engine#", Type: value.KindString, Indexed: true},
+			schema.Attribute{Name: "capacity", Type: value.KindInt, Indexed: true},
+			schema.Attribute{Name: "emission", Type: value.KindInt}).
+		Class("driver",
+			schema.Attribute{Name: "name", Type: value.KindString, Indexed: true},
+			schema.Attribute{Name: "clearance", Type: value.KindString},
+			schema.Attribute{Name: "rank", Type: value.KindString},
+			schema.Attribute{Name: "licenseClass", Type: value.KindInt}).
+		// Every cargo has exactly one supplier; suppliers may be idle.
+		PartialRelationship("supplies", "supplier", "cargo", schema.OneToMany, false, true).
+		// Every cargo is collected by exactly one vehicle; every vehicle
+		// collects at least one cargo (the generator guarantees it).
+		Relationship("collects", "vehicle", "cargo", schema.OneToMany).
+		// Engines pair one-to-one with vehicles.
+		Relationship("engComp", "vehicle", "engine", schema.OneToOne).
+		// Every driver drives and every vehicle is driven.
+		Relationship("drives", "driver", "vehicle", schema.ManyToMany).
+		// Every engine is maintained by someone; not every driver maintains.
+		PartialRelationship("maintains", "driver", "engine", schema.ManyToMany, false, true).
+		// Inspections are sporadic on both sides.
+		PartialRelationship("inspects", "driver", "cargo", schema.ManyToMany, false, false).
+		MustBuild()
+}
+
+// Domain vocabularies. The generator and the workload generator share them.
+var (
+	VehicleKinds  = []string{"refrigerated truck", "flatbed", "tanker", "van"}
+	CargoKinds    = []string{"frozen food", "steel", "paper", "timber", "oil", "chemicals"}
+	DriverRanks   = []string{"trainee", "regular", "senior", "supervisor"}
+	Clearances    = []string{"confidential", "secret", "top secret"}
+	SupplierNames = []string{"SFI", "ChemCorp", "Pacific Trading", "Northern Mills", "Keppel Goods",
+		"Harbor Front", "Jurong Freight", "Changi Lines", "Merlion Exports", "Raffles Supply"}
+)
+
+// Constraints returns the semantic constraint catalog (17 Horn clauses, a mix
+// of intra- and inter-class rules averaging three per class, per Section 4).
+// Every generated database satisfies all of them.
+func Constraints() *constraint.Catalog {
+	sel := predicate.Sel
+	eq := predicate.Eq
+	s := func(v string) value.Value { return value.String(v) }
+	n := func(v int64) value.Value { return value.Int(v) }
+
+	return constraint.MustCatalog(
+		constraint.New("c1",
+			[]predicate.Predicate{eq("vehicle", "desc", s("refrigerated truck"))},
+			[]string{"collects"},
+			eq("cargo", "desc", s("frozen food")),
+		).WithDoc("refrigerated trucks can only be used to carry frozen food"),
+		constraint.New("c2",
+			[]predicate.Predicate{eq("cargo", "desc", s("frozen food"))},
+			[]string{"supplies"},
+			eq("supplier", "name", s("SFI")),
+		).WithDoc("we get frozen food only from the Singapore Food Industries"),
+		constraint.New("c3",
+			nil,
+			[]string{"drives"},
+			predicate.Join("driver", "licenseClass", predicate.GE, "vehicle", "class"),
+		).WithDoc("a driver can only drive vehicles whose classification is not higher than his license classification"),
+		constraint.New("c4",
+			[]predicate.Predicate{eq("driver", "rank", s("supervisor"))},
+			nil,
+			eq("driver", "clearance", s("top secret")),
+		).WithDoc("supervisors hold top secret clearance"),
+		constraint.New("c5",
+			[]predicate.Predicate{eq("cargo", "desc", s("chemicals"))},
+			[]string{"supplies"},
+			sel("supplier", "rating", predicate.GE, n(4)),
+		).WithDoc("chemicals come only from suppliers rated 4 or better"),
+		constraint.New("c6",
+			[]predicate.Predicate{eq("cargo", "desc", s("frozen food"))},
+			nil,
+			sel("cargo", "quantity", predicate.LE, n(500)),
+		).WithDoc("frozen food shipments are at most 500 units"),
+		constraint.New("c7",
+			[]predicate.Predicate{eq("vehicle", "desc", s("tanker"))},
+			[]string{"engComp"},
+			sel("engine", "capacity", predicate.GE, n(400)),
+		).WithDoc("tankers carry engines of at least 400 units capacity"),
+		constraint.New("c8",
+			[]predicate.Predicate{eq("cargo", "desc", s("oil"))},
+			[]string{"collects"},
+			eq("vehicle", "desc", s("tanker")),
+		).WithDoc("oil is collected only by tankers"),
+		constraint.New("c9",
+			[]predicate.Predicate{eq("vehicle", "desc", s("refrigerated truck"))},
+			nil,
+			sel("vehicle", "class", predicate.LE, n(2)),
+		).WithDoc("refrigerated trucks are classification 2 or below"),
+		constraint.New("c10",
+			[]predicate.Predicate{sel("engine", "capacity", predicate.GE, n(400))},
+			[]string{"maintains"},
+			sel("driver", "rank", predicate.NE, s("trainee")),
+		).WithDoc("trainees do not maintain heavy engines"),
+		constraint.New("c11",
+			[]predicate.Predicate{sel("engine", "capacity", predicate.GE, n(400))},
+			nil,
+			sel("engine", "emission", predicate.GE, n(3)),
+		).WithDoc("heavy engines emit at emission grade 3 or above"),
+		constraint.New("c12",
+			[]predicate.Predicate{eq("supplier", "name", s("SFI"))},
+			nil,
+			sel("supplier", "rating", predicate.GE, n(3)),
+		).WithDoc("SFI is rated 3 or better"),
+		constraint.New("c13",
+			[]predicate.Predicate{eq("cargo", "desc", s("chemicals"))},
+			[]string{"inspects"},
+			eq("driver", "clearance", s("top secret")),
+		).WithDoc("only top-secret-cleared drivers inspect chemicals"),
+		constraint.New("c14",
+			[]predicate.Predicate{eq("cargo", "desc", s("oil"))},
+			nil,
+			sel("cargo", "priority", predicate.GE, n(3)),
+		).WithDoc("oil shipments are priority 3 or above"),
+		constraint.New("c15",
+			[]predicate.Predicate{eq("driver", "rank", s("trainee"))},
+			nil,
+			sel("driver", "licenseClass", predicate.LE, n(2)),
+		).WithDoc("trainees hold license classification 2 or below"),
+		constraint.New("c16",
+			[]predicate.Predicate{eq("driver", "rank", s("trainee"))},
+			[]string{"drives"},
+			sel("vehicle", "class", predicate.LE, n(2)),
+		).WithDoc("trainees drive only vehicles of classification 2 or below (follows from c3 and c15)"),
+		constraint.New("c17",
+			[]predicate.Predicate{eq("supplier", "name", s("SFI"))},
+			[]string{"supplies"},
+			eq("cargo", "desc", s("frozen food")),
+		).WithDoc("the Singapore Food Industries supplies nothing but frozen food"),
+	)
+}
+
+// Config sizes one database instance. Engines always equal Vehicles (1:1).
+type Config struct {
+	Name      string
+	Suppliers int
+	Cargos    int
+	Vehicles  int
+	Drivers   int
+	// MxNLinks is the target link count for each of the three M:N
+	// relationships (drives, maintains, inspects). The generator first
+	// satisfies totality, then tops up to this count.
+	MxNLinks int
+	Seed     int64
+}
+
+// Classes returns the total instance count across the five classes.
+func (c Config) Classes() int {
+	return c.Suppliers + c.Cargos + c.Vehicles + c.Vehicles + c.Drivers
+}
+
+// DB1 through DB4 reproduce the four database instances of Table 4.1:
+// average class cardinality 52/104/208/208 and average relationship
+// cardinality 77/154/308/616.
+func DB1() Config {
+	return Config{Name: "DB1", Suppliers: 10, Cargos: 120, Vehicles: 40, Drivers: 50, MxNLinks: 61, Seed: 1}
+}
+
+// DB2 doubles DB1's cardinalities.
+func DB2() Config {
+	return Config{Name: "DB2", Suppliers: 20, Cargos: 240, Vehicles: 80, Drivers: 100, MxNLinks: 121, Seed: 2}
+}
+
+// DB3 doubles DB2's cardinalities.
+func DB3() Config {
+	return Config{Name: "DB3", Suppliers: 40, Cargos: 480, Vehicles: 160, Drivers: 200, MxNLinks: 243, Seed: 3}
+}
+
+// DB4 keeps DB3's class cardinalities but doubles the relationship load.
+func DB4() Config {
+	return Config{Name: "DB4", Suppliers: 40, Cargos: 480, Vehicles: 160, Drivers: 200, MxNLinks: 859, Seed: 4}
+}
+
+// DBConfigs returns the four paper configurations in order.
+func DBConfigs() []Config { return []Config{DB1(), DB2(), DB3(), DB4()} }
+
+// Generate populates a fresh database under the given configuration. The
+// result satisfies every constraint in Constraints() and the participation
+// flags declared by Schema().
+func Generate(cfg Config) (*storage.Database, error) {
+	if cfg.Suppliers < 2 || cfg.Vehicles < 2 || cfg.Drivers < 2 || cfg.Cargos < cfg.Vehicles {
+		return nil, fmt.Errorf("datagen: config %q too small (need ≥2 suppliers/vehicles/drivers and cargos ≥ vehicles)", cfg.Name)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	db := storage.NewDatabase(Schema())
+	g := &generator{cfg: cfg, r: r, db: db}
+
+	if err := g.suppliers(); err != nil {
+		return nil, err
+	}
+	if err := g.vehiclesAndEngines(); err != nil {
+		return nil, err
+	}
+	if err := g.drivers(); err != nil {
+		return nil, err
+	}
+	if err := g.cargos(); err != nil {
+		return nil, err
+	}
+	if err := g.drives(); err != nil {
+		return nil, err
+	}
+	if err := g.maintains(); err != nil {
+		return nil, err
+	}
+	if err := g.inspects(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// MustGenerate is Generate for fixed configurations; it panics on error.
+func MustGenerate(cfg Config) *storage.Database {
+	db, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+type generator struct {
+	cfg Config
+	r   *rand.Rand
+	db  *storage.Database
+
+	supplierOIDs []storage.OID
+	sfi          storage.OID   // supplier[0], always "SFI" (frozen food only, c17)
+	generalPool  []storage.OID // suppliers other than SFI
+	highRated    []storage.OID // non-SFI suppliers rated >= 4 (chemicals, c5)
+	vehicleOIDs  []storage.OID
+	vehicleKind  []string
+	vehicleClass []int64
+	engineOIDs   []storage.OID
+	engineCap    []int64
+	driverOIDs   []storage.OID
+	driverRank   []string
+	driverClear  []string
+	driverLic    []int64
+	cargoOIDs    []storage.OID
+	cargoKind    []string
+}
+
+func (g *generator) suppliers() error {
+	for i := 0; i < g.cfg.Suppliers; i++ {
+		name := SupplierNames[i%len(SupplierNames)]
+		if i >= len(SupplierNames) {
+			name = fmt.Sprintf("%s %d", name, i/len(SupplierNames)+1)
+		}
+		rating := int64(g.r.Intn(5) + 1)
+		if i == 0 {
+			name = "SFI"
+			rating = int64(3 + g.r.Intn(3)) // c12
+		}
+		if i == 1 {
+			rating = 5 // guarantee a high-rated supplier for chemicals (c5)
+		}
+		oid, err := g.db.Insert("supplier", map[string]value.Value{
+			"name":    value.String(name),
+			"address": value.String(fmt.Sprintf("%d Harbour Rd", g.r.Intn(900)+1)),
+			"rating":  value.Int(rating),
+		})
+		if err != nil {
+			return err
+		}
+		g.supplierOIDs = append(g.supplierOIDs, oid)
+		if i == 0 {
+			// SFI supplies frozen food exclusively (c17), so it stays
+			// out of the general and high-rated pools below.
+			g.sfi = oid
+			continue
+		}
+		g.generalPool = append(g.generalPool, oid)
+		if rating >= 4 {
+			g.highRated = append(g.highRated, oid)
+		}
+	}
+	return nil
+}
+
+func (g *generator) vehiclesAndEngines() error {
+	for i := 0; i < g.cfg.Vehicles; i++ {
+		kind := VehicleKinds[g.r.Intn(len(VehicleKinds))]
+		var class int64
+		if kind == "refrigerated truck" {
+			class = int64(g.r.Intn(2) + 1) // c9
+		} else {
+			class = int64(g.r.Intn(5) + 1)
+		}
+		if i == 0 {
+			// A class-1 vehicle always exists so every driver
+			// (license >= 1) can drive something (c3 + totality).
+			kind, class = "van", 1
+		}
+		void, err := g.db.Insert("vehicle", map[string]value.Value{
+			"vehicle#": value.String(fmt.Sprintf("V%04d", i)),
+			"desc":     value.String(kind),
+			"class":    value.Int(class),
+			"capacity": value.Int(int64(g.r.Intn(900) + 100)),
+		})
+		if err != nil {
+			return err
+		}
+		var cap64 int64
+		if kind == "tanker" {
+			cap64 = int64(g.r.Intn(201) + 400) // c7: 400..600
+		} else {
+			cap64 = int64(g.r.Intn(501) + 100) // 100..600
+		}
+		emission := cap64/150 + 1 // c11: cap >= 400 -> emission >= 3
+		eoid, err := g.db.Insert("engine", map[string]value.Value{
+			"engine#":  value.String(fmt.Sprintf("E%04d", i)),
+			"capacity": value.Int(cap64),
+			"emission": value.Int(emission),
+		})
+		if err != nil {
+			return err
+		}
+		if err := g.db.Link("engComp", void, eoid); err != nil {
+			return err
+		}
+		g.vehicleOIDs = append(g.vehicleOIDs, void)
+		g.vehicleKind = append(g.vehicleKind, kind)
+		g.vehicleClass = append(g.vehicleClass, class)
+		g.engineOIDs = append(g.engineOIDs, eoid)
+		g.engineCap = append(g.engineCap, cap64)
+	}
+	return nil
+}
+
+func (g *generator) drivers() error {
+	for i := 0; i < g.cfg.Drivers; i++ {
+		rank := DriverRanks[g.r.Intn(len(DriverRanks))]
+		if i <= 1 {
+			// Drivers 0 and 1 hold license 5 below, so they must not
+			// be trainees (c15); driver 0 is also the maintainer of
+			// last resort for heavy engines (c10).
+			rank = "senior"
+		}
+		clearance := Clearances[g.r.Intn(len(Clearances))]
+		if rank == "supervisor" || i == 1 {
+			clearance = "top secret" // c4; i==1 guarantees one for c13
+		}
+		var lic int64
+		switch {
+		case i <= 1:
+			lic = 5 // can drive anything (totality under c3)
+		case rank == "trainee":
+			lic = int64(g.r.Intn(2) + 1) // c15
+		default:
+			lic = int64(g.r.Intn(5) + 1)
+		}
+		oid, err := g.db.Insert("driver", map[string]value.Value{
+			"name":         value.String(fmt.Sprintf("drv-%04d", i)),
+			"clearance":    value.String(clearance),
+			"rank":         value.String(rank),
+			"licenseClass": value.Int(lic),
+		})
+		if err != nil {
+			return err
+		}
+		g.driverOIDs = append(g.driverOIDs, oid)
+		g.driverRank = append(g.driverRank, rank)
+		g.driverClear = append(g.driverClear, clearance)
+		g.driverLic = append(g.driverLic, lic)
+	}
+	return nil
+}
+
+func (g *generator) cargos() error {
+	for i := 0; i < g.cfg.Cargos; i++ {
+		// Pick the collecting vehicle first: descriptions must respect
+		// c1 (refrigerated -> frozen food) and c8 (oil -> tanker).
+		// Round-robin over vehicles first so every vehicle collects
+		// (totality of collects on the vehicle side).
+		var vi int
+		if i < len(g.vehicleOIDs) {
+			vi = i
+		} else {
+			vi = g.r.Intn(len(g.vehicleOIDs))
+		}
+		kind := g.pickCargoKind(g.vehicleKind[vi])
+
+		// Supplier under c2 (frozen food -> SFI) and c5 (chemicals ->
+		// rating >= 4).
+		var supplier storage.OID
+		switch kind {
+		case "frozen food":
+			supplier = g.sfi
+		case "chemicals":
+			supplier = g.highRated[g.r.Intn(len(g.highRated))]
+		default:
+			supplier = g.generalPool[g.r.Intn(len(g.generalPool))]
+		}
+
+		quantity := int64(g.r.Intn(2000) + 1)
+		if kind == "frozen food" {
+			quantity = int64(g.r.Intn(500) + 1) // c6
+		}
+		priority := int64(g.r.Intn(5) + 1)
+		if kind == "oil" {
+			priority = int64(g.r.Intn(3) + 3) // c14
+		}
+
+		oid, err := g.db.Insert("cargo", map[string]value.Value{
+			"code":     value.String(fmt.Sprintf("C%05d", i)),
+			"desc":     value.String(kind),
+			"quantity": value.Int(quantity),
+			"priority": value.Int(priority),
+		})
+		if err != nil {
+			return err
+		}
+		if err := g.db.Link("collects", g.vehicleOIDs[vi], oid); err != nil {
+			return err
+		}
+		if err := g.db.Link("supplies", supplier, oid); err != nil {
+			return err
+		}
+		g.cargoOIDs = append(g.cargoOIDs, oid)
+		g.cargoKind = append(g.cargoKind, kind)
+	}
+	return nil
+}
+
+func (g *generator) pickCargoKind(vehicleKind string) string {
+	switch vehicleKind {
+	case "refrigerated truck":
+		return "frozen food" // c1
+	case "tanker":
+		// Oil only here (c8); tankers also move bulk goods.
+		return []string{"oil", "oil", "steel", "chemicals"}[g.r.Intn(4)]
+	default:
+		// Anything except oil (c8). Frozen food off a refrigerated
+		// truck is legal — c1 is one-directional.
+		kinds := []string{"steel", "paper", "timber", "chemicals", "frozen food"}
+		return kinds[g.r.Intn(len(kinds))]
+	}
+}
+
+// drives links drivers and vehicles under c3 (license >= class) with both
+// sides total, then tops up to the M:N target.
+func (g *generator) drives() error {
+	type pair struct{ d, v int }
+	linked := map[pair]bool{}
+	link := func(d, v int) error {
+		if linked[pair{d, v}] {
+			return nil
+		}
+		linked[pair{d, v}] = true
+		return g.db.Link("drives", g.driverOIDs[d], g.vehicleOIDs[v])
+	}
+
+	// Every driver drives some vehicle within license (vehicle 0 is class 1).
+	for d := range g.driverOIDs {
+		v := g.eligibleVehicle(g.driverLic[d])
+		if err := link(d, v); err != nil {
+			return err
+		}
+	}
+	// Every vehicle is driven (drivers 0 and 1 hold license 5).
+	for v := range g.vehicleOIDs {
+		d := g.eligibleDriver(g.vehicleClass[v])
+		if err := link(d, v); err != nil {
+			return err
+		}
+	}
+	// Top up.
+	for tries := 0; len(linked) < g.cfg.MxNLinks && tries < g.cfg.MxNLinks*20; tries++ {
+		d := g.r.Intn(len(g.driverOIDs))
+		v := g.r.Intn(len(g.vehicleOIDs))
+		if g.driverLic[d] >= g.vehicleClass[v] {
+			if err := link(d, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (g *generator) eligibleVehicle(license int64) int {
+	for tries := 0; tries < 32; tries++ {
+		v := g.r.Intn(len(g.vehicleOIDs))
+		if g.vehicleClass[v] <= license {
+			return v
+		}
+	}
+	return 0 // vehicle 0 is class 1
+}
+
+func (g *generator) eligibleDriver(class int64) int {
+	for tries := 0; tries < 32; tries++ {
+		d := g.r.Intn(len(g.driverOIDs))
+		if g.driverLic[d] >= class {
+			return d
+		}
+	}
+	return 0 // driver 0 holds license 5
+}
+
+// maintains links drivers to engines under c10 (heavy engines are not
+// maintained by trainees) with the engine side total.
+func (g *generator) maintains() error {
+	type pair struct{ d, e int }
+	linked := map[pair]bool{}
+	link := func(d, e int) error {
+		if linked[pair{d, e}] {
+			return nil
+		}
+		linked[pair{d, e}] = true
+		return g.db.Link("maintains", g.driverOIDs[d], g.engineOIDs[e])
+	}
+	for e := range g.engineOIDs {
+		d := g.eligibleMaintainer(g.engineCap[e])
+		if err := link(d, e); err != nil {
+			return err
+		}
+	}
+	for tries := 0; len(linked) < g.cfg.MxNLinks && tries < g.cfg.MxNLinks*20; tries++ {
+		d := g.r.Intn(len(g.driverOIDs))
+		e := g.r.Intn(len(g.engineOIDs))
+		if g.engineCap[e] < 400 || g.driverRank[d] != "trainee" {
+			if err := link(d, e); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (g *generator) eligibleMaintainer(cap64 int64) int {
+	for tries := 0; tries < 32; tries++ {
+		d := g.r.Intn(len(g.driverOIDs))
+		if cap64 < 400 || g.driverRank[d] != "trainee" {
+			return d
+		}
+	}
+	return 0 // driver 0 is senior
+}
+
+// inspects links drivers to cargos under c13 (chemicals need top secret
+// clearance); both sides partial.
+func (g *generator) inspects() error {
+	type pair struct{ d, c int }
+	linked := map[pair]bool{}
+	for tries := 0; len(linked) < g.cfg.MxNLinks && tries < g.cfg.MxNLinks*20; tries++ {
+		d := g.r.Intn(len(g.driverOIDs))
+		c := g.r.Intn(len(g.cargoOIDs))
+		if g.cargoKind[c] == "chemicals" && g.driverClear[d] != "top secret" {
+			continue
+		}
+		if linked[pair{d, c}] {
+			continue
+		}
+		linked[pair{d, c}] = true
+		if err := g.db.Link("inspects", g.driverOIDs[d], g.cargoOIDs[c]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,444 @@
+// Package derive implements the Siegel-style extension the paper points at
+// in Sections 1–2: "rules that reflect the current database state, such as
+// those proposed by Siegel [Sie88], can easily be accommodated", and Yu and
+// Sun's [YuS89] automatic knowledge acquisition. Instead of relying solely on
+// declared integrity constraints, the deriver scans the current database and
+// discovers Horn rules that hold in *this* state:
+//
+//   - functional pairs: every instance with A = v has B = w
+//     (e.g. every supervisor's clearance is "top secret");
+//   - numeric bounds: every instance with A = v has B ≤ hi (and B ≥ lo)
+//     (e.g. every frozen-food cargo's quantity is ≤ 480 — tighter than the
+//     declared c6, because it reflects the data actually stored);
+//   - link-implied values: every instance linked (via relationship r) to an
+//     instance with A = v has B = w
+//     (e.g. every cargo collected by a refrigerated truck is frozen food —
+//     the deriver rediscovers c1 from the data).
+//
+// Derived rules are ordinary constraint.Constraints marked StateDependent:
+// they guarantee equivalence only in the database state they were derived
+// from, so callers must discard them when the data changes (the paper's
+// "semantically equivalent query produces the same answer as the original
+// query in the current database state").
+package derive
+
+import (
+	"fmt"
+	"sort"
+
+	"sqo/internal/constraint"
+	"sqo/internal/predicate"
+	"sqo/internal/schema"
+	"sqo/internal/storage"
+	"sqo/internal/value"
+)
+
+// Options bounds rule discovery.
+type Options struct {
+	// MaxAntecedentDistinct skips antecedent attributes with more distinct
+	// values than this: a rule per customer ID is noise. Zero means 12.
+	MaxAntecedentDistinct int
+	// MinSupport is the minimum number of instances a value group needs
+	// before rules are derived from it; tiny groups over-fit. Zero means 4.
+	MinSupport int
+	// Bounds enables numeric-bound rules (A = v → B ≤ hi, B ≥ lo).
+	Bounds bool
+	// IncludeTrivial keeps bound rules that match the attribute's global
+	// range (they filter nothing; off by default).
+	IncludeTrivial bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxAntecedentDistinct == 0 {
+		o.MaxAntecedentDistinct = 12
+	}
+	if o.MinSupport == 0 {
+		o.MinSupport = 4
+	}
+	return o
+}
+
+// Rules scans the database and returns the discovered state-dependent rules
+// as a catalog. Discovery is deterministic: classes, attributes and values
+// are visited in sorted order.
+func Rules(db *storage.Database, opts Options) (*constraint.Catalog, error) {
+	opts = opts.withDefaults()
+	d := &deriver{db: db, sch: db.Schema(), stats: db.Analyze(), opts: opts}
+	var rules []*constraint.Constraint
+	intra, err := d.intraRules()
+	if err != nil {
+		return nil, err
+	}
+	rules = append(rules, intra...)
+	inter, err := d.interRules()
+	if err != nil {
+		return nil, err
+	}
+	rules = append(rules, inter...)
+	if opts.Bounds {
+		rng, err := d.rangeRules()
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, rng...)
+	}
+	return constraint.NewCatalog(rules...)
+}
+
+type deriver struct {
+	db    *storage.Database
+	sch   *schema.Schema
+	stats *storage.Stats
+	opts  Options
+	seq   int
+}
+
+func (d *deriver) id() string {
+	d.seq++
+	return fmt.Sprintf("d%d", d.seq)
+}
+
+// groupKey identifies one antecedent value group: class.attr = value.
+type groupKey struct {
+	attr string
+	val  value.Value
+}
+
+// antecedentAttrs returns the class's attributes usable as rule antecedents:
+// few distinct values, equality-friendly kinds.
+func (d *deriver) antecedentAttrs(class string) []string {
+	var out []string
+	for _, a := range d.sch.EffectiveAttributes(class) {
+		as := d.stats.Classes[class].Attrs[a.Name]
+		if as.Distinct == 0 || as.Distinct > d.opts.MaxAntecedentDistinct {
+			continue
+		}
+		out = append(out, a.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// intraRules discovers functional pairs and numeric bounds within one class.
+func (d *deriver) intraRules() ([]*constraint.Constraint, error) {
+	var rules []*constraint.Constraint
+	for _, class := range d.sch.Classes() {
+		if d.db.Count(class) == 0 {
+			continue
+		}
+		attrs := d.sch.EffectiveAttributes(class)
+		for _, antAttr := range d.antecedentAttrs(class) {
+			groups, err := d.collectGroups(class, antAttr)
+			if err != nil {
+				return nil, err
+			}
+			for _, g := range groups {
+				if len(g.members) < d.opts.MinSupport {
+					continue
+				}
+				for _, cons := range attrs {
+					if cons.Name == antAttr {
+						continue
+					}
+					rs, err := d.rulesForGroup(class, g, cons)
+					if err != nil {
+						return nil, err
+					}
+					rules = append(rules, rs...)
+				}
+			}
+		}
+	}
+	return rules, nil
+}
+
+// group is the instance set sharing one antecedent value.
+type group struct {
+	key     groupKey
+	members []storage.Instance
+}
+
+// collectGroups partitions the class extent by the antecedent attribute's
+// value, in deterministic value order.
+func (d *deriver) collectGroups(class, attr string) ([]group, error) {
+	idx, err := d.db.AttrIndexOf(class, attr)
+	if err != nil {
+		return nil, err
+	}
+	byVal := map[value.Value][]storage.Instance{}
+	err = d.db.Scan(class, nil, func(inst storage.Instance) bool {
+		v := inst.Values[idx]
+		byVal[v] = append(byVal[v], inst)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]value.Value, 0, len(byVal))
+	for v := range byVal {
+		keys = append(keys, v)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Key() < keys[j].Key() })
+	out := make([]group, 0, len(keys))
+	for _, v := range keys {
+		out = append(out, group{key: groupKey{attr: attr, val: v}, members: byVal[v]})
+	}
+	return out, nil
+}
+
+// rulesForGroup inspects one (group, consequent attribute) pair and emits a
+// functional rule or bound rules when they hold.
+func (d *deriver) rulesForGroup(class string, g group, cons schema.Attribute) ([]*constraint.Constraint, error) {
+	idx, err := d.db.AttrIndexOf(class, cons.Name)
+	if err != nil {
+		return nil, err
+	}
+	first := g.members[0].Values[idx]
+	functional := true
+	var lo, hi value.Value
+	for _, inst := range g.members {
+		v := inst.Values[idx]
+		if !v.Equal(first) {
+			functional = false
+		}
+		if !lo.Valid() || v.Less(lo) {
+			lo = v
+		}
+		if !hi.Valid() || hi.Less(v) {
+			hi = v
+		}
+	}
+	ant := []predicate.Predicate{predicate.Eq(class, g.key.attr, g.key.val)}
+	if functional {
+		c := constraint.New(d.id(), ant, nil, predicate.Eq(class, cons.Name, first)).
+			WithDoc(fmt.Sprintf("state: all %s with %s = %s have %s = %s",
+				class, g.key.attr, g.key.val, cons.Name, first))
+		c.StateDependent = true
+		return []*constraint.Constraint{c}, nil
+	}
+	if !d.opts.Bounds || !cons.Type.Numeric() {
+		return nil, nil
+	}
+	var rules []*constraint.Constraint
+	global := d.stats.Classes[class].Attrs[cons.Name]
+	if d.opts.IncludeTrivial || !hi.Equal(global.Max) {
+		c := constraint.New(d.id(), ant, nil, predicate.Sel(class, cons.Name, predicate.LE, hi)).
+			WithDoc(fmt.Sprintf("state: all %s with %s = %s have %s <= %s",
+				class, g.key.attr, g.key.val, cons.Name, hi))
+		c.StateDependent = true
+		rules = append(rules, c)
+	}
+	if d.opts.IncludeTrivial || !lo.Equal(global.Min) {
+		c := constraint.New(d.id(), ant, nil, predicate.Sel(class, cons.Name, predicate.GE, lo)).
+			WithDoc(fmt.Sprintf("state: all %s with %s = %s have %s >= %s",
+				class, g.key.attr, g.key.val, cons.Name, lo))
+		c.StateDependent = true
+		rules = append(rules, c)
+	}
+	return rules, nil
+}
+
+// rangeRules discovers bound-conditioned bounds within one class: for a
+// numeric antecedent attribute A split at its median m, the instances with
+// A >= m share tighter bounds on another numeric attribute B. This is how
+// rules shaped like the declared c11 (engine.capacity >= 400 → emission >= 3)
+// are rediscovered from data.
+func (d *deriver) rangeRules() ([]*constraint.Constraint, error) {
+	var rules []*constraint.Constraint
+	for _, class := range d.sch.Classes() {
+		if d.db.Count(class) < d.opts.MinSupport*2 {
+			continue
+		}
+		attrs := d.sch.EffectiveAttributes(class)
+		for _, ant := range attrs {
+			if !ant.Type.Numeric() {
+				continue
+			}
+			threshold, ok := d.medianOf(class, ant.Name)
+			if !ok {
+				continue
+			}
+			antIdx, err := d.db.AttrIndexOf(class, ant.Name)
+			if err != nil {
+				return nil, err
+			}
+			// Collect the upper group A >= threshold.
+			var members []storage.Instance
+			err = d.db.Scan(class, nil, func(inst storage.Instance) bool {
+				if c, cerr := inst.Values[antIdx].Compare(threshold); cerr == nil && c >= 0 {
+					members = append(members, inst)
+				}
+				return true
+			})
+			if err != nil {
+				return nil, err
+			}
+			if len(members) < d.opts.MinSupport {
+				continue
+			}
+			antPred := predicate.Sel(class, ant.Name, predicate.GE, threshold)
+			for _, cons := range attrs {
+				if cons.Name == ant.Name || !cons.Type.Numeric() {
+					continue
+				}
+				consIdx, err := d.db.AttrIndexOf(class, cons.Name)
+				if err != nil {
+					return nil, err
+				}
+				var lo, hi value.Value
+				for _, inst := range members {
+					v := inst.Values[consIdx]
+					if !lo.Valid() || v.Less(lo) {
+						lo = v
+					}
+					if !hi.Valid() || hi.Less(v) {
+						hi = v
+					}
+				}
+				global := d.stats.Classes[class].Attrs[cons.Name]
+				if d.opts.IncludeTrivial || !lo.Equal(global.Min) {
+					c := constraint.New(d.id(),
+						[]predicate.Predicate{antPred}, nil,
+						predicate.Sel(class, cons.Name, predicate.GE, lo)).
+						WithDoc(fmt.Sprintf("state: all %s with %s >= %s have %s >= %s",
+							class, ant.Name, threshold, cons.Name, lo))
+					c.StateDependent = true
+					rules = append(rules, c)
+				}
+				if d.opts.IncludeTrivial || !hi.Equal(global.Max) {
+					c := constraint.New(d.id(),
+						[]predicate.Predicate{antPred}, nil,
+						predicate.Sel(class, cons.Name, predicate.LE, hi)).
+						WithDoc(fmt.Sprintf("state: all %s with %s >= %s have %s <= %s",
+							class, ant.Name, threshold, cons.Name, hi))
+					c.StateDependent = true
+					rules = append(rules, c)
+				}
+			}
+		}
+	}
+	return rules, nil
+}
+
+// medianOf returns the median value of a numeric attribute, or false when
+// the class is empty.
+func (d *deriver) medianOf(class, attr string) (value.Value, bool) {
+	idx, err := d.db.AttrIndexOf(class, attr)
+	if err != nil {
+		return value.Value{}, false
+	}
+	var vals []value.Value
+	_ = d.db.Scan(class, nil, func(inst storage.Instance) bool {
+		vals = append(vals, inst.Values[idx])
+		return true
+	})
+	if len(vals) == 0 {
+		return value.Value{}, false
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i].Less(vals[j]) })
+	return vals[len(vals)/2], true
+}
+
+// interRules discovers link-implied functional values: for relationship r
+// and a value group on one side, the linked instances on the other side all
+// share a consequent value.
+func (d *deriver) interRules() ([]*constraint.Constraint, error) {
+	var rules []*constraint.Constraint
+	for _, rn := range d.sch.Relationships() {
+		r := d.sch.Relationship(rn)
+		for _, dir := range []struct{ from, to string }{
+			{r.Source, r.Target},
+			{r.Target, r.Source},
+		} {
+			if dir.from == dir.to {
+				continue
+			}
+			rs, err := d.linkRules(rn, dir.from, dir.to)
+			if err != nil {
+				return nil, err
+			}
+			rules = append(rules, rs...)
+		}
+	}
+	return rules, nil
+}
+
+func (d *deriver) linkRules(rel, from, to string) ([]*constraint.Constraint, error) {
+	if d.db.Count(from) == 0 || d.db.Count(to) == 0 {
+		return nil, nil
+	}
+	var rules []*constraint.Constraint
+	for _, antAttr := range d.antecedentAttrs(from) {
+		groups, err := d.collectGroups(from, antAttr)
+		if err != nil {
+			return nil, err
+		}
+		for _, cons := range d.sch.EffectiveAttributes(to) {
+			consIdx, err := d.db.AttrIndexOf(to, cons.Name)
+			if err != nil {
+				return nil, err
+			}
+			for _, g := range groups {
+				// Support for link rules counts linked instances, not
+				// group members: one supplier can anchor hundreds of
+				// links (checked below after traversal).
+				// Collect the linked instances' consequent values.
+				var first value.Value
+				functional := true
+				linked := 0
+				for _, inst := range g.members {
+					targets, err := d.db.Traverse(rel, from, inst.OID, nil)
+					if err != nil {
+						return nil, err
+					}
+					for _, oid := range targets {
+						tinst, err := d.db.Get(to, oid, nil)
+						if err != nil {
+							return nil, err
+						}
+						v := tinst.Values[consIdx]
+						linked++
+						if !first.Valid() {
+							first = v
+							continue
+						}
+						if !v.Equal(first) {
+							functional = false
+						}
+					}
+					if !functional {
+						break
+					}
+				}
+				if !functional || linked < d.opts.MinSupport {
+					continue
+				}
+				c := constraint.New(d.id(),
+					[]predicate.Predicate{predicate.Eq(from, g.key.attr, g.key.val)},
+					[]string{rel},
+					predicate.Eq(to, cons.Name, first)).
+					WithDoc(fmt.Sprintf("state: every %s linked via %s to a %s with %s = %s has %s = %s",
+						to, rel, from, g.key.attr, g.key.val, cons.Name, first))
+				c.StateDependent = true
+				rules = append(rules, c)
+			}
+		}
+	}
+	return rules, nil
+}
+
+// Merge combines declared integrity constraints with derived state rules
+// into one catalog for the optimizer, skipping derived rules that duplicate
+// declared ones.
+func Merge(declared *constraint.Catalog, derived *constraint.Catalog) (*constraint.Catalog, error) {
+	out, err := constraint.NewCatalog(declared.All()...)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range derived.All() {
+		if err := out.Add(c); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

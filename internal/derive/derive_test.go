@@ -1,0 +1,441 @@
+package derive
+
+import (
+	"strings"
+	"testing"
+
+	"sqo/internal/constraint"
+	"sqo/internal/core"
+	"sqo/internal/costmodel"
+	"sqo/internal/datagen"
+	"sqo/internal/engine"
+	"sqo/internal/pathgen"
+	"sqo/internal/predicate"
+	"sqo/internal/schema"
+	"sqo/internal/storage"
+	"sqo/internal/value"
+)
+
+// tinyDB builds a hand-crafted world with known regularities:
+//
+//	emp(dept, grade):  dept="dev" -> grade in [4,6]; dept="hq" -> grade=9
+//	box(color) --held-- emp: every box held by a "dev" emp is "red"
+func tinyDB(t *testing.T) *storage.Database {
+	t.Helper()
+	sch := schema.NewBuilder().
+		Class("emp",
+			schema.Attribute{Name: "dept", Type: value.KindString},
+			schema.Attribute{Name: "grade", Type: value.KindInt}).
+		Class("box",
+			schema.Attribute{Name: "color", Type: value.KindString}).
+		Relationship("held", "emp", "box", schema.OneToMany).
+		MustBuild()
+	db := storage.NewDatabase(sch)
+	ins := func(class string, vals map[string]value.Value) storage.OID {
+		oid, err := db.Insert(class, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return oid
+	}
+	var devs, hqs []storage.OID
+	for i := 0; i < 6; i++ {
+		devs = append(devs, ins("emp", map[string]value.Value{
+			"dept":  value.String("dev"),
+			"grade": value.Int(int64(4 + i%3)), // 4..6
+		}))
+	}
+	for i := 0; i < 5; i++ {
+		hqs = append(hqs, ins("emp", map[string]value.Value{
+			"dept":  value.String("hq"),
+			"grade": value.Int(9),
+		}))
+	}
+	for i := 0; i < 8; i++ {
+		color := "red"
+		owner := devs[i%len(devs)]
+		if i >= 5 {
+			color = []string{"blue", "green", "red"}[i%3]
+			owner = hqs[i%len(hqs)]
+		}
+		box := ins("box", map[string]value.Value{"color": value.String(color)})
+		if err := db.Link("held", owner, box); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func findRule(t *testing.T, cat *constraint.Catalog, want *constraint.Constraint) *constraint.Constraint {
+	t.Helper()
+	for _, c := range cat.All() {
+		if c.Key() == want.Key() {
+			return c
+		}
+	}
+	return nil
+}
+
+func TestDerivesFunctionalIntraRule(t *testing.T) {
+	db := tinyDB(t)
+	cat, err := Rules(db, Options{MinSupport: 3})
+	if err != nil {
+		t.Fatalf("Rules: %v", err)
+	}
+	want := constraint.New("x",
+		[]predicate.Predicate{predicate.Eq("emp", "dept", value.String("hq"))},
+		nil,
+		predicate.Eq("emp", "grade", value.Int(9)))
+	got := findRule(t, cat, want)
+	if got == nil {
+		t.Fatalf("dept=hq -> grade=9 not derived; rules: %v", cat.All())
+	}
+	if !got.StateDependent {
+		t.Error("derived rules must be marked state-dependent")
+	}
+	if !strings.Contains(got.Doc, "state:") {
+		t.Errorf("derived doc should explain itself: %q", got.Doc)
+	}
+}
+
+func TestDerivesBoundRules(t *testing.T) {
+	db := tinyDB(t)
+	cat, err := Rules(db, Options{MinSupport: 3, Bounds: true})
+	if err != nil {
+		t.Fatalf("Rules: %v", err)
+	}
+	// dev grades span [4,6]; the global range is [4,9], so the upper bound
+	// is non-trivial and must be derived.
+	upper := constraint.New("x",
+		[]predicate.Predicate{predicate.Eq("emp", "dept", value.String("dev"))},
+		nil,
+		predicate.Sel("emp", "grade", predicate.LE, value.Int(6)))
+	if findRule(t, cat, upper) == nil {
+		t.Errorf("dept=dev -> grade<=6 not derived; rules: %v", cat.All())
+	}
+	// The lower bound 4 equals the global minimum: trivial, skipped.
+	lower := constraint.New("x",
+		[]predicate.Predicate{predicate.Eq("emp", "dept", value.String("dev"))},
+		nil,
+		predicate.Sel("emp", "grade", predicate.GE, value.Int(4)))
+	if findRule(t, cat, lower) != nil {
+		t.Error("trivial lower bound should be skipped by default")
+	}
+	// Unless asked for.
+	cat2, err := Rules(db, Options{MinSupport: 3, Bounds: true, IncludeTrivial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findRule(t, cat2, lower) == nil {
+		t.Error("IncludeTrivial should keep the global-range bound")
+	}
+}
+
+func TestNoBoundsWithoutFlag(t *testing.T) {
+	db := tinyDB(t)
+	cat, err := Rules(db, Options{MinSupport: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cat.All() {
+		if c.Consequent.Op != predicate.EQ {
+			t.Errorf("bounds disabled but derived %s", c)
+		}
+	}
+}
+
+func TestDerivesLinkRule(t *testing.T) {
+	db := tinyDB(t)
+	cat, err := Rules(db, Options{MinSupport: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := constraint.New("x",
+		[]predicate.Predicate{predicate.Eq("emp", "dept", value.String("dev"))},
+		[]string{"held"},
+		predicate.Eq("box", "color", value.String("red")))
+	if findRule(t, cat, want) == nil {
+		t.Errorf("dev -> red boxes not derived; rules: %v", cat.All())
+	}
+}
+
+func TestMinSupportSuppressesSmallGroups(t *testing.T) {
+	db := tinyDB(t)
+	cat, err := Rules(db, Options{MinSupport: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Len() != 0 {
+		t.Errorf("support threshold 100 should derive nothing, got %d", cat.Len())
+	}
+}
+
+// TestDerivedRulesHoldOnSource: every derived rule is verified true on the
+// database it came from.
+func TestDerivedRulesHoldOnSource(t *testing.T) {
+	for _, mk := range []func() *storage.Database{
+		func() *storage.Database { return tinyDB(t) },
+		func() *storage.Database { return datagen.MustGenerate(datagen.DB1()) },
+	} {
+		db := mk()
+		cat, err := Rules(db, Options{Bounds: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cat.Len() == 0 {
+			t.Fatal("expected some derived rules")
+		}
+		if err := cat.Validate(db.Schema()); err != nil {
+			t.Fatalf("derived rules must validate: %v", err)
+		}
+		violated, err := engine.CheckCatalog(db, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if violated != "" {
+			t.Errorf("derived rule %s does not hold on its own source", violated)
+		}
+	}
+}
+
+// TestRediscoversDeclaredConstraints: on the logistics data, the deriver
+// finds the declared c1 (refrigerated trucks carry frozen food) from the
+// data alone.
+func TestRediscoversDeclaredConstraints(t *testing.T) {
+	db := datagen.MustGenerate(datagen.DB1())
+	cat, err := Rules(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := constraint.New("x",
+		[]predicate.Predicate{predicate.Eq("vehicle", "desc", value.String("refrigerated truck"))},
+		[]string{"collects"},
+		predicate.Eq("cargo", "desc", value.String("frozen food")))
+	if findRule(t, cat, c1) == nil {
+		t.Error("c1 should be rediscoverable from the data")
+	}
+	// c17: SFI supplies only frozen food.
+	c17 := constraint.New("x",
+		[]predicate.Predicate{predicate.Eq("supplier", "name", value.String("SFI"))},
+		[]string{"supplies"},
+		predicate.Eq("cargo", "desc", value.String("frozen food")))
+	if findRule(t, cat, c17) == nil {
+		t.Error("c17 should be rediscoverable from the data")
+	}
+}
+
+func TestDeterministicDerivation(t *testing.T) {
+	db := datagen.MustGenerate(datagen.DB1())
+	a, err := Rules(db, Options{Bounds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Rules(db, Options{Bounds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("derivation not deterministic: %d vs %d rules", a.Len(), b.Len())
+	}
+	as, bs := a.All(), b.All()
+	for i := range as {
+		if as[i].Key() != bs[i].Key() {
+			t.Fatalf("rule %d differs across runs", i)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	db := datagen.MustGenerate(datagen.DB1())
+	derived, err := Rules(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	declared := datagen.Constraints()
+	merged, err := Merge(declared, derived)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if merged.Len() < declared.Len() {
+		t.Error("merge lost declared constraints")
+	}
+	// Logical duplicates (rediscovered declared rules) are absorbed.
+	if merged.Len() >= declared.Len()+derived.Len() {
+		t.Error("expected at least one rediscovered duplicate to merge away")
+	}
+	// Declared constraints keep their identity.
+	if merged.Get("c1") == nil {
+		t.Error("c1 lost in merge")
+	}
+}
+
+// TestEquivalenceWithDerivedRules is the extension's soundness property:
+// optimizing with state-derived rules still returns the same results *on the
+// state they were derived from*.
+func TestEquivalenceWithDerivedRules(t *testing.T) {
+	db := datagen.MustGenerate(datagen.DB1())
+	declared := datagen.Constraints()
+	derived, err := Rules(db, Options{Bounds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Merge(declared, derived)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := costmodel.New(db.Schema(), db.Analyze(), engine.DefaultWeights)
+	opt := core.NewOptimizer(db.Schema(), core.CatalogSource{Catalog: merged}, core.Options{Cost: model})
+	exec := engine.New(db)
+	gen := pathgen.NewGenerator(db, declared, pathgen.Options{Seed: 21})
+	queries, err := gen.Workload(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		res, err := opt.Optimize(q)
+		if err != nil {
+			t.Fatalf("Optimize: %v", err)
+		}
+		before, err := exec.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := exec.Execute(res.Optimized)
+		if err != nil {
+			t.Fatalf("execute optimized: %v\n%s", err, res.Optimized)
+		}
+		a, b := before.Canonical(), after.Canonical()
+		if len(a) != len(b) {
+			t.Fatalf("derived rules broke equivalence: %d vs %d rows\nq: %s\nopt: %s",
+				len(a), len(b), q, res.Optimized)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("derived rules broke equivalence at row %d\nq: %s\nopt: %s", i, q, res.Optimized)
+			}
+		}
+	}
+}
+
+// TestRangeRulesHold: the bound-conditioned bound rules (c11-shaped) hold on
+// their source data and actually appear for the logistics engines.
+func TestRangeRulesHold(t *testing.T) {
+	db := datagen.MustGenerate(datagen.DB1())
+	cat, err := Rules(db, Options{Bounds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a rule conditioned on a numeric lower bound over engine
+	// attributes — the c11 shape (capacity >= t -> emission >= b).
+	found := false
+	for _, c := range cat.All() {
+		if len(c.Antecedents) != 1 {
+			continue
+		}
+		a := c.Antecedents[0]
+		if a.Left.Class == "engine" && a.Left.Attr == "capacity" && a.Op == predicate.GE &&
+			c.Consequent.Left.Attr == "emission" && c.Consequent.Op == predicate.GE {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no c11-shaped rule (capacity >= t -> emission >= b) derived")
+	}
+	if id, err := engine.CheckCatalog(db, cat); err != nil || id != "" {
+		t.Errorf("range rules must hold on their source: %q, %v", id, err)
+	}
+}
+
+// TestStateRuleInvalidation is the other half of the Siegel extension: a
+// rule derived from one state can stop holding after an update, and
+// CheckConstraint detects it — the signal for invalidating the derived
+// catalog. Declared integrity constraints, by contrast, keep holding because
+// legal updates respect them.
+func TestStateRuleInvalidation(t *testing.T) {
+	db := tinyDB(t)
+	cat, err := Rules(db, Options{MinSupport: 3, Bounds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule := findRule(t, cat, constraint.New("x",
+		[]predicate.Predicate{predicate.Eq("emp", "dept", value.String("hq"))},
+		nil,
+		predicate.Eq("emp", "grade", value.Int(9))))
+	if rule == nil {
+		t.Fatal("fixture rule missing")
+	}
+	if n, err := engine.CheckConstraint(db, rule); err != nil || n != 0 {
+		t.Fatalf("rule should hold before the update: %d, %v", n, err)
+	}
+	// Promote one hq employee to grade 10: the state rule is now stale.
+	var victim storage.OID
+	found := false
+	_ = db.Scan("emp", nil, func(inst storage.Instance) bool {
+		if inst.Values[0].Equal(value.String("hq")) {
+			victim, found = inst.OID, true
+			return false
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("no hq employee")
+	}
+	if err := db.Update("emp", victim, "grade", value.Int(10)); err != nil {
+		t.Fatal(err)
+	}
+	n, err := engine.CheckConstraint(db, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("update should invalidate the state rule")
+	}
+	// Re-deriving from the new state yields rules that hold again.
+	fresh, err := Rules(db, Options{MinSupport: 3, Bounds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, err := engine.CheckCatalog(db, fresh); err != nil || id != "" {
+		t.Errorf("re-derived rules should hold: %q, %v", id, err)
+	}
+}
+
+// TestDerivedRulesAddOptimizations: with derived rules the optimizer fires
+// at least as many transformations across the workload as with declared
+// constraints alone.
+func TestDerivedRulesAddOptimizations(t *testing.T) {
+	db := datagen.MustGenerate(datagen.DB1())
+	declared := datagen.Constraints()
+	derived, err := Rules(db, Options{Bounds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Merge(declared, derived)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := costmodel.New(db.Schema(), db.Analyze(), engine.DefaultWeights)
+	optDecl := core.NewOptimizer(db.Schema(), core.CatalogSource{Catalog: declared}, core.Options{Cost: model})
+	optMerged := core.NewOptimizer(db.Schema(), core.CatalogSource{Catalog: merged}, core.Options{Cost: model})
+	gen := pathgen.NewGenerator(db, declared, pathgen.Options{Seed: 21})
+	queries, err := gen.Workload(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	declFires, mergedFires := 0, 0
+	for _, q := range queries {
+		rd, err := optDecl.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rm, err := optMerged.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		declFires += rd.Stats.Fires
+		mergedFires += rm.Stats.Fires
+	}
+	if mergedFires <= declFires {
+		t.Errorf("derived rules should enable more transformations: %d vs %d", mergedFires, declFires)
+	}
+}

@@ -1,0 +1,199 @@
+package engine
+
+import (
+	"fmt"
+
+	"sqo/internal/predicate"
+	"sqo/internal/query"
+	"sqo/internal/storage"
+	"sqo/internal/value"
+)
+
+// binding is one partial tuple during pipelined execution: the bound
+// instance per plan-step position.
+type binding []storage.Instance
+
+// Run executes a previously built plan. The plan must belong to the query
+// (Execute guarantees that; tests may build plans directly).
+func (e *Executor) Run(q *query.Query, plan *Plan) (*Result, error) {
+	res := &Result{Plan: plan}
+	m := &res.Meter
+
+	classPos := map[string]int{}
+	for i, st := range plan.Steps {
+		classPos[st.Class] = i
+	}
+
+	// Pre-resolve attribute positions for every predicate.
+	filterEval, err := e.compileFilters(plan)
+	if err != nil {
+		return nil, err
+	}
+
+	var bindings []binding
+	for stepIdx, st := range plan.Steps {
+		var next []binding
+		switch st.Access {
+		case AccessScan, AccessIndex:
+			var seed []storage.Instance
+			if st.Access == AccessScan {
+				err = e.db.Scan(st.Class, m, func(inst storage.Instance) bool {
+					seed = append(seed, inst)
+					return true
+				})
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				op, _ := indexOp(st.IndexPred.Op)
+				oids, err := e.db.IndexLookup(st.Class, st.IndexPred.Left.Attr, op, st.IndexPred.Const, m)
+				if err != nil {
+					return nil, err
+				}
+				for _, oid := range oids {
+					inst, err := e.db.Get(st.Class, oid, m)
+					if err != nil {
+						return nil, err
+					}
+					seed = append(seed, inst)
+				}
+			}
+			if stepIdx != 0 {
+				return nil, fmt.Errorf("engine: non-seed %s step at position %d", st.Access, stepIdx)
+			}
+			for _, inst := range seed {
+				if !filterEval(stepIdx, inst, m) {
+					continue
+				}
+				b := make(binding, len(plan.Steps))
+				b[stepIdx] = inst
+				next = append(next, b)
+			}
+
+		case AccessTraverse:
+			fromPos, ok := classPos[st.FromClass]
+			if !ok || fromPos >= stepIdx {
+				return nil, fmt.Errorf("engine: step %d traverses from unbound class %q", stepIdx, st.FromClass)
+			}
+			for _, b := range bindings {
+				oids, err := e.db.Traverse(st.ViaRel, st.FromClass, b[fromPos].OID, m)
+				if err != nil {
+					return nil, err
+				}
+				for _, oid := range oids {
+					inst, err := e.db.Get(st.Class, oid, m)
+					if err != nil {
+						return nil, err
+					}
+					if !filterEval(stepIdx, inst, m) {
+						continue
+					}
+					nb := make(binding, len(plan.Steps))
+					copy(nb, b)
+					nb[stepIdx] = inst
+					next = append(next, nb)
+				}
+			}
+		}
+
+		// Join predicates that became checkable at this step.
+		if len(st.Joins) > 0 {
+			joined := next[:0]
+			for _, b := range next {
+				ok, err := e.evalJoins(st.Joins, classPos, b, m)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					joined = append(joined, b)
+				}
+			}
+			next = joined
+		}
+		bindings = next
+		if len(bindings) == 0 && stepIdx < len(plan.Steps)-1 {
+			// Nothing survives; later steps would do no work anyway.
+			bindings = nil
+		}
+	}
+
+	// Projection.
+	proj := make([]struct {
+		pos  int
+		attr int
+	}, len(q.Project))
+	for i, a := range q.Project {
+		pos, ok := classPos[a.Class]
+		if !ok {
+			return nil, fmt.Errorf("engine: projection %s references unplanned class", a)
+		}
+		ai, err := e.db.AttrIndexOf(a.Class, a.Attr)
+		if err != nil {
+			return nil, err
+		}
+		proj[i] = struct{ pos, attr int }{pos, ai}
+	}
+	for _, b := range bindings {
+		row := Row{Values: make([]value.Value, len(proj))}
+		for i, pr := range proj {
+			row.Values[i] = b[pr.pos].Values[pr.attr]
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// compileFilters resolves the attribute offsets of each step's selective
+// predicates once and returns an evaluator.
+func (e *Executor) compileFilters(plan *Plan) (func(step int, inst storage.Instance, m *storage.Meter) bool, error) {
+	type compiled struct {
+		pred predicate.Predicate
+		attr int
+	}
+	table := make([][]compiled, len(plan.Steps))
+	for i, st := range plan.Steps {
+		for _, p := range st.Filters {
+			ai, err := e.db.AttrIndexOf(st.Class, p.Left.Attr)
+			if err != nil {
+				return nil, err
+			}
+			table[i] = append(table[i], compiled{pred: p, attr: ai})
+		}
+	}
+	return func(step int, inst storage.Instance, m *storage.Meter) bool {
+		for _, c := range table[step] {
+			m.PredEvals++
+			if !c.pred.EvalSel(inst.Values[c.attr]) {
+				return false
+			}
+		}
+		return true
+	}, nil
+}
+
+// evalJoins checks the given join predicates against a full binding.
+func (e *Executor) evalJoins(joins []predicate.Predicate, classPos map[string]int, b binding, m *storage.Meter) (bool, error) {
+	for _, j := range joins {
+		lp, ok := classPos[j.Left.Class]
+		if !ok {
+			return false, fmt.Errorf("engine: join %s references unplanned class", j)
+		}
+		rp, ok := classPos[j.RightAttr.Class]
+		if !ok {
+			return false, fmt.Errorf("engine: join %s references unplanned class", j)
+		}
+		la, err := e.db.AttrIndexOf(j.Left.Class, j.Left.Attr)
+		if err != nil {
+			return false, err
+		}
+		ra, err := e.db.AttrIndexOf(j.RightAttr.Class, j.RightAttr.Attr)
+		if err != nil {
+			return false, err
+		}
+		m.PredEvals++
+		if !j.EvalJoin(b[lp].Values[la], b[rp].Values[ra]) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"sqo/internal/constraint"
+	"sqo/internal/query"
+	"sqo/internal/storage"
+)
+
+// CheckConstraint verifies that a semantic constraint holds in the database:
+// over every combination of instances of the constraint's classes connected
+// through its links, whenever all antecedents hold the consequent holds too.
+// It returns the number of violating combinations (0 means the constraint is
+// satisfied). The data generator's tests and the optimizer's equivalence
+// property tests rely on this.
+func CheckConstraint(db *storage.Database, c *constraint.Constraint) (int, error) {
+	// Assemble the classes: predicate classes plus link endpoints (derived
+	// constraints may route through classes that carry no predicate).
+	classSet := map[string]bool{}
+	for _, cl := range c.Classes() {
+		classSet[cl] = true
+	}
+	for _, ln := range c.Links {
+		if r := db.Schema().Relationship(ln); r != nil {
+			classSet[r.Source] = true
+			classSet[r.Target] = true
+		}
+	}
+	q := &query.Query{}
+	for _, cl := range db.Schema().Classes() { // deterministic order
+		if classSet[cl] {
+			q.Classes = append(q.Classes, cl)
+		}
+	}
+	q.Relationships = append(q.Relationships, c.Links...)
+
+	// Antecedents filter the bindings; the consequent is projected and
+	// evaluated per row.
+	for _, a := range c.Antecedents {
+		if a.IsJoin() {
+			q.Joins = append(q.Joins, a)
+		} else {
+			q.Selects = append(q.Selects, a)
+		}
+	}
+	cons := c.Consequent
+	q.Project = append(q.Project, cons.Left)
+	if cons.IsJoin() {
+		q.Project = append(q.Project, cons.RightAttr)
+	}
+	if err := q.Validate(db.Schema()); err != nil {
+		return 0, err
+	}
+
+	res, err := New(db).Execute(q)
+	if err != nil {
+		return 0, err
+	}
+	violations := 0
+	for _, row := range res.Rows {
+		if cons.IsJoin() {
+			if !cons.EvalJoin(row.Values[0], row.Values[1]) {
+				violations++
+			}
+		} else {
+			if !cons.EvalSel(row.Values[0]) {
+				violations++
+			}
+		}
+	}
+	return violations, nil
+}
+
+// CheckCatalog verifies every constraint of a catalog against the database,
+// returning the first violated constraint's ID (or "" when all hold).
+func CheckCatalog(db *storage.Database, cat *constraint.Catalog) (string, error) {
+	for _, c := range cat.All() {
+		n, err := CheckConstraint(db, c)
+		if err != nil {
+			return "", err
+		}
+		if n > 0 {
+			return c.ID, nil
+		}
+	}
+	return "", nil
+}

@@ -1,0 +1,259 @@
+package groups
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sqo/internal/constraint"
+	"sqo/internal/predicate"
+	"sqo/internal/query"
+	"sqo/internal/value"
+)
+
+// fixture builds a small catalog over classes a, b, c, d with a mix of
+// intra- and inter-class constraints.
+func fixture() *constraint.Catalog {
+	sel := func(class string, n int64) predicate.Predicate {
+		return predicate.Eq(class, "x", value.Int(n))
+	}
+	return constraint.MustCatalog(
+		constraint.New("c1", []predicate.Predicate{sel("a", 1)}, []string{"ab"}, sel("b", 1)),
+		constraint.New("c2", []predicate.Predicate{sel("b", 2)}, []string{"bc"}, sel("c", 2)),
+		constraint.New("c3", nil, nil, sel("a", 3)),
+		constraint.New("c4", nil, nil, sel("d", 4)),
+		constraint.New("c5", []predicate.Predicate{sel("c", 5)}, []string{"cd"}, sel("d", 5)),
+	)
+}
+
+func TestPolicyString(t *testing.T) {
+	if Arbitrary.String() != "arbitrary" || LeastAccessed.String() != "least-accessed" ||
+		EvenSpread.String() != "even-spread" || Policy(9).String() != "policy(9)" {
+		t.Error("Policy.String broken")
+	}
+}
+
+func TestAccessStats(t *testing.T) {
+	s := NewAccessStats()
+	q := query.New("a", "b")
+	s.RecordQuery(q)
+	s.RecordQuery(q)
+	s.Record("a", 3)
+	if s.Count("a") != 5 || s.Count("b") != 2 || s.Count("zzz") != 0 {
+		t.Errorf("counts wrong: a=%d b=%d", s.Count("a"), s.Count("b"))
+	}
+	var zero AccessStats
+	zero.Record("x", 1)
+	zero.RecordQuery(q)
+	if zero.Count("x") != 1 || zero.Count("a") != 1 {
+		t.Error("zero-value AccessStats should work")
+	}
+}
+
+func TestArbitraryAssignment(t *testing.T) {
+	st := NewStore(fixture(), Arbitrary, nil)
+	sizes := st.GroupSizes()
+	total := 0
+	for _, n := range sizes {
+		total += n
+	}
+	if total != 5 {
+		t.Errorf("every constraint must land in exactly one group; placed %d", total)
+	}
+	// c1 references {a, b}; first is "a".
+	found := false
+	for _, c := range st.Group("a") {
+		if c.ID == "c1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Arbitrary should attach c1 to class a")
+	}
+}
+
+func TestLeastAccessedAssignment(t *testing.T) {
+	stats := NewAccessStats()
+	stats.Record("a", 100) // class a is hot; constraints should avoid it
+	stats.Record("b", 1)
+	st := NewStore(fixture(), LeastAccessed, stats)
+	for _, c := range st.Group("a") {
+		if c.ID == "c1" {
+			t.Error("c1 should be attached to the colder class b")
+		}
+	}
+	found := false
+	for _, c := range st.Group("b") {
+		if c.ID == "c1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("c1 not in group b")
+	}
+	// Intra-class constraints have no choice.
+	if len(st.Group("a")) == 0 {
+		t.Error("c3 must stay attached to a despite the heat")
+	}
+}
+
+func TestLeastAccessedNilStatsDegradesToArbitrary(t *testing.T) {
+	st := NewStore(fixture(), LeastAccessed, nil)
+	arb := NewStore(fixture(), Arbitrary, nil)
+	got, want := st.GroupSizes(), arb.GroupSizes()
+	for cl, n := range want {
+		if got[cl] != n {
+			t.Errorf("group %q size %d, want %d", cl, got[cl], n)
+		}
+	}
+}
+
+func TestEvenSpread(t *testing.T) {
+	// Ten two-class constraints over {a, b}: even spread should split 5/5,
+	// arbitrary would put all ten on a.
+	var cs []*constraint.Constraint
+	for i := 0; i < 10; i++ {
+		cs = append(cs, constraint.New(
+			string(rune('k'+i))+"x",
+			[]predicate.Predicate{predicate.Eq("a", "x", value.Int(int64(i)))},
+			[]string{"ab"},
+			predicate.Eq("b", "x", value.Int(int64(i)))))
+	}
+	cat := constraint.MustCatalog(cs...)
+	even := NewStore(cat, EvenSpread, nil)
+	if na, nb := len(even.Group("a")), len(even.Group("b")); na != 5 || nb != 5 {
+		t.Errorf("even spread gave %d/%d, want 5/5", na, nb)
+	}
+	arb := NewStore(cat, Arbitrary, nil)
+	if na := len(arb.Group("a")); na != 10 {
+		t.Errorf("arbitrary gave %d on a, want 10", na)
+	}
+}
+
+func TestRetrieveFindsAllRelevant(t *testing.T) {
+	cat := fixture()
+	q := query.New("a", "b").AddRelationship("ab")
+	for _, policy := range []Policy{Arbitrary, LeastAccessed, EvenSpread} {
+		st := NewStore(cat, policy, NewAccessStats())
+		got := st.Retrieve(q)
+		var ids []string
+		for _, c := range got {
+			ids = append(ids, c.ID)
+		}
+		want := []string{"c1", "c3"}
+		if len(ids) != 2 || ids[0] != want[0] || ids[1] != want[1] {
+			t.Errorf("%v: Retrieve = %v, want %v", policy, ids, want)
+		}
+	}
+}
+
+func TestRetrieveMetrics(t *testing.T) {
+	st := NewStore(fixture(), Arbitrary, nil)
+	q := query.New("a", "b").AddRelationship("ab")
+	st.Retrieve(q)
+	if st.Retrieved == 0 || st.Relevant == 0 || st.Relevant > st.Retrieved {
+		t.Errorf("metrics inconsistent: retrieved=%d relevant=%d", st.Retrieved, st.Relevant)
+	}
+	if w := st.WasteRatio(); w < 0 || w > 1 {
+		t.Errorf("WasteRatio = %v out of range", w)
+	}
+	empty := NewStore(fixture(), Arbitrary, nil)
+	if empty.WasteRatio() != 0 {
+		t.Error("WasteRatio of untouched store should be 0")
+	}
+}
+
+func TestRebuildAfterStatsShift(t *testing.T) {
+	stats := NewAccessStats()
+	st := NewStore(fixture(), LeastAccessed, stats)
+	// Initially ties: c1 lands on a (lexicographic tiebreak via first-class
+	// ordering of Classes()). Heat up a, rebuild, and c1 must migrate.
+	stats.Record("a", 1000)
+	st.Rebuild()
+	for _, c := range st.Group("a") {
+		if c.ID == "c1" {
+			t.Error("Rebuild should move c1 off the hot class")
+		}
+	}
+	// Total preserved.
+	total := 0
+	for _, n := range st.GroupSizes() {
+		total += n
+	}
+	if total != 5 {
+		t.Errorf("Rebuild lost constraints: %d", total)
+	}
+}
+
+// TestRetrieveCompleteProperty is the paper's correctness claim: under every
+// policy and any access pattern, Retrieve returns exactly the relevant
+// constraints that a full catalog scan would.
+func TestRetrieveCompleteProperty(t *testing.T) {
+	classes := []string{"a", "b", "c", "d", "e"}
+	rels := map[[2]string]string{}
+	var relNames []string
+	for i := 0; i < len(classes); i++ {
+		for j := i + 1; j < len(classes); j++ {
+			name := classes[i] + classes[j]
+			rels[[2]string{classes[i], classes[j]}] = name
+			relNames = append(relNames, name)
+		}
+	}
+	r := rand.New(rand.NewSource(42))
+	// Random catalog: 30 constraints over random class pairs.
+	var cs []*constraint.Constraint
+	for i := 0; i < 30; i++ {
+		ci := r.Intn(len(classes))
+		cj := r.Intn(len(classes))
+		if ci == cj {
+			cs = append(cs, constraint.New(
+				nameN("intra", i), nil, nil,
+				predicate.Eq(classes[ci], "x", value.Int(int64(i)))))
+			continue
+		}
+		if ci > cj {
+			ci, cj = cj, ci
+		}
+		link := rels[[2]string{classes[ci], classes[cj]}]
+		cs = append(cs, constraint.New(
+			nameN("inter", i),
+			[]predicate.Predicate{predicate.Eq(classes[ci], "x", value.Int(int64(i)))},
+			[]string{link},
+			predicate.Eq(classes[cj], "x", value.Int(int64(i)))))
+	}
+	cat := constraint.MustCatalog(cs...)
+
+	for trial := 0; trial < 200; trial++ {
+		// Random query: a random connected subset via direct links.
+		n := 1 + r.Intn(4)
+		perm := r.Perm(len(classes))[:n]
+		var qClasses []string
+		for _, i := range perm {
+			qClasses = append(qClasses, classes[i])
+		}
+		sort.Strings(qClasses)
+		q := query.New(qClasses...)
+		for i := 0; i < len(qClasses); i++ {
+			for j := i + 1; j < len(qClasses); j++ {
+				q.AddRelationship(rels[[2]string{qClasses[i], qClasses[j]}])
+			}
+		}
+
+		stats := NewAccessStats()
+		for _, cl := range classes {
+			stats.Record(cl, int64(r.Intn(100)))
+		}
+		want := cat.RelevantTo(q)
+		for _, policy := range []Policy{Arbitrary, LeastAccessed, EvenSpread} {
+			st := NewStore(cat, policy, stats)
+			got := st.Retrieve(q)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d policy %v: got %d relevant, want %d", trial, policy, len(got), len(want))
+			}
+		}
+	}
+}
+
+func nameN(prefix string, n int) string {
+	return prefix + string(rune('0'+n/10)) + string(rune('0'+n%10))
+}

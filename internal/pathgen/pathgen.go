@@ -1,0 +1,351 @@
+// Package pathgen reproduces the paper's workload methodology (Section 4):
+// "All possible paths in this schema were identified, where a path consists
+// of a series of interconnecting object classes and relationships, and no
+// object class or relationship appears more than once. A query was
+// formulated for each such path … From this set of queries, 40 test queries
+// were randomly chosen."
+//
+// Queries draw their selective predicates partly from the semantic
+// constraints' antecedents and consequents (so transformations can fire) and
+// partly from values sampled out of the database (so selectivities are
+// realistic). Everything is seeded and deterministic.
+package pathgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"sqo/internal/constraint"
+	"sqo/internal/engine"
+	"sqo/internal/predicate"
+	"sqo/internal/query"
+	"sqo/internal/schema"
+	"sqo/internal/storage"
+	"sqo/internal/value"
+)
+
+// Path is a simple path through the schema graph.
+type Path struct {
+	Classes []string
+	Rels    []string
+}
+
+// Key returns an orientation-independent identity for the path.
+func (p Path) Key() string {
+	fwd := strings.Join(p.Classes, ">")
+	rev := strings.Join(reversed(p.Classes), ">")
+	if rev < fwd {
+		fwd = rev
+	}
+	return fwd
+}
+
+func reversed(s []string) []string {
+	out := make([]string, len(s))
+	for i, v := range s {
+		out[len(s)-1-i] = v
+	}
+	return out
+}
+
+// EnumeratePaths lists every simple path of the schema graph with at least
+// one class: the single-class "paths" first, then all multi-class simple
+// paths, deduplicated by orientation. The result is deterministic.
+func EnumeratePaths(s *schema.Schema) []Path {
+	var out []Path
+	for _, cl := range s.Classes() {
+		out = append(out, Path{Classes: []string{cl}})
+	}
+
+	// Adjacency over declared relationships.
+	type edge struct{ to, rel string }
+	adj := map[string][]edge{}
+	for _, rn := range s.Relationships() {
+		r := s.Relationship(rn)
+		adj[r.Source] = append(adj[r.Source], edge{r.Target, rn})
+		adj[r.Target] = append(adj[r.Target], edge{r.Source, rn})
+	}
+
+	seen := map[string]bool{}
+	var dfs func(classes []string, rels []string, onPath map[string]bool)
+	dfs = func(classes, rels []string, onPath map[string]bool) {
+		if len(classes) >= 2 {
+			p := Path{
+				Classes: append([]string(nil), classes...),
+				Rels:    append([]string(nil), rels...),
+			}
+			if !seen[p.Key()] {
+				seen[p.Key()] = true
+				out = append(out, p)
+			}
+		}
+		last := classes[len(classes)-1]
+		for _, e := range adj[last] {
+			if onPath[e.to] {
+				continue
+			}
+			onPath[e.to] = true
+			dfs(append(classes, e.to), append(rels, e.rel), onPath)
+			delete(onPath, e.to)
+		}
+	}
+	for _, cl := range s.Classes() {
+		dfs([]string{cl}, nil, map[string]bool{cl: true})
+	}
+	return out
+}
+
+// Options tunes query generation.
+type Options struct {
+	// Seed drives all random choices.
+	Seed int64
+	// PredProb is the per-class probability of attaching a random
+	// selective predicate. Default 0.3.
+	PredProb float64
+	// ConstraintProb is the probability of seeding the query with the
+	// full antecedent set of a semantic constraint relevant to the path —
+	// the situations semantic query optimization exists for. Two draws
+	// are made per query. Default 0.8.
+	ConstraintProb float64
+	// ConsequentProb is the per-query probability of additionally
+	// attaching the consequent of a relevant constraint, creating
+	// restriction-elimination opportunities. Default 0.5.
+	ConsequentProb float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.PredProb == 0 {
+		o.PredProb = 0.3
+	}
+	if o.ConstraintProb == 0 {
+		o.ConstraintProb = 0.8
+	}
+	if o.ConsequentProb == 0 {
+		o.ConsequentProb = 0.5
+	}
+	return o
+}
+
+// Generator builds path queries over one database.
+type Generator struct {
+	sch   *schema.Schema
+	cat   *constraint.Catalog
+	db    *storage.Database
+	stats *storage.Stats
+	opts  Options
+}
+
+// NewGenerator prepares a generator. The database supplies realistic
+// predicate constants; the catalog supplies constraint-related predicates.
+func NewGenerator(db *storage.Database, cat *constraint.Catalog, opts Options) *Generator {
+	return &Generator{
+		sch:   db.Schema(),
+		cat:   cat,
+		db:    db,
+		stats: db.Analyze(),
+		opts:  opts.withDefaults(),
+	}
+}
+
+// distinct returns the attribute's distinct value count from the statistics
+// snapshot.
+func (g *Generator) distinct(class, attr string) int {
+	return g.stats.Classes[class].Attrs[attr].Distinct
+}
+
+// relevantConstraints returns the catalog constraints applicable to the
+// path: all referenced classes and links lie on it.
+func (g *Generator) relevantConstraints(p Path) []*constraint.Constraint {
+	probe := query.New(p.Classes...)
+	probe.Relationships = append(probe.Relationships, p.Rels...)
+	return g.cat.RelevantTo(probe)
+}
+
+// QueryForPath formulates one query over the path: projections from the
+// endpoint classes and randomized selective predicates.
+func (g *Generator) QueryForPath(p Path, r *rand.Rand) (*query.Query, error) {
+	q := query.New(p.Classes...)
+	q.Relationships = append(q.Relationships, p.Rels...)
+
+	// Project one attribute from each of one or two randomly chosen
+	// classes. Leaving some path classes unprojected matters: a dangling
+	// class with neither projections nor imperative predicates is exactly
+	// what class elimination (King's rule) removes, and the paper's
+	// workload clearly exercised it.
+	projClasses := map[string]bool{p.Classes[r.Intn(len(p.Classes))]: true}
+	if r.Intn(2) == 0 {
+		projClasses[p.Classes[r.Intn(len(p.Classes))]] = true
+	}
+	for _, cl := range p.Classes { // deterministic order
+		if !projClasses[cl] {
+			continue
+		}
+		attrs := g.sch.EffectiveAttributes(cl)
+		a := attrs[r.Intn(len(attrs))]
+		q.AddProject(cl, a.Name)
+	}
+
+	seen := map[string]bool{}
+	addSel := func(pred predicate.Predicate) {
+		if pred.IsJoin() || seen[pred.Key()] {
+			return
+		}
+		// Users do not write contradictory queries; neither does this
+		// generator. (Provably-empty queries execute in microseconds and
+		// would swamp the cost-ratio experiments with degenerate points.)
+		for _, existing := range q.Selects {
+			if pred.Contradicts(existing) {
+				return
+			}
+		}
+		seen[pred.Key()] = true
+		q.AddSelect(pred)
+	}
+
+	// Seed semantic-optimization opportunities: the antecedents of
+	// relevant constraints (introductions become fireable), sometimes
+	// together with a consequent (eliminations become fireable).
+	relevant := g.relevantConstraints(p)
+	if len(relevant) > 0 {
+		for draw := 0; draw < 2; draw++ {
+			if r.Float64() >= g.opts.ConstraintProb {
+				continue
+			}
+			c := relevant[r.Intn(len(relevant))]
+			for _, a := range c.Antecedents {
+				addSel(a)
+			}
+		}
+		if r.Float64() < g.opts.ConsequentProb {
+			c := relevant[r.Intn(len(relevant))]
+			for _, a := range c.Antecedents {
+				addSel(a)
+			}
+			addSel(c.Consequent)
+		}
+	}
+
+	// Plain data-derived predicates.
+	for _, cl := range p.Classes {
+		if r.Float64() >= g.opts.PredProb {
+			continue
+		}
+		if pred, ok := g.samplePredicate(cl, r); ok {
+			addSel(pred)
+		}
+	}
+	if err := q.Validate(g.sch); err != nil {
+		return nil, fmt.Errorf("pathgen: generated invalid query: %w", err)
+	}
+	return q, nil
+}
+
+// samplePredicate draws a predicate whose constant comes from an actual
+// instance, so it matches something. Identifier attributes (indexed and
+// nearly unique) are skipped: an equality on a key turns the query into a
+// point lookup, and the paper's test queries were multi-second retrievals,
+// not key probes.
+func (g *Generator) samplePredicate(class string, r *rand.Rand) (predicate.Predicate, bool) {
+	n := g.db.Count(class)
+	if n == 0 {
+		return predicate.Predicate{}, false
+	}
+	attrs := g.sch.EffectiveAttributes(class)
+	var candidates []schema.Attribute
+	for _, a := range attrs {
+		if a.Indexed && g.distinct(class, a.Name) >= n*9/10 {
+			continue
+		}
+		candidates = append(candidates, a)
+	}
+	if len(candidates) == 0 {
+		candidates = attrs
+	}
+	a := candidates[r.Intn(len(candidates))]
+	inst, err := g.db.Get(class, storage.OID(r.Intn(n)), nil)
+	if err != nil {
+		return predicate.Predicate{}, false
+	}
+	v, err := g.db.Attr(class, inst, a.Name)
+	if err != nil {
+		return predicate.Predicate{}, false
+	}
+	// High-cardinality attributes only get range predicates: an equality
+	// there is a point lookup, which defeats the purpose of a retrieval
+	// workload (and the paper's queries ran for seconds, not point probes).
+	pointy := g.distinct(class, a.Name) > 20
+	var op predicate.Op
+	switch {
+	case a.Type == value.KindBool || a.Type == value.KindString:
+		if pointy {
+			return predicate.Predicate{}, false
+		}
+		op = []predicate.Op{predicate.EQ, predicate.EQ, predicate.EQ, predicate.NE}[r.Intn(4)]
+	case pointy:
+		op = []predicate.Op{predicate.LE, predicate.GE, predicate.LT, predicate.GT}[r.Intn(4)]
+	default:
+		op = []predicate.Op{predicate.EQ, predicate.LE, predicate.GE, predicate.LT, predicate.GT}[r.Intn(5)]
+	}
+	// Strict comparisons against a domain extreme are provably empty;
+	// soften them.
+	as := g.stats.Classes[class].Attrs[a.Name]
+	if as.HasRange {
+		if op == predicate.GT && v.Equal(as.Max) {
+			op = predicate.GE
+		}
+		if op == predicate.LT && v.Equal(as.Min) {
+			op = predicate.LE
+		}
+	}
+	return predicate.Sel(class, a.Name, op, v), true
+}
+
+// Workload formulates a query per schema path (cycling with fresh random
+// predicates when count exceeds the path count) and randomly picks count of
+// them — the paper's 40-query selection. Duplicate and empty-result queries
+// are discarded: the paper's test queries were genuine retrievals (seconds
+// of work), and a provably-empty query executes in microseconds regardless
+// of optimization. Single-class "paths" are excluded too: the paper's paths
+// are a "series of interconnecting object classes and relationships".
+func (g *Generator) Workload(count int) ([]*query.Query, error) {
+	r := rand.New(rand.NewSource(g.opts.Seed))
+	var paths []Path
+	for _, p := range EnumeratePaths(g.sch) {
+		if len(p.Classes) >= 2 {
+			paths = append(paths, p)
+		}
+	}
+	exec := engine.New(g.db)
+	var queries []*query.Query
+	seen := map[string]bool{}
+	for round := 0; len(queries) < count*4 && round < 64; round++ {
+		for _, p := range paths {
+			q, err := g.QueryForPath(p, r)
+			if err != nil {
+				return nil, err
+			}
+			sig := q.Signature()
+			if seen[sig] {
+				continue
+			}
+			seen[sig] = true
+			res, err := exec.Execute(q)
+			if err != nil {
+				return nil, err
+			}
+			if len(res.Rows) == 0 {
+				continue
+			}
+			queries = append(queries, q)
+		}
+	}
+	if len(queries) < count {
+		return nil, fmt.Errorf("pathgen: only %d distinct queries available, need %d", len(queries), count)
+	}
+	// Deterministic random selection.
+	sort.Slice(queries, func(i, j int) bool { return queries[i].Signature() < queries[j].Signature() })
+	r.Shuffle(len(queries), func(i, j int) { queries[i], queries[j] = queries[j], queries[i] })
+	return queries[:count], nil
+}

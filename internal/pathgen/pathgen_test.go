@@ -1,0 +1,204 @@
+package pathgen
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sqo/internal/datagen"
+	"sqo/internal/schema"
+	"sqo/internal/value"
+)
+
+func smallSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	// a - b - c in a line.
+	return schema.NewBuilder().
+		Class("a", schema.Attribute{Name: "x", Type: value.KindInt}).
+		Class("b", schema.Attribute{Name: "x", Type: value.KindInt}).
+		Class("c", schema.Attribute{Name: "x", Type: value.KindInt}).
+		Relationship("ab", "a", "b", schema.ManyToMany).
+		Relationship("bc", "b", "c", schema.ManyToMany).
+		MustBuild()
+}
+
+func TestEnumeratePathsLine(t *testing.T) {
+	paths := EnumeratePaths(smallSchema(t))
+	// 3 singleton paths + a-b, b-c, a-b-c = 6.
+	if len(paths) != 6 {
+		t.Fatalf("paths = %d, want 6: %v", len(paths), paths)
+	}
+	// No duplicates under reversal: b-a must not appear alongside a-b.
+	keys := map[string]bool{}
+	for _, p := range paths {
+		if keys[p.Key()] {
+			t.Errorf("duplicate path %v", p)
+		}
+		keys[p.Key()] = true
+	}
+	// The full path a-b-c exists with both relationships.
+	found := false
+	for _, p := range paths {
+		if len(p.Classes) == 3 {
+			found = true
+			if len(p.Rels) != 2 {
+				t.Errorf("3-class path should use 2 relationships: %v", p)
+			}
+		}
+	}
+	if !found {
+		t.Error("full-length path missing")
+	}
+}
+
+func TestEnumeratePathsLogistics(t *testing.T) {
+	paths := EnumeratePaths(datagen.Schema())
+	// 5 singletons plus the simple paths of the 5-node/6-edge graph.
+	if len(paths) < 30 {
+		t.Errorf("logistics schema should yield a rich path set, got %d", len(paths))
+	}
+	// Every path is internally consistent: k classes, k-1 rels, no repeats.
+	for _, p := range paths {
+		if len(p.Rels) != len(p.Classes)-1 {
+			t.Errorf("path %v: %d classes but %d rels", p.Classes, len(p.Classes), len(p.Rels))
+		}
+		seenC := map[string]bool{}
+		for _, c := range p.Classes {
+			if seenC[c] {
+				t.Errorf("path repeats class %s: %v", c, p.Classes)
+			}
+			seenC[c] = true
+		}
+		seenR := map[string]bool{}
+		for _, r := range p.Rels {
+			if seenR[r] {
+				t.Errorf("path repeats relationship %s: %v", r, p.Rels)
+			}
+			seenR[r] = true
+		}
+	}
+	// Determinism.
+	again := EnumeratePaths(datagen.Schema())
+	if !reflect.DeepEqual(paths, again) {
+		t.Error("EnumeratePaths is not deterministic")
+	}
+}
+
+func TestPathKeyOrientation(t *testing.T) {
+	p1 := Path{Classes: []string{"a", "b", "c"}}
+	p2 := Path{Classes: []string{"c", "b", "a"}}
+	if p1.Key() != p2.Key() {
+		t.Error("reversed paths must share a key")
+	}
+	p3 := Path{Classes: []string{"a", "c", "b"}}
+	if p1.Key() == p3.Key() {
+		t.Error("different paths must not share a key")
+	}
+}
+
+func TestQueryForPath(t *testing.T) {
+	db := datagen.MustGenerate(datagen.DB1())
+	g := NewGenerator(db, datagen.Constraints(), Options{Seed: 7})
+	r := rand.New(rand.NewSource(7))
+	paths := EnumeratePaths(db.Schema())
+	for _, p := range paths {
+		q, err := g.QueryForPath(p, r)
+		if err != nil {
+			t.Fatalf("QueryForPath(%v): %v", p.Classes, err)
+		}
+		if err := q.Validate(db.Schema()); err != nil {
+			t.Errorf("generated query invalid: %v\n%s", err, q)
+		}
+		if len(q.Project) == 0 {
+			t.Errorf("query must project something: %s", q)
+		}
+	}
+}
+
+func TestWorkloadFortyQueries(t *testing.T) {
+	db := datagen.MustGenerate(datagen.DB1())
+	g := NewGenerator(db, datagen.Constraints(), Options{Seed: 41})
+	qs, err := g.Workload(40)
+	if err != nil {
+		t.Fatalf("Workload: %v", err)
+	}
+	if len(qs) != 40 {
+		t.Fatalf("workload = %d queries, want 40", len(qs))
+	}
+	seen := map[string]bool{}
+	for _, q := range qs {
+		if seen[q.Signature()] {
+			t.Errorf("duplicate query in workload: %s", q)
+		}
+		seen[q.Signature()] = true
+		if err := q.Validate(db.Schema()); err != nil {
+			t.Errorf("workload query invalid: %v", err)
+		}
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	db := datagen.MustGenerate(datagen.DB1())
+	g1 := NewGenerator(db, datagen.Constraints(), Options{Seed: 41})
+	g2 := NewGenerator(db, datagen.Constraints(), Options{Seed: 41})
+	a, err := g1.Workload(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g2.Workload(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("workload differs at %d:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+	g3 := NewGenerator(db, datagen.Constraints(), Options{Seed: 42})
+	c, err := g3.Workload(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if !a[i].Equal(c[i]) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should give different workloads")
+	}
+}
+
+func TestWorkloadMixesConstraintPredicates(t *testing.T) {
+	db := datagen.MustGenerate(datagen.DB1())
+	cat := datagen.Constraints()
+	g := NewGenerator(db, cat, Options{Seed: 41, PredProb: 0.9, ConstraintProb: 0.9})
+	qs, err := g.Workload(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect the constraint predicate pool keys.
+	poolKeys := map[string]bool{}
+	for _, c := range cat.All() {
+		for _, a := range c.Antecedents {
+			if !a.IsJoin() {
+				poolKeys[a.Key()] = true
+			}
+		}
+		if !c.Consequent.IsJoin() {
+			poolKeys[c.Consequent.Key()] = true
+		}
+	}
+	hits := 0
+	for _, q := range qs {
+		for _, p := range q.Selects {
+			if poolKeys[p.Key()] {
+				hits++
+			}
+		}
+	}
+	if hits < 10 {
+		t.Errorf("only %d constraint-derived predicates across the workload; transformations would never fire", hits)
+	}
+}

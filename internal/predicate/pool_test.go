@@ -1,0 +1,69 @@
+package predicate
+
+import (
+	"testing"
+
+	"sqo/internal/value"
+)
+
+func TestPoolInternDedupes(t *testing.T) {
+	p := NewPool()
+	a := Eq("cargo", "desc", value.String("x"))
+	b := Eq("cargo", "desc", value.String("x"))
+	c := Eq("cargo", "desc", value.String("y"))
+	ida := p.Intern(a)
+	idb := p.Intern(b)
+	idc := p.Intern(c)
+	if ida != idb {
+		t.Errorf("identical predicates got different IDs: %d vs %d", ida, idb)
+	}
+	if ida == idc {
+		t.Error("distinct predicates share an ID")
+	}
+	if p.Len() != 2 {
+		t.Errorf("Len = %d, want 2", p.Len())
+	}
+	if !p.At(ida).Equal(a) || !p.At(idc).Equal(c) {
+		t.Error("At returns wrong predicate")
+	}
+}
+
+func TestPoolLookup(t *testing.T) {
+	p := NewPool()
+	a := Eq("cargo", "desc", value.String("x"))
+	if _, ok := p.Lookup(a); ok {
+		t.Error("Lookup should miss before Intern")
+	}
+	id := p.Intern(a)
+	got, ok := p.Lookup(a)
+	if !ok || got != id {
+		t.Errorf("Lookup = %d, %v; want %d, true", got, ok, id)
+	}
+}
+
+func TestPoolZeroValueUsable(t *testing.T) {
+	var p Pool
+	id := p.Intern(Eq("a", "b", value.Int(1)))
+	if id != 0 || p.Len() != 1 {
+		t.Errorf("zero pool broken: id=%d len=%d", id, p.Len())
+	}
+}
+
+func TestPoolAllIsCopy(t *testing.T) {
+	p := NewPool()
+	p.Intern(Eq("a", "b", value.Int(1)))
+	all := p.All()
+	all[0] = Eq("z", "z", value.Int(9))
+	if p.At(0).Left.Class != "a" {
+		t.Error("All aliases internal storage")
+	}
+}
+
+func TestPoolMirroredJoinsIntern(t *testing.T) {
+	p := NewPool()
+	a := Join("x", "u", LE, "y", "v")
+	b := Join("y", "v", GE, "x", "u")
+	if p.Intern(a) != p.Intern(b) {
+		t.Error("mirrored joins must intern to the same ID")
+	}
+}

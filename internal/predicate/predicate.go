@@ -1,0 +1,436 @@
+// Package predicate implements the predicates that appear in queries and in
+// the antecedents/consequents of semantic constraints.
+//
+// Two forms exist, mirroring the paper's query representation:
+//
+//   - selective predicates, class.attr ⟨op⟩ constant
+//     (e.g. vehicle.desc = "refrigerated truck"), and
+//   - join predicates, class.attr ⟨op⟩ class.attr
+//     (e.g. driver.licenseClass >= vehicle.class, the consequent of c3).
+//
+// Predicates are small immutable values. Key() gives every predicate a
+// canonical identity — the transformation table of the core algorithm
+// identifies its columns by that key, and the closure module interns
+// predicates by it (the paper's "extract all the predicates into a separate
+// structure" storage optimization).
+//
+// The package also implements a sound (but deliberately incomplete) logical
+// calculus on predicates: Implies and Contradicts over same-attribute bound
+// reasoning. The closure module chains constraints with Implies, and the core
+// algorithm can use it to match antecedents that are entailed rather than
+// literally present.
+package predicate
+
+import (
+	"fmt"
+
+	"sqo/internal/schema"
+	"sqo/internal/value"
+)
+
+// Op is a comparison operator.
+type Op uint8
+
+// The six comparison operators of the paper's constraint language
+// (equal, notEqual, lessThan, …, greaterThanOrEqualTo).
+const (
+	EQ Op = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+// String returns the operator's infix spelling.
+func (o Op) String() string {
+	switch o {
+	case EQ:
+		return "="
+	case NE:
+		return "!="
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// ParseOp converts an infix spelling back to an Op.
+func ParseOp(s string) (Op, error) {
+	switch s {
+	case "=", "==":
+		return EQ, nil
+	case "!=", "<>":
+		return NE, nil
+	case "<":
+		return LT, nil
+	case "<=":
+		return LE, nil
+	case ">":
+		return GT, nil
+	case ">=":
+		return GE, nil
+	default:
+		return 0, fmt.Errorf("predicate: unknown operator %q", s)
+	}
+}
+
+// Flip mirrors the operator across the comparison: a op b  ⇔  b op.Flip() a.
+func (o Op) Flip() Op {
+	switch o {
+	case LT:
+		return GT
+	case LE:
+		return GE
+	case GT:
+		return LT
+	case GE:
+		return LE
+	default: // EQ, NE are symmetric
+		return o
+	}
+}
+
+// Negate returns the complementary operator: ¬(a op b) ⇔ a op.Negate() b.
+func (o Op) Negate() Op {
+	switch o {
+	case EQ:
+		return NE
+	case NE:
+		return EQ
+	case LT:
+		return GE
+	case LE:
+		return GT
+	case GT:
+		return LE
+	default: // GE
+		return LT
+	}
+}
+
+// Eval applies the operator to an already-computed three-way comparison
+// result (-1, 0, +1).
+func (o Op) Eval(cmp int) bool {
+	switch o {
+	case EQ:
+		return cmp == 0
+	case NE:
+		return cmp != 0
+	case LT:
+		return cmp < 0
+	case LE:
+		return cmp <= 0
+	case GT:
+		return cmp > 0
+	default: // GE
+		return cmp >= 0
+	}
+}
+
+// AttrRef names an attribute of an object class, e.g. cargo.desc.
+type AttrRef struct {
+	Class string
+	Attr  string
+}
+
+// String renders the reference in the paper's dotted notation.
+func (a AttrRef) String() string { return a.Class + "." + a.Attr }
+
+// Less orders references lexicographically; used for canonicalization.
+func (a AttrRef) Less(b AttrRef) bool {
+	if a.Class != b.Class {
+		return a.Class < b.Class
+	}
+	return a.Attr < b.Attr
+}
+
+// Predicate is a comparison between an attribute and either a constant
+// (selection) or another attribute (join). Exactly one of Const/RightAttr is
+// meaningful, discriminated by join.
+type Predicate struct {
+	Left      AttrRef
+	Op        Op
+	Const     value.Value
+	RightAttr AttrRef
+	join      bool
+}
+
+// Sel constructs a selective predicate class.attr ⟨op⟩ const.
+func Sel(class, attr string, op Op, v value.Value) Predicate {
+	return Predicate{Left: AttrRef{class, attr}, Op: op, Const: v}
+}
+
+// Eq is shorthand for the most common selective predicate.
+func Eq(class, attr string, v value.Value) Predicate { return Sel(class, attr, EQ, v) }
+
+// Join constructs a join predicate leftClass.leftAttr ⟨op⟩ rightClass.rightAttr.
+// The result is canonicalized so the lexicographically smaller reference is
+// on the left; driver.licenseClass >= vehicle.class and
+// vehicle.class <= driver.licenseClass are the same predicate.
+func Join(leftClass, leftAttr string, op Op, rightClass, rightAttr string) Predicate {
+	l := AttrRef{leftClass, leftAttr}
+	r := AttrRef{rightClass, rightAttr}
+	if r.Less(l) {
+		l, r = r, l
+		op = op.Flip()
+	}
+	return Predicate{Left: l, Op: op, RightAttr: r, join: true}
+}
+
+// IsJoin reports whether the predicate compares two attributes.
+func (p Predicate) IsJoin() bool { return p.join }
+
+// Classes returns the distinct class names the predicate touches: one for a
+// selection, one or two for a join.
+func (p Predicate) Classes() []string {
+	if !p.join || p.Left.Class == p.RightAttr.Class {
+		return []string{p.Left.Class}
+	}
+	return []string{p.Left.Class, p.RightAttr.Class}
+}
+
+// References reports whether the predicate mentions the given class.
+func (p Predicate) References(class string) bool {
+	if p.Left.Class == class {
+		return true
+	}
+	return p.join && p.RightAttr.Class == class
+}
+
+// String renders the predicate the way the paper prints them,
+// e.g. `cargo.desc = "frozen food"`.
+func (p Predicate) String() string {
+	if p.join {
+		return fmt.Sprintf("%s %s %s", p.Left, p.Op, p.RightAttr)
+	}
+	return fmt.Sprintf("%s %s %s", p.Left, p.Op, p.Const)
+}
+
+// Key returns the canonical identity of the predicate. Predicates that are
+// syntactically equal after canonicalization share a key; the transformation
+// table uses keys as column identities.
+func (p Predicate) Key() string {
+	if p.join {
+		return p.Left.String() + string(rune('0'+p.Op)) + "@" + p.RightAttr.String()
+	}
+	return p.Left.String() + string(rune('0'+p.Op)) + p.Const.Key()
+}
+
+// Equal reports whether two predicates are the same canonical predicate.
+func (p Predicate) Equal(q Predicate) bool { return p.Key() == q.Key() }
+
+// Validate checks the predicate against the schema: classes and attributes
+// must exist (respecting inheritance) and operand types must be comparable.
+// Range operators on booleans are rejected.
+func (p Predicate) Validate(s *schema.Schema) error {
+	la, ok := s.Attr(p.Left.Class, p.Left.Attr)
+	if !ok {
+		return fmt.Errorf("predicate %s: unknown attribute %s", p, p.Left)
+	}
+	var rightKind value.Kind
+	if p.join {
+		ra, ok := s.Attr(p.RightAttr.Class, p.RightAttr.Attr)
+		if !ok {
+			return fmt.Errorf("predicate %s: unknown attribute %s", p, p.RightAttr)
+		}
+		rightKind = ra.Type
+	} else {
+		if !p.Const.Valid() {
+			return fmt.Errorf("predicate %s: invalid constant", p)
+		}
+		rightKind = p.Const.Kind()
+	}
+	compatible := la.Type == rightKind || (la.Type.Numeric() && rightKind.Numeric())
+	if !compatible {
+		return fmt.Errorf("predicate %s: cannot compare %s with %s", p, la.Type, rightKind)
+	}
+	if la.Type == value.KindBool && p.Op != EQ && p.Op != NE {
+		return fmt.Errorf("predicate %s: ordering operator on boolean attribute", p)
+	}
+	return nil
+}
+
+// EvalSel evaluates a selective predicate against an attribute value.
+// It returns false when the values are incomparable (type mismatch at
+// runtime), matching SQL-style semantics where such rows do not qualify.
+func (p Predicate) EvalSel(v value.Value) bool {
+	if p.join {
+		panic("predicate: EvalSel called on join predicate " + p.String())
+	}
+	cmp, err := v.Compare(p.Const)
+	if err != nil {
+		return false
+	}
+	return p.Op.Eval(cmp)
+}
+
+// EvalJoin evaluates a join predicate against the left and right attribute
+// values.
+func (p Predicate) EvalJoin(left, right value.Value) bool {
+	if !p.join {
+		panic("predicate: EvalJoin called on selective predicate " + p.String())
+	}
+	cmp, err := left.Compare(right)
+	if err != nil {
+		return false
+	}
+	return p.Op.Eval(cmp)
+}
+
+// Implies reports whether p logically entails q for every possible attribute
+// value. The test is sound but incomplete: it only reasons about predicates
+// over the same operand pair. Examples:
+//
+//	A = 5   implies  A >= 5, A > 3, A != 4
+//	A > 5   implies  A > 3, A >= 5, A != 2
+//	A = B   implies  A >= B, A <= B (joins)
+//
+// Incomparable or cross-attribute pairs conservatively report false.
+func (p Predicate) Implies(q Predicate) bool {
+	if p.Key() == q.Key() {
+		return true
+	}
+	if p.join != q.join {
+		return false
+	}
+	if p.join {
+		if p.Left != q.Left || p.RightAttr != q.RightAttr {
+			return false
+		}
+		return opImplies[opPair{p.Op, q.Op}]
+	}
+	if p.Left != q.Left {
+		return false
+	}
+	return selImplies(p.Op, p.Const, q.Op, q.Const)
+}
+
+// opPair indexes the join-operator implication table.
+type opPair struct{ p, q Op }
+
+// opImplies records which operator alone implies which, for identical
+// operand pairs (used for joins, where no constants participate).
+var opImplies = map[opPair]bool{
+	{EQ, LE}: true, {EQ, GE}: true,
+	{LT, LE}: true, {LT, NE}: true,
+	{GT, GE}: true, {GT, NE}: true,
+}
+
+// selImplies decides (A opP cP) ⊨ (A opQ cQ) by bound reasoning.
+func selImplies(opP Op, cP value.Value, opQ Op, cQ value.Value) bool {
+	cmp, err := cP.Compare(cQ)
+	if err != nil {
+		return false
+	}
+	switch opP {
+	case EQ:
+		// A = cP entails anything cP itself satisfies.
+		return opQ.Eval(cmp)
+	case NE:
+		// A != cP entails only A != cQ when cP == cQ.
+		return opQ == NE && cmp == 0
+	case LT:
+		switch opQ {
+		case LT, LE:
+			return cmp <= 0 // A < 5 → A < 7, A <= 5
+		case NE:
+			return cmp <= 0 // A < 5 → A != 5, A != 7
+		}
+	case LE:
+		switch opQ {
+		case LE:
+			return cmp <= 0
+		case LT:
+			return cmp < 0 // A <= 5 → A < 7
+		case NE:
+			return cmp < 0
+		}
+	case GT:
+		switch opQ {
+		case GT, GE:
+			return cmp >= 0
+		case NE:
+			return cmp >= 0
+		}
+	case GE:
+		switch opQ {
+		case GE:
+			return cmp >= 0
+		case GT:
+			return cmp > 0
+		case NE:
+			return cmp > 0
+		}
+	}
+	return false
+}
+
+// Contradicts reports whether p ∧ q is unsatisfiable. Like Implies, the test
+// is sound but incomplete, covering same-operand-pair bound reasoning only.
+// (A = 5) ∧ (A = 6), (A > 5) ∧ (A < 3) and (A = B) ∧ (A != B) contradict.
+func (p Predicate) Contradicts(q Predicate) bool {
+	if p.join != q.join {
+		return false
+	}
+	if p.join {
+		if p.Left != q.Left || p.RightAttr != q.RightAttr {
+			return false
+		}
+		// p ∧ q unsat ⇔ p entails the negation of q.
+		return p.Op == q.Op.Negate() ||
+			opImplies[opPair{p.Op, q.Op.Negate()}] ||
+			opImplies[opPair{q.Op, p.Op.Negate()}]
+	}
+	if p.Left != q.Left {
+		return false
+	}
+	// p ∧ q unsat ⇔ p ⊨ ¬q.
+	return selImplies(p.Op, p.Const, q.Op.Negate(), q.Const)
+}
+
+// Selectivity estimates the fraction of instances satisfying the predicate,
+// given the number of distinct values of the attribute and, when available,
+// its numeric min/max. This is the classic System-R style estimate the cost
+// model builds on.
+func (p Predicate) Selectivity(distinct int, min, max value.Value, haveRange bool) float64 {
+	if distinct < 1 {
+		distinct = 1
+	}
+	uniform := 1.0 / float64(distinct)
+	switch p.Op {
+	case EQ:
+		return uniform
+	case NE:
+		return 1 - uniform
+	}
+	// Range operator: interpolate when numeric bounds are known.
+	if !p.join && haveRange {
+		lo, okLo := min.Num()
+		hi, okHi := max.Num()
+		c, okC := p.Const.Num()
+		if okLo && okHi && okC && hi > lo {
+			frac := (c - lo) / (hi - lo)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			switch p.Op {
+			case LT, LE:
+				return frac
+			case GT, GE:
+				return 1 - frac
+			}
+		}
+	}
+	return 1.0 / 3.0 // the traditional default range selectivity
+}

@@ -1,0 +1,422 @@
+package predicate
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"sqo/internal/schema"
+	"sqo/internal/value"
+)
+
+func testSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	return schema.NewBuilder().
+		Class("cargo",
+			schema.Attribute{Name: "desc", Type: value.KindString},
+			schema.Attribute{Name: "quantity", Type: value.KindInt, Indexed: true},
+			schema.Attribute{Name: "fragile", Type: value.KindBool}).
+		Class("vehicle",
+			schema.Attribute{Name: "desc", Type: value.KindString},
+			schema.Attribute{Name: "class", Type: value.KindInt},
+			schema.Attribute{Name: "payload", Type: value.KindFloat}).
+		MustBuild()
+}
+
+func TestOpStringAndParse(t *testing.T) {
+	for _, op := range []Op{EQ, NE, LT, LE, GT, GE} {
+		parsed, err := ParseOp(op.String())
+		if err != nil {
+			t.Fatalf("ParseOp(%q): %v", op.String(), err)
+		}
+		if parsed != op {
+			t.Errorf("ParseOp(%q) = %v, want %v", op.String(), parsed, op)
+		}
+	}
+	if Op(42).String() != "?" {
+		t.Error("unknown op should render ?")
+	}
+	for _, alias := range []string{"==", "<>"} {
+		if _, err := ParseOp(alias); err != nil {
+			t.Errorf("ParseOp(%q) should succeed", alias)
+		}
+	}
+	if _, err := ParseOp("~"); err == nil {
+		t.Error("ParseOp(~) should fail")
+	}
+}
+
+func TestOpFlipNegate(t *testing.T) {
+	vals := []int{-1, 0, 1}
+	for _, op := range []Op{EQ, NE, LT, LE, GT, GE} {
+		for _, cmp := range vals {
+			// a op b with cmp(a,b) == c  ⇔  b flip(op) a with cmp(b,a) == -c
+			if op.Eval(cmp) != op.Flip().Eval(-cmp) {
+				t.Errorf("Flip broken for %v at cmp=%d", op, cmp)
+			}
+			if op.Eval(cmp) == op.Negate().Eval(cmp) {
+				t.Errorf("Negate broken for %v at cmp=%d", op, cmp)
+			}
+		}
+	}
+}
+
+func TestSelConstructionAndString(t *testing.T) {
+	p := Eq("cargo", "desc", value.String("frozen food"))
+	if p.IsJoin() {
+		t.Error("Eq must build a selection")
+	}
+	if got, want := p.String(), `cargo.desc = "frozen food"`; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	q := Sel("cargo", "quantity", GE, value.Int(10))
+	if got, want := q.String(), "cargo.quantity >= 10"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestJoinCanonicalization(t *testing.T) {
+	a := Join("driver", "licenseClass", GE, "vehicle", "class")
+	b := Join("vehicle", "class", LE, "driver", "licenseClass")
+	if !a.Equal(b) {
+		t.Errorf("mirrored joins should be equal: %s vs %s", a, b)
+	}
+	if a.Key() != b.Key() {
+		t.Errorf("mirrored joins should share a key: %q vs %q", a.Key(), b.Key())
+	}
+	if !a.IsJoin() {
+		t.Error("Join must build a join predicate")
+	}
+	if got, want := a.String(), "driver.licenseClass >= vehicle.class"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestClassesAndReferences(t *testing.T) {
+	sel := Eq("cargo", "desc", value.String("x"))
+	if got := sel.Classes(); !reflect.DeepEqual(got, []string{"cargo"}) {
+		t.Errorf("Classes() = %v", got)
+	}
+	join := Join("driver", "licenseClass", GE, "vehicle", "class")
+	if got := join.Classes(); len(got) != 2 {
+		t.Errorf("join Classes() = %v", got)
+	}
+	selfJoin := Join("cargo", "quantity", LT, "cargo", "desc")
+	if got := selfJoin.Classes(); !reflect.DeepEqual(got, []string{"cargo"}) {
+		t.Errorf("self-join Classes() = %v", got)
+	}
+	if !join.References("driver") || !join.References("vehicle") || join.References("cargo") {
+		t.Error("References broken for join")
+	}
+	if !sel.References("cargo") || sel.References("vehicle") {
+		t.Error("References broken for selection")
+	}
+}
+
+func TestKeyDistinguishes(t *testing.T) {
+	ps := []Predicate{
+		Eq("cargo", "desc", value.String("a")),
+		Eq("cargo", "desc", value.String("b")),
+		Sel("cargo", "desc", NE, value.String("a")),
+		Eq("vehicle", "desc", value.String("a")),
+		Join("cargo", "desc", EQ, "vehicle", "desc"),
+		Sel("cargo", "quantity", GE, value.Int(10)),
+		Sel("cargo", "quantity", GT, value.Int(10)),
+	}
+	seen := map[string]Predicate{}
+	for _, p := range ps {
+		if prev, dup := seen[p.Key()]; dup {
+			t.Errorf("key collision: %s and %s", prev, p)
+		}
+		seen[p.Key()] = p
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := testSchema(t)
+	good := []Predicate{
+		Eq("cargo", "desc", value.String("x")),
+		Sel("cargo", "quantity", GT, value.Int(3)),
+		Sel("cargo", "quantity", GT, value.Float(3.5)), // cross-numeric ok
+		Eq("cargo", "fragile", value.Bool(true)),
+		Join("cargo", "desc", EQ, "vehicle", "desc"),
+		Join("cargo", "quantity", LE, "vehicle", "payload"),
+	}
+	for _, p := range good {
+		if err := p.Validate(s); err != nil {
+			t.Errorf("Validate(%s) unexpected error: %v", p, err)
+		}
+	}
+	bad := []Predicate{
+		Eq("ghost", "desc", value.String("x")),
+		Eq("cargo", "ghost", value.String("x")),
+		Eq("cargo", "desc", value.Int(3)),             // type mismatch
+		Sel("cargo", "fragile", LT, value.Bool(true)), // range op on bool
+		Join("cargo", "desc", EQ, "vehicle", "class"), // string vs int
+		Join("cargo", "desc", EQ, "vehicle", "ghost"), // unknown right attr
+		{Left: AttrRef{"cargo", "desc"}, Op: EQ},      // invalid constant
+	}
+	for _, p := range bad {
+		if err := p.Validate(s); err == nil {
+			t.Errorf("Validate(%s) should fail", p)
+		}
+	}
+}
+
+func TestEvalSel(t *testing.T) {
+	p := Sel("cargo", "quantity", GE, value.Int(10))
+	if !p.EvalSel(value.Int(10)) || !p.EvalSel(value.Int(11)) || p.EvalSel(value.Int(9)) {
+		t.Error("EvalSel bound handling broken")
+	}
+	if p.EvalSel(value.String("ten")) {
+		t.Error("incomparable runtime value must not qualify")
+	}
+}
+
+func TestEvalJoin(t *testing.T) {
+	p := Join("driver", "licenseClass", GE, "vehicle", "class")
+	if !p.EvalJoin(value.Int(3), value.Int(2)) {
+		t.Error("3 >= 2 should hold")
+	}
+	if p.EvalJoin(value.Int(1), value.Int(2)) {
+		t.Error("1 >= 2 should not hold")
+	}
+	if p.EvalJoin(value.String("a"), value.Int(2)) {
+		t.Error("incomparable join values must not qualify")
+	}
+}
+
+func TestEvalPanicsOnWrongForm(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("EvalSel on join should panic")
+		}
+	}()
+	Join("a", "x", EQ, "b", "y").EvalSel(value.Int(1))
+}
+
+func TestImpliesTable(t *testing.T) {
+	A := func(op Op, c int64) Predicate { return Sel("cargo", "quantity", op, value.Int(c)) }
+	cases := []struct {
+		p, q Predicate
+		want bool
+	}{
+		{A(EQ, 5), A(EQ, 5), true},
+		{A(EQ, 5), A(GE, 5), true},
+		{A(EQ, 5), A(GT, 3), true},
+		{A(EQ, 5), A(NE, 4), true},
+		{A(EQ, 5), A(LT, 6), true},
+		{A(EQ, 5), A(GT, 5), false},
+		{A(EQ, 5), A(EQ, 6), false},
+		{A(NE, 5), A(NE, 5), true},
+		{A(NE, 5), A(NE, 6), false},
+		{A(LT, 5), A(LT, 7), true},
+		{A(LT, 5), A(LE, 5), true},
+		{A(LT, 5), A(NE, 5), true},
+		{A(LT, 5), A(NE, 7), true},
+		{A(LT, 5), A(NE, 3), false},
+		{A(LT, 5), A(LT, 3), false},
+		{A(LE, 5), A(LE, 6), true},
+		{A(LE, 5), A(LT, 6), true},
+		{A(LE, 5), A(LT, 5), false},
+		{A(LE, 5), A(NE, 6), true},
+		{A(GT, 5), A(GT, 3), true},
+		{A(GT, 5), A(GE, 5), true},
+		{A(GT, 5), A(NE, 5), true},
+		{A(GT, 5), A(NE, 3), true},
+		{A(GT, 5), A(NE, 7), false},
+		{A(GE, 5), A(GE, 4), true},
+		{A(GE, 5), A(GT, 4), true},
+		{A(GE, 5), A(GT, 5), false},
+		{A(GE, 5), A(NE, 4), true},
+		// cross attribute: never implied
+		{A(EQ, 5), Sel("cargo", "desc", EQ, value.String("5")), false},
+		// string equality chains
+		{Eq("cargo", "desc", value.String("a")), Sel("cargo", "desc", NE, value.String("b")), true},
+	}
+	for _, c := range cases {
+		if got := c.p.Implies(c.q); got != c.want {
+			t.Errorf("(%s).Implies(%s) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestImpliesJoins(t *testing.T) {
+	j := func(op Op) Predicate { return Join("a", "x", op, "b", "y") }
+	cases := []struct {
+		p, q Predicate
+		want bool
+	}{
+		{j(EQ), j(LE), true},
+		{j(EQ), j(GE), true},
+		{j(LT), j(LE), true},
+		{j(LT), j(NE), true},
+		{j(GT), j(GE), true},
+		{j(LE), j(LT), false},
+		{j(EQ), j(NE), false},
+		{j(EQ), Join("a", "x", EQ, "b", "z"), false},
+	}
+	for _, c := range cases {
+		if got := c.p.Implies(c.q); got != c.want {
+			t.Errorf("(%s).Implies(%s) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+	// A join never implies a selection and vice versa.
+	if j(EQ).Implies(Eq("a", "x", value.Int(1))) || Eq("a", "x", value.Int(1)).Implies(j(EQ)) {
+		t.Error("join/selection cross implication must be false")
+	}
+}
+
+func TestContradicts(t *testing.T) {
+	A := func(op Op, c int64) Predicate { return Sel("cargo", "quantity", op, value.Int(c)) }
+	cases := []struct {
+		p, q Predicate
+		want bool
+	}{
+		{A(EQ, 5), A(EQ, 6), true},
+		{A(EQ, 5), A(NE, 5), true},
+		{A(GT, 5), A(LT, 3), true},
+		{A(GT, 5), A(LE, 5), true},
+		{A(GE, 5), A(LT, 5), true},
+		{A(GT, 5), A(LT, 6), false},
+		{A(GE, 5), A(LE, 5), false},
+		{A(EQ, 5), A(GE, 5), false},
+		{A(NE, 5), A(NE, 6), false},
+		{A(EQ, 5), Sel("cargo", "desc", EQ, value.String("x")), false},
+	}
+	for _, c := range cases {
+		if got := c.p.Contradicts(c.q); got != c.want {
+			t.Errorf("(%s).Contradicts(%s) = %v, want %v", c.p, c.q, got, c.want)
+		}
+		if got := c.q.Contradicts(c.p); got != c.want {
+			t.Errorf("(%s).Contradicts(%s) = %v, want %v (symmetry)", c.q, c.p, got, c.want)
+		}
+	}
+	jEQ := Join("a", "x", EQ, "b", "y")
+	jNE := Join("a", "x", NE, "b", "y")
+	jLT := Join("a", "x", LT, "b", "y")
+	jGT := Join("a", "x", GT, "b", "y")
+	if !jEQ.Contradicts(jNE) || !jLT.Contradicts(jGT) || !jLT.Contradicts(jEQ) {
+		t.Error("join contradictions broken")
+	}
+	if jEQ.Contradicts(Join("a", "x", LE, "b", "y")) {
+		t.Error("= and <= do not contradict")
+	}
+	if jEQ.Contradicts(Eq("a", "x", value.Int(1))) {
+		t.Error("join/selection never contradict in this calculus")
+	}
+}
+
+func TestSelectivity(t *testing.T) {
+	eq := Eq("cargo", "desc", value.String("x"))
+	if got := eq.Selectivity(10, value.Value{}, value.Value{}, false); got != 0.1 {
+		t.Errorf("EQ selectivity = %v, want 0.1", got)
+	}
+	ne := Sel("cargo", "desc", NE, value.String("x"))
+	if got := ne.Selectivity(10, value.Value{}, value.Value{}, false); got != 0.9 {
+		t.Errorf("NE selectivity = %v, want 0.9", got)
+	}
+	// Range with interpolation: quantity in [0,100], pred < 25 → 0.25.
+	lt := Sel("cargo", "quantity", LT, value.Int(25))
+	got := lt.Selectivity(50, value.Int(0), value.Int(100), true)
+	if got != 0.25 {
+		t.Errorf("LT interpolated selectivity = %v, want 0.25", got)
+	}
+	gt := Sel("cargo", "quantity", GT, value.Int(25))
+	if got := gt.Selectivity(50, value.Int(0), value.Int(100), true); got != 0.75 {
+		t.Errorf("GT interpolated selectivity = %v, want 0.75", got)
+	}
+	// Out-of-range constants clamp.
+	low := Sel("cargo", "quantity", LT, value.Int(-5))
+	if got := low.Selectivity(50, value.Int(0), value.Int(100), true); got != 0 {
+		t.Errorf("clamped selectivity = %v, want 0", got)
+	}
+	// No range info → default 1/3.
+	if got := lt.Selectivity(50, value.Value{}, value.Value{}, false); got != 1.0/3.0 {
+		t.Errorf("default range selectivity = %v, want 1/3", got)
+	}
+	// Defensive: distinct < 1.
+	if got := eq.Selectivity(0, value.Value{}, value.Value{}, false); got != 1 {
+		t.Errorf("distinct=0 selectivity = %v, want 1", got)
+	}
+}
+
+// --- property-based tests -------------------------------------------------
+
+// genSel builds a random selective predicate over a single int attribute, the
+// domain where the implication calculus is complete enough to matter.
+func genSel(r *rand.Rand) Predicate {
+	ops := []Op{EQ, NE, LT, LE, GT, GE}
+	return Sel("c", "a", ops[r.Intn(len(ops))], value.Int(int64(r.Intn(21)-10)))
+}
+
+type selPair struct{ P, Q Predicate }
+
+func (selPair) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(selPair{genSel(r), genSel(r)})
+}
+
+// TestQuickImpliesSound: if p.Implies(q), every integer satisfying p
+// satisfies q.
+func TestQuickImpliesSound(t *testing.T) {
+	f := func(pair selPair) bool {
+		if !pair.P.Implies(pair.Q) {
+			return true
+		}
+		for v := int64(-15); v <= 15; v++ {
+			if pair.P.EvalSel(value.Int(v)) && !pair.Q.EvalSel(value.Int(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickContradictsSound: if p.Contradicts(q), no integer satisfies both.
+func TestQuickContradictsSound(t *testing.T) {
+	f := func(pair selPair) bool {
+		if !pair.P.Contradicts(pair.Q) {
+			return true
+		}
+		for v := int64(-15); v <= 15; v++ {
+			if pair.P.EvalSel(value.Int(v)) && pair.Q.EvalSel(value.Int(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickImpliesTransitive: implication is transitive.
+func TestQuickImpliesTransitive(t *testing.T) {
+	type triple struct{ P, Q, R Predicate }
+	gen := func(r *rand.Rand) triple { return triple{genSel(r), genSel(r), genSel(r)} }
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		tr := gen(r)
+		if tr.P.Implies(tr.Q) && tr.Q.Implies(tr.R) && !tr.P.Implies(tr.R) {
+			t.Fatalf("transitivity violated: %s ⊨ %s ⊨ %s", tr.P, tr.Q, tr.R)
+		}
+	}
+}
+
+// TestQuickImpliesReflexive: every predicate implies itself.
+func TestQuickImpliesReflexive(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 500; i++ {
+		p := genSel(r)
+		if !p.Implies(p) {
+			t.Fatalf("%s should imply itself", p)
+		}
+		if p.Contradicts(p) {
+			t.Fatalf("%s should not contradict itself", p)
+		}
+	}
+}

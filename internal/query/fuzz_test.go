@@ -1,0 +1,37 @@
+package query
+
+import (
+	"testing"
+)
+
+// FuzzParse: the query parser must never panic, and anything it accepts must
+// survive a render/re-parse round trip with identical identity.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`(SELECT {vehicle.vehicle#, cargo.desc} {} {vehicle.desc = "refrigerated truck"} {collects} {cargo, vehicle})`,
+		`(SELECT {a.x} {a.x = b.y} {a.x >= 10, b.y != 3} {r} {a, b})`,
+		`(SELECT {} {} {} {} {c})`,
+		`(SELECT {c.v} {} {c.v = "quote \" inside"} {} {c})`,
+		`(select {c.v} {} {c.v = -42} {} {c})`,
+		"(SELECT",
+		"{}{}{}{}{}",
+		`(SELECT {a.b.c} {} {} {} {x})`,
+		`(SELECT {a.b} {} {a.b ~ 1} {} {x})`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		back, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("accepted %q but rendered form fails: %v\nrendered: %s", input, err, q)
+		}
+		if back.Signature() != q.Signature() {
+			t.Fatalf("round trip changed identity:\n in: %s\nout: %s", q, back)
+		}
+	})
+}

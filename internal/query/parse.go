@@ -1,0 +1,333 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"sqo/internal/predicate"
+	"sqo/internal/value"
+)
+
+// Parse reads a query in the paper's textual format:
+//
+//	(SELECT {vehicle.vehicle#, cargo.desc} {}
+//	        {vehicle.desc = "refrigerated truck", supplier.name = "SFI"}
+//	        {collects, supplies} {supplier, cargo, vehicle})
+//
+// Whitespace (including newlines) is insignificant. The five brace-delimited
+// lists are, in order: projection, join predicates, selective predicates,
+// relationships, classes.
+func Parse(input string) (*Query, error) {
+	p := &parser{lex: newLexer(input)}
+	q, err := p.parse()
+	if err != nil {
+		return nil, fmt.Errorf("query: parse: %w", err)
+	}
+	return q, nil
+}
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokComma
+	tokIdent  // bare identifier, possibly dotted: cargo.desc
+	tokString // double-quoted
+	tokNumber
+	tokOp // = != < <= > >=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	in  string
+	pos int
+}
+
+func newLexer(in string) *lexer { return &lexer{in: in} }
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.in) && unicode.IsSpace(rune(l.in[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.in) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	ch := l.in[l.pos]
+	switch ch {
+	case '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case '{':
+		l.pos++
+		return token{tokLBrace, "{", start}, nil
+	case '}':
+		l.pos++
+		return token{tokRBrace, "}", start}, nil
+	case ',':
+		l.pos++
+		return token{tokComma, ",", start}, nil
+	case '"':
+		l.pos++
+		for l.pos < len(l.in) && l.in[l.pos] != '"' {
+			if l.in[l.pos] == '\\' {
+				l.pos++
+			}
+			l.pos++
+		}
+		if l.pos >= len(l.in) {
+			return token{}, fmt.Errorf("unterminated string at offset %d", start)
+		}
+		l.pos++
+		return token{tokString, l.in[start:l.pos], start}, nil
+	case '=', '<', '>', '!':
+		l.pos++
+		if l.pos < len(l.in) && (l.in[l.pos] == '=' || (ch == '<' && l.in[l.pos] == '>')) {
+			l.pos++
+		}
+		return token{tokOp, l.in[start:l.pos], start}, nil
+	}
+	if ch == '-' || unicode.IsDigit(rune(ch)) {
+		l.pos++
+		for l.pos < len(l.in) && (unicode.IsDigit(rune(l.in[l.pos])) || l.in[l.pos] == '.') {
+			l.pos++
+		}
+		return token{tokNumber, l.in[start:l.pos], start}, nil
+	}
+	if isIdentStart(ch) {
+		l.pos++
+		for l.pos < len(l.in) && isIdentPart(l.in[l.pos]) {
+			l.pos++
+		}
+		return token{tokIdent, l.in[start:l.pos], start}, nil
+	}
+	return token{}, fmt.Errorf("unexpected character %q at offset %d", ch, start)
+}
+
+func isIdentStart(ch byte) bool {
+	return ch == '_' || unicode.IsLetter(rune(ch))
+}
+
+func isIdentPart(ch byte) bool {
+	return isIdentStart(ch) || unicode.IsDigit(rune(ch)) || ch == '.' || ch == '#'
+}
+
+type parser struct {
+	lex    *lexer
+	peeked *token
+}
+
+func (p *parser) next() (token, error) {
+	if p.peeked != nil {
+		t := *p.peeked
+		p.peeked = nil
+		return t, nil
+	}
+	return p.lex.next()
+}
+
+func (p *parser) peek() (token, error) {
+	if p.peeked == nil {
+		t, err := p.lex.next()
+		if err != nil {
+			return token{}, err
+		}
+		p.peeked = &t
+	}
+	return *p.peeked, nil
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	t, err := p.next()
+	if err != nil {
+		return token{}, err
+	}
+	if t.kind != kind {
+		return token{}, fmt.Errorf("expected %s at offset %d, got %q", what, t.pos, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) parse() (*Query, error) {
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	kw, err := p.expect(tokIdent, "SELECT")
+	if err != nil {
+		return nil, err
+	}
+	if !strings.EqualFold(kw.text, "select") {
+		return nil, fmt.Errorf("expected SELECT at offset %d, got %q", kw.pos, kw.text)
+	}
+	q := &Query{}
+	if q.Project, err = p.parseAttrList(); err != nil {
+		return nil, fmt.Errorf("projection list: %w", err)
+	}
+	joins, err := p.parsePredList(true)
+	if err != nil {
+		return nil, fmt.Errorf("join predicate list: %w", err)
+	}
+	q.Joins = joins
+	sels, err := p.parsePredList(false)
+	if err != nil {
+		return nil, fmt.Errorf("selective predicate list: %w", err)
+	}
+	q.Selects = sels
+	if q.Relationships, err = p.parseNameList(); err != nil {
+		return nil, fmt.Errorf("relationship list: %w", err)
+	}
+	if q.Classes, err = p.parseNameList(); err != nil {
+		return nil, fmt.Errorf("class list: %w", err)
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	if t, err := p.next(); err != nil {
+		return nil, err
+	} else if t.kind != tokEOF {
+		return nil, fmt.Errorf("trailing input at offset %d: %q", t.pos, t.text)
+	}
+	return q, nil
+}
+
+// parseAttrList parses {a.b, c.d, ...}.
+func (p *parser) parseAttrList() ([]predicate.AttrRef, error) {
+	var out []predicate.AttrRef
+	err := p.parseBraced(func() error {
+		t, err := p.expect(tokIdent, "attribute reference")
+		if err != nil {
+			return err
+		}
+		ref, err := splitAttrRef(t.text)
+		if err != nil {
+			return err
+		}
+		out = append(out, ref)
+		return nil
+	})
+	return out, err
+}
+
+// parseNameList parses {name, name, ...}.
+func (p *parser) parseNameList() ([]string, error) {
+	var out []string
+	err := p.parseBraced(func() error {
+		t, err := p.expect(tokIdent, "name")
+		if err != nil {
+			return err
+		}
+		if strings.Contains(t.text, ".") {
+			return fmt.Errorf("unexpected dotted name %q at offset %d", t.text, t.pos)
+		}
+		out = append(out, t.text)
+		return nil
+	})
+	return out, err
+}
+
+// parsePredList parses {lhs op rhs, ...}; joins selects whether the rhs must
+// be an attribute reference (join) or a literal (selection).
+func (p *parser) parsePredList(joins bool) ([]predicate.Predicate, error) {
+	var out []predicate.Predicate
+	err := p.parseBraced(func() error {
+		lhsTok, err := p.expect(tokIdent, "attribute reference")
+		if err != nil {
+			return err
+		}
+		lhs, err := splitAttrRef(lhsTok.text)
+		if err != nil {
+			return err
+		}
+		opTok, err := p.expect(tokOp, "comparison operator")
+		if err != nil {
+			return err
+		}
+		op, err := predicate.ParseOp(opTok.text)
+		if err != nil {
+			return err
+		}
+		rhs, err := p.next()
+		if err != nil {
+			return err
+		}
+		switch rhs.kind {
+		case tokIdent:
+			ref, err := splitAttrRef(rhs.text)
+			if err != nil {
+				return err
+			}
+			if !joins {
+				return fmt.Errorf("join predicate %s %s %s in selective list", lhsTok.text, opTok.text, rhs.text)
+			}
+			out = append(out, predicate.Join(lhs.Class, lhs.Attr, op, ref.Class, ref.Attr))
+		case tokString, tokNumber:
+			v, err := value.Parse(rhs.text)
+			if err != nil {
+				return err
+			}
+			if joins {
+				return fmt.Errorf("selective predicate %s %s %s in join list", lhsTok.text, opTok.text, rhs.text)
+			}
+			out = append(out, predicate.Sel(lhs.Class, lhs.Attr, op, v))
+		default:
+			return fmt.Errorf("expected predicate right-hand side at offset %d, got %q", rhs.pos, rhs.text)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// parseBraced parses '{' [item (',' item)*] '}' calling item for each element.
+func (p *parser) parseBraced(item func() error) error {
+	if _, err := p.expect(tokLBrace, "'{'"); err != nil {
+		return err
+	}
+	t, err := p.peek()
+	if err != nil {
+		return err
+	}
+	if t.kind == tokRBrace {
+		_, err := p.next()
+		return err
+	}
+	for {
+		if err := item(); err != nil {
+			return err
+		}
+		t, err := p.next()
+		if err != nil {
+			return err
+		}
+		switch t.kind {
+		case tokComma:
+			continue
+		case tokRBrace:
+			return nil
+		default:
+			return fmt.Errorf("expected ',' or '}' at offset %d, got %q", t.pos, t.text)
+		}
+	}
+}
+
+// splitAttrRef splits "class.attr" into its parts. Attribute names may
+// themselves contain '#' (vehicle.vehicle#) but not further dots.
+func splitAttrRef(s string) (predicate.AttrRef, error) {
+	i := strings.IndexByte(s, '.')
+	if i <= 0 || i == len(s)-1 || strings.IndexByte(s[i+1:], '.') >= 0 {
+		return predicate.AttrRef{}, fmt.Errorf("malformed attribute reference %q (want class.attr)", s)
+	}
+	return predicate.AttrRef{Class: s[:i], Attr: s[i+1:]}, nil
+}

@@ -1,0 +1,270 @@
+// Package query implements the query representation of the paper:
+//
+//	(SELECT {projectList} {joinPredicateList} {selectivePredicateList}
+//	        {relationshipList} {classList})
+//
+// The five parts name the projected attributes, the join predicates, the
+// selective predicates, the relationships connecting the classes, and the
+// object classes accessed. As the paper notes, the representation is mildly
+// redundant (the class list is derivable) but is kept for clarity; Validate
+// enforces the internal consistency instead.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sqo/internal/predicate"
+	"sqo/internal/schema"
+)
+
+// Query is the paper's five-part query form. Queries are mutable value
+// structs; the optimizer never mutates its input and returns a fresh Query
+// (see Clone).
+type Query struct {
+	Project       []predicate.AttrRef
+	Joins         []predicate.Predicate // attr-op-attr predicates
+	Selects       []predicate.Predicate // attr-op-const predicates
+	Relationships []string
+	Classes       []string
+}
+
+// New returns an empty query over the given classes.
+func New(classes ...string) *Query {
+	q := &Query{Classes: classes}
+	return q
+}
+
+// AddProject appends a projected attribute and returns the query for chaining.
+func (q *Query) AddProject(class, attr string) *Query {
+	q.Project = append(q.Project, predicate.AttrRef{Class: class, Attr: attr})
+	return q
+}
+
+// AddSelect appends a selective predicate.
+func (q *Query) AddSelect(p predicate.Predicate) *Query {
+	q.Selects = append(q.Selects, p)
+	return q
+}
+
+// AddJoin appends a join predicate.
+func (q *Query) AddJoin(p predicate.Predicate) *Query {
+	q.Joins = append(q.Joins, p)
+	return q
+}
+
+// AddRelationship appends a relationship to the relationship list.
+func (q *Query) AddRelationship(name string) *Query {
+	q.Relationships = append(q.Relationships, name)
+	return q
+}
+
+// Clone returns a deep copy of the query.
+func (q *Query) Clone() *Query {
+	c := &Query{
+		Project:       append([]predicate.AttrRef(nil), q.Project...),
+		Joins:         append([]predicate.Predicate(nil), q.Joins...),
+		Selects:       append([]predicate.Predicate(nil), q.Selects...),
+		Relationships: append([]string(nil), q.Relationships...),
+		Classes:       append([]string(nil), q.Classes...),
+	}
+	return c
+}
+
+// HasClass reports whether the query accesses the given class.
+func (q *Query) HasClass(name string) bool {
+	for _, c := range q.Classes {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// HasRelationship reports whether the query uses the given relationship.
+func (q *Query) HasRelationship(name string) bool {
+	for _, r := range q.Relationships {
+		if r == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Predicates returns the join and selective predicates as one slice
+// (joins first), without aliasing the query's own slices.
+func (q *Query) Predicates() []predicate.Predicate {
+	out := make([]predicate.Predicate, 0, len(q.Joins)+len(q.Selects))
+	out = append(out, q.Joins...)
+	out = append(out, q.Selects...)
+	return out
+}
+
+// PredicatesOn returns all predicates (joins and selections) that reference
+// the given class.
+func (q *Query) PredicatesOn(class string) []predicate.Predicate {
+	var out []predicate.Predicate
+	for _, p := range q.Predicates() {
+		if p.References(class) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ProjectsFrom reports whether any projected attribute belongs to the class.
+func (q *Query) ProjectsFrom(class string) bool {
+	for _, a := range q.Project {
+		if a.Class == class {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether two queries are identical up to the ordering of
+// their five lists.
+func (q *Query) Equal(o *Query) bool {
+	return q.Signature() == o.Signature()
+}
+
+// Signature returns an order-insensitive canonical encoding of the query,
+// useful for equality checks and deduplication in the workload generator.
+func (q *Query) Signature() string {
+	var parts []string
+	add := func(prefix string, items []string) {
+		sorted := append([]string(nil), items...)
+		sort.Strings(sorted)
+		parts = append(parts, prefix+strings.Join(sorted, ","))
+	}
+	proj := make([]string, len(q.Project))
+	for i, a := range q.Project {
+		proj[i] = a.String()
+	}
+	add("P:", proj)
+	joins := make([]string, len(q.Joins))
+	for i, p := range q.Joins {
+		joins[i] = p.Key()
+	}
+	add("J:", joins)
+	sels := make([]string, len(q.Selects))
+	for i, p := range q.Selects {
+		sels[i] = p.Key()
+	}
+	add("S:", sels)
+	add("R:", q.Relationships)
+	add("C:", q.Classes)
+	return strings.Join(parts, ";")
+}
+
+// String renders the query in the paper's textual format, e.g.
+//
+//	(SELECT {vehicle.vehicle#, cargo.desc} {} {vehicle.desc = "refrigerated truck"}
+//	        {collects} {cargo, vehicle})
+func (q *Query) String() string {
+	var sb strings.Builder
+	sb.WriteString("(SELECT ")
+	writeList(&sb, attrStrings(q.Project))
+	sb.WriteByte(' ')
+	writeList(&sb, predStrings(q.Joins))
+	sb.WriteByte(' ')
+	writeList(&sb, predStrings(q.Selects))
+	sb.WriteByte(' ')
+	writeList(&sb, q.Relationships)
+	sb.WriteByte(' ')
+	writeList(&sb, q.Classes)
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+func attrStrings(attrs []predicate.AttrRef) []string {
+	out := make([]string, len(attrs))
+	for i, a := range attrs {
+		out[i] = a.String()
+	}
+	return out
+}
+
+func predStrings(preds []predicate.Predicate) []string {
+	out := make([]string, len(preds))
+	for i, p := range preds {
+		out[i] = p.String()
+	}
+	return out
+}
+
+func writeList(sb *strings.Builder, items []string) {
+	sb.WriteByte('{')
+	sb.WriteString(strings.Join(items, ", "))
+	sb.WriteByte('}')
+}
+
+// Validate checks the query against the schema. It verifies that
+//   - the class list is non-empty and free of duplicates,
+//   - every projected attribute, predicate and relationship resolves,
+//   - predicates and relationships only touch declared classes,
+//   - the classes form a connected graph under the declared relationships
+//     (the paper's queries are path queries; disconnected class lists denote
+//     cartesian products and are rejected).
+func (q *Query) Validate(s *schema.Schema) error {
+	if len(q.Classes) == 0 {
+		return fmt.Errorf("query: empty class list")
+	}
+	seen := map[string]bool{}
+	for _, c := range q.Classes {
+		if seen[c] {
+			return fmt.Errorf("query: class %q listed twice", c)
+		}
+		seen[c] = true
+		if !s.HasClass(c) {
+			return fmt.Errorf("query: unknown class %q", c)
+		}
+	}
+	for _, a := range q.Project {
+		if !seen[a.Class] {
+			return fmt.Errorf("query: projected attribute %s references class outside the class list", a)
+		}
+		if _, ok := s.Attr(a.Class, a.Attr); !ok {
+			return fmt.Errorf("query: unknown projected attribute %s", a)
+		}
+	}
+	for _, p := range q.Joins {
+		if !p.IsJoin() {
+			return fmt.Errorf("query: selective predicate %s in join list", p)
+		}
+	}
+	for _, p := range q.Selects {
+		if p.IsJoin() {
+			return fmt.Errorf("query: join predicate %s in selective list", p)
+		}
+	}
+	for _, p := range q.Predicates() {
+		if err := p.Validate(s); err != nil {
+			return fmt.Errorf("query: %w", err)
+		}
+		for _, c := range p.Classes() {
+			if !seen[c] {
+				return fmt.Errorf("query: predicate %s references class %q outside the class list", p, c)
+			}
+		}
+	}
+	seenRel := map[string]bool{}
+	for _, rn := range q.Relationships {
+		if seenRel[rn] {
+			return fmt.Errorf("query: relationship %q listed twice", rn)
+		}
+		seenRel[rn] = true
+		r := s.Relationship(rn)
+		if r == nil {
+			return fmt.Errorf("query: unknown relationship %q", rn)
+		}
+		if !seen[r.Source] || !seen[r.Target] {
+			return fmt.Errorf("query: relationship %q connects classes outside the class list", rn)
+		}
+	}
+	if !s.Connected(q.Classes, q.Relationships) {
+		return fmt.Errorf("query: classes %v are not connected by relationships %v", q.Classes, q.Relationships)
+	}
+	return nil
+}

@@ -1,0 +1,290 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"sqo/internal/predicate"
+	"sqo/internal/schema"
+	"sqo/internal/value"
+)
+
+func logisticsSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	return schema.NewBuilder().
+		Class("supplier",
+			schema.Attribute{Name: "name", Type: value.KindString, Indexed: true},
+			schema.Attribute{Name: "address", Type: value.KindString}).
+		Class("cargo",
+			schema.Attribute{Name: "desc", Type: value.KindString},
+			schema.Attribute{Name: "quantity", Type: value.KindInt}).
+		Class("vehicle",
+			schema.Attribute{Name: "vehicle#", Type: value.KindString, Indexed: true},
+			schema.Attribute{Name: "desc", Type: value.KindString},
+			schema.Attribute{Name: "class", Type: value.KindInt}).
+		Class("driver",
+			schema.Attribute{Name: "name", Type: value.KindString},
+			schema.Attribute{Name: "licenseClass", Type: value.KindInt}).
+		Relationship("supplies", "supplier", "cargo", schema.OneToMany).
+		Relationship("collects", "vehicle", "cargo", schema.OneToMany).
+		Relationship("drives", "driver", "vehicle", schema.ManyToMany).
+		MustBuild()
+}
+
+// paperQuery builds the sample query of Figure 2.3.
+func paperQuery() *Query {
+	return New("supplier", "cargo", "vehicle").
+		AddProject("vehicle", "vehicle#").
+		AddProject("cargo", "desc").
+		AddProject("cargo", "quantity").
+		AddSelect(predicate.Eq("vehicle", "desc", value.String("refrigerated truck"))).
+		AddSelect(predicate.Eq("supplier", "name", value.String("SFI"))).
+		AddRelationship("collects").
+		AddRelationship("supplies")
+}
+
+func TestPaperQueryValidates(t *testing.T) {
+	s := logisticsSchema(t)
+	if err := paperQuery().Validate(s); err != nil {
+		t.Fatalf("paper query should validate: %v", err)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	got := paperQuery().String()
+	want := `(SELECT {vehicle.vehicle#, cargo.desc, cargo.quantity} {} ` +
+		`{vehicle.desc = "refrigerated truck", supplier.name = "SFI"} ` +
+		`{collects, supplies} {supplier, cargo, vehicle})`
+	if got != want {
+		t.Errorf("String() =\n%s\nwant\n%s", got, want)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	q := paperQuery()
+	c := q.Clone()
+	if !q.Equal(c) {
+		t.Fatal("clone should equal original")
+	}
+	c.Classes[0] = "mutated"
+	c.Selects[0] = predicate.Eq("vehicle", "desc", value.String("other"))
+	c.Project[0] = predicate.AttrRef{Class: "x", Attr: "y"}
+	c.Relationships[0] = "other"
+	if q.Classes[0] != "supplier" || q.Relationships[0] != "collects" {
+		t.Error("mutating the clone must not affect the original")
+	}
+	if q.Selects[0].Const.Str() != "refrigerated truck" {
+		t.Error("clone aliases the select slice")
+	}
+	if q.Project[0].Class != "vehicle" {
+		t.Error("clone aliases the projection slice")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	q := paperQuery()
+	if !q.HasClass("cargo") || q.HasClass("driver") {
+		t.Error("HasClass broken")
+	}
+	if !q.HasRelationship("collects") || q.HasRelationship("drives") {
+		t.Error("HasRelationship broken")
+	}
+	if !q.ProjectsFrom("vehicle") || q.ProjectsFrom("supplier") {
+		t.Error("ProjectsFrom broken")
+	}
+	if got := len(q.Predicates()); got != 2 {
+		t.Errorf("Predicates() returned %d items, want 2", got)
+	}
+	on := q.PredicatesOn("supplier")
+	if len(on) != 1 || on[0].Const.Str() != "SFI" {
+		t.Errorf("PredicatesOn(supplier) = %v", on)
+	}
+	// Predicates must not alias internal slices.
+	ps := q.Predicates()
+	ps[0] = predicate.Eq("cargo", "desc", value.String("zzz"))
+	if q.Joins != nil && len(q.Joins) > 0 {
+		t.Error("test setup: no joins expected")
+	}
+}
+
+func TestSignatureOrderInsensitive(t *testing.T) {
+	a := New("cargo", "vehicle").
+		AddSelect(predicate.Eq("cargo", "desc", value.String("x"))).
+		AddSelect(predicate.Eq("vehicle", "desc", value.String("y"))).
+		AddRelationship("collects")
+	b := New("vehicle", "cargo").
+		AddSelect(predicate.Eq("vehicle", "desc", value.String("y"))).
+		AddSelect(predicate.Eq("cargo", "desc", value.String("x"))).
+		AddRelationship("collects")
+	if !a.Equal(b) {
+		t.Error("order of lists must not affect equality")
+	}
+	c := b.Clone().AddSelect(predicate.Eq("cargo", "desc", value.String("z")))
+	if a.Equal(c) {
+		t.Error("different predicate sets must not be equal")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	s := logisticsSchema(t)
+	cases := []struct {
+		name string
+		edit func(*Query)
+		want string
+	}{
+		{"empty classes", func(q *Query) { q.Classes = nil }, "empty class list"},
+		{"duplicate class", func(q *Query) { q.Classes = append(q.Classes, "cargo") }, "listed twice"},
+		{"unknown class", func(q *Query) { q.Classes[0] = "warehouse" }, "unknown class"},
+		{"projection outside classes", func(q *Query) {
+			q.Project = append(q.Project, predicate.AttrRef{Class: "driver", Attr: "name"})
+		}, "outside the class list"},
+		{"unknown projected attr", func(q *Query) {
+			q.Project = append(q.Project, predicate.AttrRef{Class: "cargo", Attr: "ghost"})
+		}, "unknown projected attribute"},
+		{"selection in join list", func(q *Query) {
+			q.Joins = append(q.Joins, predicate.Eq("cargo", "desc", value.String("x")))
+		}, "in join list"},
+		{"join in select list", func(q *Query) {
+			q.Selects = append(q.Selects, predicate.Join("cargo", "desc", predicate.EQ, "vehicle", "desc"))
+		}, "in selective list"},
+		{"invalid predicate", func(q *Query) {
+			q.Selects = append(q.Selects, predicate.Eq("cargo", "desc", value.Int(1)))
+		}, "cannot compare"},
+		{"predicate outside classes", func(q *Query) {
+			q.Selects = append(q.Selects, predicate.Eq("driver", "name", value.String("x")))
+		}, "outside the class list"},
+		{"duplicate relationship", func(q *Query) {
+			q.Relationships = append(q.Relationships, "collects")
+		}, "listed twice"},
+		{"unknown relationship", func(q *Query) {
+			q.Relationships = append(q.Relationships, "ghost")
+		}, "unknown relationship"},
+		{"relationship outside classes", func(q *Query) {
+			q.Classes = append(q.Classes, "driver")
+			q.Relationships = append(q.Relationships, "drives")
+			// drives connects driver and vehicle: both in list; now break it
+			q.Classes = q.Classes[:3] // drop driver again
+		}, "outside the class list"},
+		{"disconnected", func(q *Query) {
+			q.Relationships = q.Relationships[:1] // only collects: supplier dangles
+		}, "not connected"},
+	}
+	for _, c := range cases {
+		q := paperQuery()
+		c.edit(q)
+		err := q.Validate(s)
+		if err == nil {
+			t.Errorf("%s: Validate should fail", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestSingleClassQueryIsConnected(t *testing.T) {
+	s := logisticsSchema(t)
+	q := New("cargo").AddSelect(predicate.Eq("cargo", "desc", value.String("x")))
+	if err := q.Validate(s); err != nil {
+		t.Errorf("single-class query should validate: %v", err)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	q := paperQuery()
+	parsed, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("Parse(%s): %v", q.String(), err)
+	}
+	if !q.Equal(parsed) {
+		t.Errorf("round trip mismatch:\n in: %s\nout: %s", q, parsed)
+	}
+}
+
+func TestParseMultiline(t *testing.T) {
+	in := `(SELECT {vehicle.vehicle#, cargo.desc, cargo.quantity} { }
+	        {vehicle.desc = "refrigerated truck",
+	         supplier.name = "SFI"}
+	        {collects, supplies}
+	        {supplier, cargo, vehicle})`
+	q, err := Parse(in)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Selects) != 2 || len(q.Classes) != 3 || len(q.Relationships) != 2 {
+		t.Errorf("parsed shape wrong: %s", q)
+	}
+	if !q.Equal(paperQuery()) {
+		t.Errorf("multiline parse differs from paper query: %s", q)
+	}
+}
+
+func TestParseJoinPredicates(t *testing.T) {
+	in := `(SELECT {driver.name} {driver.licenseClass >= vehicle.class} {}
+	        {drives} {driver, vehicle})`
+	q, err := Parse(in)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Joins) != 1 || !q.Joins[0].IsJoin() {
+		t.Fatalf("join not parsed: %s", q)
+	}
+	want := predicate.Join("driver", "licenseClass", predicate.GE, "vehicle", "class")
+	if !q.Joins[0].Equal(want) {
+		t.Errorf("parsed join %s, want %s", q.Joins[0], want)
+	}
+}
+
+func TestParseNumericAndOperators(t *testing.T) {
+	in := `(SELECT {cargo.desc} {} {cargo.quantity >= 10, cargo.quantity < 100,
+	        cargo.quantity != 50} {} {cargo})`
+	q, err := Parse(in)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Selects) != 3 {
+		t.Fatalf("want 3 selects, got %d", len(q.Selects))
+	}
+	if q.Selects[0].Op != predicate.GE || q.Selects[1].Op != predicate.LT || q.Selects[2].Op != predicate.NE {
+		t.Errorf("operators parsed wrong: %s", q)
+	}
+	if q.Selects[0].Const != value.Int(10) {
+		t.Errorf("constant parsed wrong: %v", q.Selects[0].Const)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"(PROJECT {} {} {} {} {c})",
+		"(SELECT {} {} {} {} {c}",                     // missing close paren
+		"(SELECT {} {} {} {} {c}) extra",              // trailing input
+		"(SELECT {a} {} {} {} {c})",                   // undotted projection
+		"(SELECT {a.b.c} {} {} {} {c})",               // doubly dotted
+		"(SELECT {} {a.b = 1} {} {} {c})",             // selection in join list
+		"(SELECT {} {} {a.b = c.d} {} {c})",           // join in select list
+		`(SELECT {} {} {a.b ~ 1} {} {c})`,             // bad operator
+		`(SELECT {} {} {a.b = "unterminated} {} {c})`, // bad string
+		`(SELECT {} {} {a.b = } {} {c})`,              // missing rhs
+		`(SELECT {} {} {} {a.b} {c})`,                 // dotted relationship name
+		`(SELECT {x.y} {} {} {} {c} {d})`,             // extra list
+		`(SELECT {x.y; z.w} {} {} {} {c})`,            // bad separator
+	}
+	for _, in := range cases {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestParsePreservesAttrHash(t *testing.T) {
+	in := `(SELECT {vehicle.vehicle#} {} {} {} {vehicle})`
+	q, err := Parse(in)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Project[0].Attr != "vehicle#" {
+		t.Errorf("attr = %q, want vehicle#", q.Project[0].Attr)
+	}
+}

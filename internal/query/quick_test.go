@@ -1,0 +1,96 @@
+package query
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"sqo/internal/predicate"
+	"sqo/internal/value"
+)
+
+// randomQuery builds an arbitrary (not necessarily schema-valid) query; the
+// properties below are about the representation, not validation.
+type randomQuery struct{ Q *Query }
+
+// Generate implements quick.Generator.
+func (randomQuery) Generate(r *rand.Rand, _ int) reflect.Value {
+	classes := []string{"a", "b", "c", "d"}
+	n := r.Intn(3) + 1
+	q := New(classes[:n]...)
+	for i := 0; i < r.Intn(3); i++ {
+		cl := classes[r.Intn(n)]
+		q.AddProject(cl, "x")
+	}
+	ops := []predicate.Op{predicate.EQ, predicate.NE, predicate.LT, predicate.GE}
+	for i := 0; i < r.Intn(4); i++ {
+		cl := classes[r.Intn(n)]
+		q.AddSelect(predicate.Sel(cl, "x", ops[r.Intn(len(ops))], value.Int(int64(r.Intn(9)))))
+	}
+	if n >= 2 && r.Intn(2) == 0 {
+		q.AddJoin(predicate.Join(classes[0], "x", predicate.LE, classes[1], "x"))
+	}
+	for i := 0; i < n-1; i++ {
+		q.AddRelationship("r" + classes[i])
+	}
+	return reflect.ValueOf(randomQuery{q})
+}
+
+// TestQuickSignatureShuffleInvariant: permuting any of the five lists leaves
+// the signature unchanged.
+func TestQuickSignatureShuffleInvariant(t *testing.T) {
+	f := func(rq randomQuery, seed int64) bool {
+		q := rq.Q
+		orig := q.Signature()
+		r := rand.New(rand.NewSource(seed))
+		c := q.Clone()
+		r.Shuffle(len(c.Selects), func(i, j int) { c.Selects[i], c.Selects[j] = c.Selects[j], c.Selects[i] })
+		r.Shuffle(len(c.Classes), func(i, j int) { c.Classes[i], c.Classes[j] = c.Classes[j], c.Classes[i] })
+		r.Shuffle(len(c.Project), func(i, j int) { c.Project[i], c.Project[j] = c.Project[j], c.Project[i] })
+		r.Shuffle(len(c.Relationships), func(i, j int) {
+			c.Relationships[i], c.Relationships[j] = c.Relationships[j], c.Relationships[i]
+		})
+		return c.Signature() == orig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCloneDetached: mutating any clone list never affects the original
+// signature.
+func TestQuickCloneDetached(t *testing.T) {
+	f := func(rq randomQuery) bool {
+		q := rq.Q
+		orig := q.Signature()
+		c := q.Clone()
+		c.Classes = append(c.Classes, "zzz")
+		c.Selects = append(c.Selects, predicate.Eq("zzz", "x", value.Int(99)))
+		c.Relationships = append(c.Relationships, "zzz")
+		c.Project = append(c.Project, predicate.AttrRef{Class: "zzz", Attr: "x"})
+		if len(c.Selects) > 1 {
+			c.Selects[0] = predicate.Eq("mut", "x", value.Int(1))
+		}
+		return q.Signature() == orig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickStringParseRoundTrip: rendering and re-parsing preserves query
+// identity for arbitrary representation-level queries.
+func TestQuickStringParseRoundTrip(t *testing.T) {
+	f := func(rq randomQuery) bool {
+		q := rq.Q
+		parsed, err := Parse(q.String())
+		if err != nil {
+			return false
+		}
+		return parsed.Signature() == q.Signature()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

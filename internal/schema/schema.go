@@ -1,0 +1,446 @@
+// Package schema models the object-oriented database schema of the paper
+// (Figure 2.1): named object classes with typed attributes, binary
+// relationships implemented with object pointers, and single inheritance
+// between classes.
+//
+// The schema is the static substrate everything else is validated against:
+// queries, semantic constraints, the storage engine and the workload
+// generators all resolve names through a *Schema.
+package schema
+
+import (
+	"fmt"
+	"sort"
+
+	"sqo/internal/value"
+)
+
+// Attribute describes one typed attribute of an object class.
+type Attribute struct {
+	Name string
+	Type value.Kind
+	// Indexed marks attributes backed by a secondary index. The core
+	// algorithm consults this when deciding whether an intra-class
+	// consequent becomes optional (indexed) or redundant (Table 3.1/3.2).
+	Indexed bool
+}
+
+// Class is an object class: a named set of attributes, optionally inheriting
+// from a parent class (the paper's is_a links, e.g. driver is_a employee).
+type Class struct {
+	Name       string
+	Parent     string // empty when the class is a root
+	attributes []Attribute
+	attrIndex  map[string]int
+}
+
+// Attributes returns the class's own attributes in declaration order,
+// excluding inherited ones.
+func (c *Class) Attributes() []Attribute { return c.attributes }
+
+// Cardinality describes how many instances may be linked on each side of a
+// relationship.
+type Cardinality uint8
+
+// Relationship cardinalities. The first word describes the source side.
+const (
+	OneToOne Cardinality = iota
+	OneToMany
+	ManyToOne
+	ManyToMany
+)
+
+// String returns the conventional notation for the cardinality.
+func (c Cardinality) String() string {
+	switch c {
+	case OneToOne:
+		return "1:1"
+	case OneToMany:
+		return "1:N"
+	case ManyToOne:
+		return "N:1"
+	case ManyToMany:
+		return "M:N"
+	default:
+		return "?:?"
+	}
+}
+
+// Relationship is a named binary association between two object classes,
+// implemented in the OODB with pointer attributes (Figure 2.1 prints those
+// pointers in italics). SourceTotal / TargetTotal record participation: when
+// SourceTotal is true every Source instance is linked to at least one Target.
+// Class elimination (King's rule) is only exact when the eliminated side is
+// reached through a total, single-valued link, so the optimizer consults
+// these flags.
+type Relationship struct {
+	Name        string
+	Source      string
+	Target      string
+	Card        Cardinality
+	SourceTotal bool
+	TargetTotal bool
+}
+
+// Other returns the class on the opposite end from the given one. It returns
+// ("", false) when class is on neither end.
+func (r Relationship) Other(class string) (string, bool) {
+	switch class {
+	case r.Source:
+		return r.Target, true
+	case r.Target:
+		return r.Source, true
+	default:
+		return "", false
+	}
+}
+
+// Involves reports whether the relationship touches the given class.
+func (r Relationship) Involves(class string) bool {
+	return r.Source == class || r.Target == class
+}
+
+// SingleValuedFrom reports whether, following the relationship from the given
+// side, each instance links to at most one instance of the other side.
+func (r Relationship) SingleValuedFrom(class string) bool {
+	switch class {
+	case r.Source:
+		return r.Card == OneToOne || r.Card == ManyToOne
+	case r.Target:
+		return r.Card == OneToOne || r.Card == OneToMany
+	default:
+		return false
+	}
+}
+
+// TotalFrom reports whether every instance of the given side participates in
+// the relationship.
+func (r Relationship) TotalFrom(class string) bool {
+	switch class {
+	case r.Source:
+		return r.SourceTotal
+	case r.Target:
+		return r.TargetTotal
+	default:
+		return false
+	}
+}
+
+// Schema is an immutable, validated collection of classes and relationships.
+// Build one with a Builder.
+type Schema struct {
+	classes    map[string]*Class
+	classOrder []string
+	rels       map[string]*Relationship
+	relOrder   []string
+}
+
+// Class returns the named class, or nil when it does not exist.
+func (s *Schema) Class(name string) *Class { return s.classes[name] }
+
+// HasClass reports whether the named class exists.
+func (s *Schema) HasClass(name string) bool { return s.classes[name] != nil }
+
+// Classes returns all class names in declaration order.
+func (s *Schema) Classes() []string {
+	out := make([]string, len(s.classOrder))
+	copy(out, s.classOrder)
+	return out
+}
+
+// Relationship returns the named relationship, or nil when it does not exist.
+func (s *Schema) Relationship(name string) *Relationship { return s.rels[name] }
+
+// Relationships returns all relationship names in declaration order.
+func (s *Schema) Relationships() []string {
+	out := make([]string, len(s.relOrder))
+	copy(out, s.relOrder)
+	return out
+}
+
+// RelationshipsOf returns the names of all relationships that touch the given
+// class, in declaration order.
+func (s *Schema) RelationshipsOf(class string) []string {
+	var out []string
+	for _, name := range s.relOrder {
+		if s.rels[name].Involves(class) {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Neighbors returns, for each relationship touching class, the class on the
+// other end. The result is sorted and de-duplicated.
+func (s *Schema) Neighbors(class string) []string {
+	set := map[string]bool{}
+	for _, name := range s.relOrder {
+		if other, ok := s.rels[name].Other(class); ok {
+			set[other] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Attr resolves an attribute on a class, walking up the inheritance chain the
+// way the paper's subclasses (driver is_a employee) inherit attributes.
+func (s *Schema) Attr(class, attr string) (Attribute, bool) {
+	for c := s.classes[class]; c != nil; c = s.classes[c.Parent] {
+		if i, ok := c.attrIndex[attr]; ok {
+			return c.attributes[i], true
+		}
+		if c.Parent == "" {
+			break
+		}
+	}
+	return Attribute{}, false
+}
+
+// EffectiveAttributes returns the class's attributes including inherited
+// ones. Inherited attributes come first (root ancestor first); an attribute
+// redeclared in a subclass shadows the ancestor's declaration.
+func (s *Schema) EffectiveAttributes(class string) []Attribute {
+	var chain []*Class
+	for c := s.classes[class]; c != nil; c = s.classes[c.Parent] {
+		chain = append(chain, c)
+		if c.Parent == "" {
+			break
+		}
+	}
+	var out []Attribute
+	seen := map[string]int{} // attr name -> index in out
+	for i := len(chain) - 1; i >= 0; i-- {
+		for _, a := range chain[i].attributes {
+			if j, ok := seen[a.Name]; ok {
+				out[j] = a // subclass shadows ancestor
+				continue
+			}
+			seen[a.Name] = len(out)
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// IsSubclassOf reports whether class sub equals or transitively inherits from
+// class super.
+func (s *Schema) IsSubclassOf(sub, super string) bool {
+	for c := s.classes[sub]; c != nil; c = s.classes[c.Parent] {
+		if c.Name == super {
+			return true
+		}
+		if c.Parent == "" {
+			break
+		}
+	}
+	return false
+}
+
+// Connected reports whether the given classes form a connected subgraph using
+// only the given relationships. Queries over disconnected class sets denote
+// cartesian products, which the path-query model of the paper never produces;
+// query validation uses this to reject them.
+func (s *Schema) Connected(classes, rels []string) bool {
+	if len(classes) == 0 {
+		return false
+	}
+	if len(classes) == 1 {
+		return true
+	}
+	inSet := map[string]bool{}
+	for _, c := range classes {
+		inSet[c] = true
+	}
+	adj := map[string][]string{}
+	for _, rn := range rels {
+		r := s.rels[rn]
+		if r == nil || !inSet[r.Source] || !inSet[r.Target] {
+			continue
+		}
+		adj[r.Source] = append(adj[r.Source], r.Target)
+		adj[r.Target] = append(adj[r.Target], r.Source)
+	}
+	visited := map[string]bool{classes[0]: true}
+	stack := []string{classes[0]}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, n := range adj[c] {
+			if !visited[n] {
+				visited[n] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+	return len(visited) == len(classes)
+}
+
+// Builder assembles and validates a Schema. Methods record definitions and
+// defer all validation to Build, so call sites can chain declarations without
+// per-call error handling.
+type Builder struct {
+	schema Schema
+	errs   []error
+}
+
+// NewBuilder returns an empty schema builder.
+func NewBuilder() *Builder {
+	return &Builder{schema: Schema{
+		classes: map[string]*Class{},
+		rels:    map[string]*Relationship{},
+	}}
+}
+
+func (b *Builder) errorf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+}
+
+// Class declares an object class with the given attributes.
+func (b *Builder) Class(name string, attrs ...Attribute) *Builder {
+	return b.Subclass(name, "", attrs...)
+}
+
+// Subclass declares a class inheriting from parent. The parent must itself be
+// declared by the time Build is called.
+func (b *Builder) Subclass(name, parent string, attrs ...Attribute) *Builder {
+	if name == "" {
+		b.errorf("schema: class with empty name")
+		return b
+	}
+	if _, dup := b.schema.classes[name]; dup {
+		b.errorf("schema: class %q declared twice", name)
+		return b
+	}
+	c := &Class{Name: name, Parent: parent, attrIndex: map[string]int{}}
+	for _, a := range attrs {
+		if a.Name == "" {
+			b.errorf("schema: class %q has an attribute with empty name", name)
+			continue
+		}
+		if _, dup := c.attrIndex[a.Name]; dup {
+			b.errorf("schema: class %q attribute %q declared twice", name, a.Name)
+			continue
+		}
+		if a.Type == value.KindInvalid {
+			b.errorf("schema: class %q attribute %q has invalid type", name, a.Name)
+			continue
+		}
+		c.attrIndex[a.Name] = len(c.attributes)
+		c.attributes = append(c.attributes, a)
+	}
+	b.schema.classes[name] = c
+	b.schema.classOrder = append(b.schema.classOrder, name)
+	return b
+}
+
+// Relationship declares a binary relationship. Totality defaults to total on
+// both sides (the common case in the paper's database, where every cargo has
+// a supplier and so on); use PartialRelationship for anything weaker.
+func (b *Builder) Relationship(name, source, target string, card Cardinality) *Builder {
+	return b.addRel(Relationship{
+		Name: name, Source: source, Target: target, Card: card,
+		SourceTotal: true, TargetTotal: true,
+	})
+}
+
+// PartialRelationship declares a relationship with explicit participation
+// flags.
+func (b *Builder) PartialRelationship(name, source, target string, card Cardinality, sourceTotal, targetTotal bool) *Builder {
+	return b.addRel(Relationship{
+		Name: name, Source: source, Target: target, Card: card,
+		SourceTotal: sourceTotal, TargetTotal: targetTotal,
+	})
+}
+
+func (b *Builder) addRel(r Relationship) *Builder {
+	if r.Name == "" {
+		b.errorf("schema: relationship with empty name")
+		return b
+	}
+	if _, dup := b.schema.rels[r.Name]; dup {
+		b.errorf("schema: relationship %q declared twice", r.Name)
+		return b
+	}
+	rel := r
+	b.schema.rels[r.Name] = &rel
+	b.schema.relOrder = append(b.schema.relOrder, r.Name)
+	return b
+}
+
+// Build validates the accumulated declarations and returns the schema.
+func (b *Builder) Build() (*Schema, error) {
+	for _, name := range b.schema.classOrder {
+		c := b.schema.classes[name]
+		if c.Parent != "" {
+			if b.schema.classes[c.Parent] == nil {
+				b.errorf("schema: class %q inherits from unknown class %q", name, c.Parent)
+			} else if cyclic(b.schema.classes, name) {
+				b.errorf("schema: inheritance cycle through class %q", name)
+			}
+		}
+	}
+	for _, name := range b.schema.relOrder {
+		r := b.schema.rels[name]
+		if b.schema.classes[r.Source] == nil {
+			b.errorf("schema: relationship %q references unknown class %q", name, r.Source)
+		}
+		if b.schema.classes[r.Target] == nil {
+			b.errorf("schema: relationship %q references unknown class %q", name, r.Target)
+		}
+	}
+	if len(b.errs) > 0 {
+		return nil, joinErrors(b.errs)
+	}
+	s := b.schema
+	return &s, nil
+}
+
+// MustBuild is Build for statically known schemas; it panics on error.
+func (b *Builder) MustBuild() *Schema {
+	s, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func cyclic(classes map[string]*Class, start string) bool {
+	slow, fast := start, start
+	for {
+		fast = parentOf(classes, parentOf(classes, fast))
+		slow = parentOf(classes, slow)
+		if fast == "" {
+			return false
+		}
+		if slow == fast {
+			return true
+		}
+	}
+}
+
+func parentOf(classes map[string]*Class, name string) string {
+	if name == "" {
+		return ""
+	}
+	c := classes[name]
+	if c == nil {
+		return ""
+	}
+	return c.Parent
+}
+
+func joinErrors(errs []error) error {
+	if len(errs) == 1 {
+		return errs[0]
+	}
+	msg := errs[0].Error()
+	for _, e := range errs[1:] {
+		msg += "; " + e.Error()
+	}
+	return fmt.Errorf("%s", msg)
+}

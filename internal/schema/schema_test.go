@@ -1,0 +1,313 @@
+package schema
+
+import (
+	"reflect"
+	"testing"
+
+	"sqo/internal/value"
+)
+
+// paperSchema builds the Figure 2.1 database schema used throughout the
+// paper's examples.
+func paperSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewBuilder().
+		Class("supplier",
+			Attribute{Name: "name", Type: value.KindString, Indexed: true},
+			Attribute{Name: "address", Type: value.KindString}).
+		Class("cargo",
+			Attribute{Name: "code", Type: value.KindString, Indexed: true},
+			Attribute{Name: "desc", Type: value.KindString},
+			Attribute{Name: "quantity", Type: value.KindInt}).
+		Class("vehicle",
+			Attribute{Name: "vehicle#", Type: value.KindString, Indexed: true},
+			Attribute{Name: "desc", Type: value.KindString},
+			Attribute{Name: "class", Type: value.KindInt}).
+		Class("engine",
+			Attribute{Name: "engine#", Type: value.KindString, Indexed: true},
+			Attribute{Name: "capacity", Type: value.KindInt}).
+		Class("employee",
+			Attribute{Name: "name", Type: value.KindString, Indexed: true},
+			Attribute{Name: "clearance", Type: value.KindString},
+			Attribute{Name: "rank", Type: value.KindString}).
+		Subclass("driver", "employee",
+			Attribute{Name: "license#", Type: value.KindString},
+			Attribute{Name: "licenseClass", Type: value.KindInt}).
+		Subclass("supervisor", "driver").
+		Class("department",
+			Attribute{Name: "name", Type: value.KindString, Indexed: true},
+			Attribute{Name: "securityClass", Type: value.KindString}).
+		Relationship("supplies", "supplier", "cargo", OneToMany).
+		Relationship("collects", "vehicle", "cargo", OneToMany).
+		Relationship("engComp", "vehicle", "engine", OneToOne).
+		Relationship("drives", "driver", "vehicle", ManyToMany).
+		Relationship("belongsTo", "employee", "department", ManyToOne).
+		Build()
+	if err != nil {
+		t.Fatalf("paper schema should build: %v", err)
+	}
+	return s
+}
+
+func TestBuildPaperSchema(t *testing.T) {
+	s := paperSchema(t)
+	if got := len(s.Classes()); got != 8 {
+		t.Errorf("len(Classes()) = %d, want 8", got)
+	}
+	if got := len(s.Relationships()); got != 5 {
+		t.Errorf("len(Relationships()) = %d, want 5", got)
+	}
+	if !s.HasClass("cargo") || s.HasClass("warehouse") {
+		t.Error("HasClass gives wrong answers")
+	}
+	if s.Class("missing") != nil {
+		t.Error("Class(missing) should be nil")
+	}
+	if s.Relationship("missing") != nil {
+		t.Error("Relationship(missing) should be nil")
+	}
+}
+
+func TestAttrResolution(t *testing.T) {
+	s := paperSchema(t)
+	a, ok := s.Attr("cargo", "desc")
+	if !ok || a.Type != value.KindString || a.Indexed {
+		t.Errorf("Attr(cargo, desc) = %+v, %v", a, ok)
+	}
+	if _, ok := s.Attr("cargo", "nope"); ok {
+		t.Error("Attr should miss unknown attribute")
+	}
+	if _, ok := s.Attr("nope", "desc"); ok {
+		t.Error("Attr should miss unknown class")
+	}
+}
+
+func TestAttrInheritance(t *testing.T) {
+	s := paperSchema(t)
+	// driver inherits clearance from employee.
+	a, ok := s.Attr("driver", "clearance")
+	if !ok || a.Type != value.KindString {
+		t.Errorf("driver should inherit clearance: %+v, %v", a, ok)
+	}
+	// supervisor inherits licenseClass from driver, two levels up to employee.
+	if _, ok := s.Attr("supervisor", "licenseClass"); !ok {
+		t.Error("supervisor should inherit licenseClass")
+	}
+	if _, ok := s.Attr("supervisor", "rank"); !ok {
+		t.Error("supervisor should inherit rank from employee")
+	}
+}
+
+func TestEffectiveAttributes(t *testing.T) {
+	s := paperSchema(t)
+	attrs := s.EffectiveAttributes("driver")
+	names := make([]string, len(attrs))
+	for i, a := range attrs {
+		names[i] = a.Name
+	}
+	want := []string{"name", "clearance", "rank", "license#", "licenseClass"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("EffectiveAttributes(driver) = %v, want %v", names, want)
+	}
+}
+
+func TestEffectiveAttributesShadowing(t *testing.T) {
+	s := NewBuilder().
+		Class("base", Attribute{Name: "x", Type: value.KindInt}).
+		Subclass("sub", "base", Attribute{Name: "x", Type: value.KindString, Indexed: true}).
+		MustBuild()
+	attrs := s.EffectiveAttributes("sub")
+	if len(attrs) != 1 {
+		t.Fatalf("shadowed attribute should appear once, got %d", len(attrs))
+	}
+	if attrs[0].Type != value.KindString || !attrs[0].Indexed {
+		t.Errorf("subclass declaration should shadow: %+v", attrs[0])
+	}
+}
+
+func TestIsSubclassOf(t *testing.T) {
+	s := paperSchema(t)
+	cases := []struct {
+		sub, super string
+		want       bool
+	}{
+		{"driver", "employee", true},
+		{"supervisor", "employee", true},
+		{"supervisor", "driver", true},
+		{"employee", "driver", false},
+		{"cargo", "employee", false},
+		{"driver", "driver", true},
+	}
+	for _, c := range cases {
+		if got := s.IsSubclassOf(c.sub, c.super); got != c.want {
+			t.Errorf("IsSubclassOf(%s, %s) = %v, want %v", c.sub, c.super, got, c.want)
+		}
+	}
+}
+
+func TestRelationshipHelpers(t *testing.T) {
+	s := paperSchema(t)
+	r := s.Relationship("supplies")
+	if other, ok := r.Other("supplier"); !ok || other != "cargo" {
+		t.Errorf("Other(supplier) = %q, %v", other, ok)
+	}
+	if other, ok := r.Other("cargo"); !ok || other != "supplier" {
+		t.Errorf("Other(cargo) = %q, %v", other, ok)
+	}
+	if _, ok := r.Other("engine"); ok {
+		t.Error("Other(engine) should miss")
+	}
+	if !r.Involves("supplier") || r.Involves("engine") {
+		t.Error("Involves broken")
+	}
+	// supplies is supplier 1:N cargo: each cargo has one supplier.
+	if !r.SingleValuedFrom("cargo") {
+		t.Error("cargo->supplier should be single-valued")
+	}
+	if r.SingleValuedFrom("supplier") {
+		t.Error("supplier->cargo should be multi-valued")
+	}
+	if r.SingleValuedFrom("engine") {
+		t.Error("unrelated class is never single-valued")
+	}
+	if !r.TotalFrom("supplier") || !r.TotalFrom("cargo") {
+		t.Error("default relationships are total on both sides")
+	}
+	if r.TotalFrom("engine") {
+		t.Error("unrelated class is never total")
+	}
+}
+
+func TestPartialRelationship(t *testing.T) {
+	s := NewBuilder().
+		Class("a", Attribute{Name: "x", Type: value.KindInt}).
+		Class("b", Attribute{Name: "y", Type: value.KindInt}).
+		PartialRelationship("r", "a", "b", ManyToOne, false, true).
+		MustBuild()
+	r := s.Relationship("r")
+	if r.TotalFrom("a") {
+		t.Error("source participation should be partial")
+	}
+	if !r.TotalFrom("b") {
+		t.Error("target participation should be total")
+	}
+}
+
+func TestRelationshipsOfAndNeighbors(t *testing.T) {
+	s := paperSchema(t)
+	rels := s.RelationshipsOf("cargo")
+	want := []string{"supplies", "collects"}
+	if !reflect.DeepEqual(rels, want) {
+		t.Errorf("RelationshipsOf(cargo) = %v, want %v", rels, want)
+	}
+	neigh := s.Neighbors("vehicle")
+	wantN := []string{"cargo", "driver", "engine"}
+	if !reflect.DeepEqual(neigh, wantN) {
+		t.Errorf("Neighbors(vehicle) = %v, want %v", neigh, wantN)
+	}
+}
+
+func TestConnected(t *testing.T) {
+	s := paperSchema(t)
+	cases := []struct {
+		classes []string
+		rels    []string
+		want    bool
+	}{
+		{[]string{"supplier", "cargo", "vehicle"}, []string{"supplies", "collects"}, true},
+		{[]string{"supplier", "cargo", "vehicle"}, []string{"supplies"}, false},
+		{[]string{"supplier", "engine"}, []string{"supplies", "engComp"}, false},
+		{[]string{"cargo"}, nil, true},
+		{nil, nil, false},
+		// relationship whose endpoints are outside the class set is ignored
+		{[]string{"supplier", "cargo"}, []string{"supplies", "engComp"}, true},
+	}
+	for _, c := range cases {
+		if got := s.Connected(c.classes, c.rels); got != c.want {
+			t.Errorf("Connected(%v, %v) = %v, want %v", c.classes, c.rels, got, c.want)
+		}
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*Schema, error)
+	}{
+		{"duplicate class", func() (*Schema, error) {
+			return NewBuilder().
+				Class("a", Attribute{Name: "x", Type: value.KindInt}).
+				Class("a", Attribute{Name: "x", Type: value.KindInt}).
+				Build()
+		}},
+		{"empty class name", func() (*Schema, error) {
+			return NewBuilder().Class("").Build()
+		}},
+		{"duplicate attribute", func() (*Schema, error) {
+			return NewBuilder().Class("a",
+				Attribute{Name: "x", Type: value.KindInt},
+				Attribute{Name: "x", Type: value.KindInt}).Build()
+		}},
+		{"empty attribute name", func() (*Schema, error) {
+			return NewBuilder().Class("a", Attribute{Type: value.KindInt}).Build()
+		}},
+		{"invalid attribute type", func() (*Schema, error) {
+			return NewBuilder().Class("a", Attribute{Name: "x"}).Build()
+		}},
+		{"unknown parent", func() (*Schema, error) {
+			return NewBuilder().Subclass("a", "ghost").Build()
+		}},
+		{"inheritance cycle", func() (*Schema, error) {
+			return NewBuilder().
+				Subclass("a", "b").
+				Subclass("b", "a").
+				Build()
+		}},
+		{"relationship unknown class", func() (*Schema, error) {
+			return NewBuilder().
+				Class("a", Attribute{Name: "x", Type: value.KindInt}).
+				Relationship("r", "a", "ghost", OneToOne).
+				Build()
+		}},
+		{"duplicate relationship", func() (*Schema, error) {
+			return NewBuilder().
+				Class("a", Attribute{Name: "x", Type: value.KindInt}).
+				Class("b", Attribute{Name: "y", Type: value.KindInt}).
+				Relationship("r", "a", "b", OneToOne).
+				Relationship("r", "b", "a", OneToOne).
+				Build()
+		}},
+		{"empty relationship name", func() (*Schema, error) {
+			return NewBuilder().
+				Class("a", Attribute{Name: "x", Type: value.KindInt}).
+				Relationship("", "a", "a", OneToOne).
+				Build()
+		}},
+	}
+	for _, c := range cases {
+		if _, err := c.build(); err == nil {
+			t.Errorf("%s: Build should fail", c.name)
+		}
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild should panic on invalid schema")
+		}
+	}()
+	NewBuilder().Subclass("a", "ghost").MustBuild()
+}
+
+func TestCardinalityString(t *testing.T) {
+	cases := map[Cardinality]string{
+		OneToOne: "1:1", OneToMany: "1:N", ManyToOne: "N:1", ManyToMany: "M:N",
+		Cardinality(9): "?:?",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("Cardinality(%d).String() = %q, want %q", c, got, want)
+		}
+	}
+}

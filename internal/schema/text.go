@@ -1,0 +1,206 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sqo/internal/value"
+)
+
+// This file implements a line-oriented text format for schemas, so CLIs and
+// downstream users can define their own databases without writing Go:
+//
+//	# classes
+//	class supplier(name: string indexed, address: string, rating: int indexed)
+//	class employee(name: string indexed, clearance: string)
+//	class driver extends employee(license#: string, licenseClass: int)
+//
+//	# relationships: <name>: <source> <card> <target> [partial-source] [partial-target]
+//	relationship supplies: supplier 1:N cargo partial-source
+//	relationship drives:   driver   M:N vehicle
+//
+// Render produces this format; Parse reads it back. Round trips preserve the
+// schema exactly (declaration order included).
+
+// Render writes the schema in the text format.
+func Render(s *Schema) string {
+	var sb strings.Builder
+	for _, name := range s.Classes() {
+		c := s.Class(name)
+		sb.WriteString("class ")
+		sb.WriteString(name)
+		if c.Parent != "" {
+			sb.WriteString(" extends ")
+			sb.WriteString(c.Parent)
+		}
+		sb.WriteByte('(')
+		for i, a := range c.Attributes() {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%s: %s", a.Name, a.Type)
+			if a.Indexed {
+				sb.WriteString(" indexed")
+			}
+		}
+		sb.WriteString(")\n")
+	}
+	for _, name := range s.Relationships() {
+		r := s.Relationship(name)
+		fmt.Fprintf(&sb, "relationship %s: %s %s %s", name, r.Source, r.Card, r.Target)
+		if !r.SourceTotal {
+			sb.WriteString(" partial-source")
+		}
+		if !r.TargetTotal {
+			sb.WriteString(" partial-target")
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Parse reads a schema in the text format Render produces. Blank lines and
+// #-comments are ignored.
+func Parse(text string) (*Schema, error) {
+	b := NewBuilder()
+	for i, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var err error
+		switch {
+		case strings.HasPrefix(line, "class "):
+			err = parseClassLine(b, strings.TrimSpace(line[len("class "):]))
+		case strings.HasPrefix(line, "relationship "):
+			err = parseRelationshipLine(b, strings.TrimSpace(line[len("relationship "):]))
+		default:
+			err = fmt.Errorf("expected 'class' or 'relationship'")
+		}
+		if err != nil {
+			return nil, fmt.Errorf("schema: line %d: %w", i+1, err)
+		}
+	}
+	return b.Build()
+}
+
+// parseClassLine reads `name [extends parent](attr: type [indexed], ...)`.
+func parseClassLine(b *Builder, rest string) error {
+	open := strings.IndexByte(rest, '(')
+	if open < 0 || !strings.HasSuffix(rest, ")") {
+		return fmt.Errorf("malformed class declaration (want name(attrs...))")
+	}
+	head := strings.Fields(strings.TrimSpace(rest[:open]))
+	var name, parent string
+	switch {
+	case len(head) == 1:
+		name = head[0]
+	case len(head) == 3 && head[1] == "extends":
+		name, parent = head[0], head[2]
+	default:
+		return fmt.Errorf("malformed class header %q", rest[:open])
+	}
+
+	var attrs []Attribute
+	body := strings.TrimSpace(rest[open+1 : len(rest)-1])
+	if body != "" {
+		for _, part := range strings.Split(body, ",") {
+			a, err := parseAttr(strings.TrimSpace(part))
+			if err != nil {
+				return err
+			}
+			attrs = append(attrs, a)
+		}
+	}
+	if parent != "" {
+		b.Subclass(name, parent, attrs...)
+	} else {
+		b.Class(name, attrs...)
+	}
+	return nil
+}
+
+// parseAttr reads `name: type [indexed]`.
+func parseAttr(s string) (Attribute, error) {
+	colon := strings.IndexByte(s, ':')
+	if colon <= 0 {
+		return Attribute{}, fmt.Errorf("malformed attribute %q (want name: type)", s)
+	}
+	a := Attribute{Name: strings.TrimSpace(s[:colon])}
+	fields := strings.Fields(s[colon+1:])
+	if len(fields) == 0 || len(fields) > 2 {
+		return Attribute{}, fmt.Errorf("malformed attribute %q", s)
+	}
+	switch fields[0] {
+	case "string":
+		a.Type = value.KindString
+	case "int":
+		a.Type = value.KindInt
+	case "float":
+		a.Type = value.KindFloat
+	case "bool":
+		a.Type = value.KindBool
+	default:
+		return Attribute{}, fmt.Errorf("unknown attribute type %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if fields[1] != "indexed" {
+			return Attribute{}, fmt.Errorf("unknown attribute modifier %q", fields[1])
+		}
+		a.Indexed = true
+	}
+	return a, nil
+}
+
+// parseRelationshipLine reads `name: source card target [partial-source] [partial-target]`.
+func parseRelationshipLine(b *Builder, rest string) error {
+	colon := strings.IndexByte(rest, ':')
+	if colon <= 0 {
+		return fmt.Errorf("malformed relationship (want name: source card target)")
+	}
+	name := strings.TrimSpace(rest[:colon])
+	fields := strings.Fields(rest[colon+1:])
+	if len(fields) < 3 || len(fields) > 5 {
+		return fmt.Errorf("malformed relationship body %q", rest[colon+1:])
+	}
+	source, cardText, target := fields[0], fields[1], fields[2]
+	var card Cardinality
+	switch cardText {
+	case "1:1":
+		card = OneToOne
+	case "1:N":
+		card = OneToMany
+	case "N:1":
+		card = ManyToOne
+	case "M:N":
+		card = ManyToMany
+	default:
+		return fmt.Errorf("unknown cardinality %q", cardText)
+	}
+	sourceTotal, targetTotal := true, true
+	for _, mod := range fields[3:] {
+		switch mod {
+		case "partial-source":
+			sourceTotal = false
+		case "partial-target":
+			targetTotal = false
+		default:
+			return fmt.Errorf("unknown relationship modifier %q", mod)
+		}
+	}
+	b.PartialRelationship(name, source, target, card, sourceTotal, targetTotal)
+	return nil
+}
+
+// kindNames keeps Kind.String and the parser in sync; used by tests.
+func kindNames() []string {
+	out := []string{
+		value.KindString.String(),
+		value.KindInt.String(),
+		value.KindFloat.String(),
+		value.KindBool.String(),
+	}
+	sort.Strings(out)
+	return out
+}

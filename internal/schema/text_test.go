@@ -1,0 +1,118 @@
+package schema
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"sqo/internal/value"
+)
+
+func TestRenderParseRoundTrip(t *testing.T) {
+	s := paperSchema(t)
+	text := Render(s)
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse(Render(s)): %v\n%s", err, text)
+	}
+	if !reflect.DeepEqual(s.Classes(), back.Classes()) {
+		t.Errorf("classes changed: %v vs %v", s.Classes(), back.Classes())
+	}
+	if !reflect.DeepEqual(s.Relationships(), back.Relationships()) {
+		t.Errorf("relationships changed: %v vs %v", s.Relationships(), back.Relationships())
+	}
+	for _, cl := range s.Classes() {
+		a := s.Class(cl)
+		b := back.Class(cl)
+		if a.Parent != b.Parent {
+			t.Errorf("%s: parent %q vs %q", cl, a.Parent, b.Parent)
+		}
+		if !reflect.DeepEqual(a.Attributes(), b.Attributes()) {
+			t.Errorf("%s: attributes differ:\n%v\n%v", cl, a.Attributes(), b.Attributes())
+		}
+	}
+	for _, rn := range s.Relationships() {
+		if *s.Relationship(rn) != *back.Relationship(rn) {
+			t.Errorf("%s: %+v vs %+v", rn, s.Relationship(rn), back.Relationship(rn))
+		}
+	}
+	// Rendering the round-tripped schema is a fixpoint.
+	if Render(back) != text {
+		t.Error("Render(Parse(Render(s))) differs from Render(s)")
+	}
+}
+
+func TestParseSchemaText(t *testing.T) {
+	text := `
+# a tiny world
+class box(code: string indexed, weight: int, fragile: bool)
+class crate extends box(slots: int)
+
+relationship holds: crate 1:N box partial-source partial-target
+`
+	s, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	a, ok := s.Attr("box", "code")
+	if !ok || a.Type != value.KindString || !a.Indexed {
+		t.Errorf("box.code = %+v, %v", a, ok)
+	}
+	if _, ok := s.Attr("crate", "weight"); !ok {
+		t.Error("crate should inherit weight")
+	}
+	r := s.Relationship("holds")
+	if r == nil || r.Card != OneToMany || r.SourceTotal || r.TargetTotal {
+		t.Errorf("holds = %+v", r)
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	bad := []struct {
+		name, text string
+	}{
+		{"garbage", "what is this"},
+		{"class no parens", "class box"},
+		{"class bad header", "class a b c(x: int)"},
+		{"attr no colon", "class box(code string)"},
+		{"attr bad type", "class box(code: varchar)"},
+		{"attr bad modifier", "class box(code: int unique)"},
+		{"attr too many fields", "class box(code: int indexed twice)"},
+		{"rel no colon", "relationship holds crate 1:N box"},
+		{"rel bad card", "relationship holds: crate 2:3 box"},
+		{"rel bad modifier", "relationship holds: crate 1:N box sometimes"},
+		{"rel too few", "relationship holds: crate 1:N"},
+		{"rel unknown class", "relationship holds: crate 1:N box"},
+		{"subclass unknown parent", "class crate extends ghost(x: int)"},
+	}
+	for _, c := range bad {
+		if _, err := Parse(c.text); err == nil {
+			t.Errorf("%s: Parse should fail:\n%s", c.name, c.text)
+		}
+	}
+}
+
+func TestParseErrorNamesLine(t *testing.T) {
+	_, err := Parse("class ok(x: int)\nnonsense here")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error should name line 2: %v", err)
+	}
+}
+
+func TestKindNamesCoverParser(t *testing.T) {
+	want := []string{"bool", "float", "int", "string"}
+	if got := kindNames(); !reflect.DeepEqual(got, want) {
+		t.Errorf("kind names = %v, want %v — keep Kind.String and parseAttr in sync", got, want)
+	}
+}
+
+func TestRenderEmptyClass(t *testing.T) {
+	s := NewBuilder().Class("empty").MustBuild()
+	back, err := Parse(Render(s))
+	if err != nil {
+		t.Fatalf("empty class round trip: %v", err)
+	}
+	if !back.HasClass("empty") {
+		t.Error("empty class lost")
+	}
+}

@@ -1,0 +1,188 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"sqo/internal/schema"
+	"sqo/internal/value"
+)
+
+// This file implements a portable JSON dump format for databases, so
+// generated instances can be saved, inspected and reloaded:
+//
+//	{
+//	  "schema":    "<schema text format>",
+//	  "instances": {"supplier": [["SFI", "1 Harbour Rd", 5], ...], ...},
+//	  "links":     {"supplies": [[0, 0], [0, 2]], ...}
+//	}
+//
+// Instance rows list attribute values in effective-attribute order; the
+// schema's declared types drive decoding (JSON numbers alone cannot
+// distinguish int from float). Deleted instances are compacted away on dump,
+// with link endpoints remapped.
+
+type dumpFile struct {
+	Schema    string                         `json:"schema"`
+	Instances map[string][][]json.RawMessage `json:"instances"`
+	Links     map[string][][2]int            `json:"links"`
+}
+
+// Dump serializes the database. Tombstoned instances are omitted and OIDs
+// compacted; the loaded copy is equivalent but not OID-identical after
+// deletions.
+func Dump(db *Database) ([]byte, error) {
+	out := dumpFile{
+		Schema:    schema.Render(db.sch),
+		Instances: map[string][][]json.RawMessage{},
+		Links:     map[string][][2]int{},
+	}
+	// Compacting remap per class: old OID -> new position.
+	remap := map[string]map[OID]int{}
+	for _, class := range db.sch.Classes() {
+		cs := db.classes[class]
+		m := make(map[OID]int, cs.live)
+		rows := make([][]json.RawMessage, 0, cs.live)
+		for i, inst := range cs.instances {
+			if cs.dead[i] {
+				continue
+			}
+			row := make([]json.RawMessage, len(inst.Values))
+			for j, v := range inst.Values {
+				enc, err := encodeValue(v)
+				if err != nil {
+					return nil, fmt.Errorf("storage: dump %s: %w", class, err)
+				}
+				row[j] = enc
+			}
+			m[inst.OID] = len(rows)
+			rows = append(rows, row)
+		}
+		remap[class] = m
+		out.Instances[class] = rows
+	}
+	for _, rel := range db.sch.Relationships() {
+		ls := db.links[rel]
+		pairs := make([][2]int, 0, ls.count)
+		srcMap, dstMap := remap[ls.rel.Source], remap[ls.rel.Target]
+		// Forward map iteration is nondeterministic; emit in source-OID
+		// order for reproducible dumps.
+		for src := OID(0); int(src) < len(db.classes[ls.rel.Source].instances); src++ {
+			for _, dst := range ls.forward[src] {
+				pairs = append(pairs, [2]int{srcMap[src], dstMap[dst]})
+			}
+		}
+		out.Links[rel] = pairs
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(out); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Load rebuilds a database from a Dump.
+func Load(data []byte) (*Database, error) {
+	var in dumpFile
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("storage: load: %w", err)
+	}
+	sch, err := schema.Parse(in.Schema)
+	if err != nil {
+		return nil, fmt.Errorf("storage: load: %w", err)
+	}
+	db := NewDatabase(sch)
+	for _, class := range sch.Classes() {
+		attrs := sch.EffectiveAttributes(class)
+		for rowIdx, row := range in.Instances[class] {
+			if len(row) != len(attrs) {
+				return nil, fmt.Errorf("storage: load %s[%d]: %d values for %d attributes",
+					class, rowIdx, len(row), len(attrs))
+			}
+			vals := make(map[string]value.Value, len(attrs))
+			for j, a := range attrs {
+				v, err := decodeValue(row[j], a.Type)
+				if err != nil {
+					return nil, fmt.Errorf("storage: load %s[%d].%s: %w", class, rowIdx, a.Name, err)
+				}
+				vals[a.Name] = v
+			}
+			if _, err := db.Insert(class, vals); err != nil {
+				return nil, fmt.Errorf("storage: load: %w", err)
+			}
+		}
+	}
+	for _, rel := range sch.Relationships() {
+		for i, pair := range in.Links[rel] {
+			if err := db.Link(rel, OID(pair[0]), OID(pair[1])); err != nil {
+				return nil, fmt.Errorf("storage: load link %s[%d]: %w", rel, i, err)
+			}
+		}
+	}
+	return db, nil
+}
+
+func encodeValue(v value.Value) (json.RawMessage, error) {
+	switch v.Kind() {
+	case value.KindString:
+		return json.Marshal(v.Str())
+	case value.KindInt:
+		return json.Marshal(v.IntVal())
+	case value.KindFloat:
+		return json.Marshal(v.FloatVal())
+	case value.KindBool:
+		return json.Marshal(v.BoolVal())
+	default:
+		return nil, fmt.Errorf("invalid value")
+	}
+}
+
+func decodeValue(raw json.RawMessage, kind value.Kind) (value.Value, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var any interface{}
+	if err := dec.Decode(&any); err != nil {
+		return value.Value{}, err
+	}
+	switch kind {
+	case value.KindString:
+		s, ok := any.(string)
+		if !ok {
+			return value.Value{}, fmt.Errorf("want string, got %T", any)
+		}
+		return value.String(s), nil
+	case value.KindInt:
+		n, ok := any.(json.Number)
+		if !ok {
+			return value.Value{}, fmt.Errorf("want number, got %T", any)
+		}
+		i, err := n.Int64()
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.Int(i), nil
+	case value.KindFloat:
+		n, ok := any.(json.Number)
+		if !ok {
+			return value.Value{}, fmt.Errorf("want number, got %T", any)
+		}
+		f, err := n.Float64()
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.Float(f), nil
+	case value.KindBool:
+		b, ok := any.(bool)
+		if !ok {
+			return value.Value{}, fmt.Errorf("want bool, got %T", any)
+		}
+		return value.Bool(b), nil
+	default:
+		return value.Value{}, fmt.Errorf("invalid kind")
+	}
+}

@@ -1,0 +1,173 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+
+	"sqo/internal/schema"
+	"sqo/internal/value"
+)
+
+func TestDumpLoadRoundTrip(t *testing.T) {
+	db := NewDatabase(testSchema(t))
+	loadSample(t, db)
+	data, err := Dump(db)
+	if err != nil {
+		t.Fatalf("Dump: %v", err)
+	}
+	back, err := Load(data)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, class := range db.Schema().Classes() {
+		if back.Count(class) != db.Count(class) {
+			t.Errorf("%s: count %d vs %d", class, back.Count(class), db.Count(class))
+		}
+	}
+	for _, rel := range db.Schema().Relationships() {
+		if back.LinkCount(rel) != db.LinkCount(rel) {
+			t.Errorf("%s: links %d vs %d", rel, back.LinkCount(rel), db.LinkCount(rel))
+		}
+	}
+	// Instance content and link structure survive.
+	inst, err := back.Get("supplier", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, _ := back.Attr("supplier", inst, "name")
+	if name.Str() != "SFI" {
+		t.Errorf("supplier 0 = %v", name)
+	}
+	targets, err := back.Traverse("supplies", "supplier", 0, nil)
+	if err != nil || len(targets) != 2 {
+		t.Errorf("SFI should supply 2 cargos after reload: %v, %v", targets, err)
+	}
+	// Indexes are rebuilt.
+	hits, err := back.IndexLookup("supplier", "name", IndexEQ, value.String("SFI"), nil)
+	if err != nil || len(hits) != 1 {
+		t.Errorf("index after reload: %v, %v", hits, err)
+	}
+	// Dumps are deterministic.
+	again, err := Dump(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(again) {
+		t.Error("Dump is not deterministic")
+	}
+}
+
+func TestDumpCompactsDeletions(t *testing.T) {
+	db := NewDatabase(testSchema(t))
+	_, cargos := loadSample(t, db)
+	if err := db.Delete("cargo", cargos[0]); err != nil {
+		t.Fatal(err)
+	}
+	data, err := Dump(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(data)
+	if err != nil {
+		t.Fatalf("Load after delete: %v", err)
+	}
+	if back.Count("cargo") != db.Count("cargo") {
+		t.Errorf("cargo count %d vs %d", back.Count("cargo"), db.Count("cargo"))
+	}
+	// Links to the deleted cargo are gone; the rest are remapped correctly:
+	// every link endpoint resolves.
+	for _, rel := range back.Schema().Relationships() {
+		if back.LinkCount(rel) != db.LinkCount(rel) {
+			t.Errorf("%s: links %d vs %d", rel, back.LinkCount(rel), db.LinkCount(rel))
+		}
+	}
+	// Each reloaded supplier's cargo links resolve to live instances.
+	for oid := OID(0); int(oid) < back.Count("supplier"); oid++ {
+		targets, err := back.Traverse("supplies", "supplier", oid, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, dst := range targets {
+			if _, err := back.Get("cargo", dst, nil); err != nil {
+				t.Errorf("dangling link after compaction: %v", err)
+			}
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	db := NewDatabase(testSchema(t))
+	loadSample(t, db)
+	good, err := Dump(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mut  func(string) string
+	}{
+		{"garbage", func(string) string { return "{not json" }},
+		{"bad schema", func(s string) string {
+			return strings.Replace(s, "class supplier", "klass supplier", 1)
+		}},
+		{"wrong arity", func(s string) string {
+			return strings.Replace(s, `"SFI"`, `"SFI", "extra"`, 1)
+		}},
+		{"type mismatch", func(s string) string {
+			return strings.Replace(s, `"SFI"`, `17`, 1)
+		}},
+		{"bad link", func(s string) string {
+			return strings.Replace(s, `"supplies": [`, `"supplies": [[99,99],`, 1)
+		}},
+	}
+	for _, c := range cases {
+		if _, err := Load([]byte(c.mut(string(good)))); err == nil {
+			t.Errorf("%s: Load should fail", c.name)
+		}
+	}
+}
+
+func TestDumpValueKinds(t *testing.T) {
+	s := testValueSchema()
+	db := NewDatabase(s)
+	if _, err := db.Insert("v", map[string]value.Value{
+		"s": value.String("x"),
+		"i": value.Int(-7),
+		"f": value.Float(2.25),
+		"b": value.Bool(true),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := Dump(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := back.Get("v", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]value.Value{
+		"s": value.String("x"), "i": value.Int(-7), "f": value.Float(2.25), "b": value.Bool(true),
+	}
+	for attr, want := range checks {
+		got, err := back.Attr("v", inst, attr)
+		if err != nil || got != want {
+			t.Errorf("%s = %v (%v), want %v", attr, got, err, want)
+		}
+	}
+}
+
+// testValueSchema declares one class with every value kind.
+func testValueSchema() *schema.Schema {
+	return schema.NewBuilder().
+		Class("v",
+			schema.Attribute{Name: "s", Type: value.KindString},
+			schema.Attribute{Name: "i", Type: value.KindInt},
+			schema.Attribute{Name: "f", Type: value.KindFloat},
+			schema.Attribute{Name: "b", Type: value.KindBool}).
+		MustBuild()
+}

@@ -1,0 +1,96 @@
+package storage
+
+import (
+	"sort"
+
+	"sqo/internal/value"
+)
+
+// IndexOp is the lookup mode of a secondary index probe.
+type IndexOp uint8
+
+// Index lookup modes (the subset of comparison operators an ordered index
+// accelerates; != always falls back to a scan).
+const (
+	IndexEQ IndexOp = iota
+	IndexLT
+	IndexLE
+	IndexGT
+	IndexGE
+)
+
+// orderedIndex is a sorted secondary index: entries ordered by value, then
+// OID. It supports equality and range probes in O(log n + k). Inserts keep
+// the slice sorted; the workloads here are bulk-load-then-read, so the
+// O(n) insert cost is irrelevant and the flat layout keeps scans fast.
+type orderedIndex struct {
+	entries []indexEntry
+}
+
+type indexEntry struct {
+	val value.Value
+	oid OID
+}
+
+func newOrderedIndex() *orderedIndex { return &orderedIndex{} }
+
+// less orders entries by value then OID. Values of incomparable kinds fall
+// back to kind order so the sort stays total (mixed-kind attributes cannot
+// occur through Database.Insert, which type-checks).
+func (ix *orderedIndex) less(a, b indexEntry) bool {
+	if c, err := a.val.Compare(b.val); err == nil {
+		if c != 0 {
+			return c < 0
+		}
+		return a.oid < b.oid
+	}
+	return a.val.Kind() < b.val.Kind()
+}
+
+func (ix *orderedIndex) insert(v value.Value, oid OID) {
+	e := indexEntry{val: v, oid: oid}
+	i := sort.Search(len(ix.entries), func(i int) bool { return !ix.less(ix.entries[i], e) })
+	ix.entries = append(ix.entries, indexEntry{})
+	copy(ix.entries[i+1:], ix.entries[i:])
+	ix.entries[i] = e
+}
+
+// lowerBound returns the first position whose value is >= v.
+func (ix *orderedIndex) lowerBound(v value.Value) int {
+	return sort.Search(len(ix.entries), func(i int) bool {
+		c, err := ix.entries[i].val.Compare(v)
+		return err == nil && c >= 0
+	})
+}
+
+// upperBound returns the first position whose value is > v.
+func (ix *orderedIndex) upperBound(v value.Value) int {
+	return sort.Search(len(ix.entries), func(i int) bool {
+		c, err := ix.entries[i].val.Compare(v)
+		return err == nil && c > 0
+	})
+}
+
+func (ix *orderedIndex) lookup(op IndexOp, v value.Value) []OID {
+	var lo, hi int
+	switch op {
+	case IndexEQ:
+		lo, hi = ix.lowerBound(v), ix.upperBound(v)
+	case IndexLT:
+		lo, hi = 0, ix.lowerBound(v)
+	case IndexLE:
+		lo, hi = 0, ix.upperBound(v)
+	case IndexGT:
+		lo, hi = ix.upperBound(v), len(ix.entries)
+	case IndexGE:
+		lo, hi = ix.lowerBound(v), len(ix.entries)
+	}
+	if lo >= hi {
+		return nil
+	}
+	out := make([]OID, 0, hi-lo)
+	for _, e := range ix.entries[lo:hi] {
+		out = append(out, e.oid)
+	}
+	return out
+}

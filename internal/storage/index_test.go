@@ -1,0 +1,149 @@
+package storage
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sqo/internal/schema"
+	"sqo/internal/value"
+)
+
+// indexWorld is a randomly filled single-attribute extent used to compare
+// index lookups against linear scans.
+type indexWorld struct {
+	vals []int64
+}
+
+// Generate implements quick.Generator.
+func (indexWorld) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(60) + 1
+	w := indexWorld{vals: make([]int64, n)}
+	for i := range w.vals {
+		w.vals[i] = int64(r.Intn(21) - 10) // duplicates likely
+	}
+	return reflect.ValueOf(w)
+}
+
+func buildIndexed(t *testing.T, vals []int64) *Database {
+	t.Helper()
+	s := schema.NewBuilder().
+		Class("c", schema.Attribute{Name: "v", Type: value.KindInt, Indexed: true}).
+		MustBuild()
+	db := NewDatabase(s)
+	for _, v := range vals {
+		if _, err := db.Insert("c", map[string]value.Value{"v": value.Int(v)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// linearLookup is the oracle: scan and filter.
+func linearLookup(vals []int64, op IndexOp, probe int64) []OID {
+	var out []OID
+	for i, v := range vals {
+		keep := false
+		switch op {
+		case IndexEQ:
+			keep = v == probe
+		case IndexLT:
+			keep = v < probe
+		case IndexLE:
+			keep = v <= probe
+		case IndexGT:
+			keep = v > probe
+		case IndexGE:
+			keep = v >= probe
+		}
+		if keep {
+			out = append(out, OID(i))
+		}
+	}
+	return out
+}
+
+// TestQuickIndexMatchesScan: for random extents, probes and operators, the
+// ordered index returns exactly what a scan-and-filter returns.
+func TestQuickIndexMatchesScan(t *testing.T) {
+	f := func(w indexWorld, probeRaw int8, opRaw uint8) bool {
+		db := buildIndexed(t, w.vals)
+		probe := int64(probeRaw % 12)
+		op := IndexOp(opRaw % 5)
+		got, err := db.IndexLookup("c", "v", op, value.Int(probe), nil)
+		if err != nil {
+			return false
+		}
+		want := linearLookup(w.vals, op, probe)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickIndexOrdering: index results come back ordered by value, then OID.
+func TestQuickIndexOrdering(t *testing.T) {
+	f := func(w indexWorld) bool {
+		db := buildIndexed(t, w.vals)
+		got, err := db.IndexLookup("c", "v", IndexGE, value.Int(-100), nil)
+		if err != nil || len(got) != len(w.vals) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			a, b := w.vals[got[i-1]], w.vals[got[i]]
+			if a > b {
+				return false
+			}
+			if a == b && got[i-1] >= got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexEmptyExtent(t *testing.T) {
+	db := buildIndexed(t, nil)
+	got, err := db.IndexLookup("c", "v", IndexEQ, value.Int(0), nil)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty extent lookup = %v, %v", got, err)
+	}
+}
+
+func TestIndexStringValues(t *testing.T) {
+	s := schema.NewBuilder().
+		Class("c", schema.Attribute{Name: "v", Type: value.KindString, Indexed: true}).
+		MustBuild()
+	db := NewDatabase(s)
+	for _, v := range []string{"pear", "apple", "fig", "apple"} {
+		if _, err := db.Insert("c", map[string]value.Value{"v": value.String(v)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := db.IndexLookup("c", "v", IndexLT, value.String("fig"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 { // the two apples
+		t.Errorf("LT fig = %v, want the two apples", got)
+	}
+	ge, _ := db.IndexLookup("c", "v", IndexGE, value.String("pear"), nil)
+	if len(ge) != 1 || ge[0] != 0 {
+		t.Errorf("GE pear = %v", ge)
+	}
+}

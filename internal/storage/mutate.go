@@ -1,0 +1,106 @@
+package storage
+
+import (
+	"fmt"
+
+	"sqo/internal/value"
+)
+
+// This file implements the mutation side of the store: attribute updates and
+// instance deletion, both maintaining secondary indexes and link stores.
+// The paper's evaluation is read-only, but state-dependent rules (the
+// Siegel extension in internal/derive) only make sense against a database
+// that can change — a rule derived before an Update may no longer hold
+// afterwards, which is exactly what CheckConstraint then reports.
+
+// Update overwrites one attribute of an existing instance, keeping any
+// secondary index on that attribute in sync. The new value must match the
+// declared type (numeric kinds interchange).
+func (db *Database) Update(class string, oid OID, attr string, v value.Value) error {
+	cs := db.classes[class]
+	if cs == nil {
+		return fmt.Errorf("storage: unknown class %q", class)
+	}
+	if err := db.checkOID(class, oid); err != nil {
+		return err
+	}
+	i, ok := cs.attrIdx[attr]
+	if !ok {
+		return fmt.Errorf("storage: %s: unknown attribute %q", class, attr)
+	}
+	decl := cs.attrs[i]
+	if v.Kind() != decl.Type && !(v.Kind().Numeric() && decl.Type.Numeric()) {
+		return fmt.Errorf("storage: %s.%s: want %s, got %s", class, attr, decl.Type, v.Kind())
+	}
+	old := cs.instances[oid].Values[i]
+	if idx := cs.indexes[attr]; idx != nil {
+		idx.remove(old, oid)
+		idx.insert(v, oid)
+	}
+	cs.instances[oid].Values[i] = v
+	return nil
+}
+
+// Delete removes an instance: its index entries go away, every relationship
+// link touching it is severed, and the OID becomes invalid. Remaining OIDs
+// are stable (the slot is tombstoned, not compacted).
+func (db *Database) Delete(class string, oid OID) error {
+	cs := db.classes[class]
+	if cs == nil {
+		return fmt.Errorf("storage: unknown class %q", class)
+	}
+	if err := db.checkOID(class, oid); err != nil {
+		return err // includes already-deleted OIDs
+	}
+	for name, idx := range cs.indexes {
+		idx.remove(cs.instances[oid].Values[cs.attrIdx[name]], oid)
+	}
+	cs.dead[oid] = true
+	cs.live--
+	for _, ls := range db.links {
+		if ls.rel.Source == class {
+			for _, dst := range ls.forward[oid] {
+				ls.reverse[dst] = withoutOID(ls.reverse[dst], oid)
+				ls.count--
+			}
+			delete(ls.forward, oid)
+		}
+		if ls.rel.Target == class {
+			for _, src := range ls.reverse[oid] {
+				ls.forward[src] = withoutOID(ls.forward[src], oid)
+				ls.count--
+			}
+			delete(ls.reverse, oid)
+		}
+	}
+	return nil
+}
+
+func withoutOID(list []OID, oid OID) []OID {
+	out := list[:0]
+	for _, o := range list {
+		if o != oid {
+			out = append(out, o)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// remove deletes one (value, oid) entry from the ordered index; missing
+// entries are ignored (callers guarantee consistency).
+func (ix *orderedIndex) remove(v value.Value, oid OID) {
+	lo := ix.lowerBound(v)
+	for i := lo; i < len(ix.entries); i++ {
+		e := ix.entries[i]
+		if !e.val.Equal(v) {
+			return
+		}
+		if e.oid == oid {
+			ix.entries = append(ix.entries[:i], ix.entries[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package storage
+
+import (
+	"testing"
+
+	"sqo/internal/value"
+)
+
+func TestUpdateValueAndIndex(t *testing.T) {
+	db := NewDatabase(testSchema(t))
+	loadSample(t, db)
+	// supplier 0 is "SFI" with rating 1; bump the rating.
+	if err := db.Update("supplier", 0, "rating", value.Int(5)); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	inst, err := db.Get("supplier", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := db.Attr("supplier", inst, "rating")
+	if v != value.Int(5) {
+		t.Errorf("rating = %v, want 5", v)
+	}
+	// The index reflects the change: old value gone, new value found.
+	atOld, _ := db.IndexLookup("supplier", "rating", IndexEQ, value.Int(1), nil)
+	for _, oid := range atOld {
+		if oid == 0 {
+			t.Error("old index entry not removed")
+		}
+	}
+	atNew, _ := db.IndexLookup("supplier", "rating", IndexEQ, value.Int(5), nil)
+	found := false
+	for _, oid := range atNew {
+		if oid == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("new index entry missing")
+	}
+}
+
+func TestUpdateValidation(t *testing.T) {
+	db := NewDatabase(testSchema(t))
+	loadSample(t, db)
+	cases := []struct {
+		name        string
+		class, attr string
+		oid         OID
+		v           value.Value
+	}{
+		{"unknown class", "ghost", "rating", 0, value.Int(1)},
+		{"unknown attr", "supplier", "ghost", 0, value.Int(1)},
+		{"bad oid", "supplier", "rating", 99, value.Int(1)},
+		{"type mismatch", "supplier", "rating", 0, value.String("five")},
+	}
+	for _, c := range cases {
+		if err := db.Update(c.class, c.oid, c.attr, c.v); err == nil {
+			t.Errorf("%s: Update should fail", c.name)
+		}
+	}
+	// Cross-numeric updates are fine.
+	if err := db.Update("cargo", 0, "quantity", value.Float(12.5)); err != nil {
+		t.Errorf("float into int attr: %v", err)
+	}
+}
+
+func TestDeleteRemovesInstance(t *testing.T) {
+	db := NewDatabase(testSchema(t))
+	suppliers, cargos := loadSample(t, db)
+	before := db.Count("cargo")
+	if err := db.Delete("cargo", cargos[0]); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if db.Count("cargo") != before-1 {
+		t.Errorf("Count = %d, want %d", db.Count("cargo"), before-1)
+	}
+	// Gone from Get and Scan; other OIDs stable.
+	if _, err := db.Get("cargo", cargos[0], nil); err == nil {
+		t.Error("Get of deleted instance should fail")
+	}
+	seen := 0
+	_ = db.Scan("cargo", nil, func(inst Instance) bool {
+		if inst.OID == cargos[0] {
+			t.Error("deleted instance visible in scan")
+		}
+		seen++
+		return true
+	})
+	if seen != before-1 {
+		t.Errorf("scan saw %d, want %d", seen, before-1)
+	}
+	// Links severed on both sides.
+	back, err := db.Traverse("supplies", "supplier", suppliers[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, oid := range back {
+		if oid == cargos[0] {
+			t.Error("link to deleted cargo survives")
+		}
+	}
+	// Double delete and link-to-deleted fail.
+	if err := db.Delete("cargo", cargos[0]); err == nil {
+		t.Error("double delete should fail")
+	}
+	if err := db.Link("supplies", suppliers[0], cargos[0]); err == nil {
+		t.Error("linking a deleted instance should fail")
+	}
+}
+
+func TestDeleteUpdatesIndexAndStats(t *testing.T) {
+	db := NewDatabase(testSchema(t))
+	suppliers, _ := loadSample(t, db)
+	if err := db.Delete("supplier", suppliers[0]); err != nil { // "SFI"
+		t.Fatal(err)
+	}
+	hits, _ := db.IndexLookup("supplier", "name", IndexEQ, value.String("SFI"), nil)
+	if len(hits) != 0 {
+		t.Errorf("index still finds deleted supplier: %v", hits)
+	}
+	st := db.Analyze()
+	if st.Classes["supplier"].Card != 2 {
+		t.Errorf("Analyze card = %d, want 2", st.Classes["supplier"].Card)
+	}
+	if st.Classes["supplier"].Attrs["name"].Distinct != 2 {
+		t.Errorf("distinct = %d, want 2", st.Classes["supplier"].Attrs["name"].Distinct)
+	}
+}
+
+func TestUpdateDeletedInstanceFails(t *testing.T) {
+	db := NewDatabase(testSchema(t))
+	_, cargos := loadSample(t, db)
+	if err := db.Delete("cargo", cargos[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Update("cargo", cargos[1], "quantity", value.Int(1)); err == nil {
+		t.Error("updating a deleted instance should fail")
+	}
+}

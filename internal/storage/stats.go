@@ -1,0 +1,80 @@
+package storage
+
+import (
+	"sqo/internal/value"
+)
+
+// AttrStats summarizes one attribute's value distribution.
+type AttrStats struct {
+	Distinct int
+	Min, Max value.Value
+	HasRange bool // Min/Max populated (numeric or orderable attribute)
+}
+
+// ClassStats summarizes one class extent.
+type ClassStats struct {
+	Card  int
+	Pages int64
+	Attrs map[string]AttrStats
+}
+
+// RelStats summarizes one relationship's link distribution.
+type RelStats struct {
+	Links int
+	// Fanout maps each end class to the average number of linked
+	// instances on the *other* side per instance of that class.
+	Fanout map[string]float64
+}
+
+// Stats is the database statistics snapshot used by the cost model — the
+// moral equivalent of the system catalog a conventional optimizer reads.
+type Stats struct {
+	Classes map[string]ClassStats
+	Rels    map[string]RelStats
+}
+
+// Analyze computes a statistics snapshot of the current database contents.
+// Run it after bulk loading, the way one runs ANALYZE.
+func (db *Database) Analyze() *Stats {
+	st := &Stats{Classes: map[string]ClassStats{}, Rels: map[string]RelStats{}}
+	for name, cs := range db.classes {
+		cstat := ClassStats{Card: cs.live, Pages: cs.pages(), Attrs: map[string]AttrStats{}}
+		for i, a := range cs.attrs {
+			distinct := map[value.Value]bool{}
+			var min, max value.Value
+			for j, inst := range cs.instances {
+				if cs.dead[j] {
+					continue
+				}
+				v := inst.Values[i]
+				distinct[v] = true
+				if !min.Valid() || v.Less(min) {
+					min = v
+				}
+				if !max.Valid() || max.Less(v) {
+					max = v
+				}
+			}
+			cstat.Attrs[a.Name] = AttrStats{
+				Distinct: len(distinct),
+				Min:      min,
+				Max:      max,
+				HasRange: min.Valid() && max.Valid() && min.Kind().Numeric(),
+			}
+		}
+		st.Classes[name] = cstat
+	}
+	for name, ls := range db.links {
+		srcCard := db.classes[ls.rel.Source].live
+		dstCard := db.classes[ls.rel.Target].live
+		fan := map[string]float64{}
+		if srcCard > 0 {
+			fan[ls.rel.Source] = float64(ls.count) / float64(srcCard)
+		}
+		if dstCard > 0 {
+			fan[ls.rel.Target] = float64(ls.count) / float64(dstCard)
+		}
+		st.Rels[name] = RelStats{Links: ls.count, Fanout: fan}
+	}
+	return st
+}

@@ -1,0 +1,392 @@
+// Package storage implements the object-oriented database substrate the
+// optimizer is evaluated against: per-class extents of typed instances,
+// secondary indexes on attributes marked Indexed in the schema, and
+// relationship link stores (the OODB pointer attributes of Figure 2.1).
+//
+// Physical I/O is simulated deterministically: instances live in fixed-size
+// pages, sequential scans cost page reads, index probes and pointer
+// traversals cost object fetches. Read paths take a *Meter that accumulates
+// these events; the cost model and the experiment harness convert them into
+// cost units. This replaces the paper's unnamed relational DBMS on a
+// SUN-3/160 (DESIGN.md deviation #5) with something reproducible.
+package storage
+
+import (
+	"fmt"
+
+	"sqo/internal/schema"
+	"sqo/internal/value"
+)
+
+// PageSize is the simulated page size in bytes.
+const PageSize = 4096
+
+// attrWidth is the simulated storage width of one attribute value.
+const attrWidth = 16
+
+// recordOverhead is the simulated per-instance overhead (OID, header).
+const recordOverhead = 16
+
+// OID identifies an instance within its class extent (dense, 0-based).
+type OID int
+
+// Meter accumulates simulated physical events. Methods on Database accept a
+// *Meter; passing nil disables accounting. The zero Meter is ready to use.
+type Meter struct {
+	PagesScanned   int64 // sequential page reads (extent scans)
+	ObjectFetches  int64 // random instance fetches (pointer/index targets)
+	IndexProbes    int64 // index lookups
+	LinkTraversals int64 // link-store lookups (pointer dereferences)
+	PredEvals      int64 // predicate evaluations (CPU)
+}
+
+// Reset zeroes the meter.
+func (m *Meter) Reset() { *m = Meter{} }
+
+// Add accumulates another meter into m.
+func (m *Meter) Add(o Meter) {
+	m.PagesScanned += o.PagesScanned
+	m.ObjectFetches += o.ObjectFetches
+	m.IndexProbes += o.IndexProbes
+	m.LinkTraversals += o.LinkTraversals
+	m.PredEvals += o.PredEvals
+}
+
+// Instance is one stored object: its OID plus attribute values aligned with
+// the class's effective attributes.
+type Instance struct {
+	OID    OID
+	Values []value.Value
+}
+
+// classStore is the extent of one class.
+type classStore struct {
+	name      string
+	attrs     []schema.Attribute
+	attrIdx   map[string]int
+	instances []Instance
+	dead      []bool // tombstones left by Delete; OIDs stay stable
+	live      int
+	indexes   map[string]*orderedIndex
+	perPage   int
+}
+
+func newClassStore(name string, attrs []schema.Attribute) *classStore {
+	cs := &classStore{
+		name:    name,
+		attrs:   attrs,
+		attrIdx: map[string]int{},
+		indexes: map[string]*orderedIndex{},
+	}
+	for i, a := range attrs {
+		cs.attrIdx[a.Name] = i
+		if a.Indexed {
+			cs.indexes[a.Name] = newOrderedIndex()
+		}
+	}
+	width := recordOverhead + attrWidth*len(attrs)
+	cs.perPage = PageSize / width
+	if cs.perPage < 1 {
+		cs.perPage = 1
+	}
+	return cs
+}
+
+func (cs *classStore) pages() int64 {
+	n := len(cs.instances)
+	if n == 0 {
+		return 0
+	}
+	return int64((n + cs.perPage - 1) / cs.perPage)
+}
+
+// linkStore holds the instance pairs of one relationship with indexes in
+// both directions.
+type linkStore struct {
+	rel     schema.Relationship
+	forward map[OID][]OID // source -> targets
+	reverse map[OID][]OID // target -> sources
+	count   int
+}
+
+func newLinkStore(rel schema.Relationship) *linkStore {
+	return &linkStore{rel: rel, forward: map[OID][]OID{}, reverse: map[OID][]OID{}}
+}
+
+// Database is an in-memory OODB instance for a fixed schema.
+// It is not safe for concurrent mutation; concurrent reads are fine.
+type Database struct {
+	sch     *schema.Schema
+	classes map[string]*classStore
+	links   map[string]*linkStore
+}
+
+// NewDatabase creates an empty database for the schema.
+func NewDatabase(s *schema.Schema) *Database {
+	db := &Database{
+		sch:     s,
+		classes: map[string]*classStore{},
+		links:   map[string]*linkStore{},
+	}
+	for _, name := range s.Classes() {
+		db.classes[name] = newClassStore(name, s.EffectiveAttributes(name))
+	}
+	for _, name := range s.Relationships() {
+		db.links[name] = newLinkStore(*s.Relationship(name))
+	}
+	return db
+}
+
+// Schema returns the database schema.
+func (db *Database) Schema() *schema.Schema { return db.sch }
+
+// Insert stores a new instance of the class. Every effective attribute must
+// be present in vals with the declared type (numeric kinds interchange).
+// It returns the new instance's OID.
+func (db *Database) Insert(class string, vals map[string]value.Value) (OID, error) {
+	cs := db.classes[class]
+	if cs == nil {
+		return 0, fmt.Errorf("storage: unknown class %q", class)
+	}
+	row := make([]value.Value, len(cs.attrs))
+	for i, a := range cs.attrs {
+		v, ok := vals[a.Name]
+		if !ok {
+			return 0, fmt.Errorf("storage: %s: missing attribute %q", class, a.Name)
+		}
+		if v.Kind() != a.Type && !(v.Kind().Numeric() && a.Type.Numeric()) {
+			return 0, fmt.Errorf("storage: %s.%s: want %s, got %s", class, a.Name, a.Type, v.Kind())
+		}
+		row[i] = v
+	}
+	if len(vals) != len(cs.attrs) {
+		for name := range vals {
+			if _, ok := cs.attrIdx[name]; !ok {
+				return 0, fmt.Errorf("storage: %s: unknown attribute %q", class, name)
+			}
+		}
+	}
+	oid := OID(len(cs.instances))
+	cs.instances = append(cs.instances, Instance{OID: oid, Values: row})
+	cs.dead = append(cs.dead, false)
+	cs.live++
+	for name, idx := range cs.indexes {
+		idx.insert(row[cs.attrIdx[name]], oid)
+	}
+	return oid, nil
+}
+
+// Count returns the live cardinality of the class extent (0 for unknown
+// classes); deleted instances do not count.
+func (db *Database) Count(class string) int {
+	if cs := db.classes[class]; cs != nil {
+		return cs.live
+	}
+	return 0
+}
+
+// Pages returns the number of simulated pages the class extent occupies.
+func (db *Database) Pages(class string) int64 {
+	if cs := db.classes[class]; cs != nil {
+		return cs.pages()
+	}
+	return 0
+}
+
+// Get fetches one instance by OID, charging an object fetch.
+func (db *Database) Get(class string, oid OID, m *Meter) (Instance, error) {
+	cs := db.classes[class]
+	if cs == nil {
+		return Instance{}, fmt.Errorf("storage: unknown class %q", class)
+	}
+	if oid < 0 || int(oid) >= len(cs.instances) {
+		return Instance{}, fmt.Errorf("storage: %s: OID %d out of range", class, oid)
+	}
+	if cs.dead[oid] {
+		return Instance{}, fmt.Errorf("storage: %s: OID %d is deleted", class, oid)
+	}
+	if m != nil {
+		m.ObjectFetches++
+	}
+	return cs.instances[oid], nil
+}
+
+// Attr returns the value of an attribute of an already-fetched instance.
+// No I/O is charged — the instance is in memory.
+func (db *Database) Attr(class string, inst Instance, attr string) (value.Value, error) {
+	cs := db.classes[class]
+	if cs == nil {
+		return value.Value{}, fmt.Errorf("storage: unknown class %q", class)
+	}
+	i, ok := cs.attrIdx[attr]
+	if !ok {
+		return value.Value{}, fmt.Errorf("storage: %s: unknown attribute %q", class, attr)
+	}
+	return inst.Values[i], nil
+}
+
+// AttrIndexOf resolves an attribute name to its position in Instance.Values,
+// so hot paths can avoid the name lookup per instance.
+func (db *Database) AttrIndexOf(class, attr string) (int, error) {
+	cs := db.classes[class]
+	if cs == nil {
+		return 0, fmt.Errorf("storage: unknown class %q", class)
+	}
+	i, ok := cs.attrIdx[attr]
+	if !ok {
+		return 0, fmt.Errorf("storage: %s: unknown attribute %q", class, attr)
+	}
+	return i, nil
+}
+
+// Scan iterates the whole class extent in OID order, charging sequential
+// page reads. The callback may return false to stop early (pages already
+// read stay charged; remaining pages are not).
+func (db *Database) Scan(class string, m *Meter, fn func(Instance) bool) error {
+	cs := db.classes[class]
+	if cs == nil {
+		return fmt.Errorf("storage: unknown class %q", class)
+	}
+	for i, inst := range cs.instances {
+		if m != nil && i%cs.perPage == 0 {
+			m.PagesScanned++
+		}
+		if cs.dead[i] {
+			continue
+		}
+		if !fn(inst) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// HasIndex reports whether the class attribute carries a secondary index.
+func (db *Database) HasIndex(class, attr string) bool {
+	cs := db.classes[class]
+	return cs != nil && cs.indexes[attr] != nil
+}
+
+// IndexLookup returns the OIDs whose attribute satisfies ⟨op, v⟩ using the
+// secondary index, charging one index probe. The OIDs are returned in index
+// order; fetching the instances is the caller's business (and cost).
+func (db *Database) IndexLookup(class, attr string, op IndexOp, v value.Value, m *Meter) ([]OID, error) {
+	cs := db.classes[class]
+	if cs == nil {
+		return nil, fmt.Errorf("storage: unknown class %q", class)
+	}
+	idx := cs.indexes[attr]
+	if idx == nil {
+		return nil, fmt.Errorf("storage: no index on %s.%s", class, attr)
+	}
+	if m != nil {
+		m.IndexProbes++
+	}
+	return idx.lookup(op, v), nil
+}
+
+// Link records a relationship instance between a source and target OID,
+// enforcing the declared cardinality.
+func (db *Database) Link(rel string, src, dst OID) error {
+	ls := db.links[rel]
+	if ls == nil {
+		return fmt.Errorf("storage: unknown relationship %q", rel)
+	}
+	if err := db.checkOID(ls.rel.Source, src); err != nil {
+		return err
+	}
+	if err := db.checkOID(ls.rel.Target, dst); err != nil {
+		return err
+	}
+	switch ls.rel.Card {
+	case schema.OneToOne:
+		if len(ls.forward[src]) > 0 || len(ls.reverse[dst]) > 0 {
+			return fmt.Errorf("storage: %s is 1:1; %d or %d already linked", rel, src, dst)
+		}
+	case schema.OneToMany:
+		if len(ls.reverse[dst]) > 0 {
+			return fmt.Errorf("storage: %s is 1:N; target %d already has a source", rel, dst)
+		}
+	case schema.ManyToOne:
+		if len(ls.forward[src]) > 0 {
+			return fmt.Errorf("storage: %s is N:1; source %d already has a target", rel, src)
+		}
+	}
+	ls.forward[src] = append(ls.forward[src], dst)
+	ls.reverse[dst] = append(ls.reverse[dst], src)
+	ls.count++
+	return nil
+}
+
+func (db *Database) checkOID(class string, oid OID) error {
+	cs := db.classes[class]
+	if cs == nil {
+		return fmt.Errorf("storage: unknown class %q", class)
+	}
+	if oid < 0 || int(oid) >= len(cs.instances) {
+		return fmt.Errorf("storage: %s: OID %d out of range", class, oid)
+	}
+	if cs.dead[oid] {
+		return fmt.Errorf("storage: %s: OID %d is deleted", class, oid)
+	}
+	return nil
+}
+
+// LinkCount returns the number of instance pairs in the relationship.
+func (db *Database) LinkCount(rel string) int {
+	if ls := db.links[rel]; ls != nil {
+		return ls.count
+	}
+	return 0
+}
+
+// Traverse follows the relationship from the given instance of class `from`,
+// returning the linked OIDs on the other side and charging one link
+// traversal (the OODB pointer dereference). The returned slice must not be
+// mutated.
+func (db *Database) Traverse(rel string, from string, oid OID, m *Meter) ([]OID, error) {
+	ls := db.links[rel]
+	if ls == nil {
+		return nil, fmt.Errorf("storage: unknown relationship %q", rel)
+	}
+	if m != nil {
+		m.LinkTraversals++
+	}
+	switch from {
+	case ls.rel.Source:
+		return ls.forward[oid], nil
+	case ls.rel.Target:
+		return ls.reverse[oid], nil
+	default:
+		return nil, fmt.Errorf("storage: class %q is not an end of relationship %q", from, rel)
+	}
+}
+
+// CheckTotality verifies that the declared participation flags of every
+// relationship hold in the stored data; the data generator's tests use it,
+// and class elimination is only sound when it passes.
+func (db *Database) CheckTotality() error {
+	for name, ls := range db.links {
+		if ls.rel.SourceTotal {
+			for oid := range db.classes[ls.rel.Source].instances {
+				if db.classes[ls.rel.Source].dead[oid] {
+					continue
+				}
+				if len(ls.forward[OID(oid)]) == 0 {
+					return fmt.Errorf("storage: %s declared total on source but %s[%d] unlinked", name, ls.rel.Source, oid)
+				}
+			}
+		}
+		if ls.rel.TargetTotal {
+			for oid := range db.classes[ls.rel.Target].instances {
+				if db.classes[ls.rel.Target].dead[oid] {
+					continue
+				}
+				if len(ls.reverse[OID(oid)]) == 0 {
+					return fmt.Errorf("storage: %s declared total on target but %s[%d] unlinked", name, ls.rel.Target, oid)
+				}
+			}
+		}
+	}
+	return nil
+}

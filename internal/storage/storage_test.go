@@ -1,0 +1,415 @@
+package storage
+
+import (
+	"testing"
+
+	"sqo/internal/schema"
+	"sqo/internal/value"
+)
+
+func testSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	return schema.NewBuilder().
+		Class("supplier",
+			schema.Attribute{Name: "name", Type: value.KindString, Indexed: true},
+			schema.Attribute{Name: "rating", Type: value.KindInt, Indexed: true}).
+		Class("cargo",
+			schema.Attribute{Name: "desc", Type: value.KindString},
+			schema.Attribute{Name: "quantity", Type: value.KindInt}).
+		Class("vehicle",
+			schema.Attribute{Name: "desc", Type: value.KindString}).
+		Relationship("supplies", "supplier", "cargo", schema.OneToMany).
+		Relationship("collects", "vehicle", "cargo", schema.OneToMany).
+		MustBuild()
+}
+
+func mustInsert(t *testing.T, db *Database, class string, vals map[string]value.Value) OID {
+	t.Helper()
+	oid, err := db.Insert(class, vals)
+	if err != nil {
+		t.Fatalf("Insert(%s): %v", class, err)
+	}
+	return oid
+}
+
+func loadSample(t *testing.T, db *Database) (suppliers, cargos []OID) {
+	t.Helper()
+	names := []string{"SFI", "ACME", "GlobalFoods"}
+	for i, n := range names {
+		suppliers = append(suppliers, mustInsert(t, db, "supplier", map[string]value.Value{
+			"name":   value.String(n),
+			"rating": value.Int(int64(i + 1)),
+		}))
+	}
+	descs := []string{"frozen food", "steel", "frozen food", "paper"}
+	for i, d := range descs {
+		cargos = append(cargos, mustInsert(t, db, "cargo", map[string]value.Value{
+			"desc":     value.String(d),
+			"quantity": value.Int(int64(10 * (i + 1))),
+		}))
+	}
+	// supplier 0 supplies cargos 0 and 2, supplier 1 supplies 1 and 3.
+	links := [][2]OID{{suppliers[0], cargos[0]}, {suppliers[0], cargos[2]},
+		{suppliers[1], cargos[1]}, {suppliers[1], cargos[3]}}
+	for _, l := range links {
+		if err := db.Link("supplies", l[0], l[1]); err != nil {
+			t.Fatalf("Link: %v", err)
+		}
+	}
+	return suppliers, cargos
+}
+
+func TestInsertAndGet(t *testing.T) {
+	db := NewDatabase(testSchema(t))
+	oid := mustInsert(t, db, "supplier", map[string]value.Value{
+		"name": value.String("SFI"), "rating": value.Int(5),
+	})
+	var m Meter
+	inst, err := db.Get("supplier", oid, &m)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if m.ObjectFetches != 1 {
+		t.Errorf("ObjectFetches = %d, want 1", m.ObjectFetches)
+	}
+	v, err := db.Attr("supplier", inst, "name")
+	if err != nil || v.Str() != "SFI" {
+		t.Errorf("Attr = %v, %v", v, err)
+	}
+	if _, err := db.Attr("supplier", inst, "ghost"); err == nil {
+		t.Error("Attr(ghost) should fail")
+	}
+	if _, err := db.Attr("ghost", inst, "name"); err == nil {
+		t.Error("Attr on unknown class should fail")
+	}
+	if db.Count("supplier") != 1 || db.Count("ghost") != 0 {
+		t.Error("Count broken")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	db := NewDatabase(testSchema(t))
+	cases := []struct {
+		name  string
+		class string
+		vals  map[string]value.Value
+	}{
+		{"unknown class", "ghost", map[string]value.Value{}},
+		{"missing attr", "supplier", map[string]value.Value{"name": value.String("x")}},
+		{"wrong type", "supplier", map[string]value.Value{
+			"name": value.Int(3), "rating": value.Int(1)}},
+		{"extra attr", "supplier", map[string]value.Value{
+			"name": value.String("x"), "rating": value.Int(1), "ghost": value.Int(2)}},
+	}
+	for _, c := range cases {
+		if _, err := db.Insert(c.class, c.vals); err == nil {
+			t.Errorf("%s: Insert should fail", c.name)
+		}
+	}
+	// Numeric kinds interchange.
+	if _, err := db.Insert("supplier", map[string]value.Value{
+		"name": value.String("x"), "rating": value.Float(2.5)}); err != nil {
+		t.Errorf("float into int attribute should be allowed: %v", err)
+	}
+}
+
+func TestGetErrors(t *testing.T) {
+	db := NewDatabase(testSchema(t))
+	if _, err := db.Get("ghost", 0, nil); err == nil {
+		t.Error("Get on unknown class should fail")
+	}
+	if _, err := db.Get("supplier", 0, nil); err == nil {
+		t.Error("Get out of range should fail")
+	}
+	if _, err := db.Get("supplier", -1, nil); err == nil {
+		t.Error("Get negative OID should fail")
+	}
+}
+
+func TestScanChargesPages(t *testing.T) {
+	db := NewDatabase(testSchema(t))
+	// supplier record: 16 + 2*16 = 48 bytes -> 85 per 4096-byte page.
+	for i := 0; i < 200; i++ {
+		mustInsert(t, db, "supplier", map[string]value.Value{
+			"name": value.String("s"), "rating": value.Int(int64(i)),
+		})
+	}
+	var m Meter
+	n := 0
+	if err := db.Scan("supplier", &m, func(Instance) bool { n++; return true }); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if n != 200 {
+		t.Errorf("visited %d instances, want 200", n)
+	}
+	if m.PagesScanned != db.Pages("supplier") {
+		t.Errorf("PagesScanned = %d, want %d", m.PagesScanned, db.Pages("supplier"))
+	}
+	if m.PagesScanned < 2 || m.PagesScanned > 4 {
+		t.Errorf("PagesScanned = %d, expected 200/85 -> 3", m.PagesScanned)
+	}
+	// Early stop reads fewer pages.
+	m.Reset()
+	count := 0
+	_ = db.Scan("supplier", &m, func(Instance) bool { count++; return count < 10 })
+	if m.PagesScanned != 1 {
+		t.Errorf("early-stop PagesScanned = %d, want 1", m.PagesScanned)
+	}
+	if err := db.Scan("ghost", nil, func(Instance) bool { return true }); err == nil {
+		t.Error("Scan on unknown class should fail")
+	}
+}
+
+func TestIndexLookup(t *testing.T) {
+	db := NewDatabase(testSchema(t))
+	loadSample(t, db)
+	var m Meter
+	oids, err := db.IndexLookup("supplier", "name", IndexEQ, value.String("SFI"), &m)
+	if err != nil {
+		t.Fatalf("IndexLookup: %v", err)
+	}
+	if len(oids) != 1 || oids[0] != 0 {
+		t.Errorf("EQ lookup = %v, want [0]", oids)
+	}
+	if m.IndexProbes != 1 {
+		t.Errorf("IndexProbes = %d, want 1", m.IndexProbes)
+	}
+	// Range lookups on the int index.
+	ge, _ := db.IndexLookup("supplier", "rating", IndexGE, value.Int(2), nil)
+	if len(ge) != 2 {
+		t.Errorf("GE lookup = %v, want two suppliers", ge)
+	}
+	lt, _ := db.IndexLookup("supplier", "rating", IndexLT, value.Int(2), nil)
+	if len(lt) != 1 || lt[0] != 0 {
+		t.Errorf("LT lookup = %v, want [0]", lt)
+	}
+	le, _ := db.IndexLookup("supplier", "rating", IndexLE, value.Int(2), nil)
+	if len(le) != 2 {
+		t.Errorf("LE lookup = %v", le)
+	}
+	gt, _ := db.IndexLookup("supplier", "rating", IndexGT, value.Int(2), nil)
+	if len(gt) != 1 {
+		t.Errorf("GT lookup = %v", gt)
+	}
+	// Misses.
+	none, _ := db.IndexLookup("supplier", "name", IndexEQ, value.String("nope"), nil)
+	if len(none) != 0 {
+		t.Errorf("miss = %v, want empty", none)
+	}
+	if _, err := db.IndexLookup("cargo", "desc", IndexEQ, value.String("x"), nil); err == nil {
+		t.Error("lookup on unindexed attribute should fail")
+	}
+	if _, err := db.IndexLookup("ghost", "x", IndexEQ, value.Int(1), nil); err == nil {
+		t.Error("lookup on unknown class should fail")
+	}
+	if !db.HasIndex("supplier", "name") || db.HasIndex("cargo", "desc") || db.HasIndex("ghost", "x") {
+		t.Error("HasIndex broken")
+	}
+}
+
+func TestIndexDuplicateValues(t *testing.T) {
+	db := NewDatabase(testSchema(t))
+	for i := 0; i < 5; i++ {
+		mustInsert(t, db, "supplier", map[string]value.Value{
+			"name": value.String("dup"), "rating": value.Int(7),
+		})
+	}
+	oids, err := db.IndexLookup("supplier", "name", IndexEQ, value.String("dup"), nil)
+	if err != nil {
+		t.Fatalf("IndexLookup: %v", err)
+	}
+	if len(oids) != 5 {
+		t.Errorf("duplicates = %v, want 5 OIDs", oids)
+	}
+	// OIDs come back ordered.
+	for i := 1; i < len(oids); i++ {
+		if oids[i-1] >= oids[i] {
+			t.Errorf("OIDs not ordered: %v", oids)
+		}
+	}
+}
+
+func TestLinkAndTraverse(t *testing.T) {
+	db := NewDatabase(testSchema(t))
+	suppliers, cargos := loadSample(t, db)
+	var m Meter
+	targets, err := db.Traverse("supplies", "supplier", suppliers[0], &m)
+	if err != nil {
+		t.Fatalf("Traverse: %v", err)
+	}
+	if len(targets) != 2 {
+		t.Errorf("supplier 0 should supply 2 cargos, got %v", targets)
+	}
+	if m.LinkTraversals != 1 {
+		t.Errorf("LinkTraversals = %d, want 1", m.LinkTraversals)
+	}
+	back, err := db.Traverse("supplies", "cargo", cargos[0], nil)
+	if err != nil || len(back) != 1 || back[0] != suppliers[0] {
+		t.Errorf("reverse traverse = %v, %v", back, err)
+	}
+	if db.LinkCount("supplies") != 4 || db.LinkCount("ghost") != 0 {
+		t.Error("LinkCount broken")
+	}
+	if _, err := db.Traverse("ghost", "supplier", 0, nil); err == nil {
+		t.Error("Traverse unknown relationship should fail")
+	}
+	if _, err := db.Traverse("supplies", "vehicle", 0, nil); err == nil {
+		t.Error("Traverse from non-member class should fail")
+	}
+}
+
+func TestLinkCardinalityEnforcement(t *testing.T) {
+	s := schema.NewBuilder().
+		Class("a", schema.Attribute{Name: "x", Type: value.KindInt}).
+		Class("b", schema.Attribute{Name: "x", Type: value.KindInt}).
+		Relationship("oo", "a", "b", schema.OneToOne).
+		Relationship("om", "a", "b", schema.OneToMany).
+		Relationship("mo", "a", "b", schema.ManyToOne).
+		Relationship("mm", "a", "b", schema.ManyToMany).
+		MustBuild()
+	db := NewDatabase(s)
+	var as, bs []OID
+	for i := 0; i < 3; i++ {
+		ao, _ := db.Insert("a", map[string]value.Value{"x": value.Int(int64(i))})
+		bo, _ := db.Insert("b", map[string]value.Value{"x": value.Int(int64(i))})
+		as, bs = append(as, ao), append(bs, bo)
+	}
+	// 1:1 — second link on either side fails.
+	if err := db.Link("oo", as[0], bs[0]); err != nil {
+		t.Fatalf("1:1 first link: %v", err)
+	}
+	if err := db.Link("oo", as[0], bs[1]); err == nil {
+		t.Error("1:1 source reuse should fail")
+	}
+	if err := db.Link("oo", as[1], bs[0]); err == nil {
+		t.Error("1:1 target reuse should fail")
+	}
+	// 1:N — a target may have only one source.
+	if err := db.Link("om", as[0], bs[0]); err != nil {
+		t.Fatalf("1:N: %v", err)
+	}
+	if err := db.Link("om", as[0], bs[1]); err != nil {
+		t.Errorf("1:N source fan-out should be fine: %v", err)
+	}
+	if err := db.Link("om", as[1], bs[0]); err == nil {
+		t.Error("1:N target reuse should fail")
+	}
+	// N:1 — a source may have only one target.
+	if err := db.Link("mo", as[0], bs[0]); err != nil {
+		t.Fatalf("N:1: %v", err)
+	}
+	if err := db.Link("mo", as[1], bs[0]); err != nil {
+		t.Errorf("N:1 target fan-in should be fine: %v", err)
+	}
+	if err := db.Link("mo", as[0], bs[1]); err == nil {
+		t.Error("N:1 source reuse should fail")
+	}
+	// M:N — anything goes.
+	for _, a := range as {
+		for _, b := range bs {
+			if err := db.Link("mm", a, b); err != nil {
+				t.Fatalf("M:N link: %v", err)
+			}
+		}
+	}
+	// Bad endpoints.
+	if err := db.Link("mm", 99, bs[0]); err == nil {
+		t.Error("out-of-range source should fail")
+	}
+	if err := db.Link("ghost", as[0], bs[0]); err == nil {
+		t.Error("unknown relationship should fail")
+	}
+}
+
+func TestCheckTotality(t *testing.T) {
+	db := NewDatabase(testSchema(t))
+	suppliers, cargos := loadSample(t, db)
+	// supplies is declared total on both sides, but supplier 2 and no
+	// vehicle-links exist yet: must fail.
+	if err := db.CheckTotality(); err == nil {
+		t.Error("supplier 2 is unlinked; CheckTotality should fail")
+	}
+	// Link the remaining supplier; still fails because cargo lacks collects.
+	if err := db.Link("supplies", suppliers[2], cargos[0]); err == nil {
+		t.Error("cargo 0 already has a supplier under 1:N")
+	}
+	_ = cargos
+}
+
+func TestMeterAddReset(t *testing.T) {
+	a := Meter{PagesScanned: 1, ObjectFetches: 2, IndexProbes: 3, LinkTraversals: 4, PredEvals: 5}
+	var b Meter
+	b.Add(a)
+	b.Add(a)
+	if b.PagesScanned != 2 || b.PredEvals != 10 || b.LinkTraversals != 8 {
+		t.Errorf("Add broken: %+v", b)
+	}
+	b.Reset()
+	if b != (Meter{}) {
+		t.Errorf("Reset broken: %+v", b)
+	}
+}
+
+func TestAttrIndexOf(t *testing.T) {
+	db := NewDatabase(testSchema(t))
+	i, err := db.AttrIndexOf("supplier", "rating")
+	if err != nil || i != 1 {
+		t.Errorf("AttrIndexOf = %d, %v", i, err)
+	}
+	if _, err := db.AttrIndexOf("supplier", "ghost"); err == nil {
+		t.Error("unknown attr should fail")
+	}
+	if _, err := db.AttrIndexOf("ghost", "x"); err == nil {
+		t.Error("unknown class should fail")
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	db := NewDatabase(testSchema(t))
+	loadSample(t, db)
+	st := db.Analyze()
+	cs := st.Classes["cargo"]
+	if cs.Card != 4 {
+		t.Errorf("cargo card = %d, want 4", cs.Card)
+	}
+	as := cs.Attrs["desc"]
+	if as.Distinct != 3 {
+		t.Errorf("cargo.desc distinct = %d, want 3", as.Distinct)
+	}
+	if as.HasRange {
+		t.Error("string attribute should not report a numeric range")
+	}
+	qs := cs.Attrs["quantity"]
+	if !qs.HasRange || !qs.Min.Equal(value.Int(10)) || !qs.Max.Equal(value.Int(40)) {
+		t.Errorf("quantity stats = %+v", qs)
+	}
+	rs := st.Rels["supplies"]
+	if rs.Links != 4 {
+		t.Errorf("supplies links = %d, want 4", rs.Links)
+	}
+	// 3 suppliers share 4 links; 4 cargos share 4 links.
+	if rs.Fanout["supplier"] != 4.0/3.0 || rs.Fanout["cargo"] != 1.0 {
+		t.Errorf("fanout = %+v", rs.Fanout)
+	}
+	// Empty class has zero stats but exists.
+	vs := st.Classes["vehicle"]
+	if vs.Card != 0 || vs.Pages != 0 {
+		t.Errorf("vehicle stats = %+v", vs)
+	}
+}
+
+func TestPagesSmallClass(t *testing.T) {
+	db := NewDatabase(testSchema(t))
+	if db.Pages("supplier") != 0 {
+		t.Error("empty extent occupies no pages")
+	}
+	mustInsert(t, db, "supplier", map[string]value.Value{
+		"name": value.String("x"), "rating": value.Int(1),
+	})
+	if db.Pages("supplier") != 1 {
+		t.Error("one instance occupies one page")
+	}
+	if db.Pages("ghost") != 0 {
+		t.Error("unknown class occupies no pages")
+	}
+}

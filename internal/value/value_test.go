@@ -1,0 +1,294 @@
+package value
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		want string
+	}{
+		{KindString, "string"},
+		{KindInt, "int"},
+		{KindFloat, "float"},
+		{KindBool, "bool"},
+		{KindInvalid, "invalid"},
+		{Kind(99), "invalid"},
+	}
+	for _, c := range cases {
+		if got := c.k.String(); got != c.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", c.k, got, c.want)
+		}
+	}
+}
+
+func TestKindNumeric(t *testing.T) {
+	if !KindInt.Numeric() || !KindFloat.Numeric() {
+		t.Error("numeric kinds must report Numeric()")
+	}
+	if KindString.Numeric() || KindBool.Numeric() || KindInvalid.Numeric() {
+		t.Error("non-numeric kinds must not report Numeric()")
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if v := String("abc"); v.Kind() != KindString || v.Str() != "abc" || !v.Valid() {
+		t.Errorf("String constructor broken: %v", v)
+	}
+	if v := Int(-7); v.Kind() != KindInt || v.IntVal() != -7 {
+		t.Errorf("Int constructor broken: %v", v)
+	}
+	if v := Float(2.5); v.Kind() != KindFloat || v.FloatVal() != 2.5 {
+		t.Errorf("Float constructor broken: %v", v)
+	}
+	if v := Bool(true); v.Kind() != KindBool || !v.BoolVal() {
+		t.Errorf("Bool constructor broken: %v", v)
+	}
+	var zero Value
+	if zero.Valid() {
+		t.Error("zero Value must be invalid")
+	}
+}
+
+func TestAccessorPanicsOnWrongKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Str() on int value should panic")
+		}
+	}()
+	_ = Int(1).Str()
+}
+
+func TestNum(t *testing.T) {
+	if f, ok := Int(4).Num(); !ok || f != 4 {
+		t.Errorf("Int(4).Num() = %v, %v", f, ok)
+	}
+	if f, ok := Float(1.5).Num(); !ok || f != 1.5 {
+		t.Errorf("Float(1.5).Num() = %v, %v", f, ok)
+	}
+	if _, ok := String("x").Num(); ok {
+		t.Error("String.Num() must report !ok")
+	}
+	if _, ok := Bool(true).Num(); ok {
+		t.Error("Bool.Num() must report !ok")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{String("a"), String("b"), -1},
+		{String("b"), String("a"), 1},
+		{String("a"), String("a"), 0},
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(2), Int(2), 0},
+		{Float(1.5), Float(2.5), -1},
+		{Float(2.5), Float(2.5), 0},
+		{Int(3), Float(3.0), 0},
+		{Int(3), Float(3.5), -1},
+		{Float(3.5), Int(3), 1},
+		{Bool(false), Bool(true), -1},
+		{Bool(true), Bool(false), 1},
+		{Bool(true), Bool(true), 0},
+	}
+	for _, c := range cases {
+		got, err := c.a.Compare(c.b)
+		if err != nil {
+			t.Errorf("Compare(%v, %v) unexpected error: %v", c.a, c.b, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareIncomparable(t *testing.T) {
+	pairs := [][2]Value{
+		{String("a"), Int(1)},
+		{Bool(true), Int(1)},
+		{String("a"), Bool(false)},
+		{{}, Int(1)},
+		{{}, {}},
+	}
+	for _, p := range pairs {
+		if _, err := p[0].Compare(p[1]); err == nil {
+			t.Errorf("Compare(%v, %v) should fail", p[0], p[1])
+		}
+		if p[0].Equal(p[1]) {
+			t.Errorf("Equal(%v, %v) should be false", p[0], p[1])
+		}
+		if p[0].Less(p[1]) {
+			t.Errorf("Less(%v, %v) should be false", p[0], p[1])
+		}
+	}
+}
+
+func TestEqualAndLess(t *testing.T) {
+	if !Int(3).Equal(Float(3)) {
+		t.Error("Int(3) must equal Float(3)")
+	}
+	if !Int(2).Less(Int(3)) || Int(3).Less(Int(2)) {
+		t.Error("Less is broken for ints")
+	}
+	if !String("a").Less(String("b")) {
+		t.Error("Less is broken for strings")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{String("frozen food"), `"frozen food"`},
+		{Int(42), "42"},
+		{Float(2.5), "2.5"},
+		{Bool(true), "true"},
+		{Value{}, "<invalid>"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestKeyDistinguishesKinds(t *testing.T) {
+	vs := []Value{String("1"), Int(1), Bool(true), String("true")}
+	seen := map[string]Value{}
+	for _, v := range vs {
+		k := v.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("Key collision between %v and %v: %q", prev, v, k)
+		}
+		seen[k] = v
+	}
+	// Int and Float that compare equal must share a key.
+	if Int(3).Key() != Float(3).Key() {
+		t.Errorf("Int(3).Key()=%q differs from Float(3).Key()=%q", Int(3).Key(), Float(3).Key())
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Value
+	}{
+		{`"SFI"`, String("SFI")},
+		{"42", Int(42)},
+		{"-3", Int(-3)},
+		{"2.75", Float(2.75)},
+		{"true", Bool(true)},
+		{"false", Bool(false)},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q) error: %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "abc", `"unterminated`} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+// randomValue produces an arbitrary valid Value for property tests.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(4) {
+	case 0:
+		letters := []byte("abcdefg")
+		n := r.Intn(5)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteByte(letters[r.Intn(len(letters))])
+		}
+		return String(sb.String())
+	case 1:
+		return Int(int64(r.Intn(201) - 100))
+	case 2:
+		return Float(math.Round(r.Float64()*200-100) / 4)
+	default:
+		return Bool(r.Intn(2) == 0)
+	}
+}
+
+// Generate implements quick.Generator so Values can appear in property tests.
+func (Value) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(randomValue(r))
+}
+
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	f := func(a, b Value) bool {
+		ab, err1 := a.Compare(b)
+		ba, err2 := b.Compare(a)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		return ab == -ba
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCompareTransitive(t *testing.T) {
+	f := func(a, b, c Value) bool {
+		ab, err1 := a.Compare(b)
+		bc, err2 := b.Compare(c)
+		ac, err3 := a.Compare(c)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return true // incomparable triples are vacuously fine
+		}
+		if ab <= 0 && bc <= 0 && ac > 0 {
+			return false
+		}
+		return !(ab >= 0 && bc >= 0 && ac < 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEqualValuesShareKey(t *testing.T) {
+	f := func(a, b Value) bool {
+		if a.Equal(b) {
+			return a.Key() == b.Key()
+		}
+		return a.Key() != b.Key() || !a.Comparable(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickParseRoundTrip(t *testing.T) {
+	f := func(a Value) bool {
+		got, err := Parse(a.String())
+		if err != nil {
+			return false
+		}
+		return got.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

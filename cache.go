@@ -1,0 +1,103 @@
+package sqo
+
+import (
+	"container/list"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Fingerprint returns the canonical cache key of a query: an
+// order-insensitive encoding of its five parts with normalized predicate
+// ordering, so two queries that differ only in how their predicate, class or
+// relationship lists are ordered share one fingerprint (and one cache slot).
+func Fingerprint(q *Query) string { return q.Signature() }
+
+// cacheKey scopes a fingerprint to one catalog generation. Results computed
+// against an old catalog keep their old epoch prefix, so a lookup after
+// SwapCatalog can never return them — even if an in-flight optimization
+// stores its result after the swap's purge.
+func cacheKey(epoch uint64, q *Query) string {
+	return strconv.FormatUint(epoch, 10) + "|" + Fingerprint(q)
+}
+
+// resultCache is a concurrency-safe LRU cache of optimization results.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type cacheEntry struct {
+	key string
+	res *Result
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached result for key, marking it most recently used.
+func (c *resultCache) get(key string) (*Result, bool) {
+	c.mu.Lock()
+	var res *Result
+	el, ok := c.items[key]
+	if ok {
+		c.order.MoveToFront(el)
+		// Read the result while still holding the lock: put's
+		// refresh branch writes this field under the same lock.
+		res = el.Value.(*cacheEntry).res
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return res, true
+}
+
+// put inserts (or refreshes) a result, evicting the least recently used
+// entry when the cache is full.
+func (c *resultCache) put(key string, res *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		if oldest != nil {
+			c.order.Remove(oldest)
+			delete(c.items, oldest.Value.(*cacheEntry).key)
+			c.evictions.Add(1)
+		}
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+}
+
+// purge drops every entry; the hit/miss/eviction counters survive.
+func (c *resultCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	clear(c.items)
+}
+
+// len returns the current number of cached entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +31,7 @@ var (
 	deriveRules     = flag.Bool("derive", false, "derive state-dependent rules from the generated instance")
 	dumpTo          = flag.String("dump", "", "write the generated instance as JSON to this file ('-' for stdout)")
 	showSchema      = flag.Bool("schema", false, "print the logistics schema in the text format")
+	optimize        = flag.Bool("optimize", false, "with -n, also optimize the workload through an Engine and print the transformed queries")
 )
 
 func main() {
@@ -131,8 +133,27 @@ func run() error {
 				return err
 			}
 			fmt.Printf("%d workload queries (seed %d, %s):\n", len(queries), *seed, cfg.Name)
-			for i, q := range queries {
-				fmt.Printf("  q%02d %s\n", i, q)
+			if *optimize {
+				eng, err := sqo.NewEngine(sch,
+					sqo.WithCatalog(sqo.LogisticsConstraints()),
+					sqo.WithCostModel(sqo.NewCostModel(sch, db.Analyze(), sqo.DefaultWeights)),
+					sqo.WithGrouping(sqo.GroupLeastAccessed))
+				if err != nil {
+					return err
+				}
+				results, err := eng.OptimizeBatch(context.Background(), queries)
+				if err != nil {
+					return err
+				}
+				for i, q := range queries {
+					fmt.Printf("  q%02d %s\n", i, q)
+					fmt.Printf("   -> %s (%d transformations)\n",
+						results[i].Optimized, results[i].Stats.Fires)
+				}
+			} else {
+				for i, q := range queries {
+					fmt.Printf("  q%02d %s\n", i, q)
+				}
 			}
 			fmt.Println()
 		}

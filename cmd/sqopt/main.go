@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -101,15 +102,24 @@ func run() error {
 	if *noClassElim {
 		rules &^= sqo.RuleClassElimination
 	}
-	opt := sqo.NewOptimizer(sch, sqo.CatalogSource{Catalog: cat}, sqo.Options{
-		Cost:                 model,
-		Budget:               *budget,
-		UsePriorities:        *priorities,
-		DetectContradictions: *contradict,
-		Rules:                rules,
-	})
+	engOpts := []sqo.EngineOption{
+		sqo.WithCatalog(cat),
+		sqo.WithCostModel(model),
+		sqo.WithRules(rules),
+		sqo.WithBudget(*budget),
+	}
+	if *priorities {
+		engOpts = append(engOpts, sqo.WithPriorities())
+	}
+	if *contradict {
+		engOpts = append(engOpts, sqo.WithContradictionDetection())
+	}
+	eng, err := sqo.NewEngine(sch, engOpts...)
+	if err != nil {
+		return err
+	}
 
-	res, err := opt.Optimize(q)
+	res, err := eng.Optimize(context.Background(), q)
 	if err != nil {
 		return err
 	}

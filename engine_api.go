@@ -1,0 +1,290 @@
+package sqo
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Engine is the long-lived, concurrency-safe front door to the optimizer.
+// Where NewOptimizer gives a bare one-shot algorithm object, NewEngine wires
+// the whole serving pipeline once at construction — schema, constraint
+// catalog, optional transitive-closure materialization, optional grouped
+// retrieval, cost model — and then serves Optimize and OptimizeBatch from
+// any number of goroutines, amortizing that setup across heavy repeated
+// traffic.
+//
+// Three production concerns ride on top of the paper's algorithm:
+//
+//   - Context awareness: Optimize honors cancellation and deadlines inside
+//     the transformation loop.
+//   - Result caching: with WithResultCache, queries are keyed by a canonical
+//     fingerprint (normalized predicate ordering) into an LRU cache, so a
+//     repeated workload pays the O(m·n) table work once per distinct query.
+//   - Hot catalog swap: SwapCatalog atomically replaces the declared
+//     constraint set — rebuilding closure and groups off to the side and
+//     flipping an atomic pointer — without blocking in-flight optimizations.
+//
+// On a cache hit the same *Result is returned to every caller; treat results
+// as read-only. All accessor methods on Result are safe to share.
+type Engine struct {
+	schema *Schema
+	cfg    engineConfig
+	state  atomic.Pointer[engineState]
+	cache  *resultCache // nil when caching is disabled
+
+	swapMu sync.Mutex // serializes SwapCatalog (readers never take it)
+
+	optimizations atomic.Int64
+	swaps         atomic.Int64
+}
+
+// engineState is everything derived from one catalog generation. It is
+// immutable after construction and replaced wholesale by SwapCatalog.
+type engineState struct {
+	declared *Catalog // as supplied; nil for a custom ConstraintSource
+	active   *Catalog // after closure materialization; what retrieval serves
+	closure  ClosureStats
+	opt      *Optimizer
+	epoch    uint64
+}
+
+// NewEngine builds an engine over the schema. Exactly one of WithCatalog and
+// WithConstraintSource must be supplied; everything else has defaults (all
+// rules, heuristic cost model, no closure, ungrouped retrieval, no cache,
+// GOMAXPROCS batch workers).
+func NewEngine(s *Schema, opts ...EngineOption) (*Engine, error) {
+	if s == nil {
+		return nil, errors.New("sqo: NewEngine requires a schema")
+	}
+	cfg := engineConfig{}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.workers < 1 {
+		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case cfg.catalog == nil && cfg.source == nil:
+		return nil, errors.New("sqo: NewEngine requires WithCatalog or WithConstraintSource")
+	case cfg.catalog != nil && cfg.source != nil:
+		return nil, errors.New("sqo: WithCatalog and WithConstraintSource are mutually exclusive")
+	}
+	e := &Engine{schema: s, cfg: cfg}
+	if cfg.cacheSize > 0 {
+		e.cache = newResultCache(cfg.cacheSize)
+	}
+	st, err := e.buildState(cfg.catalog, 0)
+	if err != nil {
+		return nil, err
+	}
+	e.state.Store(st)
+	return e, nil
+}
+
+// buildState materializes one catalog generation: validate, close, group,
+// and construct the optimizer over it.
+func (e *Engine) buildState(cat *Catalog, epoch uint64) (*engineState, error) {
+	coreOpts := e.cfg.core
+	if coreOpts.Cost == nil {
+		coreOpts.Cost = HeuristicCost{Schema: e.schema}
+	}
+	st := &engineState{declared: cat, epoch: epoch}
+	src := e.cfg.source
+	if cat != nil {
+		if err := cat.Validate(e.schema); err != nil {
+			return nil, fmt.Errorf("sqo: catalog does not fit the schema: %w", err)
+		}
+		st.active = cat
+		if e.cfg.closure {
+			closed, _, stats, err := MaterializeClosure(cat, e.cfg.closureOpts)
+			if err != nil {
+				return nil, fmt.Errorf("sqo: closure materialization: %w", err)
+			}
+			st.active, st.closure = closed, stats
+		}
+		if e.cfg.grouping {
+			src = NewGroupStore(st.active, e.cfg.policy, NewAccessStats())
+		} else {
+			src = CatalogSource{Catalog: st.active}
+		}
+	}
+	st.opt = NewOptimizer(e.schema, src, coreOpts)
+	return st, nil
+}
+
+// Optimize runs the semantic optimization of q against the current catalog
+// generation, serving from the result cache when possible. It is safe to
+// call from any number of goroutines. Cancellation and deadlines on ctx are
+// honored inside the transformation loop; on cancellation the error is
+// ctx.Err() and no result is cached.
+func (e *Engine) Optimize(ctx context.Context, q *Query) (*Result, error) {
+	if q == nil {
+		return nil, errors.New("sqo: Optimize requires a query")
+	}
+	st := e.state.Load()
+	var key string
+	if e.cache != nil {
+		key = cacheKey(st.epoch, q)
+		if res, ok := e.cache.get(key); ok {
+			e.optimizations.Add(1)
+			return res, nil
+		}
+	}
+	res, err := st.opt.OptimizeContext(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	e.optimizations.Add(1)
+	if e.cache != nil {
+		e.cache.put(key, res)
+	}
+	return res, nil
+}
+
+// OptimizeBatch optimizes every query of a workload concurrently on the
+// engine's worker pool (WithWorkers), returning results positionally aligned
+// with qs. The first failing query cancels the rest; on any error the
+// partial results are discarded and only the error is returned.
+func (e *Engine) OptimizeBatch(ctx context.Context, qs []*Query) ([]*Result, error) {
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	workers := min(e.cfg.workers, len(qs))
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]*Result, len(qs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		errMu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := e.Optimize(ctx, qs[i])
+				if err != nil {
+					fail(fmt.Errorf("query %d: %w", i, err))
+					return
+				}
+				results[i] = res
+			}
+		}()
+	}
+feed:
+	for i := range qs {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr == nil {
+		// No worker failed, yet the feed may have been cut short by the
+		// parent context.
+		firstErr = ctx.Err()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// SwapCatalog atomically replaces the engine's declared constraint catalog:
+// the transitive closure and retrieval groups are rebuilt off to the side
+// under the engine's construction-time configuration, then published with a
+// single pointer store. In-flight optimizations finish against the old
+// generation; the result cache is invalidated so no stale optimization is
+// ever served. On error the engine keeps serving the old catalog.
+//
+// This is the knob for derived state rules (DeriveRules): merge them in when
+// mined, swap the declared set back in when the data shifts.
+func (e *Engine) SwapCatalog(cat *Catalog) error {
+	if cat == nil {
+		return errors.New("sqo: SwapCatalog requires a catalog")
+	}
+	if e.cfg.source != nil {
+		return errors.New("sqo: engine was built with WithConstraintSource; SwapCatalog requires WithCatalog")
+	}
+	e.swapMu.Lock()
+	defer e.swapMu.Unlock()
+	st, err := e.buildState(cat, e.state.Load().epoch+1)
+	if err != nil {
+		return err
+	}
+	e.state.Store(st)
+	e.swaps.Add(1)
+	if e.cache != nil {
+		e.cache.purge()
+	}
+	return nil
+}
+
+// Schema returns the schema the engine was built over.
+func (e *Engine) Schema() *Schema { return e.schema }
+
+// Catalog returns the currently declared catalog (before closure), or nil
+// when the engine was built from a custom ConstraintSource.
+func (e *Engine) Catalog() *Catalog { return e.state.Load().declared }
+
+// EngineStats is a point-in-time snapshot of an engine's serving counters.
+type EngineStats struct {
+	// Optimizations counts Optimize calls served, cache hits included.
+	Optimizations int64
+	// CacheHits / CacheMisses / CacheEvictions describe the result cache;
+	// all zero when caching is disabled.
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
+	// CacheSize and CacheCapacity are the current and maximum number of
+	// cached results.
+	CacheSize     int
+	CacheCapacity int
+	// CatalogSwaps counts successful SwapCatalog calls; Epoch is the
+	// current catalog generation (0 = as constructed).
+	CatalogSwaps int64
+	Epoch        uint64
+	// Constraints is the size of the active catalog (after closure);
+	// DerivedConstraints is how many of those closure materialization
+	// added. Both zero for a custom ConstraintSource.
+	Constraints        int
+	DerivedConstraints int
+}
+
+// Stats returns a snapshot of the engine's counters. Safe to call
+// concurrently with serving traffic.
+func (e *Engine) Stats() EngineStats {
+	st := e.state.Load()
+	s := EngineStats{
+		Optimizations: e.optimizations.Load(),
+		CatalogSwaps:  e.swaps.Load(),
+		Epoch:         st.epoch,
+	}
+	if st.active != nil {
+		s.Constraints = st.active.Len()
+		s.DerivedConstraints = st.closure.Derived
+	}
+	if e.cache != nil {
+		s.CacheHits = e.cache.hits.Load()
+		s.CacheMisses = e.cache.misses.Load()
+		s.CacheEvictions = e.cache.evictions.Load()
+		s.CacheSize = e.cache.len()
+		s.CacheCapacity = e.cache.cap
+	}
+	return s
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -52,13 +53,25 @@ func main() {
 		log.Fatal(err)
 	}
 
-	run := func(cat *sqo.Catalog) (fires int, cost float64) {
-		opt := sqo.NewOptimizer(db.Schema(), sqo.CatalogSource{Catalog: cat}, sqo.Options{Cost: model})
-		for _, q := range workload {
-			res, err := opt.Optimize(q)
-			if err != nil {
-				log.Fatal(err)
-			}
+	// One long-lived engine serves both runs: it starts on the declared
+	// constraints, then SwapCatalog atomically hot-swaps the merged
+	// declared+derived rule set in (rebuilding retrieval state and
+	// invalidating the result cache) — exactly how a production deployment
+	// absorbs freshly mined state rules without restarting.
+	eng, err := sqo.NewEngine(db.Schema(),
+		sqo.WithCatalog(declared),
+		sqo.WithCostModel(model),
+		sqo.WithResultCache(32))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	run := func() (fires int, cost float64) {
+		results, err := eng.OptimizeBatch(ctx, workload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, res := range results {
 			out, err := exec.Execute(res.Optimized)
 			if err != nil {
 				log.Fatal(err)
@@ -69,8 +82,11 @@ func main() {
 		return fires, cost
 	}
 
-	declFires, declCost := run(declared)
-	mergedFires, mergedCost := run(merged)
+	declFires, declCost := run()
+	if err := eng.SwapCatalog(merged); err != nil {
+		log.Fatal(err)
+	}
+	mergedFires, mergedCost := run()
 	fmt.Printf("\nworkload of %d queries:\n", len(workload))
 	fmt.Printf("  declared constraints only: %3d transformations, total cost %8.1f\n", declFires, declCost)
 	fmt.Printf("  plus derived state rules:  %3d transformations, total cost %8.1f\n", mergedFires, mergedCost)

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -29,11 +30,26 @@ func main() {
 	fmt.Printf("all %d semantic constraints hold\n\n", cat.Len())
 
 	model := sqo.NewCostModel(db.Schema(), db.Analyze(), sqo.DefaultWeights)
-	opt := sqo.NewOptimizer(db.Schema(), sqo.CatalogSource{Catalog: cat}, sqo.Options{Cost: model})
+	// One engine serves the whole workload: grouped retrieval, a result
+	// cache for repeated queries, and a worker pool for the batch.
+	eng, err := sqo.NewEngine(db.Schema(),
+		sqo.WithCatalog(cat),
+		sqo.WithCostModel(model),
+		sqo.WithGrouping(sqo.GroupLeastAccessed),
+		sqo.WithResultCache(64))
+	if err != nil {
+		log.Fatal(err)
+	}
 	exec := sqo.NewExecutor(db)
 
 	gen := sqo.NewWorkloadGenerator(db, cat, sqo.WorkloadOptions{Seed: 41})
 	workload, err := gen.Workload(20)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Optimize the whole workload in one concurrent batch.
+	results, err := eng.OptimizeBatch(context.Background(), workload)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,11 +62,8 @@ func main() {
 		q        *sqo.Query
 	}
 	var outcomes []outcome
-	for _, q := range workload {
-		res, err := opt.Optimize(q)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for i, q := range workload {
+		res := results[i]
 		before, err := exec.Execute(q)
 		if err != nil {
 			log.Fatal(err)
@@ -83,4 +96,8 @@ func main() {
 		totalBefore, totalAfter, 100*totalAfter/totalBefore)
 	fmt.Println("\nbest win:")
 	fmt.Println("  before:", outcomes[0].q)
+
+	st := eng.Stats()
+	fmt.Printf("\nengine: %d optimizations, cache %d/%d hit/miss, %d constraints grouped\n",
+		st.Optimizations, st.CacheHits, st.CacheMisses, st.Constraints)
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -60,8 +61,13 @@ func main() {
 		AddRelationship("collects").
 		AddRelationship("supplies")
 
-	opt := sqo.NewOptimizer(sch, sqo.CatalogSource{Catalog: cat}, sqo.Options{})
-	res, err := opt.Optimize(q)
+	// The Engine is the long-lived front door: built once over schema and
+	// catalog, then shared by any number of goroutines.
+	eng, err := sqo.NewEngine(sch, sqo.WithCatalog(cat))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Optimize(context.Background(), q)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,13 +28,17 @@ func main() {
 		AddSelect(sqo.Eq("supplier", "name", sqo.StringValue("SFI"))).
 		AddRelationship("collects").
 		AddRelationship("supplies")
+	ctx := context.Background()
 	for _, budget := range []int{1, 2, 0} {
-		opt := sqo.NewOptimizer(db.Schema(), sqo.CatalogSource{Catalog: cat}, sqo.Options{
-			Cost:          model,
-			Budget:        budget,
-			UsePriorities: true, // index introductions first (Section 4)
-		})
-		res, err := opt.Optimize(q)
+		eng, err := sqo.NewEngine(db.Schema(),
+			sqo.WithCatalog(cat),
+			sqo.WithCostModel(model),
+			sqo.WithBudget(budget),
+			sqo.WithPriorities()) // index introductions first (Section 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := eng.Optimize(ctx, q)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -46,16 +51,19 @@ func main() {
 	}
 
 	fmt.Println("\n== contradiction detection (extension, off by default) ==")
-	opt := sqo.NewOptimizer(db.Schema(), sqo.CatalogSource{Catalog: cat}, sqo.Options{
-		Cost:                 model,
-		DetectContradictions: true,
-	})
+	eng, err := sqo.NewEngine(db.Schema(),
+		sqo.WithCatalog(cat),
+		sqo.WithCostModel(model),
+		sqo.WithContradictionDetection())
+	if err != nil {
+		log.Fatal(err)
+	}
 	contradictory := sqo.NewQuery("cargo", "vehicle").
 		AddProject("cargo", "code").
 		AddSelect(sqo.Eq("cargo", "desc", sqo.StringValue("oil"))).
 		AddSelect(sqo.Eq("vehicle", "desc", sqo.StringValue("refrigerated truck"))).
 		AddRelationship("collects")
-	res, err := opt.Optimize(contradictory)
+	res, err := eng.Optimize(ctx, contradictory)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,7 +77,11 @@ func main() {
 			log.Fatal(err)
 		}
 		model := sqo.NewCostModel(db.Schema(), db.Analyze(), sqo.DefaultWeights)
-		opt := sqo.NewOptimizer(db.Schema(), sqo.CatalogSource{Catalog: cat}, sqo.Options{Cost: model})
+		eng, err := sqo.NewEngine(db.Schema(),
+			sqo.WithCatalog(cat), sqo.WithCostModel(model))
+		if err != nil {
+			log.Fatal(err)
+		}
 		exec := sqo.NewExecutor(db)
 		gen := sqo.NewWorkloadGenerator(db, cat, sqo.WorkloadOptions{Seed: 41})
 		workload, err := gen.Workload(15)
@@ -78,7 +90,7 @@ func main() {
 		}
 		var before, after float64
 		for _, wq := range workload {
-			r, err := opt.Optimize(wq)
+			r, err := eng.Optimize(ctx, wq)
 			if err != nil {
 				log.Fatal(err)
 			}

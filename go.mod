@@ -1,0 +1,3 @@
+module sqo
+
+go 1.24

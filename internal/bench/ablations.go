@@ -54,8 +54,8 @@ func RunGrouping(queries int, seed int64) ([]GroupingRow, error) {
 		}
 		rows = append(rows, GroupingRow{
 			Policy:    policy.String(),
-			Retrieved: store.Retrieved,
-			Relevant:  store.Relevant,
+			Retrieved: store.Retrieved(),
+			Relevant:  store.Relevant(),
 			Waste:     store.WasteRatio(),
 		})
 	}

@@ -225,8 +225,8 @@ func (o Options) rules() RuleSet {
 }
 
 // Optimizer is the semantic query optimizer. It is cheap to construct and
-// safe for concurrent use as long as the ConstraintSource is (CatalogSource
-// is; *groups.Store mutates retrieval metrics and is not).
+// safe for concurrent use as long as the ConstraintSource is (both
+// CatalogSource and *groups.Store are).
 type Optimizer struct {
 	schema *schema.Schema
 	source ConstraintSource

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"sqo/internal/constraint"
@@ -70,7 +71,20 @@ func (r *Result) TaggedPredicates() []TaggedPredicate {
 // transformed query. The input query is not modified. An invalid query
 // (per query.Validate) yields an error.
 func (o *Optimizer) Optimize(q *query.Query) (*Result, error) {
+	return o.OptimizeContext(context.Background(), q)
+}
+
+// OptimizeContext is Optimize with cancellation: the context is checked on
+// every pass of the transformation loop (each queue update and each firing),
+// so a cancelled or expired context abandons the optimization promptly and
+// returns ctx.Err(). Retrieval and formulation run to completion once
+// started; the transformation loop between them dominates the runtime
+// (O(m·n) table work) and is where cancellation cuts in.
+func (o *Optimizer) OptimizeContext(ctx context.Context, q *query.Query) (*Result, error) {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := q.Validate(o.schema); err != nil {
 		return nil, err
 	}
@@ -84,11 +98,17 @@ func (o *Optimizer) Optimize(q *query.Query) (*Result, error) {
 	budget := o.opts.Budget
 	fires := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		t.updateQueue()
 		if t.queue.Len() == 0 {
 			break
 		}
 		for t.queue.Len() > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if budget > 0 && fires >= budget {
 				// Budget exhausted: stop transforming; whatever
 				// tags exist now feed formulation.

@@ -24,6 +24,8 @@ package groups
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"sqo/internal/constraint"
 	"sqo/internal/query"
@@ -61,8 +63,10 @@ func (p Policy) String() string {
 // AccessStats tracks how often each object class is accessed by queries.
 // The paper maintains these statistics to drive the LeastAccessed policy
 // (and notes the grouping must be refreshed when the pattern shifts).
-// The zero value is ready to use.
+// The zero value is ready to use, and all methods are safe for concurrent
+// use.
 type AccessStats struct {
+	mu     sync.RWMutex
 	counts map[string]int64
 }
 
@@ -71,6 +75,8 @@ func NewAccessStats() *AccessStats { return &AccessStats{counts: map[string]int6
 
 // RecordQuery bumps the access count of every class the query touches.
 func (s *AccessStats) RecordQuery(q *query.Query) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.counts == nil {
 		s.counts = map[string]int64{}
 	}
@@ -81,6 +87,8 @@ func (s *AccessStats) RecordQuery(q *query.Query) {
 
 // Record bumps the access count of a single class by n.
 func (s *AccessStats) Record(class string, n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.counts == nil {
 		s.counts = map[string]int64{}
 	}
@@ -89,21 +97,26 @@ func (s *AccessStats) Record(class string, n int64) {
 
 // Count returns the access count of a class.
 func (s *AccessStats) Count(class string) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.counts[class]
 }
 
 // Store holds the class-attached constraint groups. Build with NewStore;
 // rebuild (Rebuild) when access statistics have drifted, as the paper
-// prescribes for the LeastAccessed policy.
+// prescribes for the LeastAccessed policy. A Store is safe for concurrent
+// use: Retrieve may run from many goroutines, including concurrently with
+// Rebuild.
 type Store struct {
+	mu     sync.RWMutex
 	policy Policy
 	stats  *AccessStats
 	groups map[string][]*constraint.Constraint
 
 	// Metrics accumulated across Retrieve calls, for the grouping
 	// ablation experiment.
-	Retrieved int64 // constraints fetched from groups
-	Relevant  int64 // of those, actually relevant to the query
+	retrieved atomic.Int64 // constraints fetched from groups
+	relevant  atomic.Int64 // of those, actually relevant to the query
 }
 
 // NewStore distributes the catalog's constraints into groups under the given
@@ -151,6 +164,8 @@ func (st *Store) assign(c *constraint.Constraint) {
 // Rebuild redistributes all constraints, picking up fresh access statistics.
 // Retrieval metrics are preserved.
 func (st *Store) Rebuild() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	var all []*constraint.Constraint
 	for _, g := range st.groups {
 		all = append(all, g...)
@@ -165,11 +180,15 @@ func (st *Store) Rebuild() {
 // Group returns the constraints attached to the given class (not a copy —
 // callers must not mutate).
 func (st *Store) Group(class string) []*constraint.Constraint {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	return st.groups[class]
 }
 
 // GroupSizes returns the size of every non-empty group, keyed by class.
 func (st *Store) GroupSizes() map[string]int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	out := make(map[string]int, len(st.groups))
 	for cl, g := range st.groups {
 		out[cl] = len(g)
@@ -186,26 +205,44 @@ func (st *Store) Retrieve(q *query.Query) []*constraint.Constraint {
 	if st.stats != nil {
 		st.stats.RecordQuery(q)
 	}
+	var fetched, kept int64
 	var relevant []*constraint.Constraint
+	st.mu.RLock()
 	for _, cl := range q.Classes {
 		for _, c := range st.groups[cl] {
-			st.Retrieved++
+			fetched++
 			if c.RelevantTo(q) {
-				st.Relevant++
+				kept++
 				relevant = append(relevant, c)
 			}
 		}
 	}
+	st.mu.RUnlock()
+	st.retrieved.Add(fetched)
+	st.relevant.Add(kept)
 	sort.Slice(relevant, func(i, j int) bool { return relevant[i].ID < relevant[j].ID })
 	return relevant
 }
+
+// Retrieved returns the total number of constraints fetched from groups
+// across all Retrieve calls so far.
+func (st *Store) Retrieved() int64 { return st.retrieved.Load() }
+
+// Relevant returns how many of the fetched constraints were actually
+// relevant to their query, across all Retrieve calls so far.
+func (st *Store) Relevant() int64 { return st.relevant.Load() }
 
 // WasteRatio reports the fraction of retrieved constraints that were
 // irrelevant, across all Retrieve calls so far. Lower is better; the paper's
 // LeastAccessed enhancement exists to push this down.
 func (st *Store) WasteRatio() float64 {
-	if st.Retrieved == 0 {
+	// Load relevant before retrieved — the reverse of the writer's order —
+	// so a concurrent Retrieve can never make relevant exceed retrieved
+	// and push the ratio out of [0, 1].
+	kept := st.relevant.Load()
+	fetched := st.retrieved.Load()
+	if fetched == 0 {
 		return 0
 	}
-	return 1 - float64(st.Relevant)/float64(st.Retrieved)
+	return 1 - float64(kept)/float64(fetched)
 }

@@ -1,8 +1,10 @@
 package groups
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 
 	"sqo/internal/constraint"
@@ -151,8 +153,8 @@ func TestRetrieveMetrics(t *testing.T) {
 	st := NewStore(fixture(), Arbitrary, nil)
 	q := query.New("a", "b").AddRelationship("ab")
 	st.Retrieve(q)
-	if st.Retrieved == 0 || st.Relevant == 0 || st.Relevant > st.Retrieved {
-		t.Errorf("metrics inconsistent: retrieved=%d relevant=%d", st.Retrieved, st.Relevant)
+	if st.Retrieved() == 0 || st.Relevant() == 0 || st.Relevant() > st.Retrieved() {
+		t.Errorf("metrics inconsistent: retrieved=%d relevant=%d", st.Retrieved(), st.Relevant())
 	}
 	if w := st.WasteRatio(); w < 0 || w > 1 {
 		t.Errorf("WasteRatio = %v out of range", w)
@@ -256,4 +258,48 @@ func TestRetrieveCompleteProperty(t *testing.T) {
 
 func nameN(prefix string, n int) string {
 	return prefix + string(rune('0'+n/10)) + string(rune('0'+n%10))
+}
+
+// TestConcurrentRetrieve hammers one store from many goroutines — Retrieve
+// racing Retrieve, Rebuild, and the metric accessors — and checks the
+// results stay correct. Run with -race.
+func TestConcurrentRetrieve(t *testing.T) {
+	stats := NewAccessStats()
+	st := NewStore(fixture(), LeastAccessed, stats)
+	q := query.New("a", "b").AddRelationship("ab")
+	want := len(st.Retrieve(q))
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if got := st.Retrieve(q); len(got) != want {
+					errs <- fmt.Errorf("Retrieve returned %d constraints, want %d", len(got), want)
+					return
+				}
+				_ = st.WasteRatio()
+				_ = st.GroupSizes()
+			}
+		}()
+	}
+	// Rebuild concurrently: the paper refreshes grouping as access
+	// statistics drift, and a live Engine does it on catalog swap.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			st.Rebuild()
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st.Relevant() > st.Retrieved() {
+		t.Errorf("metrics inconsistent: relevant=%d > retrieved=%d", st.Relevant(), st.Retrieved())
+	}
 }

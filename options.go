@@ -1,0 +1,106 @@
+package sqo
+
+// EngineOption configures a NewEngine call. Options are applied in order, so
+// when two options touch the same setting the later one wins; granular
+// options (WithRules, WithBudget, …) therefore override the corresponding
+// field of an earlier WithOptimizerOptions, and vice versa.
+type EngineOption func(*engineConfig)
+
+// engineConfig is the accumulated construction-time configuration of an
+// Engine. It is frozen at NewEngine; SwapCatalog rebuilds the derived state
+// (closure, groups, optimizer) but never the configuration.
+type engineConfig struct {
+	catalog     *Catalog
+	source      ConstraintSource
+	closure     bool
+	closureOpts ClosureOptions
+	grouping    bool
+	policy      GroupPolicy
+	core        Options
+	cacheSize   int
+	workers     int
+}
+
+// WithCatalog supplies the declared semantic-constraint catalog. The catalog
+// is validated against the schema at construction and can later be replaced
+// atomically with Engine.SwapCatalog. Exactly one of WithCatalog and
+// WithConstraintSource must be given.
+func WithCatalog(cat *Catalog) EngineOption {
+	return func(c *engineConfig) { c.catalog = cat }
+}
+
+// WithConstraintSource wires a custom ConstraintSource directly into the
+// optimizer, bypassing the engine's own closure materialization and grouping
+// (and disabling SwapCatalog, which needs to own the catalog to rebuild
+// them). The source must be safe for concurrent use.
+func WithConstraintSource(src ConstraintSource) EngineOption {
+	return func(c *engineConfig) { c.source = src }
+}
+
+// WithClosure enables transitive-closure materialization (Section 3 /
+// [YuS89]) of the catalog at construction and after every SwapCatalog, so
+// chained constraints are derived once up front instead of per query.
+func WithClosure(opts ClosureOptions) EngineOption {
+	return func(c *engineConfig) { c.closure, c.closureOpts = true, opts }
+}
+
+// WithGrouping enables the paper's class-attached constraint grouping for
+// retrieval, under the given assignment policy. Fresh access statistics are
+// maintained per catalog generation; without this option every query scans
+// the whole catalog for relevance (the paper's ungrouped baseline).
+func WithGrouping(policy GroupPolicy) EngineOption {
+	return func(c *engineConfig) { c.grouping, c.policy = true, policy }
+}
+
+// WithCostModel supplies the cost model used by query formulation. The model
+// must be safe for concurrent use (both CostModel and HeuristicCost are).
+// The default is HeuristicCost over the engine's schema.
+func WithCostModel(m CostModelInterface) EngineOption {
+	return func(c *engineConfig) { c.core.Cost = m }
+}
+
+// WithRules selects the active transformation rules (default AllRules).
+func WithRules(rs RuleSet) EngineOption {
+	return func(c *engineConfig) { c.core.Rules = rs }
+}
+
+// WithBudget caps the number of transformations per query (Section 4);
+// zero means unlimited.
+func WithBudget(n int) EngineOption {
+	return func(c *engineConfig) { c.core.Budget = n }
+}
+
+// WithPriorities turns the transformation queue into the Section 4 priority
+// queue: index introductions first, then eliminations, then introductions.
+func WithPriorities() EngineOption {
+	return func(c *engineConfig) { c.core.UsePriorities = true }
+}
+
+// WithContradictionDetection proves queries empty when two implied
+// predicates contradict (extension; off when reproducing the paper's
+// tables).
+func WithContradictionDetection() EngineOption {
+	return func(c *engineConfig) { c.core.DetectContradictions = true }
+}
+
+// WithOptimizerOptions replaces the full core optimizer Options wholesale —
+// the escape hatch for settings without a granular option
+// (DisableImpliedAntecedents, DisableSubsumption, …).
+func WithOptimizerOptions(o Options) EngineOption {
+	return func(c *engineConfig) { c.core = o }
+}
+
+// WithResultCache enables the fingerprint-keyed LRU result cache with room
+// for n optimized queries. Repeated queries — modulo predicate, class and
+// relationship ordering — are then served from the cache without re-running
+// the transformation algorithm. SwapCatalog invalidates the cache. n <= 0
+// leaves caching disabled (the default).
+func WithResultCache(n int) EngineOption {
+	return func(c *engineConfig) { c.cacheSize = n }
+}
+
+// WithWorkers sets the number of goroutines OptimizeBatch fans out to.
+// The default is runtime.GOMAXPROCS(0); values below 1 reset to the default.
+func WithWorkers(n int) EngineOption {
+	return func(c *engineConfig) { c.workers = n }
+}

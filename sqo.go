@@ -31,8 +31,14 @@
 //			[]string{"collects"},
 //			sqo.Eq("cargo", "desc", sqo.StringValue("frozen food"))))
 //
-//	opt := sqo.NewOptimizer(sch, sqo.CatalogSource{Catalog: cat}, sqo.Options{})
-//	res, err := opt.Optimize(q)
+//	eng, err := sqo.NewEngine(sch, sqo.WithCatalog(cat), sqo.WithResultCache(1024))
+//	res, err := eng.Optimize(ctx, q)
+//
+// The Engine (engine_api.go) is the production entry point: a long-lived,
+// concurrency-safe handle that wires closure materialization, grouped
+// retrieval, the optimizer and the cost model together once, serves
+// Optimize/OptimizeBatch under context cancellation, caches results by
+// canonical query fingerprint, and hot-swaps constraint catalogs atomically.
 //
 // See examples/ for complete programs and DESIGN.md for the system map.
 package sqo
@@ -266,7 +272,12 @@ const (
 	AllRules             = core.AllRules
 )
 
-// NewOptimizer builds an optimizer over a schema and constraint source.
+// NewOptimizer builds a bare optimizer over a schema and constraint source.
+//
+// Deprecated: NewOptimizer is the one-shot construction path kept for
+// compatibility. New code should build a long-lived Engine with NewEngine,
+// which adds context cancellation, concurrent batch serving, result caching
+// and atomic catalog hot-swap on top of the same algorithm.
 func NewOptimizer(s *Schema, src ConstraintSource, opts Options) *Optimizer {
 	return core.NewOptimizer(s, src, opts)
 }

@@ -1,0 +1,181 @@
+// Command sqod is the optimizer as a network service: a long-lived HTTP
+// daemon over one sqo.Engine, with request-coalescing micro-batching,
+// per-request deadlines, latency accounting, and a connection-draining
+// graceful shutdown on SIGINT/SIGTERM.
+//
+// By default it serves the paper's logistics evaluation world (schema,
+// constraint catalog, and a DB1-statistics cost model); -schema and
+// -constraints swap in any world expressible in the text formats.
+//
+// Endpoints:
+//
+//	POST /optimize        {"query": "(SELECT ...)", "timeout_ms": 250}
+//	POST /optimize/batch  {"queries": ["(SELECT ...)", ...]}
+//	POST /catalog/swap    {"catalog": "c1: a.x = 1 [r] -> b.y = 2\n..."}
+//	GET  /healthz
+//	GET  /stats
+//
+// Usage:
+//
+//	sqod                               # logistics world on :7411
+//	sqod -addr :9000 -batch-window 5ms -cache 8192
+//	sqod -schema world.txt -constraints rules.txt -db ""
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"sqo"
+	"sqo/internal/server"
+)
+
+var (
+	addr        = flag.String("addr", ":7411", "listen address")
+	schemaFile  = flag.String("schema", "", "schema file in the RenderSchema text format (default: logistics)")
+	catFile     = flag.String("constraints", "", "constraint catalog file, one per line (default: logistics)")
+	dbName      = flag.String("db", "DB1", "database instance whose statistics drive the cost model (DB1..DB4, '' = heuristic)")
+	cacheSize   = flag.Int("cache", 4096, "result cache entries (0 disables)")
+	workers     = flag.Int("workers", 0, "batch worker pool width (0 = GOMAXPROCS)")
+	closure     = flag.Bool("closure", true, "materialize the constraint closure at startup and on swap")
+	grouping    = flag.Bool("grouping", true, "use class-attached constraint grouping for retrieval")
+	batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "micro-batch collection window (0 disables coalescing)")
+	batchLimit  = flag.Int("batch-limit", 0, "max coalesced requests per dispatch (0 = auto: max(4, 2x workers))")
+	reqTimeout  = flag.Duration("request-timeout", 10*time.Second, "default per-request deadline")
+	maxTimeout  = flag.Duration("max-timeout", time.Minute, "cap on client-supplied timeout_ms")
+	drain       = flag.Duration("drain", 15*time.Second, "graceful shutdown drain budget")
+)
+
+func main() {
+	flag.Parse()
+	logger := log.New(os.Stderr, "sqod: ", log.LstdFlags|log.Lmicroseconds)
+	if err := run(logger); err != nil {
+		logger.Fatal(err)
+	}
+}
+
+func run(logger *log.Logger) error {
+	eng, err := buildEngine()
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		Engine:         eng,
+		BatchWindow:    *batchWindow,
+		BatchLimit:     *batchLimit,
+		RequestTimeout: *reqTimeout,
+		MaxTimeout:     *maxTimeout,
+		Log:            logger,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("serving on %s (workers=%d cache=%d batching=%v window=%v)",
+			*addr, eng.Workers(), *cacheSize, srv.Batching(), *batchWindow)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err // bind failure etc.; ListenAndServe never returns nil here
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight connections,
+	// then flush the micro-batcher.
+	logger.Printf("shutdown: draining for up to %v", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	srv.Close()
+	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	st := eng.Stats()
+	logger.Printf("drained; served %d optimizations (%d cache hits, %d swaps)",
+		st.Optimizations, st.CacheHits, st.CatalogSwaps)
+	return nil
+}
+
+// buildEngine assembles the engine from the flags: the logistics evaluation
+// world by default, or user-supplied schema/catalog text files.
+func buildEngine() (*sqo.Engine, error) {
+	sch := sqo.LogisticsSchema()
+	if *schemaFile != "" {
+		text, err := os.ReadFile(*schemaFile)
+		if err != nil {
+			return nil, err
+		}
+		if sch, err = sqo.ParseSchema(string(text)); err != nil {
+			return nil, fmt.Errorf("%s: %w", *schemaFile, err)
+		}
+	}
+	cat := sqo.LogisticsConstraints()
+	if *catFile != "" {
+		text, err := os.ReadFile(*catFile)
+		if err != nil {
+			return nil, err
+		}
+		if cat, err = sqo.ParseConstraintCatalog(string(text)); err != nil {
+			return nil, fmt.Errorf("%s: %w", *catFile, err)
+		}
+	}
+
+	opts := []sqo.EngineOption{
+		sqo.WithCatalog(cat),
+		sqo.WithResultCache(*cacheSize),
+		sqo.WithWorkers(*workers),
+		sqo.WithDefaultDeadline(*maxTimeout),
+	}
+	if *closure {
+		opts = append(opts, sqo.WithClosure(sqo.ClosureOptions{}))
+	}
+	if *grouping {
+		opts = append(opts, sqo.WithGrouping(sqo.GroupLeastAccessed))
+	}
+	if *dbName != "" {
+		if *schemaFile != "" {
+			return nil, errors.New("-db statistics only apply to the logistics schema; use -db '' with -schema")
+		}
+		cfg, err := dbConfig(*dbName)
+		if err != nil {
+			return nil, err
+		}
+		db, err := sqo.GenerateDatabase(cfg)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, sqo.WithCostModel(sqo.NewCostModel(sch, db.Analyze(), sqo.DefaultWeights)))
+	}
+	return sqo.NewEngine(sch, opts...)
+}
+
+func dbConfig(name string) (sqo.DBConfig, error) {
+	for _, cfg := range sqo.DBConfigs() {
+		if strings.EqualFold(cfg.Name, name) {
+			return cfg, nil
+		}
+	}
+	return sqo.DBConfig{}, fmt.Errorf("unknown database %q (want DB1..DB4)", name)
+}

@@ -32,6 +32,7 @@ var (
 	dumpTo          = flag.String("dump", "", "write the generated instance as JSON to this file ('-' for stdout)")
 	showSchema      = flag.Bool("schema", false, "print the logistics schema in the text format")
 	optimize        = flag.Bool("optimize", false, "with -n, also optimize the workload through an Engine and print the transformed queries")
+	emitTo          = flag.String("emit", "", "with -n, write the workload one query per line to this file ('-' for stdout) for sqoload -workload")
 )
 
 func main() {
@@ -131,6 +132,25 @@ func run() error {
 			queries, err := gen.Workload(*n)
 			if err != nil {
 				return err
+			}
+			if *emitTo != "" {
+				if *optimize {
+					return fmt.Errorf("-emit writes the raw workload for sqoload to replay; it conflicts with -optimize")
+				}
+				var sb strings.Builder
+				fmt.Fprintf(&sb, "# %d workload queries (seed %d, %s)\n", len(queries), *seed, cfg.Name)
+				for _, q := range queries {
+					sb.WriteString(q.String())
+					sb.WriteByte('\n')
+				}
+				if *emitTo == "-" {
+					if _, err := os.Stdout.WriteString(sb.String()); err != nil {
+						return err
+					}
+				} else if err := os.WriteFile(*emitTo, []byte(sb.String()), 0o644); err != nil {
+					return err
+				}
+				return nil
 			}
 			fmt.Printf("%d workload queries (seed %d, %s):\n", len(queries), *seed, cfg.Name)
 			if *optimize {

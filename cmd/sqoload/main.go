@@ -1,0 +1,371 @@
+// Command sqoload drives a running sqod with a sqogen-style workload and
+// reports latency percentiles. It replays path queries generated exactly
+// the way the paper's evaluation does (same generator, same seeds — or a
+// file emitted by `sqogen -n 40 -emit queries.txt`) from a fleet of
+// concurrent clients at a target aggregate QPS, mixing single /optimize
+// requests with client-side /optimize/batch batches, optionally hot-swapping
+// the constraint catalog mid-run, and prints p50/p95/p99 per traffic kind
+// plus a machine-readable JSON summary.
+//
+// Usage:
+//
+//	sqoload -addr http://localhost:7411 -clients 8 -duration 10s -qps 500
+//	sqoload -workload queries.txt -batch-frac 0.3 -swap -json summary.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sqo"
+)
+
+var (
+	addr         = flag.String("addr", "http://localhost:7411", "base URL of the sqod daemon")
+	clients      = flag.Int("clients", 8, "concurrent client goroutines")
+	duration     = flag.Duration("duration", 10*time.Second, "how long to drive traffic")
+	qps          = flag.Float64("qps", 0, "target aggregate requests/second (0 = as fast as possible)")
+	batchFrac    = flag.Float64("batch-frac", 0.2, "fraction of requests sent as /optimize/batch")
+	batchSize    = flag.Int("batch-size", 8, "queries per batch request")
+	swap         = flag.Bool("swap", false, "hot-swap the constraint catalog halfway through the run")
+	seed         = flag.Int64("seed", 41, "workload seed (matches sqogen)")
+	dbName       = flag.String("db", "DB1", "database instance used to generate the workload")
+	poolSize     = flag.Int("pool", 64, "distinct queries in the replay pool")
+	workloadFile = flag.String("workload", "", "replay queries from this file (one per line, as emitted by sqogen -emit) instead of generating")
+	timeout      = flag.Duration("timeout", 5*time.Second, "per-request client timeout")
+	jsonOut      = flag.String("json", "", "also write the JSON summary to this file ('-' for stdout)")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sqoload:", err)
+		os.Exit(1)
+	}
+}
+
+// sample is one completed request.
+type sample struct {
+	kind      string // "single", "batch", "swap"
+	status    int
+	latencyUS int64
+}
+
+// kindSummary aggregates one traffic kind for the report.
+type kindSummary struct {
+	Requests int   `json:"requests"`
+	Non2xx   int   `json:"non_2xx"`
+	P50US    int64 `json:"p50_us"`
+	P95US    int64 `json:"p95_us"`
+	P99US    int64 `json:"p99_us"`
+	MaxUS    int64 `json:"max_us"`
+}
+
+// summary is the machine-readable run report.
+type summary struct {
+	Addr        string                 `json:"addr"`
+	Clients     int                    `json:"clients"`
+	TargetQPS   float64                `json:"target_qps"`
+	DurationS   float64                `json:"duration_s"`
+	Requests    int                    `json:"requests"`
+	Queries     int                    `json:"queries"` // batches count batch-size queries
+	Non2xx      int                    `json:"non_2xx"`
+	AchievedRPS float64                `json:"achieved_rps"`
+	Kinds       map[string]kindSummary `json:"kinds"`
+}
+
+func run() error {
+	queries, err := loadQueries()
+	if err != nil {
+		return err
+	}
+	base := strings.TrimRight(*addr, "/")
+	client := &http.Client{Timeout: *timeout}
+
+	if err := waitHealthy(client, base); err != nil {
+		return err
+	}
+
+	var (
+		mu      sync.Mutex
+		samples []sample
+		stop    atomic.Bool
+	)
+	record := func(s sample) {
+		mu.Lock()
+		samples = append(samples, s)
+		mu.Unlock()
+	}
+
+	// Pace the fleet: each client sleeps clients/qps between sends so the
+	// aggregate converges on the target.
+	var interval time.Duration
+	if *qps > 0 {
+		interval = time.Duration(float64(*clients) / *qps * float64(time.Second))
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(c)))
+			for !stop.Load() {
+				if rng.Float64() < *batchFrac {
+					record(sendBatch(client, base, pick(rng, queries, *batchSize)))
+				} else {
+					record(sendSingle(client, base, queries[rng.Intn(len(queries))]))
+				}
+				if interval > 0 {
+					// Jitter ±25% so the fleet doesn't phase-lock.
+					d := interval + time.Duration((rng.Float64()-0.5)*0.5*float64(interval))
+					time.Sleep(d)
+				}
+			}
+		}(c)
+	}
+
+	if *swap {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			select {
+			case <-time.After(*duration / 2):
+				record(sendSwap(client, base))
+			case <-waitDone(&stop):
+			}
+		}()
+	}
+
+	time.Sleep(*duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sum := summarize(samples, elapsed)
+	printHuman(sum)
+	return writeJSON(sum)
+}
+
+// waitDone adapts the stop flag to a channel for the swap timer's select.
+func waitDone(stop *atomic.Bool) <-chan struct{} {
+	ch := make(chan struct{})
+	go func() {
+		for !stop.Load() {
+			time.Sleep(10 * time.Millisecond)
+		}
+		close(ch)
+	}()
+	return ch
+}
+
+// loadQueries builds the replay pool: a workload file, or the generator the
+// paper's evaluation (and sqogen) uses.
+func loadQueries() ([]string, error) {
+	if *workloadFile != "" {
+		data, err := os.ReadFile(*workloadFile)
+		if err != nil {
+			return nil, err
+		}
+		var out []string
+		for _, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			if _, err := sqo.ParseQuery(line); err != nil {
+				return nil, fmt.Errorf("%s: %w", *workloadFile, err)
+			}
+			out = append(out, line)
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("%s: no queries", *workloadFile)
+		}
+		return out, nil
+	}
+	var cfg sqo.DBConfig
+	found := false
+	for _, c := range sqo.DBConfigs() {
+		if strings.EqualFold(c.Name, *dbName) {
+			cfg, found = c, true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("unknown database %q (want DB1..DB4)", *dbName)
+	}
+	db, err := sqo.GenerateDatabase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	gen := sqo.NewWorkloadGenerator(db, sqo.LogisticsConstraints(), sqo.WorkloadOptions{Seed: *seed})
+	qs, err := gen.Workload(*poolSize)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(qs))
+	for i, q := range qs {
+		out[i] = q.String()
+	}
+	return out, nil
+}
+
+func pick(rng *rand.Rand, pool []string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = pool[rng.Intn(len(pool))]
+	}
+	return out
+}
+
+func waitHealthy(client *http.Client, base string) error {
+	var lastErr error
+	for i := 0; i < 50; i++ {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			lastErr = fmt.Errorf("healthz: status %d", resp.StatusCode)
+		} else {
+			lastErr = err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("daemon not healthy: %w", lastErr)
+}
+
+func post(client *http.Client, url string, body any, kind string) sample {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return sample{kind: kind, status: 0}
+	}
+	start := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(data))
+	lat := time.Since(start).Microseconds()
+	if err != nil {
+		return sample{kind: kind, status: 0, latencyUS: lat}
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return sample{kind: kind, status: resp.StatusCode, latencyUS: lat}
+}
+
+func sendSingle(client *http.Client, base, query string) sample {
+	return post(client, base+"/optimize", map[string]any{"query": query}, "single")
+}
+
+func sendBatch(client *http.Client, base string, queries []string) sample {
+	return post(client, base+"/optimize/batch", map[string]any{"queries": queries}, "batch")
+}
+
+// sendSwap re-renders the logistics constraint catalog and swaps it in: a
+// content-level no-op, but a real epoch bump that purges the result cache —
+// exactly the invalidation a production catalog update causes.
+func sendSwap(client *http.Client, base string) sample {
+	var lines []string
+	for _, c := range sqo.LogisticsConstraints().All() {
+		lines = append(lines, c.String())
+	}
+	return post(client, base+"/catalog/swap", map[string]any{"catalog": strings.Join(lines, "\n")}, "swap")
+}
+
+func summarize(samples []sample, elapsed time.Duration) summary {
+	sum := summary{
+		Addr:      *addr,
+		Clients:   *clients,
+		TargetQPS: *qps,
+		DurationS: elapsed.Seconds(),
+		Requests:  len(samples),
+		Kinds:     map[string]kindSummary{},
+	}
+	byKind := map[string][]int64{}
+	for _, s := range samples {
+		k := sum.Kinds[s.kind]
+		k.Requests++
+		if s.status < 200 || s.status > 299 {
+			k.Non2xx++
+			sum.Non2xx++
+		}
+		sum.Kinds[s.kind] = k
+		byKind[s.kind] = append(byKind[s.kind], s.latencyUS)
+		if s.kind == "batch" {
+			sum.Queries += *batchSize
+		} else if s.kind == "single" {
+			sum.Queries++
+		}
+	}
+	for kind, lats := range byKind {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		k := sum.Kinds[kind]
+		k.P50US = percentile(lats, 0.50)
+		k.P95US = percentile(lats, 0.95)
+		k.P99US = percentile(lats, 0.99)
+		k.MaxUS = lats[len(lats)-1]
+		sum.Kinds[kind] = k
+	}
+	if elapsed > 0 {
+		sum.AchievedRPS = float64(len(samples)) / elapsed.Seconds()
+	}
+	return sum
+}
+
+// percentile returns the exact nearest-rank percentile of sorted latencies.
+func percentile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func printHuman(sum summary) {
+	fmt.Printf("sqoload: %d requests (%d queries) in %.1fs against %s — %.1f req/s, %d non-2xx\n",
+		sum.Requests, sum.Queries, sum.DurationS, sum.Addr, sum.AchievedRPS, sum.Non2xx)
+	kinds := make([]string, 0, len(sum.Kinds))
+	for k := range sum.Kinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, kind := range kinds {
+		k := sum.Kinds[kind]
+		fmt.Printf("  %-7s n=%-6d non2xx=%-3d p50=%s p95=%s p99=%s max=%s\n",
+			kind, k.Requests, k.Non2xx,
+			usStr(k.P50US), usStr(k.P95US), usStr(k.P99US), usStr(k.MaxUS))
+	}
+}
+
+func usStr(us int64) string {
+	return time.Duration(us * int64(time.Microsecond)).String()
+}
+
+func writeJSON(sum summary) error {
+	if *jsonOut == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *jsonOut == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*jsonOut, data, 0o644)
+}

@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"sqo/internal/core"
 )
 
 // Engine is the long-lived, concurrency-safe front door to the optimizer.
@@ -112,7 +114,7 @@ func (e *Engine) buildState(cat *Catalog, epoch uint64) (*engineState, error) {
 			src = CatalogSource{Catalog: st.active}
 		}
 	}
-	st.opt = NewOptimizer(e.schema, src, coreOpts)
+	st.opt = core.NewOptimizer(e.schema, src, coreOpts)
 	return st, nil
 }
 
@@ -132,6 +134,15 @@ func (e *Engine) Optimize(ctx context.Context, q *Query) (*Result, error) {
 		if res, ok := e.cache.get(key); ok {
 			e.optimizations.Add(1)
 			return res, nil
+		}
+	}
+	// Apply the default deadline only past the cache: a hit never consults
+	// the context, so it should not pay for a timer either.
+	if e.cfg.defaultDeadline > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, e.cfg.defaultDeadline)
+			defer cancel()
 		}
 	}
 	res, err := st.opt.OptimizeContext(ctx, q)
@@ -205,6 +216,53 @@ feed:
 	return results, nil
 }
 
+// OptimizeEach optimizes every query of qs concurrently on the engine's
+// worker pool, like OptimizeBatch, but isolates failures per query: the
+// returned slices are positionally aligned with qs, and a query that fails
+// records its error in errs[i] without cancelling its siblings. This is the
+// contract a serving layer needs when it coalesces requests from unrelated
+// clients into one dispatch — one malformed query must not fail the whole
+// micro-batch. Cancelling ctx still stops the call as a whole; queries not
+// yet started when ctx is done report ctx.Err().
+func (e *Engine) OptimizeEach(ctx context.Context, qs []*Query) ([]*Result, []error) {
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	results := make([]*Result, len(qs))
+	errs := make([]error, len(qs))
+	workers := min(e.cfg.workers, len(qs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i], errs[i] = e.Optimize(ctx, qs[i])
+			}
+		}()
+	}
+feed:
+	for i := range qs {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		// Mark the queries the cut-short feed never handed out.
+		for i := range qs {
+			if results[i] == nil && errs[i] == nil {
+				errs[i] = err
+			}
+		}
+	}
+	return results, errs
+}
+
 // SwapCatalog atomically replaces the engine's declared constraint catalog:
 // the transitive closure and retrieval groups are rebuilt off to the side
 // under the engine's construction-time configuration, then published with a
@@ -237,6 +295,12 @@ func (e *Engine) SwapCatalog(cat *Catalog) error {
 
 // Schema returns the schema the engine was built over.
 func (e *Engine) Schema() *Schema { return e.schema }
+
+// Workers returns the resolved width of the batch worker pool — WithWorkers,
+// or GOMAXPROCS at construction when unset. Serving layers use it to size
+// their own dispatch structures (e.g. a micro-batch that exceeds it only
+// queues inside the engine).
+func (e *Engine) Workers() int { return e.cfg.workers }
 
 // Catalog returns the currently declared catalog (before closure), or nil
 // when the engine was built from a custom ConstraintSource.

@@ -1,0 +1,203 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sqo"
+)
+
+// batcher coalesces concurrent single-query /optimize requests into one
+// Engine.OptimizeEach dispatch. The first request of a group opens a
+// collection window; everything arriving within it (up to limit) rides the
+// same dispatch, so a burst of N concurrent requests costs one pass over
+// the engine's worker pool instead of N independent scheduler round-trips —
+// the serving-side analogue of the paper's batch amortization argument.
+//
+// Failure isolation is per query (OptimizeEach): a malformed query answers
+// its own request with an error and leaves its batch-mates untouched.
+type batcher struct {
+	eng    *sqo.Engine
+	window time.Duration
+	limit  int
+
+	in      chan *batchReq
+	stopped chan struct{} // closed by close(); submit falls back to direct calls
+	done    chan struct{} // closed when the run loop has exited
+	stop    sync.Once
+	flights sync.WaitGroup // in-progress dispatches
+
+	batches   atomic.Int64
+	coalesced atomic.Int64
+	maxBatch  atomic.Int64
+}
+
+type batchReq struct {
+	q   *sqo.Query
+	out chan batchResp // buffered 1: the dispatcher never blocks on a dead waiter
+}
+
+type batchResp struct {
+	res *sqo.Result
+	err error
+}
+
+// newBatcher starts the collection loop. window must be > 0 and limit >= 1.
+func newBatcher(eng *sqo.Engine, window time.Duration, limit int) *batcher {
+	b := &batcher{
+		eng:     eng,
+		window:  window,
+		limit:   limit,
+		in:      make(chan *batchReq),
+		stopped: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// submit hands q to the current collection window and waits for its result.
+// The wait — not the dispatched work — honors ctx: when ctx expires first,
+// submit returns ctx.Err() and the eventual result is dropped into the
+// request's buffered channel and discarded. After close, submit degrades to
+// a direct Engine.Optimize call so stragglers racing a shutdown still get
+// served rather than erroring.
+func (b *batcher) submit(ctx context.Context, q *sqo.Query) (*sqo.Result, error) {
+	req := &batchReq{q: q, out: make(chan batchResp, 1)}
+	select {
+	case b.in <- req:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-b.stopped:
+		return b.eng.Optimize(ctx, q)
+	}
+	select {
+	case resp := <-req.out:
+		return resp.res, resp.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// run is the collection loop: open a window on the first arrival, flush on
+// the window timer or when the group reaches limit, drain and flush once
+// more on shutdown.
+func (b *batcher) run() {
+	defer close(b.done)
+	var (
+		group  []*batchReq
+		timer  *time.Timer
+		timerC <-chan time.Time
+	)
+	flush := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, timerC = nil, nil
+		}
+		if len(group) == 0 {
+			return
+		}
+		b.dispatch(group)
+		group = nil
+	}
+	for {
+		select {
+		case req := <-b.in:
+			group = append(group, req)
+			if len(group) >= b.limit {
+				flush()
+				continue
+			}
+			if timer == nil {
+				timer = time.NewTimer(b.window)
+				timerC = timer.C
+			}
+		case <-timerC:
+			timer, timerC = nil, nil
+			flush()
+		case <-b.stopped:
+			// Collect anything that won the race against stopped, then
+			// flush the final group.
+			for {
+				select {
+				case req := <-b.in:
+					group = append(group, req)
+					continue
+				default:
+				}
+				break
+			}
+			flush()
+			return
+		}
+	}
+}
+
+// dispatch runs one group through the engine off the collection loop, so a
+// slow batch never blocks the next window from opening.
+func (b *batcher) dispatch(group []*batchReq) {
+	b.batches.Add(1)
+	b.coalesced.Add(int64(len(group)))
+	for {
+		cur := b.maxBatch.Load()
+		if int64(len(group)) <= cur || b.maxBatch.CompareAndSwap(cur, int64(len(group))) {
+			break
+		}
+	}
+	b.flights.Add(1)
+	go func() {
+		defer b.flights.Done()
+		qs := make([]*sqo.Query, len(group))
+		for i, req := range group {
+			qs[i] = req.q
+		}
+		// The dispatch context is the server's lifetime, not any single
+		// request's: per-request deadlines are enforced at the submit
+		// wait, and the engine's WithDefaultDeadline (if configured)
+		// bounds the work itself.
+		results, errs := b.eng.OptimizeEach(context.Background(), qs)
+		for i, req := range group {
+			req.out <- batchResp{res: results[i], err: errs[i]}
+		}
+	}()
+}
+
+// close stops the collection loop, waits for it to flush its final group,
+// and then for every in-flight dispatch to deliver. Safe to call more than
+// once.
+func (b *batcher) close() {
+	b.stop.Do(func() { close(b.stopped) })
+	<-b.done
+	b.flights.Wait()
+}
+
+// BatcherStats is a point-in-time snapshot of the coalescing counters.
+type BatcherStats struct {
+	// Batches is the number of dispatched groups; Coalesced the total
+	// requests they carried.
+	Batches   int64 `json:"batches"`
+	Coalesced int64 `json:"coalesced"`
+	// MaxBatch is the largest group dispatched; AvgBatch is
+	// Coalesced/Batches.
+	MaxBatch int64   `json:"max_batch"`
+	AvgBatch float64 `json:"avg_batch"`
+	// WindowUS and Limit echo the configuration.
+	WindowUS int64 `json:"window_us"`
+	Limit    int   `json:"limit"`
+}
+
+func (b *batcher) stats() BatcherStats {
+	s := BatcherStats{
+		Batches:   b.batches.Load(),
+		Coalesced: b.coalesced.Load(),
+		MaxBatch:  b.maxBatch.Load(),
+		WindowUS:  b.window.Microseconds(),
+		Limit:     b.limit,
+	}
+	if s.Batches > 0 {
+		s.AvgBatch = float64(s.Coalesced) / float64(s.Batches)
+	}
+	return s
+}

@@ -1,0 +1,186 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"sqo"
+)
+
+// testEngine builds a two-class engine for server tests: a "refrigerated
+// truck" constraint whose introduction the indexed cargo.desc makes
+// profitable.
+func testEngine(t testing.TB, opts ...sqo.EngineOption) *sqo.Engine {
+	t.Helper()
+	sch := sqo.NewSchemaBuilder().
+		Class("vehicle",
+			sqo.Attribute{Name: "desc", Type: sqo.KindString}).
+		Class("cargo",
+			sqo.Attribute{Name: "desc", Type: sqo.KindString, Indexed: true}).
+		Relationship("collects", "vehicle", "cargo", sqo.OneToMany).
+		MustBuild()
+	cat := sqo.MustCatalog(
+		sqo.NewConstraint("c1",
+			[]sqo.Predicate{sqo.Eq("vehicle", "desc", sqo.StringValue("refrigerated truck"))},
+			[]string{"collects"},
+			sqo.Eq("cargo", "desc", sqo.StringValue("frozen food"))))
+	eng, err := sqo.NewEngine(sch, append([]sqo.EngineOption{sqo.WithCatalog(cat)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func testQuery(t testing.TB) *sqo.Query {
+	t.Helper()
+	return sqo.NewQuery("vehicle", "cargo").
+		AddProject("cargo", "desc").
+		AddSelect(sqo.Eq("vehicle", "desc", sqo.StringValue("refrigerated truck"))).
+		AddRelationship("collects")
+}
+
+// invalidQuery references a class the schema does not declare, so Optimize
+// fails validation.
+func invalidQuery() *sqo.Query {
+	return sqo.NewQuery("warehouse").AddProject("warehouse", "site")
+}
+
+func TestBatcherCoalescesAtLimit(t *testing.T) {
+	const n = 8
+	// A huge window forces the limit to be the only flush trigger, making
+	// the grouping deterministic: all n submits ride one dispatch.
+	b := newBatcher(testEngine(t), time.Hour, n)
+	defer b.close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := b.submit(context.Background(), testQuery(t))
+			if err == nil && res == nil {
+				err = errors.New("nil result without error")
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	st := b.stats()
+	if st.Batches != 1 || st.Coalesced != n || st.MaxBatch != n {
+		t.Fatalf("stats = %+v, want 1 batch of %d", st, n)
+	}
+	if st.AvgBatch != n {
+		t.Fatalf("avg batch = %v, want %d", st.AvgBatch, n)
+	}
+}
+
+func TestBatcherWindowFlush(t *testing.T) {
+	// Limit far above the traffic: only the window timer can flush.
+	b := newBatcher(testEngine(t), 10*time.Millisecond, 100)
+	defer b.close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := b.submit(context.Background(), testQuery(t)); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if st := b.stats(); st.Coalesced != 3 || st.Batches == 0 {
+		t.Fatalf("stats = %+v, want 3 coalesced in >= 1 batch", st)
+	}
+}
+
+func TestBatcherIsolatesFailures(t *testing.T) {
+	b := newBatcher(testEngine(t), time.Hour, 2)
+	defer b.close()
+
+	var wg sync.WaitGroup
+	var goodRes *sqo.Result
+	var goodErr, badErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		goodRes, goodErr = b.submit(context.Background(), testQuery(t))
+	}()
+	go func() {
+		defer wg.Done()
+		_, badErr = b.submit(context.Background(), invalidQuery())
+	}()
+	wg.Wait()
+	if badErr == nil {
+		t.Fatal("invalid query did not error")
+	}
+	if goodErr != nil || goodRes == nil {
+		t.Fatalf("valid batch-mate failed alongside: res=%v err=%v", goodRes, goodErr)
+	}
+}
+
+func TestBatcherSubmitContextExpires(t *testing.T) {
+	// Window and limit both unreachable: the submit can only end via its
+	// own context.
+	b := newBatcher(testEngine(t), time.Hour, 100)
+	defer b.close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err := b.submit(ctx, testQuery(t))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestBatcherSubmitAfterClose(t *testing.T) {
+	b := newBatcher(testEngine(t), time.Millisecond, 4)
+	b.close()
+	b.close() // idempotent
+
+	// After shutdown, submit degrades to a direct engine call.
+	res, err := b.submit(context.Background(), testQuery(t))
+	if err != nil || res == nil {
+		t.Fatalf("post-close submit: res=%v err=%v", res, err)
+	}
+	if st := b.stats(); st.Coalesced != 0 {
+		t.Fatalf("post-close submit was coalesced: %+v", st)
+	}
+}
+
+func TestBatcherCloseFlushesPending(t *testing.T) {
+	b := newBatcher(testEngine(t), time.Hour, 100)
+
+	const n = 5
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = b.submit(context.Background(), testQuery(t))
+		}(i)
+	}
+	// Let the submits park in the collection window, then shut down:
+	// close must flush them, not strand them. A submit that races the
+	// close instead degrades to a direct engine call — either way it
+	// completes.
+	time.Sleep(50 * time.Millisecond)
+	b.close()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submit %d stranded by close: %v", i, err)
+		}
+	}
+}

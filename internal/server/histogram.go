@@ -1,0 +1,107 @@
+// Package server is the network front door of the optimizer: an HTTP
+// serving layer over sqo.Engine with request coalescing (micro-batching),
+// per-request deadlines, per-endpoint latency accounting, and a
+// connection-draining graceful shutdown. cmd/sqod wraps it into a daemon;
+// cmd/sqoload drives it under load.
+package server
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the number of power-of-two latency buckets. Bucket i
+// collects durations whose microsecond value needs exactly i bits, so the
+// range spans 1µs to ~2^62µs — far beyond any deadline the server allows.
+const histBuckets = 64
+
+// histogram is a lock-free log₂-bucketed latency histogram. Recording is a
+// handful of atomic adds, so the serving path never contends on a metrics
+// mutex; quantiles are estimated from the bucket counts at read time.
+type histogram struct {
+	count   atomic.Int64
+	sumUS   atomic.Int64
+	maxUS   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// observe records one duration in microseconds.
+func (h *histogram) observe(us int64) {
+	if us < 0 {
+		us = 0
+	}
+	h.count.Add(1)
+	h.sumUS.Add(us)
+	for {
+		cur := h.maxUS.Load()
+		if us <= cur || h.maxUS.CompareAndSwap(cur, us) {
+			break
+		}
+	}
+	h.buckets[bits.Len64(uint64(us))].Add(1)
+}
+
+// HistogramSnapshot is a point-in-time summary of one endpoint's latency
+// distribution, in microseconds. Quantiles are upper bounds of the bucket
+// holding the target rank (within 2× of the true value), clamped to the
+// exact observed maximum.
+type HistogramSnapshot struct {
+	Count  int64 `json:"count"`
+	MeanUS int64 `json:"mean_us"`
+	P50US  int64 `json:"p50_us"`
+	P95US  int64 `json:"p95_us"`
+	P99US  int64 `json:"p99_us"`
+	MaxUS  int64 `json:"max_us"`
+}
+
+// snapshot summarizes the histogram. Concurrent observes may be partially
+// visible — counters are read without a global lock — which for serving
+// metrics is the right trade.
+func (h *histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		MaxUS: h.maxUS.Load(),
+	}
+	if s.Count == 0 {
+		return s
+	}
+	s.MeanUS = h.sumUS.Load() / s.Count
+	var counts [histBuckets]int64
+	var total int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s.P50US = quantile(&counts, total, 0.50, s.MaxUS)
+	s.P95US = quantile(&counts, total, 0.95, s.MaxUS)
+	s.P99US = quantile(&counts, total, 0.99, s.MaxUS)
+	return s
+}
+
+// quantile returns the upper bound of the bucket containing rank q·total,
+// clamped to the observed maximum.
+func quantile(counts *[histBuckets]int64, total int64, q float64, maxUS int64) int64 {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen int64
+	for i, c := range counts {
+		seen += c
+		if seen > rank {
+			// Bucket i holds values in [2^(i-1), 2^i).
+			upper := int64(1) << uint(i)
+			if i == 0 {
+				upper = 0
+			}
+			if upper > maxUS {
+				upper = maxUS
+			}
+			return upper
+		}
+	}
+	return maxUS
+}

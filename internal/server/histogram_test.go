@@ -1,0 +1,73 @@
+package server
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h histogram
+	s := h.snapshot()
+	if s.Count != 0 || s.P50US != 0 || s.P99US != 0 || s.MaxUS != 0 || s.MeanUS != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h histogram
+	for us := int64(1); us <= 1000; us++ {
+		h.observe(us)
+	}
+	s := h.snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	if s.MaxUS != 1000 {
+		t.Fatalf("max = %d, want 1000", s.MaxUS)
+	}
+	if s.MeanUS < 400 || s.MeanUS > 600 {
+		t.Fatalf("mean = %d, want ~500", s.MeanUS)
+	}
+	// Log-bucketed quantiles are upper bounds within 2× of the true value.
+	if s.P50US < 500 || s.P50US > 1000 {
+		t.Fatalf("p50 = %d, want in [500, 1000]", s.P50US)
+	}
+	if s.P95US < 950 || s.P95US > 1000 {
+		t.Fatalf("p95 = %d, want in [950, 1000]", s.P95US)
+	}
+	if !(s.P50US <= s.P95US && s.P95US <= s.P99US && s.P99US <= s.MaxUS) {
+		t.Fatalf("quantiles not monotone: %+v", s)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h histogram
+	h.observe(-5)
+	s := h.snapshot()
+	if s.Count != 1 || s.MaxUS != 0 {
+		t.Fatalf("negative observation not clamped to zero: %+v", s)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h histogram
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.observe(int64(g*per + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.snapshot()
+	if s.Count != goroutines*per {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*per)
+	}
+	if s.MaxUS != goroutines*per-1 {
+		t.Fatalf("max = %d, want %d", s.MaxUS, goroutines*per-1)
+	}
+}

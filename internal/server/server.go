@@ -1,0 +1,427 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"sqo"
+)
+
+// Config assembles a Server. Engine is the only required field.
+type Config struct {
+	// Engine serves the optimizations. Required.
+	Engine *sqo.Engine
+
+	// BatchWindow is how long the first request of a coalescing group
+	// waits for company before dispatch; BatchLimit caps the group size
+	// (default: twice the engine's worker count, with a floor of 4).
+	// BatchWindow <= 0 or BatchLimit == 1 disables micro-batching and
+	// /optimize calls the engine directly.
+	BatchWindow time.Duration
+	BatchLimit  int
+
+	// RequestTimeout bounds every request without its own timeout_ms
+	// (default 10s); MaxTimeout caps client-supplied timeouts (default
+	// 60s).
+	RequestTimeout time.Duration
+	MaxTimeout     time.Duration
+
+	// MaxBodyBytes caps request bodies (default 1 MiB).
+	MaxBodyBytes int64
+
+	// Log receives one line per server lifecycle event (construction,
+	// catalog swaps, close); nil discards.
+	Log *log.Logger
+}
+
+// Server is the HTTP serving layer over one sqo.Engine:
+//
+//	POST /optimize        — one query, coalesced into micro-batches
+//	POST /optimize/batch  — a client-assembled batch via OptimizeBatch
+//	POST /catalog/swap    — hot-swap the constraint catalog
+//	GET  /healthz         — liveness
+//	GET  /stats           — engine counters + per-endpoint latency
+//
+// Build one with New, mount Handler on an http.Server, and call Close after
+// http.Server.Shutdown has drained the connections.
+type Server struct {
+	eng     *sqo.Engine
+	cfg     Config
+	batcher *batcher // nil when micro-batching is disabled
+	mux     *http.ServeMux
+	start   time.Time
+
+	optimizeM *endpointMetrics
+	batchM    *endpointMetrics
+	swapM     *endpointMetrics
+	statsM    *endpointMetrics
+}
+
+// endpointMetrics is one endpoint's request counters and latency histogram.
+type endpointMetrics struct {
+	hist     histogram
+	requests atomic.Int64
+	errors   atomic.Int64
+	inflight atomic.Int64
+}
+
+// New builds a Server over cfg.Engine and starts its micro-batcher.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("server: Config.Engine is required")
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 60 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.BatchLimit <= 0 {
+		// Coalescing pays off even past the pool width (excess queries
+		// just queue inside the engine), so keep a useful floor on
+		// single-core machines where Workers() is 1.
+		cfg.BatchLimit = max(4, 2*cfg.Engine.Workers())
+	}
+	s := &Server{
+		eng:       cfg.Engine,
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+		optimizeM: &endpointMetrics{},
+		batchM:    &endpointMetrics{},
+		swapM:     &endpointMetrics{},
+		statsM:    &endpointMetrics{},
+	}
+	if cfg.BatchWindow > 0 && cfg.BatchLimit > 1 {
+		s.batcher = newBatcher(cfg.Engine, cfg.BatchWindow, cfg.BatchLimit)
+	}
+	s.mux.HandleFunc("POST /optimize", s.instrument(s.optimizeM, s.handleOptimize))
+	s.mux.HandleFunc("POST /optimize/batch", s.instrument(s.batchM, s.handleOptimizeBatch))
+	s.mux.HandleFunc("POST /catalog/swap", s.instrument(s.swapM, s.handleCatalogSwap))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.instrument(s.statsM, s.handleStats))
+	if s.batcher != nil {
+		s.logf("micro-batching on (window=%v limit=%d)", cfg.BatchWindow, cfg.BatchLimit)
+	} else {
+		s.logf("micro-batching off")
+	}
+	return s, nil
+}
+
+// logf writes one lifecycle line to Config.Log, if any.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log.Printf("server: "+format, args...)
+	}
+}
+
+// Handler returns the server's routing handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Batching reports whether request coalescing is active.
+func (s *Server) Batching() bool { return s.batcher != nil }
+
+// Close stops the micro-batcher, flushing its pending group and waiting for
+// in-flight dispatches to deliver. Call it after http.Server.Shutdown has
+// drained connections; requests that still arrive afterwards degrade to
+// direct engine calls rather than failing.
+func (s *Server) Close() {
+	if s.batcher != nil {
+		s.batcher.close()
+		st := s.batcher.stats()
+		s.logf("batcher closed after %d batches (%d requests coalesced)",
+			st.Batches, st.Coalesced)
+	}
+}
+
+// --- wire types -----------------------------------------------------------
+
+// OptimizeRequest is the body of POST /optimize. Query uses the paper's
+// textual form (sqo.ParseQuery); TimeoutMS overrides the server's default
+// per-request deadline.
+type OptimizeRequest struct {
+	Query     string `json:"query"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// OptimizeResponse reports one optimization. DurationUS is the
+// optimization's own measured duration (retrieval + transformation +
+// formulation, from Result.Stats) — a cache hit reports the cost of the
+// original computation; request service latency lives in /stats.
+type OptimizeResponse struct {
+	Optimized           string `json:"optimized"`
+	EmptyResult         bool   `json:"empty_result,omitempty"`
+	Fires               int    `json:"fires"`
+	RelevantConstraints int    `json:"relevant_constraints"`
+	DurationUS          int64  `json:"duration_us"`
+}
+
+// BatchRequest is the body of POST /optimize/batch.
+type BatchRequest struct {
+	Queries   []string `json:"queries"`
+	TimeoutMS int64    `json:"timeout_ms,omitempty"`
+}
+
+// BatchResponse reports a whole batch, positionally aligned with the
+// request.
+type BatchResponse struct {
+	Results []OptimizeResponse `json:"results"`
+}
+
+// SwapRequest is the body of POST /catalog/swap: a constraint catalog in
+// the textual form sqo.ParseConstraintCatalog reads (one constraint per
+// line, #-comments allowed).
+type SwapRequest struct {
+	Catalog string `json:"catalog"`
+}
+
+// SwapResponse reports the newly active generation.
+type SwapResponse struct {
+	Constraints        int    `json:"constraints"`
+	DerivedConstraints int    `json:"derived_constraints"`
+	Epoch              uint64 `json:"epoch"`
+}
+
+// EndpointStats is one endpoint's counters for GET /stats. Requests and
+// Errors count completed requests; InFlight is the number currently inside
+// the handler.
+type EndpointStats struct {
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	InFlight int64 `json:"in_flight"`
+	HistogramSnapshot
+}
+
+// StatsResponse is the body of GET /stats.
+type StatsResponse struct {
+	UptimeS   float64                  `json:"uptime_s"`
+	Batching  bool                     `json:"batching"`
+	Engine    sqo.EngineStats          `json:"engine"`
+	Batcher   *BatcherStats            `json:"batcher,omitempty"`
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- handlers -------------------------------------------------------------
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req OptimizeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	q, err := sqo.ParseQuery(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	var res *sqo.Result
+	if s.batcher != nil {
+		res, err = s.batcher.submit(ctx, q)
+	} else {
+		res, err = s.eng.Optimize(ctx, q)
+	}
+	if err != nil {
+		writeError(w, statusForError(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toOptimizeResponse(res))
+}
+
+func (s *Server) handleOptimizeBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty query list"))
+		return
+	}
+	qs := make([]*sqo.Query, len(req.Queries))
+	for i, text := range req.Queries {
+		q, err := sqo.ParseQuery(text)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("query %d: %w", i, err))
+			return
+		}
+		qs[i] = q
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	results, err := s.eng.OptimizeBatch(ctx, qs)
+	if err != nil {
+		writeError(w, statusForError(err), err)
+		return
+	}
+	resp := BatchResponse{Results: make([]OptimizeResponse, len(results))}
+	for i, res := range results {
+		resp.Results[i] = toOptimizeResponse(res)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCatalogSwap(w http.ResponseWriter, r *http.Request) {
+	var req SwapRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	cat, err := sqo.ParseConstraintCatalog(req.Catalog)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.eng.SwapCatalog(cat); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	st := s.eng.Stats()
+	s.logf("catalog swapped: %d constraints (%d derived), epoch %d",
+		st.Constraints, st.DerivedConstraints, st.Epoch)
+	writeJSON(w, http.StatusOK, SwapResponse{
+		Constraints:        st.Constraints,
+		DerivedConstraints: st.DerivedConstraints,
+		Epoch:              st.Epoch,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{
+		UptimeS:  time.Since(s.start).Seconds(),
+		Batching: s.batcher != nil,
+		Engine:   s.eng.Stats(),
+		Endpoints: map[string]EndpointStats{
+			"/optimize":       s.optimizeM.snapshot(),
+			"/optimize/batch": s.batchM.snapshot(),
+			"/catalog/swap":   s.swapM.snapshot(),
+			"/stats":          s.statsM.snapshot(),
+		},
+	}
+	if s.batcher != nil {
+		bs := s.batcher.stats()
+		resp.Batcher = &bs
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- plumbing -------------------------------------------------------------
+
+// instrument wraps a handler with request counting and latency recording.
+func (s *Server) instrument(m *endpointMetrics, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		m.inflight.Add(1)
+		defer m.inflight.Add(-1)
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		m.requests.Add(1)
+		if rec.code >= 400 {
+			m.errors.Add(1)
+		}
+		m.hist.observe(time.Since(start).Microseconds())
+	}
+}
+
+func (m *endpointMetrics) snapshot() EndpointStats {
+	return EndpointStats{
+		Requests:          m.requests.Load(),
+		Errors:            m.errors.Load(),
+		InFlight:          m.inflight.Load(),
+		HistogramSnapshot: m.hist.snapshot(),
+	}
+}
+
+// requestContext maps the per-request deadline onto a context: the client's
+// timeout_ms when given (capped at MaxTimeout), the server default
+// otherwise, layered on the connection context so a dropped client cancels
+// queued work.
+func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.RequestTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// decode reads one JSON body, answering 400 itself on failure.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("request body: %w", err))
+		return false
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		writeError(w, http.StatusBadRequest, errors.New("request body: trailing data"))
+		return false
+	}
+	return true
+}
+
+func toOptimizeResponse(res *sqo.Result) OptimizeResponse {
+	return OptimizeResponse{
+		Optimized:           res.Optimized.String(),
+		EmptyResult:         res.EmptyResult,
+		Fires:               res.Stats.Fires,
+		RelevantConstraints: res.Stats.RelevantConstraints,
+		DurationUS:          res.Stats.Duration.Microseconds(),
+	}
+}
+
+// statusForError maps optimization failures onto HTTP statuses: deadline →
+// 504, client-gone → 499 (nginx's convention), anything else (validation
+// against the schema, contradiction proofs, …) → 422.
+func statusForError(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the connection is the only failure mode left here
+}
+
+// statusRecorder captures the response status for the metrics wrapper.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}

@@ -1,0 +1,338 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sqo"
+)
+
+const testQueryText = `(SELECT {cargo.desc} {} {vehicle.desc = "refrigerated truck"} {collects} {vehicle, cargo})`
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Engine == nil {
+		cfg.Engine = testEngine(t, sqo.WithResultCache(64))
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+func TestServerRequiresEngine(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New without engine did not error")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+}
+
+func TestOptimizeEndpoint(t *testing.T) {
+	for _, batching := range []bool{false, true} {
+		name := "direct"
+		if batching {
+			name = "batched"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := Config{}
+			if batching {
+				cfg.BatchWindow = 2 * time.Millisecond
+				cfg.BatchLimit = 8
+			}
+			_, ts := newTestServer(t, cfg)
+
+			resp, raw := postJSON(t, ts.URL+"/optimize", OptimizeRequest{Query: testQueryText})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status = %d, body %s", resp.StatusCode, raw)
+			}
+			var out OptimizeResponse
+			if err := json.Unmarshal(raw, &out); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sqo.ParseQuery(out.Optimized); err != nil {
+				t.Fatalf("optimized query does not parse back: %v (%q)", err, out.Optimized)
+			}
+			// The constraint introduces the indexed cargo.desc predicate.
+			if !strings.Contains(out.Optimized, "frozen food") {
+				t.Fatalf("expected introduced predicate in %q", out.Optimized)
+			}
+		})
+	}
+}
+
+func TestOptimizeParseError(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, _ := postJSON(t, ts.URL+"/optimize", OptimizeRequest{Query: "(SELECT oops"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestOptimizeInvalidQuery(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	q := `(SELECT {warehouse.site} {} {} {} {warehouse})`
+	resp, _ := postJSON(t, ts.URL+"/optimize", OptimizeRequest{Query: q})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422", resp.StatusCode)
+	}
+}
+
+func TestOptimizeRejectsUnknownFields(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, _ := postJSON(t, ts.URL+"/optimize", map[string]any{"query": testQueryText, "qeury": true})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestOptimizeMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/optimize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := BatchRequest{Queries: []string{testQueryText, testQueryText, testQueryText}}
+	resp, raw := postJSON(t, ts.URL+"/optimize/batch", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, raw)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(out.Results))
+	}
+}
+
+func TestBatchEndpointErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if resp, _ := postJSON(t, ts.URL+"/optimize/batch", BatchRequest{}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch status = %d, want 400", resp.StatusCode)
+	}
+	req := BatchRequest{Queries: []string{testQueryText, "(bad"}}
+	if resp, _ := postJSON(t, ts.URL+"/optimize/batch", req); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed member status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestCatalogSwapEndpoint(t *testing.T) {
+	eng := testEngine(t, sqo.WithResultCache(64))
+	_, ts := newTestServer(t, Config{Engine: eng})
+
+	// Re-render the active catalog and swap it back in: a no-op in
+	// content, but a real epoch bump.
+	var lines []string
+	for _, c := range eng.Catalog().All() {
+		lines = append(lines, c.String())
+	}
+	resp, raw := postJSON(t, ts.URL+"/catalog/swap", SwapRequest{Catalog: strings.Join(lines, "\n")})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, raw)
+	}
+	var out SwapResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Epoch != 1 || out.Constraints == 0 {
+		t.Fatalf("swap response = %+v, want epoch 1", out)
+	}
+
+	if resp, _ := postJSON(t, ts.URL+"/catalog/swap", SwapRequest{Catalog: "not a constraint"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad catalog status = %d, want 400", resp.StatusCode)
+	}
+	// A catalog that parses but does not fit the schema is rejected with
+	// 422 and the old generation keeps serving.
+	bad := `c9: depot.zone = "north" -> depot.kind = "hub"`
+	if resp, _ := postJSON(t, ts.URL+"/catalog/swap", SwapRequest{Catalog: bad}); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("misfit catalog status = %d, want 422", resp.StatusCode)
+	}
+	if got := eng.Stats().Epoch; got != 1 {
+		t.Fatalf("epoch after failed swap = %d, want 1", got)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{BatchWindow: time.Millisecond, BatchLimit: 4})
+	for i := 0; i < 3; i++ {
+		if resp, raw := postJSON(t, ts.URL+"/optimize", OptimizeRequest{Query: testQueryText}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("optimize status = %d, body %s", resp.StatusCode, raw)
+		}
+	}
+	postJSON(t, ts.URL+"/optimize", OptimizeRequest{Query: "(bad"})
+
+	resp, raw := postJSON(t, ts.URL+"/stats", nil)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /stats status = %d, want 405", resp.StatusCode)
+	}
+	getResp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err = io.ReadAll(getResp.Body)
+	getResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out StatsResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	ep := out.Endpoints["/optimize"]
+	if ep.Requests != 4 || ep.Errors != 1 {
+		t.Fatalf("/optimize stats = %+v, want 4 requests / 1 error", ep)
+	}
+	if ep.Count != 4 || ep.MaxUS < ep.P50US {
+		t.Fatalf("latency snapshot inconsistent: %+v", ep)
+	}
+	if !out.Batching || out.Batcher == nil {
+		t.Fatalf("batcher stats missing: %+v", out)
+	}
+	if out.Engine.Optimizations == 0 {
+		t.Fatalf("engine stats missing optimizations: %+v", out.Engine)
+	}
+}
+
+// TestGracefulDrain exercises the documented shutdown order under load:
+// http.Server.Shutdown drains in-flight requests (all of which must
+// complete 200), then Server.Close flushes the batcher.
+func TestGracefulDrain(t *testing.T) {
+	// A wide collection window parks every handler inside the batcher, so
+	// the whole fleet is verifiably in flight when the drain starts.
+	s, err := New(Config{
+		Engine:      testEngine(t, sqo.WithResultCache(64)),
+		BatchWindow: 100 * time.Millisecond,
+		BatchLimit:  1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewUnstartedServer(s.Handler())
+	ts.Start()
+
+	const n = 24
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(OptimizeRequest{Query: testQueryText})
+			resp, err := http.Post(ts.URL+"/optimize", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+
+	// Begin the drain only once every request is inside a handler.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.optimizeM.inflight.Load() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d requests in flight", s.optimizeM.inflight.Load(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := ts.Config.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown did not drain: %v", err)
+	}
+	s.Close()
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d failed during drain: %v", i, errs[i])
+		}
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d status = %d during drain", i, codes[i])
+		}
+	}
+}
+
+func TestRequestContextTimeouts(t *testing.T) {
+	s, err := New(Config{
+		Engine:         testEngine(t),
+		RequestTimeout: 123 * time.Millisecond,
+		MaxTimeout:     time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	check := func(timeoutMS int64, want time.Duration) {
+		t.Helper()
+		r := httptest.NewRequest(http.MethodPost, "/optimize", nil)
+		ctx, cancel := s.requestContext(r, timeoutMS)
+		defer cancel()
+		dl, ok := ctx.Deadline()
+		if !ok {
+			t.Fatal("no deadline set")
+		}
+		got := time.Until(dl)
+		if got > want || got < want-50*time.Millisecond {
+			t.Fatalf("timeout_ms=%d: deadline in %v, want ~%v", timeoutMS, got, want)
+		}
+	}
+	check(0, 123*time.Millisecond)   // server default
+	check(400, 400*time.Millisecond) // client choice
+	check(100000, time.Second)       // capped at MaxTimeout
+}

@@ -1,5 +1,7 @@
 package sqo
 
+import "time"
+
 // EngineOption configures a NewEngine call. Options are applied in order, so
 // when two options touch the same setting the later one wins; granular
 // options (WithRules, WithBudget, …) therefore override the corresponding
@@ -10,15 +12,16 @@ type EngineOption func(*engineConfig)
 // Engine. It is frozen at NewEngine; SwapCatalog rebuilds the derived state
 // (closure, groups, optimizer) but never the configuration.
 type engineConfig struct {
-	catalog     *Catalog
-	source      ConstraintSource
-	closure     bool
-	closureOpts ClosureOptions
-	grouping    bool
-	policy      GroupPolicy
-	core        Options
-	cacheSize   int
-	workers     int
+	catalog         *Catalog
+	source          ConstraintSource
+	closure         bool
+	closureOpts     ClosureOptions
+	grouping        bool
+	policy          GroupPolicy
+	core            Options
+	cacheSize       int
+	workers         int
+	defaultDeadline time.Duration
 }
 
 // WithCatalog supplies the declared semantic-constraint catalog. The catalog
@@ -103,4 +106,14 @@ func WithResultCache(n int) EngineOption {
 // The default is runtime.GOMAXPROCS(0); values below 1 reset to the default.
 func WithWorkers(n int) EngineOption {
 	return func(c *engineConfig) { c.workers = n }
+}
+
+// WithDefaultDeadline gives every Optimize call (and, through the batch
+// paths, every query of a batch) whose context carries no deadline of its
+// own a deadline of d from the moment the call starts — the serving-layer
+// safety net against a runaway query holding a worker forever. A context
+// that already has a deadline is left alone, even a later one. d <= 0
+// disables the default (the default).
+func WithDefaultDeadline(d time.Duration) EngineOption {
+	return func(c *engineConfig) { c.defaultDeadline = d }
 }

@@ -6,11 +6,14 @@ package sqo_test
 // paper-style tables.
 
 import (
+	"context"
+	"sync"
 	"testing"
 
 	"sqo"
 	"sqo/internal/bench"
 	"sqo/internal/datagen"
+	"sqo/internal/index"
 )
 
 // quickFigure23 is the optimizer invocation benchmarked throughout.
@@ -228,6 +231,96 @@ func BenchmarkExecute(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := exec.Execute(q); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// scaledWorld caches the large-catalog evaluation worlds across benchmark
+// iterations and -count re-runs.
+type scaledWorldCell struct {
+	sch     *sqo.Schema
+	cat     *sqo.Catalog
+	queries []*sqo.Query
+}
+
+var (
+	scaledWorldMu    sync.Mutex
+	scaledWorldCache = map[int]*scaledWorldCell{}
+)
+
+func scaledWorld(b *testing.B, constraints int) *scaledWorldCell {
+	b.Helper()
+	scaledWorldMu.Lock()
+	defer scaledWorldMu.Unlock()
+	if w, ok := scaledWorldCache[constraints]; ok {
+		return w
+	}
+	sch, cat, err := sqo.GenerateScaledWorld(sqo.ScaledConfig{Constraints: constraints, Seed: int64(constraints)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries, err := sqo.ScaledWorkload(sch, cat, 64, 31)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := &scaledWorldCell{sch: sch, cat: cat, queries: queries}
+	scaledWorldCache[constraints] = w
+	return w
+}
+
+var catalogScales = []struct {
+	name string
+	n    int
+}{{"1e2", 100}, {"1e3", 1000}, {"1e4", 10000}}
+
+// BenchmarkIndexLookup measures applicable-constraint retrieval alone —
+// inverted index versus linear catalog scan — at catalog sizes 10²/10³/10⁴.
+// The CI bench gate tracks these.
+func BenchmarkIndexLookup(b *testing.B) {
+	for _, scale := range catalogScales {
+		w := scaledWorld(b, scale.n)
+		ix := sqo.NewConstraintIndex(w.cat)
+		scan := index.Scan{Catalog: w.cat}
+		b.Run("catalog="+scale.name+"/impl=index", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ix.Relevant(w.queries[i%len(w.queries)])
+			}
+		})
+		b.Run("catalog="+scale.name+"/impl=scan", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				scan.Relevant(w.queries[i%len(w.queries)])
+			}
+		})
+	}
+}
+
+// BenchmarkOptimizeLargeCatalog measures full semantic optimization through
+// the engine at catalog sizes 10²/10³/10⁴, with the inverted index (the
+// default) against the scan baseline in the same run. The CI bench gate
+// tracks these; the acceptance bar is source=index beating source=scan by
+// ≥5x at 1e4 (see TestIndexSublinearSpeedup).
+func BenchmarkOptimizeLargeCatalog(b *testing.B) {
+	ctx := context.Background()
+	for _, scale := range catalogScales {
+		w := scaledWorld(b, scale.n)
+		for _, impl := range []struct {
+			name string
+			opts []sqo.EngineOption
+		}{
+			{"index", nil},
+			{"scan", []sqo.EngineOption{sqo.WithConstraintIndex(false)}},
+		} {
+			e, err := sqo.NewEngine(w.sch, append([]sqo.EngineOption{sqo.WithCatalog(w.cat)}, impl.opts...)...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run("catalog="+scale.name+"/source="+impl.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := e.Optimize(ctx, w.queries[i%len(w.queries)]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

@@ -9,7 +9,7 @@
 //	sqobench -queries 40 -seed 41
 //
 // Experiments: fig41, table41, table42, grouping, closure, budget,
-// optimizers, complexity, engine, all.
+// optimizers, complexity, engine, index, all.
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -25,11 +26,12 @@ import (
 )
 
 var (
-	exp     = flag.String("exp", "all", "experiment to run (fig41|table41|table42|grouping|closure|budget|optimizers|complexity|engine|all)")
-	queries = flag.Int("queries", 40, "workload size (the paper used 40)")
-	seed    = flag.Int64("seed", 41, "workload selection seed")
-	csvTo   = flag.String("csv", "", "also write the raw per-query Table 4.2 data as CSV to this file")
-	passes  = flag.Int("passes", 8, "repeated-workload passes for the engine experiment")
+	exp      = flag.String("exp", "all", "experiment to run (fig41|table41|table42|grouping|closure|budget|optimizers|complexity|engine|index|all)")
+	queries  = flag.Int("queries", 40, "workload size (the paper used 40)")
+	seed     = flag.Int64("seed", 41, "workload selection seed")
+	csvTo    = flag.String("csv", "", "also write the raw per-query Table 4.2 data as CSV to this file")
+	passes   = flag.Int("passes", 8, "repeated-workload passes for the engine experiment")
+	catalogs = flag.String("catalogs", "100,1000,10000", "comma-separated catalog sizes for the index experiment")
 )
 
 func main() {
@@ -109,6 +111,18 @@ func run() error {
 			return err
 		}
 		fmt.Println(bench.RenderComplexity(rows))
+	}
+	if all || want == "index" {
+		ran = true
+		sizes, err := parseSizes(*catalogs)
+		if err != nil {
+			return err
+		}
+		rows, err := bench.RunIndexScaling(sizes, 64, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderIndexScaling(rows))
 	}
 	if all || want == "engine" {
 		ran = true
@@ -208,4 +222,24 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// parseSizes reads the -catalogs list.
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad catalog size %q (want a positive integer such as 10000, not 1e4)", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-catalogs is empty")
+	}
+	return out, nil
 }

@@ -47,7 +47,7 @@ var (
 	cacheSize   = flag.Int("cache", 4096, "result cache entries (0 disables)")
 	workers     = flag.Int("workers", 0, "batch worker pool width (0 = GOMAXPROCS)")
 	closure     = flag.Bool("closure", true, "materialize the constraint closure at startup and on swap")
-	grouping    = flag.Bool("grouping", true, "use class-attached constraint grouping for retrieval")
+	retrieval   = flag.String("retrieval", "index", "constraint retrieval strategy: index (inverted constraint index), grouping (class-attached groups), scan (linear catalog scan)")
 	batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "micro-batch collection window (0 disables coalescing)")
 	batchLimit  = flag.Int("batch-limit", 0, "max coalesced requests per dispatch (0 = auto: max(4, 2x workers))")
 	reqTimeout  = flag.Duration("request-timeout", 10*time.Second, "default per-request deadline")
@@ -151,8 +151,16 @@ func buildEngine() (*sqo.Engine, error) {
 	if *closure {
 		opts = append(opts, sqo.WithClosure(sqo.ClosureOptions{}))
 	}
-	if *grouping {
+	switch *retrieval {
+	case "index":
+		// The engine default; stated for clarity.
+		opts = append(opts, sqo.WithConstraintIndex(true))
+	case "grouping":
 		opts = append(opts, sqo.WithGrouping(sqo.GroupLeastAccessed))
+	case "scan":
+		opts = append(opts, sqo.WithConstraintIndex(false))
+	default:
+		return nil, fmt.Errorf("unknown -retrieval %q (want index, grouping or scan)", *retrieval)
 	}
 	if *dbName != "" {
 		if *schemaFile != "" {

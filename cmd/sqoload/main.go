@@ -156,7 +156,19 @@ func run() error {
 
 	sum := summarize(samples, elapsed)
 	printHuman(sum)
-	return writeJSON(sum)
+	if err := writeJSON(sum); err != nil {
+		return err
+	}
+	// Exit non-zero when the run observed failures, so CI smoke steps that
+	// shell out to sqoload actually fail. Transport errors are recorded
+	// with status 0 and count as non-2xx.
+	if sum.Non2xx > 0 {
+		return fmt.Errorf("%d of %d requests returned non-2xx", sum.Non2xx, sum.Requests)
+	}
+	if sum.Requests == 0 {
+		return fmt.Errorf("no requests completed")
+	}
+	return nil
 }
 
 // waitDone adapts the stop flag to a channel for the swap timer's select.

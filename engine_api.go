@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"sqo/internal/core"
+	"sqo/internal/index"
 )
 
 // Engine is the long-lived, concurrency-safe front door to the optimizer.
@@ -45,10 +46,13 @@ type Engine struct {
 }
 
 // engineState is everything derived from one catalog generation. It is
-// immutable after construction and replaced wholesale by SwapCatalog.
+// immutable after construction and replaced wholesale by SwapCatalog, so a
+// query can never observe the catalog of one generation paired with the
+// index (or groups, or closure) of another.
 type engineState struct {
-	declared *Catalog // as supplied; nil for a custom ConstraintSource
-	active   *Catalog // after closure materialization; what retrieval serves
+	declared *Catalog         // as supplied; nil for a custom ConstraintSource
+	active   *Catalog         // after closure materialization; what retrieval serves
+	index    *ConstraintIndex // inverted retrieval index over active; nil when disabled
 	closure  ClosureStats
 	opt      *Optimizer
 	epoch    uint64
@@ -108,9 +112,13 @@ func (e *Engine) buildState(cat *Catalog, epoch uint64) (*engineState, error) {
 			}
 			st.active, st.closure = closed, stats
 		}
-		if e.cfg.grouping {
+		switch {
+		case e.cfg.grouping:
 			src = NewGroupStore(st.active, e.cfg.policy, NewAccessStats())
-		} else {
+		case !e.cfg.noIndex:
+			st.index = index.New(st.active)
+			src = st.index
+		default:
 			src = CatalogSource{Catalog: st.active}
 		}
 	}
@@ -328,6 +336,10 @@ type EngineStats struct {
 	// added. Both zero for a custom ConstraintSource.
 	Constraints        int
 	DerivedConstraints int
+	// ConstraintIndex describes the active inverted retrieval index;
+	// zero when the index is disabled or superseded (WithGrouping,
+	// WithConstraintSource).
+	ConstraintIndex IndexStats
 }
 
 // Stats returns a snapshot of the engine's counters. Safe to call
@@ -342,6 +354,9 @@ func (e *Engine) Stats() EngineStats {
 	if st.active != nil {
 		s.Constraints = st.active.Len()
 		s.DerivedConstraints = st.closure.Derived
+	}
+	if st.index != nil {
+		s.ConstraintIndex = st.index.Stats()
 	}
 	if e.cache != nil {
 		s.CacheHits = e.cache.hits.Load()

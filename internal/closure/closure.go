@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"sqo/internal/constraint"
+	"sqo/internal/index"
 	"sqo/internal/predicate"
 )
 
@@ -75,9 +76,25 @@ func Materialize(cat *constraint.Catalog, opts Options) (*constraint.Catalog, *p
 
 	for round := 1; round <= opts.MaxRounds; round++ {
 		all := out.All()
+		// A resolution step needs cj to hold an antecedent implied by
+		// ci's consequent, and implication requires an identical operand
+		// signature with overlapping satisfiable intervals. Probing the
+		// attribute postings for each consequent therefore visits only
+		// the genuine chaining candidates — in catalog order, so the
+		// derivations (and their synthesized IDs) are exactly those of
+		// the all-pairs sweep — instead of pairing n² constraints per
+		// round. Only the postings layer is built; the full index's
+		// class postings and implication adjacency would be wasted here.
+		antIx := index.BuildAttrPostings(all)
 		added := 0
 		for _, ci := range all {
-			for _, cj := range all {
+			lastOrd := -1
+			for _, m := range antIx.AntecedentMatches(ci.Consequent) {
+				if m.Ordinal == lastOrd {
+					continue // one attempt per cj, as in the all-pairs sweep
+				}
+				lastOrd = m.Ordinal
+				cj := m.Constraint
 				if ci == cj {
 					continue
 				}

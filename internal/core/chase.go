@@ -44,18 +44,17 @@ func newChase(t *table, base []int) *chase {
 }
 
 // available reports whether predicate id is implied by the current set, and
-// returns the in-set predicate witnessing it.
+// returns the in-set predicate witnessing it (the lowest-numbered one, as a
+// scan over the pool would find). Implication candidates come from the
+// table's lazy reverse adjacency, so the check is O(in-degree) with no
+// predicate comparisons beyond the column's first use.
 func (c *chase) available(id int) (int, bool) {
 	if c.inSet[id] {
 		return id, true
 	}
-	target := c.t.pool.At(id)
-	for p := range c.inSet {
-		if !c.inSet[p] {
-			continue
-		}
+	for _, p := range c.t.revOf(id) {
 		c.t.ops++
-		if c.t.pool.At(p).Implies(target) {
+		if c.inSet[p] {
 			return p, true
 		}
 	}
@@ -66,8 +65,8 @@ func (c *chase) available(id int) (int, bool) {
 func (c *chase) run() {
 	for changed := true; changed; {
 		changed = false
-		for i, con := range c.t.constraints {
-			consID, _ := c.t.pool.Lookup(con.Consequent)
+		for i := range c.t.constraints {
+			consID := c.t.consCol[i]
 			if c.inSet[consID] {
 				continue
 			}

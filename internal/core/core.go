@@ -107,11 +107,38 @@ func cellForTag(t Tag) Cell {
 	}
 }
 
-// ConstraintSource supplies the constraints relevant to a query. Both
-// *groups.Store (the paper's grouped retrieval) and CatalogSource (a plain
-// catalog scan) implement it.
+// ConstraintSource supplies the constraints relevant to a query.
+// *index.Index (the inverted constraint index), *groups.Store (the paper's
+// grouped retrieval) and CatalogSource (a plain catalog scan) all implement
+// it.
 type ConstraintSource interface {
 	Retrieve(q *query.Query) []*constraint.Constraint
+}
+
+// ImplicationSource is an optional upgrade of ConstraintSource: a source
+// (the constraint index) that has precomputed the implication adjacency
+// among its catalog's predicates. The transformation table then reuses that
+// catalog-lifetime computation across queries — only predicates private to a
+// query are compared at optimization time.
+type ImplicationSource interface {
+	// PredPool returns the catalog's interned predicates (read-only).
+	PredPool() *predicate.Pool
+	// PredImplies returns the pool ids predicate id implies, ascending.
+	PredImplies(id int) []int
+	// PredImpliedBy returns the pool ids implying predicate id, ascending.
+	PredImpliedBy(id int) []int
+}
+
+// PrefilteredSource marks a ConstraintSource whose Retrieve already returns
+// only constraints relevant to the query. The optimizer then skips its
+// defensive re-filter during table initialization. CatalogSource, the
+// constraint index and the group store all prefilter; the marker exists for
+// custom sources that may not.
+type PrefilteredSource interface {
+	ConstraintSource
+	// RetrievesOnlyRelevant is a marker; implementations promise that
+	// every constraint Retrieve returns satisfies RelevantTo(q).
+	RetrievesOnlyRelevant()
 }
 
 // CatalogSource adapts a raw constraint catalog into a ConstraintSource by
@@ -125,6 +152,9 @@ type CatalogSource struct {
 func (s CatalogSource) Retrieve(q *query.Query) []*constraint.Constraint {
 	return s.Catalog.RelevantTo(q)
 }
+
+// RetrievesOnlyRelevant marks the scan as prefiltered.
+func (s CatalogSource) RetrievesOnlyRelevant() {}
 
 // CostModel is what the optimizer needs from the conventional cost-based
 // optimizer during query formulation (the paper's profitable(p) function and
@@ -228,9 +258,11 @@ func (o Options) rules() RuleSet {
 // safe for concurrent use as long as the ConstraintSource is (both
 // CatalogSource and *groups.Store are).
 type Optimizer struct {
-	schema *schema.Schema
-	source ConstraintSource
-	opts   Options
+	schema      *schema.Schema
+	source      ConstraintSource
+	opts        Options
+	prefiltered bool
+	oracle      ImplicationSource // non-nil when the source precomputed implications
 }
 
 // NewOptimizer builds an optimizer over a schema and constraint source.
@@ -238,7 +270,9 @@ func NewOptimizer(s *schema.Schema, src ConstraintSource, opts Options) *Optimiz
 	if opts.Cost == nil {
 		opts.Cost = HeuristicCost{Schema: s}
 	}
-	return &Optimizer{schema: s, source: src, opts: opts}
+	_, prefiltered := src.(PrefilteredSource)
+	oracle, _ := src.(ImplicationSource)
+	return &Optimizer{schema: s, source: src, opts: opts, prefiltered: prefiltered, oracle: oracle}
 }
 
 // Schema returns the schema the optimizer was built with.

@@ -91,7 +91,7 @@ func (o *Optimizer) OptimizeContext(ctx context.Context, q *query.Query) (*Resul
 
 	relevant := o.source.Retrieve(q)
 	transformStart := time.Now()
-	t := newTable(q, o.schema, relevant, o.opts)
+	t := newTableTrusted(q, o.schema, relevant, o.opts, o.prefiltered, o.oracle)
 
 	// Main loop (Figure 3.1): update the queue, drain it, repeat until an
 	// update leaves the queue empty.
@@ -141,6 +141,16 @@ func (o *Optimizer) OptimizeContext(ctx context.Context, q *query.Query) (*Resul
 	return res, nil
 }
 
+// consCell returns the current classification of row i's consequent: frozen
+// at AbsentConsequent for rows whose consequent was not in the query at
+// initialization, the column's live tag otherwise.
+func (t *table) consCell(i int) Cell {
+	if t.introRow[i] {
+		return CellAbsentConsequent
+	}
+	return cellForTag(t.tags[t.consCol[i]])
+}
+
 // updateQueue implements the paper's "Update Transformation Queue"
 // (Section 3.2): enqueue every constraint that can fire, and drop from C the
 // constraints that can never fire again.
@@ -150,8 +160,7 @@ func (t *table) updateQueue() {
 		if t.fired[i] || t.removed[i] || t.queued[i] {
 			continue
 		}
-		cons := t.consCol[i]
-		switch t.cells[i][cons] {
+		switch t.consCell(i) {
 		case CellRedundant:
 			// Cannot be lowered further.
 			t.removed[i] = true
@@ -181,7 +190,7 @@ func (t *table) updateQueue() {
 func (t *table) maybeEnqueue(i int) {
 	for _, col := range t.antsCols[i] {
 		t.ops++
-		if t.cells[i][col] != CellPresentAntecedent {
+		if !t.matchPresent[col] {
 			return
 		}
 	}
@@ -194,8 +203,7 @@ func (t *table) maybeEnqueue(i int) {
 // profitable than predicate elimination, and predicate elimination is
 // preferred over predicate introduction".
 func (t *table) priority(i int) int {
-	cons := t.consCol[i]
-	introducing := t.cells[i][cons] == CellAbsentConsequent
+	introducing := t.introRow[i]
 	switch {
 	case introducing && t.consequentIndexed(i):
 		return 0 // index introduction
@@ -224,7 +232,7 @@ func (t *table) fire(row int) bool {
 	t.fired[row] = true
 	t.removed[row] = true
 	cons := t.consCol[row]
-	cell := t.cells[row][cons]
+	cell := t.consCell(row)
 	newTag := t.producedTag(row)
 
 	var kind TransformKind
@@ -259,8 +267,11 @@ func (t *table) fire(row int) bool {
 }
 
 // applyTag makes the predicate in column cons present with (at most) the
-// given tag and updates the column across all rows, plus — under implication
-// matching — the columns of everything the predicate implies.
+// given tag. In the dense formulation this is the paper's column update
+// across all rows; sparsely, flipping the column's matchPresent bit (and,
+// under implication matching, the bits of everything the predicate implies)
+// updates every antecedent cell at once, and consequent cells follow the tag
+// vector by construction. O(1 + out-degree) instead of O(n).
 func (t *table) applyTag(cons int, newTag Tag) {
 	if t.present[cons] {
 		if newTag < t.tags[cons] {
@@ -270,29 +281,15 @@ func (t *table) applyTag(cons int, newTag Tag) {
 		t.present[cons] = true
 		t.tags[cons] = newTag
 	}
-	effective := t.tags[cons]
-
-	for k := range t.constraints {
-		t.ops++
-		switch t.cells[k][cons] {
-		case CellAbsentAntecedent:
-			// The predicate is now implied by the query, so
-			// constraints using it as an antecedent may fire.
-			t.cells[k][cons] = CellPresentAntecedent
-		case CellImperative, CellOptional, CellRedundant:
-			t.cells[k][cons] = cellForTag(effective)
-		}
-	}
-
-	// Presence ripples to implied predicates' antecedent cells.
-	if t.implied != nil {
-		for _, j := range t.implied[cons] {
-			for k := range t.constraints {
-				t.ops++
-				if t.cells[k][j] == CellAbsentAntecedent {
-					t.cells[k][j] = CellPresentAntecedent
-				}
-			}
+	t.ops++
+	// The predicate is now implied by the query, so constraints using it
+	// as an antecedent may fire; presence ripples to implied predicates'
+	// antecedent cells.
+	t.matchPresent[cons] = true
+	if t.implyOn {
+		for _, j := range t.fwdOf(cons) {
+			t.ops++
+			t.matchPresent[j] = true
 		}
 	}
 }

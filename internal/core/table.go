@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"sort"
 
 	"sqo/internal/constraint"
 	"sqo/internal/predicate"
@@ -12,6 +13,18 @@ import (
 // table is the transformation table T plus the bookkeeping around it: the
 // predicate pool defining the columns, the relevant constraints defining the
 // rows, per-predicate presence/tag state, and the transformation queue.
+//
+// The table is stored sparsely. The paper's m×n cell matrix is redundant:
+// within one role, a cell's state is a pure function of per-column facts —
+// an antecedent cell is Present exactly when its column is present for
+// matching (matchPresent), and a consequent cell either stays
+// AbsentConsequent for the whole run (the row's consequent was not in the
+// query at initialization: introRow) or mirrors the column's current tag.
+// Storing only those per-column vectors makes initialization O(Σ|cᵢ|)
+// instead of O(m·n) and the column update after a firing O(out-degree)
+// instead of O(n), which is what keeps per-query work proportional to the
+// *relevant* constraints rather than the table area. cell() derives any
+// matrix entry on demand for tests and display.
 type table struct {
 	q    *query.Query
 	sch  *schema.Schema
@@ -19,23 +32,41 @@ type table struct {
 
 	pool        *predicate.Pool
 	constraints []*constraint.Constraint
-	cells       [][]Cell // cells[row][col]
 
 	consCol  []int   // per row: column of the consequent
 	antsCols [][]int // per row: columns of the antecedents
+	introRow []bool  // per row: consequent absent at init (introduction role)
 
-	present []bool // per column: predicate is in the query or introduced
-	inQuery []bool // per column: predicate appeared in the original query
-	tags    []Tag  // per column: current tag; meaningful when present
+	present      []bool // per column: predicate is in the query or introduced
+	inQuery      []bool // per column: predicate appeared in the original query
+	matchPresent []bool // per column: present, or implied by a present predicate
+	tags         []Tag  // per column: current tag; meaningful when present
 
 	fired   []bool // per row: constraint already applied
 	removed []bool // per row: constraint removed from C (spent)
 	queued  []bool // per row: constraint currently in the queue
 
-	// implied[j] lists the columns whose predicates are implied by
-	// predicate j (excluding j itself). Used for implication-aware
-	// antecedent matching; nil when disabled.
-	implied [][]int
+	// Implication adjacency, computed lazily per column. Predicates can
+	// only imply one another within the same operand signature
+	// (predicate.Implies reasons over identical operand pairs), so a
+	// column's implications involve only its signature peers — and when
+	// the source is the constraint index (oracle), implications among
+	// catalog predicates were computed once at index build time and are
+	// merely translated to columns here; only predicates private to this
+	// query are compared at optimization time. implyOn gates antecedent
+	// *matching* only; the formulation-time chase always reasons with
+	// full implication.
+	implyOn    bool     // implication-aware antecedent matching enabled
+	colSig     []sigKey // per column: its operand signature
+	fwdImplied [][]int  // fwdOf cache: columns each column implies
+	fwdDone    []bool
+	revImplied [][]int // revOf cache: columns implying each column
+	revDone    []bool
+
+	oracle    ImplicationSource
+	colCat    []int       // per column: id in the oracle's pool, or -1
+	catToCol  map[int]int // oracle pool id -> column
+	queryOnly []int       // columns with no oracle id (query-private predicates)
 
 	queue fireQueue
 
@@ -138,19 +169,34 @@ func (fq *fireQueue) pop() int {
 
 // newTable implements the paper's Initialization step (Section 3.1): collect
 // relevant constraints into C, predicates into P, and fill the table.
+// Sources that do not promise prefiltering (PrefilteredSource) get a
+// defensive relevance re-check — firing an irrelevant constraint would be
+// unsound.
 func newTable(q *query.Query, sch *schema.Schema, relevant []*constraint.Constraint, opts Options) *table {
-	t := &table{q: q, sch: sch, opts: opts, pool: predicate.NewPool()}
+	return newTableTrusted(q, sch, relevant, opts, false, nil)
+}
 
-	// Filter for relevance defensively: custom ConstraintSources may not
-	// pre-filter, and firing an irrelevant constraint would be unsound.
-	for _, c := range relevant {
-		if c.RelevantTo(q) {
-			t.constraints = append(t.constraints, c)
+func newTableTrusted(q *query.Query, sch *schema.Schema, relevant []*constraint.Constraint, opts Options, prefiltered bool, oracle ImplicationSource) *table {
+	t := &table{q: q, sch: sch, opts: opts, oracle: oracle}
+
+	if prefiltered {
+		t.constraints = relevant
+	} else {
+		for _, c := range relevant {
+			if c.RelevantTo(q) {
+				t.constraints = append(t.constraints, c)
+			}
 		}
 	}
 
-	// P: predicates of the query and of the relevant constraints.
+	// P: predicates of the query and of the relevant constraints, interned
+	// into a pool sized for the worst case (no shared predicates).
 	queryPreds := q.Predicates()
+	occurrences := len(queryPreds)
+	for _, c := range t.constraints {
+		occurrences += 1 + len(c.Antecedents)
+	}
+	t.pool = predicate.NewPoolSize(occurrences)
 	for _, p := range queryPreds {
 		t.pool.Intern(p)
 	}
@@ -176,88 +222,196 @@ func newTable(q *query.Query, sch *schema.Schema, relevant []*constraint.Constra
 		t.tags[id] = TagImperative
 	}
 
-	if !opts.DisableImpliedAntecedents {
-		t.buildImplied()
+	t.implyOn = !opts.DisableImpliedAntecedents
+	t.colSig = make([]sigKey, m)
+	t.fwdImplied = make([][]int, m)
+	t.fwdDone = make([]bool, m)
+	t.revImplied = make([][]int, m)
+	t.revDone = make([]bool, m)
+	if t.oracle != nil {
+		t.colCat = make([]int, m)
+		t.catToCol = make(map[int]int, m)
+	}
+	for i := 0; i < m; i++ {
+		p := t.pool.At(i)
+		key := sigKey{left: p.Left, join: p.IsJoin()}
+		if key.join {
+			key.right = p.RightAttr
+		}
+		t.colSig[i] = key
+		if t.oracle != nil {
+			if id, ok := t.oracle.PredPool().Lookup(p); ok {
+				t.colCat[i] = id
+				t.catToCol[id] = i
+			} else {
+				t.colCat[i] = -1
+				t.queryOnly = append(t.queryOnly, i)
+			}
+		}
 	}
 
-	// Fill the table per the paper's Initialization algorithm. Consequent
-	// classification takes precedence over antecedent (a predicate that is
-	// both in one constraint would make the constraint trivial; the
-	// closure never produces those, but be deterministic anyway).
-	t.cells = make([][]Cell, n)
+	// A column is present for antecedent matching when its predicate is
+	// literally present or implied by a present predicate.
+	t.matchPresent = make([]bool, m)
+	for id, pres := range t.present {
+		if !pres {
+			continue
+		}
+		t.matchPresent[id] = true
+		if t.implyOn {
+			for _, j := range t.fwdOf(id) {
+				t.matchPresent[j] = true
+			}
+		}
+	}
+
+	// Record the per-row structure the paper's Initialization fills cells
+	// from. Consequent classification takes precedence over antecedent (a
+	// predicate that is both in one constraint would make the constraint
+	// trivial; the closure never produces those, but be deterministic
+	// anyway).
 	t.consCol = make([]int, n)
 	t.antsCols = make([][]int, n)
+	t.introRow = make([]bool, n)
 	t.fired = make([]bool, n)
 	t.removed = make([]bool, n)
 	t.queued = make([]bool, n)
+	flat := make([]int, 0, occurrences-len(queryPreds)-n) // one backing array for all rows
 	for i, c := range t.constraints {
-		row := make([]Cell, m)
-		t.ops += int64(m)
+		t.ops += int64(1 + len(c.Antecedents))
 		cons, _ := t.pool.Lookup(c.Consequent)
 		t.consCol[i] = cons
-		if t.present[cons] {
-			row[cons] = cellForTag(t.tags[cons])
-		} else {
-			row[cons] = CellAbsentConsequent
-		}
+		t.introRow[i] = !t.present[cons]
+		start := len(flat)
 		for _, a := range c.Antecedents {
 			col, _ := t.pool.Lookup(a)
 			if col == cons {
 				continue
 			}
-			t.antsCols[i] = append(t.antsCols[i], col)
-			if t.predicatePresent(col) {
-				row[col] = CellPresentAntecedent
-			} else {
-				row[col] = CellAbsentAntecedent
-			}
+			flat = append(flat, col)
 		}
-		t.cells[i] = row
+		t.antsCols[i] = flat[start:len(flat):len(flat)]
 	}
 	t.queue.priorities = opts.UsePriorities
 	return t
 }
 
-// buildImplied precomputes the implication adjacency between pooled
-// predicates (DESIGN.md deviation #3).
-func (t *table) buildImplied() {
-	m := t.pool.Len()
-	t.implied = make([][]int, m)
-	for i := 0; i < m; i++ {
-		pi := t.pool.At(i)
-		for j := 0; j < m; j++ {
-			t.ops++
-			if i == j {
-				continue
+// cell derives one entry of the paper's transformation table from the sparse
+// state: the row structure fixes the role, the per-column vectors fix the
+// value. Tests and the explain renderer use it; the hot path never
+// materializes the matrix.
+func (t *table) cell(row, col int) Cell {
+	if col == t.consCol[row] {
+		if t.introRow[row] {
+			// An absent consequent keeps its init-time classification
+			// for the whole run, even after another constraint
+			// introduces the predicate; fire() compensates, exactly as
+			// the paper's "some cₖ ahead of cᵢ has already …" case.
+			return CellAbsentConsequent
+		}
+		return cellForTag(t.tags[col])
+	}
+	for _, ac := range t.antsCols[row] {
+		if ac == col {
+			if t.matchPresent[col] {
+				return CellPresentAntecedent
 			}
-			if pi.Implies(t.pool.At(j)) {
-				t.implied[i] = append(t.implied[i], j)
-			}
+			return CellAbsentAntecedent
 		}
 	}
+	return CellNone
 }
 
-// predicatePresent reports whether the predicate in the given column should
-// count as present for antecedent matching: literally present, or implied by
-// a present predicate when implication matching is on.
-func (t *table) predicatePresent(col int) bool {
-	if t.present[col] {
-		return true
+// sigKey is the comparable form of a predicate's operand signature (the
+// string rendering is index.Signature; the hot path avoids building it).
+type sigKey struct {
+	left, right predicate.AttrRef
+	join        bool
+}
+
+// fwdOf returns the columns predicate col implies (ascending, excluding
+// col), computed on first use (DESIGN.md deviation #3): translated from the
+// oracle's catalog-level adjacency when available, derived by signature-peer
+// comparison otherwise.
+func (t *table) fwdOf(col int) []int {
+	if t.fwdDone[col] {
+		return t.fwdImplied[col]
 	}
-	if t.implied == nil {
-		return false
+	t.fwdDone[col] = true
+	t.fwdImplied[col] = t.adjacency(col, true)
+	return t.fwdImplied[col]
+}
+
+// revOf returns the columns whose predicates imply col (ascending, excluding
+// col). The formulation-time chase uses it; unlike antecedent matching it is
+// not gated by DisableImpliedAntecedents, because the chase's derivability
+// test always reasons with Implies.
+func (t *table) revOf(col int) []int {
+	if t.revDone[col] {
+		return t.revImplied[col]
 	}
-	for id := range t.present {
-		if !t.present[id] {
-			continue
+	t.revDone[col] = true
+	t.revImplied[col] = t.adjacency(col, false)
+	return t.revImplied[col]
+}
+
+// adjacency computes one column's implication neighbors, ascending. forward
+// selects "col implies j"; otherwise "j implies col".
+func (t *table) adjacency(col int, forward bool) []int {
+	var out []int
+	p := t.pool.At(col)
+	if t.oracle != nil && t.colCat[col] >= 0 {
+		// Catalog predicate: its implications among catalog predicates
+		// were precomputed at index build time; translate pool ids to
+		// the columns present in this table.
+		cached := t.oracle.PredImplies(t.colCat[col])
+		if !forward {
+			cached = t.oracle.PredImpliedBy(t.colCat[col])
 		}
-		for _, j := range t.implied[id] {
-			if j == col {
-				return true
+		for _, cid := range cached {
+			t.ops++
+			if j, ok := t.catToCol[cid]; ok {
+				out = append(out, j)
 			}
 		}
+		// Plus the query-private predicates, which the catalog-level
+		// precompute cannot know.
+		for _, j := range t.queryOnly {
+			if j == col || t.colSig[j] != t.colSig[col] {
+				continue
+			}
+			t.ops++
+			if implies(t.pool.At(col), t.pool.At(j), forward) {
+				out = append(out, j)
+			}
+		}
+		// First-occurrence order in the catalog pool need not agree
+		// with this table's column order (a predicate may debut in a
+		// constraint irrelevant to this query), so restore column
+		// order explicitly.
+		sort.Ints(out)
+		return out
 	}
-	return false
+	// No oracle, or a query-private predicate: compare against every
+	// signature peer, in column order.
+	for j := 0; j < t.pool.Len(); j++ {
+		if j == col || t.colSig[j] != t.colSig[col] {
+			continue
+		}
+		t.ops++
+		if implies(p, t.pool.At(j), forward) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// implies orients one implication test: forward is "a implies b".
+func implies(a, b predicate.Predicate, forward bool) bool {
+	if forward {
+		return a.Implies(b)
+	}
+	return b.Implies(a)
 }
 
 // tagOf converts a consequent cell back to a Tag; callers guarantee the cell

@@ -59,7 +59,7 @@ func TestInitializationCells(t *testing.T) {
 		{2, idB, CellNone},
 	}
 	for _, c := range cases {
-		if got := tb.cells[c.row][c.col]; got != c.want {
+		if got := tb.cell(c.row, c.col); got != c.want {
 			t.Errorf("cell[%d][%d] = %v, want %v", c.row, c.col, got, c.want)
 		}
 	}
@@ -91,14 +91,14 @@ func TestColumnUpdateOnFire(t *testing.T) {
 	tb := newTable(q, s, []*constraint.Constraint{c1, c2}, Options{DisableImpliedAntecedents: true})
 
 	idI, _ := tb.pool.Lookup(idx3)
-	if tb.cells[1][idI] != CellAbsentAntecedent {
-		t.Fatalf("precondition: c2's antecedent should be absent, got %v", tb.cells[1][idI])
+	if tb.cell(1, idI) != CellAbsentAntecedent {
+		t.Fatalf("precondition: c2's antecedent should be absent, got %v", tb.cell(1, idI))
 	}
 	if !tb.fire(0) {
 		t.Fatal("c1 should fire")
 	}
-	if tb.cells[1][idI] != CellPresentAntecedent {
-		t.Errorf("column update should enable c2: %v", tb.cells[1][idI])
+	if tb.cell(1, idI) != CellPresentAntecedent {
+		t.Errorf("column update should enable c2: %v", tb.cell(1, idI))
 	}
 	if !tb.present[idI] || tb.tags[idI] != TagOptional {
 		t.Errorf("idx=3 should be present/optional: present=%v tag=%v", tb.present[idI], tb.tags[idI])
@@ -218,14 +218,14 @@ func TestImpliedAntecedentColumnRipple(t *testing.T) {
 	tb := newTable(q, s, []*constraint.Constraint{c1, c2}, Options{})
 
 	idGT, _ := tb.pool.Lookup(bGT5)
-	if tb.cells[1][idGT] != CellAbsentAntecedent {
-		t.Fatalf("precondition failed: %v", tb.cells[1][idGT])
+	if tb.cell(1, idGT) != CellAbsentAntecedent {
+		t.Fatalf("precondition failed: %v", tb.cell(1, idGT))
 	}
 	if !tb.fire(0) {
 		t.Fatal("c1 should fire")
 	}
-	if tb.cells[1][idGT] != CellPresentAntecedent {
-		t.Errorf("implication ripple missing: %v", tb.cells[1][idGT])
+	if tb.cell(1, idGT) != CellPresentAntecedent {
+		t.Errorf("implication ripple missing: %v", tb.cell(1, idGT))
 	}
 }
 

@@ -1,0 +1,217 @@
+package datagen
+
+// This file generates the *scaled* evaluation worlds: synthetic schemas and
+// constraint catalogs far past the paper's 17 rules (10², 10³, 10⁴
+// constraints), used to measure how retrieval behaves as the catalog grows.
+// The paper's logistics world keeps every benchmark honest about the
+// algorithm; the scaled world keeps them honest about the catalog: with five
+// classes every constraint is relevant to most queries, so only a wide
+// schema with a spread-out catalog can distinguish an indexed lookup from a
+// linear scan. Everything here is seeded and deterministic, and generated
+// catalogs always validate against their schema.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sqo/internal/constraint"
+	"sqo/internal/index"
+	"sqo/internal/predicate"
+	"sqo/internal/query"
+	"sqo/internal/schema"
+	"sqo/internal/value"
+)
+
+// ScaledConfig sizes one synthetic world.
+type ScaledConfig struct {
+	// Constraints is the catalog size (the experiment's x-axis).
+	Constraints int
+	// Classes is the schema width. Zero derives Constraints/10, clamped
+	// to [8, 1024] — roughly ten constraints per class at every scale,
+	// still denser than the paper's own world (17 rules over 5 classes,
+	// "averaging three constraints per object class"), while keeping
+	// per-class groups small enough that retrieval cost is dominated by
+	// the lookup strategy, not the relevant set.
+	Classes int
+	// Seed drives all random choices.
+	Seed int64
+}
+
+func (c ScaledConfig) withDefaults() ScaledConfig {
+	if c.Classes == 0 {
+		c.Classes = c.Constraints / 10
+		if c.Classes < 8 {
+			c.Classes = 8
+		}
+		if c.Classes > 1024 {
+			c.Classes = 1024
+		}
+	}
+	return c
+}
+
+// scaledKinds is the string vocabulary of the scaled world's "kind" attribute.
+var scaledKinds = []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+
+func scaledClass(i int) string { return fmt.Sprintf("k%03d", i) }
+func scaledRel(i int) string   { return fmt.Sprintf("r%03d", i) }
+
+// ScaledSchema builds a chain schema of the given width: classes k000…kNNN,
+// each with an indexed id, an indexed band, plain load/grade numerics and a
+// kind vocabulary attribute, linked k_i→k_{i+1} by r_i.
+func ScaledSchema(classes int) *schema.Schema {
+	b := schema.NewBuilder()
+	for i := 0; i < classes; i++ {
+		b.Class(scaledClass(i),
+			schema.Attribute{Name: "id", Type: value.KindString, Indexed: true},
+			schema.Attribute{Name: "band", Type: value.KindInt, Indexed: true},
+			schema.Attribute{Name: "load", Type: value.KindInt},
+			schema.Attribute{Name: "grade", Type: value.KindInt},
+			schema.Attribute{Name: "kind", Type: value.KindString})
+	}
+	for i := 0; i+1 < classes; i++ {
+		b.Relationship(scaledRel(i), scaledClass(i), scaledClass(i+1), schema.OneToMany)
+	}
+	return b.MustBuild()
+}
+
+// GenerateScaled builds the scaled world: the chain schema plus a catalog of
+// cfg.Constraints Horn clauses spread uniformly over the classes — a mix of
+// intra-class range rules, vocabulary rules, and inter-class rules through
+// the chain links, mirroring the shapes of the logistics catalog. Constants
+// embed the rule ordinal, so no two rules collapse into one catalog entry.
+func GenerateScaled(cfg ScaledConfig) (*schema.Schema, *constraint.Catalog, error) {
+	cfg = cfg.withDefaults()
+	sch := ScaledSchema(cfg.Classes)
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	cs := make([]*constraint.Constraint, 0, cfg.Constraints)
+	for j := 0; j < cfg.Constraints; j++ {
+		c := j % cfg.Classes
+		home := scaledClass(c)
+		id := fmt.Sprintf("s%05d", j)
+		band := int64(r.Intn(90))
+		uniq := value.Int(int64(1000 + j)) // per-rule constant: no key collisions
+
+		shape := r.Intn(4)
+		if c+1 >= cfg.Classes && shape >= 2 {
+			shape -= 2 // the last class has no outgoing link; stay intra
+		}
+		switch shape {
+		case 0: // intra range: band ≥ b → load ≤ 1000+j
+			cs = append(cs, constraint.New(id,
+				[]predicate.Predicate{predicate.Sel(home, "band", predicate.GE, value.Int(band))},
+				nil,
+				predicate.Sel(home, "load", predicate.LE, uniq)))
+		case 1: // intra vocabulary: kind = t → grade ≥ 1000+j
+			cs = append(cs, constraint.New(id,
+				[]predicate.Predicate{predicate.Eq(home, "kind", value.String(scaledKinds[r.Intn(len(scaledKinds))]))},
+				nil,
+				predicate.Sel(home, "grade", predicate.GE, uniq)))
+		case 2: // inter range through the chain link
+			cs = append(cs, constraint.New(id,
+				[]predicate.Predicate{predicate.Sel(home, "band", predicate.GE, value.Int(band))},
+				[]string{scaledRel(c)},
+				predicate.Sel(scaledClass(c+1), "load", predicate.LE, uniq)))
+		default: // inter vocabulary through the chain link
+			cs = append(cs, constraint.New(id,
+				[]predicate.Predicate{predicate.Eq(home, "kind", value.String(scaledKinds[r.Intn(len(scaledKinds))]))},
+				[]string{scaledRel(c)},
+				predicate.Sel(scaledClass(c+1), "band", predicate.LE, value.Int(int64(90+j)))))
+		}
+	}
+	cat, err := constraint.NewCatalog(cs...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("datagen: scaled catalog: %w", err)
+	}
+	if err := cat.Validate(sch); err != nil {
+		return nil, nil, fmt.Errorf("datagen: scaled catalog does not fit its schema: %w", err)
+	}
+	return sch, cat, nil
+}
+
+// ScaledWorkload generates count distinct path queries over a scaled world:
+// short windows of the class chain, seeded with the antecedents (and
+// sometimes consequents) of constraints relevant to the window so semantic
+// transformations actually fire, plus random band/load/kind predicates.
+// Unlike the logistics workload it needs no database instance — the scaled
+// experiments measure optimization, not execution.
+func ScaledWorkload(sch *schema.Schema, cat *constraint.Catalog, count int, seed int64) ([]*query.Query, error) {
+	r := rand.New(rand.NewSource(seed))
+	classes := len(sch.Classes())
+	if classes == 0 {
+		return nil, fmt.Errorf("datagen: scaled workload needs a scaled schema")
+	}
+	ix := index.New(cat)
+
+	var out []*query.Query
+	seen := map[string]bool{}
+	for attempts := 0; len(out) < count; attempts++ {
+		if attempts > count*20 {
+			return nil, fmt.Errorf("datagen: only %d distinct scaled queries after %d attempts, need %d", len(out), attempts, count)
+		}
+		width := 1 + r.Intn(3)
+		if width > classes {
+			width = classes
+		}
+		start := r.Intn(classes - width + 1)
+		var names []string
+		for i := 0; i < width; i++ {
+			names = append(names, scaledClass(start+i))
+		}
+		q := query.New(names...)
+		for i := 0; i+1 < width; i++ {
+			q.AddRelationship(scaledRel(start + i))
+		}
+		q.AddProject(names[r.Intn(width)], "id")
+
+		addSel := func(p predicate.Predicate) {
+			for _, existing := range q.Selects {
+				if p.Key() == existing.Key() || p.Contradicts(existing) {
+					return
+				}
+			}
+			q.AddSelect(p)
+		}
+		relevant := ix.Relevant(q)
+		if len(relevant) > 0 {
+			if r.Float64() < 0.85 {
+				c := relevant[r.Intn(len(relevant))]
+				for _, a := range c.Antecedents {
+					addSel(a)
+				}
+			}
+			if r.Float64() < 0.5 {
+				c := relevant[r.Intn(len(relevant))]
+				for _, a := range c.Antecedents {
+					addSel(a)
+				}
+				addSel(c.Consequent)
+			}
+		}
+		for _, cl := range names {
+			if r.Float64() >= 0.4 {
+				continue
+			}
+			switch r.Intn(3) {
+			case 0:
+				addSel(predicate.Sel(cl, "band", predicate.GE, value.Int(int64(r.Intn(90)))))
+			case 1:
+				addSel(predicate.Sel(cl, "load", predicate.LE, value.Int(int64(500+r.Intn(2000)))))
+			default:
+				addSel(predicate.Eq(cl, "kind", value.String(scaledKinds[r.Intn(len(scaledKinds))])))
+			}
+		}
+
+		sig := q.Signature()
+		if seen[sig] {
+			continue
+		}
+		if err := q.Validate(sch); err != nil {
+			return nil, fmt.Errorf("datagen: generated invalid scaled query: %w", err)
+		}
+		seen[sig] = true
+		out = append(out, q)
+	}
+	return out, nil
+}

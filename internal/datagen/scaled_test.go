@@ -1,0 +1,90 @@
+package datagen
+
+import (
+	"testing"
+
+	"sqo/internal/index"
+)
+
+func TestGenerateScaledShapes(t *testing.T) {
+	for _, n := range []int{100, 1000} {
+		sch, cat, err := GenerateScaled(ScaledConfig{Constraints: n, Seed: 1})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if cat.Len() != n {
+			t.Errorf("n=%d: catalog holds %d constraints (collisions?)", n, cat.Len())
+		}
+		if err := cat.Validate(sch); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+		// The point of the scaled world: per-query relevant sets must stay
+		// small relative to the catalog, or indexing has nothing to prune.
+		ix := index.New(cat)
+		qs, err := ScaledWorkload(sch, cat, 50, 7)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		worst := 0
+		for _, q := range qs {
+			if got := len(ix.Relevant(q)); got > worst {
+				worst = got
+			}
+		}
+		if worst == 0 {
+			t.Errorf("n=%d: no query found any relevant constraint", n)
+		}
+		// A window covers at most 3 of the schema's classes, so the
+		// relevant set is bounded by a few per-class groups — the bound
+		// tightens as the catalog (and with it the schema) widens.
+		classes := len(sch.Classes())
+		if limit := 6 * n / classes; worst > limit {
+			t.Errorf("n=%d: worst relevant set %d exceeds %d; the scaled world is not sparse", n, worst, limit)
+		}
+	}
+}
+
+func TestGenerateScaledDeterministic(t *testing.T) {
+	_, a, err := GenerateScaled(ScaledConfig{Constraints: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := GenerateScaled(ScaledConfig{Constraints: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, bs := a.All(), b.All()
+	if len(as) != len(bs) {
+		t.Fatalf("catalog sizes differ: %d vs %d", len(as), len(bs))
+	}
+	for i := range as {
+		if as[i].String() != bs[i].String() {
+			t.Fatalf("constraint %d differs:\n%s\n%s", i, as[i], bs[i])
+		}
+	}
+}
+
+func TestScaledWorkloadDistinctAndValid(t *testing.T) {
+	sch, cat, err := GenerateScaled(ScaledConfig{Constraints: 300, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := ScaledWorkload(sch, cat, 200, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, q := range qs {
+		if err := q.Validate(sch); err != nil {
+			t.Fatalf("invalid query %s: %v", q, err)
+		}
+		sig := q.Signature()
+		if seen[sig] {
+			t.Fatalf("duplicate query: %s", q)
+		}
+		seen[sig] = true
+	}
+	if len(qs) != 200 {
+		t.Errorf("workload = %d queries", len(qs))
+	}
+}

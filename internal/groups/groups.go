@@ -224,6 +224,11 @@ func (st *Store) Retrieve(q *query.Query) []*constraint.Constraint {
 	return relevant
 }
 
+// RetrievesOnlyRelevant marks the store as a prefiltered constraint source
+// (core.PrefilteredSource): Retrieve filters every fetched group for
+// relevance before returning.
+func (st *Store) RetrievesOnlyRelevant() {}
+
 // Retrieved returns the total number of constraints fetched from groups
 // across all Retrieve calls so far.
 func (st *Store) Retrieved() int64 { return st.retrieved.Load() }

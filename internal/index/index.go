@@ -1,0 +1,361 @@
+// Package index implements an immutable inverted index over a semantic
+// constraint catalog, making applicable-constraint retrieval sublinear in the
+// catalog size.
+//
+// The paper's transformation algorithm is bounded per query — O(m·n) for m
+// predicates and n *relevant* constraints — but finding those n constraints
+// by scanning the whole catalog costs O(|catalog|) per query, which dominates
+// once catalogs outgrow the paper's 17 rules. The index removes that scan
+// with two keyed structures, both built once per catalog generation (at
+// NewEngine / SwapCatalog time) and shared read-only by every query:
+//
+//   - Class posting lists. Every constraint is attached to the *rarest*
+//     object class it references (the class referenced by the fewest
+//     constraints in this catalog). A relevant constraint references only
+//     query classes, so its home class is a query class and its posting list
+//     is fetched — the same completeness argument as the paper's grouping
+//     scheme, with the assignment chosen to minimize the candidates touched.
+//
+//   - Attribute posting lists, keyed by (class, attribute, predicate kind)
+//     — the operand signature — with the satisfiable interval of each range
+//     predicate stored alongside. Probing with a predicate returns the
+//     constraints whose antecedent on that signature could be implied by it,
+//     interval-overlap filtered; the closure materializer chains constraints
+//     through these postings instead of pairing the whole catalog.
+//
+// An Index is immutable after New and safe for unbounded concurrent use. The
+// Scan type wraps the old linear catalog scan behind the same Lookup
+// interface, kept as the baseline the differential tests compare against.
+package index
+
+import (
+	"sort"
+
+	"sqo/internal/constraint"
+	"sqo/internal/predicate"
+	"sqo/internal/query"
+)
+
+// Lookup finds the constraints applicable to a query. Implementations must
+// return exactly the catalog's relevant set in catalog (insertion) order, so
+// index-backed and scan-backed optimization are output-identical.
+type Lookup interface {
+	Relevant(q *query.Query) []*constraint.Constraint
+}
+
+// Index is the inverted constraint index. Build with New; immutable and
+// shareable afterwards.
+type Index struct {
+	all []*constraint.Constraint // catalog order
+
+	// byClass maps a home class to the ordinals of the constraints
+	// attached to it. Each constraint has exactly one home, so a lookup
+	// never sees a candidate twice.
+	byClass map[string][]int
+
+	// classes/links per ordinal: the requirement sets verified at lookup.
+	classes [][]string
+	links   [][]string
+
+	// attr holds the antecedent occurrences keyed by operand signature,
+	// interval annotated.
+	attr *AttrPostings
+
+	// pool interns every predicate occurring in the catalog; fwd/rev hold
+	// the implication adjacency among them (fwd[i] = pool ids predicate i
+	// implies, ascending; rev is the transpose). The transformation table
+	// consults this through core.ImplicationSource instead of re-deriving
+	// implications per query.
+	pool *predicate.Pool
+	fwd  [][]int
+	rev  [][]int
+
+	maxPosting int
+}
+
+// attrPosting is one antecedent occurrence in the attribute postings.
+type attrPosting struct {
+	ord int      // constraint ordinal
+	pos int      // antecedent position within the constraint
+	iv  Interval // satisfiable region of the antecedent
+}
+
+// Match is one probe hit: a constraint and the antecedent position that
+// matched.
+type Match struct {
+	Constraint *constraint.Constraint
+	Ordinal    int
+	AntPos     int
+}
+
+// AttrPostings is the attribute-keyed layer of the index alone: antecedent
+// occurrences posted under their (class, attribute, predicate kind) operand
+// signature with interval annotations. The closure materializer builds one
+// per fixpoint round — it needs only this layer, not the class postings or
+// the implication adjacency a full Index carries.
+type AttrPostings struct {
+	all    []*constraint.Constraint
+	byAttr map[string][]attrPosting
+}
+
+// BuildAttrPostings constructs the attribute postings over a constraint
+// slice in the given (catalog) order. O(Σ antecedents).
+func BuildAttrPostings(all []*constraint.Constraint) *AttrPostings {
+	ap := &AttrPostings{all: all, byAttr: make(map[string][]attrPosting)}
+	for i, c := range all {
+		for k, a := range c.Antecedents {
+			key := Signature(a)
+			ap.byAttr[key] = append(ap.byAttr[key], attrPosting{
+				ord: i,
+				pos: k,
+				iv:  IntervalOfPredicate(a),
+			})
+		}
+	}
+	return ap
+}
+
+// AntecedentMatches returns the constraints having an antecedent on p's
+// operand signature whose satisfiable interval overlaps p's — a conservative
+// superset of the constraints with an antecedent implied by p, ordered by
+// (catalog ordinal, antecedent position).
+func (ap *AttrPostings) AntecedentMatches(p predicate.Predicate) []Match {
+	post := ap.byAttr[Signature(p)]
+	if len(post) == 0 {
+		return nil
+	}
+	iv := IntervalOfPredicate(p)
+	var out []Match
+	for _, posting := range post {
+		if !p.IsJoin() && !iv.Overlaps(posting.iv) {
+			continue
+		}
+		out = append(out, Match{Constraint: ap.all[posting.ord], Ordinal: posting.ord, AntPos: posting.pos})
+	}
+	return out
+}
+
+// Signature returns the operand signature of a predicate: the (class,
+// attribute, predicate kind) key of the attribute postings. Two predicates
+// can stand in an implication relation only when their signatures are equal
+// (predicate.Implies reasons over identical operand pairs only).
+func Signature(p predicate.Predicate) string {
+	if p.IsJoin() {
+		return "j|" + p.Left.String() + "|" + p.RightAttr.String()
+	}
+	return "s|" + p.Left.String()
+}
+
+// New builds the index over a catalog. The catalog's constraints are shared,
+// not copied; they are immutable by contract.
+func New(cat *constraint.Catalog) *Index {
+	return Build(cat.All())
+}
+
+// Build constructs the index over an explicit constraint slice in the given
+// order. The slice is treated as the catalog order.
+func Build(all []*constraint.Constraint) *Index {
+	ix := &Index{
+		all:     all,
+		byClass: make(map[string][]int),
+		classes: make([][]string, len(all)),
+		links:   make([][]string, len(all)),
+		attr:    BuildAttrPostings(all),
+	}
+
+	// Pass 1: class reference frequencies.
+	freq := make(map[string]int)
+	for i, c := range all {
+		ix.classes[i] = c.Classes()
+		ix.links[i] = c.Links
+		for _, cl := range ix.classes[i] {
+			freq[cl]++
+		}
+	}
+
+	// Pass 2: attach each constraint to its rarest referenced class (ties
+	// break lexicographically — Classes() is sorted — for determinism).
+	for i := range all {
+		cls := ix.classes[i]
+		if len(cls) == 0 {
+			// Degenerate constraint without classes; park it under the
+			// empty key, which Relevant always checks.
+			ix.byClass[""] = append(ix.byClass[""], i)
+			continue
+		}
+		home := cls[0]
+		for _, cl := range cls[1:] {
+			if freq[cl] < freq[home] {
+				home = cl
+			}
+		}
+		ix.byClass[home] = append(ix.byClass[home], i)
+	}
+	for _, post := range ix.byClass {
+		if len(post) > ix.maxPosting {
+			ix.maxPosting = len(post)
+		}
+	}
+
+	// Pass 3: the interned predicate pool (antecedents first, then the
+	// consequent, per constraint — the same first-occurrence order the
+	// transformation table uses).
+	ix.pool = predicate.NewPool()
+	for _, c := range all {
+		for _, a := range c.Antecedents {
+			ix.pool.Intern(a)
+		}
+		ix.pool.Intern(c.Consequent)
+	}
+
+	// Pass 4: implication adjacency among the pooled predicates, bucketed
+	// by operand signature (implication requires identical operand pairs).
+	// O(Σ bucketᵢ²) once per catalog generation, amortized over every
+	// query served against it.
+	m := ix.pool.Len()
+	ix.fwd = make([][]int, m)
+	ix.rev = make([][]int, m)
+	sigBuckets := make(map[string][]int, m)
+	for id := 0; id < m; id++ {
+		key := Signature(ix.pool.At(id))
+		sigBuckets[key] = append(sigBuckets[key], id)
+	}
+	for _, ids := range sigBuckets {
+		if len(ids) < 2 {
+			continue
+		}
+		for _, i := range ids {
+			pi := ix.pool.At(i)
+			for _, j := range ids {
+				if i != j && pi.Implies(ix.pool.At(j)) {
+					ix.fwd[i] = append(ix.fwd[i], j)
+				}
+			}
+		}
+	}
+	for i, list := range ix.fwd {
+		for _, j := range list {
+			ix.rev[j] = append(ix.rev[j], i)
+		}
+	}
+	return ix
+}
+
+// PredPool returns the catalog's interned predicate pool. Implements
+// core.ImplicationSource; treat as read-only.
+func (ix *Index) PredPool() *predicate.Pool { return ix.pool }
+
+// PredImplies returns the pool ids of the predicates that predicate id
+// implies, ascending.
+func (ix *Index) PredImplies(id int) []int { return ix.fwd[id] }
+
+// PredImpliedBy returns the pool ids of the predicates implying predicate
+// id, ascending.
+func (ix *Index) PredImpliedBy(id int) []int { return ix.rev[id] }
+
+// Len returns the number of indexed constraints.
+func (ix *Index) Len() int { return len(ix.all) }
+
+// Relevant returns the constraints relevant to q — the same set, in the same
+// (catalog) order, as a full scan with Constraint.RelevantTo — touching only
+// the posting lists of the query's classes.
+func (ix *Index) Relevant(q *query.Query) []*constraint.Constraint {
+	var ords []int
+	collect := func(post []int) {
+		for _, ord := range post {
+			if ix.relevantOrd(ord, q) {
+				ords = append(ords, ord)
+			}
+		}
+	}
+	collect(ix.byClass[""])
+	for _, cl := range q.Classes {
+		collect(ix.byClass[cl])
+	}
+	if len(ords) == 0 {
+		return nil
+	}
+	// Homes are unique, so ords has no duplicates; sorting restores the
+	// catalog order a linear scan would produce.
+	sort.Ints(ords)
+	out := make([]*constraint.Constraint, len(ords))
+	for i, ord := range ords {
+		out[i] = ix.all[ord]
+	}
+	return out
+}
+
+// relevantOrd is Constraint.RelevantTo over the precomputed requirement sets.
+func (ix *Index) relevantOrd(ord int, q *query.Query) bool {
+	for _, cl := range ix.classes[ord] {
+		if !q.HasClass(cl) {
+			return false
+		}
+	}
+	for _, l := range ix.links[ord] {
+		if !q.HasRelationship(l) {
+			return false
+		}
+	}
+	return true
+}
+
+// Retrieve makes *Index a core.ConstraintSource, so an engine can wire the
+// index directly into the transformation loop.
+func (ix *Index) Retrieve(q *query.Query) []*constraint.Constraint {
+	return ix.Relevant(q)
+}
+
+// RetrievesOnlyRelevant marks the index as a prefiltered source (it
+// implements core.PrefilteredSource): every constraint Retrieve returns has
+// passed the full relevance check.
+func (ix *Index) RetrievesOnlyRelevant() {}
+
+// AntecedentMatches probes the index's attribute postings; see
+// AttrPostings.AntecedentMatches.
+func (ix *Index) AntecedentMatches(p predicate.Predicate) []Match {
+	return ix.attr.AntecedentMatches(p)
+}
+
+// Stats describes the shape of one built index, for observability.
+type Stats struct {
+	// Constraints is the number of indexed constraints.
+	Constraints int
+	// ClassBuckets is the number of non-empty class posting lists.
+	ClassBuckets int
+	// MaxClassPosting is the length of the largest class posting list —
+	// the worst-case candidate count a single-class query can touch.
+	MaxClassPosting int
+	// AttrKeys is the number of distinct operand signatures indexed.
+	AttrKeys int
+}
+
+// Stats returns the index shape.
+func (ix *Index) Stats() Stats {
+	return Stats{
+		Constraints:     len(ix.all),
+		ClassBuckets:    len(ix.byClass),
+		MaxClassPosting: ix.maxPosting,
+		AttrKeys:        len(ix.attr.byAttr),
+	}
+}
+
+// Scan is the pre-index retrieval path — a linear scan of the whole catalog
+// per query — kept as the baseline implementation of Lookup for equivalence
+// testing and ablation benchmarks.
+type Scan struct {
+	Catalog *constraint.Catalog
+}
+
+// Relevant returns the relevant constraints by scanning the catalog.
+func (s Scan) Relevant(q *query.Query) []*constraint.Constraint {
+	return s.Catalog.RelevantTo(q)
+}
+
+// Retrieve makes Scan a core.ConstraintSource.
+func (s Scan) Retrieve(q *query.Query) []*constraint.Constraint {
+	return s.Catalog.RelevantTo(q)
+}
+
+// RetrievesOnlyRelevant marks the scan as prefiltered.
+func (s Scan) RetrievesOnlyRelevant() {}

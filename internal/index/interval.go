@@ -1,0 +1,111 @@
+package index
+
+import (
+	"sqo/internal/predicate"
+	"sqo/internal/value"
+)
+
+// Interval is the satisfiable region of a single selective predicate over a
+// totally ordered attribute domain: a (possibly half-open, possibly unbounded)
+// interval, minus at most one excluded point (the != case). Two predicates on
+// the same attribute can only stand in an implication relation when their
+// intervals overlap, which is what makes the interval a sound pre-filter for
+// the attribute-keyed posting lists: Overlaps may report false positives but
+// never discards a pair Implies would accept.
+type Interval struct {
+	lo, hi         value.Value
+	hasLo, hasHi   bool
+	openLo, openHi bool
+	ne             value.Value // excluded point (A != c)
+	hasNE          bool
+}
+
+// FullInterval is the unconstrained domain; it overlaps everything.
+var FullInterval = Interval{}
+
+// IntervalOf returns the satisfiable region of op against c.
+func IntervalOf(op predicate.Op, c value.Value) Interval {
+	switch op {
+	case predicate.EQ:
+		return Interval{lo: c, hi: c, hasLo: true, hasHi: true}
+	case predicate.NE:
+		return Interval{ne: c, hasNE: true}
+	case predicate.LT:
+		return Interval{hi: c, hasHi: true, openHi: true}
+	case predicate.LE:
+		return Interval{hi: c, hasHi: true}
+	case predicate.GT:
+		return Interval{lo: c, hasLo: true, openLo: true}
+	default: // GE
+		return Interval{lo: c, hasLo: true}
+	}
+}
+
+// IntervalOfPredicate returns the interval of a selective predicate, or the
+// full domain for joins (join satisfiability has no constant bounds).
+func IntervalOfPredicate(p predicate.Predicate) Interval {
+	if p.IsJoin() {
+		return FullInterval
+	}
+	return IntervalOf(p.Op, p.Const)
+}
+
+// IsPoint reports whether the interval is a single value (the = case) and
+// returns it.
+func (iv Interval) IsPoint() (value.Value, bool) {
+	if iv.hasLo && iv.hasHi && !iv.openLo && !iv.openHi {
+		if cmp, err := iv.lo.Compare(iv.hi); err == nil && cmp == 0 {
+			return iv.lo, true
+		}
+	}
+	return value.Value{}, false
+}
+
+// Overlaps reports whether the two regions can intersect. The test is
+// conservative: incomparable bounds (a type mismatch that slipped past
+// validation) count as overlapping, so the filter never loses a candidate.
+func (iv Interval) Overlaps(other Interval) bool {
+	// Bound check: iv's lower bound must not exceed other's upper bound,
+	// and vice versa.
+	if !boundsBelow(iv.lo, iv.hasLo, iv.openLo, other.hi, other.hasHi, other.openHi) {
+		return false
+	}
+	if !boundsBelow(other.lo, other.hasLo, other.openLo, iv.hi, iv.hasHi, iv.openHi) {
+		return false
+	}
+	// An excluded point only empties the intersection when the other region
+	// is exactly that point.
+	if iv.hasNE {
+		if p, ok := other.IsPoint(); ok {
+			if cmp, err := p.Compare(iv.ne); err == nil && cmp == 0 {
+				return false
+			}
+		}
+	}
+	if other.hasNE {
+		if p, ok := iv.IsPoint(); ok {
+			if cmp, err := p.Compare(other.ne); err == nil && cmp == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// boundsBelow reports whether a lower bound (lo) sits at or below an upper
+// bound (hi), i.e. the region between them is non-empty. Unbounded sides are
+// always compatible; incomparable values conservatively are too.
+func boundsBelow(lo value.Value, hasLo, openLo bool, hi value.Value, hasHi, openHi bool) bool {
+	if !hasLo || !hasHi {
+		return true
+	}
+	cmp, err := lo.Compare(hi)
+	if err != nil {
+		return true // incomparable: keep the candidate
+	}
+	if cmp != 0 {
+		return cmp < 0
+	}
+	// Touching bounds: [c, …] meets […, c] only when both sides are closed.
+	return !openLo && !openHi
+}

@@ -16,6 +16,17 @@ type Pool struct {
 // NewPool returns an empty pool.
 func NewPool() *Pool { return &Pool{byKey: map[string]int{}} }
 
+// NewPoolSize returns an empty pool with room for the expected number of
+// distinct predicates, so interning a known workload does not rehash or
+// regrow. Per-query pools (one per transformation table) are sized from the
+// query and its relevant constraints.
+func NewPoolSize(capacity int) *Pool {
+	return &Pool{
+		byKey: make(map[string]int, capacity),
+		preds: make([]Predicate, 0, capacity),
+	}
+}
+
 // Intern returns the ID for p, allocating one if the predicate is new.
 func (pl *Pool) Intern(p Predicate) int {
 	if pl.byKey == nil {

@@ -161,11 +161,20 @@ type Predicate struct {
 	Const     value.Value
 	RightAttr AttrRef
 	join      bool
+
+	// key caches the canonical identity computed at construction.
+	// Key() is on the optimizer's hottest paths (pool interning, table
+	// columns, fingerprints); predicates are immutable, so pay for the
+	// string once. Derived from the other fields, it does not perturb
+	// struct equality.
+	key string
 }
 
 // Sel constructs a selective predicate class.attr ⟨op⟩ const.
 func Sel(class, attr string, op Op, v value.Value) Predicate {
-	return Predicate{Left: AttrRef{class, attr}, Op: op, Const: v}
+	p := Predicate{Left: AttrRef{class, attr}, Op: op, Const: v}
+	p.key = p.computeKey()
+	return p
 }
 
 // Eq is shorthand for the most common selective predicate.
@@ -182,7 +191,9 @@ func Join(leftClass, leftAttr string, op Op, rightClass, rightAttr string) Predi
 		l, r = r, l
 		op = op.Flip()
 	}
-	return Predicate{Left: l, Op: op, RightAttr: r, join: true}
+	p := Predicate{Left: l, Op: op, RightAttr: r, join: true}
+	p.key = p.computeKey()
+	return p
 }
 
 // IsJoin reports whether the predicate compares two attributes.
@@ -218,6 +229,13 @@ func (p Predicate) String() string {
 // syntactically equal after canonicalization share a key; the transformation
 // table uses keys as column identities.
 func (p Predicate) Key() string {
+	if p.key != "" {
+		return p.key
+	}
+	return p.computeKey() // zero-value predicates outside the constructors
+}
+
+func (p Predicate) computeKey() string {
 	if p.join {
 		return p.Left.String() + string(rune('0'+p.Op)) + "@" + p.RightAttr.String()
 	}

@@ -18,6 +18,7 @@ type engineConfig struct {
 	closureOpts     ClosureOptions
 	grouping        bool
 	policy          GroupPolicy
+	noIndex         bool
 	core            Options
 	cacheSize       int
 	workers         int
@@ -48,11 +49,25 @@ func WithClosure(opts ClosureOptions) EngineOption {
 }
 
 // WithGrouping enables the paper's class-attached constraint grouping for
-// retrieval, under the given assignment policy. Fresh access statistics are
-// maintained per catalog generation; without this option every query scans
-// the whole catalog for relevance (the paper's ungrouped baseline).
+// retrieval, under the given assignment policy, instead of the default
+// inverted constraint index. Fresh access statistics are maintained per
+// catalog generation. Retrieval strategy precedence: WithConstraintSource,
+// then WithGrouping, then the constraint index, then the linear scan.
 func WithGrouping(policy GroupPolicy) EngineOption {
 	return func(c *engineConfig) { c.grouping, c.policy = true, policy }
+}
+
+// WithConstraintIndex toggles the inverted constraint index (on by default):
+// the catalog is indexed once per generation — at NewEngine and again inside
+// every SwapCatalog, so catalog and index always swap together — and each
+// query's relevant constraints are fetched through the index's class posting
+// lists instead of an O(|catalog|) scan. Retrieval results are identical to
+// the scan's, in the same order; only the lookup cost changes. Disabling it
+// restores the linear scan (the baseline the differential tests compare
+// against). The option is ignored under WithGrouping or
+// WithConstraintSource, which supply their own retrieval.
+func WithConstraintIndex(enabled bool) EngineOption {
+	return func(c *engineConfig) { c.noIndex = !enabled }
 }
 
 // WithCostModel supplies the cost model used by query formulation. The model

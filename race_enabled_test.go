@@ -1,0 +1,7 @@
+//go:build race
+
+package sqo_test
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation distorts timing assertions.
+const raceEnabled = true

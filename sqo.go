@@ -52,6 +52,7 @@ import (
 	"sqo/internal/derive"
 	"sqo/internal/engine"
 	"sqo/internal/groups"
+	"sqo/internal/index"
 	"sqo/internal/pathgen"
 	"sqo/internal/predicate"
 	"sqo/internal/query"
@@ -233,6 +234,24 @@ func NewGroupStore(cat *Catalog, policy GroupPolicy, stats *AccessStats) *GroupS
 // NewAccessStats returns empty access statistics.
 func NewAccessStats() *AccessStats { return groups.NewAccessStats() }
 
+// Indexed constraint retrieval (sublinear in the catalog size).
+type (
+	// ConstraintIndex is an immutable inverted index over a constraint
+	// catalog: class posting lists for applicable-constraint retrieval
+	// plus (class, attribute, predicate kind)-keyed postings with
+	// operator-interval filtering. Safe for unbounded concurrent use; it
+	// implements ConstraintSource. Engines build one per catalog
+	// generation by default (WithConstraintIndex).
+	ConstraintIndex = index.Index
+	// IndexStats describes the shape of a built ConstraintIndex.
+	IndexStats = index.Stats
+)
+
+// NewConstraintIndex builds the inverted index over a catalog. The returned
+// index retrieves exactly the constraints a linear catalog scan would, in
+// the same order, touching only the posting lists of the query's classes.
+func NewConstraintIndex(cat *Catalog) *ConstraintIndex { return index.New(cat) }
+
 // The optimizer (the paper's contribution).
 type (
 	// Optimizer is the semantic query optimizer.
@@ -371,6 +390,23 @@ func DBConfigs() []DBConfig { return datagen.DBConfigs() }
 
 // GenerateDatabase populates a constraint-satisfying database instance.
 func GenerateDatabase(cfg DBConfig) (*Database, error) { return datagen.Generate(cfg) }
+
+// ScaledConfig sizes a synthetic large-catalog world (10²–10⁴ constraints).
+type ScaledConfig = datagen.ScaledConfig
+
+// GenerateScaledWorld builds a wide chain schema plus a seeded constraint
+// catalog of cfg.Constraints rules — the evaluation world for catalog sizes
+// far past the paper's 17.
+func GenerateScaledWorld(cfg ScaledConfig) (*Schema, *Catalog, error) {
+	return datagen.GenerateScaled(cfg)
+}
+
+// ScaledWorkload generates count distinct, deterministic path queries over a
+// scaled world, seeded with relevant constraint antecedents so semantic
+// transformations fire.
+func ScaledWorkload(sch *Schema, cat *Catalog, count int, seed int64) ([]*Query, error) {
+	return datagen.ScaledWorkload(sch, cat, count, seed)
+}
 
 // EnumerateSchemaPaths lists every simple path of the schema graph.
 func EnumerateSchemaPaths(s *Schema) []SchemaPath { return pathgen.EnumeratePaths(s) }

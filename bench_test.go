@@ -16,20 +16,14 @@ import (
 	"sqo/internal/index"
 )
 
-// quickFigure23 is the optimizer invocation benchmarked throughout.
+// quickFigure23 is the optimizer invocation benchmarked throughout; the
+// query is the shared Figure 2.3 literal (figure23Query, allocs_test.go).
 func quickFigure23(b *testing.B) (*sqo.Optimizer, *sqo.Query) {
 	b.Helper()
 	sch := datagen.Schema()
 	cat := datagen.Constraints()
 	opt := sqo.NewOptimizer(sch, sqo.CatalogSource{Catalog: cat}, sqo.Options{})
-	q := sqo.NewQuery("supplier", "cargo", "vehicle").
-		AddProject("vehicle", "vehicle#").
-		AddProject("cargo", "desc").
-		AddSelect(sqo.Eq("vehicle", "desc", sqo.StringValue("refrigerated truck"))).
-		AddSelect(sqo.Eq("supplier", "name", sqo.StringValue("SFI"))).
-		AddRelationship("collects").
-		AddRelationship("supplies")
-	return opt, q
+	return opt, figure23Query()
 }
 
 // BenchmarkOptimize is the headline number: one full optimization of the
@@ -42,6 +36,61 @@ func BenchmarkOptimize(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkOptimizeAllocs tracks the allocation profile of the serving hot
+// path on the paper's 17-rule world (the CI bench gate fails on allocs/op
+// regressions): a cache-hit Engine.Optimize must stay at 0 allocs/op, the
+// uncached path within its fixed budget, and the interning ablation shows
+// what the string-space fallback costs.
+func BenchmarkOptimizeAllocs(b *testing.B) {
+	sch := datagen.Schema()
+	cat := datagen.Constraints()
+	ctx := context.Background()
+	q := figure23Query()
+
+	b.Run("cached", func(b *testing.B) {
+		eng, err := sqo.NewEngine(sch, sqo.WithCatalog(cat), sqo.WithResultCache(64))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Optimize(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Optimize(ctx, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("uncached", func(b *testing.B) {
+		eng, err := sqo.NewEngine(sch, sqo.WithCatalog(cat))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Optimize(ctx, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("uncached-nointern", func(b *testing.B) {
+		eng, err := sqo.NewEngine(sch, sqo.WithCatalog(cat), sqo.WithSymbolInterning(false))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Optimize(ctx, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkFig41_TransformationTime regenerates Figure 4.1: transformation
@@ -185,7 +234,7 @@ func BenchmarkBudget(b *testing.B) {
 			cat := datagen.Constraints()
 			opt := sqo.NewOptimizer(sch, sqo.CatalogSource{Catalog: cat},
 				sqo.Options{Budget: budget, UsePriorities: true})
-			_, q := quickFigure23(b)
+			q := figure23Query()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := opt.Optimize(q); err != nil {

@@ -2,23 +2,27 @@ package sqo
 
 import (
 	"container/list"
-	"strconv"
 	"sync"
 	"sync/atomic"
 )
 
-// Fingerprint returns the canonical cache key of a query: an
-// order-insensitive encoding of its five parts with normalized predicate
-// ordering, so two queries that differ only in how their predicate, class or
-// relationship lists are ordered share one fingerprint (and one cache slot).
-func Fingerprint(q *Query) string { return q.Signature() }
+// cacheKey scopes a query fingerprint to one catalog generation. It is a
+// comparable struct — the epoch is a field of the hashed key rather than a
+// formatted string prefix, so building and probing a key allocates nothing.
+// Results computed against an old catalog keep their old epoch, so a lookup
+// after SwapCatalog can never return them — even if an in-flight
+// optimization stores its result after the swap's purge.
+type cacheKey struct {
+	epoch uint64
+	fp    QueryFingerprint
+}
 
-// cacheKey scopes a fingerprint to one catalog generation. Results computed
-// against an old catalog keep their old epoch prefix, so a lookup after
-// SwapCatalog can never return them — even if an in-flight optimization
-// stores its result after the swap's purge.
-func cacheKey(epoch uint64, q *Query) string {
-	return strconv.FormatUint(epoch, 10) + "|" + Fingerprint(q)
+// cacheKeyFor builds the cache key of q under one engine state: the
+// generation's interned symbol space resolves predicates, attributes and
+// classes to dense IDs before hashing (nil symbol space — custom source or
+// interning disabled — falls back to content hashing).
+func cacheKeyFor(st *engineState, q *Query) cacheKey {
+	return cacheKey{epoch: st.epoch, fp: fingerprintWith(q, st.syms)}
 }
 
 // resultCache is a concurrency-safe LRU cache of optimization results.
@@ -26,7 +30,7 @@ type resultCache struct {
 	mu    sync.Mutex
 	cap   int
 	order *list.List // front = most recently used
-	items map[string]*list.Element
+	items map[cacheKey]*list.Element
 
 	hits      atomic.Int64
 	misses    atomic.Int64
@@ -34,7 +38,7 @@ type resultCache struct {
 }
 
 type cacheEntry struct {
-	key string
+	key cacheKey
 	res *Result
 }
 
@@ -42,12 +46,12 @@ func newResultCache(capacity int) *resultCache {
 	return &resultCache{
 		cap:   capacity,
 		order: list.New(),
-		items: make(map[string]*list.Element, capacity),
+		items: make(map[cacheKey]*list.Element, capacity),
 	}
 }
 
 // get returns the cached result for key, marking it most recently used.
-func (c *resultCache) get(key string) (*Result, bool) {
+func (c *resultCache) get(key cacheKey) (*Result, bool) {
 	c.mu.Lock()
 	var res *Result
 	el, ok := c.items[key]
@@ -68,7 +72,7 @@ func (c *resultCache) get(key string) (*Result, bool) {
 
 // put inserts (or refreshes) a result, evicting the least recently used
 // entry when the cache is full.
-func (c *resultCache) put(key string, res *Result) {
+func (c *resultCache) put(key cacheKey, res *Result) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {

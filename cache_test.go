@@ -13,12 +13,18 @@ func cacheQuery(class string) *Query {
 	return NewQuery(class).AddProject(class, "a")
 }
 
+// testKey builds an epoch-scoped cache key the way the engine does, minus
+// the symbol space (content hashing).
+func testKey(epoch uint64, q *Query) cacheKey {
+	return cacheKey{epoch: epoch, fp: Fingerprint(q)}
+}
+
 // TestCacheCapacityOne: the degenerate LRU — every distinct put evicts the
 // previous entry, refreshes never evict.
 func TestCacheCapacityOne(t *testing.T) {
 	c := newResultCache(1)
-	ka := cacheKey(0, cacheQuery("a"))
-	kb := cacheKey(0, cacheQuery("b"))
+	ka := testKey(0, cacheQuery("a"))
+	kb := testKey(0, cacheQuery("b"))
 	ra, rb := &Result{}, &Result{}
 
 	c.put(ka, ra)
@@ -66,13 +72,13 @@ func TestCacheEpochBumpConcurrent(t *testing.T) {
 			<-start
 			for i := 0; i < 500; i++ {
 				q := cacheQuery(classes[(w+i)%len(classes)])
-				c.put(cacheKey(0, q), oldRes)
-				if res, ok := c.get(cacheKey(1, q)); ok && res != newRes {
+				c.put(testKey(0, q), oldRes)
+				if res, ok := c.get(testKey(1, q)); ok && res != newRes {
 					t.Errorf("old-epoch result served under new-epoch key")
 					return
 				}
-				c.put(cacheKey(1, q), newRes)
-				c.get(cacheKey(0, q))
+				c.put(testKey(1, q), newRes)
+				c.get(testKey(0, q))
 			}
 		}(w)
 	}
@@ -93,8 +99,8 @@ func TestCacheEpochBumpConcurrent(t *testing.T) {
 		t.Fatalf("len = %d after purge", c.len())
 	}
 	q := cacheQuery("a")
-	c.put(cacheKey(1, q), newRes)
-	if res, ok := c.get(cacheKey(1, q)); !ok || res != newRes {
+	c.put(testKey(1, q), newRes)
+	if res, ok := c.get(testKey(1, q)); !ok || res != newRes {
 		t.Fatal("cache unusable after concurrent epoch bump")
 	}
 }
@@ -119,7 +125,7 @@ func TestCacheStatsConsistency(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < iterations; i++ {
-				key := cacheKey(uint64(i%3), cacheQuery(classes[(w*7+i)%len(classes)]))
+				key := testKey(uint64(i%3), cacheQuery(classes[(w*7+i)%len(classes)]))
 				if i%2 == 0 {
 					c.get(key)
 					gets.Add(1)

@@ -10,6 +10,7 @@ import (
 
 	"sqo/internal/core"
 	"sqo/internal/index"
+	"sqo/internal/symtab"
 )
 
 // Engine is the long-lived, concurrency-safe front door to the optimizer.
@@ -48,11 +49,12 @@ type Engine struct {
 // engineState is everything derived from one catalog generation. It is
 // immutable after construction and replaced wholesale by SwapCatalog, so a
 // query can never observe the catalog of one generation paired with the
-// index (or groups, or closure) of another.
+// index (or groups, closure, symbol space) of another.
 type engineState struct {
 	declared *Catalog         // as supplied; nil for a custom ConstraintSource
 	active   *Catalog         // after closure materialization; what retrieval serves
 	index    *ConstraintIndex // inverted retrieval index over active; nil when disabled
+	syms     *symtab.Table    // interned symbol space of active; nil when interning is off
 	closure  ClosureStats
 	opt      *Optimizer
 	epoch    uint64
@@ -91,13 +93,17 @@ func NewEngine(s *Schema, opts ...EngineOption) (*Engine, error) {
 	return e, nil
 }
 
-// buildState materializes one catalog generation: validate, close, group,
-// and construct the optimizer over it.
+// buildState materializes one catalog generation: validate, close, compile
+// the interned symbol space, index/group, and construct the optimizer over
+// it. The symbol space is compiled exactly once per generation and shared by
+// the index, the optimizer's transformation tables and the result cache's
+// key hashing.
 func (e *Engine) buildState(cat *Catalog, epoch uint64) (*engineState, error) {
 	coreOpts := e.cfg.core
 	if coreOpts.Cost == nil {
 		coreOpts.Cost = HeuristicCost{Schema: e.schema}
 	}
+	coreOpts.DisableInterning = coreOpts.DisableInterning || e.cfg.noIntern
 	st := &engineState{declared: cat, epoch: epoch}
 	src := e.cfg.source
 	if cat != nil {
@@ -112,17 +118,28 @@ func (e *Engine) buildState(cat *Catalog, epoch uint64) (*engineState, error) {
 			}
 			st.active, st.closure = closed, stats
 		}
+		if !coreOpts.DisableInterning {
+			st.syms = symtab.Compile(e.schema, st.active.All())
+		}
 		switch {
 		case e.cfg.grouping:
 			src = NewGroupStore(st.active, e.cfg.policy, NewAccessStats())
 		case !e.cfg.noIndex:
-			st.index = index.New(st.active)
+			if st.syms != nil {
+				st.index = index.BuildWith(st.active.All(), st.syms)
+			} else {
+				st.index = index.New(st.active)
+			}
 			src = st.index
 		default:
 			src = CatalogSource{Catalog: st.active}
 		}
 	}
-	st.opt = core.NewOptimizer(e.schema, src, coreOpts)
+	st.opt = core.NewOptimizerSymbols(e.schema, src, st.syms, coreOpts)
+	// Align to the optimizer's resolution (a custom ConstraintSource may
+	// supply its own symbol space) so cache keys always hash in the
+	// generation the transformation tables run in.
+	st.syms = st.opt.Symbols()
 	return st, nil
 }
 
@@ -136,9 +153,9 @@ func (e *Engine) Optimize(ctx context.Context, q *Query) (*Result, error) {
 		return nil, errors.New("sqo: Optimize requires a query")
 	}
 	st := e.state.Load()
-	var key string
+	var key cacheKey
 	if e.cache != nil {
-		key = cacheKey(st.epoch, q)
+		key = cacheKeyFor(st, q)
 		if res, ok := e.cache.get(key); ok {
 			e.optimizations.Add(1)
 			return res, nil

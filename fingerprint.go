@@ -1,0 +1,162 @@
+package sqo
+
+import (
+	"sqo/internal/predicate"
+	"sqo/internal/symtab"
+)
+
+// QueryFingerprint is the canonical 128-bit identity of a query: an
+// order-insensitive hash of its five parts, so two queries that differ only
+// in how their predicate, class or relationship lists are ordered share one
+// fingerprint (and one cache slot). It replaces the string fingerprint of
+// earlier versions — computing it allocates nothing and performs no string
+// concatenation, which is what lets a cache hit serve with zero heap
+// allocations.
+//
+// Fingerprints are comparable and usable as map keys. They are stable only
+// within a process (and, for the engine's internal keys, within a catalog
+// generation); do not persist them.
+type QueryFingerprint struct {
+	Hi, Lo uint64
+}
+
+// String renders the fingerprint as 32 hex digits, for logs and debugging.
+func (f QueryFingerprint) String() string {
+	var buf [32]byte
+	hex := func(dst []byte, v uint64) {
+		const digits = "0123456789abcdef"
+		for i := 15; i >= 0; i-- {
+			dst[i] = digits[v&0xf]
+			v >>= 4
+		}
+	}
+	hex(buf[:16], f.Hi)
+	hex(buf[16:], f.Lo)
+	return string(buf[:])
+}
+
+// Fingerprint returns the canonical cache identity of a query, hashing its
+// content (predicate keys, class and relationship names). The engine's
+// result cache uses the interned-ID variant internally; this content form is
+// catalog-independent.
+func Fingerprint(q *Query) QueryFingerprint { return fingerprintWith(q, nil) }
+
+// Domain seeds keep the item-hash spaces of IDs, content hashes and the five
+// sections from aliasing each other.
+const (
+	fpSeedPred    = 0x9ddfea08eb382d69
+	fpSeedAttrID  = 0xc2b2ae3d27d4eb4f
+	fpSeedClassID = 0x165667b19e3779f9
+	fpSeedContent = 0x27d4eb2f165667c5
+)
+
+// fingerprintWith hashes a query into 128 bits, resolving symbols through
+// the catalog generation's interned symbol space when one is supplied:
+// predicates, attributes and classes known to the catalog hash as their
+// dense IDs (one map probe on an already-built key, then integer mixing),
+// everything else as content. Per-section accumulators are commutative
+// (sum/xor), so list order cannot perturb the result and nothing is sorted —
+// the whole computation touches no heap.
+func fingerprintWith(q *Query, syms *symtab.Table) QueryFingerprint {
+	var f fpFold
+	var sum, xor uint64
+	n := 0
+	item := func(h uint64) {
+		sum += h
+		xor ^= h
+		n++
+	}
+	flush := func(tag uint64) {
+		f.fold(tag, sum, xor, n)
+		sum, xor, n = 0, 0, 0
+	}
+
+	for _, a := range q.Project {
+		item(fpAttrRef(a, syms))
+	}
+	flush('P')
+	for _, p := range q.Joins {
+		item(fpPred(p, syms))
+	}
+	flush('J')
+	for _, p := range q.Selects {
+		item(fpPred(p, syms))
+	}
+	flush('S')
+	for _, r := range q.Relationships {
+		item(fpString(r))
+	}
+	flush('R')
+	for _, c := range q.Classes {
+		if syms != nil {
+			if id, ok := syms.ClassID(c); ok {
+				item(fpMix(fpSeedClassID ^ uint64(id)))
+				continue
+			}
+		}
+		item(fpString(c))
+	}
+	flush('C')
+	return f.final()
+}
+
+// fpPred hashes one predicate: its dense PredID when the symbol space knows
+// it, its canonical key (precomputed at construction — no rebuild) otherwise.
+func fpPred(p Predicate, syms *symtab.Table) uint64 {
+	if syms != nil {
+		if id, ok := syms.PredID(p); ok {
+			return fpMix(fpSeedPred ^ uint64(id))
+		}
+	}
+	return fpMix(fpString(p.Key()) ^ fpSeedContent)
+}
+
+// fpAttrRef hashes one attribute reference, by AttrID when interned.
+func fpAttrRef(a predicate.AttrRef, syms *symtab.Table) uint64 {
+	if syms != nil {
+		if id, ok := syms.AttrID(a.Class, a.Attr); ok {
+			return fpMix(fpSeedAttrID ^ uint64(id))
+		}
+	}
+	h := fpString(a.Class)
+	return fpMix(h ^ fpString(a.Attr))
+}
+
+// fpString is 64-bit FNV-1a, inlined to keep the path allocation-free.
+func fpString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// fpMix is the splitmix64 finalizer: a bijective 64-bit scrambler, so
+// distinct IDs can never collide before the fold.
+func fpMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// fpFold accumulates section digests into the final 128 bits. Sections are
+// folded in a fixed order with their tag and cardinality, so an empty
+// section still advances the state and items can never migrate between
+// sections.
+type fpFold struct {
+	h1, h2 uint64
+}
+
+func (f *fpFold) fold(tag, sum, xor uint64, n int) {
+	x := fpMix(sum ^ fpMix(xor) ^ uint64(n)<<8 ^ tag)
+	f.h1 = fpMix(f.h1 ^ x)
+	f.h2 = f.h2*0x9e3779b97f4a7c15 + x
+}
+
+func (f *fpFold) final() QueryFingerprint {
+	return QueryFingerprint{Hi: fpMix(f.h1 ^ f.h2), Lo: fpMix(f.h2 + 0x632be59bd9b4e019)}
+}

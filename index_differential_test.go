@@ -53,8 +53,8 @@ func diffOne(t testing.TB, label string, indexed, scanned *sqo.Engine, q *sqo.Qu
 	if a.EmptyResult != b.EmptyResult {
 		t.Fatalf("%s: EmptyResult diverges for %s", label, q)
 	}
-	if !reflect.DeepEqual(a.FinalTags, b.FinalTags) {
-		t.Fatalf("%s: final tags diverge for %s\nindex: %v\nscan:  %v", label, q, a.FinalTags, b.FinalTags)
+	if !reflect.DeepEqual(a.FinalTags(), b.FinalTags()) {
+		t.Fatalf("%s: final tags diverge for %s\nindex: %v\nscan:  %v", label, q, a.FinalTags(), b.FinalTags())
 	}
 }
 
@@ -181,5 +181,72 @@ func TestIndexSublinearSpeedup(t *testing.T) {
 	if scan < idx*5 {
 		t.Errorf("index-backed optimization is only %.1fx faster than the scan baseline, want >= 5x (index %v, scan %v)",
 			float64(scan)/float64(idx), idx, scan)
+	}
+}
+
+// interningPair builds two engines over the same schema and catalog at the
+// two ends of the representation ablation: the default configuration
+// (inverted index + interned symbol space) versus the pre-interning baseline
+// (linear catalog scan, string-space transformation tables) — the exact
+// retrieval-and-representation stack of the index PR.
+func interningPair(t testing.TB, sch *sqo.Schema, cat *sqo.Catalog) (interned, strings *sqo.Engine) {
+	t.Helper()
+	interned, err := sqo.NewEngine(sch, sqo.WithCatalog(cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	strings, err = sqo.NewEngine(sch, sqo.WithCatalog(cat),
+		sqo.WithConstraintIndex(false), sqo.WithSymbolInterning(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return interned, strings
+}
+
+// TestInterningDifferential proves the interned-symbol-space hot path
+// produces byte-identical formulated queries (and identical tag assignments)
+// to the string-space scan baseline across the whole sqogen workload plus
+// two scaled worlds — over a thousand generated queries in total.
+func TestInterningDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep")
+	}
+	total := 0
+
+	db, err := sqo.GenerateDatabase(sqo.DB1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := sqo.LogisticsConstraints()
+	gen := sqo.NewWorkloadGenerator(db, cat, sqo.WorkloadOptions{Seed: 53})
+	workload, err := gen.Workload(240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interned, strings := interningPair(t, db.Schema(), cat)
+	for _, q := range workload {
+		diffOne(t, "logistics-interning", interned, strings, q)
+	}
+	total += len(workload)
+
+	for _, n := range []int{100, 1000} {
+		label := fmt.Sprintf("scaled-interning-%d", n)
+		sch, scat, err := sqo.GenerateScaledWorld(sqo.ScaledConfig{Constraints: n, Seed: int64(n)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs, err := sqo.ScaledWorkload(sch, scat, 400, 29)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, st := interningPair(t, sch, scat)
+		for _, q := range qs {
+			diffOne(t, label, in, st, q)
+		}
+		total += len(qs)
+	}
+
+	if total < 1000 {
+		t.Fatalf("interning differential covered only %d queries, want >= 1000", total)
 	}
 }

@@ -131,7 +131,7 @@ func RunClosure(depths []int) ([]ClosureRow, error) {
 			if err != nil {
 				return 0, 0, err
 			}
-			return res.Stats.Fires, len(res.FinalTags), nil
+			return res.Stats.Fires, len(res.FinalTags()), nil
 		}
 		fw, cw, err := run(closed)
 		if err != nil {

@@ -19,42 +19,63 @@ package core
 // chase also records which base predicates support each derivation, so class
 // elimination can pin its witnesses (promote them to imperative) before the
 // cost-benefit pass gets a chance to discard them.
+//
+// Formulation starts several chases per query (one per elimination candidate
+// plus the repair loop), so all chase state lives in reusable buffers on the
+// table's scratch (chaseScratch): no maps, no per-chase allocation.
 
-// chase runs derivations over the table's relevant constraints from a base
-// set of pool predicate IDs.
-type chase struct {
-	t       *table
-	inSet   []bool        // pool id -> in the derived set
-	derived map[int][]int // derived pred id -> antecedent pred ids used
+// chaseScratch holds the reusable buffers of the chase machinery.
+type chaseScratch struct {
+	inSet   []bool     // per column: in the derived set
+	antsOf  [][2]int32 // per column: span into ants of the witnessing derivation
+	derived []bool     // per column: antsOf span is live (column was derived)
+	ants    []int32    // arena backing the derivation witness lists
+	seen    []bool     // supports() visit marks
+	out     []int32    // supports() result buffer
+	stack   []int32    // supports() walk stack
 }
 
-// newChase starts a chase from the given base predicates and runs it to
-// fixpoint.
-func newChase(t *table, base []int) *chase {
-	c := &chase{
-		t:       t,
-		inSet:   make([]bool, t.pool.Len()),
-		derived: map[int][]int{},
+// chase runs derivations over the table's relevant constraints from a base
+// set of column IDs. It is a value handle over the table's chase scratch, so
+// starting one allocates nothing.
+type chase struct {
+	t *table
+}
+
+// newChase starts a chase from the given base columns and runs it to
+// fixpoint. Only one chase is live per table at a time; starting a new one
+// rewinds the previous one's state.
+func newChase(t *table, base []int32) chase {
+	cs := &t.chase
+	m := t.m()
+	cs.inSet = grow(cs.inSet, m)
+	cs.derived = grow(cs.derived, m)
+	if cap(cs.antsOf) < m {
+		cs.antsOf = make([][2]int32, m)
 	}
+	cs.antsOf = cs.antsOf[:m]
+	cs.ants = cs.ants[:0]
 	for _, id := range base {
-		c.inSet[id] = true
+		cs.inSet[id] = true
 	}
+	c := chase{t: t}
 	c.run()
 	return c
 }
 
 // available reports whether predicate id is implied by the current set, and
 // returns the in-set predicate witnessing it (the lowest-numbered one, as a
-// scan over the pool would find). Implication candidates come from the
+// scan over the columns would find). Implication candidates come from the
 // table's lazy reverse adjacency, so the check is O(in-degree) with no
 // predicate comparisons beyond the column's first use.
-func (c *chase) available(id int) (int, bool) {
-	if c.inSet[id] {
+func (c chase) available(id int32) (int32, bool) {
+	cs := &c.t.chase
+	if cs.inSet[id] {
 		return id, true
 	}
 	for _, p := range c.t.revOf(id) {
 		c.t.ops++
-		if c.inSet[p] {
+		if cs.inSet[p] {
 			return p, true
 		}
 	}
@@ -62,65 +83,69 @@ func (c *chase) available(id int) (int, bool) {
 }
 
 // run fires constraints until no new predicate becomes derivable.
-func (c *chase) run() {
+func (c chase) run() {
+	cs := &c.t.chase
 	for changed := true; changed; {
 		changed = false
 		for i := range c.t.constraints {
 			consID := c.t.consCol[i]
-			if c.inSet[consID] {
+			if cs.inSet[consID] {
 				continue
 			}
 			ok := true
-			var used []int
-			for _, col := range c.t.antsCols[i] {
+			start := int32(len(cs.ants))
+			for _, col := range c.t.ants(i) {
 				w, avail := c.available(col)
 				if !avail {
 					ok = false
 					break
 				}
-				used = append(used, w)
+				cs.ants = append(cs.ants, w)
 			}
 			if !ok {
+				cs.ants = cs.ants[:start]
 				continue
 			}
-			c.inSet[consID] = true
-			c.derived[consID] = used
+			cs.inSet[consID] = true
+			cs.derived[consID] = true
+			cs.antsOf[consID] = [2]int32{start, int32(len(cs.ants))}
 			changed = true
 		}
 	}
 }
 
 // derivable reports whether the target predicate is implied by the chase set.
-func (c *chase) derivable(target int) bool {
+func (c chase) derivable(target int32) bool {
 	_, ok := c.available(target)
 	return ok
 }
 
 // supports returns the base predicates underpinning the derivation of
 // target: the transitive antecedents of the witnessing derivations, stopping
-// at predicates that were never derived (i.e. base members).
-func (c *chase) supports(target int) []int {
+// at predicates that were never derived (i.e. base members). The returned
+// slice is a scratch buffer, valid until the next supports call.
+func (c chase) supports(target int32) []int32 {
 	w, ok := c.available(target)
 	if !ok {
 		return nil
 	}
-	seen := map[int]bool{}
-	var out []int
-	var walk func(id int)
-	walk = func(id int) {
-		if seen[id] {
-			return
+	cs := &c.t.chase
+	cs.seen = grow(cs.seen, c.t.m())
+	cs.out = cs.out[:0]
+	cs.stack = append(cs.stack[:0], w)
+	for len(cs.stack) > 0 {
+		id := cs.stack[len(cs.stack)-1]
+		cs.stack = cs.stack[:len(cs.stack)-1]
+		if cs.seen[id] {
+			continue
 		}
-		seen[id] = true
-		ants, wasDerived := c.derived[id]
-		if !wasDerived {
-			out = append(out, id) // base predicate
-			return
+		cs.seen[id] = true
+		if !cs.derived[id] {
+			cs.out = append(cs.out, id) // base predicate
+			continue
 		}
-		for _, a := range ants {
-			walk(a)
-		}
+		span := cs.antsOf[id]
+		cs.stack = append(cs.stack, cs.ants[span[0]:span[1]]...)
 	}
-	walk(w)
-	return out
+	return cs.out
 }

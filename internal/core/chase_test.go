@@ -2,7 +2,7 @@ package core
 
 import (
 	"reflect"
-	"sort"
+	"slices"
 	"testing"
 
 	"sqo/internal/constraint"
@@ -33,13 +33,13 @@ func chaseFixture(t *testing.T, constraints []*constraint.Constraint, queryPreds
 	return newTable(q, s, constraints, Options{})
 }
 
-func pid(t *testing.T, tb *table, p predicate.Predicate) int {
+func pid(t *testing.T, tb *table, p predicate.Predicate) int32 {
 	t.Helper()
-	id, ok := tb.pool.Lookup(p)
+	id, ok := tb.lookupCol(p)
 	if !ok {
-		t.Fatalf("predicate %s not in pool", p)
+		t.Fatalf("predicate %s not interned", p)
 	}
-	return id
+	return int32(id)
 }
 
 func TestChaseDirectDerivation(t *testing.T) {
@@ -48,12 +48,12 @@ func TestChaseDirectDerivation(t *testing.T) {
 	c := constraint.New("c", []predicate.Predicate{a1}, nil, b2)
 	tb := chaseFixture(t, []*constraint.Constraint{c}, []predicate.Predicate{a1, b2})
 
-	ch := newChase(tb, []int{pid(t, tb, a1)})
+	ch := newChase(tb, []int32{pid(t, tb, a1)})
 	if !ch.derivable(pid(t, tb, b2)) {
 		t.Error("b=2 should be derivable from a=1 via c")
 	}
 	supports := ch.supports(pid(t, tb, b2))
-	if !reflect.DeepEqual(supports, []int{pid(t, tb, a1)}) {
+	if !reflect.DeepEqual(supports, []int32{pid(t, tb, a1)}) {
 		t.Errorf("supports = %v, want just a=1", supports)
 	}
 }
@@ -66,12 +66,12 @@ func TestChaseTransitiveDerivation(t *testing.T) {
 	k2 := constraint.New("k2", []predicate.Predicate{b2}, nil, c3)
 	tb := chaseFixture(t, []*constraint.Constraint{k1, k2}, []predicate.Predicate{a1, b2, c3})
 
-	ch := newChase(tb, []int{pid(t, tb, a1)})
+	ch := newChase(tb, []int32{pid(t, tb, a1)})
 	if !ch.derivable(pid(t, tb, c3)) {
 		t.Error("c=3 should chain through b=2")
 	}
 	supports := ch.supports(pid(t, tb, c3))
-	if !reflect.DeepEqual(supports, []int{pid(t, tb, a1)}) {
+	if !reflect.DeepEqual(supports, []int32{pid(t, tb, a1)}) {
 		t.Errorf("transitive supports should bottom out at the base: %v", supports)
 	}
 }
@@ -84,13 +84,13 @@ func TestChaseImplicationStep(t *testing.T) {
 	k := constraint.New("k", []predicate.Predicate{aGT3}, nil, b2)
 	tb := chaseFixture(t, []*constraint.Constraint{k}, []predicate.Predicate{a5, b2})
 
-	ch := newChase(tb, []int{pid(t, tb, a5)})
+	ch := newChase(tb, []int32{pid(t, tb, a5)})
 	if !ch.derivable(pid(t, tb, b2)) {
 		t.Error("a=5 implies a>3, so b=2 should derive")
 	}
 	// The support is the implying base predicate a=5.
 	supports := ch.supports(pid(t, tb, b2))
-	if !reflect.DeepEqual(supports, []int{pid(t, tb, a5)}) {
+	if !reflect.DeepEqual(supports, []int32{pid(t, tb, a5)}) {
 		t.Errorf("supports = %v, want a=5", supports)
 	}
 }
@@ -103,7 +103,7 @@ func TestChaseNotDerivable(t *testing.T) {
 	tb := chaseFixture(t, []*constraint.Constraint{k}, []predicate.Predicate{a1, b2, c3})
 
 	// Base is a=1 only: b=2 absent, so neither b=2 nor c=3 derive.
-	ch := newChase(tb, []int{pid(t, tb, a1)})
+	ch := newChase(tb, []int32{pid(t, tb, a1)})
 	if ch.derivable(pid(t, tb, b2)) || ch.derivable(pid(t, tb, c3)) {
 		t.Error("nothing should derive from an unrelated base")
 	}
@@ -125,11 +125,11 @@ func TestChaseMutualConstraintsNeedOneCarrier(t *testing.T) {
 	if empty.derivable(pid(t, tb, a1)) || empty.derivable(pid(t, tb, b2)) {
 		t.Error("mutual constraints must not bootstrap from nothing")
 	}
-	fromA := newChase(tb, []int{pid(t, tb, a1)})
+	fromA := newChase(tb, []int32{pid(t, tb, a1)})
 	if !fromA.derivable(pid(t, tb, b2)) {
 		t.Error("b=2 should derive from a=1")
 	}
-	fromB := newChase(tb, []int{pid(t, tb, b2)})
+	fromB := newChase(tb, []int32{pid(t, tb, b2)})
 	if !fromB.derivable(pid(t, tb, a1)) {
 		t.Error("a=1 should derive from b=2")
 	}
@@ -143,14 +143,14 @@ func TestChaseMultiAntecedentSupports(t *testing.T) {
 	k := constraint.New("k", []predicate.Predicate{a1, b2, c3}, nil, d4)
 	tb := chaseFixture(t, []*constraint.Constraint{k}, []predicate.Predicate{a1, b2, c3, d4})
 
-	ch := newChase(tb, []int{pid(t, tb, a1), pid(t, tb, b2), pid(t, tb, c3)})
+	ch := newChase(tb, []int32{pid(t, tb, a1), pid(t, tb, b2), pid(t, tb, c3)})
 	if !ch.derivable(pid(t, tb, d4)) {
 		t.Fatal("d=4 should derive")
 	}
-	supports := ch.supports(pid(t, tb, d4))
-	sort.Ints(supports)
-	want := []int{pid(t, tb, a1), pid(t, tb, b2), pid(t, tb, c3)}
-	sort.Ints(want)
+	supports := append([]int32(nil), ch.supports(pid(t, tb, d4))...)
+	slices.Sort(supports)
+	want := []int32{pid(t, tb, a1), pid(t, tb, b2), pid(t, tb, c3)}
+	slices.Sort(want)
 	if !reflect.DeepEqual(supports, want) {
 		t.Errorf("supports = %v, want all three antecedents %v", supports, want)
 	}

@@ -16,11 +16,13 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"sqo/internal/constraint"
 	"sqo/internal/predicate"
 	"sqo/internal/query"
 	"sqo/internal/schema"
+	"sqo/internal/symtab"
 )
 
 // Tag is the classification of a predicate in a query: the paper's tp(p).
@@ -115,18 +117,16 @@ type ConstraintSource interface {
 	Retrieve(q *query.Query) []*constraint.Constraint
 }
 
-// ImplicationSource is an optional upgrade of ConstraintSource: a source
-// (the constraint index) that has precomputed the implication adjacency
-// among its catalog's predicates. The transformation table then reuses that
-// catalog-lifetime computation across queries — only predicates private to a
-// query are compared at optimization time.
-type ImplicationSource interface {
-	// PredPool returns the catalog's interned predicates (read-only).
-	PredPool() *predicate.Pool
-	// PredImplies returns the pool ids predicate id implies, ascending.
-	PredImplies(id int) []int
-	// PredImpliedBy returns the pool ids implying predicate id, ascending.
-	PredImpliedBy(id int) []int
+// SymbolSource is an optional upgrade of ConstraintSource: a source (the
+// constraint index, the group store) that has compiled its catalog into an
+// interned symbol space — dense predicate/class/attribute IDs, compiled
+// constraints and the implication adjacency. The transformation table then
+// runs entirely in ID space, reusing catalog-lifetime work across queries;
+// only predicates private to a query are compared at optimization time.
+type SymbolSource interface {
+	// Symbols returns the compiled symbol space of the source's catalog
+	// generation (read-only).
+	Symbols() *symtab.Table
 }
 
 // PrefilteredSource marks a ConstraintSource whose Retrieve already returns
@@ -243,6 +243,11 @@ type Options struct {
 	// DisableSubsumption turns off the formulation-time removal of
 	// predicates implied by another retained predicate.
 	DisableSubsumption bool
+	// DisableInterning turns off the compiled symbol space (the interning
+	// ablation): the transformation table falls back to interning
+	// predicates by canonical key strings per query, the pre-interning
+	// behavior. Output is identical; only the constant factors change.
+	DisableInterning bool
 	// Cost supplies profitability estimates; nil means HeuristicCost.
 	Cost CostModel
 }
@@ -254,26 +259,59 @@ func (o Options) rules() RuleSet {
 	return o.Rules
 }
 
-// Optimizer is the semantic query optimizer. It is cheap to construct and
-// safe for concurrent use as long as the ConstraintSource is (both
-// CatalogSource and *groups.Store are).
+// Optimizer is the semantic query optimizer. Construction compiles (or
+// adopts) the catalog's interned symbol space; afterwards the optimizer is
+// safe for concurrent use as long as the ConstraintSource is (CatalogSource,
+// *index.Index and *groups.Store all are). Per-query scratch state — the
+// transformation table, its adjacency arena, chase and formulation buffers —
+// is pooled and reused across Optimize calls, so steady-state optimization
+// allocates only what escapes into each Result.
 type Optimizer struct {
 	schema      *schema.Schema
 	source      ConstraintSource
 	opts        Options
 	prefiltered bool
-	oracle      ImplicationSource // non-nil when the source precomputed implications
+	syms        *symtab.Table // compiled symbol space; nil when interning is off
+	tables      sync.Pool     // *table scratch, reused across Optimize calls
 }
 
-// NewOptimizer builds an optimizer over a schema and constraint source.
+// NewOptimizer builds an optimizer over a schema and constraint source. A
+// source that exposes a compiled symbol space (SymbolSource) supplies it; a
+// plain CatalogSource gets one compiled here, once. Custom sources run in
+// the string-space fallback.
 func NewOptimizer(s *schema.Schema, src ConstraintSource, opts Options) *Optimizer {
+	return NewOptimizerSymbols(s, src, nil, opts)
+}
+
+// NewOptimizerSymbols is NewOptimizer with an already-compiled symbol space
+// for the source's catalog generation — the engine compiles one per catalog
+// swap and shares it between retrieval index, optimizer and result-cache key
+// hashing. A nil syms falls back to NewOptimizer's own resolution.
+func NewOptimizerSymbols(s *schema.Schema, src ConstraintSource, syms *symtab.Table, opts Options) *Optimizer {
 	if opts.Cost == nil {
 		opts.Cost = HeuristicCost{Schema: s}
 	}
 	_, prefiltered := src.(PrefilteredSource)
-	oracle, _ := src.(ImplicationSource)
-	return &Optimizer{schema: s, source: src, opts: opts, prefiltered: prefiltered, oracle: oracle}
+	o := &Optimizer{schema: s, source: src, opts: opts, prefiltered: prefiltered}
+	if !opts.DisableInterning {
+		if syms != nil {
+			o.syms = syms
+		} else {
+			switch v := src.(type) {
+			case SymbolSource:
+				o.syms = v.Symbols()
+			case CatalogSource:
+				o.syms = symtab.Compile(s, v.Catalog.All())
+			}
+		}
+	}
+	o.tables.New = func() any { return &table{} }
+	return o
 }
 
 // Schema returns the schema the optimizer was built with.
 func (o *Optimizer) Schema() *schema.Schema { return o.schema }
+
+// Symbols returns the compiled symbol space of the optimizer's constraint
+// source, or nil (custom source, or interning disabled).
+func (o *Optimizer) Symbols() *symtab.Table { return o.syms }

@@ -125,14 +125,14 @@ func TestPaperWorkedExample(t *testing.T) {
 	p1 := predicate.Eq("vehicle", "desc", value.String("refrigerated truck"))
 	p2 := predicate.Eq("supplier", "name", value.String("SFI"))
 	p3 := predicate.Eq("cargo", "desc", value.String("frozen food"))
-	if res.FinalTags[p1.Key()] != TagImperative {
-		t.Errorf("p1 tag = %v, want imperative", res.FinalTags[p1.Key()])
+	if res.FinalTags()[p1.Key()] != TagImperative {
+		t.Errorf("p1 tag = %v, want imperative", res.FinalTags()[p1.Key()])
 	}
-	if res.FinalTags[p2.Key()] != TagOptional {
-		t.Errorf("p2 tag = %v, want optional", res.FinalTags[p2.Key()])
+	if res.FinalTags()[p2.Key()] != TagOptional {
+		t.Errorf("p2 tag = %v, want optional", res.FinalTags()[p2.Key()])
 	}
-	if res.FinalTags[p3.Key()] != TagOptional {
-		t.Errorf("p3 tag = %v, want optional", res.FinalTags[p3.Key()])
+	if res.FinalTags()[p3.Key()] != TagOptional {
+		t.Errorf("p3 tag = %v, want optional", res.FinalTags()[p3.Key()])
 	}
 
 	// Trace: introduction via c1, then elimination via c2, then the class
@@ -200,8 +200,8 @@ func TestIntraNonIndexedConsequentBecomesRedundant(t *testing.T) {
 		t.Errorf("redundant predicate should be dropped: %s", res.Optimized)
 	}
 	key := predicate.Eq("driver", "rank", value.String("research staff member")).Key()
-	if res.FinalTags[key] != TagRedundant {
-		t.Errorf("tag = %v, want redundant", res.FinalTags[key])
+	if res.FinalTags()[key] != TagRedundant {
+		t.Errorf("tag = %v, want redundant", res.FinalTags()[key])
 	}
 }
 
@@ -229,8 +229,8 @@ func TestIntraIndexedConsequentBecomesOptional(t *testing.T) {
 		t.Fatalf("Optimize: %v", err)
 	}
 	key := predicate.Eq("emp", "grade", value.Int(9)).Key()
-	if res.FinalTags[key] != TagOptional {
-		t.Errorf("tag = %v, want optional (indexed intra consequent)", res.FinalTags[key])
+	if res.FinalTags()[key] != TagOptional {
+		t.Errorf("tag = %v, want optional (indexed intra consequent)", res.FinalTags()[key])
 	}
 	if len(res.Optimized.Selects) != 2 {
 		t.Errorf("optional indexed predicate should be kept: %s", res.Optimized)
@@ -244,8 +244,8 @@ func TestIntraIndexedConsequentBecomesOptional(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Optimize: %v", err)
 	}
-	if res2.FinalTags[key] != TagOptional {
-		t.Errorf("introduced tag = %v, want optional", res2.FinalTags[key])
+	if res2.FinalTags()[key] != TagOptional {
+		t.Errorf("introduced tag = %v, want optional", res2.FinalTags()[key])
 	}
 	if len(res2.Optimized.Selects) != 2 {
 		t.Errorf("index introduction should add the predicate: %s", res2.Optimized)
@@ -272,7 +272,7 @@ func TestIntraNonIndexedIntroductionStaysOut(t *testing.T) {
 		t.Errorf("non-indexed intra introduction must not surface: %s", res.Optimized)
 	}
 	key := predicate.Eq("driver", "rank", value.String("chief")).Key()
-	if tag, ok := res.FinalTags[key]; !ok || tag != TagRedundant {
+	if tag, ok := res.FinalTags()[key]; !ok || tag != TagRedundant {
 		t.Errorf("introduced-redundant tag = %v, %v", tag, ok)
 	}
 }
@@ -305,8 +305,8 @@ func TestRedundantIntroductionEnablesChain(t *testing.T) {
 		t.Fatalf("Optimize: %v", err)
 	}
 	keyC := predicate.Eq("emp", "c", value.Int(3)).Key()
-	if res.FinalTags[keyC] != TagOptional {
-		t.Errorf("chained introduction failed: tags = %v", res.FinalTags)
+	if res.FinalTags()[keyC] != TagOptional {
+		t.Errorf("chained introduction failed: tags = %v", res.FinalTags())
 	}
 	// b=2 itself stays redundant and out of the query.
 	found := false
@@ -363,15 +363,15 @@ func TestOrderIndependence(t *testing.T) {
 		sig := res.Optimized.Signature()
 		if trial == 0 {
 			wantSig = sig
-			wantTags = res.FinalTags
+			wantTags = res.FinalTags()
 			continue
 		}
 		if sig != wantSig {
 			t.Fatalf("trial %d: signature changed:\n%s\nvs\n%s", trial, sig, wantSig)
 		}
 		for k, v := range wantTags {
-			if res.FinalTags[k] != v {
-				t.Fatalf("trial %d: tag of %s changed: %v vs %v", trial, k, res.FinalTags[k], v)
+			if res.FinalTags()[k] != v {
+				t.Fatalf("trial %d: tag of %s changed: %v vs %v", trial, k, res.FinalTags()[k], v)
 			}
 		}
 	}
@@ -406,8 +406,8 @@ func TestBudgetLimitsTransformations(t *testing.T) {
 	}
 	// Only c1's introduction happened, so p2's tag never left imperative.
 	p2 := predicate.Eq("supplier", "name", value.String("SFI"))
-	if res.FinalTags[p2.Key()] != TagImperative {
-		t.Errorf("p2 tag = %v, want imperative under budget", res.FinalTags[p2.Key()])
+	if res.FinalTags()[p2.Key()] != TagImperative {
+		t.Errorf("p2 tag = %v, want imperative under budget", res.FinalTags()[p2.Key()])
 	}
 	// Formulation-time class elimination is not a queue transformation and
 	// still fires: the chase derives p2 from the introduced p3, so the
@@ -473,11 +473,11 @@ func TestRuleGating(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Optimize: %v", err)
 	}
-	if _, ok := res.FinalTags[p3.Key()]; ok && res.FinalTags[p3.Key()] != TagImperative {
-		t.Errorf("p3 should not be introduced: %v", res.FinalTags)
+	if _, ok := res.FinalTags()[p3.Key()]; ok && res.FinalTags()[p3.Key()] != TagImperative {
+		t.Errorf("p3 should not be introduced: %v", res.FinalTags())
 	}
-	if res.FinalTags[p2.Key()] != TagImperative {
-		t.Errorf("p2 tag = %v, want imperative without introduction", res.FinalTags[p2.Key()])
+	if res.FinalTags()[p2.Key()] != TagImperative {
+		t.Errorf("p2 tag = %v, want imperative without introduction", res.FinalTags()[p2.Key()])
 	}
 
 	// Elimination disabled: p2 keeps its imperative tag (no restriction
@@ -489,8 +489,8 @@ func TestRuleGating(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Optimize: %v", err)
 	}
-	if res.FinalTags[p3.Key()] != TagOptional {
-		t.Errorf("p3 tag = %v, want optional (pinned witnesses keep their tag)", res.FinalTags[p3.Key()])
+	if res.FinalTags()[p3.Key()] != TagOptional {
+		t.Errorf("p3 tag = %v, want optional (pinned witnesses keep their tag)", res.FinalTags()[p3.Key()])
 	}
 	if res.Optimized.HasClass("supplier") {
 		t.Error("supplier should be eliminated via derivability even with restriction elimination off")
@@ -515,8 +515,8 @@ func TestRuleGating(t *testing.T) {
 		t.Error("supplier must survive with class elimination off")
 	}
 	// p2 became optional and keepAll retains it.
-	if res.FinalTags[p2.Key()] != TagOptional {
-		t.Errorf("p2 tag = %v, want optional", res.FinalTags[p2.Key()])
+	if res.FinalTags()[p2.Key()] != TagOptional {
+		t.Errorf("p2 tag = %v, want optional", res.FinalTags()[p2.Key()])
 	}
 }
 
@@ -540,8 +540,8 @@ func TestImpliedAntecedents(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Optimize: %v", err)
 	}
-	if res.FinalTags[key] != TagOptional {
-		t.Errorf("implication matching should fire ci: tags = %v", res.FinalTags)
+	if res.FinalTags()[key] != TagOptional {
+		t.Errorf("implication matching should fire ci: tags = %v", res.FinalTags())
 	}
 
 	off := NewOptimizer(s, CatalogSource{Catalog: constraint.MustCatalog(c)},
@@ -550,8 +550,8 @@ func TestImpliedAntecedents(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Optimize: %v", err)
 	}
-	if _, ok := res.FinalTags[key]; ok {
-		t.Errorf("verbatim matching must not fire ci: tags = %v", res.FinalTags)
+	if _, ok := res.FinalTags()[key]; ok {
+		t.Errorf("verbatim matching must not fire ci: tags = %v", res.FinalTags())
 	}
 }
 
@@ -703,8 +703,8 @@ func TestClassEliminationCostGate(t *testing.T) {
 	}
 	// dropAll also discards the optional predicates.
 	p3 := predicate.Eq("cargo", "desc", value.String("frozen food"))
-	if res.FinalTags[p3.Key()] != TagRedundant {
-		t.Errorf("p3 should be demoted to redundant by dropAll: %v", res.FinalTags[p3.Key()])
+	if res.FinalTags()[p3.Key()] != TagRedundant {
+		t.Errorf("p3 should be demoted to redundant by dropAll: %v", res.FinalTags()[p3.Key()])
 	}
 }
 
@@ -822,9 +822,9 @@ func TestTwoConstraintsSameConsequentConverge(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Optimize: %v", err)
 		}
-		if res.FinalTags[target.Key()] != TagRedundant {
+		if res.FinalTags()[target.Key()] != TagRedundant {
 			t.Errorf("order %s/%s: tag = %v, want redundant (the lower of the two)",
-				order[0].ID, order[1].ID, res.FinalTags[target.Key()])
+				order[0].ID, order[1].ID, res.FinalTags()[target.Key()])
 		}
 	}
 }

@@ -7,12 +7,28 @@ import (
 
 // predState tracks one present predicate through the formulation passes.
 type predState struct {
-	id      int
+	id      int32
 	pred    predicate.Predicate
 	tag     Tag
 	inQuery bool
 	dropped bool // removed by class elimination
 	pinned  bool // witness of a class elimination; must be retained
+}
+
+// formScratch holds the reusable buffers of the formulation step. States are
+// stored by value and addressed by index; stateOf maps a column to its state
+// index (or -1), replacing the map the pre-interning code used.
+type formScratch struct {
+	states   []predState
+	stateOf  []int32 // per column: index into states, or -1
+	optional []int32 // indices into states of the choice-set optionals
+	kept     []bool  // parallel to optional
+	base     []int32 // elimination-candidate chase base (columns)
+	targets  []int32 // indices into states of the victim's original predicates
+	supFlag  []bool  // per state index: pinned-support marker
+	supList  []int32 // support state indices, insertion-ordered
+	retained []int32 // repair-loop chase base (columns)
+	touching []string
 }
 
 // formulate implements the paper's Query Formulation step (Section 3.4):
@@ -28,20 +44,34 @@ type predState struct {
 // derivable from retained predicates (and pins those witnesses), and a final
 // repair pass restores any original predicate the retained set cannot
 // derive.
+//
+// Everything the Result keeps — trace, tagged predicates, the formulated
+// query — is copied out of the scratch buffers fresh, so pooled tables can
+// be reused immediately.
 func (o *Optimizer) formulate(t *table) *Result {
-	res := &Result{FinalTags: map[string]Tag{}}
+	res := &Result{}
+	fs := &t.form
 
-	m := t.pool.Len()
-	var states []*predState
-	stateByID := map[int]*predState{}
+	m := t.m()
+	fs.states = fs.states[:0]
+	if cap(fs.stateOf) < m {
+		fs.stateOf = make([]int32, m)
+	}
+	fs.stateOf = fs.stateOf[:m]
 	for id := 0; id < m; id++ {
+		fs.stateOf[id] = -1
 		if !t.present[id] {
 			continue
 		}
-		st := &predState{id: id, pred: t.pool.At(id), tag: t.tags[id], inQuery: t.inQuery[id]}
-		states = append(states, st)
-		stateByID[id] = st
+		fs.stateOf[id] = int32(len(fs.states))
+		fs.states = append(fs.states, predState{
+			id:      int32(id),
+			pred:    t.preds[id],
+			tag:     t.tags[id],
+			inQuery: t.inQuery[id],
+		})
 	}
+	states := fs.states
 
 	// Contradiction detection (extension): every present predicate is
 	// implied by the original query, so any contradicting pair proves the
@@ -64,15 +94,15 @@ func (o *Optimizer) formulate(t *table) *Result {
 	rels := append([]string(nil), t.q.Relationships...)
 	if o.opts.rules().Has(RuleClassElimination) {
 		for {
-			victim, viaRel := o.eliminationCandidate(t, classes, rels, states, stateByID)
+			victim, viaRel := o.eliminationCandidate(t, classes, rels)
 			if victim == "" {
 				break
 			}
 			classes = remove(classes, victim)
 			rels = remove(rels, viaRel)
-			for _, st := range states {
-				if !st.dropped && st.pred.References(victim) {
-					st.dropped = true
+			for i := range states {
+				if !states[i].dropped && states[i].pred.References(victim) {
+					states[i].dropped = true
 				}
 			}
 			t.trace = append(t.trace, Transformation{
@@ -86,41 +116,49 @@ func (o *Optimizer) formulate(t *table) *Result {
 	// Build the working query with the imperative predicates only, then
 	// decide which optionals to keep: exact subset selection when the
 	// cost model can price whole queries, greedy fixpoint otherwise.
+	nJoins := 0
+	for i := range states {
+		if states[i].pred.IsJoin() {
+			nJoins++
+		}
+	}
 	working := &query.Query{
 		Project:       append([]predicate.AttrRef(nil), t.q.Project...),
+		Joins:         make([]predicate.Predicate, 0, nJoins),
+		Selects:       make([]predicate.Predicate, 0, len(states)-nJoins),
 		Relationships: rels,
 		Classes:       classes,
 	}
-	for _, st := range states {
-		if st.dropped || st.tag != TagImperative {
+	for i := range states {
+		if states[i].dropped || states[i].tag != TagImperative {
 			continue
 		}
-		working = appendPred(working, st.pred)
+		working = appendPred(working, states[i].pred)
 	}
-	var optionals []*predState
-	for _, st := range states {
-		if st.dropped || st.tag != TagOptional {
+	fs.optional = fs.optional[:0]
+	for i := range states {
+		if states[i].dropped || states[i].tag != TagOptional {
 			continue
 		}
-		if st.pinned {
+		if states[i].pinned {
 			// Elimination witnesses are kept unconditionally; they
 			// join the working set rather than the choice set.
-			working = appendPred(working, st.pred)
+			working = appendPred(working, states[i].pred)
 			continue
 		}
-		optionals = append(optionals, st)
+		fs.optional = append(fs.optional, int32(i))
 	}
-	kept := o.selectOptionals(working, optionals)
-	for i, st := range optionals {
-		if kept[i] {
+	kept := o.selectOptionals(t, working, fs.optional)
+	for oi, si := range fs.optional {
+		if kept[oi] {
 			continue
 		}
 		// "Those optional predicates that are not found to be
 		// profitable would be re-classified as redundant."
-		st.tag = TagRedundant
+		states[si].tag = TagRedundant
 		t.trace = append(t.trace, Transformation{
 			Kind:   TransformDiscardOptional,
-			Pred:   st.pred,
+			Pred:   states[si].pred,
 			NewTag: TagRedundant,
 		})
 	}
@@ -132,23 +170,23 @@ func (o *Optimizer) formulate(t *table) *Result {
 	// predicates optional through each other, and the cost pass might
 	// drop both.)
 	for {
-		var retained []int
-		for _, st := range states {
-			if !st.dropped && st.tag != TagRedundant {
-				retained = append(retained, st.id)
+		fs.retained = fs.retained[:0]
+		for i := range states {
+			if !states[i].dropped && states[i].tag != TagRedundant {
+				fs.retained = append(fs.retained, states[i].id)
 			}
 		}
-		ch := newChase(t, retained)
+		ch := newChase(t, fs.retained)
 		promoted := false
-		for _, st := range states {
-			if st.dropped || !st.inQuery || st.tag != TagRedundant {
+		for i := range states {
+			if states[i].dropped || !states[i].inQuery || states[i].tag != TagRedundant {
 				continue
 			}
-			if !ch.derivable(st.id) {
-				st.tag = TagImperative
+			if !ch.derivable(states[i].id) {
+				states[i].tag = TagImperative
 				t.trace = append(t.trace, Transformation{
 					Kind:   TransformRestoreSupport,
-					Pred:   st.pred,
+					Pred:   states[i].pred,
 					NewTag: TagImperative,
 				})
 				promoted = true
@@ -168,12 +206,14 @@ func (o *Optimizer) formulate(t *table) *Result {
 		isRetained := func(st *predState) bool {
 			return !st.dropped && st.tag != TagRedundant
 		}
-		for _, weak := range states {
+		for w := range states {
+			weak := &states[w]
 			if !isRetained(weak) {
 				continue
 			}
-			for _, strong := range states {
-				if strong == weak || !isRetained(strong) {
+			for s := range states {
+				strong := &states[s]
+				if s == w || !isRetained(strong) {
 					continue
 				}
 				t.ops++
@@ -192,19 +232,23 @@ func (o *Optimizer) formulate(t *table) *Result {
 	// --- emit -----------------------------------------------------------
 	out := &query.Query{
 		Project:       append([]predicate.AttrRef(nil), t.q.Project...),
+		Joins:         make([]predicate.Predicate, 0, nJoins),
+		Selects:       make([]predicate.Predicate, 0, len(states)-nJoins),
 		Relationships: rels,
 		Classes:       classes,
 	}
-	for _, st := range states {
-		res.FinalTags[st.pred.Key()] = st.tag
-		res.tagged = append(res.tagged, TaggedPredicate{Pred: st.pred, Tag: st.tag})
-		if st.dropped || st.tag == TagRedundant {
+	res.tagged = make([]TaggedPredicate, 0, len(states))
+	for i := range states {
+		res.tagged = append(res.tagged, TaggedPredicate{Pred: states[i].pred, Tag: states[i].tag})
+		if states[i].dropped || states[i].tag == TagRedundant {
 			continue
 		}
-		out = appendPred(out, st.pred)
+		out = appendPred(out, states[i].pred)
 	}
 	res.Optimized = out
-	res.Trace = t.trace
+	if len(t.trace) > 0 {
+		res.Trace = append([]Transformation(nil), t.trace...)
+	}
 	return res
 }
 
@@ -212,23 +256,31 @@ func (o *Optimizer) formulate(t *table) *Result {
 // query estimates. Relevant constraint sets rarely yield more optionals.
 const maxSubsetSearch = 10
 
-// selectOptionals decides which optional predicates to retain. With a
-// QueryEstimator cost model and few enough optionals it minimizes the
-// estimated cost over all subsets; otherwise it runs the per-predicate
-// profitable(p) test to a fixpoint (a predicate can become profitable once
-// another kept predicate changes the plan).
-func (o *Optimizer) selectOptionals(working *query.Query, optionals []*predState) []bool {
-	kept := make([]bool, len(optionals))
+// selectOptionals decides which optional predicates to retain (optionals are
+// state indices into the formulation scratch). With a QueryEstimator cost
+// model and few enough optionals it minimizes the estimated cost over all
+// subsets; otherwise it runs the per-predicate profitable(p) test to a
+// fixpoint (a predicate can become profitable once another kept predicate
+// changes the plan). The returned slice is scratch, parallel to optionals.
+func (o *Optimizer) selectOptionals(t *table, working *query.Query, optionals []int32) []bool {
+	fs := &t.form
+	if cap(fs.kept) < len(optionals) {
+		fs.kept = make([]bool, len(optionals))
+	}
+	fs.kept = fs.kept[:len(optionals)]
+	clear(fs.kept)
+	kept := fs.kept
 	if len(optionals) == 0 {
 		return kept
 	}
+	states := fs.states
 	if est, ok := o.opts.Cost.(QueryEstimator); ok && len(optionals) <= maxSubsetSearch {
 		bestMask, bestCost := 0, est.EstimateQuery(working)
 		for mask := 1; mask < 1<<len(optionals); mask++ {
 			cand := working.Clone()
 			for i := range optionals {
 				if mask&(1<<i) != 0 {
-					cand = appendPred(cand, optionals[i].pred)
+					cand = appendPred(cand, states[optionals[i]].pred)
 				}
 			}
 			if c := est.EstimateQuery(cand); c < bestCost {
@@ -238,7 +290,7 @@ func (o *Optimizer) selectOptionals(working *query.Query, optionals []*predState
 		for i := range optionals {
 			if bestMask&(1<<i) != 0 {
 				kept[i] = true
-				working = appendPred(working, optionals[i].pred)
+				working = appendPred(working, states[optionals[i]].pred)
 			}
 		}
 		return kept
@@ -246,13 +298,13 @@ func (o *Optimizer) selectOptionals(working *query.Query, optionals []*predState
 	// Greedy fixpoint on the per-predicate test.
 	for changed := true; changed; {
 		changed = false
-		for i, st := range optionals {
+		for i, si := range optionals {
 			if kept[i] {
 				continue
 			}
-			if o.opts.Cost.Profitable(working, st.pred) {
+			if o.opts.Cost.Profitable(working, states[si].pred) {
 				kept[i] = true
-				working = appendPred(working, st.pred)
+				working = appendPred(working, states[si].pred)
 				changed = true
 			}
 		}
@@ -268,25 +320,28 @@ func (o *Optimizer) selectOptionals(working *query.Query, optionals []*predState
 // derivations are pinned (promoted to imperative) so later passes cannot
 // discard them. It returns the class and its relationship, or "" when none
 // qualifies.
-func (o *Optimizer) eliminationCandidate(t *table, classes, rels []string, states []*predState, stateByID map[int]*predState) (string, string) {
+func (o *Optimizer) eliminationCandidate(t *table, classes, rels []string) (string, string) {
 	if len(classes) <= 1 {
 		return "", ""
 	}
+	fs := &t.form
+	states := fs.states
 	for _, class := range classes {
 		if t.q.ProjectsFrom(class) {
 			continue
 		}
 		// Dangling: exactly one relationship in the query touches it.
-		var touching []string
+		fs.touching = fs.touching[:0]
 		for _, rn := range rels {
 			if r := o.schema.Relationship(rn); r != nil && r.Involves(class) {
-				touching = append(touching, rn)
+				fs.touching = append(fs.touching, rn)
 			}
 		}
-		if len(touching) != 1 {
+		if len(fs.touching) != 1 {
 			continue
 		}
-		r := o.schema.Relationship(touching[0])
+		via := fs.touching[0]
+		r := o.schema.Relationship(via)
 		other, _ := r.Other(class)
 		// Safety (DESIGN.md deviation #4): every retained instance
 		// must link to exactly one instance of the victim, so removing
@@ -297,30 +352,34 @@ func (o *Optimizer) eliminationCandidate(t *table, classes, rels []string, state
 
 		// Derivability: original predicates on the victim must follow
 		// from predicates that survive the elimination.
-		var base []int
-		var targets []*predState
-		for _, st := range states {
-			if st.dropped {
+		fs.base = fs.base[:0]
+		fs.targets = fs.targets[:0]
+		for i := range states {
+			if states[i].dropped {
 				continue
 			}
-			if st.pred.References(class) {
-				if st.inQuery {
-					targets = append(targets, st)
+			if states[i].pred.References(class) {
+				if states[i].inQuery {
+					fs.targets = append(fs.targets, int32(i))
 				}
 				continue
 			}
-			base = append(base, st.id)
+			fs.base = append(fs.base, states[i].id)
 		}
-		ch := newChase(t, base)
+		ch := newChase(t, fs.base)
 		ok := true
-		supportIDs := map[int]bool{}
-		for _, target := range targets {
-			if !ch.derivable(target.id) {
+		fs.supFlag = grow(fs.supFlag, len(states))
+		fs.supList = fs.supList[:0]
+		for _, ti := range fs.targets {
+			if !ch.derivable(states[ti].id) {
 				ok = false
 				break
 			}
-			for _, s := range ch.supports(target.id) {
-				supportIDs[s] = true
+			for _, s := range ch.supports(states[ti].id) {
+				if si := fs.stateOf[s]; si >= 0 && !fs.supFlag[si] {
+					fs.supFlag[si] = true
+					fs.supList = append(fs.supList, si)
+				}
 			}
 		}
 		if !ok {
@@ -332,9 +391,9 @@ func (o *Optimizer) eliminationCandidate(t *table, classes, rels []string, state
 		// Pin the witnesses: they keep their tags (the paper's worked
 		// example reports cargo.desc = "frozen food" as optional) but
 		// can no longer be discarded.
-		for id := range supportIDs {
-			st := stateByID[id]
-			if st == nil || st.dropped || st.pinned || st.tag == TagImperative {
+		for _, si := range fs.supList {
+			st := &states[si]
+			if st.dropped || st.pinned || st.tag == TagImperative {
 				continue
 			}
 			st.pinned = true
@@ -349,7 +408,7 @@ func (o *Optimizer) eliminationCandidate(t *table, classes, rels []string, state
 				NewTag: st.tag,
 			})
 		}
-		return class, touching[0]
+		return class, via
 	}
 	return "", ""
 }

@@ -67,13 +67,13 @@ func TestFinalTagsConsistentWithOutput(t *testing.T) {
 		for _, p := range res.Optimized.Predicates() {
 			inOutput[p.Key()] = true
 		}
-		for key, tag := range res.FinalTags {
+		for key, tag := range res.FinalTags() {
 			if tag == TagRedundant && inOutput[key] {
 				t.Errorf("redundant predicate in output: %s\nquery: %s\nout: %s", key, q, res.Optimized)
 			}
 		}
 		for _, p := range res.Optimized.Predicates() {
-			if tag, ok := res.FinalTags[p.Key()]; ok && tag == TagRedundant {
+			if tag, ok := res.FinalTags()[p.Key()]; ok && tag == TagRedundant {
 				t.Errorf("output predicate %s tagged redundant", p)
 			}
 		}

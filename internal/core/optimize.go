@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"sync"
 	"time"
 
 	"sqo/internal/constraint"
@@ -32,7 +33,9 @@ type Stats struct {
 	Duration time.Duration
 }
 
-// Result is the outcome of optimizing one query.
+// Result is the outcome of optimizing one query. Results are immutable and
+// safe to share across goroutines (the engine's cache returns one instance
+// to every hit).
 type Result struct {
 	// Original is the input query (never mutated).
 	Original *query.Query
@@ -42,16 +45,15 @@ type Result struct {
 	// query returns no instances in any database state satisfying the
 	// constraints. Optimized is still populated.
 	EmptyResult bool
-	// FinalTags maps every predicate that was present at the end of the
-	// transformation (original or introduced) to its final tag, keyed by
-	// predicate.Key().
-	FinalTags map[string]Tag
 	// Trace lists the transformations in application order.
 	Trace []Transformation
 	// Stats carries counters and timing.
 	Stats Stats
 
 	tagged []TaggedPredicate
+
+	ftOnce sync.Once
+	ft     map[string]Tag
 }
 
 // TaggedPredicate pairs a predicate with its final tag, for display.
@@ -61,10 +63,26 @@ type TaggedPredicate struct {
 }
 
 // TaggedPredicates returns the final classification of every predicate that
-// was present at the end of the transformation, in deterministic (pool)
-// order — the human-readable companion of FinalTags.
+// was present at the end of the transformation (original or introduced), in
+// deterministic (column) order — the human-readable companion of FinalTags.
 func (r *Result) TaggedPredicates() []TaggedPredicate {
 	return append([]TaggedPredicate(nil), r.tagged...)
+}
+
+// FinalTags maps every predicate that was present at the end of the
+// transformation (original or introduced) to its final tag, keyed by
+// predicate.Key(). The map is materialized on first call — the optimize hot
+// path carries tags in interned-ID space and never builds it — and cached;
+// treat it as read-only.
+func (r *Result) FinalTags() map[string]Tag {
+	r.ftOnce.Do(func() {
+		ft := make(map[string]Tag, len(r.tagged))
+		for _, tp := range r.tagged {
+			ft[tp.Pred.Key()] = tp.Tag
+		}
+		r.ft = ft
+	})
+	return r.ft
 }
 
 // Optimize runs the full algorithm of Section 3 on q and returns the
@@ -91,7 +109,16 @@ func (o *Optimizer) OptimizeContext(ctx context.Context, q *query.Query) (*Resul
 
 	relevant := o.source.Retrieve(q)
 	transformStart := time.Now()
-	t := newTableTrusted(q, o.schema, relevant, o.opts, o.prefiltered, o.oracle)
+
+	// The table doubles as the per-query scratch arena: taken from the
+	// optimizer's pool, reused wholesale (columns, rows, adjacency arena,
+	// chase and formulation buffers), and returned on every exit path.
+	// Steady-state optimization therefore allocates only what escapes
+	// into the Result.
+	t := o.tables.Get().(*table)
+	defer o.tables.Put(t)
+	t.reset(q, o.schema, o.opts, o.syms)
+	t.init(relevant, o.prefiltered)
 
 	// Main loop (Figure 3.1): update the queue, drain it, repeat until an
 	// update leaves the queue empty.
@@ -131,8 +158,8 @@ func (o *Optimizer) OptimizeContext(ctx context.Context, q *query.Query) (*Resul
 	res := o.formulate(t)
 	res.Original = q
 	res.Stats = Stats{
-		RelevantConstraints: len(t.constraints),
-		Predicates:          t.pool.Len(),
+		RelevantConstraints: t.n(),
+		Predicates:          t.m(),
 		Fires:               fires,
 		Ops:                 t.ops,
 		TransformDuration:   transformDur,
@@ -188,7 +215,7 @@ func (t *table) updateQueue() {
 // maybeEnqueue inserts row i into the queue when all its antecedent
 // predicates are present.
 func (t *table) maybeEnqueue(i int) {
-	for _, col := range t.antsCols[i] {
+	for _, col := range t.ants(i) {
 		t.ops++
 		if !t.matchPresent[col] {
 			return
@@ -260,7 +287,7 @@ func (t *table) fire(row int) bool {
 	t.trace = append(t.trace, Transformation{
 		Kind:       kind,
 		Constraint: t.constraints[row].ID,
-		Pred:       t.pool.At(cons),
+		Pred:       t.preds[cons],
 		NewTag:     newTag,
 	})
 	return true
@@ -272,7 +299,7 @@ func (t *table) fire(row int) bool {
 // under implication matching, the bits of everything the predicate implies)
 // updates every antecedent cell at once, and consequent cells follow the tag
 // vector by construction. O(1 + out-degree) instead of O(n).
-func (t *table) applyTag(cons int, newTag Tag) {
+func (t *table) applyTag(cons int32, newTag Tag) {
 	if t.present[cons] {
 		if newTag < t.tags[cons] {
 			t.tags[cons] = newTag
@@ -299,7 +326,7 @@ func (t *table) relevantConstraints() []*constraint.Constraint { return t.constr
 
 // predicateTag returns the current presence and tag of a predicate.
 func (t *table) predicateTag(p predicate.Predicate) (Tag, bool) {
-	id, ok := t.pool.Lookup(p)
+	id, ok := t.lookupCol(p)
 	if !ok || !t.present[id] {
 		return 0, false
 	}

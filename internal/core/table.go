@@ -1,18 +1,18 @@
 package core
 
 import (
-	"container/heap"
-	"sort"
+	"slices"
 
 	"sqo/internal/constraint"
 	"sqo/internal/predicate"
 	"sqo/internal/query"
 	"sqo/internal/schema"
+	"sqo/internal/symtab"
 )
 
 // table is the transformation table T plus the bookkeeping around it: the
-// predicate pool defining the columns, the relevant constraints defining the
-// rows, per-predicate presence/tag state, and the transformation queue.
+// interned predicate columns, the relevant constraints defining the rows,
+// per-predicate presence/tag state, and the transformation queue.
 //
 // The table is stored sparsely. The paper's m×n cell matrix is redundant:
 // within one role, a cell's state is a pure function of per-column facts —
@@ -25,53 +25,143 @@ import (
 // instead of O(n), which is what keeps per-query work proportional to the
 // *relevant* constraints rather than the table area. cell() derives any
 // matrix entry on demand for tests and display.
+//
+// Since the symbol-interning refactor the table is also a reusable scratch
+// arena: every slice below keeps its capacity across Optimize calls (the
+// optimizer pools tables via sync.Pool), reset() rewinds lengths without
+// freeing, and all cross-query identity work happens in the catalog's
+// interned symbol space (symtab.Table) — constraint predicates arrive as
+// pre-resolved PredIDs, so initialization performs no string hashing and,
+// after warmup, no heap allocation. Only data that escapes into the Result
+// (trace, tags, the formulated query) is copied out fresh.
 type table struct {
 	q    *query.Query
 	sch  *schema.Schema
 	opts Options
+	syms *symtab.Table // interned symbol space; nil in string-space fallback
 
-	pool        *predicate.Pool
 	constraints []*constraint.Constraint
+	consBuf     []*constraint.Constraint // backing for the defensive re-filter
 
-	consCol  []int   // per row: column of the consequent
-	antsCols [][]int // per row: columns of the antecedents
+	// --- columns (m) ---------------------------------------------------
+	preds        []predicate.Predicate
+	colCat       []int32 // per column: catalog PredID, or -1 (query-private)
+	colSig       []int32 // per column: operand-signature ordinal
+	present      []bool  // per column: predicate is in the query or introduced
+	inQuery      []bool  // per column: predicate appeared in the original query
+	matchPresent []bool  // per column: present, or implied by a present predicate
+	tags         []Tag   // per column: current tag; meaningful when present
+
+	// --- rows (n) ------------------------------------------------------
+	consCol  []int32 // per row: column of the consequent
+	antsOff  []int32 // per row: offset into antsFlat (n+1 entries)
+	antsFlat []int32 // all rows' antecedent columns, flat
 	introRow []bool  // per row: consequent absent at init (introduction role)
+	fired    []bool  // per row: constraint already applied
+	removed  []bool  // per row: constraint removed from C (spent)
+	queued   []bool  // per row: constraint currently in the queue
 
-	present      []bool // per column: predicate is in the query or introduced
-	inQuery      []bool // per column: predicate appeared in the original query
-	matchPresent []bool // per column: present, or implied by a present predicate
-	tags         []Tag  // per column: current tag; meaningful when present
+	// catalog PredID -> column translation, generation-stamped so reuse
+	// across queries needs no clearing: an entry is live only when its
+	// mark equals the current generation.
+	catCol  []int32
+	catMark []uint32
+	catGen  uint32
 
-	fired   []bool // per row: constraint already applied
-	removed []bool // per row: constraint removed from C (spent)
-	queued  []bool // per row: constraint currently in the queue
+	// Implication adjacency, computed lazily per column into a shared
+	// arena. Predicates can only imply one another within the same operand
+	// signature (predicate.Implies reasons over identical operand pairs),
+	// and for catalog predicates the adjacency was computed once at symbol
+	// compile time and is merely translated to columns here; only
+	// predicates private to this query are compared at optimization time.
+	// implyOn gates antecedent *matching* only; the formulation-time chase
+	// always reasons with full implication.
+	implyOn   bool
+	fwdSpan   [][2]int32 // per column: [start,end) into adj
+	revSpan   [][2]int32
+	fwdDone   []bool
+	revDone   []bool
+	adj       []int32 // arena backing every computed adjacency list
+	queryOnly []int32 // columns with no catalog PredID
 
-	// Implication adjacency, computed lazily per column. Predicates can
-	// only imply one another within the same operand signature
-	// (predicate.Implies reasons over identical operand pairs), so a
-	// column's implications involve only its signature peers — and when
-	// the source is the constraint index (oracle), implications among
-	// catalog predicates were computed once at index build time and are
-	// merely translated to columns here; only predicates private to this
-	// query are compared at optimization time. implyOn gates antecedent
-	// *matching* only; the formulation-time chase always reasons with
-	// full implication.
-	implyOn    bool     // implication-aware antecedent matching enabled
-	colSig     []sigKey // per column: its operand signature
-	fwdImplied [][]int  // fwdOf cache: columns each column implies
-	fwdDone    []bool
-	revImplied [][]int // revOf cache: columns implying each column
-	revDone    []bool
-
-	oracle    ImplicationSource
-	colCat    []int       // per column: id in the oracle's pool, or -1
-	catToCol  map[int]int // oracle pool id -> column
-	queryOnly []int       // columns with no oracle id (query-private predicates)
+	// localSig interns operand signatures not known to the symbol space
+	// (query-private signatures, and everything in the fallback path).
+	// Local ordinals are negative so they can never collide with symtab
+	// ordinals.
+	localSig map[sigKey]int32
+	// localPred interns predicates by key in the string-space fallback
+	// (no symtab): the pre-interning behavior, kept as the ablation
+	// baseline and for custom constraint sources.
+	localPred map[string]int32
 
 	queue fireQueue
 
 	ops   int64 // primitive operation counter (cost accounting)
 	trace []Transformation
+
+	chase chaseScratch
+	form  formScratch
+}
+
+// reset rewinds the table for a new query, keeping every capacity.
+func (t *table) reset(q *query.Query, sch *schema.Schema, opts Options, syms *symtab.Table) {
+	t.q, t.sch, t.opts, t.syms = q, sch, opts, syms
+	t.constraints = nil
+	t.consBuf = t.consBuf[:0]
+	t.preds = t.preds[:0]
+	t.colCat = t.colCat[:0]
+	t.colSig = t.colSig[:0]
+	t.present = t.present[:0]
+	t.inQuery = t.inQuery[:0]
+	t.matchPresent = t.matchPresent[:0]
+	t.tags = t.tags[:0]
+	t.consCol = t.consCol[:0]
+	t.antsOff = t.antsOff[:0]
+	t.antsFlat = t.antsFlat[:0]
+	t.introRow = t.introRow[:0]
+	t.fired = t.fired[:0]
+	t.removed = t.removed[:0]
+	t.queued = t.queued[:0]
+	t.fwdSpan = t.fwdSpan[:0]
+	t.revSpan = t.revSpan[:0]
+	t.fwdDone = t.fwdDone[:0]
+	t.revDone = t.revDone[:0]
+	t.adj = t.adj[:0]
+	t.queryOnly = t.queryOnly[:0]
+	t.queue.entries = t.queue.entries[:0]
+	t.queue.seq = 0
+	t.ops = 0
+	t.trace = t.trace[:0]
+
+	if syms != nil {
+		if need := syms.NumPreds(); len(t.catCol) < need {
+			t.catCol = make([]int32, need)
+			t.catMark = make([]uint32, need)
+			t.catGen = 0
+		}
+	}
+	t.catGen++
+	if t.catGen == 0 { // generation counter wrapped; invalidate all marks
+		clear(t.catMark)
+		t.catGen = 1
+	}
+	if len(t.localSig) > 0 {
+		clear(t.localSig)
+	}
+	if len(t.localPred) > 0 {
+		clear(t.localPred)
+	}
+}
+
+// m returns the number of columns.
+func (t *table) m() int { return len(t.preds) }
+
+// n returns the number of rows.
+func (t *table) n() int { return len(t.constraints) }
+
+// ants returns row i's antecedent columns.
+func (t *table) ants(i int) []int32 {
+	return t.antsFlat[t.antsOff[i]:t.antsOff[i+1]]
 }
 
 // Transformation records one applied (or formulation-time) action for the
@@ -129,7 +219,10 @@ func (k TransformKind) String() string {
 }
 
 // fireQueue is the transformation queue Q: FIFO by default, priority-ordered
-// under Options.UsePriorities. Entries are row indices.
+// under Options.UsePriorities. Entries are row indices. The heap is hand
+// rolled over the reusable entries slice — container/heap's interface would
+// box every entry onto the heap, which the zero-allocation hot path cannot
+// afford.
 type fireQueue struct {
 	entries    []queueEntry
 	priorities bool
@@ -143,157 +236,285 @@ type queueEntry struct {
 }
 
 func (fq *fireQueue) Len() int { return len(fq.entries) }
-func (fq *fireQueue) Less(i, j int) bool {
-	a, b := fq.entries[i], fq.entries[j]
+
+func (fq *fireQueue) less(a, b queueEntry) bool {
 	if fq.priorities && a.priority != b.priority {
 		return a.priority < b.priority
 	}
 	return a.seq < b.seq
 }
-func (fq *fireQueue) Swap(i, j int) { fq.entries[i], fq.entries[j] = fq.entries[j], fq.entries[i] }
-func (fq *fireQueue) Push(x any)    { fq.entries = append(fq.entries, x.(queueEntry)) }
-func (fq *fireQueue) Pop() any {
-	e := fq.entries[len(fq.entries)-1]
-	fq.entries = fq.entries[:len(fq.entries)-1]
-	return e
-}
 
 func (fq *fireQueue) push(row, priority int) {
 	fq.seq++
-	heap.Push(fq, queueEntry{row: row, priority: priority, seq: fq.seq})
+	fq.entries = append(fq.entries, queueEntry{row: row, priority: priority, seq: fq.seq})
+	// Sift up.
+	e := fq.entries
+	i := len(e) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !fq.less(e[i], e[parent]) {
+			break
+		}
+		e[i], e[parent] = e[parent], e[i]
+		i = parent
+	}
 }
 
 func (fq *fireQueue) pop() int {
-	return heap.Pop(fq).(queueEntry).row
+	e := fq.entries
+	top := e[0].row
+	last := len(e) - 1
+	e[0] = e[last]
+	fq.entries = e[:last]
+	// Sift down.
+	e = fq.entries
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= last {
+			break
+		}
+		least := left
+		if right := left + 1; right < last && fq.less(e[right], e[left]) {
+			least = right
+		}
+		if !fq.less(e[least], e[i]) {
+			break
+		}
+		e[i], e[least] = e[least], e[i]
+		i = least
+	}
+	return top
 }
 
-// newTable implements the paper's Initialization step (Section 3.1): collect
-// relevant constraints into C, predicates into P, and fill the table.
+// newTable implements the paper's Initialization step (Section 3.1) for
+// tests: collect relevant constraints into C, predicates into P, and fill
+// the table. Production runs go through Optimizer.acquireTable, which reuses
+// pooled tables and the catalog's compiled symbol space.
+func newTable(q *query.Query, sch *schema.Schema, relevant []*constraint.Constraint, opts Options) *table {
+	t := &table{}
+	t.reset(q, sch, opts, nil)
+	t.init(relevant, false)
+	return t
+}
+
+// init is the Initialization step proper; the table must be freshly reset.
 // Sources that do not promise prefiltering (PrefilteredSource) get a
 // defensive relevance re-check — firing an irrelevant constraint would be
 // unsound.
-func newTable(q *query.Query, sch *schema.Schema, relevant []*constraint.Constraint, opts Options) *table {
-	return newTableTrusted(q, sch, relevant, opts, false, nil)
-}
-
-func newTableTrusted(q *query.Query, sch *schema.Schema, relevant []*constraint.Constraint, opts Options, prefiltered bool, oracle ImplicationSource) *table {
-	t := &table{q: q, sch: sch, opts: opts, oracle: oracle}
-
+func (t *table) init(relevant []*constraint.Constraint, prefiltered bool) {
 	if prefiltered {
 		t.constraints = relevant
 	} else {
 		for _, c := range relevant {
-			if c.RelevantTo(q) {
-				t.constraints = append(t.constraints, c)
+			if c.RelevantTo(t.q) {
+				t.consBuf = append(t.consBuf, c)
 			}
 		}
+		t.constraints = t.consBuf
 	}
+	t.implyOn = !t.opts.DisableImpliedAntecedents
 
 	// P: predicates of the query and of the relevant constraints, interned
-	// into a pool sized for the worst case (no shared predicates).
-	queryPreds := q.Predicates()
-	occurrences := len(queryPreds)
-	for _, c := range t.constraints {
-		occurrences += 1 + len(c.Antecedents)
+	// into columns. Query predicates first — "we begin by making all the
+	// predicates in the query imperative" — then each constraint's
+	// antecedents and consequent in order, matching the pre-interning
+	// first-occurrence column numbering exactly.
+	for _, p := range t.q.Joins {
+		t.internQueryPred(p)
 	}
-	t.pool = predicate.NewPoolSize(occurrences)
-	for _, p := range queryPreds {
-		t.pool.Intern(p)
-	}
-	for _, c := range t.constraints {
-		for _, a := range c.Antecedents {
-			t.pool.Intern(a)
-		}
-		t.pool.Intern(c.Consequent)
+	for _, p := range t.q.Selects {
+		t.internQueryPred(p)
 	}
 
-	m := t.pool.Len()
 	n := len(t.constraints)
-	t.present = make([]bool, m)
-	t.inQuery = make([]bool, m)
-	t.tags = make([]Tag, m)
-	for _, p := range queryPreds {
-		id, _ := t.pool.Lookup(p)
-		t.present[id] = true
-		t.inQuery[id] = true
-		// "We begin by making all the predicates in the query
-		// imperative" — unless proven otherwise they contribute to the
-		// results.
-		t.tags[id] = TagImperative
-	}
-
-	t.implyOn = !opts.DisableImpliedAntecedents
-	t.colSig = make([]sigKey, m)
-	t.fwdImplied = make([][]int, m)
-	t.fwdDone = make([]bool, m)
-	t.revImplied = make([][]int, m)
-	t.revDone = make([]bool, m)
-	if t.oracle != nil {
-		t.colCat = make([]int, m)
-		t.catToCol = make(map[int]int, m)
-	}
-	for i := 0; i < m; i++ {
-		p := t.pool.At(i)
-		key := sigKey{left: p.Left, join: p.IsJoin()}
-		if key.join {
-			key.right = p.RightAttr
+	t.antsOff = append(t.antsOff, 0)
+	for _, c := range t.constraints {
+		t.ops += int64(1 + len(c.Antecedents))
+		var cons int32
+		if comp, ok := t.compiledFor(c); ok {
+			// Catalog constraint: predicates arrive as PredIDs; no
+			// hashing, no key comparisons.
+			for _, aid := range comp.Ants {
+				t.addAntCol(t.colOfCat(aid))
+			}
+			cons = t.colOfCat(comp.Cons)
+		} else {
+			// Foreign constraint (custom source, or interning off):
+			// intern by canonical key as before the refactor.
+			for _, a := range c.Antecedents {
+				t.addAntCol(t.internLocal(a))
+			}
+			cons = t.internLocal(c.Consequent)
 		}
-		t.colSig[i] = key
-		if t.oracle != nil {
-			if id, ok := t.oracle.PredPool().Lookup(p); ok {
-				t.colCat[i] = id
-				t.catToCol[id] = i
-			} else {
-				t.colCat[i] = -1
-				t.queryOnly = append(t.queryOnly, i)
+		// Consequent classification takes precedence over antecedent (a
+		// predicate that is both would make the constraint trivial; the
+		// closure never produces those, but be deterministic anyway):
+		// drop the consequent from the row's antecedents.
+		row := len(t.consCol)
+		flat := t.antsFlat[t.antsOff[row]:]
+		kept := flat[:0]
+		for _, ac := range flat {
+			if ac != cons {
+				kept = append(kept, ac)
 			}
 		}
+		t.antsFlat = t.antsFlat[:t.antsOff[row]+int32(len(kept))]
+		t.antsOff = append(t.antsOff, int32(len(t.antsFlat)))
+		t.consCol = append(t.consCol, cons)
+		t.introRow = append(t.introRow, !t.present[cons])
 	}
+	t.fired = grow(t.fired, n)
+	t.removed = grow(t.removed, n)
+	t.queued = grow(t.queued, n)
 
 	// A column is present for antecedent matching when its predicate is
 	// literally present or implied by a present predicate.
-	t.matchPresent = make([]bool, m)
-	for id, pres := range t.present {
-		if !pres {
+	for id := range t.present {
+		if !t.present[id] {
 			continue
 		}
 		t.matchPresent[id] = true
 		if t.implyOn {
-			for _, j := range t.fwdOf(id) {
+			for _, j := range t.fwdOf(int32(id)) {
 				t.matchPresent[j] = true
 			}
 		}
 	}
+	t.queue.priorities = t.opts.UsePriorities
+}
 
-	// Record the per-row structure the paper's Initialization fills cells
-	// from. Consequent classification takes precedence over antecedent (a
-	// predicate that is both in one constraint would make the constraint
-	// trivial; the closure never produces those, but be deterministic
-	// anyway).
-	t.consCol = make([]int, n)
-	t.antsCols = make([][]int, n)
-	t.introRow = make([]bool, n)
-	t.fired = make([]bool, n)
-	t.removed = make([]bool, n)
-	t.queued = make([]bool, n)
-	flat := make([]int, 0, occurrences-len(queryPreds)-n) // one backing array for all rows
-	for i, c := range t.constraints {
-		t.ops += int64(1 + len(c.Antecedents))
-		cons, _ := t.pool.Lookup(c.Consequent)
-		t.consCol[i] = cons
-		t.introRow[i] = !t.present[cons]
-		start := len(flat)
-		for _, a := range c.Antecedents {
-			col, _ := t.pool.Lookup(a)
-			if col == cons {
-				continue
-			}
-			flat = append(flat, col)
-		}
-		t.antsCols[i] = flat[start:len(flat):len(flat)]
+// grow returns a zeroed slice of length n, reusing s's capacity.
+func grow(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
 	}
-	t.queue.priorities = opts.UsePriorities
-	return t
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// compiledFor resolves a constraint to its compiled (PredID) form.
+func (t *table) compiledFor(c *constraint.Constraint) (symtab.Compiled, bool) {
+	if t.syms == nil {
+		return symtab.Compiled{}, false
+	}
+	return t.syms.CompiledFor(c)
+}
+
+// addAntCol appends one antecedent column to the flat row being built.
+func (t *table) addAntCol(col int32) {
+	t.antsFlat = append(t.antsFlat, col)
+}
+
+// addCol appends a new column for p. catID is the catalog PredID or -1.
+func (t *table) addCol(p predicate.Predicate, catID int32) int32 {
+	col := int32(len(t.preds))
+	t.preds = append(t.preds, p)
+	t.colCat = append(t.colCat, catID)
+	t.colSig = append(t.colSig, t.sigOrdinal(p, catID))
+	t.present = append(t.present, false)
+	t.inQuery = append(t.inQuery, false)
+	t.matchPresent = append(t.matchPresent, false)
+	t.tags = append(t.tags, TagImperative)
+	t.fwdSpan = append(t.fwdSpan, [2]int32{})
+	t.revSpan = append(t.revSpan, [2]int32{})
+	t.fwdDone = append(t.fwdDone, false)
+	t.revDone = append(t.revDone, false)
+	if catID >= 0 {
+		t.catCol[catID] = col
+		t.catMark[catID] = t.catGen
+	} else {
+		t.queryOnly = append(t.queryOnly, col)
+	}
+	return col
+}
+
+// colOfCat returns the column of a catalog predicate, adding it on first
+// sight. The generation-stamped translation array makes the lookup one
+// indexed load — no map, no hashing.
+func (t *table) colOfCat(id symtab.PredID) int32 {
+	if t.catMark[id] == t.catGen {
+		return t.catCol[id]
+	}
+	return t.addCol(t.syms.Pred(id), int32(id))
+}
+
+// internQueryPred interns one predicate of the query itself and marks it
+// present and imperative.
+func (t *table) internQueryPred(p predicate.Predicate) {
+	var col int32
+	if t.syms != nil {
+		if id, ok := t.syms.PredID(p); ok {
+			if t.catMark[id] == t.catGen {
+				col = t.catCol[id]
+			} else {
+				col = t.addCol(p, int32(id))
+			}
+		} else {
+			col = t.internPrivate(p)
+		}
+	} else {
+		col = t.internLocal(p)
+	}
+	t.present[col] = true
+	t.inQuery[col] = true
+	t.tags[col] = TagImperative
+}
+
+// internPrivate interns a query-private predicate (unknown to the catalog's
+// symbol space) by linear key scan over the other private columns — queries
+// hold a handful of predicates, so no map is warranted.
+func (t *table) internPrivate(p predicate.Predicate) int32 {
+	key := p.Key()
+	for _, col := range t.queryOnly {
+		if t.preds[col].Key() == key {
+			return col
+		}
+	}
+	return t.addCol(p, -1)
+}
+
+// internLocal interns a predicate by canonical key — the string-space
+// fallback used when no symbol space is available.
+func (t *table) internLocal(p predicate.Predicate) int32 {
+	if t.localPred == nil {
+		t.localPred = make(map[string]int32)
+	}
+	key := p.Key()
+	if col, ok := t.localPred[key]; ok {
+		return col
+	}
+	col := t.addCol(p, -1)
+	t.localPred[key] = col
+	return col
+}
+
+// sigOrdinal resolves the operand-signature ordinal of a new column:
+// precomputed for catalog predicates, locally interned (negative ordinals)
+// otherwise.
+func (t *table) sigOrdinal(p predicate.Predicate, catID int32) int32 {
+	if catID >= 0 {
+		return t.syms.SigOrdinal(symtab.PredID(catID))
+	}
+	if t.syms != nil {
+		if sig, ok := t.syms.SigOrdinalOf(p); ok {
+			return sig
+		}
+	}
+	k := sigKey{left: p.Left, join: p.IsJoin()}
+	if k.join {
+		k.right = p.RightAttr
+	}
+	if sig, ok := t.localSig[k]; ok {
+		return sig
+	}
+	if t.localSig == nil {
+		t.localSig = make(map[sigKey]int32)
+	}
+	sig := int32(-1 - len(t.localSig))
+	t.localSig[k] = sig
+	return sig
 }
 
 // cell derives one entry of the paper's transformation table from the sparse
@@ -301,7 +522,7 @@ func newTableTrusted(q *query.Query, sch *schema.Schema, relevant []*constraint.
 // value. Tests and the explain renderer use it; the hot path never
 // materializes the matrix.
 func (t *table) cell(row, col int) Cell {
-	if col == t.consCol[row] {
+	if int32(col) == t.consCol[row] {
 		if t.introRow[row] {
 			// An absent consequent keeps its init-time classification
 			// for the whole run, even after another constraint
@@ -311,8 +532,8 @@ func (t *table) cell(row, col int) Cell {
 		}
 		return cellForTag(t.tags[col])
 	}
-	for _, ac := range t.antsCols[row] {
-		if ac == col {
+	for _, ac := range t.ants(row) {
+		if ac == int32(col) {
 			if t.matchPresent[col] {
 				return CellPresentAntecedent
 			}
@@ -322,8 +543,20 @@ func (t *table) cell(row, col int) Cell {
 	return CellNone
 }
 
+// lookupCol finds the column of a predicate, for tests.
+func (t *table) lookupCol(p predicate.Predicate) (int, bool) {
+	key := p.Key()
+	for col := range t.preds {
+		if t.preds[col].Key() == key {
+			return col, true
+		}
+	}
+	return 0, false
+}
+
 // sigKey is the comparable form of a predicate's operand signature (the
-// string rendering is index.Signature; the hot path avoids building it).
+// string rendering is index.Signature; the hot path resolves ordinals from
+// the symbol space instead).
 type sigKey struct {
 	left, right predicate.AttrRef
 	join        bool
@@ -331,47 +564,48 @@ type sigKey struct {
 
 // fwdOf returns the columns predicate col implies (ascending, excluding
 // col), computed on first use (DESIGN.md deviation #3): translated from the
-// oracle's catalog-level adjacency when available, derived by signature-peer
-// comparison otherwise.
-func (t *table) fwdOf(col int) []int {
-	if t.fwdDone[col] {
-		return t.fwdImplied[col]
+// symbol space's catalog-level adjacency when available, derived by
+// signature-peer comparison otherwise.
+func (t *table) fwdOf(col int32) []int32 {
+	if !t.fwdDone[col] {
+		t.fwdDone[col] = true
+		t.fwdSpan[col] = t.adjacency(col, true)
 	}
-	t.fwdDone[col] = true
-	t.fwdImplied[col] = t.adjacency(col, true)
-	return t.fwdImplied[col]
+	s := t.fwdSpan[col]
+	return t.adj[s[0]:s[1]]
 }
 
 // revOf returns the columns whose predicates imply col (ascending, excluding
 // col). The formulation-time chase uses it; unlike antecedent matching it is
 // not gated by DisableImpliedAntecedents, because the chase's derivability
 // test always reasons with Implies.
-func (t *table) revOf(col int) []int {
-	if t.revDone[col] {
-		return t.revImplied[col]
+func (t *table) revOf(col int32) []int32 {
+	if !t.revDone[col] {
+		t.revDone[col] = true
+		t.revSpan[col] = t.adjacency(col, false)
 	}
-	t.revDone[col] = true
-	t.revImplied[col] = t.adjacency(col, false)
-	return t.revImplied[col]
+	s := t.revSpan[col]
+	return t.adj[s[0]:s[1]]
 }
 
-// adjacency computes one column's implication neighbors, ascending. forward
-// selects "col implies j"; otherwise "j implies col".
-func (t *table) adjacency(col int, forward bool) []int {
-	var out []int
-	p := t.pool.At(col)
-	if t.oracle != nil && t.colCat[col] >= 0 {
+// adjacency computes one column's implication neighbors, ascending, into the
+// shared arena and returns the span. forward selects "col implies j";
+// otherwise "j implies col".
+func (t *table) adjacency(col int32, forward bool) [2]int32 {
+	start := int32(len(t.adj))
+	p := t.preds[col]
+	if t.syms != nil && t.colCat[col] >= 0 {
 		// Catalog predicate: its implications among catalog predicates
-		// were precomputed at index build time; translate pool ids to
+		// were precomputed at symbol compile time; translate PredIDs to
 		// the columns present in this table.
-		cached := t.oracle.PredImplies(t.colCat[col])
+		cached := t.syms.Implies(symtab.PredID(t.colCat[col]))
 		if !forward {
-			cached = t.oracle.PredImpliedBy(t.colCat[col])
+			cached = t.syms.ImpliedBy(symtab.PredID(t.colCat[col]))
 		}
 		for _, cid := range cached {
 			t.ops++
-			if j, ok := t.catToCol[cid]; ok {
-				out = append(out, j)
+			if t.catMark[cid] == t.catGen {
+				t.adj = append(t.adj, t.catCol[cid])
 			}
 		}
 		// Plus the query-private predicates, which the catalog-level
@@ -381,29 +615,29 @@ func (t *table) adjacency(col int, forward bool) []int {
 				continue
 			}
 			t.ops++
-			if implies(t.pool.At(col), t.pool.At(j), forward) {
-				out = append(out, j)
+			if implies(p, t.preds[j], forward) {
+				t.adj = append(t.adj, j)
 			}
 		}
 		// First-occurrence order in the catalog pool need not agree
 		// with this table's column order (a predicate may debut in a
 		// constraint irrelevant to this query), so restore column
 		// order explicitly.
-		sort.Ints(out)
-		return out
+		slices.Sort(t.adj[start:])
+		return [2]int32{start, int32(len(t.adj))}
 	}
-	// No oracle, or a query-private predicate: compare against every
+	// No symbol space, or a query-private predicate: compare against every
 	// signature peer, in column order.
-	for j := 0; j < t.pool.Len(); j++ {
+	for j := int32(0); j < int32(len(t.preds)); j++ {
 		if j == col || t.colSig[j] != t.colSig[col] {
 			continue
 		}
 		t.ops++
-		if implies(p, t.pool.At(j), forward) {
-			out = append(out, j)
+		if implies(p, t.preds[j], forward) {
+			t.adj = append(t.adj, j)
 		}
 	}
-	return out
+	return [2]int32{start, int32(len(t.adj))}
 }
 
 // implies orients one implication test: forward is "a implies b".

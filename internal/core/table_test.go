@@ -39,9 +39,9 @@ func TestInitializationCells(t *testing.T) {
 	if len(tb.constraints) != 3 {
 		t.Fatalf("rows = %d", len(tb.constraints))
 	}
-	idA, _ := tb.pool.Lookup(a1)
-	idB, _ := tb.pool.Lookup(b2)
-	idI, _ := tb.pool.Lookup(idx3)
+	idA, _ := tb.lookupCol(a1)
+	idB, _ := tb.lookupCol(b2)
+	idI, _ := tb.lookupCol(idx3)
 
 	cases := []struct {
 		row  int
@@ -90,7 +90,7 @@ func TestColumnUpdateOnFire(t *testing.T) {
 	q := query.New("t").AddProject("t", "a").AddSelect(a1).AddSelect(b2)
 	tb := newTable(q, s, []*constraint.Constraint{c1, c2}, Options{DisableImpliedAntecedents: true})
 
-	idI, _ := tb.pool.Lookup(idx3)
+	idI, _ := tb.lookupCol(idx3)
 	if tb.cell(1, idI) != CellAbsentAntecedent {
 		t.Fatalf("precondition: c2's antecedent should be absent, got %v", tb.cell(1, idI))
 	}
@@ -108,7 +108,7 @@ func TestColumnUpdateOnFire(t *testing.T) {
 	if !tb.fire(1) {
 		t.Fatal("c2 should fire after the column update")
 	}
-	idB, _ := tb.pool.Lookup(b2)
+	idB, _ := tb.lookupCol(b2)
 	if tb.tags[idB] != TagRedundant {
 		t.Errorf("b=2 tag = %v, want redundant (intra, not indexed)", tb.tags[idB])
 	}
@@ -217,7 +217,7 @@ func TestImpliedAntecedentColumnRipple(t *testing.T) {
 	q := query.New("t").AddProject("t", "a").AddSelect(a1)
 	tb := newTable(q, s, []*constraint.Constraint{c1, c2}, Options{})
 
-	idGT, _ := tb.pool.Lookup(bGT5)
+	idGT, _ := tb.lookupCol(bGT5)
 	if tb.cell(1, idGT) != CellAbsentAntecedent {
 		t.Fatalf("precondition failed: %v", tb.cell(1, idGT))
 	}
@@ -265,16 +265,16 @@ func TestTaggedPredicatesMatchesFinalTags(t *testing.T) {
 		t.Fatal(err)
 	}
 	tagged := res.TaggedPredicates()
-	if len(tagged) != len(res.FinalTags) {
-		t.Fatalf("tagged = %d entries, FinalTags = %d", len(tagged), len(res.FinalTags))
+	if len(tagged) != len(res.FinalTags()) {
+		t.Fatalf("tagged = %d entries, FinalTags = %d", len(tagged), len(res.FinalTags()))
 	}
 	for _, tp := range tagged {
-		if res.FinalTags[tp.Pred.Key()] != tp.Tag {
-			t.Errorf("mismatch for %s: %v vs %v", tp.Pred, tp.Tag, res.FinalTags[tp.Pred.Key()])
+		if res.FinalTags()[tp.Pred.Key()] != tp.Tag {
+			t.Errorf("mismatch for %s: %v vs %v", tp.Pred, tp.Tag, res.FinalTags()[tp.Pred.Key()])
 		}
 	}
 	tagged[0].Tag = TagRedundant
-	if res.TaggedPredicates()[0].Tag == TagRedundant && res.FinalTags[tagged[0].Pred.Key()] != TagRedundant {
+	if res.TaggedPredicates()[0].Tag == TagRedundant && res.FinalTags()[tagged[0].Pred.Key()] != TagRedundant {
 		t.Error("TaggedPredicates must return a copy")
 	}
 }

@@ -29,11 +29,12 @@
 package index
 
 import (
-	"sort"
+	"slices"
 
 	"sqo/internal/constraint"
 	"sqo/internal/predicate"
 	"sqo/internal/query"
+	"sqo/internal/symtab"
 )
 
 // Lookup finds the constraints applicable to a query. Implementations must
@@ -48,27 +49,27 @@ type Lookup interface {
 type Index struct {
 	all []*constraint.Constraint // catalog order
 
-	// byClass maps a home class to the ordinals of the constraints
-	// attached to it. Each constraint has exactly one home, so a lookup
-	// never sees a candidate twice.
-	byClass map[string][]int
+	// syms is the compiled symbol space of the catalog generation: interned
+	// classes, attributes and predicates, compiled constraints and the
+	// implication adjacency. The index shares it with the transformation
+	// table (core.SymbolSource) so the whole generation owns exactly one.
+	syms *symtab.Table
 
-	// classes/links per ordinal: the requirement sets verified at lookup.
-	classes [][]string
-	links   [][]string
+	// byClass maps a home ClassID to the ordinals of the constraints
+	// attached to it. Each constraint has exactly one home, so a lookup
+	// never sees a candidate twice. parked holds degenerate constraints
+	// without classes, which Relevant always checks.
+	byClass [][]int32
+	parked  []int32
+
+	// classIDs/links per ordinal: the requirement sets verified at lookup.
+	// Interned class IDs make the relevance check integer comparisons.
+	classIDs [][]symtab.ClassID
+	links    [][]string
 
 	// attr holds the antecedent occurrences keyed by operand signature,
 	// interval annotated.
 	attr *AttrPostings
-
-	// pool interns every predicate occurring in the catalog; fwd/rev hold
-	// the implication adjacency among them (fwd[i] = pool ids predicate i
-	// implies, ascending; rev is the transpose). The transformation table
-	// consults this through core.ImplicationSource instead of re-deriving
-	// implications per query.
-	pool *predicate.Pool
-	fwd  [][]int
-	rev  [][]int
 
 	maxPosting int
 }
@@ -146,138 +147,128 @@ func Signature(p predicate.Predicate) string {
 	return "s|" + p.Left.String()
 }
 
-// New builds the index over a catalog. The catalog's constraints are shared,
-// not copied; they are immutable by contract.
+// New builds the index over a catalog, compiling a fresh symbol space for
+// it. The catalog's constraints are shared, not copied; they are immutable
+// by contract.
 func New(cat *constraint.Catalog) *Index {
 	return Build(cat.All())
 }
 
 // Build constructs the index over an explicit constraint slice in the given
-// order. The slice is treated as the catalog order.
+// order, compiling a fresh symbol space. The slice is treated as the
+// catalog order.
 func Build(all []*constraint.Constraint) *Index {
+	return BuildWith(all, symtab.Compile(nil, all))
+}
+
+// BuildWith constructs the index over a constraint slice and an
+// already-compiled symbol space for the same generation (the engine compiles
+// one per catalog swap and shares it between index and optimizer). syms must
+// cover exactly the constraints of all.
+func BuildWith(all []*constraint.Constraint, syms *symtab.Table) *Index {
 	ix := &Index{
-		all:     all,
-		byClass: make(map[string][]int),
-		classes: make([][]string, len(all)),
-		links:   make([][]string, len(all)),
-		attr:    BuildAttrPostings(all),
+		all:      all,
+		syms:     syms,
+		byClass:  make([][]int32, syms.NumClasses()),
+		classIDs: make([][]symtab.ClassID, len(all)),
+		links:    make([][]string, len(all)),
+		attr:     BuildAttrPostings(all),
 	}
 
-	// Pass 1: class reference frequencies.
-	freq := make(map[string]int)
+	// Pass 1: class reference frequencies, in interned ID space.
+	freq := make([]int, syms.NumClasses())
 	for i, c := range all {
-		ix.classes[i] = c.Classes()
-		ix.links[i] = c.Links
-		for _, cl := range ix.classes[i] {
-			freq[cl]++
+		cls := c.Classes()
+		ids := make([]symtab.ClassID, len(cls))
+		for k, cl := range cls {
+			id, ok := syms.ClassID(cl)
+			if !ok {
+				// Compile interns every constraint class; a miss means
+				// syms belongs to another generation.
+				panic("index: symbol space does not cover constraint " + c.ID)
+			}
+			ids[k] = id
+			freq[id]++
 		}
+		ix.classIDs[i] = ids
+		ix.links[i] = c.Links
 	}
 
 	// Pass 2: attach each constraint to its rarest referenced class (ties
 	// break lexicographically — Classes() is sorted — for determinism).
 	for i := range all {
-		cls := ix.classes[i]
-		if len(cls) == 0 {
-			// Degenerate constraint without classes; park it under the
-			// empty key, which Relevant always checks.
-			ix.byClass[""] = append(ix.byClass[""], i)
+		ids := ix.classIDs[i]
+		if len(ids) == 0 {
+			// Degenerate constraint without classes; park it where
+			// Relevant always checks.
+			ix.parked = append(ix.parked, int32(i))
 			continue
 		}
-		home := cls[0]
-		for _, cl := range cls[1:] {
-			if freq[cl] < freq[home] {
-				home = cl
+		home := ids[0]
+		for _, id := range ids[1:] {
+			if freq[id] < freq[home] {
+				home = id
 			}
 		}
-		ix.byClass[home] = append(ix.byClass[home], i)
+		ix.byClass[home] = append(ix.byClass[home], int32(i))
 	}
 	for _, post := range ix.byClass {
 		if len(post) > ix.maxPosting {
 			ix.maxPosting = len(post)
 		}
 	}
-
-	// Pass 3: the interned predicate pool (antecedents first, then the
-	// consequent, per constraint — the same first-occurrence order the
-	// transformation table uses).
-	ix.pool = predicate.NewPool()
-	for _, c := range all {
-		for _, a := range c.Antecedents {
-			ix.pool.Intern(a)
-		}
-		ix.pool.Intern(c.Consequent)
-	}
-
-	// Pass 4: implication adjacency among the pooled predicates, bucketed
-	// by operand signature (implication requires identical operand pairs).
-	// O(Σ bucketᵢ²) once per catalog generation, amortized over every
-	// query served against it.
-	m := ix.pool.Len()
-	ix.fwd = make([][]int, m)
-	ix.rev = make([][]int, m)
-	sigBuckets := make(map[string][]int, m)
-	for id := 0; id < m; id++ {
-		key := Signature(ix.pool.At(id))
-		sigBuckets[key] = append(sigBuckets[key], id)
-	}
-	for _, ids := range sigBuckets {
-		if len(ids) < 2 {
-			continue
-		}
-		for _, i := range ids {
-			pi := ix.pool.At(i)
-			for _, j := range ids {
-				if i != j && pi.Implies(ix.pool.At(j)) {
-					ix.fwd[i] = append(ix.fwd[i], j)
-				}
-			}
-		}
-	}
-	for i, list := range ix.fwd {
-		for _, j := range list {
-			ix.rev[j] = append(ix.rev[j], i)
-		}
+	if len(ix.parked) > ix.maxPosting {
+		ix.maxPosting = len(ix.parked)
 	}
 	return ix
 }
 
-// PredPool returns the catalog's interned predicate pool. Implements
-// core.ImplicationSource; treat as read-only.
-func (ix *Index) PredPool() *predicate.Pool { return ix.pool }
+// Symbols returns the compiled symbol space of the indexed generation.
+// Implements core.SymbolSource; treat as read-only.
+func (ix *Index) Symbols() *symtab.Table { return ix.syms }
 
-// PredImplies returns the pool ids of the predicates that predicate id
-// implies, ascending.
-func (ix *Index) PredImplies(id int) []int { return ix.fwd[id] }
-
-// PredImpliedBy returns the pool ids of the predicates implying predicate
-// id, ascending.
-func (ix *Index) PredImpliedBy(id int) []int { return ix.rev[id] }
+// PredPool returns the catalog's interned predicate pool (the symbol
+// space's PredID ordering); treat as read-only.
+func (ix *Index) PredPool() *predicate.Pool { return ix.syms.Pool() }
 
 // Len returns the number of indexed constraints.
 func (ix *Index) Len() int { return len(ix.all) }
 
 // Relevant returns the constraints relevant to q — the same set, in the same
 // (catalog) order, as a full scan with Constraint.RelevantTo — touching only
-// the posting lists of the query's classes.
+// the posting lists of the query's classes. The query's class names resolve
+// to interned ClassIDs once, after which every relevance check is integer
+// comparisons against the precomputed requirement sets.
 func (ix *Index) Relevant(q *query.Query) []*constraint.Constraint {
-	var ords []int
-	collect := func(post []int) {
+	// Queries hold a handful of classes; a stack array avoids heap work.
+	var clsBuf [16]symtab.ClassID
+	cls := clsBuf[:0]
+	for _, cl := range q.Classes {
+		if id, ok := ix.syms.ClassID(cl); ok {
+			cls = append(cls, id)
+		}
+		// A class the generation never interned is referenced by no
+		// constraint: it cannot contribute postings or satisfy a
+		// requirement, so it is simply skipped.
+	}
+	var ords []int32
+	collect := func(post []int32) {
 		for _, ord := range post {
-			if ix.relevantOrd(ord, q) {
+			if ix.relevantOrd(ord, cls, q) {
 				ords = append(ords, ord)
 			}
 		}
 	}
-	collect(ix.byClass[""])
-	for _, cl := range q.Classes {
-		collect(ix.byClass[cl])
+	collect(ix.parked)
+	for _, id := range cls {
+		collect(ix.byClass[id])
 	}
 	if len(ords) == 0 {
 		return nil
 	}
 	// Homes are unique, so ords has no duplicates; sorting restores the
 	// catalog order a linear scan would produce.
-	sort.Ints(ords)
+	slices.Sort(ords)
 	out := make([]*constraint.Constraint, len(ords))
 	for i, ord := range ords {
 		out[i] = ix.all[ord]
@@ -285,10 +276,19 @@ func (ix *Index) Relevant(q *query.Query) []*constraint.Constraint {
 	return out
 }
 
-// relevantOrd is Constraint.RelevantTo over the precomputed requirement sets.
-func (ix *Index) relevantOrd(ord int, q *query.Query) bool {
-	for _, cl := range ix.classes[ord] {
-		if !q.HasClass(cl) {
+// relevantOrd is Constraint.RelevantTo over the precomputed requirement
+// sets: every constraint class must be among the query's resolved ClassIDs,
+// every structural link among its relationships.
+func (ix *Index) relevantOrd(ord int32, cls []symtab.ClassID, q *query.Query) bool {
+	for _, need := range ix.classIDs[ord] {
+		found := false
+		for _, have := range cls {
+			if have == need {
+				found = true
+				break
+			}
+		}
+		if !found {
 			return false
 		}
 	}
@@ -332,9 +332,18 @@ type Stats struct {
 
 // Stats returns the index shape.
 func (ix *Index) Stats() Stats {
+	buckets := 0
+	for _, post := range ix.byClass {
+		if len(post) > 0 {
+			buckets++
+		}
+	}
+	if len(ix.parked) > 0 {
+		buckets++
+	}
 	return Stats{
 		Constraints:     len(ix.all),
-		ClassBuckets:    len(ix.byClass),
+		ClassBuckets:    buckets,
 		MaxClassPosting: ix.maxPosting,
 		AttrKeys:        len(ix.attr.byAttr),
 	}

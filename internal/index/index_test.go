@@ -71,10 +71,17 @@ func TestRarestClassAssignment(t *testing.T) {
 		predicate.Eq("cold", "b", value.Int(4)))
 	ix := New(constraint.MustCatalog(hotA, hotB, mixed))
 
-	if got := len(ix.byClass["hot"]); got != 2 {
+	posting := func(class string) int {
+		id, ok := ix.syms.ClassID(class)
+		if !ok {
+			t.Fatalf("class %q not interned", class)
+		}
+		return len(ix.byClass[id])
+	}
+	if got := posting("hot"); got != 2 {
 		t.Errorf(`"hot" posting = %d entries, want 2`, got)
 	}
-	if got := len(ix.byClass["cold"]); got != 1 {
+	if got := posting("cold"); got != 1 {
 		t.Errorf(`"cold" posting = %d entries, want 1 (mixed constraint homes at its rarest class)`, got)
 	}
 	st := ix.Stats()

@@ -208,21 +208,25 @@ func writeList(sb *strings.Builder, items []string) {
 //     (the paper's queries are path queries; disconnected class lists denote
 //     cartesian products and are rejected).
 func (q *Query) Validate(s *schema.Schema) error {
+	// Validation sits on the optimizer's hot path (every Optimize call
+	// re-validates its input), so the duplicate checks scan the small
+	// query lists instead of building set maps, and predicates are walked
+	// in place — no intermediate slices, no allocation on the happy path.
 	if len(q.Classes) == 0 {
 		return fmt.Errorf("query: empty class list")
 	}
-	seen := map[string]bool{}
-	for _, c := range q.Classes {
-		if seen[c] {
-			return fmt.Errorf("query: class %q listed twice", c)
+	for i, c := range q.Classes {
+		for _, prev := range q.Classes[:i] {
+			if prev == c {
+				return fmt.Errorf("query: class %q listed twice", c)
+			}
 		}
-		seen[c] = true
 		if !s.HasClass(c) {
 			return fmt.Errorf("query: unknown class %q", c)
 		}
 	}
 	for _, a := range q.Project {
-		if !seen[a.Class] {
+		if !q.HasClass(a.Class) {
 			return fmt.Errorf("query: projected attribute %s references class outside the class list", a)
 		}
 		if _, ok := s.Attr(a.Class, a.Attr); !ok {
@@ -233,38 +237,48 @@ func (q *Query) Validate(s *schema.Schema) error {
 		if !p.IsJoin() {
 			return fmt.Errorf("query: selective predicate %s in join list", p)
 		}
+		if err := q.validatePred(s, p); err != nil {
+			return err
+		}
 	}
 	for _, p := range q.Selects {
 		if p.IsJoin() {
 			return fmt.Errorf("query: join predicate %s in selective list", p)
 		}
-	}
-	for _, p := range q.Predicates() {
-		if err := p.Validate(s); err != nil {
-			return fmt.Errorf("query: %w", err)
+		if err := q.validatePred(s, p); err != nil {
+			return err
 		}
-		for _, c := range p.Classes() {
-			if !seen[c] {
-				return fmt.Errorf("query: predicate %s references class %q outside the class list", p, c)
+	}
+	for i, rn := range q.Relationships {
+		for _, prev := range q.Relationships[:i] {
+			if prev == rn {
+				return fmt.Errorf("query: relationship %q listed twice", rn)
 			}
 		}
-	}
-	seenRel := map[string]bool{}
-	for _, rn := range q.Relationships {
-		if seenRel[rn] {
-			return fmt.Errorf("query: relationship %q listed twice", rn)
-		}
-		seenRel[rn] = true
 		r := s.Relationship(rn)
 		if r == nil {
 			return fmt.Errorf("query: unknown relationship %q", rn)
 		}
-		if !seen[r.Source] || !seen[r.Target] {
+		if !q.HasClass(r.Source) || !q.HasClass(r.Target) {
 			return fmt.Errorf("query: relationship %q connects classes outside the class list", rn)
 		}
 	}
 	if !s.Connected(q.Classes, q.Relationships) {
 		return fmt.Errorf("query: classes %v are not connected by relationships %v", q.Classes, q.Relationships)
+	}
+	return nil
+}
+
+// validatePred checks one predicate against schema and class list.
+func (q *Query) validatePred(s *schema.Schema, p predicate.Predicate) error {
+	if err := p.Validate(s); err != nil {
+		return fmt.Errorf("query: %w", err)
+	}
+	if !q.HasClass(p.Left.Class) {
+		return fmt.Errorf("query: predicate %s references class %q outside the class list", p, p.Left.Class)
+	}
+	if p.IsJoin() && !q.HasClass(p.RightAttr.Class) {
+		return fmt.Errorf("query: predicate %s references class %q outside the class list", p, p.RightAttr.Class)
 	}
 	return nil
 }

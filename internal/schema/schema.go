@@ -246,38 +246,60 @@ func (s *Schema) IsSubclassOf(sub, super string) bool {
 // cartesian products, which the path-query model of the paper never produces;
 // query validation uses this to reject them.
 func (s *Schema) Connected(classes, rels []string) bool {
-	if len(classes) == 0 {
+	n := len(classes)
+	if n == 0 {
 		return false
 	}
-	if len(classes) == 1 {
+	if n == 1 {
 		return true
 	}
-	inSet := map[string]bool{}
-	for _, c := range classes {
-		inSet[c] = true
+	// Union-find over class-list indices. The check runs on every query
+	// validation (the optimizer's hot path) over a handful of classes, so
+	// it works in a small stack buffer with linear name lookups instead of
+	// building adjacency maps.
+	var buf [16]int32
+	parent := buf[:0]
+	if n > len(buf) {
+		parent = make([]int32, 0, n)
 	}
-	adj := map[string][]string{}
-	for _, rn := range rels {
-		r := s.rels[rn]
-		if r == nil || !inSet[r.Source] || !inSet[r.Target] {
-			continue
+	for i := 0; i < n; i++ {
+		parent = append(parent, int32(i))
+	}
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
 		}
-		adj[r.Source] = append(adj[r.Source], r.Target)
-		adj[r.Target] = append(adj[r.Target], r.Source)
+		return x
 	}
-	visited := map[string]bool{classes[0]: true}
-	stack := []string{classes[0]}
-	for len(stack) > 0 {
-		c := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, n := range adj[c] {
-			if !visited[n] {
-				visited[n] = true
-				stack = append(stack, n)
+	indexOf := func(name string) int32 {
+		for i, c := range classes {
+			if c == name {
+				return int32(i)
 			}
 		}
+		return -1
 	}
-	return len(visited) == len(classes)
+	for _, rn := range rels {
+		r := s.rels[rn]
+		if r == nil {
+			continue
+		}
+		a, b := indexOf(r.Source), indexOf(r.Target)
+		if a < 0 || b < 0 {
+			continue
+		}
+		if ra, rb := find(a), find(b); ra != rb {
+			parent[ra] = rb
+		}
+	}
+	root := find(0)
+	for i := 1; i < n; i++ {
+		if find(int32(i)) != root {
+			return false
+		}
+	}
+	return true
 }
 
 // Builder assembles and validates a Schema. Methods record definitions and

@@ -19,6 +19,7 @@ type engineConfig struct {
 	grouping        bool
 	policy          GroupPolicy
 	noIndex         bool
+	noIntern        bool
 	core            Options
 	cacheSize       int
 	workers         int
@@ -68,6 +69,19 @@ func WithGrouping(policy GroupPolicy) EngineOption {
 // WithConstraintSource, which supply their own retrieval.
 func WithConstraintIndex(enabled bool) EngineOption {
 	return func(c *engineConfig) { c.noIndex = !enabled }
+}
+
+// WithSymbolInterning toggles the interned symbol space (on by default): the
+// catalog is compiled once per generation — at NewEngine and again inside
+// every SwapCatalog — into dense class/attribute/predicate IDs, and the
+// per-query hot path (transformation table, implication matching, result
+// cache keys) runs on those IDs instead of canonical strings, with
+// per-worker scratch reuse making steady-state optimization allocation-free.
+// Disabling it restores the string-space path (the baseline the interning
+// differential tests and the `sqobench -exp interning` ablation compare
+// against). Output is identical either way; only cost changes.
+func WithSymbolInterning(enabled bool) EngineOption {
+	return func(c *engineConfig) { c.noIntern = !enabled }
 }
 
 // WithCostModel supplies the cost model used by query formulation. The model

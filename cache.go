@@ -91,12 +91,65 @@ func (c *resultCache) put(key cacheKey, res *Result) {
 	c.items[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
 }
 
-// purge drops every entry; the hit/miss/eviction counters survive.
-func (c *resultCache) purge() {
+// purge drops every entry, returning how many; the hit/miss/eviction
+// counters survive.
+func (c *resultCache) purge() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	n := c.order.Len()
 	c.order.Init()
 	clear(c.items)
+	return n
+}
+
+// update is the surgical companion of purge, for incremental catalog
+// updates: every entry of the epoch being replaced for which drop returns
+// true is removed, and every survivor is re-stamped into the new epoch in
+// place — same fingerprint, same result, same LRU position — so it keeps
+// hitting after the engine publishes the new generation. Sound because
+// query fingerprints are stable across a patch lineage (untouched symbol
+// IDs never move) and because the drop predicate guarantees a survivor's
+// result is identical under the old and the new generation.
+//
+// Entries stamped with any *other* epoch are dropped outright: they are
+// in-flight puts that landed after their generation was replaced, so they
+// were never checked against the deltas in between — re-stamping one would
+// launder a stale result past the epoch fence.
+//
+// The caller must run the sweep *before* publishing the new generation, so
+// no reader can have put a newEpoch-keyed entry yet; should one exist
+// anyway, the occupancy check keeps it (it was computed against the new
+// generation) and drops the old survivor instead of corrupting the map.
+//
+// The whole sweep — drop checks included — runs under the cache mutex, so
+// concurrent Optimize calls stall for its duration; the cost is bounded by
+// cache capacity × delta size and is paid once per catalog update, not on
+// the serving path.
+func (c *resultCache) update(oldEpoch, newEpoch uint64, drop func(*Result) bool) (purged, survived int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		ent := el.Value.(*cacheEntry)
+		if ent.key.epoch != oldEpoch || drop(ent.res) {
+			c.order.Remove(el)
+			delete(c.items, ent.key)
+			purged++
+			el = next
+			continue
+		}
+		delete(c.items, ent.key)
+		ent.key.epoch = newEpoch
+		if _, taken := c.items[ent.key]; taken {
+			c.order.Remove(el)
+			purged++
+		} else {
+			c.items[ent.key] = el
+			survived++
+		}
+		el = next
+	}
+	return purged, survived
 }
 
 // len returns the current number of cached entries.

@@ -105,6 +105,36 @@ func TestCacheEpochBumpConcurrent(t *testing.T) {
 	}
 }
 
+// TestCacheUpdateEpochFence: update re-stamps only entries of the epoch
+// being replaced. An entry stamped with any other epoch is an in-flight put
+// that landed after its generation died — it was never validated against
+// the deltas in between, so re-stamping it would launder a stale result
+// into the live epoch.
+func TestCacheUpdateEpochFence(t *testing.T) {
+	c := newResultCache(8)
+	qa, qb, qc := cacheQuery("a"), cacheQuery("b"), cacheQuery("c")
+	resA, resB, resC := &Result{}, &Result{}, &Result{}
+	c.put(testKey(1, qa), resA) // current generation: must survive
+	c.put(testKey(0, qb), resB) // orphan from a replaced generation: must drop
+	c.put(testKey(2, qc), resC) // impossible future stamp: must drop too
+
+	purged, survived := c.update(1, 2, func(*Result) bool { return false })
+	if purged != 2 || survived != 1 {
+		t.Fatalf("update purged %d / survived %d, want 2/1", purged, survived)
+	}
+	if res, ok := c.get(testKey(2, qa)); !ok || res != resA {
+		t.Fatal("current-epoch entry was not re-stamped into the new epoch")
+	}
+	for _, probe := range []cacheKey{testKey(0, qb), testKey(2, qb), testKey(2, qc)} {
+		if _, ok := c.get(probe); ok {
+			t.Fatalf("orphan entry reachable under %+v", probe)
+		}
+	}
+	if c.len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", c.len())
+	}
+}
+
 // TestCacheStatsConsistency: under concurrent traffic the counters must
 // reconcile exactly — every get is a hit or a miss, evictions never exceed
 // inserts, and occupancy respects capacity.

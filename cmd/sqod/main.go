@@ -12,8 +12,14 @@
 //	POST /optimize        {"query": "(SELECT ...)", "timeout_ms": 250}
 //	POST /optimize/batch  {"queries": ["(SELECT ...)", ...]}
 //	POST /catalog/swap    {"catalog": "c1: a.x = 1 [r] -> b.y = 2\n..."}
+//	POST /catalog/update  {"add": ["c9: ..."], "remove": ["c1"], "replace": {"c2": "c2: ..."}}
 //	GET  /healthz
 //	GET  /stats
+//
+// /catalog/update applies an incremental delta (Engine.UpdateCatalog): with
+// the default retrieval stack and -closure=false it patches the generation
+// in O(|delta|) and invalidates only the cached results the delta touches;
+// with -closure (the default) it falls back to a full rebuild, like a swap.
 //
 // Usage:
 //

@@ -4,13 +4,18 @@
 // file emitted by `sqogen -n 40 -emit queries.txt`) from a fleet of
 // concurrent clients at a target aggregate QPS, mixing single /optimize
 // requests with client-side /optimize/batch batches, optionally hot-swapping
-// the constraint catalog mid-run, and prints p50/p95/p99 per traffic kind
-// plus a machine-readable JSON summary.
+// the constraint catalog mid-run (-swap) or interleaving small incremental
+// /catalog/update deltas at a configured rate (-mutate), and prints
+// p50/p95/p99 per traffic kind plus a machine-readable JSON summary. Under
+// -mutate, update latency is reported as its own traffic kind, and the
+// summary carries the post-mutation cache hit-rate — run sqod with
+// -closure=false to exercise the engine's incremental path end to end.
 //
 // Usage:
 //
 //	sqoload -addr http://localhost:7411 -clients 8 -duration 10s -qps 500
 //	sqoload -workload queries.txt -batch-frac 0.3 -swap -json summary.json
+//	sqoload -mutate -mutate-interval 250ms -duration 30s
 package main
 
 import (
@@ -39,6 +44,8 @@ var (
 	batchFrac    = flag.Float64("batch-frac", 0.2, "fraction of requests sent as /optimize/batch")
 	batchSize    = flag.Int("batch-size", 8, "queries per batch request")
 	swap         = flag.Bool("swap", false, "hot-swap the constraint catalog halfway through the run")
+	mutate       = flag.Bool("mutate", false, "interleave incremental POST /catalog/update deltas into the run (logistics world)")
+	mutateEvery  = flag.Duration("mutate-interval", 500*time.Millisecond, "delay between catalog deltas under -mutate")
 	seed         = flag.Int64("seed", 41, "workload seed (matches sqogen)")
 	dbName       = flag.String("db", "DB1", "database instance used to generate the workload")
 	poolSize     = flag.Int("pool", 64, "distinct queries in the replay pool")
@@ -72,17 +79,23 @@ type kindSummary struct {
 	MaxUS    int64 `json:"max_us"`
 }
 
-// summary is the machine-readable run report.
+// summary is the machine-readable run report. Under -mutate, the "update"
+// kind carries the catalog-delta latency percentiles (separate from query
+// traffic) and PostMutationHitRate reports the engine's cache hit-rate over
+// the window from the first delta to the end of the run — the measured
+// survival of the surgically invalidated cache.
 type summary struct {
-	Addr        string                 `json:"addr"`
-	Clients     int                    `json:"clients"`
-	TargetQPS   float64                `json:"target_qps"`
-	DurationS   float64                `json:"duration_s"`
-	Requests    int                    `json:"requests"`
-	Queries     int                    `json:"queries"` // batches count batch-size queries
-	Non2xx      int                    `json:"non_2xx"`
-	AchievedRPS float64                `json:"achieved_rps"`
-	Kinds       map[string]kindSummary `json:"kinds"`
+	Addr                string                 `json:"addr"`
+	Clients             int                    `json:"clients"`
+	TargetQPS           float64                `json:"target_qps"`
+	DurationS           float64                `json:"duration_s"`
+	Requests            int                    `json:"requests"`
+	Queries             int                    `json:"queries"` // batches count batch-size queries
+	Non2xx              int                    `json:"non_2xx"`
+	AchievedRPS         float64                `json:"achieved_rps"`
+	Kinds               map[string]kindSummary `json:"kinds"`
+	Updates             int                    `json:"updates,omitempty"`
+	PostMutationHitRate *float64               `json:"post_mutation_hit_rate,omitempty"`
 }
 
 func run() error {
@@ -149,12 +162,28 @@ func run() error {
 		}()
 	}
 
+	var mut *mutator
+	if *mutate {
+		mut = &mutator{client: client, base: base}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mut.run(&stop, record)
+		}()
+	}
+
 	time.Sleep(*duration)
 	stop.Store(true)
 	wg.Wait()
 	elapsed := time.Since(start)
 
 	sum := summarize(samples, elapsed)
+	if mut != nil {
+		sum.Updates = mut.sent
+		if rate, ok := mut.hitRate(client, base); ok {
+			sum.PostMutationHitRate = &rate
+		}
+	}
 	printHuman(sum)
 	if err := writeJSON(sum); err != nil {
 		return err
@@ -283,6 +312,84 @@ func sendBatch(client *http.Client, base string, queries []string) sample {
 	return post(client, base+"/optimize/batch", map[string]any{"queries": queries}, "batch")
 }
 
+// mutator drives the incremental-update traffic of -mutate: every
+// -mutate-interval it POSTs one small /catalog/update delta, alternating
+// between adding a fresh synthetic intra-class vehicle rule and removing it
+// again, so the catalog size stays bounded while every delta is a real
+// generation change. Before the first delta it snapshots the engine's cache
+// counters, so the run can report the post-mutation hit-rate — how much of
+// the cache the surgical invalidation kept alive.
+type mutator struct {
+	client *http.Client
+	base   string
+	sent   int
+	seq    int
+
+	baseHits, baseMisses int64
+	baselined            bool
+}
+
+func (m *mutator) run(stop *atomic.Bool, record func(sample)) {
+	for !stop.Load() {
+		time.Sleep(*mutateEvery)
+		if stop.Load() {
+			return
+		}
+		if !m.baselined {
+			if hits, misses, err := fetchCacheCounters(m.client, m.base); err == nil {
+				m.baseHits, m.baseMisses, m.baselined = hits, misses, true
+			}
+		}
+		var body map[string]any
+		if m.sent%2 == 0 {
+			m.seq++
+			line := fmt.Sprintf("zload%d: vehicle.desc = %q -> vehicle.capacity <= %d",
+				m.seq, fmt.Sprintf("load-mut-%d", m.seq), 100+m.seq)
+			body = map[string]any{"add": []string{line}}
+		} else {
+			body = map[string]any{"remove": []string{fmt.Sprintf("zload%d", m.seq)}}
+		}
+		record(post(m.client, m.base+"/catalog/update", body, "update"))
+		m.sent++
+	}
+}
+
+// hitRate reports the engine's cache hit-rate since the first delta.
+func (m *mutator) hitRate(client *http.Client, base string) (float64, bool) {
+	if !m.baselined {
+		return 0, false
+	}
+	hits, misses, err := fetchCacheCounters(client, base)
+	if err != nil {
+		return 0, false
+	}
+	dh, dm := hits-m.baseHits, misses-m.baseMisses
+	if dh+dm <= 0 {
+		return 0, false
+	}
+	return float64(dh) / float64(dh+dm), true
+}
+
+// fetchCacheCounters reads the engine's cumulative cache counters from
+// GET /stats.
+func fetchCacheCounters(client *http.Client, base string) (hits, misses int64, err error) {
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Engine struct {
+			CacheHits   int64 `json:"CacheHits"`
+			CacheMisses int64 `json:"CacheMisses"`
+		} `json:"engine"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return 0, 0, err
+	}
+	return body.Engine.CacheHits, body.Engine.CacheMisses, nil
+}
+
 // sendSwap re-renders the logistics constraint catalog and swaps it in: a
 // content-level no-op, but a real epoch bump that purges the result cache —
 // exactly the invalidation a production catalog update causes.
@@ -349,6 +456,14 @@ func percentile(sorted []int64, q float64) int64 {
 func printHuman(sum summary) {
 	fmt.Printf("sqoload: %d requests (%d queries) in %.1fs against %s — %.1f req/s, %d non-2xx\n",
 		sum.Requests, sum.Queries, sum.DurationS, sum.Addr, sum.AchievedRPS, sum.Non2xx)
+	if sum.Updates > 0 {
+		if sum.PostMutationHitRate != nil {
+			fmt.Printf("  %d catalog deltas applied; post-mutation cache hit-rate %.1f%%\n",
+				sum.Updates, *sum.PostMutationHitRate*100)
+		} else {
+			fmt.Printf("  %d catalog deltas applied\n", sum.Updates)
+		}
+	}
 	kinds := make([]string, 0, len(sum.Kinds))
 	for k := range sum.Kinds {
 		kinds = append(kinds, k)

@@ -1,0 +1,191 @@
+package sqo_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"sqo"
+	"sqo/internal/datagen"
+)
+
+// BenchmarkCatalogUpdate measures one incremental UpdateCatalog call across
+// catalog sizes (10²–10⁴ rules) and delta sizes (1/10/100 rules). Each
+// iteration applies one delta: removals and re-additions of the same rule
+// batch alternate, so the live catalog size stays put while every call is a
+// real generation change (tombstone compaction, when the guardrail trips,
+// is part of the measured amortized cost). Compare with the full-rebuild
+// baseline BenchmarkCatalogSwap at the same sizes.
+func BenchmarkCatalogUpdate(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		sch, cat, err := sqo.GenerateScaledWorld(sqo.ScaledConfig{Constraints: n, Seed: int64(n)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, ds := range []int{1, 10, 100} {
+			b.Run(fmt.Sprintf("catalog=%d/delta=%d", n, ds), func(b *testing.B) {
+				eng, err := sqo.NewEngine(sch, sqo.WithCatalog(cat), sqo.WithResultCache(1024))
+				if err != nil {
+					b.Fatal(err)
+				}
+				all := cat.All()
+				// Pay the one-time lineage promotion outside the timer.
+				if _, err := eng.UpdateCatalog(sqo.NewCatalogDelta().
+					ReplaceConstraint(all[0].ID, all[0])); err != nil {
+					b.Fatal(err)
+				}
+				pos, removed := 0, []*sqo.Constraint(nil)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					d := sqo.NewCatalogDelta()
+					if removed == nil {
+						removed = make([]*sqo.Constraint, 0, ds)
+						for k := 0; k < ds && k < len(all); k++ {
+							c := all[(pos+k)%len(all)]
+							removed = append(removed, c)
+							d.RemoveConstraints(c.ID)
+						}
+					} else {
+						d.AddConstraints(removed...)
+						pos += len(removed)
+						removed = nil
+					}
+					if _, err := eng.UpdateCatalog(d); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCatalogSwap is the full-rebuild baseline UpdateCatalog is judged
+// against: one SwapCatalog of the identical catalog per iteration.
+func BenchmarkCatalogSwap(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		sch, cat, err := sqo.GenerateScaledWorld(sqo.ScaledConfig{Constraints: n, Seed: int64(n)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("catalog=%d", n), func(b *testing.B) {
+			eng, err := sqo.NewEngine(sch, sqo.WithCatalog(cat), sqo.WithResultCache(1024))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := eng.SwapCatalog(cat); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestCatalogUpdateSpeedup is the performance acceptance bar of the delta
+// subsystem: on a 10⁴-rule catalog, applying a 1-rule delta must be at
+// least 10x faster than a full SwapCatalog of the same catalog. The
+// measured gap is far larger; 10x leaves room for noisy CI machines.
+func TestCatalogUpdateSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation distorts the timing ratio; the non-race CI job runs this")
+	}
+	sch, cat, err := sqo.GenerateScaledWorld(sqo.ScaledConfig{Constraints: 10000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sqo.NewEngine(sch, sqo.WithCatalog(cat), sqo.WithResultCache(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := cat.All()
+
+	// Warm the lineage (first delta pays the one-time map promotion).
+	if _, err := eng.UpdateCatalog(sqo.NewCatalogDelta().ReplaceConstraint(all[0].ID, all[0])); err != nil {
+		t.Fatal(err)
+	}
+	best := func(passes int, f func()) time.Duration {
+		b := time.Duration(1<<62 - 1)
+		for i := 0; i < passes; i++ {
+			start := time.Now()
+			f()
+			if d := time.Since(start); d < b {
+				b = d
+			}
+		}
+		return b
+	}
+	i := 1
+	upd := best(10, func() {
+		c := all[i%len(all)]
+		i++
+		if _, err := eng.UpdateCatalog(sqo.NewCatalogDelta().ReplaceConstraint(c.ID, c)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	swap := best(3, func() {
+		if err := eng.SwapCatalog(cat); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("10⁴-rule catalog: 1-rule UpdateCatalog %v, full SwapCatalog %v (%.1fx)",
+		upd, swap, float64(swap)/float64(upd))
+	if swap < upd*10 {
+		t.Errorf("1-rule delta apply is only %.1fx faster than a full swap, want >= 10x (update %v, swap %v)",
+			float64(swap)/float64(upd), upd, swap)
+	}
+}
+
+// TestCatalogUpdateZeroAllocSurvivors gates the acceptance criterion that
+// cached entries untouched by a delta keep serving with zero heap
+// allocations after the mutation — the surgical invalidation must not
+// degrade the interned hot path — and that the post-mutation hit-rate is
+// strictly positive.
+func TestCatalogUpdateZeroAllocSurvivors(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the non-race CI job runs this")
+	}
+	eng, err := sqo.NewEngine(datagen.Schema(),
+		sqo.WithCatalog(datagen.Constraints()), sqo.WithResultCache(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	qDriver := sqo.NewQuery("driver").
+		AddProject("driver", "name").
+		AddSelect(sqo.Eq("driver", "rank", sqo.StringValue("supervisor")))
+	if _, err := eng.Optimize(ctx, qDriver); err != nil {
+		t.Fatal(err)
+	}
+
+	// A vehicle rule is irrelevant to the driver query: its entry must
+	// survive the update.
+	r := freshRule(t)
+	rep, err := eng.UpdateCatalog(sqo.NewCatalogDelta().AddConstraints(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CacheSurvived == 0 {
+		t.Fatalf("report = %+v, want a surviving cache entry", rep)
+	}
+
+	before := eng.Stats()
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := eng.Optimize(ctx, qDriver); err != nil {
+			t.Fatal(err)
+		}
+	})
+	after := eng.Stats()
+	if after.CacheHits <= before.CacheHits {
+		t.Fatal("post-mutation hit-rate is zero: surviving entry did not serve")
+	}
+	if allocs != 0 {
+		t.Errorf("cached Optimize after UpdateCatalog = %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,180 @@
+package sqo_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sqo"
+)
+
+// TestDeltaDifferential is the correctness acceptance bar of the incremental
+// catalog-mutation subsystem: the engine state built by ANY randomized
+// sequence of UpdateCatalog deltas (adds, removes, replaces, re-adds of
+// previously removed rules) must be byte-identical — optimizer output,
+// per-query stats, and index shape — to a from-scratch engine built over the
+// final catalog. It sweeps the paper's logistics world plus scaled worlds at
+// 10² and 10³ constraints, re-verifying the full workload after every delta
+// round; well over a thousand query comparisons per world set.
+func TestDeltaDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep")
+	}
+	total := 0
+
+	db, err := sqo.GenerateDatabase(sqo.DB1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := sqo.LogisticsConstraints()
+	gen := sqo.NewWorkloadGenerator(db, cat, sqo.WorkloadOptions{Seed: 41})
+	workload, err := gen.Workload(240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total += runDeltaDifferential(t, "logistics", db.Schema(), cat, workload, 101)
+
+	for _, n := range []int{100, 1000} {
+		label := fmt.Sprintf("scaled-%d", n)
+		sch, scat, err := sqo.GenerateScaledWorld(sqo.ScaledConfig{Constraints: n, Seed: int64(n)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs, err := sqo.ScaledWorkload(sch, scat, 400, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += runDeltaDifferential(t, label, sch, scat, qs, int64(7*n))
+	}
+
+	if total < 1040 {
+		t.Fatalf("delta differential covered only %d queries, want >= 1040", total)
+	}
+	t.Logf("delta differential: %d query comparisons", total)
+}
+
+// runDeltaDifferential starts an engine on a random subset of cat, applies
+// several random delta rounds, and after every round compares the mutated
+// engine against a from-scratch engine over the engine's own declared
+// catalog. Returns the number of per-query comparisons performed.
+func runDeltaDifferential(t *testing.T, label string, sch *sqo.Schema, cat *sqo.Catalog, qs []*sqo.Query, seed int64) int {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	all := cat.All()
+
+	// Start on a ~60% prefix-order-preserving random subset; the rest form
+	// the pool of rules the deltas draw additions from. Removed rules go
+	// back to the pool, so re-adding a tombstoned rule (symbol and ordinal
+	// reuse) is part of every run.
+	var start []*sqo.Constraint
+	var pool []*sqo.Constraint
+	for _, c := range all {
+		if rng.Float64() < 0.6 {
+			start = append(start, c)
+		} else {
+			pool = append(pool, c)
+		}
+	}
+	if len(start) == 0 {
+		start, pool = pool, nil
+	}
+	startCat, err := sqo.NewCatalog(start...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sqo.NewEngine(sch, sqo.WithCatalog(startCat), sqo.WithResultCache(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	live := append([]*sqo.Constraint(nil), start...)
+	checked := 0
+	const rounds = 4
+	for round := 0; round < rounds; round++ {
+		d := sqo.NewCatalogDelta()
+		// Removals (up to 2): removed rules rejoin the pool.
+		for k := 0; k < 2 && len(live) > 1; k++ {
+			i := rng.Intn(len(live))
+			d.RemoveConstraints(live[i].ID)
+			pool = append(pool, live[i])
+			live = append(live[:i], live[i+1:]...)
+		}
+		// A replace (sometimes): swap a live rule for a pooled one. The
+		// replacement lands at the end of the catalog order.
+		if len(live) > 1 && len(pool) > 0 && rng.Intn(2) == 0 {
+			i, j := rng.Intn(len(live)), rng.Intn(len(pool))
+			old, repl := live[i], pool[j]
+			d.ReplaceConstraint(old.ID, repl)
+			pool[j] = old
+			live = append(append(live[:i:i], live[i+1:]...), repl)
+		}
+		// Additions (up to 3) from the pool.
+		for k := 0; k < 3 && len(pool) > 0; k++ {
+			j := rng.Intn(len(pool))
+			d.AddConstraints(pool[j])
+			live = append(live, pool[j])
+			pool = append(pool[:j], pool[j+1:]...)
+		}
+		if d.Empty() {
+			continue
+		}
+		rep, err := eng.UpdateCatalog(d)
+		if err != nil {
+			t.Fatalf("%s round %d: %v", label, round, err)
+		}
+		if !rep.Incremental {
+			t.Fatalf("%s round %d: expected the incremental path, got %+v", label, round, rep)
+		}
+
+		// Reference: a from-scratch engine over the mutated engine's own
+		// declared catalog (also exercising lazy materialization).
+		ref, err := sqo.NewEngine(sch, sqo.WithCatalog(eng.Catalog()))
+		if err != nil {
+			t.Fatalf("%s round %d: reference engine: %v", label, round, err)
+		}
+		if got, want := eng.Stats().Constraints, ref.Stats().Constraints; got != want {
+			t.Fatalf("%s round %d: constraint count %d, reference %d", label, round, got, want)
+		}
+		if got, want := eng.Stats().ConstraintIndex, ref.Stats().ConstraintIndex; !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s round %d: index stats diverge\npatched: %+v\nscratch: %+v", label, round, got, want)
+		}
+		for _, q := range qs {
+			diffDelta(t, fmt.Sprintf("%s round %d", label, round), eng, ref, q)
+			checked++
+		}
+	}
+	return checked
+}
+
+// diffDelta optimizes one query through the delta-built and the from-scratch
+// engine and fails on any divergence, down to fire counts (catalog order is
+// preserved by construction, so even order-sensitive statistics must agree).
+func diffDelta(t *testing.T, label string, mutated, scratch *sqo.Engine, q *sqo.Query) {
+	t.Helper()
+	ctx := context.Background()
+	a, err := mutated.Optimize(ctx, q)
+	if err != nil {
+		t.Fatalf("%s: delta-built optimize: %v\n%s", label, err, q)
+	}
+	b, err := scratch.Optimize(ctx, q)
+	if err != nil {
+		t.Fatalf("%s: from-scratch optimize: %v\n%s", label, err, q)
+	}
+	if got, want := a.Optimized.String(), b.Optimized.String(); got != want {
+		t.Fatalf("%s: outputs diverge\nquery:   %s\npatched: %s\nscratch: %s", label, q, got, want)
+	}
+	if a.EmptyResult != b.EmptyResult {
+		t.Fatalf("%s: EmptyResult diverges for %s", label, q)
+	}
+	if a.Stats.Fires != b.Stats.Fires || a.Stats.RelevantConstraints != b.Stats.RelevantConstraints {
+		t.Fatalf("%s: stats diverge for %s: fires %d/%d relevant %d/%d",
+			label, q, a.Stats.Fires, b.Stats.Fires,
+			a.Stats.RelevantConstraints, b.Stats.RelevantConstraints)
+	}
+	if !reflect.DeepEqual(a.FinalTags(), b.FinalTags()) {
+		t.Fatalf("%s: final tags diverge for %s\npatched: %v\nscratch: %v",
+			label, q, a.FinalTags(), b.FinalTags())
+	}
+}

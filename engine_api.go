@@ -8,7 +8,9 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"sqo/internal/constraint"
 	"sqo/internal/core"
+	"sqo/internal/delta"
 	"sqo/internal/index"
 	"sqo/internal/symtab"
 )
@@ -40,24 +42,74 @@ type Engine struct {
 	state  atomic.Pointer[engineState]
 	cache  *resultCache // nil when caching is disabled
 
-	swapMu sync.Mutex // serializes SwapCatalog (readers never take it)
+	swapMu sync.Mutex // serializes SwapCatalog/UpdateCatalog (readers never take it)
+
+	// Mutation-side lineage state of the incremental update path, guarded
+	// by swapMu: the append-only ordinal space bookkeeping and the index's
+	// re-homing frequencies. nil until the first UpdateCatalog after a
+	// construction or full swap.
+	mut    *delta.State
+	idxLin *index.Lineage
 
 	optimizations atomic.Int64
 	swaps         atomic.Int64
+	updates       atomic.Int64
+	cachePurged   atomic.Int64
+	cacheSurvived atomic.Int64
 }
 
 // engineState is everything derived from one catalog generation. It is
-// immutable after construction and replaced wholesale by SwapCatalog, so a
-// query can never observe the catalog of one generation paired with the
-// index (or groups, closure, symbol space) of another.
+// immutable after construction and replaced wholesale by SwapCatalog (full
+// rebuild) or UpdateCatalog (structural patch), so a query can never observe
+// the catalog of one generation paired with the index (or groups, closure,
+// symbol space) of another.
 type engineState struct {
-	declared *Catalog         // as supplied; nil for a custom ConstraintSource
+	declared *Catalog         // as supplied; nil for a custom ConstraintSource or a delta generation
 	active   *Catalog         // after closure materialization; what retrieval serves
 	index    *ConstraintIndex // inverted retrieval index over active; nil when disabled
 	syms     *symtab.Table    // interned symbol space of active; nil when interning is off
 	closure  ClosureStats
 	opt      *Optimizer
 	epoch    uint64
+
+	// gen is the catalog view of a delta-built generation (declared and
+	// active are nil then; the incremental path implies no closure). The
+	// *Catalog form is materialized lazily, only when someone asks.
+	gen     *delta.Gen
+	catOnce sync.Once
+	lazyCat *Catalog
+}
+
+// catalogView returns the generation's declared catalog, materializing it
+// on first use for delta-built generations.
+func (st *engineState) catalogView() *Catalog {
+	if st.declared != nil || st.gen == nil {
+		return st.declared
+	}
+	st.catOnce.Do(func() {
+		cat, err := constraint.NewCatalog(st.gen.Constraints()...)
+		if err != nil {
+			// Delta validation guarantees unique IDs among live
+			// constraints; failing here means the lineage bookkeeping is
+			// corrupt, which must surface at its source, not as a nil
+			// catalog somewhere downstream.
+			panic("sqo: delta generation failed to materialize: " + err.Error())
+		}
+		st.lazyCat = cat
+	})
+	return st.lazyCat
+}
+
+// constraintCount returns the size of the generation's active catalog.
+func (st *engineState) constraintCount() int {
+	switch {
+	case st.active != nil:
+		return st.active.Len()
+	case st.gen != nil:
+		return st.gen.Live()
+	default:
+		return 0
+	}
 }
 
 // NewEngine builds an engine over the schema. Exactly one of WithCatalog and
@@ -93,17 +145,29 @@ func NewEngine(s *Schema, opts ...EngineOption) (*Engine, error) {
 	return e, nil
 }
 
+// effectiveCoreOpts resolves the engine's construction-time optimizer
+// options into the form every generation is built with — swap-built
+// (buildState) and delta-built (UpdateCatalog) generations must configure
+// their optimizers identically.
+func (e *Engine) effectiveCoreOpts() Options {
+	opts := e.cfg.core
+	if opts.Cost == nil {
+		opts.Cost = HeuristicCost{Schema: e.schema}
+	}
+	opts.DisableInterning = opts.DisableInterning || e.cfg.noIntern
+	// Dependency sets exist to invalidate cached results surgically; with
+	// no cache they would be a wasted allocation per optimization.
+	opts.RecordDeps = opts.RecordDeps || e.cache != nil
+	return opts
+}
+
 // buildState materializes one catalog generation: validate, close, compile
 // the interned symbol space, index/group, and construct the optimizer over
 // it. The symbol space is compiled exactly once per generation and shared by
 // the index, the optimizer's transformation tables and the result cache's
 // key hashing.
 func (e *Engine) buildState(cat *Catalog, epoch uint64) (*engineState, error) {
-	coreOpts := e.cfg.core
-	if coreOpts.Cost == nil {
-		coreOpts.Cost = HeuristicCost{Schema: e.schema}
-	}
-	coreOpts.DisableInterning = coreOpts.DisableInterning || e.cfg.noIntern
+	coreOpts := e.effectiveCoreOpts()
 	st := &engineState{declared: cat, epoch: epoch}
 	src := e.cfg.source
 	if cat != nil {
@@ -311,11 +375,199 @@ func (e *Engine) SwapCatalog(cat *Catalog) error {
 		return err
 	}
 	e.state.Store(st)
+	e.mut, e.idxLin = nil, nil // a full rebuild starts a fresh ordinal lineage
 	e.swaps.Add(1)
 	if e.cache != nil {
 		e.cache.purge()
 	}
 	return nil
+}
+
+// UpdateCatalog applies an incremental delta to the engine's declared
+// constraint catalog — the O(|delta|) alternative to SwapCatalog's full
+// rebuild. The current generation's interned symbol space and inverted index
+// are patched by structural sharing (untouched IDs, posting lists and
+// adjacency rows are shared with the prior generation; removed constraints
+// leave tombstoned ordinals), and the result cache is invalidated
+// surgically: only entries whose recorded dependency set intersects the
+// delta — they consulted a removed constraint, or an added constraint is
+// relevant to their query — are dropped, while every other entry is
+// re-stamped into the new epoch and keeps serving.
+//
+// In-flight optimizations finish against the old generation, exactly as
+// with SwapCatalog. On error (unknown removal ID, invalid constraint,
+// duplicate ID) the engine keeps serving the old generation with epoch and
+// cache untouched.
+//
+// The incremental path requires the engine's default retrieval stack —
+// interned symbols plus the constraint index, without closure
+// materialization or grouped retrieval. Engines configured otherwise fall
+// back to a full rebuild with the same delta semantics (the report says so),
+// which for a closure engine also re-materializes the closure. Engines built
+// with WithConstraintSource cannot mutate their catalog at all.
+func (e *Engine) UpdateCatalog(d *CatalogDelta) (UpdateReport, error) {
+	if e.cfg.source != nil {
+		return UpdateReport{}, errors.New("sqo: engine was built with WithConstraintSource; UpdateCatalog requires WithCatalog")
+	}
+	e.swapMu.Lock()
+	defer e.swapMu.Unlock()
+	cur := e.state.Load()
+	if d.Empty() {
+		return UpdateReport{Epoch: cur.epoch, Incremental: e.incrementalOK()}, nil
+	}
+	if !e.incrementalOK() {
+		return e.rebuildWith(cur, d)
+	}
+	if e.mut == nil {
+		// First delta of this lineage: seed the mutation-side state from
+		// the generation's catalog order (the ordinal space the symbol
+		// table and index were compiled over).
+		e.mut = delta.NewState(cur.active.All())
+		e.idxLin = index.NewLineage(cur.index)
+	}
+	plan, err := e.mut.Plan(d.ops, e.schema)
+	if err != nil {
+		return UpdateReport{}, err
+	}
+	if plan.Empty() {
+		return UpdateReport{Epoch: cur.epoch, Incremental: true}, nil // on the incremental path by construction
+	}
+	// Compaction: once tombstones outnumber live constraints the lineage
+	// carries more garbage than catalog; fold the delta into a full
+	// rebuild, which restarts the ordinal space dense.
+	if dead := e.mut.Dead() + len(plan.RemovedOrds); dead > 64 && dead > e.mut.Live()-len(plan.RemovedOrds)+len(plan.Added) {
+		return e.rebuildWith(cur, d)
+	}
+
+	newSyms, addedOrds := cur.syms.Patch(plan.Added)
+	newIndex := cur.index.Patch(e.idxLin, newSyms, plan.RemovedOrds, plan.Added, addedOrds)
+	e.mut.Commit(plan, addedOrds)
+
+	st := &engineState{
+		index: newIndex,
+		syms:  newSyms,
+		gen:   e.mut.Snapshot(),
+		opt:   core.NewOptimizerSymbols(e.schema, newIndex, newSyms, e.effectiveCoreOpts()),
+		epoch: cur.epoch + 1,
+	}
+	rep := UpdateReport{
+		Added:       len(plan.Added),
+		Removed:     len(plan.RemovedOrds),
+		Epoch:       st.epoch,
+		Incremental: true,
+	}
+	// Sweep before publishing: no reader can hold the new generation yet,
+	// so every entry the sweep sees is old-epoch-keyed (see cache.update).
+	if e.cache != nil {
+		rep.CachePurged, rep.CacheSurvived = e.cache.update(cur.epoch, st.epoch,
+			purgeCheck(plan, cur.syms, newSyms))
+		e.cachePurged.Add(int64(rep.CachePurged))
+		e.cacheSurvived.Add(int64(rep.CacheSurvived))
+	}
+	e.state.Store(st)
+	e.updates.Add(1)
+	return rep, nil
+}
+
+// incrementalOK reports whether the engine's configuration supports the
+// incremental update path: the default retrieval stack (interned symbol
+// space + constraint index), no closure materialization, no grouping.
+func (e *Engine) incrementalOK() bool {
+	return !e.cfg.closure && !e.cfg.grouping && !e.cfg.noIndex &&
+		!e.cfg.noIntern && !e.cfg.core.DisableInterning
+}
+
+// rebuildWith is UpdateCatalog's fallback: apply the delta to the declared
+// catalog and rebuild the whole generation, with a full cache purge — the
+// exact SwapCatalog semantics, driven by delta ops.
+func (e *Engine) rebuildWith(cur *engineState, d *CatalogDelta) (UpdateReport, error) {
+	newCat, plan, err := delta.Rebuild(cur.catalogView(), d.ops, e.schema)
+	if err != nil {
+		return UpdateReport{}, err
+	}
+	if plan.Empty() {
+		// Every op merged away (key-duplicate re-adds): a semantic no-op
+		// must not cost a rebuild, an epoch bump, or the cache.
+		return UpdateReport{Epoch: cur.epoch}, nil
+	}
+	st, err := e.buildState(newCat, cur.epoch+1)
+	if err != nil {
+		return UpdateReport{}, err
+	}
+	e.state.Store(st)
+	e.mut, e.idxLin = nil, nil
+	e.updates.Add(1)
+	rep := UpdateReport{
+		Added:   len(plan.Added),
+		Removed: len(plan.RemovedOrds),
+		Epoch:   st.epoch,
+	}
+	if e.cache != nil {
+		rep.CachePurged = e.cache.purge()
+		e.cachePurged.Add(int64(rep.CachePurged))
+	}
+	return rep, nil
+}
+
+// purgeCheck builds the surgical invalidation predicate of one delta: drop
+// a cached result when its dependency set contains a removed constraint,
+// when an added constraint is relevant to its query (it would change the
+// relevant set, and so possibly the output), when the delta interned one of
+// the query's symbols (the fingerprint basis shifts from content to ID
+// hashing, so the re-stamped key could never be hit again), or when its
+// dependency set is unknown. Everything else provably optimizes identically
+// — and fingerprints identically — under the new generation and survives.
+func purgeCheck(plan delta.Plan, oldSyms, newSyms *symtab.Table) func(*Result) bool {
+	var maxOrd int32 = -1
+	for _, ord := range plan.RemovedOrds {
+		if ord > maxOrd {
+			maxOrd = ord
+		}
+	}
+	removed := make([]uint64, int(maxOrd+64)/64+1)
+	for _, ord := range plan.RemovedOrds {
+		removed[ord/64] |= 1 << (ord % 64)
+	}
+	oldPreds, oldAttrs, oldClasses := oldSyms.NumPreds(), oldSyms.NumAttrs(), oldSyms.NumClasses()
+	symbolsGrew := newSyms.NumPreds() > oldPreds ||
+		newSyms.NumAttrs() > oldAttrs || newSyms.NumClasses() > oldClasses
+	return func(r *Result) bool {
+		deps := r.Deps()
+		if deps == nil {
+			return true
+		}
+		for _, ord := range deps {
+			if ord <= maxOrd && removed[ord/64]&(1<<(ord%64)) != 0 {
+				return true
+			}
+		}
+		for _, c := range plan.Added {
+			if c.RelevantTo(r.Original) {
+				return true
+			}
+		}
+		if symbolsGrew && fingerprintShifted(r.Original, newSyms, oldPreds, oldAttrs, oldClasses) {
+			return true
+		}
+		return false
+	}
+}
+
+// UpdateReport describes what one UpdateCatalog call did.
+type UpdateReport struct {
+	// Added and Removed count the constraints the delta actually added and
+	// removed (after duplicate merging; a replace counts once in each).
+	Added, Removed int
+	// Epoch is the catalog generation now serving.
+	Epoch uint64
+	// Incremental is true when the generation was patched in place-by-copy;
+	// false when the engine fell back to a full rebuild (non-default
+	// retrieval configuration, or tombstone compaction).
+	Incremental bool
+	// CachePurged and CacheSurvived count the result-cache entries dropped
+	// by the delta and re-stamped into the new epoch. Both zero when
+	// caching is disabled; on a fallback rebuild every entry is purged.
+	CachePurged, CacheSurvived int
 }
 
 // Schema returns the schema the engine was built over.
@@ -328,8 +580,10 @@ func (e *Engine) Schema() *Schema { return e.schema }
 func (e *Engine) Workers() int { return e.cfg.workers }
 
 // Catalog returns the currently declared catalog (before closure), or nil
-// when the engine was built from a custom ConstraintSource.
-func (e *Engine) Catalog() *Catalog { return e.state.Load().declared }
+// when the engine was built from a custom ConstraintSource. For a
+// delta-built generation (UpdateCatalog) the catalog object is materialized
+// on first call, in the generation's live order.
+func (e *Engine) Catalog() *Catalog { return e.state.Load().catalogView() }
 
 // EngineStats is a point-in-time snapshot of an engine's serving counters.
 type EngineStats struct {
@@ -344,10 +598,17 @@ type EngineStats struct {
 	// cached results.
 	CacheSize     int
 	CacheCapacity int
-	// CatalogSwaps counts successful SwapCatalog calls; Epoch is the
+	// CatalogSwaps counts successful SwapCatalog calls; CatalogUpdates
+	// counts successful (non-empty) UpdateCatalog calls; Epoch is the
 	// current catalog generation (0 = as constructed).
-	CatalogSwaps int64
-	Epoch        uint64
+	CatalogSwaps   int64
+	CatalogUpdates int64
+	Epoch          uint64
+	// CacheUpdatePurged and CacheUpdateSurvived are cumulative counts of
+	// result-cache entries dropped by catalog updates versus re-stamped
+	// into the new epoch — the measured surgical-invalidation win.
+	CacheUpdatePurged   int64
+	CacheUpdateSurvived int64
 	// Constraints is the size of the active catalog (after closure);
 	// DerivedConstraints is how many of those closure materialization
 	// added. Both zero for a custom ConstraintSource.
@@ -364,12 +625,15 @@ type EngineStats struct {
 func (e *Engine) Stats() EngineStats {
 	st := e.state.Load()
 	s := EngineStats{
-		Optimizations: e.optimizations.Load(),
-		CatalogSwaps:  e.swaps.Load(),
-		Epoch:         st.epoch,
+		Optimizations:       e.optimizations.Load(),
+		CatalogSwaps:        e.swaps.Load(),
+		CatalogUpdates:      e.updates.Load(),
+		CacheUpdatePurged:   e.cachePurged.Load(),
+		CacheUpdateSurvived: e.cacheSurvived.Load(),
+		Epoch:               st.epoch,
 	}
+	s.Constraints = st.constraintCount()
 	if st.active != nil {
-		s.Constraints = st.active.Len()
 		s.DerivedConstraints = st.closure.Derived
 	}
 	if st.index != nil {

@@ -89,7 +89,7 @@ func fingerprintWith(q *Query, syms *symtab.Table) QueryFingerprint {
 	flush('R')
 	for _, c := range q.Classes {
 		if syms != nil {
-			if id, ok := syms.ClassID(c); ok {
+			if id, ok := syms.ClassID(c); ok && int(id) < syms.NumClasses() {
 				item(fpMix(fpSeedClassID ^ uint64(id)))
 				continue
 			}
@@ -100,21 +100,57 @@ func fingerprintWith(q *Query, syms *symtab.Table) QueryFingerprint {
 	return f.final()
 }
 
+// fingerprintShifted reports whether any symbol of q was interned after the
+// given generation bounds — i.e. whether q's fingerprint under the patched
+// symbol space differs from its fingerprint under the generation those
+// bounds describe (a symbol moves from content hashing to ID hashing the
+// generation it is interned; IDs themselves never move). The engine's
+// surgical invalidation purges such entries: their cache key basis changed,
+// so re-stamping them would just strand unreachable zombies.
+func fingerprintShifted(q *Query, syms *symtab.Table, oldPreds, oldAttrs, oldClasses int) bool {
+	for _, a := range q.Project {
+		if id, ok := syms.AttrID(a.Class, a.Attr); ok && int(id) >= oldAttrs {
+			return true
+		}
+	}
+	for _, p := range q.Joins {
+		if id, ok := syms.PredID(p); ok && int(id) >= oldPreds {
+			return true
+		}
+	}
+	for _, p := range q.Selects {
+		if id, ok := syms.PredID(p); ok && int(id) >= oldPreds {
+			return true
+		}
+	}
+	for _, c := range q.Classes {
+		if id, ok := syms.ClassID(c); ok && int(id) >= oldClasses {
+			return true
+		}
+	}
+	return false
+}
+
 // fpPred hashes one predicate: its dense PredID when the symbol space knows
 // it, its canonical key (precomputed at construction — no rebuild) otherwise.
+// The bound check pins resolution to the generation's own symbol count: a
+// patch lineage shares its maps, so an old generation could otherwise see
+// IDs a later one interned, making the same query's fingerprint drift
+// mid-generation.
 func fpPred(p Predicate, syms *symtab.Table) uint64 {
 	if syms != nil {
-		if id, ok := syms.PredID(p); ok {
+		if id, ok := syms.PredID(p); ok && int(id) < syms.NumPreds() {
 			return fpMix(fpSeedPred ^ uint64(id))
 		}
 	}
 	return fpMix(fpString(p.Key()) ^ fpSeedContent)
 }
 
-// fpAttrRef hashes one attribute reference, by AttrID when interned.
+// fpAttrRef hashes one attribute reference, by AttrID when interned (bound
+// to the generation's own symbol count, as in fpPred).
 func fpAttrRef(a predicate.AttrRef, syms *symtab.Table) uint64 {
 	if syms != nil {
-		if id, ok := syms.AttrID(a.Class, a.Attr); ok {
+		if id, ok := syms.AttrID(a.Class, a.Attr); ok && int(id) < syms.NumAttrs() {
 			return fpMix(fpSeedAttrID ^ uint64(id))
 		}
 	}

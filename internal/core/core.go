@@ -243,6 +243,12 @@ type Options struct {
 	// DisableSubsumption turns off the formulation-time removal of
 	// predicates implied by another retained predicate.
 	DisableSubsumption bool
+	// RecordDeps makes every Result carry the catalog ordinals of the
+	// constraints it consulted (Result.Deps) — the dependency sets the
+	// engine's surgical cache invalidation needs. Off by default: the set
+	// is one extra escaping allocation per optimization, and only cached
+	// results ever get invalidated.
+	RecordDeps bool
 	// DisableInterning turns off the compiled symbol space (the interning
 	// ablation): the transformation table falls back to interning
 	// predicates by canonical key strings per query, the pre-interning

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"sqo/internal/constraint"
+	"sqo/internal/index"
+	"sqo/internal/predicate"
+	"sqo/internal/query"
+	"sqo/internal/schema"
+	"sqo/internal/symtab"
+	"sqo/internal/value"
+)
+
+// TestOptimizerLateLineageSymbols: an optimizer pinned to one generation of
+// a patch lineage shares the lineage's symbol maps, so it can resolve a
+// predicate a *later* generation interned — with a PredID beyond its own
+// generation's arrays. Such predicates must be handled as query-private
+// (what a from-scratch build of that generation would do), not crash the
+// transformation table.
+func TestOptimizerLateLineageSymbols(t *testing.T) {
+	sch := schema.NewBuilder().
+		Class("t",
+			schema.Attribute{Name: "a", Type: value.KindInt},
+			schema.Attribute{Name: "b", Type: value.KindInt}).
+		MustBuild()
+	a1 := predicate.Eq("t", "a", value.Int(1))
+	b2 := predicate.Eq("t", "b", value.Int(2))
+	late := predicate.Eq("t", "b", value.Int(99))
+
+	base := []*constraint.Constraint{constraint.New("c1", []predicate.Predicate{a1}, nil, b2)}
+	t0 := symtab.Compile(sch, base)
+	// Enter the lineage (gen 1), pin an optimizer to it, then advance the
+	// lineage with a constraint that interns a brand-new predicate.
+	c2 := constraint.New("c2", []predicate.Predicate{b2}, nil, a1)
+	t1, _ := t0.Patch([]*constraint.Constraint{c2})
+	gen1 := append(append([]*constraint.Constraint(nil), base...), c2)
+	ix := index.BuildWith(gen1, t1)
+	opt := NewOptimizerSymbols(sch, ix, t1, Options{})
+
+	t1.Patch([]*constraint.Constraint{
+		constraint.New("c3", []predicate.Predicate{late}, nil, a1),
+	})
+	if id, ok := t1.PredID(late); !ok || int(id) < t1.NumPreds() {
+		t.Fatalf("precondition: late predicate should resolve beyond gen1's space (id=%d ok=%v NumPreds=%d)",
+			id, ok, t1.NumPreds())
+	}
+
+	q := query.New("t").AddProject("t", "a").AddSelect(late)
+	res, err := opt.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gen 1 holds no constraint over the late predicate, so the query must
+	// come back essentially unchanged.
+	if got := res.Optimized.String(); got != q.String() {
+		t.Fatalf("late-symbol query transformed under a generation that predates it:\n%s\n%s", got, q)
+	}
+}

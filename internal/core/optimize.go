@@ -52,9 +52,26 @@ type Result struct {
 
 	tagged []TaggedPredicate
 
+	// deps holds the catalog ordinals of every constraint this
+	// optimization consulted (the relevant set); nil when the optimizer
+	// could not attribute ordinals (custom constraint source, interning
+	// disabled). See Deps.
+	deps []int32
+
 	ftOnce sync.Once
 	ft     map[string]Tag
 }
+
+// Deps returns the catalog ordinals of the constraints this result depends
+// on — every constraint the transformation table consulted, fired or not —
+// ascending, in the ordinal space of the catalog generation that produced
+// the result. The engine's incremental catalog updates use it to invalidate
+// only the cached results whose dependency set intersects a delta. A nil
+// return means the set is unknown (the optimizer ran without an interned
+// symbol space or against a custom constraint source) and the result must be
+// treated as depending on everything. The slice is owned by the result;
+// treat as read-only.
+func (r *Result) Deps() []int32 { return r.deps }
 
 // TaggedPredicate pairs a predicate with its final tag, for display.
 type TaggedPredicate struct {

@@ -96,6 +96,14 @@ type table struct {
 
 	queue fireQueue
 
+	// deps collects the catalog ordinals of the rows — every constraint
+	// this optimization consulted — for the engine's surgical cache
+	// invalidation. depsOK is false when any row could not be resolved to
+	// an ordinal (foreign constraint, or no symbol space), in which case
+	// the dependency set is unknown and the Result reports none.
+	deps   []int32
+	depsOK bool
+
 	ops   int64 // primitive operation counter (cost accounting)
 	trace []Transformation
 
@@ -130,6 +138,8 @@ func (t *table) reset(q *query.Query, sch *schema.Schema, opts Options, syms *sy
 	t.queryOnly = t.queryOnly[:0]
 	t.queue.entries = t.queue.entries[:0]
 	t.queue.seq = 0
+	t.deps = t.deps[:0]
+	t.depsOK = syms != nil && opts.RecordDeps
 	t.ops = 0
 	t.trace = t.trace[:0]
 
@@ -332,14 +342,17 @@ func (t *table) init(relevant []*constraint.Constraint, prefiltered bool) {
 	for _, c := range t.constraints {
 		t.ops += int64(1 + len(c.Antecedents))
 		var cons int32
-		if comp, ok := t.compiledFor(c); ok {
+		if comp, ord, ok := t.compiledFor(c); ok {
 			// Catalog constraint: predicates arrive as PredIDs; no
-			// hashing, no key comparisons.
+			// hashing, no key comparisons. The catalog ordinal joins the
+			// result's dependency set.
+			t.deps = append(t.deps, int32(ord))
 			for _, aid := range comp.Ants {
 				t.addAntCol(t.colOfCat(aid))
 			}
 			cons = t.colOfCat(comp.Cons)
 		} else {
+			t.depsOK = false
 			// Foreign constraint (custom source, or interning off):
 			// intern by canonical key as before the refactor.
 			for _, a := range c.Antecedents {
@@ -394,12 +407,17 @@ func grow(s []bool, n int) []bool {
 	return s
 }
 
-// compiledFor resolves a constraint to its compiled (PredID) form.
-func (t *table) compiledFor(c *constraint.Constraint) (symtab.Compiled, bool) {
+// compiledFor resolves a constraint to its compiled (PredID) form and its
+// catalog ordinal.
+func (t *table) compiledFor(c *constraint.Constraint) (symtab.Compiled, int, bool) {
 	if t.syms == nil {
-		return symtab.Compiled{}, false
+		return symtab.Compiled{}, 0, false
 	}
-	return t.syms.CompiledFor(c)
+	ord, ok := t.syms.Ordinal(c)
+	if !ok {
+		return symtab.Compiled{}, 0, false
+	}
+	return t.syms.CompiledAt(ord), ord, true
 }
 
 // addAntCol appends one antecedent column to the flat row being built.
@@ -441,11 +459,15 @@ func (t *table) colOfCat(id symtab.PredID) int32 {
 }
 
 // internQueryPred interns one predicate of the query itself and marks it
-// present and imperative.
+// present and imperative. A predicate resolvable through the symbol space
+// but minted after this generation (a patch lineage shares its maps, so an
+// old generation can see IDs a later one interned) is treated as
+// query-private — exactly what a from-scratch build of this generation
+// would do.
 func (t *table) internQueryPred(p predicate.Predicate) {
 	var col int32
 	if t.syms != nil {
-		if id, ok := t.syms.PredID(p); ok {
+		if id, ok := t.syms.PredID(p); ok && int(id) < t.syms.NumPreds() {
 			if t.catMark[id] == t.catGen {
 				col = t.catCol[id]
 			} else {

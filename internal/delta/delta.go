@@ -1,0 +1,282 @@
+// Package delta implements incremental catalog mutation: the op model of a
+// catalog delta (add / remove / replace), its validation against the current
+// generation, and the append-only ordinal space that lets every generation-
+// scoped structure — interned symbol space, inverted index, cached results'
+// dependency sets — survive a mutation untouched except where the delta
+// actually lands.
+//
+// The paper's optimizer assumes a fixed integrity-constraint catalog; the
+// serving engine's original mutation primitive, a full catalog swap, prices
+// every change at O(|catalog|): recompile the symbol space, rebuild the
+// index, discard the whole result cache. Under live traffic with evolving
+// constraint stores (Chomicki's preference-query setting, Siegel-style state
+// rules re-derived as the data shifts) that is the wrong cost model — a
+// one-rule change should cost O(|delta|).
+//
+// The enabling invariant is ordinal stability: within one mutation lineage
+// (started by an engine construction or full swap, advanced by deltas), a
+// constraint keeps its catalog ordinal forever. Removals tombstone ordinals
+// instead of compacting them; additions append fresh ordinals. Catalog
+// order — which the optimizer's output provably depends on only through the
+// retrieval order — is then preserved by construction: survivors keep their
+// relative order and additions go last, exactly as if the final catalog had
+// been declared from scratch in that order.
+//
+// State is the mutation-side bookkeeping (live id/key maps, the ordinal
+// space); it is owned by the engine and guarded by the engine's swap lock.
+// Gen is the immutable per-generation view published to readers.
+package delta
+
+import (
+	"fmt"
+
+	"sqo/internal/constraint"
+	"sqo/internal/schema"
+)
+
+// Kind labels one delta op.
+type Kind uint8
+
+const (
+	// Add appends a constraint to the catalog.
+	Add Kind = iota
+	// Remove deletes the constraint with the given ID.
+	Remove
+	// Replace atomically removes the constraint with the given ID and
+	// appends a new one in its stead (at the end of the catalog order).
+	Replace
+)
+
+// Op is one mutation: Add carries C, Remove carries ID, Replace carries
+// both.
+type Op struct {
+	Kind Kind
+	ID   string
+	C    *constraint.Constraint
+}
+
+// Plan is a validated delta, resolved against one generation: the ordinals
+// to tombstone and the constraints to append. Logical duplicates among the
+// adds (a constraint whose canonical key the live catalog already holds)
+// have been dropped, mirroring Catalog.Add's merge semantics.
+type Plan struct {
+	RemovedOrds []int32
+	Added       []*constraint.Constraint
+}
+
+// Empty reports whether the plan changes nothing.
+func (p Plan) Empty() bool { return len(p.RemovedOrds) == 0 && len(p.Added) == 0 }
+
+// State is the mutation-side bookkeeping of one lineage. All access is
+// serialized by the owning engine's swap lock; readers never touch it.
+type State struct {
+	all  []*constraint.Constraint // ordinal space, tombstones in place
+	dead []bool                   // per ordinal: tombstoned
+	live int
+
+	byID  map[string]int32 // live ID -> ordinal
+	byKey map[string]int32 // live canonical key -> ordinal
+}
+
+// NewState seeds the lineage from the ordered constraint set of the current
+// generation (ordinal i = position i).
+func NewState(all []*constraint.Constraint) *State {
+	s := &State{
+		all:   all,
+		dead:  make([]bool, len(all)),
+		live:  len(all),
+		byID:  make(map[string]int32, len(all)),
+		byKey: make(map[string]int32, len(all)),
+	}
+	for i, c := range all {
+		s.byID[c.ID] = int32(i)
+		s.byKey[c.Key()] = int32(i)
+	}
+	return s
+}
+
+// Live returns the number of live constraints.
+func (s *State) Live() int { return s.live }
+
+// Dead returns the number of tombstoned ordinals.
+func (s *State) Dead() int { return len(s.all) - s.live }
+
+// Constraints returns the live constraints in catalog order (fresh slice).
+func (s *State) Constraints() []*constraint.Constraint {
+	out := make([]*constraint.Constraint, 0, s.live)
+	for i, c := range s.all {
+		if !s.dead[i] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Plan validates ops in order against the current state without mutating
+// it: removals must name a live constraint, additions must validate against
+// the schema and not collide with a live ID. Key-duplicate additions are
+// silently dropped (Catalog.Add merges them); a replace whose new
+// constraint duplicates a surviving key degrades to a pure removal.
+func (s *State) Plan(ops []Op, sch *schema.Schema) (Plan, error) {
+	var p Plan
+	removed := map[int32]bool{}
+	addByID := map[string]int{} // id -> index into p.Added
+	addByKey := map[string]bool{}
+	remove := func(id string) error {
+		ord, ok := s.byID[id]
+		if ok && removed[ord] {
+			ok = false
+		}
+		if !ok {
+			// The id may name a constraint added earlier in this same
+			// delta; removing that simply cancels the addition.
+			if i, here := addByID[id]; here && p.Added[i] != nil {
+				delete(addByKey, p.Added[i].Key())
+				p.Added[i] = nil
+				delete(addByID, id)
+				return nil
+			}
+			return fmt.Errorf("delta: remove %q: no such constraint", id)
+		}
+		removed[ord] = true
+		p.RemovedOrds = append(p.RemovedOrds, ord)
+		return nil
+	}
+	add := func(c *constraint.Constraint) error {
+		if c == nil {
+			return fmt.Errorf("delta: add requires a constraint")
+		}
+		if err := c.Validate(sch); err != nil {
+			return fmt.Errorf("delta: add %q: %w", c.ID, err)
+		}
+		if ord, ok := s.byID[c.ID]; ok && !removed[ord] {
+			return fmt.Errorf("delta: add %q: id already in catalog", c.ID)
+		}
+		if _, ok := addByID[c.ID]; ok {
+			return fmt.Errorf("delta: add %q: id added twice in one delta", c.ID)
+		}
+		key := c.Key()
+		if ord, ok := s.byKey[key]; ok && !removed[ord] {
+			return nil // logical duplicate of a live constraint: merged
+		}
+		if addByKey[key] {
+			return nil // logical duplicate within the delta: merged
+		}
+		addByID[c.ID] = len(p.Added)
+		addByKey[key] = true
+		p.Added = append(p.Added, c)
+		return nil
+	}
+	for _, op := range ops {
+		switch op.Kind {
+		case Remove:
+			if err := remove(op.ID); err != nil {
+				return Plan{}, err
+			}
+		case Add:
+			if err := add(op.C); err != nil {
+				return Plan{}, err
+			}
+		case Replace:
+			if err := remove(op.ID); err != nil {
+				return Plan{}, err
+			}
+			if err := add(op.C); err != nil {
+				return Plan{}, err
+			}
+		default:
+			return Plan{}, fmt.Errorf("delta: unknown op kind %d", op.Kind)
+		}
+	}
+	// Compact additions cancelled by a later removal in the same delta.
+	kept := p.Added[:0]
+	for _, c := range p.Added {
+		if c != nil {
+			kept = append(kept, c)
+		}
+	}
+	p.Added = kept
+	return p, nil
+}
+
+// Commit applies a validated plan: tombstones the removed ordinals and
+// appends the added constraints at addedOrds (which must be the next
+// ordinals in sequence, as symtab.Patch assigns them).
+func (s *State) Commit(p Plan, addedOrds []int32) {
+	for _, ord := range p.RemovedOrds {
+		c := s.all[ord]
+		s.dead[ord] = true
+		s.live--
+		delete(s.byID, c.ID)
+		delete(s.byKey, c.Key())
+	}
+	for i, c := range p.Added {
+		ord := addedOrds[i]
+		if int(ord) != len(s.all) {
+			panic("delta: non-contiguous ordinal assignment")
+		}
+		s.all = append(s.all, c)
+		s.dead = append(s.dead, false)
+		s.live++
+		s.byID[c.ID] = ord
+		s.byKey[c.Key()] = ord
+	}
+}
+
+// Gen is the immutable catalog view of one delta-built generation: the
+// frozen ordinal space plus its tombstone set. Engines publish one per
+// generation; Constraints materializes the live catalog order on demand.
+type Gen struct {
+	all  []*constraint.Constraint
+	dead []bool
+	live int
+}
+
+// Snapshot freezes the current state into a generation view. The ordinal
+// slice header is shared (append-only backing); the tombstone set is copied
+// so later commits cannot disturb published generations.
+func (s *State) Snapshot() *Gen {
+	return &Gen{
+		all:  s.all,
+		dead: append([]bool(nil), s.dead...),
+		live: s.live,
+	}
+}
+
+// Live returns the number of live constraints of the generation.
+func (g *Gen) Live() int { return g.live }
+
+// Constraints returns the generation's live constraints in catalog order.
+func (g *Gen) Constraints() []*constraint.Constraint {
+	out := make([]*constraint.Constraint, 0, g.live)
+	for i, c := range g.all {
+		if !g.dead[i] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Rebuild applies ops to a plain catalog and returns the resulting catalog
+// plus the validated plan — the from-scratch reference semantics of a
+// delta, shared by the engine's non-incremental fallback path and the
+// differential tests. The result contains the surviving constraints in
+// their original order followed by the additions, exactly the live order an
+// incremental lineage maintains.
+func Rebuild(cat *constraint.Catalog, ops []Op, sch *schema.Schema) (*constraint.Catalog, Plan, error) {
+	tmp := NewState(cat.All())
+	p, err := tmp.Plan(ops, sch)
+	if err != nil {
+		return nil, Plan{}, err
+	}
+	ords := make([]int32, len(p.Added))
+	for i := range ords {
+		ords[i] = int32(len(tmp.all) + i)
+	}
+	tmp.Commit(p, ords)
+	out, err := constraint.NewCatalog(tmp.Constraints()...)
+	if err != nil {
+		return nil, Plan{}, err
+	}
+	return out, p, nil
+}

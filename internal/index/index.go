@@ -45,9 +45,12 @@ type Lookup interface {
 }
 
 // Index is the inverted constraint index. Build with New; immutable and
-// shareable afterwards.
+// shareable afterwards. Patch derives the next catalog generation's index
+// from this one by structural sharing (see patch.go): ordinals are stable
+// and append-only across a patch lineage, with removed constraints leaving
+// tombstoned ordinals no posting list references.
 type Index struct {
-	all []*constraint.Constraint // catalog order
+	all []*constraint.Constraint // ordinal space; tombstones stay in place
 
 	// syms is the compiled symbol space of the catalog generation: interned
 	// classes, attributes and predicates, compiled constraints and the
@@ -55,21 +58,31 @@ type Index struct {
 	// table (core.SymbolSource) so the whole generation owns exactly one.
 	syms *symtab.Table
 
+	// live is the number of posted (non-tombstoned) constraints.
+	live int
+
 	// byClass maps a home ClassID to the ordinals of the constraints
-	// attached to it. Each constraint has exactly one home, so a lookup
-	// never sees a candidate twice. parked holds degenerate constraints
-	// without classes, which Relevant always checks.
+	// attached to it, ascending. Each constraint has exactly one home, so a
+	// lookup never sees a candidate twice. parked holds degenerate
+	// constraints without classes, which Relevant always checks. homeOf
+	// records each live ordinal's current home (-1 for parked/tombstoned),
+	// so a patch can move a posting without recomputing historic
+	// frequencies.
 	byClass [][]int32
 	parked  []int32
+	homeOf  []int32
 
 	// classIDs/links per ordinal: the requirement sets verified at lookup.
 	// Interned class IDs make the relevance check integer comparisons.
 	classIDs [][]symtab.ClassID
 	links    [][]string
 
-	// attr holds the antecedent occurrences keyed by operand signature,
-	// interval annotated.
-	attr *AttrPostings
+	// attrRows holds the antecedent occurrences keyed by operand-signature
+	// ordinal (symtab.SigOrdinal), interval annotated and ordered by
+	// (constraint ordinal, antecedent position). attrNonEmpty counts the
+	// non-empty rows — the AttrKeys stat.
+	attrRows     [][]attrPosting
+	attrNonEmpty int
 
 	maxPosting int
 }
@@ -169,10 +182,26 @@ func BuildWith(all []*constraint.Constraint, syms *symtab.Table) *Index {
 	ix := &Index{
 		all:      all,
 		syms:     syms,
+		live:     len(all),
 		byClass:  make([][]int32, syms.NumClasses()),
+		homeOf:   make([]int32, len(all)),
 		classIDs: make([][]symtab.ClassID, len(all)),
 		links:    make([][]string, len(all)),
-		attr:     BuildAttrPostings(all),
+		attrRows: make([][]attrPosting, syms.NumSigs()),
+	}
+	for i, c := range all {
+		comp := syms.CompiledAt(i)
+		for k, aid := range comp.Ants {
+			sig := syms.SigOrdinal(aid)
+			if len(ix.attrRows[sig]) == 0 {
+				ix.attrNonEmpty++
+			}
+			ix.attrRows[sig] = append(ix.attrRows[sig], attrPosting{
+				ord: i,
+				pos: k,
+				iv:  IntervalOfPredicate(c.Antecedents[k]),
+			})
+		}
 	}
 
 	// Pass 1: class reference frequencies, in interned ID space.
@@ -202,6 +231,7 @@ func BuildWith(all []*constraint.Constraint, syms *symtab.Table) *Index {
 			// Degenerate constraint without classes; park it where
 			// Relevant always checks.
 			ix.parked = append(ix.parked, int32(i))
+			ix.homeOf[i] = -1
 			continue
 		}
 		home := ids[0]
@@ -210,17 +240,22 @@ func BuildWith(all []*constraint.Constraint, syms *symtab.Table) *Index {
 				home = id
 			}
 		}
+		ix.homeOf[i] = int32(home)
 		ix.byClass[home] = append(ix.byClass[home], int32(i))
 	}
+	ix.maxPosting = ix.computeMaxPosting()
+	return ix
+}
+
+// computeMaxPosting scans the posting-list lengths; O(classes).
+func (ix *Index) computeMaxPosting() int {
+	m := len(ix.parked)
 	for _, post := range ix.byClass {
-		if len(post) > ix.maxPosting {
-			ix.maxPosting = len(post)
+		if len(post) > m {
+			m = len(post)
 		}
 	}
-	if len(ix.parked) > ix.maxPosting {
-		ix.maxPosting = len(ix.parked)
-	}
-	return ix
+	return m
 }
 
 // Symbols returns the compiled symbol space of the indexed generation.
@@ -231,8 +266,8 @@ func (ix *Index) Symbols() *symtab.Table { return ix.syms }
 // space's PredID ordering); treat as read-only.
 func (ix *Index) PredPool() *predicate.Pool { return ix.syms.Pool() }
 
-// Len returns the number of indexed constraints.
-func (ix *Index) Len() int { return len(ix.all) }
+// Len returns the number of indexed (live) constraints.
+func (ix *Index) Len() int { return ix.live }
 
 // Relevant returns the constraints relevant to q — the same set, in the same
 // (catalog) order, as a full scan with Constraint.RelevantTo — touching only
@@ -244,12 +279,15 @@ func (ix *Index) Relevant(q *query.Query) []*constraint.Constraint {
 	var clsBuf [16]symtab.ClassID
 	cls := clsBuf[:0]
 	for _, cl := range q.Classes {
-		if id, ok := ix.syms.ClassID(cl); ok {
+		if id, ok := ix.syms.ClassID(cl); ok && int(id) < len(ix.byClass) {
 			cls = append(cls, id)
 		}
-		// A class the generation never interned is referenced by no
-		// constraint: it cannot contribute postings or satisfy a
-		// requirement, so it is simply skipped.
+		// A class this generation never interned is referenced by none of
+		// its constraints: it cannot contribute postings or satisfy a
+		// requirement, so it is simply skipped. The bound check covers a
+		// patch lineage's shared symbol maps, where an old generation can
+		// resolve a class a *later* generation interned — beyond this
+		// generation's spine, hence equally unreferenced here.
 	}
 	var ords []int32
 	collect := func(post []int32) {
@@ -311,10 +349,30 @@ func (ix *Index) Retrieve(q *query.Query) []*constraint.Constraint {
 // passed the full relevance check.
 func (ix *Index) RetrievesOnlyRelevant() {}
 
-// AntecedentMatches probes the index's attribute postings; see
-// AttrPostings.AntecedentMatches.
+// AntecedentMatches returns the constraints having an antecedent on p's
+// operand signature whose satisfiable interval overlaps p's — a conservative
+// superset of the constraints with an antecedent implied by p, ordered by
+// (catalog ordinal, antecedent position). Signatures resolve through the
+// generation's symbol space, so the probe costs one map lookup plus the
+// posting row.
 func (ix *Index) AntecedentMatches(p predicate.Predicate) []Match {
-	return ix.attr.AntecedentMatches(p)
+	sig, ok := ix.syms.SigOrdinalOf(p)
+	if !ok || int(sig) >= len(ix.attrRows) {
+		return nil
+	}
+	post := ix.attrRows[sig]
+	if len(post) == 0 {
+		return nil
+	}
+	iv := IntervalOfPredicate(p)
+	var out []Match
+	for _, posting := range post {
+		if !p.IsJoin() && !iv.Overlaps(posting.iv) {
+			continue
+		}
+		out = append(out, Match{Constraint: ix.all[posting.ord], Ordinal: posting.ord, AntPos: posting.pos})
+	}
+	return out
 }
 
 // Stats describes the shape of one built index, for observability.
@@ -342,10 +400,10 @@ func (ix *Index) Stats() Stats {
 		buckets++
 	}
 	return Stats{
-		Constraints:     len(ix.all),
+		Constraints:     ix.live,
 		ClassBuckets:    buckets,
 		MaxClassPosting: ix.maxPosting,
-		AttrKeys:        len(ix.attr.byAttr),
+		AttrKeys:        ix.attrNonEmpty,
 	}
 }
 

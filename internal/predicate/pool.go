@@ -1,5 +1,7 @@
 package predicate
 
+import "sync"
+
 // Pool interns predicates by canonical key, assigning each distinct predicate
 // a small integer ID. This is the paper's storage optimization for
 // materialized closures: "extracting all the predicates into a separate
@@ -8,8 +10,15 @@ package predicate
 // algorithm also identifies its columns by pool IDs.
 //
 // The zero Pool is ready to use. Pool is not safe for concurrent mutation.
+//
+// A pool can also join a mutable lineage (Fork): forks of one pool share an
+// append-only ID space whose key map is safe for concurrent lookups while
+// later forks keep interning. Each fork's own preds slice header freezes the
+// generation's length, so two generations can serve lookups concurrently
+// while the newest one (serialized by the caller) grows the space.
 type Pool struct {
 	byKey map[string]int
+	live  *sync.Map // key -> int; non-nil once the pool joined a lineage
 	preds []Predicate
 }
 
@@ -28,11 +37,22 @@ func NewPoolSize(capacity int) *Pool {
 }
 
 // Intern returns the ID for p, allocating one if the predicate is new.
+// On a lineage fork, new IDs become visible to every fork sharing the
+// lineage; Intern calls across forks must be serialized by the caller.
 func (pl *Pool) Intern(p Predicate) int {
+	k := p.Key()
+	if pl.live != nil {
+		if id, ok := pl.live.Load(k); ok {
+			return id.(int)
+		}
+		id := len(pl.preds)
+		pl.live.Store(k, id)
+		pl.preds = append(pl.preds, p)
+		return id
+	}
 	if pl.byKey == nil {
 		pl.byKey = map[string]int{}
 	}
-	k := p.Key()
 	if id, ok := pl.byKey[k]; ok {
 		return id
 	}
@@ -45,8 +65,32 @@ func (pl *Pool) Intern(p Predicate) int {
 // Lookup returns the ID for p without interning. The second result reports
 // whether the predicate was present.
 func (pl *Pool) Lookup(p Predicate) (int, bool) {
+	if pl.live != nil {
+		id, ok := pl.live.Load(p.Key())
+		if !ok {
+			return 0, false
+		}
+		return id.(int), true
+	}
 	id, ok := pl.byKey[p.Key()]
 	return id, ok
+}
+
+// Fork returns a new pool of the same lineage: it shares the receiver's
+// interned entries and key map (promoted to a concurrent-read-safe form on
+// the first Fork of a lineage) but owns its slice header, so the receiver
+// keeps serving Lookup/At concurrently while the fork Interns more
+// predicates. Fork and fork-side Intern calls must be serialized by the
+// caller; the receiver is never mutated.
+func (pl *Pool) Fork() *Pool {
+	live := pl.live
+	if live == nil {
+		live = &sync.Map{}
+		for k, v := range pl.byKey {
+			live.Store(k, v)
+		}
+	}
+	return &Pool{live: live, preds: pl.preds}
 }
 
 // At returns the predicate with the given ID. It panics on out-of-range IDs,

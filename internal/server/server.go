@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"maps"
 	"net/http"
+	"slices"
 	"sync/atomic"
 	"time"
 
@@ -45,7 +47,8 @@ type Config struct {
 //
 //	POST /optimize        — one query, coalesced into micro-batches
 //	POST /optimize/batch  — a client-assembled batch via OptimizeBatch
-//	POST /catalog/swap    — hot-swap the constraint catalog
+//	POST /catalog/swap    — hot-swap the whole constraint catalog
+//	POST /catalog/update  — apply an incremental catalog delta
 //	GET  /healthz         — liveness
 //	GET  /stats           — engine counters + per-endpoint latency
 //
@@ -61,6 +64,7 @@ type Server struct {
 	optimizeM *endpointMetrics
 	batchM    *endpointMetrics
 	swapM     *endpointMetrics
+	updateM   *endpointMetrics
 	statsM    *endpointMetrics
 }
 
@@ -100,6 +104,7 @@ func New(cfg Config) (*Server, error) {
 		optimizeM: &endpointMetrics{},
 		batchM:    &endpointMetrics{},
 		swapM:     &endpointMetrics{},
+		updateM:   &endpointMetrics{},
 		statsM:    &endpointMetrics{},
 	}
 	if cfg.BatchWindow > 0 && cfg.BatchLimit > 1 {
@@ -108,6 +113,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /optimize", s.instrument(s.optimizeM, s.handleOptimize))
 	s.mux.HandleFunc("POST /optimize/batch", s.instrument(s.batchM, s.handleOptimizeBatch))
 	s.mux.HandleFunc("POST /catalog/swap", s.instrument(s.swapM, s.handleCatalogSwap))
+	s.mux.HandleFunc("POST /catalog/update", s.instrument(s.updateM, s.handleCatalogUpdate))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.instrument(s.statsM, s.handleStats))
 	if s.batcher != nil {
@@ -190,6 +196,31 @@ type SwapResponse struct {
 	Constraints        int    `json:"constraints"`
 	DerivedConstraints int    `json:"derived_constraints"`
 	Epoch              uint64 `json:"epoch"`
+}
+
+// UpdateRequest is the body of POST /catalog/update: an incremental catalog
+// delta. Add entries are whole constraints in the textual form
+// sqo.ParseConstraint reads; Remove entries are constraint IDs; Replace maps
+// an existing ID to its replacement constraint (applied in sorted-ID order
+// for determinism). Removals apply before additions within each op, ops in
+// the order add/remove/replace fields are enumerated here.
+type UpdateRequest struct {
+	Add     []string          `json:"add,omitempty"`
+	Remove  []string          `json:"remove,omitempty"`
+	Replace map[string]string `json:"replace,omitempty"`
+}
+
+// UpdateResponse reports one applied delta: the new generation, what
+// changed, and what the surgical cache invalidation did. Incremental is
+// false when the engine's configuration forced a full rebuild.
+type UpdateResponse struct {
+	Constraints   int    `json:"constraints"`
+	Added         int    `json:"added"`
+	Removed       int    `json:"removed"`
+	Epoch         uint64 `json:"epoch"`
+	Incremental   bool   `json:"incremental"`
+	CachePurged   int    `json:"cache_purged"`
+	CacheSurvived int    `json:"cache_survived"`
 }
 
 // EndpointStats is one endpoint's counters for GET /stats. Requests and
@@ -298,6 +329,52 @@ func (s *Server) handleCatalogSwap(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+func (s *Server) handleCatalogUpdate(w http.ResponseWriter, r *http.Request) {
+	var req UpdateRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	d := sqo.NewCatalogDelta()
+	for _, line := range req.Add {
+		c, err := sqo.ParseConstraint(line)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("add: %w", err))
+			return
+		}
+		d.AddConstraints(c)
+	}
+	d.RemoveConstraints(req.Remove...)
+	for _, id := range slices.Sorted(maps.Keys(req.Replace)) {
+		c, err := sqo.ParseConstraint(req.Replace[id])
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("replace %q: %w", id, err))
+			return
+		}
+		d.ReplaceConstraint(id, c)
+	}
+	if d.Empty() {
+		writeError(w, http.StatusBadRequest, errors.New("empty delta"))
+		return
+	}
+	rep, err := s.eng.UpdateCatalog(d)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	st := s.eng.Stats()
+	s.logf("catalog updated: +%d -%d constraints (epoch %d, incremental=%v, cache %d purged / %d survived)",
+		rep.Added, rep.Removed, rep.Epoch, rep.Incremental, rep.CachePurged, rep.CacheSurvived)
+	writeJSON(w, http.StatusOK, UpdateResponse{
+		Constraints:   st.Constraints,
+		Added:         rep.Added,
+		Removed:       rep.Removed,
+		Epoch:         rep.Epoch,
+		Incremental:   rep.Incremental,
+		CachePurged:   rep.CachePurged,
+		CacheSurvived: rep.CacheSurvived,
+	})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
@@ -311,6 +388,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"/optimize":       s.optimizeM.snapshot(),
 			"/optimize/batch": s.batchM.snapshot(),
 			"/catalog/swap":   s.swapM.snapshot(),
+			"/catalog/update": s.updateM.snapshot(),
 			"/stats":          s.statsM.snapshot(),
 		},
 	}

@@ -1,0 +1,108 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+func TestCatalogUpdateEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// Warm the cache with a query that only depends on c1.
+	resp, _ := postJSON(t, ts.URL+"/optimize", OptimizeRequest{Query: testQueryText})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("optimize: status %d", resp.StatusCode)
+	}
+
+	// Add an unrelated rule: the cached entry must survive.
+	resp, raw := postJSON(t, ts.URL+"/catalog/update", UpdateRequest{
+		Add: []string{`z1: vehicle.desc = "tanker" [collects] -> cargo.desc = "oil"`},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update: status %d: %s", resp.StatusCode, raw)
+	}
+	var ur UpdateResponse
+	if err := json.Unmarshal(raw, &ur); err != nil {
+		t.Fatal(err)
+	}
+	if ur.Added != 1 || ur.Removed != 0 || !ur.Incremental || ur.Epoch != 1 {
+		t.Fatalf("update response = %+v", ur)
+	}
+	if ur.Constraints != 2 {
+		t.Fatalf("constraints = %d, want 2", ur.Constraints)
+	}
+
+	// Replace and remove finish the op coverage.
+	resp, raw = postJSON(t, ts.URL+"/catalog/update", UpdateRequest{
+		Replace: map[string]string{"z1": `z1: vehicle.desc = "flatbed" [collects] -> cargo.desc = "steel"`},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replace: status %d: %s", resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, &ur); err != nil {
+		t.Fatal(err)
+	}
+	if ur.Added != 1 || ur.Removed != 1 || ur.Constraints != 2 {
+		t.Fatalf("replace response = %+v", ur)
+	}
+	resp, raw = postJSON(t, ts.URL+"/catalog/update", UpdateRequest{Remove: []string{"z1"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("remove: status %d: %s", resp.StatusCode, raw)
+	}
+
+	// Per-endpoint latency row present in /stats.
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	row, ok := stats.Endpoints["/catalog/update"]
+	if !ok {
+		t.Fatal("/stats carries no /catalog/update endpoint row")
+	}
+	if row.Requests != 3 || row.Errors != 0 {
+		t.Fatalf("endpoint row = %+v, want 3 requests, 0 errors", row)
+	}
+	if stats.Engine.CatalogUpdates != 3 {
+		t.Fatalf("engine CatalogUpdates = %d, want 3", stats.Engine.CatalogUpdates)
+	}
+}
+
+func TestCatalogUpdateEndpointErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		req  UpdateRequest
+		code int
+	}{
+		{"empty delta", UpdateRequest{}, http.StatusBadRequest},
+		{"bad constraint text", UpdateRequest{Add: []string{"not a constraint"}}, http.StatusBadRequest},
+		{"bad replace text", UpdateRequest{Replace: map[string]string{"c1": "nope"}}, http.StatusBadRequest},
+		{"unknown removal", UpdateRequest{Remove: []string{"zz"}}, http.StatusUnprocessableEntity},
+		{"schema mismatch", UpdateRequest{Add: []string{`b1: nosuch.x = "v" -> cargo.desc = "steel"`}}, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		resp, raw := postJSON(t, ts.URL+"/catalog/update", tc.req)
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.code, raw)
+		}
+	}
+	// None of the failures may have advanced the engine.
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Engine.Epoch != 0 || stats.Engine.CatalogUpdates != 0 {
+		t.Fatalf("failed updates disturbed the engine: %+v", stats.Engine)
+	}
+}

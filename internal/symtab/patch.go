@@ -1,0 +1,154 @@
+package symtab
+
+import (
+	"sqo/internal/constraint"
+)
+
+// Patch grows the symbol space of a catalog generation into the next one:
+// the constraints of added are compiled at fresh ordinals (appended after
+// every ordinal the receiver knows), interning any new class, attribute,
+// signature or predicate symbols at fresh dense IDs. Every ID the receiver
+// assigned stays valid and unchanged in the returned table — ID spaces are
+// append-only across a lineage — so per-ID state held elsewhere (catalog
+// ordinals in cached results, posting lists, translation arrays) survives
+// the patch untouched.
+//
+// Removals need no symbol work at all: a removed constraint's ordinal,
+// predicates and classes simply become tombstones — still resolvable through
+// the lineage's shared maps (an old generation may still be serving them),
+// no longer referenced by the new generation's retrieval structures. A
+// re-added symbol therefore reuses its tombstoned ID instead of minting a
+// new one.
+//
+// The first Patch of a lineage promotes the receiver's plain maps into the
+// lineage's shared concurrent maps (O(symbols), once); afterwards a patch
+// costs O(|added| · bucket) symbol work plus one copy of the implication
+// adjacency spines. The receiver is never mutated and keeps serving
+// concurrently; Patch calls within a lineage must be serialized by the
+// caller (the engine holds its swap lock).
+//
+// Patch returns the new table and the ordinals assigned to added, parallel
+// to it. With no additions the receiver itself is returned unchanged.
+func (t *Table) Patch(added []*constraint.Constraint) (*Table, []int32) {
+	if len(added) == 0 {
+		return t, nil
+	}
+	nt := &Table{
+		classNames: t.classNames,
+		attrKeys:   t.attrKeys,
+		pool:       t.pool.Fork(),
+		predSig:    t.predSig,
+		nSigs:      t.nSigs,
+		fwd:        t.fwd,
+		rev:        t.rev,
+		compiled:   t.compiled,
+		antsFlat:   t.antsFlat,
+		live:       t.live,
+	}
+	if nt.live == nil {
+		nt.live = t.promote()
+	}
+
+	// Compile the added constraints, mirroring Compile's per-constraint
+	// order (antecedents, consequent, classes) so column numbering in the
+	// transformation table is reproduced exactly.
+	oldPreds := nt.pool.Len()
+	ords := make([]int32, len(added))
+	for i, c := range added {
+		ord := int32(len(nt.compiled))
+		ords[i] = ord
+		nt.live.ordOf.Store(c, ord)
+		start := len(nt.antsFlat)
+		for _, a := range c.Antecedents {
+			nt.antsFlat = append(nt.antsFlat, nt.internPred(a))
+		}
+		nt.compiled = append(nt.compiled, Compiled{
+			Cons: nt.internPred(c.Consequent),
+			Ants: nt.antsFlat[start:len(nt.antsFlat):len(nt.antsFlat)],
+		})
+		for _, cl := range c.Classes() {
+			nt.internClass(cl)
+		}
+	}
+
+	nt.patchAdjacency(oldPreds)
+	return nt, ords
+}
+
+// promote builds the lineage's shared concurrent maps from the receiver's
+// plain per-generation maps. Concurrent readers of the receiver are
+// unaffected: its plain maps are only read here, and the receiver keeps
+// using them — only patched generations resolve through the shared maps.
+func (t *Table) promote() *liveMaps {
+	lm := &liveMaps{
+		sigMembers: make(map[int32][]PredID, len(t.sigIDs)),
+		nextSig:    int32(len(t.sigIDs)),
+	}
+	for name, id := range t.classIDs {
+		lm.classIDs.Store(name, id)
+	}
+	for k, id := range t.attrIDs {
+		lm.attrIDs.Store(k, id)
+	}
+	for k, id := range t.sigIDs {
+		lm.sigIDs.Store(k, id)
+	}
+	for c, ord := range t.ordOf {
+		lm.ordOf.Store(c, ord)
+	}
+	// PredIDs ascend, so appending in ID order keeps buckets sorted.
+	for id, sig := range t.predSig {
+		lm.sigMembers[sig] = append(lm.sigMembers[sig], PredID(id))
+	}
+	return lm
+}
+
+// patchAdjacency extends the catalog-level implication adjacency with the
+// predicates interned after oldPreds. Only the spines and the rows of
+// predicates gaining an edge are copied; every untouched row is shared with
+// the prior generations. Rows stay ascending: a new predicate's ID exceeds
+// every member of its bucket, so appending preserves order.
+func (t *Table) patchAdjacency(oldPreds int) {
+	newPreds := t.pool.Len()
+	if newPreds == oldPreds {
+		return
+	}
+	fwd := make([][]PredID, newPreds)
+	copy(fwd, t.fwd)
+	rev := make([][]PredID, newPreds)
+	copy(rev, t.rev)
+	// ownedFwd/ownedRev mark pre-existing rows already copied during this
+	// patch, so a second edge into the same row appends in place instead
+	// of re-copying the (shared) original.
+	ownedFwd := make(map[PredID]bool)
+	ownedRev := make(map[PredID]bool)
+	for id := oldPreds; id < newPreds; id++ {
+		pid := PredID(id)
+		sig := t.predSig[id]
+		members := t.live.sigMembers[sig]
+		p := t.pool.At(id)
+		for _, m := range members {
+			pm := t.pool.At(int(m))
+			if p.Implies(pm) {
+				fwd[pid] = append(fwd[pid], m)
+				if int(m) < oldPreds && !ownedRev[m] {
+					rev[m] = append(append([]PredID(nil), rev[m]...), pid)
+					ownedRev[m] = true
+				} else {
+					rev[m] = append(rev[m], pid)
+				}
+			}
+			if pm.Implies(p) {
+				rev[pid] = append(rev[pid], m)
+				if int(m) < oldPreds && !ownedFwd[m] {
+					fwd[m] = append(append([]PredID(nil), fwd[m]...), pid)
+					ownedFwd[m] = true
+				} else {
+					fwd[m] = append(fwd[m], pid)
+				}
+			}
+		}
+		t.live.sigMembers[sig] = append(members, pid)
+	}
+	t.fwd, t.rev = fwd, rev
+}

@@ -1,0 +1,156 @@
+package symtab
+
+import (
+	"reflect"
+	"testing"
+
+	"sqo/internal/constraint"
+	"sqo/internal/predicate"
+	"sqo/internal/value"
+)
+
+func patchRule(id, class, val string, bound int64) *constraint.Constraint {
+	return constraint.New(id,
+		[]predicate.Predicate{predicate.Eq(class, "x", value.String(val))},
+		nil,
+		predicate.Sel(class, "y", predicate.LE, value.Int(bound)))
+}
+
+// adjacencyByKey renders a table's implication adjacency as predicate-key
+// sets, so tables with different PredID numberings compare semantically.
+func adjacencyByKey(t *Table) map[string]map[string]bool {
+	out := map[string]map[string]bool{}
+	for id := 0; id < t.NumPreds(); id++ {
+		set := map[string]bool{}
+		for _, j := range t.Implies(PredID(id)) {
+			set[t.Pred(j).Key()] = true
+		}
+		out[t.Pred(PredID(id)).Key()] = set
+	}
+	return out
+}
+
+// TestPatchMatchesCompile: a patched table must resolve every symbol of the
+// combined constraint set exactly as a from-scratch compile does, while
+// keeping every pre-patch ID stable.
+func TestPatchMatchesCompile(t *testing.T) {
+	base := []*constraint.Constraint{
+		patchRule("r1", "a", "u", 10),
+		patchRule("r2", "a", "v", 20),
+	}
+	added := []*constraint.Constraint{
+		patchRule("r3", "a", "u", 5),  // shares r1's antecedent predicate
+		patchRule("r4", "b", "w", 30), // brand-new class
+	}
+	t0 := Compile(nil, base)
+	prePreds, preClasses := t0.NumPreds(), t0.NumClasses()
+
+	t1, ords := t0.Patch(added)
+	if want := []int32{2, 3}; !reflect.DeepEqual(ords, want) {
+		t.Fatalf("added ordinals = %v, want %v", ords, want)
+	}
+	// Receiver untouched.
+	if t0.NumPreds() != prePreds || t0.NumClasses() != preClasses {
+		t.Fatal("patch mutated the receiver's symbol counts")
+	}
+	if _, ok := t0.Ordinal(added[0]); ok {
+		t.Fatal("old generation resolves a constraint added after it was taken")
+	}
+
+	// Stability: every base symbol keeps its ID.
+	for i, c := range base {
+		ord, ok := t1.Ordinal(c)
+		if !ok || ord != i {
+			t.Fatalf("base constraint %d moved to ordinal %d (ok=%v)", i, ord, ok)
+		}
+		c0, _ := t0.CompiledFor(c)
+		c1, _ := t1.CompiledFor(c)
+		if c0.Cons != c1.Cons || !reflect.DeepEqual(c0.Ants, c1.Ants) {
+			t.Fatalf("compiled form of base constraint %d changed", i)
+		}
+	}
+	// Shared predicates resolve to the same ID; new ones appended.
+	id0, _ := t0.PredID(added[0].Antecedents[0])
+	id1, ok := t1.PredID(added[0].Antecedents[0])
+	if !ok || id0 != id1 {
+		t.Fatalf("shared predicate re-interned: %d vs %d", id0, id1)
+	}
+
+	// Equivalence with a from-scratch compile over the combined list.
+	ref := Compile(nil, append(append([]*constraint.Constraint(nil), base...), added...))
+	if t1.NumPreds() != ref.NumPreds() || t1.NumClasses() != ref.NumClasses() ||
+		t1.NumAttrs() != ref.NumAttrs() || t1.NumSigs() != ref.NumSigs() {
+		t.Fatalf("symbol counts diverge: patched preds=%d classes=%d attrs=%d sigs=%d, scratch %d/%d/%d/%d",
+			t1.NumPreds(), t1.NumClasses(), t1.NumAttrs(), t1.NumSigs(),
+			ref.NumPreds(), ref.NumClasses(), ref.NumAttrs(), ref.NumSigs())
+	}
+	if got, want := adjacencyByKey(t1), adjacencyByKey(ref); !reflect.DeepEqual(got, want) {
+		t.Fatalf("implication adjacency diverges\npatched: %v\nscratch: %v", got, want)
+	}
+}
+
+// TestPatchTombstoneReuse: removals never touch the symbol space, so
+// re-adding a constraint (or a new constraint over the same predicates)
+// reuses the tombstoned symbols instead of minting fresh IDs — and the same
+// constraint pointer resolves to its newest ordinal.
+func TestPatchTombstoneReuse(t *testing.T) {
+	r1 := patchRule("r1", "a", "u", 10)
+	r2 := patchRule("r2", "a", "v", 20)
+	t0 := Compile(nil, []*constraint.Constraint{r1, r2})
+
+	// "Remove" r2 (a symtab no-op) and re-add it via patch: the pool must
+	// not grow — every symbol is tombstone-reused — while r2 moves to a
+	// fresh ordinal.
+	t1, ords := t0.Patch([]*constraint.Constraint{r2})
+	if t1.NumPreds() != t0.NumPreds() || t1.NumSigs() != t0.NumSigs() {
+		t.Fatalf("re-adding an existing rule grew the symbol space: preds %d->%d",
+			t0.NumPreds(), t1.NumPreds())
+	}
+	if ord, ok := t1.Ordinal(r2); !ok || ord != int(ords[0]) || ord != 2 {
+		t.Fatalf("re-added constraint ordinal = %d (ok=%v), want 2", ord, ok)
+	}
+	comp := t1.CompiledAt(2)
+	orig := t1.CompiledAt(1)
+	if comp.Cons != orig.Cons || !reflect.DeepEqual(comp.Ants, orig.Ants) {
+		t.Fatal("re-added constraint compiled to different predicate IDs")
+	}
+
+	// A second patch on the already-live lineage shares the maps.
+	r3 := patchRule("r3", "a", "u", 10) // logically r1's twin with a new id
+	t2, _ := t1.Patch([]*constraint.Constraint{r3})
+	if t2.NumPreds() != t1.NumPreds() {
+		t.Fatal("twin rule should reuse every predicate symbol")
+	}
+	if id1, _ := t1.PredID(r1.Antecedents[0]); func() PredID { id, _ := t2.PredID(r3.Antecedents[0]); return id }() != id1 {
+		t.Fatal("tombstone-reused predicate changed IDs across patches")
+	}
+}
+
+// TestPatchConcurrentReads: old generations must serve lookups concurrently
+// while patches advance the lineage (meaningful under -race).
+func TestPatchConcurrentReads(t *testing.T) {
+	base := []*constraint.Constraint{patchRule("r1", "a", "u", 10)}
+	t0 := Compile(nil, base)
+	t1, _ := t0.Patch([]*constraint.Constraint{patchRule("r2", "a", "v", 20)})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			if _, ok := t1.PredID(base[0].Antecedents[0]); !ok {
+				t.Error("lookup lost during concurrent patching")
+				return
+			}
+			t1.ClassID("a")
+			t1.Ordinal(base[0])
+			t1.SigOrdinalOf(base[0].Consequent)
+		}
+	}()
+	cur := t1
+	for i := 0; i < 40; i++ {
+		cur, _ = cur.Patch([]*constraint.Constraint{
+			patchRule("g"+string(rune('A'+i)), "a", "w"+string(rune('A'+i)), int64(i)),
+		})
+	}
+	<-done
+}

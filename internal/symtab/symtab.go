@@ -20,6 +20,8 @@
 package symtab
 
 import (
+	"sync"
+
 	"sqo/internal/constraint"
 	"sqo/internal/predicate"
 	"sqo/internal/schema"
@@ -69,6 +71,14 @@ func sigOf(p predicate.Predicate) sigKey {
 }
 
 // Table is the interned symbol space of one catalog generation.
+//
+// A table built by Compile is fully immutable. Patch grows a table into a
+// *lineage*: the patched generations share append-only backing arrays and a
+// set of concurrent-read-safe symbol maps (liveMaps), while each generation's
+// slice headers freeze its own view. Untouched IDs are stable across every
+// generation of a lineage; removals leave tombstones (the symbols and
+// compiled rows of a removed constraint simply stop being referenced), so a
+// re-added symbol reuses its old ID. See Patch.
 type Table struct {
 	classNames []string
 	classIDs   map[string]ClassID
@@ -79,6 +89,7 @@ type Table struct {
 	pool    *predicate.Pool // PredID space; first-occurrence catalog order
 	predSig []int32         // PredID -> signature ordinal
 	sigIDs  map[sigKey]int32
+	nSigs   int // number of distinct signatures in this generation
 
 	// Implication adjacency among the pooled predicates, computed once per
 	// generation: fwd[i] lists the PredIDs predicate i implies (ascending),
@@ -90,6 +101,30 @@ type Table struct {
 	compiled []Compiled
 	antsFlat []PredID
 	ordOf    map[*constraint.Constraint]int32
+
+	// live, when non-nil, marks a patched generation: symbol resolution
+	// goes through the lineage's shared concurrent maps instead of the
+	// plain per-generation maps above (which are nil then). Compile-built
+	// tables have live == nil and pay no overhead beyond the nil check.
+	live *liveMaps
+}
+
+// liveMaps is the shared symbol store of one mutable lineage: sync.Maps are
+// safe for unbounded concurrent lookups from every generation while the
+// newest generation (patches are serialized by the caller) keeps inserting.
+// IDs are append-only, so an entry, once stored, never changes.
+type liveMaps struct {
+	classIDs sync.Map // string -> ClassID
+	attrIDs  sync.Map // attrKey -> AttrID
+	sigIDs   sync.Map // sigKey -> int32
+	ordOf    sync.Map // *constraint.Constraint -> int32
+
+	// sigMembers lists the pooled PredIDs of each signature bucket,
+	// ascending — the membership Patch needs to compute the implication
+	// edges of a newly interned predicate. Mutation-side only (guarded by
+	// the caller's patch serialization); never read while serving.
+	sigMembers map[int32][]PredID
+	nextSig    int32
 }
 
 // Compile interns the symbol space of a catalog generation: the schema's
@@ -138,10 +173,20 @@ func Compile(sch *schema.Schema, all []*constraint.Constraint) *Table {
 	}
 
 	t.buildAdjacency()
+	t.nSigs = len(t.sigIDs)
 	return t
 }
 
 func (t *Table) internClass(name string) ClassID {
+	if t.live != nil {
+		if id, ok := t.live.classIDs.Load(name); ok {
+			return id.(ClassID)
+		}
+		id := ClassID(len(t.classNames))
+		t.live.classIDs.Store(name, id)
+		t.classNames = append(t.classNames, name)
+		return id
+	}
 	if id, ok := t.classIDs[name]; ok {
 		return id
 	}
@@ -153,6 +198,15 @@ func (t *Table) internClass(name string) ClassID {
 
 func (t *Table) internAttr(class, attr string) AttrID {
 	k := attrKey{class, attr}
+	if t.live != nil {
+		if id, ok := t.live.attrIDs.Load(k); ok {
+			return id.(AttrID)
+		}
+		id := AttrID(len(t.attrKeys))
+		t.live.attrIDs.Store(k, id)
+		t.attrKeys = append(t.attrKeys, k)
+		return id
+	}
 	if id, ok := t.attrIDs[k]; ok {
 		return id
 	}
@@ -163,6 +217,16 @@ func (t *Table) internAttr(class, attr string) AttrID {
 }
 
 func (t *Table) internSig(k sigKey) int32 {
+	if t.live != nil {
+		if id, ok := t.live.sigIDs.Load(k); ok {
+			return id.(int32)
+		}
+		id := t.live.nextSig
+		t.live.nextSig++
+		t.live.sigIDs.Store(k, id)
+		t.nSigs = int(t.live.nextSig)
+		return id
+	}
 	if id, ok := t.sigIDs[k]; ok {
 		return id
 	}
@@ -230,11 +294,18 @@ func (t *Table) NumAttrs() int { return len(t.attrKeys) }
 func (t *Table) NumPreds() int { return t.pool.Len() }
 
 // NumSigs returns the number of distinct operand signatures.
-func (t *Table) NumSigs() int { return len(t.sigIDs) }
+func (t *Table) NumSigs() int { return t.nSigs }
 
 // ClassID resolves a class name; ok is false when the generation never
 // interned it.
 func (t *Table) ClassID(name string) (ClassID, bool) {
+	if t.live != nil {
+		v, ok := t.live.classIDs.Load(name)
+		if !ok {
+			return None, false
+		}
+		return v.(ClassID), true
+	}
 	id, ok := t.classIDs[name]
 	return id, ok
 }
@@ -244,6 +315,13 @@ func (t *Table) ClassName(id ClassID) string { return t.classNames[id] }
 
 // AttrID resolves a (class, attribute) pair.
 func (t *Table) AttrID(class, attr string) (AttrID, bool) {
+	if t.live != nil {
+		v, ok := t.live.attrIDs.Load(attrKey{class, attr})
+		if !ok {
+			return None, false
+		}
+		return v.(AttrID), true
+	}
 	id, ok := t.attrIDs[attrKey{class, attr}]
 	return id, ok
 }
@@ -276,6 +354,13 @@ func (t *Table) SigOrdinal(id PredID) int32 { return t.predSig[id] }
 // interned or not; ok is false when no catalog predicate shares its
 // signature (such a predicate can only imply query-private peers).
 func (t *Table) SigOrdinalOf(p predicate.Predicate) (int32, bool) {
+	if t.live != nil {
+		v, ok := t.live.sigIDs.Load(sigOf(p))
+		if !ok {
+			return 0, false
+		}
+		return v.(int32), true
+	}
 	id, ok := t.sigIDs[sigOf(p)]
 	return id, ok
 }
@@ -288,8 +373,16 @@ func (t *Table) Implies(id PredID) []PredID { return t.fwd[id] }
 func (t *Table) ImpliedBy(id PredID) []PredID { return t.rev[id] }
 
 // Ordinal returns the catalog ordinal of a constraint of this generation;
-// ok is false for foreign constraints.
+// ok is false for foreign constraints (including constraints a later
+// generation of the same lineage appended after this one was taken).
 func (t *Table) Ordinal(c *constraint.Constraint) (int, bool) {
+	if t.live != nil {
+		v, ok := t.live.ordOf.Load(c)
+		if !ok || int(v.(int32)) >= len(t.compiled) {
+			return 0, false
+		}
+		return int(v.(int32)), true
+	}
 	ord, ok := t.ordOf[c]
 	return int(ord), ok
 }
@@ -300,7 +393,7 @@ func (t *Table) CompiledAt(ord int) Compiled { return t.compiled[ord] }
 // CompiledFor resolves a constraint to its ID form; ok is false for
 // constraints from another generation.
 func (t *Table) CompiledFor(c *constraint.Constraint) (Compiled, bool) {
-	ord, ok := t.ordOf[c]
+	ord, ok := t.Ordinal(c)
 	if !ok {
 		return Compiled{}, false
 	}

@@ -38,7 +38,9 @@
 // concurrency-safe handle that wires closure materialization, grouped
 // retrieval, the optimizer and the cost model together once, serves
 // Optimize/OptimizeBatch under context cancellation, caches results by
-// canonical query fingerprint, and hot-swaps constraint catalogs atomically.
+// canonical query fingerprint, and mutates constraint catalogs under live
+// traffic — atomically wholesale (SwapCatalog) or incrementally in
+// O(|delta|) with surgical cache invalidation (UpdateCatalog).
 //
 // See examples/ for complete programs and DESIGN.md for the system map.
 package sqo
@@ -307,6 +309,9 @@ type (
 	Database = storage.Database
 	// OID identifies an instance within its class extent.
 	OID = storage.OID
+	// Instance is one stored object: its OID plus attribute values in
+	// schema order (Database.Scan hands these out).
+	Instance = storage.Instance
 	// Meter accumulates simulated physical I/O events.
 	Meter = storage.Meter
 	// Stats is a database statistics snapshot.

@@ -284,6 +284,47 @@ func BenchmarkExecute(b *testing.B) {
 	}
 }
 
+// BenchmarkExecuteEndToEnd measures the serving hot path the CI bench gate
+// tracks: one workload query through the engine's optimize-then-execute
+// pipeline (opt) versus the opt-off baseline (raw) on the DB1 logistics
+// instance, result cache on so repeated optimizations amortize the way a
+// served workload would.
+func BenchmarkExecuteEndToEnd(b *testing.B) {
+	db, err := sqo.GenerateDatabase(sqo.DB1())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cat := sqo.LogisticsConstraints()
+	eng, err := sqo.NewEngine(db.Schema(),
+		sqo.WithCatalog(cat),
+		sqo.WithCostModel(sqo.NewCostModel(db.Schema(), db.Analyze(), sqo.DefaultWeights)),
+		sqo.WithDatabase(db),
+		sqo.WithResultCache(128))
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := sqo.NewWorkloadGenerator(db, cat, sqo.WorkloadOptions{Seed: 41})
+	workload, err := gen.Workload(20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.Run("opt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Execute(ctx, workload[i%len(workload)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("raw", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.ExecuteRaw(ctx, workload[i%len(workload)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // scaledWorld caches the large-catalog evaluation worlds across benchmark
 // iterations and -count re-runs.
 type scaledWorldCell struct {

@@ -9,7 +9,7 @@
 //	sqobench -queries 40 -seed 41
 //
 // Experiments: fig41, table41, table42, grouping, closure, budget,
-// optimizers, complexity, engine, index, interning, all.
+// optimizers, complexity, engine, index, interning, endtoend, all.
 package main
 
 import (
@@ -26,7 +26,7 @@ import (
 )
 
 var (
-	exp      = flag.String("exp", "all", "experiment to run (fig41|table41|table42|grouping|closure|budget|optimizers|complexity|engine|index|interning|all)")
+	exp      = flag.String("exp", "all", "experiment to run (fig41|table41|table42|grouping|closure|budget|optimizers|complexity|engine|index|interning|endtoend|all)")
 	queries  = flag.Int("queries", 40, "workload size (the paper used 40)")
 	seed     = flag.Int64("seed", 41, "workload selection seed")
 	csvTo    = flag.String("csv", "", "also write the raw per-query Table 4.2 data as CSV to this file")
@@ -135,6 +135,14 @@ func run() error {
 			return err
 		}
 		fmt.Println(bench.RenderInterning(rows))
+	}
+	if all || want == "endtoend" {
+		ran = true
+		rows, err := bench.RunEndToEnd([]int{100, 1000}, *queries, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderEndToEnd(rows))
 	}
 	if all || want == "engine" {
 		ran = true

@@ -11,6 +11,7 @@
 //
 //	POST /optimize        {"query": "(SELECT ...)", "timeout_ms": 250}
 //	POST /optimize/batch  {"queries": ["(SELECT ...)", ...]}
+//	POST /query           {"query": "(SELECT ...)", "optimize": true}
 //	POST /catalog/swap    {"catalog": "c1: a.x = 1 [r] -> b.y = 2\n..."}
 //	POST /catalog/update  {"add": ["c9: ..."], "remove": ["c1"], "replace": {"c2": "c2: ..."}}
 //	GET  /healthz
@@ -180,7 +181,11 @@ func buildEngine() (*sqo.Engine, error) {
 		if err != nil {
 			return nil, err
 		}
-		opts = append(opts, sqo.WithCostModel(sqo.NewCostModel(sch, db.Analyze(), sqo.DefaultWeights)))
+		// The generated instance both calibrates the cost model and backs
+		// the end-to-end execution endpoint (POST /query).
+		opts = append(opts,
+			sqo.WithCostModel(sqo.NewCostModel(sch, db.Analyze(), sqo.DefaultWeights)),
+			sqo.WithDatabase(db))
 	}
 	return sqo.NewEngine(sch, opts...)
 }

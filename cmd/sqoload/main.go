@@ -3,7 +3,8 @@
 // the way the paper's evaluation does (same generator, same seeds — or a
 // file emitted by `sqogen -n 40 -emit queries.txt`) from a fleet of
 // concurrent clients at a target aggregate QPS, mixing single /optimize
-// requests with client-side /optimize/batch batches, optionally hot-swapping
+// requests with client-side /optimize/batch batches (and, under -query-frac,
+// end-to-end POST /query executions), optionally hot-swapping
 // the constraint catalog mid-run (-swap) or interleaving small incremental
 // /catalog/update deltas at a configured rate (-mutate), and prints
 // p50/p95/p99 per traffic kind plus a machine-readable JSON summary. Under
@@ -42,6 +43,7 @@ var (
 	duration     = flag.Duration("duration", 10*time.Second, "how long to drive traffic")
 	qps          = flag.Float64("qps", 0, "target aggregate requests/second (0 = as fast as possible)")
 	batchFrac    = flag.Float64("batch-frac", 0.2, "fraction of requests sent as /optimize/batch")
+	queryFrac    = flag.Float64("query-frac", 0, "fraction of requests sent as end-to-end POST /query executions (needs sqod -db)")
 	batchSize    = flag.Int("batch-size", 8, "queries per batch request")
 	swap         = flag.Bool("swap", false, "hot-swap the constraint catalog halfway through the run")
 	mutate       = flag.Bool("mutate", false, "interleave incremental POST /catalog/update deltas into the run (logistics world)")
@@ -136,9 +138,12 @@ func run() error {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(*seed + int64(c)))
 			for !stop.Load() {
-				if rng.Float64() < *batchFrac {
+				switch roll := rng.Float64(); {
+				case roll < *batchFrac:
 					record(sendBatch(client, base, pick(rng, queries, *batchSize)))
-				} else {
+				case roll < *batchFrac+*queryFrac:
+					record(sendQuery(client, base, queries[rng.Intn(len(queries))]))
+				default:
 					record(sendSingle(client, base, queries[rng.Intn(len(queries))]))
 				}
 				if interval > 0 {
@@ -312,6 +317,10 @@ func sendBatch(client *http.Client, base string, queries []string) sample {
 	return post(client, base+"/optimize/batch", map[string]any{"queries": queries}, "batch")
 }
 
+func sendQuery(client *http.Client, base, query string) sample {
+	return post(client, base+"/query", map[string]any{"query": query}, "query")
+}
+
 // mutator drives the incremental-update traffic of -mutate: every
 // -mutate-interval it POSTs one small /catalog/update delta, alternating
 // between adding a fresh synthetic intra-class vehicle rule and removing it
@@ -422,7 +431,7 @@ func summarize(samples []sample, elapsed time.Duration) summary {
 		byKind[s.kind] = append(byKind[s.kind], s.latencyUS)
 		if s.kind == "batch" {
 			sum.Queries += *batchSize
-		} else if s.kind == "single" {
+		} else if s.kind == "single" || s.kind == "query" {
 			sum.Queries++
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"sqo/internal/constraint"
 	"sqo/internal/core"
 	"sqo/internal/delta"
+	"sqo/internal/exec"
 	"sqo/internal/index"
 	"sqo/internal/symtab"
 )
@@ -40,7 +41,8 @@ type Engine struct {
 	schema *Schema
 	cfg    engineConfig
 	state  atomic.Pointer[engineState]
-	cache  *resultCache // nil when caching is disabled
+	cache  *resultCache   // nil when caching is disabled
+	runner *exec.Executor // nil without WithDatabase
 
 	swapMu sync.Mutex // serializes SwapCatalog/UpdateCatalog (readers never take it)
 
@@ -56,6 +58,14 @@ type Engine struct {
 	updates       atomic.Int64
 	cachePurged   atomic.Int64
 	cacheSurvived atomic.Int64
+
+	// End-to-end execution counters (WithDatabase): executions served and
+	// the cumulative physical work their meters recorded.
+	executions  atomic.Int64
+	execTuples  atomic.Int64
+	execPages   atomic.Int64
+	execProbes  atomic.Int64
+	execFetches atomic.Int64
 }
 
 // engineState is everything derived from one catalog generation. It is
@@ -136,6 +146,9 @@ func NewEngine(s *Schema, opts ...EngineOption) (*Engine, error) {
 	e := &Engine{schema: s, cfg: cfg}
 	if cfg.cacheSize > 0 {
 		e.cache = newResultCache(cfg.cacheSize)
+	}
+	if cfg.db != nil {
+		e.runner = exec.New(cfg.db)
 	}
 	st, err := e.buildState(cfg.catalog, 0)
 	if err != nil {
@@ -614,6 +627,15 @@ type EngineStats struct {
 	// added. Both zero for a custom ConstraintSource.
 	Constraints        int
 	DerivedConstraints int
+	// Executions counts end-to-end Execute/ExecuteRaw calls served;
+	// ExecTuplesScanned, ExecPagesScanned, ExecIndexProbes and
+	// ExecObjectFetches accumulate the physical work their meters recorded.
+	// All zero without WithDatabase.
+	Executions        int64
+	ExecTuplesScanned int64
+	ExecPagesScanned  int64
+	ExecIndexProbes   int64
+	ExecObjectFetches int64
 	// ConstraintIndex describes the active inverted retrieval index;
 	// zero when the index is disabled or superseded (WithGrouping,
 	// WithConstraintSource).
@@ -631,6 +653,11 @@ func (e *Engine) Stats() EngineStats {
 		CacheUpdatePurged:   e.cachePurged.Load(),
 		CacheUpdateSurvived: e.cacheSurvived.Load(),
 		Epoch:               st.epoch,
+		Executions:          e.executions.Load(),
+		ExecTuplesScanned:   e.execTuples.Load(),
+		ExecPagesScanned:    e.execPages.Load(),
+		ExecIndexProbes:     e.execProbes.Load(),
+		ExecObjectFetches:   e.execFetches.Load(),
 	}
 	s.Constraints = st.constraintCount()
 	if st.active != nil {

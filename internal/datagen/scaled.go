@@ -19,6 +19,7 @@ import (
 	"sqo/internal/predicate"
 	"sqo/internal/query"
 	"sqo/internal/schema"
+	"sqo/internal/storage"
 	"sqo/internal/value"
 )
 
@@ -128,6 +129,190 @@ func GenerateScaled(cfg ScaledConfig) (*schema.Schema, *constraint.Catalog, erro
 		return nil, nil, fmt.Errorf("datagen: scaled catalog does not fit its schema: %w", err)
 	}
 	return sch, cat, nil
+}
+
+// ScaledDBConfig sizes the populated database of a scaled world.
+type ScaledDBConfig struct {
+	// BaseInstances is the extent size of the first chain class (default 40).
+	BaseInstances int
+	// Growth is the per-position extent increment down the chain: class k_i
+	// holds BaseInstances + i·Growth instances. Non-negative growth keeps
+	// every OneToMany chain link satisfiable with both sides total: each
+	// target takes exactly one source, and sources never outnumber targets.
+	// Negative growth is rejected.
+	Growth int
+	// Seed drives all random choices.
+	Seed int64
+}
+
+func (c ScaledDBConfig) withDefaults() ScaledDBConfig {
+	if c.BaseInstances <= 0 {
+		c.BaseInstances = 40
+	}
+	return c
+}
+
+// attrBounds is the closed integer interval every generated value of one
+// (class, attr) must lie in so the catalog holds by construction.
+type attrBounds struct {
+	lo, up int64
+	hasLo  bool
+	hasUp  bool
+	class  string
+	attr   string
+}
+
+func (b *attrBounds) apply(op predicate.Op, v int64) error {
+	tightenLo := func(x int64) {
+		if !b.hasLo || x > b.lo {
+			b.lo, b.hasLo = x, true
+		}
+	}
+	tightenUp := func(x int64) {
+		if !b.hasUp || x < b.up {
+			b.up, b.hasUp = x, true
+		}
+	}
+	switch op {
+	case predicate.GE:
+		tightenLo(v)
+	case predicate.GT:
+		tightenLo(v + 1)
+	case predicate.LE:
+		tightenUp(v)
+	case predicate.LT:
+		tightenUp(v - 1)
+	case predicate.EQ:
+		tightenLo(v)
+		tightenUp(v)
+	default:
+		return fmt.Errorf("datagen: consequent operator %v on %s.%s not supported by the scaled database generator", op, b.class, b.attr)
+	}
+	if b.hasLo && b.hasUp && b.lo > b.up {
+		return fmt.Errorf("datagen: catalog consequents on %s.%s are jointly unsatisfiable", b.class, b.attr)
+	}
+	return nil
+}
+
+// GenerateScaledDatabase populates a database for a scaled world so that
+// end-to-end execution runs at 10²/10³ rules, not just the 17-rule logistics
+// world. Every catalog consequent is satisfied *unconditionally* — values are
+// generated inside the intersection of all consequent bounds per attribute —
+// so the database satisfies the catalog whatever the antecedents say
+// (semantic constraints are integrity constraints; a legal state satisfies
+// them by definition, and unconditional satisfaction is the simplest legal
+// state). Chain links map target j to source j mod |source|, which satisfies
+// OneToMany cardinality and totality on both sides as long as extents never
+// shrink down the chain. engine.CheckCatalog and storage.CheckTotality
+// verify both properties in the tests.
+func GenerateScaledDatabase(sch *schema.Schema, cat *constraint.Catalog, cfg ScaledDBConfig) (*storage.Database, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Growth < 0 {
+		return nil, fmt.Errorf("datagen: ScaledDBConfig.Growth must be non-negative (shrinking extents break chain-link totality)")
+	}
+
+	// Derive per-attribute generation bounds from the catalog consequents.
+	bounds := map[string]*attrBounds{}
+	boundsFor := func(class, attr string) *attrBounds {
+		key := class + "\x00" + attr
+		b := bounds[key]
+		if b == nil {
+			b = &attrBounds{class: class, attr: attr}
+			bounds[key] = b
+		}
+		return b
+	}
+	for _, c := range cat.All() {
+		cons := c.Consequent
+		if cons.IsJoin() {
+			return nil, fmt.Errorf("datagen: %s: join consequents are not supported by the scaled database generator", c.ID)
+		}
+		if cons.Const.Kind() != value.KindInt {
+			return nil, fmt.Errorf("datagen: %s: non-integer consequent on %s is not supported by the scaled database generator", c.ID, cons.Left)
+		}
+		if err := boundsFor(cons.Left.Class, cons.Left.Attr).apply(cons.Op, cons.Const.IntVal()); err != nil {
+			return nil, err
+		}
+	}
+
+	r := rand.New(rand.NewSource(cfg.Seed))
+	db := storage.NewDatabase(sch)
+	classes := sch.Classes()
+	extent := func(i int) int { return cfg.BaseInstances + i*cfg.Growth }
+
+	for ci, class := range classes {
+		n := extent(ci)
+		for i := 0; i < n; i++ {
+			vals := map[string]value.Value{}
+			for _, a := range sch.EffectiveAttributes(class) {
+				switch {
+				case a.Type == value.KindString && a.Name == "id":
+					vals[a.Name] = value.String(fmt.Sprintf("%s-%06d", class, i))
+				case a.Type == value.KindString:
+					vals[a.Name] = value.String(scaledKinds[r.Intn(len(scaledKinds))])
+				case a.Type == value.KindInt:
+					vals[a.Name] = value.Int(scaledIntValue(r, a.Name, bounds[class+"\x00"+a.Name]))
+				default:
+					return nil, fmt.Errorf("datagen: scaled database generator cannot populate %s.%s (%v)", class, a.Name, a.Type)
+				}
+			}
+			if _, err := db.Insert(class, vals); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Chain links: r_i connects k_i (source) to k_{i+1} (target), OneToMany.
+	for _, rn := range sch.Relationships() {
+		rel := sch.Relationship(rn)
+		srcN, dstN := db.Count(rel.Source), db.Count(rel.Target)
+		if srcN > dstN {
+			return nil, fmt.Errorf("datagen: relationship %s shrinks from %d to %d instances; totality needs non-decreasing extents", rn, srcN, dstN)
+		}
+		for j := 0; j < dstN; j++ {
+			if err := db.Link(rn, storage.OID(j%srcN), storage.OID(j)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}
+
+// scaledIntValue draws one integer attribute value: a per-attribute default
+// range (band matches the antecedent thresholds in [0, 90), load and grade
+// spread over [0, 2000)) clamped into the catalog-consequent bounds; when the
+// bounds push past the default range entirely, the value is drawn from a
+// 1000-wide window against the binding bound.
+func scaledIntValue(r *rand.Rand, attr string, b *attrBounds) int64 {
+	var defLo, defHi int64
+	switch attr {
+	case "band":
+		defLo, defHi = 0, 89
+	default:
+		defLo, defHi = 0, 1999
+	}
+	lo, up := defLo, defHi
+	if b != nil {
+		if b.hasLo && b.lo > lo {
+			lo = b.lo
+		}
+		if b.hasUp && b.up < up {
+			up = b.up
+		}
+		if lo > up {
+			// The consequent interval lies outside the default range; draw
+			// from a window anchored at the binding side.
+			switch {
+			case b.hasLo && b.hasUp:
+				lo, up = b.lo, b.up
+			case b.hasLo:
+				lo, up = b.lo, b.lo+999
+			default:
+				lo, up = b.up-999, b.up
+			}
+		}
+	}
+	return lo + r.Int63n(up-lo+1)
 }
 
 // ScaledWorkload generates count distinct path queries over a scaled world:

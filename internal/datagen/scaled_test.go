@@ -3,6 +3,7 @@ package datagen
 import (
 	"testing"
 
+	"sqo/internal/engine"
 	"sqo/internal/index"
 )
 
@@ -86,5 +87,54 @@ func TestScaledWorkloadDistinctAndValid(t *testing.T) {
 	}
 	if len(qs) != 200 {
 		t.Errorf("workload = %d queries", len(qs))
+	}
+}
+
+// TestGenerateScaledDatabase: the scaled worlds must materialize a populated,
+// legal database — every class populated, links total, and every catalog
+// constraint holding on the actual data (a violated "constraint" would make
+// the optimizer's transformations unsound on this instance).
+func TestGenerateScaledDatabase(t *testing.T) {
+	sch, cat, err := GenerateScaled(ScaledConfig{Constraints: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := GenerateScaledDatabase(sch, cat, ScaledDBConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, class := range sch.Classes() {
+		if db.Count(class) == 0 {
+			t.Errorf("class %s has no instances", class)
+		}
+	}
+	if err := db.CheckTotality(); err != nil {
+		t.Errorf("CheckTotality: %v", err)
+	}
+	if id, err := engine.CheckCatalog(db, cat); err != nil {
+		t.Fatalf("CheckCatalog: %v", err)
+	} else if id != "" {
+		t.Errorf("constraint %s is violated by the generated database", id)
+	}
+}
+
+// TestGenerateScaledDatabaseDeterministic: same seed, same database dump.
+func TestGenerateScaledDatabaseDeterministic(t *testing.T) {
+	sch, cat, err := GenerateScaled(ScaledConfig{Constraints: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := GenerateScaledDatabase(sch, cat, ScaledDBConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateScaledDatabase(sch, cat, ScaledDBConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, class := range sch.Classes() {
+		if a.Count(class) != b.Count(class) {
+			t.Fatalf("extent of %s differs across identical seeds", class)
+		}
 	}
 }

@@ -10,6 +10,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -165,11 +166,19 @@ func (e *Executor) Stats() *storage.Stats { return e.db.Analyze() }
 // An EmptyResult short-circuit belongs to the caller (the optimizer's
 // contradiction detection); Execute always runs the plan it is given.
 func (e *Executor) Execute(q *query.Query) (*Result, error) {
+	return e.ExecuteContext(context.Background(), q)
+}
+
+// ExecuteContext is Execute with cancellation: the context is checked every
+// checkEvery instances inside the scan and join loops, matching the
+// optimizer's OptimizeContext pattern, so a cancelled or expired context
+// abandons a long-running execution promptly and returns ctx.Err().
+func (e *Executor) ExecuteContext(ctx context.Context, q *query.Query) (*Result, error) {
 	plan, err := e.Plan(q)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(q, plan)
+	return e.RunContext(ctx, q, plan)
 }
 
 // Plan orders the query's classes greedily: the seed is the class with the
@@ -177,6 +186,23 @@ func (e *Executor) Execute(q *query.Query) (*Result, error) {
 // and each subsequent step traverses a query relationship from the bound set
 // to the cheapest remaining class.
 func (e *Executor) Plan(q *query.Query) (*Plan, error) {
+	return e.plan(q, e.walkCost)
+}
+
+// PlanExamined is Plan under the serving profile: the seed minimizes the
+// estimated number of instances the run will examine (scan extent or index
+// matches, plus every downstream traversal fetch) instead of the weighted
+// I/O cost. Under the paper's disk model a sequential scan packs dozens of
+// tuples per page, so cost-optimal plans happily trade examined instances
+// for sequential pages; a serving executor cares about per-tuple work, and
+// internal/exec — whose headline number is TuplesScanned — plans through
+// this entry point for both its optimized and raw runs.
+func (e *Executor) PlanExamined(q *query.Query) (*Plan, error) {
+	return e.plan(q, e.walkTuples)
+}
+
+// plan builds the greedy plan with the given seed-scoring function.
+func (e *Executor) plan(q *query.Query, score func(*query.Query, string, map[string][]predicate.Predicate) float64) (*Plan, error) {
 	if len(q.Classes) == 0 {
 		return nil, fmt.Errorf("engine: query has no classes")
 	}
@@ -192,7 +218,7 @@ func (e *Executor) Plan(q *query.Query) (*Plan, error) {
 	seed := ""
 	bestCost := 0.0
 	for _, cl := range q.Classes {
-		c := e.walkCost(q, cl, selects)
+		c := score(q, cl, selects)
 		if seed == "" || c < bestCost {
 			seed, bestCost = cl, c
 		}
@@ -364,6 +390,86 @@ func (e *Executor) walkCost(q *query.Query, seed string, selects map[string][]pr
 		bindings = fetched * sel
 	}
 	return cost
+}
+
+// walkTuples estimates how many instances the greedy plan seeded at the
+// given class examines: the seed's scanned extent (or index matches) plus
+// every downstream traversal fetch. Same walk as walkCost, different
+// currency — see PlanExamined.
+func (e *Executor) walkTuples(q *query.Query, seed string, selects map[string][]predicate.Predicate) float64 {
+	cs := e.stats.Classes[seed]
+	tuples := float64(cs.Card)
+	for _, p := range selects[seed] {
+		if _, ok := indexOp(p.Op); ok && e.db.HasIndex(seed, p.Left.Attr) {
+			if t := e.selectivity(seed, p) * float64(cs.Card); t < tuples {
+				tuples = t
+			}
+		}
+	}
+	bindings := float64(cs.Card)
+	for _, p := range selects[seed] {
+		bindings *= e.servingSelectivity(seed, p)
+	}
+	bound := map[string]bool{seed: true}
+	relUsed := map[string]bool{}
+	for len(bound) < len(q.Classes) {
+		var bestClass, bestRel, bestFrom string
+		bestEst := 0.0
+		for _, rn := range q.Relationships {
+			if relUsed[rn] {
+				continue
+			}
+			r := e.db.Schema().Relationship(rn)
+			if r == nil {
+				continue
+			}
+			var from, to string
+			switch {
+			case bound[r.Source] && !bound[r.Target]:
+				from, to = r.Source, r.Target
+			case bound[r.Target] && !bound[r.Source]:
+				from, to = r.Target, r.Source
+			default:
+				continue
+			}
+			est := e.estimatedCard(to, selects[to])
+			if bestClass == "" || est < bestEst {
+				bestClass, bestRel, bestFrom, bestEst = to, rn, from, est
+			}
+		}
+		if bestClass == "" {
+			break // disconnected; Plan will report the error
+		}
+		relUsed[bestRel] = true
+		bound[bestClass] = true
+		fetched := bindings * e.stats.Rels[bestRel].Fanout[bestFrom]
+		tuples += fetched
+		sel := 1.0
+		for _, p := range selects[bestClass] {
+			sel *= e.servingSelectivity(bestClass, p)
+		}
+		bindings = fetched * sel
+	}
+	return tuples
+}
+
+// servingSelectivity is the selectivity estimate walkTuples trusts. Without
+// histograms, range selectivities are linear-interpolation guesses, and the
+// restrictions the optimizer introduces are exactly where the guess is worst:
+// a constraint like rank="trainee" => class<=2 holds because most instances
+// satisfy its consequent, so the interpolated estimate lures the seed toward
+// a filter that barely filters. The serving profile therefore trusts only
+// equality (1/distinct) and index-backed estimates — an index confines the
+// instances physically examined regardless of the estimate — and treats any
+// other filter as non-reducing.
+func (e *Executor) servingSelectivity(class string, p predicate.Predicate) float64 {
+	if p.Op == predicate.EQ {
+		return e.selectivity(class, p)
+	}
+	if _, ok := indexOp(p.Op); ok && e.db.HasIndex(class, p.Left.Attr) {
+		return e.selectivity(class, p)
+	}
+	return 1
 }
 
 // estimatedCard is the class cardinality scaled by its predicates'

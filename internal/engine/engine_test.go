@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -425,5 +426,78 @@ func TestExecutionDeterminism(t *testing.T) {
 		if !reflect.DeepEqual(first.Canonical(), again.Canonical()) || first.Meter != again.Meter {
 			t.Fatalf("execution not deterministic on run %d", i)
 		}
+	}
+}
+
+// TestPlanExaminedIgnoresUntrustedRanges: the serving profile must not let a
+// non-indexed range filter lure the seed away from an equality-filtered
+// class. vehicle.class <= 3 interpolates to near-zero selectivity, but
+// without a histogram that estimate is a guess — PlanExamined treats it as
+// non-reducing and seeds at the equality filter instead.
+func TestPlanExaminedIgnoresUntrustedRanges(t *testing.T) {
+	db := loadDB(t)
+	e := New(db)
+	q := query.New("driver", "vehicle").
+		AddProject("driver", "name").
+		AddProject("vehicle", "desc").
+		AddRelationship("drives").
+		AddSelect(predicate.Eq("driver", "licenseClass", value.Int(3))).
+		AddSelect(predicate.Sel("vehicle", "class", predicate.LE, value.Int(3)))
+	plan, err := e.PlanExamined(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Steps[0].Class != "driver" {
+		t.Errorf("PlanExamined seeded at %s, want driver:\n%v", plan.Steps[0].Class, plan)
+	}
+	// The plan still executes correctly.
+	res, err := e.Run(q, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("rows = %v, want bob/refrigerated truck", res.Canonical())
+	}
+}
+
+// TestPlanExaminedTrustsIndexes: an index-backed predicate confines the
+// instances physically examined, so the serving profile keeps using it.
+func TestPlanExaminedTrustsIndexes(t *testing.T) {
+	e := New(loadDB(t))
+	q := query.New("supplier", "cargo").
+		AddProject("cargo", "desc").
+		AddRelationship("supplies").
+		AddSelect(predicate.Eq("supplier", "name", value.String("SFI")))
+	plan, err := e.PlanExamined(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Steps[0].Class != "supplier" || plan.Steps[0].Access != AccessIndex {
+		t.Errorf("PlanExamined = %v, want index seed on supplier", plan)
+	}
+}
+
+// TestExecuteContextCancellation: a canceled context aborts a scan larger
+// than the check interval; a live context completes the same query.
+func TestExecuteContextCancellation(t *testing.T) {
+	db := storage.NewDatabase(testSchema(t))
+	for i := 0; i < 3000; i++ {
+		if _, err := db.Insert("cargo", map[string]value.Value{
+			"desc": value.String("bulk"), "quantity": value.Int(int64(i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := New(db)
+	q := query.New("cargo").
+		AddProject("cargo", "quantity").
+		AddSelect(predicate.Eq("cargo", "desc", value.String("none")))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.ExecuteContext(ctx, q); err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if _, err := e.ExecuteContext(context.Background(), q); err != nil {
+		t.Errorf("live context: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"sqo/internal/predicate"
@@ -13,11 +14,28 @@ import (
 // instance per plan-step position.
 type binding []storage.Instance
 
+// checkEvery is how many instances pass between context checks inside
+// RunContext's loops — frequent enough that cancellation cuts in promptly,
+// rare enough that the check never shows up in a profile.
+const checkEvery = 1024
+
 // Run executes a previously built plan. The plan must belong to the query
 // (Execute guarantees that; tests may build plans directly).
 func (e *Executor) Run(q *query.Query, plan *Plan) (*Result, error) {
+	return e.RunContext(context.Background(), q, plan)
+}
+
+// RunContext is Run with cancellation, checked every checkEvery instances.
+func (e *Executor) RunContext(ctx context.Context, q *query.Query, plan *Plan) (*Result, error) {
 	res := &Result{Plan: plan}
 	m := &res.Meter
+	var seen int64
+	tick := func() error {
+		if seen++; seen%checkEvery == 0 {
+			return ctx.Err()
+		}
+		return nil
+	}
 
 	classPos := map[string]int{}
 	for i, st := range plan.Steps {
@@ -37,12 +55,19 @@ func (e *Executor) Run(q *query.Query, plan *Plan) (*Result, error) {
 		case AccessScan, AccessIndex:
 			var seed []storage.Instance
 			if st.Access == AccessScan {
+				var ctxErr error
 				err = e.db.Scan(st.Class, m, func(inst storage.Instance) bool {
+					if ctxErr = tick(); ctxErr != nil {
+						return false
+					}
 					seed = append(seed, inst)
 					return true
 				})
 				if err != nil {
 					return nil, err
+				}
+				if ctxErr != nil {
+					return nil, ctxErr
 				}
 			} else {
 				op, _ := indexOp(st.IndexPred.Op)
@@ -51,6 +76,9 @@ func (e *Executor) Run(q *query.Query, plan *Plan) (*Result, error) {
 					return nil, err
 				}
 				for _, oid := range oids {
+					if err := tick(); err != nil {
+						return nil, err
+					}
 					inst, err := e.db.Get(st.Class, oid, m)
 					if err != nil {
 						return nil, err
@@ -81,6 +109,9 @@ func (e *Executor) Run(q *query.Query, plan *Plan) (*Result, error) {
 					return nil, err
 				}
 				for _, oid := range oids {
+					if err := tick(); err != nil {
+						return nil, err
+					}
 					inst, err := e.db.Get(st.Class, oid, m)
 					if err != nil {
 						return nil, err

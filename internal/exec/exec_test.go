@@ -1,0 +1,270 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"testing"
+
+	"sqo/internal/core"
+	"sqo/internal/engine"
+	"sqo/internal/predicate"
+	"sqo/internal/query"
+	"sqo/internal/schema"
+	"sqo/internal/storage"
+	"sqo/internal/value"
+)
+
+func testSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	return schema.NewBuilder().
+		Class("supplier",
+			schema.Attribute{Name: "name", Type: value.KindString, Indexed: true}).
+		Class("cargo",
+			schema.Attribute{Name: "desc", Type: value.KindString},
+			schema.Attribute{Name: "quantity", Type: value.KindInt}).
+		Relationship("supplies", "supplier", "cargo", schema.OneToMany).
+		MustBuild()
+}
+
+// loadDB builds a two-supplier world: SFI supplies two frozen-food cargos,
+// ACME supplies one steel cargo.
+func loadDB(t *testing.T) *storage.Database {
+	t.Helper()
+	db := storage.NewDatabase(testSchema(t))
+	ins := func(class string, vals map[string]value.Value) storage.OID {
+		oid, err := db.Insert(class, vals)
+		if err != nil {
+			t.Fatalf("Insert(%s): %v", class, err)
+		}
+		return oid
+	}
+	link := func(rel string, a, b storage.OID) {
+		if err := db.Link(rel, a, b); err != nil {
+			t.Fatalf("Link(%s): %v", rel, err)
+		}
+	}
+	sfi := ins("supplier", map[string]value.Value{"name": value.String("SFI")})
+	acme := ins("supplier", map[string]value.Value{"name": value.String("ACME")})
+	c0 := ins("cargo", map[string]value.Value{"desc": value.String("frozen food"), "quantity": value.Int(10)})
+	c1 := ins("cargo", map[string]value.Value{"desc": value.String("steel"), "quantity": value.Int(50)})
+	c2 := ins("cargo", map[string]value.Value{"desc": value.String("frozen food"), "quantity": value.Int(20)})
+	link("supplies", sfi, c0)
+	link("supplies", acme, c1)
+	link("supplies", sfi, c2)
+	return db
+}
+
+// TestIndexPushDown pins the physical work of an indexed point query: one
+// probe, one fetch, no pages — the push-down the paper's index introduction
+// exists to reach.
+func TestIndexPushDown(t *testing.T) {
+	x := New(loadDB(t))
+	q := query.New("supplier").
+		AddProject("supplier", "name").
+		AddSelect(predicate.Eq("supplier", "name", value.String("SFI")))
+	res, err := x.Execute(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Steps[0].Access != engine.AccessIndex {
+		t.Fatalf("plan = %v, want index seed", res.Plan)
+	}
+	if got := res.Canonical(); !slices.Equal(got, []string{`"SFI"`}) {
+		t.Fatalf("rows = %v", got)
+	}
+	m := res.Meter
+	if m.IndexProbes != 1 || m.ObjectFetches != 1 || m.PagesScanned != 0 {
+		t.Errorf("meter = %+v, want exactly 1 probe + 1 fetch, 0 pages", m)
+	}
+	if res.TuplesScanned != 1 {
+		t.Errorf("TuplesScanned = %d, want 1", res.TuplesScanned)
+	}
+}
+
+// TestEarlyFilterScan pins a full-extent scan with a pushed-down filter:
+// every instance is examined (and counted) exactly once, every instance pays
+// exactly one predicate evaluation, and only the survivors become rows.
+func TestEarlyFilterScan(t *testing.T) {
+	db := loadDB(t)
+	x := New(db)
+	q := query.New("cargo").
+		AddProject("cargo", "quantity").
+		AddSelect(predicate.Eq("cargo", "desc", value.String("frozen food")))
+	res, err := x.Execute(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Steps[0].Access != engine.AccessScan {
+		t.Fatalf("plan = %v, want scan seed", res.Plan)
+	}
+	if got := res.Canonical(); !slices.Equal(got, []string{"10", "20"}) {
+		t.Fatalf("rows = %v", got)
+	}
+	m := res.Meter
+	if res.TuplesScanned != 3 || m.PredEvals != 3 {
+		t.Errorf("scanned %d tuples, %d pred evals; want 3 and 3", res.TuplesScanned, m.PredEvals)
+	}
+	if m.PagesScanned != int64(db.Pages("cargo")) {
+		t.Errorf("PagesScanned = %d, want %d", m.PagesScanned, db.Pages("cargo"))
+	}
+	if m.ObjectFetches != 0 || m.IndexProbes != 0 {
+		t.Errorf("meter = %+v, scan should neither probe nor fetch", m)
+	}
+}
+
+// TestTraverseMeter pins a two-class path: index seed (1 probe, 1 fetch),
+// then one link traversal fanning out to the supplier's two cargos (2 more
+// fetches). TuplesScanned counts all three examined instances.
+func TestTraverseMeter(t *testing.T) {
+	x := New(loadDB(t))
+	q := query.New("supplier", "cargo").
+		AddRelationship("supplies").
+		AddProject("cargo", "desc").
+		AddSelect(predicate.Eq("supplier", "name", value.String("SFI")))
+	res, err := x.Execute(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Canonical(); !slices.Equal(got, []string{`"frozen food"`, `"frozen food"`}) {
+		t.Fatalf("rows = %v", got)
+	}
+	m := res.Meter
+	if m.IndexProbes != 1 || m.LinkTraversals != 1 || m.ObjectFetches != 3 {
+		t.Errorf("meter = %+v, want 1 probe, 1 traversal, 3 fetches", m)
+	}
+	if res.TuplesScanned != 3 {
+		t.Errorf("TuplesScanned = %d, want 3 (1 supplier + 2 cargos)", res.TuplesScanned)
+	}
+}
+
+// TestRowsMatchEngine cross-checks the push-down pipeline against the
+// engine's materialize-then-filter executor on every query shape the little
+// world supports.
+func TestRowsMatchEngine(t *testing.T) {
+	db := loadDB(t)
+	x := New(db)
+	eng := engine.New(db)
+	queries := []*query.Query{
+		query.New("cargo").AddProject("cargo", "desc"),
+		query.New("cargo").AddProject("cargo", "desc").
+			AddSelect(predicate.Sel("cargo", "quantity", predicate.GE, value.Int(20))),
+		query.New("supplier", "cargo").AddRelationship("supplies").
+			AddProject("supplier", "name").AddProject("cargo", "quantity").
+			AddSelect(predicate.Eq("cargo", "desc", value.String("frozen food"))),
+		query.New("supplier", "cargo").AddRelationship("supplies").
+			AddProject("cargo", "desc").
+			AddSelect(predicate.Eq("supplier", "name", value.String("ACME"))).
+			AddSelect(predicate.Sel("cargo", "quantity", predicate.GT, value.Int(10))),
+	}
+	for _, q := range queries {
+		got, err := x.Execute(context.Background(), q)
+		if err != nil {
+			t.Fatalf("exec %s: %v", q, err)
+		}
+		want, err := eng.Execute(q)
+		if err != nil {
+			t.Fatalf("engine %s: %v", q, err)
+		}
+		if !slices.Equal(got.Canonical(), want.Canonical()) {
+			t.Errorf("%s: exec %v != engine %v", q, got.Canonical(), want.Canonical())
+		}
+	}
+}
+
+// TestEmptyProven: a proven-empty optimization short-circuits with zero
+// physical work; a nil result is an error, not a panic.
+func TestEmptyProven(t *testing.T) {
+	x := New(loadDB(t))
+	res, err := x.ExecuteOptimized(context.Background(), &core.Result{EmptyResult: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.EmptyProven || len(res.Rows) != 0 {
+		t.Errorf("want empty proven result, got %+v", res)
+	}
+	if res.Meter != (storage.Meter{}) || res.TuplesScanned != 0 {
+		t.Errorf("proven-empty execution did physical work: %+v", res.Meter)
+	}
+	if _, err := x.ExecuteOptimized(context.Background(), nil); err == nil {
+		t.Error("nil optimization result should error")
+	}
+}
+
+// TestExecuteOptimizedRuns: a non-empty optimization result executes its
+// transformed query and carries the optimization along.
+func TestExecuteOptimizedRuns(t *testing.T) {
+	x := New(loadDB(t))
+	q := query.New("cargo").AddProject("cargo", "desc")
+	res := &core.Result{Original: q, Optimized: q}
+	out, err := x.ExecuteOptimized(context.Background(), res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Opt != res {
+		t.Error("execution should carry its optimization")
+	}
+	if len(out.Rows) != 3 {
+		t.Errorf("rows = %d, want 3", len(out.Rows))
+	}
+}
+
+// TestCancellation: a canceled context stops a long scan mid-extent. The
+// check fires every checkEvery examined instances, so the extent must be
+// bigger than that.
+func TestCancellation(t *testing.T) {
+	db := storage.NewDatabase(testSchema(t))
+	for i := 0; i < 3*checkEvery; i++ {
+		if _, err := db.Insert("cargo", map[string]value.Value{
+			"desc": value.String("bulk"), "quantity": value.Int(int64(i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x := New(db)
+	q := query.New("cargo").AddProject("cargo", "quantity").
+		AddSelect(predicate.Eq("cargo", "desc", value.String("none")))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := x.Execute(ctx, q); err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	// The same query completes on a live context.
+	if _, err := x.Execute(context.Background(), q); err != nil {
+		t.Errorf("live context: %v", err)
+	}
+}
+
+// TestCompileErrors: plans referencing unknown attributes or unplanned
+// classes are rejected before any I/O.
+func TestCompileErrors(t *testing.T) {
+	x := New(loadDB(t))
+	q := query.New("cargo").AddProject("cargo", "ghost")
+	if _, err := x.Execute(context.Background(), q); err == nil {
+		t.Error("unknown projection attribute should error")
+	}
+}
+
+// TestDeterminism: repeated executions return identical canonical rows and
+// identical meters.
+func TestDeterminism(t *testing.T) {
+	x := New(loadDB(t))
+	q := query.New("supplier", "cargo").AddRelationship("supplies").
+		AddProject("supplier", "name").AddProject("cargo", "desc")
+	var rows []string
+	var meter storage.Meter
+	for i := 0; i < 5; i++ {
+		res, err := x.Execute(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			rows, meter = res.Canonical(), res.Meter
+			continue
+		}
+		if !slices.Equal(rows, res.Canonical()) || meter != res.Meter {
+			t.Fatalf("run %d diverged", i)
+		}
+	}
+	_ = fmt.Sprintf("%v", meter)
+}

@@ -349,3 +349,117 @@ func (g *Generator) Workload(count int) ([]*query.Query, error) {
 	r.Shuffle(len(queries), func(i, j int) { queries[i], queries[j] = queries[j], queries[i] })
 	return queries[:count], nil
 }
+
+// ConstraintWorkload formulates one query per catalog constraint, staged
+// exactly as the paper's transformation scenarios: the constraint's
+// antecedent predicates asked over the constraint's own relationship path,
+// projecting an attribute from the antecedent class and from the consequent
+// class so neither end can be eliminated away. The consequent is implied but
+// absent from every query, so restriction introduction — often of an indexed
+// predicate, the access-path rewrite of the paper's Example 2 — has room to
+// fire on each one. Constraints whose shape doesn't fit (no antecedents,
+// join consequents, antecedents spanning several classes) are skipped, and
+// structurally identical queries from mirrored constraint pairs are
+// deduplicated, so the workload may be smaller than the catalog.
+func (g *Generator) ConstraintWorkload() ([]*query.Query, error) {
+	var queries []*query.Query
+	seen := map[string]bool{}
+	for _, c := range g.cat.All() {
+		q, ok := g.constraintQuery(c)
+		if !ok {
+			continue
+		}
+		if err := q.Validate(g.sch); err != nil {
+			return nil, fmt.Errorf("pathgen: constraint %s query: %w", c.ID, err)
+		}
+		if sig := q.Signature(); !seen[sig] {
+			seen[sig] = true
+			queries = append(queries, q)
+		}
+	}
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("pathgen: no catalog constraint yields a workload query")
+	}
+	return queries, nil
+}
+
+// ContradictionWorkload formulates one provably-empty query per catalog
+// constraint: the antecedent predicates over the constraint's relationship
+// path together with the NEGATED consequent — a request the constraint
+// renders semantically unsatisfiable. An optimizer with contradiction
+// detection proves these empty without touching storage; a plain executor
+// runs the whole access path to discover the same zero rows. Constraints
+// whose shape doesn't fit (see ConstraintWorkload) or whose negated
+// consequent the sound-but-incomplete contradiction test cannot refute are
+// skipped.
+func (g *Generator) ContradictionWorkload() ([]*query.Query, error) {
+	var queries []*query.Query
+	seen := map[string]bool{}
+	for _, c := range g.cat.All() {
+		q, ok := g.constraintQuery(c)
+		if !ok {
+			continue
+		}
+		neg := predicate.Sel(c.Consequent.Left.Class, c.Consequent.Left.Attr,
+			c.Consequent.Op.Negate(), c.Consequent.Const)
+		if !neg.Contradicts(c.Consequent) {
+			continue
+		}
+		q.AddSelect(neg)
+		if err := q.Validate(g.sch); err != nil {
+			return nil, fmt.Errorf("pathgen: constraint %s contradiction query: %w", c.ID, err)
+		}
+		if sig := q.Signature(); !seen[sig] {
+			seen[sig] = true
+			queries = append(queries, q)
+		}
+	}
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("pathgen: no catalog constraint yields a contradiction query")
+	}
+	return queries, nil
+}
+
+// constraintQuery builds the single query staged for one constraint, or
+// reports that the constraint's shape doesn't fit the workload.
+func (g *Generator) constraintQuery(c *constraint.Constraint) (*query.Query, bool) {
+	if len(c.Antecedents) == 0 || c.Consequent.IsJoin() {
+		return nil, false
+	}
+	ante := c.Antecedents[0].Left.Class
+	for _, a := range c.Antecedents {
+		if a.IsJoin() || a.Left.Class != ante {
+			return nil, false
+		}
+	}
+	// Walk the constraint's links from the antecedent class; they must form
+	// a chain ending at the consequent class.
+	classes := []string{ante}
+	cur := ante
+	for _, rn := range c.Links {
+		rel := g.sch.Relationship(rn)
+		if rel == nil {
+			return nil, false
+		}
+		next, ok := rel.Other(cur)
+		if !ok {
+			return nil, false
+		}
+		classes = append(classes, next)
+		cur = next
+	}
+	cons := c.Consequent.Left.Class
+	if cur != cons {
+		return nil, false
+	}
+	q := query.New(classes...)
+	q.Relationships = append(q.Relationships, c.Links...)
+	q.AddProject(ante, g.sch.EffectiveAttributes(ante)[0].Name)
+	if cons != ante {
+		q.AddProject(cons, g.sch.EffectiveAttributes(cons)[0].Name)
+	}
+	for _, a := range c.Antecedents {
+		q.AddSelect(a)
+	}
+	return q, true
+}

@@ -47,6 +47,7 @@ type Config struct {
 //
 //	POST /optimize        — one query, coalesced into micro-batches
 //	POST /optimize/batch  — a client-assembled batch via OptimizeBatch
+//	POST /query           — optimize-then-execute against the database
 //	POST /catalog/swap    — hot-swap the whole constraint catalog
 //	POST /catalog/update  — apply an incremental catalog delta
 //	GET  /healthz         — liveness
@@ -63,6 +64,7 @@ type Server struct {
 
 	optimizeM *endpointMetrics
 	batchM    *endpointMetrics
+	queryM    *endpointMetrics
 	swapM     *endpointMetrics
 	updateM   *endpointMetrics
 	statsM    *endpointMetrics
@@ -103,6 +105,7 @@ func New(cfg Config) (*Server, error) {
 		start:     time.Now(),
 		optimizeM: &endpointMetrics{},
 		batchM:    &endpointMetrics{},
+		queryM:    &endpointMetrics{},
 		swapM:     &endpointMetrics{},
 		updateM:   &endpointMetrics{},
 		statsM:    &endpointMetrics{},
@@ -112,6 +115,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux.HandleFunc("POST /optimize", s.instrument(s.optimizeM, s.handleOptimize))
 	s.mux.HandleFunc("POST /optimize/batch", s.instrument(s.batchM, s.handleOptimizeBatch))
+	s.mux.HandleFunc("POST /query", s.instrument(s.queryM, s.handleQuery))
 	s.mux.HandleFunc("POST /catalog/swap", s.instrument(s.swapM, s.handleCatalogSwap))
 	s.mux.HandleFunc("POST /catalog/update", s.instrument(s.updateM, s.handleCatalogUpdate))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -182,6 +186,33 @@ type BatchRequest struct {
 // request.
 type BatchResponse struct {
 	Results []OptimizeResponse `json:"results"`
+}
+
+// QueryRequest is the body of POST /query. Optimize defaults to true
+// (optimize-then-execute); set it to false for the opt-off baseline that
+// runs the raw query. TimeoutMS overrides the server's default per-request
+// deadline.
+type QueryRequest struct {
+	Query     string `json:"query"`
+	Optimize  *bool  `json:"optimize,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// QueryResponse reports one end-to-end execution: the projected rows (each a
+// slice of stringified values in projection order), what the run cost at the
+// metered storage layer, and DurationUS — the execution's service time inside
+// the engine (optimization plus storage work).
+type QueryResponse struct {
+	Rows           [][]string `json:"rows"`
+	RowCount       int        `json:"row_count"`
+	Optimized      bool       `json:"optimized"`
+	EmptyResult    bool       `json:"empty_result,omitempty"`
+	TuplesScanned  int64      `json:"tuples_scanned"`
+	PagesScanned   int64      `json:"pages_scanned"`
+	IndexProbes    int64      `json:"index_probes"`
+	ObjectFetches  int64      `json:"object_fetches"`
+	LinkTraversals int64      `json:"link_traversals"`
+	DurationUS     int64      `json:"duration_us"`
 }
 
 // SwapRequest is the body of POST /catalog/swap: a constraint catalog in
@@ -305,6 +336,57 @@ func (s *Server) handleOptimizeBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if !s.eng.CanExecute() {
+		writeError(w, http.StatusUnprocessableEntity,
+			errors.New("engine has no database; start the server with execution enabled"))
+		return
+	}
+	q, err := sqo.ParseQuery(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	optimize := req.Optimize == nil || *req.Optimize
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	start := time.Now()
+	var out *sqo.Execution
+	if optimize {
+		out, err = s.eng.Execute(ctx, q)
+	} else {
+		out, err = s.eng.ExecuteRaw(ctx, q)
+	}
+	if err != nil {
+		writeError(w, statusForError(err), err)
+		return
+	}
+	rows := make([][]string, len(out.Rows))
+	for i, row := range out.Rows {
+		vals := make([]string, len(row.Values))
+		for j, v := range row.Values {
+			vals[j] = v.String()
+		}
+		rows[i] = vals
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Rows:           rows,
+		RowCount:       len(rows),
+		Optimized:      optimize,
+		EmptyResult:    out.EmptyProven,
+		TuplesScanned:  out.TuplesScanned,
+		PagesScanned:   out.Meter.PagesScanned,
+		IndexProbes:    out.Meter.IndexProbes,
+		ObjectFetches:  out.Meter.ObjectFetches,
+		LinkTraversals: out.Meter.LinkTraversals,
+		DurationUS:     time.Since(start).Microseconds(),
+	})
+}
+
 func (s *Server) handleCatalogSwap(w http.ResponseWriter, r *http.Request) {
 	var req SwapRequest
 	if !s.decode(w, r, &req) {
@@ -387,6 +469,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Endpoints: map[string]EndpointStats{
 			"/optimize":       s.optimizeM.snapshot(),
 			"/optimize/batch": s.batchM.snapshot(),
+			"/query":          s.queryM.snapshot(),
 			"/catalog/swap":   s.swapM.snapshot(),
 			"/catalog/update": s.updateM.snapshot(),
 			"/stats":          s.statsM.snapshot(),

@@ -336,3 +336,97 @@ func TestRequestContextTimeouts(t *testing.T) {
 	check(400, 400*time.Millisecond) // client choice
 	check(100000, time.Second)       // capped at MaxTimeout
 }
+
+// execTestEngine builds an engine over the generated DB1 logistics instance,
+// the smallest world the /query endpoint can execute against.
+func execTestEngine(t testing.TB) *sqo.Engine {
+	t.Helper()
+	db, err := sqo.GenerateDatabase(sqo.DB1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sqo.NewEngine(db.Schema(),
+		sqo.WithCatalog(sqo.LogisticsConstraints()),
+		sqo.WithCostModel(sqo.NewCostModel(db.Schema(), db.Analyze(), sqo.DefaultWeights)),
+		sqo.WithDatabase(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Engine: execTestEngine(t)})
+	resp, raw := postJSON(t, ts.URL+"/query", QueryRequest{Query: testQueryText})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, raw)
+	}
+	var out QueryResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Optimized || out.EmptyResult {
+		t.Errorf("response flags = %+v, want optimized and non-empty", out)
+	}
+	if out.RowCount != len(out.Rows) || out.RowCount == 0 {
+		t.Errorf("RowCount = %d with %d rows", out.RowCount, len(out.Rows))
+	}
+	if out.TuplesScanned == 0 {
+		t.Error("TuplesScanned = 0; execution did no metered work?")
+	}
+
+	// The unoptimized run must return the same multiset of rows.
+	off := false
+	resp, raw = postJSON(t, ts.URL+"/query", QueryRequest{Query: testQueryText, Optimize: &off})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("optimize=false status = %d, body %s", resp.StatusCode, raw)
+	}
+	var rawOut QueryResponse
+	if err := json.Unmarshal(raw, &rawOut); err != nil {
+		t.Fatal(err)
+	}
+	if rawOut.Optimized {
+		t.Error("optimize=false run reported Optimized")
+	}
+	if rawOut.RowCount != out.RowCount {
+		t.Errorf("raw run returned %d rows, optimized %d", rawOut.RowCount, out.RowCount)
+	}
+
+	// Both requests land in the endpoint's own latency row and the engine's
+	// execution counters.
+	getResp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err = io.ReadAll(getResp.Body)
+	getResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if ep := st.Endpoints["/query"]; ep.Requests != 2 || ep.Errors != 0 {
+		t.Errorf("/query stats = %+v, want 2 requests / 0 errors", ep)
+	}
+	if st.Engine.Executions != 2 || st.Engine.ExecTuplesScanned == 0 {
+		t.Errorf("engine execution counters = %+v, want 2 executions with tuples", st.Engine)
+	}
+}
+
+func TestQueryWithoutDatabase(t *testing.T) {
+	_, ts := newTestServer(t, Config{}) // default engine: no WithDatabase
+	resp, raw := postJSON(t, ts.URL+"/query", QueryRequest{Query: testQueryText})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422; body %s", resp.StatusCode, raw)
+	}
+}
+
+func TestQueryParseError(t *testing.T) {
+	_, ts := newTestServer(t, Config{Engine: execTestEngine(t)})
+	resp, _ := postJSON(t, ts.URL+"/query", QueryRequest{Query: "(bad"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}

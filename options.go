@@ -24,6 +24,7 @@ type engineConfig struct {
 	cacheSize       int
 	workers         int
 	defaultDeadline time.Duration
+	db              *Database
 }
 
 // WithCatalog supplies the declared semantic-constraint catalog. The catalog
@@ -135,6 +136,18 @@ func WithResultCache(n int) EngineOption {
 // The default is runtime.GOMAXPROCS(0); values below 1 reset to the default.
 func WithWorkers(n int) EngineOption {
 	return func(c *engineConfig) { c.workers = n }
+}
+
+// WithDatabase attaches a database instance to the engine, enabling the
+// end-to-end execution paths (Execute, ExecuteRaw, ExecuteBatch): optimized
+// queries are pushed into the metered storage layer with predicate push-down
+// and early filtering, and the engine accumulates per-query meters into its
+// serving counters. The database must be an instance of the engine's schema
+// and must satisfy the constraint catalog (semantic constraints are integrity
+// constraints; CheckCatalog verifies). The engine only reads the database;
+// mutating it concurrently with Execute calls is the caller's hazard.
+func WithDatabase(db *Database) EngineOption {
+	return func(c *engineConfig) { c.db = db }
 }
 
 // WithDefaultDeadline gives every Optimize call (and, through the batch

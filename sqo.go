@@ -53,6 +53,7 @@ import (
 	"sqo/internal/datagen"
 	"sqo/internal/derive"
 	"sqo/internal/engine"
+	"sqo/internal/exec"
 	"sqo/internal/groups"
 	"sqo/internal/index"
 	"sqo/internal/pathgen"
@@ -320,6 +321,11 @@ type (
 	Executor = engine.Executor
 	// ExecResult is an executed query's rows plus metered cost.
 	ExecResult = engine.Result
+	// Row is one projected result tuple.
+	Row = engine.Row
+	// Execution is an end-to-end run's rows, plan, meter, tuples-scanned
+	// count and (when optimize-then-execute produced it) the optimization.
+	Execution = exec.Result
 	// Plan is an executor query plan.
 	Plan = engine.Plan
 	// CostWeights prices metered events into cost units.
@@ -411,6 +417,16 @@ func GenerateScaledWorld(cfg ScaledConfig) (*Schema, *Catalog, error) {
 // transformations fire.
 func ScaledWorkload(sch *Schema, cat *Catalog, count int, seed int64) ([]*Query, error) {
 	return datagen.ScaledWorkload(sch, cat, count, seed)
+}
+
+// ScaledDBConfig sizes the populated database instance of a scaled world.
+type ScaledDBConfig = datagen.ScaledDBConfig
+
+// GenerateScaledDatabase populates a database for a scaled world that
+// satisfies every constraint of its catalog, so end-to-end execution runs at
+// 10²–10⁴ rules, not only over the logistics schema.
+func GenerateScaledDatabase(sch *Schema, cat *Catalog, cfg ScaledDBConfig) (*Database, error) {
+	return datagen.GenerateScaledDatabase(sch, cat, cfg)
 }
 
 // EnumerateSchemaPaths lists every simple path of the schema graph.

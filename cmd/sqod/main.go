@@ -22,11 +22,19 @@
 // in O(|delta|) and invalidates only the cached results the delta touches;
 // with -closure (the default) it falls back to a full rebuild, like a swap.
 //
+// With -snapshot-dir the catalog is persistent: the daemon boots warm from
+// the directory's snapshot + delta journal when they are sound (cold-building
+// from -constraints otherwise), journals every /catalog/update, re-baselines
+// on /catalog/swap, and folds the journal into a fresh snapshot on drain.
+// Requires -closure=false and -retrieval index (the snapshot captures the
+// default retrieval stack). See docs/OPERATIONS.md for the runbook.
+//
 // Usage:
 //
 //	sqod                               # logistics world on :7411
 //	sqod -addr :9000 -batch-window 5ms -cache 8192
 //	sqod -schema world.txt -constraints rules.txt -db ""
+//	sqod -closure=false -snapshot-dir /var/lib/sqod
 package main
 
 import (
@@ -60,6 +68,7 @@ var (
 	reqTimeout  = flag.Duration("request-timeout", 10*time.Second, "default per-request deadline")
 	maxTimeout  = flag.Duration("max-timeout", time.Minute, "cap on client-supplied timeout_ms")
 	drain       = flag.Duration("drain", 15*time.Second, "graceful shutdown drain budget")
+	snapshotDir = flag.String("snapshot-dir", "", "directory for the catalog snapshot + delta journal (enables warm restart; requires -closure=false and -retrieval index)")
 )
 
 func main() {
@@ -71,7 +80,7 @@ func main() {
 }
 
 func run(logger *log.Logger) error {
-	eng, err := buildEngine()
+	eng, store, err := buildEngine(logger)
 	if err != nil {
 		return err
 	}
@@ -81,6 +90,7 @@ func run(logger *log.Logger) error {
 		BatchLimit:     *batchLimit,
 		RequestTimeout: *reqTimeout,
 		MaxTimeout:     *maxTimeout,
+		Store:          store,
 		Log:            logger,
 	})
 	if err != nil {
@@ -119,38 +129,84 @@ func run(logger *log.Logger) error {
 	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	if store != nil {
+		// Fold the journal into a final snapshot so the next boot is warm
+		// with nothing to replay.
+		if err := store.WriteSnapshot(eng); err != nil {
+			logger.Printf("drain snapshot FAILED (next boot replays the journal): %v", err)
+		} else {
+			ss := store.Stats()
+			logger.Printf("drain snapshot written (id %#x, seq %d)", ss.SnapshotID, ss.Seq)
+		}
+		store.Close()
+	}
 	st := eng.Stats()
 	logger.Printf("drained; served %d optimizations (%d cache hits, %d swaps)",
 		st.Optimizations, st.CacheHits, st.CatalogSwaps)
 	return nil
 }
 
-// buildEngine assembles the engine from the flags: the logistics evaluation
-// world by default, or user-supplied schema/catalog text files.
-func buildEngine() (*sqo.Engine, error) {
+// buildEngine assembles the engine from the flags — the logistics evaluation
+// world by default, or user-supplied schema/catalog text files — either
+// directly, or through a SnapshotStore boot when -snapshot-dir is set.
+func buildEngine(logger *log.Logger) (*sqo.Engine, *sqo.SnapshotStore, error) {
+	sch, cat, opts, err := buildWorld()
+	if err != nil {
+		return nil, nil, err
+	}
+	if *snapshotDir == "" {
+		eng, err := sqo.NewEngine(sch, append(opts, sqo.WithCatalog(cat))...)
+		return eng, nil, err
+	}
+	if *closure {
+		return nil, nil, errors.New("-snapshot-dir requires -closure=false (snapshots capture the default retrieval stack)")
+	}
+	if *retrieval != "index" {
+		return nil, nil, fmt.Errorf("-snapshot-dir requires -retrieval index, not %q", *retrieval)
+	}
+	store, err := sqo.OpenSnapshotStore(*snapshotDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng, rep, err := store.Boot(sch, cat, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	if rep.Warm {
+		logger.Printf("warm boot from %s: snapshot %#x seq %d, %d journal batches replayed (torn tail: %v), %d constraints",
+			*snapshotDir, rep.SnapshotID, rep.Seq, rep.Replayed, rep.TornTail, rep.Constraints)
+	} else {
+		logger.Printf("cold boot (%s): built %d constraints from the declared catalog, baseline snapshot %#x seq %d",
+			rep.ColdReason, rep.Constraints, rep.SnapshotID, rep.Seq)
+	}
+	return eng, store, nil
+}
+
+// buildWorld resolves the schema, declared catalog and catalog-independent
+// engine options from the flags.
+func buildWorld() (*sqo.Schema, *sqo.Catalog, []sqo.EngineOption, error) {
 	sch := sqo.LogisticsSchema()
 	if *schemaFile != "" {
 		text, err := os.ReadFile(*schemaFile)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		if sch, err = sqo.ParseSchema(string(text)); err != nil {
-			return nil, fmt.Errorf("%s: %w", *schemaFile, err)
+			return nil, nil, nil, fmt.Errorf("%s: %w", *schemaFile, err)
 		}
 	}
 	cat := sqo.LogisticsConstraints()
 	if *catFile != "" {
 		text, err := os.ReadFile(*catFile)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		if cat, err = sqo.ParseConstraintCatalog(string(text)); err != nil {
-			return nil, fmt.Errorf("%s: %w", *catFile, err)
+			return nil, nil, nil, fmt.Errorf("%s: %w", *catFile, err)
 		}
 	}
 
 	opts := []sqo.EngineOption{
-		sqo.WithCatalog(cat),
 		sqo.WithResultCache(*cacheSize),
 		sqo.WithWorkers(*workers),
 		sqo.WithDefaultDeadline(*maxTimeout),
@@ -167,19 +223,19 @@ func buildEngine() (*sqo.Engine, error) {
 	case "scan":
 		opts = append(opts, sqo.WithConstraintIndex(false))
 	default:
-		return nil, fmt.Errorf("unknown -retrieval %q (want index, grouping or scan)", *retrieval)
+		return nil, nil, nil, fmt.Errorf("unknown -retrieval %q (want index, grouping or scan)", *retrieval)
 	}
 	if *dbName != "" {
 		if *schemaFile != "" {
-			return nil, errors.New("-db statistics only apply to the logistics schema; use -db '' with -schema")
+			return nil, nil, nil, errors.New("-db statistics only apply to the logistics schema; use -db '' with -schema")
 		}
 		cfg, err := dbConfig(*dbName)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		db, err := sqo.GenerateDatabase(cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		// The generated instance both calibrates the cost model and backs
 		// the end-to-end execution endpoint (POST /query).
@@ -187,7 +243,7 @@ func buildEngine() (*sqo.Engine, error) {
 			sqo.WithCostModel(sqo.NewCostModel(sch, db.Analyze(), sqo.DefaultWeights)),
 			sqo.WithDatabase(db))
 	}
-	return sqo.NewEngine(sch, opts...)
+	return sch, cat, opts, nil
 }
 
 func dbConfig(name string) (sqo.DBConfig, error) {

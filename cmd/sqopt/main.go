@@ -9,6 +9,12 @@
 //
 // With no query argument, the query is read from standard input. Run with
 // -demo to optimize the paper's Figure 2.3 example.
+//
+// With -compile the command instead compiles the constraint catalog into a
+// snapshot file (the sqod -snapshot-dir warm-boot format; see
+// docs/SNAPSHOT_FORMAT.md) and exits:
+//
+//	sqopt -constraints rules.txt -compile catalog.sqos
 package main
 
 import (
@@ -35,6 +41,7 @@ var (
 	executeResult = flag.Bool("execute", false, "execute both queries and report measured costs")
 	constraintsAt = flag.String("constraints", "", "load the semantic constraint catalog from a file instead of the built-in one")
 	dataAt        = flag.String("data", "", "load the database from a JSON dump (sqogen -dump) instead of generating the logistics instance")
+	compileTo     = flag.String("compile", "", "compile the constraint catalog into a snapshot file at this path and exit (no query; sqod -snapshot-dir boots warm from it as catalog.sqos)")
 )
 
 func main() {
@@ -46,6 +53,9 @@ func main() {
 }
 
 func run() error {
+	if *compileTo != "" {
+		return compileSnapshot(*compileTo)
+	}
 	input, err := queryText()
 	if err != nil {
 		return err
@@ -163,6 +173,36 @@ func run() error {
 			return err
 		}
 	}
+	return nil
+}
+
+// compileSnapshot builds the catalog's compiled form — interned symbol
+// space, ordinal space, retrieval index — and writes it as a snapshot file
+// for offline distribution: ship it to serving nodes as catalog.sqos in
+// their -snapshot-dir and they boot warm without ever compiling the catalog
+// themselves.
+func compileSnapshot(path string) error {
+	sch := sqo.LogisticsSchema()
+	cat := sqo.LogisticsConstraints()
+	if *constraintsAt != "" {
+		data, err := os.ReadFile(*constraintsAt)
+		if err != nil {
+			return err
+		}
+		cat, err = sqo.ParseConstraintCatalog(string(data))
+		if err != nil {
+			return err
+		}
+	}
+	eng, err := sqo.NewEngine(sch, sqo.WithCatalog(cat))
+	if err != nil {
+		return err
+	}
+	id, err := eng.WriteSnapshotFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compiled %d constraints to %s (snapshot %#x)\n", cat.Len(), path, id)
 	return nil
 }
 

@@ -138,8 +138,10 @@ func NewEngine(s *Schema, opts ...EngineOption) (*Engine, error) {
 		cfg.workers = runtime.GOMAXPROCS(0)
 	}
 	switch {
-	case cfg.catalog == nil && cfg.source == nil:
-		return nil, errors.New("sqo: NewEngine requires WithCatalog or WithConstraintSource")
+	case cfg.snap != nil && (cfg.catalog != nil || cfg.source != nil):
+		return nil, errors.New("sqo: WithSnapshot is mutually exclusive with WithCatalog and WithConstraintSource")
+	case cfg.catalog == nil && cfg.source == nil && cfg.snap == nil:
+		return nil, errors.New("sqo: NewEngine requires WithCatalog, WithConstraintSource or WithSnapshot")
 	case cfg.catalog != nil && cfg.source != nil:
 		return nil, errors.New("sqo: WithCatalog and WithConstraintSource are mutually exclusive")
 	}
@@ -149,6 +151,20 @@ func NewEngine(s *Schema, opts ...EngineOption) (*Engine, error) {
 	}
 	if cfg.db != nil {
 		e.runner = exec.New(cfg.db)
+	}
+	if cfg.snap != nil {
+		// Warm restore: adopt the snapshot's compiled generation instead of
+		// building one. Snapshots capture exactly the default retrieval
+		// stack, so configurations that would serve anything else must
+		// cold-build instead.
+		if cfg.closure || cfg.grouping || cfg.noIndex || cfg.noIntern || cfg.core.DisableInterning {
+			return nil, errors.New("sqo: WithSnapshot requires the default retrieval stack (no closure or grouping, index and interning on)")
+		}
+		if h := schemaHash(s); h != cfg.snap.info.SchemaHash {
+			return nil, fmt.Errorf("sqo: snapshot was compiled against schema %#016x, engine schema is %#016x", cfg.snap.info.SchemaHash, h)
+		}
+		e.state.Store(e.restoreState(cfg.snap.model, 0))
+		return e, nil
 	}
 	st, err := e.buildState(cfg.catalog, 0)
 	if err != nil {
@@ -434,8 +450,14 @@ func (e *Engine) UpdateCatalog(d *CatalogDelta) (UpdateReport, error) {
 	if e.mut == nil {
 		// First delta of this lineage: seed the mutation-side state from
 		// the generation's catalog order (the ordinal space the symbol
-		// table and index were compiled over).
-		e.mut = delta.NewState(cur.active.All())
+		// table and index were compiled over). A snapshot-restored engine
+		// has no compiled active catalog — its ordinal space comes from
+		// the restored generation, tombstones included.
+		if cur.gen != nil {
+			e.mut = delta.NewStateFromGen(cur.gen)
+		} else {
+			e.mut = delta.NewState(cur.active.All())
+		}
 		e.idxLin = index.NewLineage(cur.index)
 	}
 	plan, err := e.mut.Plan(d.ops, e.schema)

@@ -90,6 +90,37 @@ func New(id string, antecedents []predicate.Predicate, links []string, consequen
 	return c
 }
 
+// Restore rebuilds a constraint from persisted fields, trusting the stored
+// classification and canonical key instead of recomputing them — the
+// snapshot layer checksums the fields, so finish()'s sorting and string
+// building would be pure waste on the warm-boot path. Unlike New, the
+// predicate and string slices are aliased, not copied; the caller owns them
+// and must treat them as frozen afterwards.
+func Restore(id, doc string, antecedents []predicate.Predicate, links []string,
+	consequent predicate.Predicate, stateDependent bool, kind Kind, classes []string, key string) *Constraint {
+	c := new(Constraint)
+	RestoreInto(c, id, doc, antecedents, links, consequent, stateDependent, kind, classes, key)
+	return c
+}
+
+// RestoreInto is Restore writing into caller-owned storage, so a bulk
+// decoder can restore a whole catalog into one arena allocation instead of
+// one heap object per constraint.
+func RestoreInto(c *Constraint, id, doc string, antecedents []predicate.Predicate, links []string,
+	consequent predicate.Predicate, stateDependent bool, kind Kind, classes []string, key string) {
+	*c = Constraint{
+		ID:             id,
+		Doc:            doc,
+		Antecedents:    antecedents,
+		Links:          links,
+		Consequent:     consequent,
+		StateDependent: stateDependent,
+		kind:           kind,
+		classes:        classes,
+		key:            key,
+	}
+}
+
 // WithDoc attaches a human-readable statement and returns the constraint.
 func (c *Constraint) WithDoc(doc string) *Constraint {
 	c.Doc = doc

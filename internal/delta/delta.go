@@ -243,6 +243,50 @@ func (s *State) Snapshot() *Gen {
 	}
 }
 
+// NewGen builds a generation view directly from a restored ordinal space —
+// the snapshot layer's entry point into a lineage. all is aliased (the
+// ordinal space is append-only from here on); dead is copied. A nil dead
+// means every ordinal is live.
+func NewGen(all []*constraint.Constraint, dead []bool) *Gen {
+	g := &Gen{all: all, dead: make([]bool, len(all)), live: len(all)}
+	for i, d := range dead {
+		if d {
+			g.dead[i] = true
+			g.live--
+		}
+	}
+	return g
+}
+
+// Ordinals exposes the generation's full ordinal space and tombstone set,
+// both aliased — callers must treat them as read-only. Snapshot writers use
+// this to persist tombstones in place rather than compacting them away.
+func (g *Gen) Ordinals() ([]*constraint.Constraint, []bool) {
+	return g.all, g.dead
+}
+
+// NewStateFromGen seeds mutation-side bookkeeping from a published
+// generation, so a lineage can continue from a restored snapshot exactly
+// where the saved lineage left off. The ordinal space is re-aliased
+// copy-on-append (Commit appends, never mutates in place, so the generation
+// stays frozen); the live maps are rebuilt in O(ordinals).
+func NewStateFromGen(g *Gen) *State {
+	s := &State{
+		all:   g.all[:len(g.all):len(g.all)],
+		dead:  append([]bool(nil), g.dead...),
+		live:  g.live,
+		byID:  make(map[string]int32, g.live),
+		byKey: make(map[string]int32, g.live),
+	}
+	for i, c := range s.all {
+		if !s.dead[i] {
+			s.byID[c.ID] = int32(i)
+			s.byKey[c.Key()] = int32(i)
+		}
+	}
+	return s
+}
+
 // Live returns the number of live constraints of the generation.
 func (g *Gen) Live() int { return g.live }
 

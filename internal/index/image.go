@@ -1,0 +1,214 @@
+// Snapshot support: exporting an index to a flat, serializable image and
+// rebuilding an Index from one in O(arrays).
+//
+// Everything an Index holds is already map-free (posting lists, requirement
+// sets, home assignments — all dense arrays), so the image is mostly a CSR
+// flattening of the nested slices. Two things are deliberately *not*
+// serialized: per-ordinal link sets (aliased from the constraints at
+// restore, exactly as Build aliases them) and the interval annotations of
+// the attribute postings (recomputed from the antecedent predicates — they
+// contain interned values whose encoding would dwarf the two ints they
+// annotate). Tombstoned ordinals get empty classIDs rows in the image even
+// when the source index still carries their stale rows (a patched index
+// never clears them), which is the invariant NewLineage depends on when a
+// restored generation takes its first delta.
+package index
+
+import (
+	"runtime"
+	"sync"
+
+	"sqo/internal/constraint"
+	"sqo/internal/symtab"
+)
+
+// Image is the serializable form of an Index. All nested slices are
+// flattened CSR-style: row i of a structure spans the flat array between
+// offsets[i] and offsets[i+1]. Treat an Image as frozen once produced.
+type Image struct {
+	Live int
+
+	ClassOffsets []int32 // len NumClasses+1: byClass row boundaries
+	ClassOrds    []int32
+	Parked       []int32
+	HomeOf       []int32
+
+	CIDOffsets []int32 // len nOrds+1: classIDs row boundaries
+	CIDs       []symtab.ClassID
+
+	AttrOffsets []int32 // len NumSigs+1: attrRows row boundaries
+	AttrOrds    []int32
+	AttrPoss    []int32
+
+	AttrNonEmpty int
+	MaxPosting   int
+}
+
+// Image exports the index for snapshot writing. dead marks tombstoned
+// ordinals (nil = all live); their classIDs rows are emitted empty so a
+// restored index satisfies NewLineage's live-rows-only invariant.
+func (ix *Index) Image(dead []bool) *Image {
+	img := &Image{
+		Live:         ix.live,
+		Parked:       ix.parked,
+		HomeOf:       ix.homeOf,
+		AttrNonEmpty: ix.attrNonEmpty,
+		MaxPosting:   ix.maxPosting,
+	}
+
+	img.ClassOffsets = make([]int32, len(ix.byClass)+1)
+	total := 0
+	for _, row := range ix.byClass {
+		total += len(row)
+	}
+	img.ClassOrds = make([]int32, 0, total)
+	for i, row := range ix.byClass {
+		img.ClassOrds = append(img.ClassOrds, row...)
+		img.ClassOffsets[i+1] = int32(len(img.ClassOrds))
+	}
+
+	img.CIDOffsets = make([]int32, len(ix.classIDs)+1)
+	total = 0
+	for ord, row := range ix.classIDs {
+		if dead == nil || !dead[ord] {
+			total += len(row)
+		}
+	}
+	img.CIDs = make([]symtab.ClassID, 0, total)
+	for ord, row := range ix.classIDs {
+		if dead == nil || !dead[ord] {
+			img.CIDs = append(img.CIDs, row...)
+		}
+		img.CIDOffsets[ord+1] = int32(len(img.CIDs))
+	}
+
+	img.AttrOffsets = make([]int32, len(ix.attrRows)+1)
+	total = 0
+	for _, row := range ix.attrRows {
+		total += len(row)
+	}
+	img.AttrOrds = make([]int32, 0, total)
+	img.AttrPoss = make([]int32, 0, total)
+	for i, row := range ix.attrRows {
+		for _, p := range row {
+			img.AttrOrds = append(img.AttrOrds, int32(p.ord))
+			img.AttrPoss = append(img.AttrPoss, int32(p.pos))
+		}
+		img.AttrOffsets[i+1] = int32(len(img.AttrOrds))
+	}
+	return img
+}
+
+// FromImage rebuilds an Index over the restored ordinal space and symbol
+// table. Rows are sliced out of the flat arrays without copying; interval
+// annotations are recomputed from the antecedents (in parallel — they are
+// the one per-posting construction cost of the restore path). ivAt, when
+// non-nil, supplies the interval of posting (ord, pos) from a table the
+// caller deduplicated per distinct predicate, skipping the per-posting
+// recompute. dead marks tombstoned ordinals, whose link rows stay nil. ok
+// is false on structurally inconsistent offsets; semantic integrity is
+// vouched for by the snapshot layer's checksums.
+func FromImage(img *Image, all []*constraint.Constraint, dead []bool, syms *symtab.Table, ivAt func(ord, pos int) Interval) (*Index, bool) {
+	nOrds := len(all)
+	if len(img.HomeOf) != nOrds || len(img.CIDOffsets) != nOrds+1 ||
+		len(img.ClassOffsets) != syms.NumClasses()+1 || len(img.AttrOffsets) != syms.NumSigs()+1 ||
+		len(img.AttrPoss) != len(img.AttrOrds) {
+		return nil, false
+	}
+	ix := &Index{
+		all:          all,
+		syms:         syms,
+		live:         img.Live,
+		parked:       img.Parked,
+		homeOf:       img.HomeOf,
+		attrNonEmpty: img.AttrNonEmpty,
+		maxPosting:   img.MaxPosting,
+	}
+
+	ix.byClass = make([][]int32, len(img.ClassOffsets)-1)
+	if !sliceRows(img.ClassOffsets, len(img.ClassOrds), func(i int, a, b int32) {
+		ix.byClass[i] = img.ClassOrds[a:b:b]
+	}) {
+		return nil, false
+	}
+
+	ix.classIDs = make([][]symtab.ClassID, nOrds)
+	if !sliceRows(img.CIDOffsets, len(img.CIDs), func(i int, a, b int32) {
+		ix.classIDs[i] = img.CIDs[a:b:b]
+	}) {
+		return nil, false
+	}
+
+	ix.links = make([][]string, nOrds)
+	for ord, c := range all {
+		if dead == nil || !dead[ord] {
+			ix.links[ord] = c.Links
+		}
+	}
+
+	// Attribute postings: slice the rows, then fill the backing arena in
+	// parallel chunks — recomputing ~Σ antecedents interval annotations is
+	// the dominant restore cost, and chunks are independent.
+	arena := make([]attrPosting, len(img.AttrOrds))
+	ix.attrRows = make([][]attrPosting, len(img.AttrOffsets)-1)
+	if !sliceRows(img.AttrOffsets, len(arena), func(i int, a, b int32) {
+		ix.attrRows[i] = arena[a:b:b]
+	}) {
+		return nil, false
+	}
+	for _, ord := range img.AttrOrds {
+		if int(ord) >= nOrds {
+			return nil, false
+		}
+	}
+	parallelChunks(len(arena), func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			ord, pos := int(img.AttrOrds[k]), int(img.AttrPoss[k])
+			arena[k].ord, arena[k].pos = ord, pos
+			if ivAt != nil {
+				arena[k].iv = ivAt(ord, pos)
+				continue
+			}
+			if ants := all[ord].Antecedents; pos < len(ants) {
+				arena[k].iv = IntervalOfPredicate(ants[pos])
+			}
+		}
+	})
+	return ix, true
+}
+
+// sliceRows walks a CSR offset spine, calling fn(i, start, end) per row;
+// it reports false when the offsets are not monotonic within [0, flatLen].
+func sliceRows(offsets []int32, flatLen int, fn func(i int, a, b int32)) bool {
+	for i := 0; i+1 < len(offsets); i++ {
+		a, b := offsets[i], offsets[i+1]
+		if a < 0 || b < a || int(b) > flatLen {
+			return false
+		}
+		fn(i, a, b)
+	}
+	return true
+}
+
+// parallelChunks splits [0, n) across min(GOMAXPROCS, 8) goroutines.
+func parallelChunks(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	if workers < 2 || n < 4096 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -196,6 +196,14 @@ func Join(leftClass, leftAttr string, op Op, rightClass, rightAttr string) Predi
 	return p
 }
 
+// Rehydrate rebuilds a predicate from persisted fields, trusting the stored
+// canonical key instead of recomputing it. The fields must have come from a
+// predicate the constructors built (the snapshot layer checksums them);
+// Rehydrate performs no canonicalization.
+func Rehydrate(left AttrRef, op Op, c value.Value, right AttrRef, join bool, key string) Predicate {
+	return Predicate{Left: left, Op: op, Const: c, RightAttr: right, join: join, key: key}
+}
+
 // IsJoin reports whether the predicate compares two attributes.
 func (p Predicate) IsJoin() bool { return p.join }
 

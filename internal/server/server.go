@@ -38,6 +38,12 @@ type Config struct {
 	// MaxBodyBytes caps request bodies (default 1 MiB).
 	MaxBodyBytes int64
 
+	// Store, when set, makes catalog mutations durable: /catalog/update
+	// goes through SnapshotStore.ApplyAndLog (journal append + periodic
+	// compaction) and /catalog/swap re-baselines the store with a fresh
+	// snapshot. The engine must have been booted from the same store.
+	Store *sqo.SnapshotStore
+
 	// Log receives one line per server lifecycle event (construction,
 	// catalog swaps, close); nil discards.
 	Log *log.Logger
@@ -401,6 +407,16 @@ func (s *Server) handleCatalogSwap(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	if s.cfg.Store != nil {
+		// A swap restarts the catalog lineage, orphaning the journal; only
+		// a fresh snapshot baseline makes the new generation bootable.
+		if err := s.cfg.Store.WriteSnapshot(s.eng); err != nil {
+			s.logf("catalog swap persisted FAILED: %v", err)
+			writeError(w, http.StatusInternalServerError,
+				fmt.Errorf("catalog swapped in memory but snapshot baseline failed: %w", err))
+			return
+		}
+	}
 	st := s.eng.Stats()
 	s.logf("catalog swapped: %d constraints (%d derived), epoch %d",
 		st.Constraints, st.DerivedConstraints, st.Epoch)
@@ -438,7 +454,13 @@ func (s *Server) handleCatalogUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("empty delta"))
 		return
 	}
-	rep, err := s.eng.UpdateCatalog(d)
+	var rep sqo.UpdateReport
+	var err error
+	if s.cfg.Store != nil {
+		rep, err = s.cfg.Store.ApplyAndLog(s.eng, d)
+	} else {
+		rep, err = s.eng.UpdateCatalog(d)
+	}
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return

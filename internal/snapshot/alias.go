@@ -1,0 +1,64 @@
+// alias.go: zero-copy reinterpretation of the snapshot file buffer. The
+// decoder's numeric arrays are stored little-endian at element-aligned file
+// offsets (the writers pad; sections start 8-aligned), so on a little-endian
+// host they can be viewed in place instead of copied — turning the bulk of a
+// warm boot's decode into pointer arithmetic. Every helper re-checks the
+// actual address at runtime and reports failure rather than misaliasing, so
+// the callers' copy fallback keeps big-endian hosts and unaligned buffers
+// (journal record payloads sliced mid-file) correct.
+//
+// The aliased views make the decode contract load-bearing: Decode's caller
+// must not modify the input buffer afterwards, and nothing downstream may
+// write through a decoded array (the engine's generations are copy-on-write,
+// never patched in place, which is what makes adopting shared rows sound).
+package snapshot
+
+import "unsafe"
+
+// hostLittleEndian is probed once: aliasing reinterprets raw file bytes as
+// host integers, which is only the identity on a little-endian machine.
+var hostLittleEndian = func() bool {
+	var x uint32 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// alias32 views src as n little-endian 4-byte elements without copying.
+// ok is false when the host or the address rules out the reinterpretation.
+func alias32[T ~int32 | ~uint32](src []byte, n int) ([]T, bool) {
+	if n == 0 {
+		return nil, true
+	}
+	if !hostLittleEndian {
+		return nil, false
+	}
+	p := unsafe.Pointer(unsafe.SliceData(src))
+	if uintptr(p)%4 != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*T)(p), n), true
+}
+
+// alias64 is alias32 for 8-byte elements.
+func alias64[T ~uint64](src []byte, n int) ([]T, bool) {
+	if n == 0 {
+		return nil, true
+	}
+	if !hostLittleEndian {
+		return nil, false
+	}
+	p := unsafe.Pointer(unsafe.SliceData(src))
+	if uintptr(p)%8 != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*T)(p), n), true
+}
+
+// aliasString views b as a string without copying. Safe under the same
+// contract that justifies the numeric views: the buffer is never modified
+// after a decode.
+func aliasString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}

@@ -1,0 +1,332 @@
+// journal.go: the append-only delta journal that accompanies a snapshot.
+// Each UpdateCatalog batch applied after the snapshot was written is
+// appended as one framed, checksummed record; a warm boot replays the
+// journal against the restored generation to reach the pre-restart state.
+//
+// Records are self-delimiting ([len][crc][payload]), so a crash mid-append
+// leaves a torn tail that scanning detects and truncates — every record
+// before it replays fine, and the lost tail is at most the batch that never
+// acknowledged. The header binds the journal to one snapshot (snapID + seq)
+// and one schema; Boot-side rules for each mismatch live in the store layer
+// (see docs/SNAPSHOT_FORMAT.md §Journal for the normative statement).
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"sqo/internal/constraint"
+	"sqo/internal/delta"
+	"sqo/internal/predicate"
+	"sqo/internal/value"
+)
+
+// JournalMagic opens every journal file.
+const JournalMagic = "SQOJRNL1"
+
+const (
+	journalHeaderSize = 40
+	maxRecordLen      = 1 << 30
+)
+
+// ErrJournal marks a journal whose header or body (beyond a torn tail) is
+// unusable; callers discard the journal and cold-build.
+var ErrJournal = errors.New("snapshot: journal invalid")
+
+// JournalHeader binds a journal to the snapshot its records extend.
+type JournalHeader struct {
+	Version    uint16
+	SchemaHash uint64
+	SnapID     uint64
+	Seq        uint64
+}
+
+// ReplayInfo describes what a journal scan found.
+type ReplayInfo struct {
+	Records  int   // valid records
+	ValidLen int64 // file length of the valid prefix (header included)
+	Torn     bool  // a torn/corrupt tail was cut off after the valid prefix
+}
+
+// Journal is an open, append-position journal file. Appends are not
+// goroutine-safe; the store layer serializes them with its update lock.
+type Journal struct {
+	f       *os.File
+	records int
+}
+
+// CreateJournal creates (or truncates) a journal bound to the given
+// snapshot identity and syncs the header to disk.
+func CreateJournal(path string, h JournalHeader) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, journalHeaderSize)
+	copy(hdr, JournalMagic)
+	binary.LittleEndian.PutUint16(hdr[8:], FormatVersion)
+	binary.LittleEndian.PutUint64(hdr[12:], h.SchemaHash)
+	binary.LittleEndian.PutUint64(hdr[20:], h.SnapID)
+	binary.LittleEndian.PutUint64(hdr[28:], h.Seq)
+	binary.LittleEndian.PutUint32(hdr[36:], crc32.Checksum(hdr[:36], castagnoli))
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Journal{f: f}, nil
+}
+
+// OpenJournal opens an existing journal for appending: the header is
+// validated, the record stream is scanned, and a torn tail (if any) is
+// truncated away so the next append lands on a clean frame boundary.
+func OpenJournal(path string) (*Journal, JournalHeader, ReplayInfo, error) {
+	hdr, batches, info, err := ReplayJournal(path)
+	if err != nil {
+		return nil, JournalHeader{}, ReplayInfo{}, err
+	}
+	_ = batches
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, JournalHeader{}, ReplayInfo{}, err
+	}
+	if info.Torn {
+		if err := f.Truncate(info.ValidLen); err != nil {
+			f.Close()
+			return nil, JournalHeader{}, ReplayInfo{}, err
+		}
+	}
+	if _, err := f.Seek(info.ValidLen, io.SeekStart); err != nil {
+		f.Close()
+		return nil, JournalHeader{}, ReplayInfo{}, err
+	}
+	return &Journal{f: f, records: info.Records}, hdr, info, nil
+}
+
+// Append frames, checksums, writes and syncs one delta batch. The record
+// is durable when Append returns.
+func (j *Journal) Append(ops []delta.Op) error {
+	payload, err := encodeOps(ops)
+	if err != nil {
+		return err
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
+	copy(frame[8:], payload)
+	if _, err := j.f.Write(frame); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.records++
+	return nil
+}
+
+// Records returns the number of records appended or scanned so far.
+func (j *Journal) Records() int { return j.records }
+
+// Close closes the underlying file.
+func (j *Journal) Close() error { return j.f.Close() }
+
+// ReplayJournal reads a journal: header, then every intact record in
+// order. Scanning stops at the first incomplete or checksum-failing frame;
+// everything before it is returned and ValidLen/Torn report the cut. A bad
+// header, or a record that passes its checksum yet fails to decode, is
+// ErrJournal — the journal is unusable, not merely torn.
+func ReplayJournal(path string) (JournalHeader, [][]delta.Op, ReplayInfo, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return JournalHeader{}, nil, ReplayInfo{}, err
+	}
+	if len(data) < journalHeaderSize {
+		return JournalHeader{}, nil, ReplayInfo{}, fmt.Errorf("%w: %d-byte file", ErrJournal, len(data))
+	}
+	if string(data[:8]) != JournalMagic {
+		return JournalHeader{}, nil, ReplayInfo{}, fmt.Errorf("%w: bad magic", ErrJournal)
+	}
+	if crc32.Checksum(data[:36], castagnoli) != binary.LittleEndian.Uint32(data[36:]) {
+		return JournalHeader{}, nil, ReplayInfo{}, fmt.Errorf("%w: header checksum", ErrJournal)
+	}
+	hdr := JournalHeader{
+		Version:    binary.LittleEndian.Uint16(data[8:]),
+		SchemaHash: binary.LittleEndian.Uint64(data[12:]),
+		SnapID:     binary.LittleEndian.Uint64(data[20:]),
+		Seq:        binary.LittleEndian.Uint64(data[28:]),
+	}
+	if hdr.Version != FormatVersion {
+		return JournalHeader{}, nil, ReplayInfo{}, fmt.Errorf("%w: journal v%d, this build reads v%d", ErrJournal, hdr.Version, FormatVersion)
+	}
+
+	var batches [][]delta.Op
+	info := ReplayInfo{ValidLen: journalHeaderSize}
+	off := journalHeaderSize
+	for off < len(data) {
+		if off+8 > len(data) {
+			info.Torn = true
+			break
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if n < 0 || n > maxRecordLen || off+8+n > len(data) {
+			info.Torn = true
+			break
+		}
+		payload := data[off+8 : off+8+n : off+8+n]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			info.Torn = true
+			break
+		}
+		ops, err := decodeOps(payload)
+		if err != nil {
+			return JournalHeader{}, nil, ReplayInfo{}, fmt.Errorf("%w: record %d: %v", ErrJournal, info.Records, err)
+		}
+		batches = append(batches, ops)
+		off += 8 + n
+		info.Records++
+		info.ValidLen = int64(off)
+	}
+	return hdr, batches, info, nil
+}
+
+// --- op codec -------------------------------------------------------------
+
+func encodeOps(ops []delta.Op) ([]byte, error) {
+	var w wbuf
+	w.u32(uint32(len(ops)))
+	for _, op := range ops {
+		w.u8(uint8(op.Kind))
+		w.str(op.ID)
+		if op.Kind == delta.Remove {
+			continue
+		}
+		if op.C == nil {
+			return nil, fmt.Errorf("snapshot: %v op without constraint", op.Kind)
+		}
+		encodeJournalConstraint(&w, op.C)
+	}
+	return w.b, nil
+}
+
+func decodeOps(b []byte) (ops []delta.Op, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			ops, err = nil, fmt.Errorf("op payload: %v", rec)
+		}
+	}()
+	r := &rbuf{b: b}
+	n := r.count(1)
+	ops = make([]delta.Op, 0, n)
+	for i := 0; i < n; i++ {
+		op := delta.Op{Kind: delta.Kind(r.u8()), ID: r.str()}
+		switch op.Kind {
+		case delta.Remove:
+		case delta.Add, delta.Replace:
+			op.C = decodeJournalConstraint(r)
+		default:
+			return nil, fmt.Errorf("unknown op kind %d", op.Kind)
+		}
+		ops = append(ops, op)
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("%d trailing bytes", len(b)-r.off)
+	}
+	return ops, nil
+}
+
+// Journal constraints serialize their predicates inline (strings embedded,
+// not table-referenced — a record must be self-contained) and rebuild via
+// constraint.New, which recomputes classification and key: journals hold
+// O(tail) records, so constructor-path cost is irrelevant there.
+func encodeJournalConstraint(w *wbuf, c *constraint.Constraint) {
+	w.str(c.ID)
+	w.str(c.Doc)
+	if c.StateDependent {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.u32(uint32(len(c.Links)))
+	for _, l := range c.Links {
+		w.str(l)
+	}
+	w.u32(uint32(len(c.Antecedents)))
+	for _, p := range c.Antecedents {
+		encodeJournalPred(w, p)
+	}
+	encodeJournalPred(w, c.Consequent)
+}
+
+func decodeJournalConstraint(r *rbuf) *constraint.Constraint {
+	id := r.str()
+	doc := r.str()
+	stateDep := r.u8() != 0
+	links := make([]string, r.count(4))
+	for i := range links {
+		links[i] = r.str()
+	}
+	ants := make([]predicate.Predicate, r.count(4))
+	for i := range ants {
+		ants[i] = decodeJournalPred(r)
+	}
+	cons := decodeJournalPred(r)
+	c := constraint.New(id, ants, links, cons).WithDoc(doc)
+	c.StateDependent = stateDep
+	return c
+}
+
+func encodeJournalPred(w *wbuf, p predicate.Predicate) {
+	w.u32(predMeta(p))
+	w.str(p.Left.Class)
+	w.str(p.Left.Attr)
+	if p.IsJoin() {
+		w.str(p.RightAttr.Class)
+		w.str(p.RightAttr.Attr)
+		return
+	}
+	switch p.Const.Kind() {
+	case value.KindString:
+		w.str(p.Const.Str())
+	case value.KindInt:
+		w.u64(uint64(p.Const.IntVal()))
+	case value.KindFloat:
+		w.u64(math.Float64bits(p.Const.FloatVal()))
+	case value.KindBool:
+		if p.Const.BoolVal() {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+	}
+}
+
+func decodeJournalPred(r *rbuf) predicate.Predicate {
+	meta := r.u32()
+	op := predicate.Op(meta & 0xff)
+	join := meta>>8&1 == 1
+	class, attr := r.str(), r.str()
+	if join {
+		return predicate.Join(class, attr, op, r.str(), r.str())
+	}
+	var cv value.Value
+	switch value.Kind(meta >> 16 & 0xff) {
+	case value.KindString:
+		cv = value.String(r.str())
+	case value.KindInt:
+		cv = value.Int(int64(r.u64()))
+	case value.KindFloat:
+		cv = value.Float(math.Float64frombits(r.u64()))
+	case value.KindBool:
+		cv = value.Bool(r.u8() != 0)
+	}
+	return predicate.Sel(class, attr, op, cv)
+}

@@ -1,0 +1,278 @@
+// wire.go: the little-endian buffer primitives shared by the snapshot-file
+// and journal codecs, plus the deduplicating string table. Everything is
+// bounds-checked by construction: readers panic on truncated input (Go's
+// slice checks) and the codec entry points convert those panics to
+// ErrCorrupt, so no partial structure ever escapes a bad buffer.
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+type wbuf struct {
+	b []byte
+}
+
+func (w *wbuf) u8(v uint8)   { w.b = append(w.b, v) }
+func (w *wbuf) u32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *wbuf) u64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *wbuf) raw(p []byte) { w.b = append(w.b, p...) }
+
+// str writes a length-prefixed string (journal records only; the snapshot
+// file references strings through the deduplicated table instead).
+func (w *wbuf) str(s string) {
+	w.u32(uint32(len(s)))
+	w.b = append(w.b, s...)
+}
+
+// align pads with zero bytes to the next k-byte boundary (k a power of
+// two). Array data is written element-aligned so that a decoder over an
+// aligned buffer can view it in place; see alias.go.
+func (w *wbuf) align(k int) {
+	for len(w.b)%k != 0 {
+		w.b = append(w.b, 0)
+	}
+}
+
+// putI32s writes a length-prefixed, 4-byte-aligned array of any
+// int32-shaped type.
+func putI32s[T ~int32](w *wbuf, s []T) {
+	w.u32(uint32(len(s)))
+	w.align(4)
+	for _, v := range s {
+		w.u32(uint32(v))
+	}
+}
+
+// putU32s writes a length-prefixed, 4-byte-aligned []uint32.
+func putU32s(w *wbuf, s []uint32) {
+	w.u32(uint32(len(s)))
+	w.align(4)
+	for _, v := range s {
+		w.u32(v)
+	}
+}
+
+// putU64s writes a length-prefixed, 8-byte-aligned []uint64.
+func putU64s(w *wbuf, s []uint64) {
+	w.u32(uint32(len(s)))
+	w.align(8)
+	for _, v := range s {
+		w.u64(v)
+	}
+}
+
+// rbuf is a panicking reader: out-of-range reads trip Go's slice bounds
+// checks, which the codec entry points recover into ErrCorrupt.
+type rbuf struct {
+	b   []byte
+	off int
+}
+
+func (r *rbuf) u8() uint8 {
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *rbuf) u32() uint32 {
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *rbuf) u64() uint64 {
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *rbuf) raw(n int) []byte {
+	if n < 0 || r.off+n > len(r.b) {
+		panic(fmt.Sprintf("snapshot: raw read of %d bytes beyond buffer", n))
+	}
+	p := r.b[r.off : r.off+n : r.off+n]
+	r.off += n
+	return p
+}
+
+func (r *rbuf) str() string {
+	n := int(r.u32())
+	return string(r.raw(n))
+}
+
+// align advances the cursor to the next k-byte boundary, over the zero
+// padding the matching writer emitted.
+func (r *rbuf) align(k int) {
+	r.off = (r.off + k - 1) &^ (k - 1)
+	if r.off > len(r.b) {
+		panic("snapshot: alignment padding beyond buffer")
+	}
+}
+
+// count reads a length prefix, bounding it by the bytes actually left for
+// elements of the given width so a corrupt length cannot drive a huge
+// allocation before the element reads would fail anyway.
+func (r *rbuf) count(width int) int {
+	n := int(r.u32())
+	if n < 0 || n*width > len(r.b)-r.off {
+		panic(fmt.Sprintf("snapshot: array of %d × %dB exceeds remaining buffer", n, width))
+	}
+	return n
+}
+
+// getI32s reads a length-prefixed array of any int32-shaped type — as a
+// zero-copy view of the buffer when the platform allows (the hot path of a
+// warm boot), by bulk conversion otherwise.
+func getI32s[T ~int32](r *rbuf) []T {
+	n := r.count(4)
+	r.align(4)
+	src := r.raw(n * 4)
+	if out, ok := alias32[T](src, n); ok {
+		return out
+	}
+	out := make([]T, n)
+	chunks(n, 1<<15, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = T(binary.LittleEndian.Uint32(src[i*4:]))
+		}
+	})
+	return out
+}
+
+// getU32s reads a length-prefixed []uint32, aliased or bulk-converted.
+func getU32s(r *rbuf) []uint32 {
+	n := r.count(4)
+	r.align(4)
+	src := r.raw(n * 4)
+	if out, ok := alias32[uint32](src, n); ok {
+		return out
+	}
+	out := make([]uint32, n)
+	chunks(n, 1<<15, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = binary.LittleEndian.Uint32(src[i*4:])
+		}
+	})
+	return out
+}
+
+// getU64s reads a length-prefixed []uint64, aliased or bulk-converted.
+func getU64s(r *rbuf) []uint64 {
+	n := r.count(8)
+	r.align(8)
+	src := r.raw(n * 8)
+	if out, ok := alias64[uint64](src, n); ok {
+		return out
+	}
+	out := make([]uint64, n)
+	chunks(n, 1<<15, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = binary.LittleEndian.Uint64(src[i*8:])
+		}
+	})
+	return out
+}
+
+// chunks splits [0, n) across up to 8 goroutines when n reaches the
+// threshold, running fn(0, n) inline otherwise. A panic in any chunk is
+// re-raised on the caller's goroutine so the codec's recover sees it.
+func chunks(n, threshold int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	if workers < 2 || n < threshold {
+		fn(0, n)
+		return
+	}
+	var failed atomic.Value
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					failed.Store(fmt.Sprintf("%v", rec))
+				}
+			}()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	if rec := failed.Load(); rec != nil {
+		panic(rec)
+	}
+}
+
+// strTable deduplicates the strings of a snapshot into one arena. Refs are
+// dense table indexes; the decoder re-slices the arena zero-copy, so every
+// string of a restored engine shares a single backing allocation.
+type strTable struct {
+	ids   map[string]uint32
+	lens  []uint32
+	arena []byte
+}
+
+func newStrTable() *strTable {
+	st := &strTable{ids: make(map[string]uint32, 1<<12)}
+	st.ref("") // ref 0 is always the empty string
+	return st
+}
+
+func (st *strTable) ref(s string) uint32 {
+	if id, ok := st.ids[s]; ok {
+		return id
+	}
+	id := uint32(len(st.lens))
+	st.ids[s] = id
+	st.lens = append(st.lens, uint32(len(s)))
+	st.arena = append(st.arena, s...)
+	return id
+}
+
+func (st *strTable) refs(ss []string) []uint32 {
+	out := make([]uint32, len(ss))
+	for i, s := range ss {
+		out[i] = st.ref(s)
+	}
+	return out
+}
+
+func (st *strTable) encode() []byte {
+	var w wbuf
+	w.b = make([]byte, 0, 12+4*len(st.lens)+len(st.arena))
+	putU32s(&w, st.lens)
+	w.u32(uint32(len(st.arena)))
+	w.raw(st.arena)
+	return w.b
+}
+
+// decodeStrings rebuilds the string table: the whole arena viewed in place,
+// then zero-copy substrings.
+func decodeStrings(b []byte) []string {
+	r := &rbuf{b: b}
+	lens := getU32s(r)
+	arena := aliasString(r.raw(int(r.u32())))
+	out := make([]string, len(lens))
+	off := 0
+	for i, n := range lens {
+		out[i] = arena[off : off+int(n)]
+		off += int(n)
+	}
+	if off != len(arena) {
+		panic("snapshot: string arena length mismatch")
+	}
+	return out
+}
+
+// deref resolves a string ref against the decoded table, panicking (→
+// ErrCorrupt) on out-of-range refs.
+func deref(strs []string, ref uint32) string { return strs[ref] }

@@ -1,0 +1,263 @@
+// Snapshot support: exporting a compiled symbol space to a serializable
+// image and rebuilding a Table from one without recompiling anything.
+//
+// The restore path is the whole point of the exercise: symtab.Compile
+// dominates a cold catalog build (predicate interning, map construction and
+// the O(Σ bucket²) implication inference are ~80% of it at 1e4 rules), so a
+// warm boot must sidestep every one of those costs. An Image therefore
+// carries, alongside the plain backing arrays, the *frozen* open-addressing
+// lookup tables (package frozen) that Image() builds once at snapshot-write
+// time; FromImage just wraps the arrays and tables in a Table whose lookups
+// probe the frozen slots directly — no map is ever rebuilt, no string ever
+// re-hashed into a Go map, no implication ever re-derived.
+package symtab
+
+import (
+	"sqo/internal/constraint"
+	"sqo/internal/frozen"
+	"sqo/internal/predicate"
+)
+
+// frozenLookups is the restored-generation symbol resolution state: one
+// open-addressing table per symbol space, probing into the Table's plain
+// backing arrays for equality confirmation.
+type frozenLookups struct {
+	classes frozen.Table
+	attrs   frozen.Table
+	sigs    frozen.Table
+	sigRep  []PredID // per signature ordinal: a pooled predicate bearing it
+	ords    frozen.Table
+	ordKeys []string // per snapshot ordinal: constraint key; "" = tombstone
+}
+
+// sep separates composite key fields in frozen hashing.
+const sep = 0xff
+
+func hashClass(name string) uint64 { return frozen.HashString(name) }
+
+func hashAttr(k attrKey) uint64 {
+	return frozen.AddString(frozen.AddByte(frozen.AddString(frozen.Seed(), k.class), sep), k.attr)
+}
+
+func hashSig(k sigKey) uint64 {
+	h := frozen.Seed()
+	if k.join {
+		h = frozen.AddByte(h, 1)
+	} else {
+		h = frozen.AddByte(h, 0)
+	}
+	h = frozen.AddString(h, k.left.Class)
+	h = frozen.AddByte(h, sep)
+	h = frozen.AddString(h, k.left.Attr)
+	h = frozen.AddByte(h, sep)
+	h = frozen.AddString(h, k.right.Class)
+	h = frozen.AddByte(h, sep)
+	return frozen.AddString(h, k.right.Attr)
+}
+
+func hashOrd(key string) uint64 { return frozen.HashString(key) }
+
+func (t *Table) frzClass(name string) (ClassID, bool) {
+	id, ok := t.frz.classes.Find(hashClass(name), func(id int32) bool {
+		return t.classNames[id] == name
+	})
+	if !ok {
+		return None, false
+	}
+	return ClassID(id), true
+}
+
+func (t *Table) frzAttr(k attrKey) (AttrID, bool) {
+	id, ok := t.frz.attrs.Find(hashAttr(k), func(id int32) bool {
+		return t.attrKeys[id] == k
+	})
+	if !ok {
+		return None, false
+	}
+	return AttrID(id), true
+}
+
+func (t *Table) frzSig(k sigKey) (int32, bool) {
+	id, ok := t.frz.sigs.Find(hashSig(k), func(id int32) bool {
+		return sigOf(t.pool.At(int(t.frz.sigRep[id]))) == k
+	})
+	if !ok {
+		return 0, false
+	}
+	return id, true
+}
+
+func (t *Table) frzOrd(c *constraint.Constraint) (int, bool) {
+	key := c.Key()
+	ord, ok := t.frz.ords.Find(hashOrd(key), func(id int32) bool {
+		return t.frz.ordKeys[id] == key
+	})
+	if !ok || int(ord) >= len(t.compiled) {
+		return 0, false
+	}
+	return int(ord), true
+}
+
+// Image is the serializable form of a Table: the plain backing arrays plus
+// the frozen lookup-slot arrays. Compiled constraint rows are normalized to
+// one flat antecedent array with an offset spine (a patched table's rows can
+// straddle several backings). All slices alias either the table or freshly
+// built tables; treat an Image as frozen once produced.
+type Image struct {
+	ClassNames []string
+	ClassSlots []int32
+
+	AttrClasses []string // parallel to AttrNames: interned (class, attr) pairs
+	AttrNames   []string
+	AttrSlots   []int32
+
+	Preds     []predicate.Predicate // pool order
+	PoolSlots []int32
+
+	PredSig  []int32
+	NSigs    int
+	SigRep   []PredID
+	SigSlots []int32
+
+	Fwd, Rev [][]PredID
+
+	Cons       []PredID // per ordinal: consequent PredID
+	AntsFlat   []PredID // concatenated antecedent rows, ordinal order
+	AntOffsets []int32  // len(Cons)+1: row boundaries in AntsFlat
+
+	OrdKeys  []string // per ordinal: constraint key; "" = tombstone
+	OrdSlots []int32
+}
+
+// Image exports the table for snapshot writing, building the frozen lookup
+// tables as it goes. ordKeys must be parallel to the table's ordinal space,
+// holding each live constraint's canonical key and "" for tombstoned
+// ordinals (live keys are unique within a generation by the delta layer's
+// invariant). Image works on compiled, patched and restored tables alike.
+func (t *Table) Image(ordKeys []string) *Image {
+	img := &Image{
+		ClassNames: t.classNames,
+		PredSig:    t.predSig,
+		NSigs:      t.nSigs,
+		Fwd:        t.fwd,
+		Rev:        t.rev,
+		Preds:      t.pool.All(),
+		PoolSlots:  t.pool.Freeze(),
+		OrdKeys:    ordKeys,
+	}
+
+	img.AttrClasses = make([]string, len(t.attrKeys))
+	img.AttrNames = make([]string, len(t.attrKeys))
+	for i, k := range t.attrKeys {
+		img.AttrClasses[i], img.AttrNames[i] = k.class, k.attr
+	}
+
+	classes := frozen.New(len(t.classNames))
+	for i, name := range t.classNames {
+		classes.Insert(hashClass(name), int32(i))
+	}
+	img.ClassSlots = classes.Slots()
+
+	attrs := frozen.New(len(t.attrKeys))
+	for i, k := range t.attrKeys {
+		attrs.Insert(hashAttr(k), int32(i))
+	}
+	img.AttrSlots = attrs.Slots()
+
+	img.SigRep = make([]PredID, t.nSigs)
+	for i := range img.SigRep {
+		img.SigRep[i] = None
+	}
+	for id, sig := range t.predSig {
+		if img.SigRep[sig] == None {
+			img.SigRep[sig] = PredID(id)
+		}
+	}
+	sigs := frozen.New(t.nSigs)
+	for sig, rep := range img.SigRep {
+		if rep != None {
+			sigs.Insert(hashSig(sigOf(t.pool.At(int(rep)))), int32(sig))
+		}
+	}
+	img.SigSlots = sigs.Slots()
+
+	img.Cons = make([]PredID, len(t.compiled))
+	img.AntOffsets = make([]int32, len(t.compiled)+1)
+	total := 0
+	for _, c := range t.compiled {
+		total += len(c.Ants)
+	}
+	img.AntsFlat = make([]PredID, 0, total)
+	for i, c := range t.compiled {
+		img.Cons[i] = c.Cons
+		img.AntsFlat = append(img.AntsFlat, c.Ants...)
+		img.AntOffsets[i+1] = int32(len(img.AntsFlat))
+	}
+
+	live := 0
+	for _, k := range ordKeys {
+		if k != "" {
+			live++
+		}
+	}
+	ords := frozen.New(live)
+	for ord, k := range ordKeys {
+		if k != "" {
+			ords.Insert(hashOrd(k), int32(ord))
+		}
+	}
+	img.OrdSlots = ords.Slots()
+	return img
+}
+
+// FromImage rebuilds a Table from an image in O(arrays): backing slices are
+// adopted, compiled rows are re-sliced from the flat antecedent array, and
+// every symbol lookup is answered by the image's frozen tables. ok is false
+// when a frozen slot array is structurally invalid for its entry count —
+// the caller treats that as snapshot corruption. No semantic validation
+// happens here; the snapshot layer's checksums vouch for the content.
+func FromImage(img *Image) (*Table, bool) {
+	classes, ok1 := frozen.FromSlots(img.ClassSlots, len(img.ClassNames))
+	attrs, ok2 := frozen.FromSlots(img.AttrSlots, len(img.AttrClasses))
+	sigs, ok3 := frozen.FromSlots(img.SigSlots, img.NSigs)
+	ords, ok4 := frozen.FromSlots(img.OrdSlots, len(img.OrdKeys))
+	pool, ok5 := predicate.RestorePool(img.Preds, img.PoolSlots)
+	if !ok1 || !ok2 || !ok3 || !ok4 || !ok5 {
+		return nil, false
+	}
+	if len(img.AttrNames) != len(img.AttrClasses) || len(img.SigRep) != img.NSigs ||
+		len(img.PredSig) != len(img.Preds) || len(img.AntOffsets) != len(img.Cons)+1 ||
+		len(img.OrdKeys) != len(img.Cons) {
+		return nil, false
+	}
+	t := &Table{
+		classNames: img.ClassNames,
+		pool:       pool,
+		predSig:    img.PredSig,
+		nSigs:      img.NSigs,
+		fwd:        img.Fwd,
+		rev:        img.Rev,
+		frz: &frozenLookups{
+			classes: classes,
+			attrs:   attrs,
+			sigs:    sigs,
+			sigRep:  img.SigRep,
+			ords:    ords,
+			ordKeys: img.OrdKeys,
+		},
+	}
+	t.attrKeys = make([]attrKey, len(img.AttrClasses))
+	for i := range t.attrKeys {
+		t.attrKeys[i] = attrKey{class: img.AttrClasses[i], attr: img.AttrNames[i]}
+	}
+	t.antsFlat = img.AntsFlat
+	t.compiled = make([]Compiled, len(img.Cons))
+	for i := range t.compiled {
+		a, b := img.AntOffsets[i], img.AntOffsets[i+1]
+		if a < 0 || b < a || int(b) > len(img.AntsFlat) {
+			return nil, false
+		}
+		t.compiled[i] = Compiled{Cons: img.Cons[i], Ants: img.AntsFlat[a:b:b]}
+	}
+	return t, true
+}

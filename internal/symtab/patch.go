@@ -44,6 +44,7 @@ func (t *Table) Patch(added []*constraint.Constraint) (*Table, []int32) {
 		compiled:   t.compiled,
 		antsFlat:   t.antsFlat,
 		live:       t.live,
+		frz:        t.frz,
 	}
 	if nt.live == nil {
 		nt.live = t.promote()
@@ -80,6 +81,21 @@ func (t *Table) Patch(added []*constraint.Constraint) (*Table, []int32) {
 // unaffected: its plain maps are only read here, and the receiver keeps
 // using them — only patched generations resolve through the shared maps.
 func (t *Table) promote() *liveMaps {
+	if t.frz != nil {
+		// A restored table has no plain maps to promote: pre-snapshot
+		// symbols keep resolving through the frozen tables behind the
+		// lineage's shared maps, which start empty and only ever hold
+		// post-snapshot symbols. Only the signature-bucket membership is
+		// materialized, from the predicate→signature array.
+		lm := &liveMaps{
+			sigMembers: make(map[int32][]PredID, t.nSigs),
+			nextSig:    int32(t.nSigs),
+		}
+		for id, sig := range t.predSig {
+			lm.sigMembers[sig] = append(lm.sigMembers[sig], PredID(id))
+		}
+		return lm
+	}
 	lm := &liveMaps{
 		sigMembers: make(map[int32][]PredID, len(t.sigIDs)),
 		nextSig:    int32(len(t.sigIDs)),

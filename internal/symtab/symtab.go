@@ -107,6 +107,14 @@ type Table struct {
 	// plain per-generation maps above (which are nil then). Compile-built
 	// tables have live == nil and pay no overhead beyond the nil check.
 	live *liveMaps
+
+	// frz, when non-nil, marks a snapshot-restored generation: the plain
+	// maps are nil and pre-snapshot symbols resolve through frozen
+	// open-addressing tables loaded straight from the snapshot file (see
+	// image.go) — the restore path never rebuilds a Go map. A lineage
+	// patched from a restored table keeps frz as the fallback behind the
+	// shared live maps, which then hold only post-snapshot symbols.
+	frz *frozenLookups
 }
 
 // liveMaps is the shared symbol store of one mutable lineage: sync.Maps are
@@ -182,6 +190,11 @@ func (t *Table) internClass(name string) ClassID {
 		if id, ok := t.live.classIDs.Load(name); ok {
 			return id.(ClassID)
 		}
+		if t.frz != nil {
+			if id, ok := t.frzClass(name); ok {
+				return id
+			}
+		}
 		id := ClassID(len(t.classNames))
 		t.live.classIDs.Store(name, id)
 		t.classNames = append(t.classNames, name)
@@ -202,6 +215,11 @@ func (t *Table) internAttr(class, attr string) AttrID {
 		if id, ok := t.live.attrIDs.Load(k); ok {
 			return id.(AttrID)
 		}
+		if t.frz != nil {
+			if id, ok := t.frzAttr(k); ok {
+				return id
+			}
+		}
 		id := AttrID(len(t.attrKeys))
 		t.live.attrIDs.Store(k, id)
 		t.attrKeys = append(t.attrKeys, k)
@@ -220,6 +238,11 @@ func (t *Table) internSig(k sigKey) int32 {
 	if t.live != nil {
 		if id, ok := t.live.sigIDs.Load(k); ok {
 			return id.(int32)
+		}
+		if t.frz != nil {
+			if id, ok := t.frzSig(k); ok {
+				return id
+			}
 		}
 		id := t.live.nextSig
 		t.live.nextSig++
@@ -300,11 +323,15 @@ func (t *Table) NumSigs() int { return t.nSigs }
 // interned it.
 func (t *Table) ClassID(name string) (ClassID, bool) {
 	if t.live != nil {
-		v, ok := t.live.classIDs.Load(name)
-		if !ok {
+		if v, ok := t.live.classIDs.Load(name); ok {
+			return v.(ClassID), true
+		}
+		if t.frz == nil {
 			return None, false
 		}
-		return v.(ClassID), true
+	}
+	if t.frz != nil {
+		return t.frzClass(name)
 	}
 	id, ok := t.classIDs[name]
 	return id, ok
@@ -316,11 +343,15 @@ func (t *Table) ClassName(id ClassID) string { return t.classNames[id] }
 // AttrID resolves a (class, attribute) pair.
 func (t *Table) AttrID(class, attr string) (AttrID, bool) {
 	if t.live != nil {
-		v, ok := t.live.attrIDs.Load(attrKey{class, attr})
-		if !ok {
+		if v, ok := t.live.attrIDs.Load(attrKey{class, attr}); ok {
+			return v.(AttrID), true
+		}
+		if t.frz == nil {
 			return None, false
 		}
-		return v.(AttrID), true
+	}
+	if t.frz != nil {
+		return t.frzAttr(attrKey{class, attr})
 	}
 	id, ok := t.attrIDs[attrKey{class, attr}]
 	return id, ok
@@ -355,11 +386,15 @@ func (t *Table) SigOrdinal(id PredID) int32 { return t.predSig[id] }
 // signature (such a predicate can only imply query-private peers).
 func (t *Table) SigOrdinalOf(p predicate.Predicate) (int32, bool) {
 	if t.live != nil {
-		v, ok := t.live.sigIDs.Load(sigOf(p))
-		if !ok {
+		if v, ok := t.live.sigIDs.Load(sigOf(p)); ok {
+			return v.(int32), true
+		}
+		if t.frz == nil {
 			return 0, false
 		}
-		return v.(int32), true
+	}
+	if t.frz != nil {
+		return t.frzSig(sigOf(p))
 	}
 	id, ok := t.sigIDs[sigOf(p)]
 	return id, ok
@@ -377,11 +412,18 @@ func (t *Table) ImpliedBy(id PredID) []PredID { return t.rev[id] }
 // generation of the same lineage appended after this one was taken).
 func (t *Table) Ordinal(c *constraint.Constraint) (int, bool) {
 	if t.live != nil {
-		v, ok := t.live.ordOf.Load(c)
-		if !ok || int(v.(int32)) >= len(t.compiled) {
+		if v, ok := t.live.ordOf.Load(c); ok {
+			if int(v.(int32)) >= len(t.compiled) {
+				return 0, false
+			}
+			return int(v.(int32)), true
+		}
+		if t.frz == nil {
 			return 0, false
 		}
-		return int(v.(int32)), true
+	}
+	if t.frz != nil {
+		return t.frzOrd(c)
 	}
 	ord, ok := t.ordOf[c]
 	return int(ord), ok

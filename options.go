@@ -14,6 +14,7 @@ type EngineOption func(*engineConfig)
 type engineConfig struct {
 	catalog         *Catalog
 	source          ConstraintSource
+	snap            *Snapshot
 	closure         bool
 	closureOpts     ClosureOptions
 	grouping        bool

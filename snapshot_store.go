@@ -1,0 +1,336 @@
+package sqo
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"sqo/internal/delta"
+	"sqo/internal/snapshot"
+)
+
+// Snapshot store file names inside the store directory.
+const (
+	SnapshotFileName = "catalog.sqos"
+	JournalFileName  = "journal.sqoj"
+)
+
+// DefaultCompactRecords is the journal length at which ApplyAndLog folds the
+// journal into a fresh snapshot. At the default, a crash-restart replays at
+// most this many delta batches on top of an O(read) snapshot load.
+const DefaultCompactRecords = 4096
+
+// SnapshotStore manages the persistence pair a serving node keeps in one
+// directory: the current catalog snapshot (catalog.sqos) and the delta
+// journal extending it (journal.sqoj). Boot restores an engine from them,
+// ApplyAndLog keeps them in step with every catalog mutation, and
+// compaction periodically folds the journal back into the snapshot.
+//
+// Crash-safety contract (normative rules in docs/SNAPSHOT_FORMAT.md):
+// snapshots replace atomically via temp+rename; journal records are framed
+// and checksummed so a torn tail truncates cleanly; and a new snapshot is
+// durable on disk *before* its journal rotates, so a crash between the two
+// leaves a stale journal (seq one behind) that Boot provably ignores.
+type SnapshotStore struct {
+	dir string
+
+	// CompactRecords is the journal-length compaction threshold. Set it
+	// before the first ApplyAndLog; zero means DefaultCompactRecords.
+	CompactRecords int
+
+	mu     sync.Mutex
+	jrn    *snapshot.Journal
+	seq    uint64 // sequence of the snapshot currently on disk (0: none)
+	snapID uint64
+}
+
+// OpenSnapshotStore opens (creating if needed) a snapshot store directory.
+// The store is inert until Boot; Boot decides warm versus cold and leaves
+// the store ready for ApplyAndLog.
+func OpenSnapshotStore(dir string) (*SnapshotStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &SnapshotStore{dir: dir}, nil
+}
+
+func (s *SnapshotStore) snapshotPath() string { return filepath.Join(s.dir, SnapshotFileName) }
+func (s *SnapshotStore) journalPath() string  { return filepath.Join(s.dir, JournalFileName) }
+
+// BootReport says how Boot reached serving state.
+type BootReport struct {
+	Warm        bool   // engine restored from the snapshot (vs cold-built)
+	ColdReason  string // why warm restore was not possible ("" when Warm)
+	Replayed    int    // journal batches replayed onto the restored engine
+	TornTail    bool   // the journal had a torn tail (truncated away)
+	SnapshotID  uint64 // identity of the snapshot now backing the store
+	Seq         uint64 // its sequence number
+	Constraints int    // live constraints serving after boot
+}
+
+// Boot brings up an engine from the store: a warm restore of the snapshot
+// plus a replay of the journal tail when both are sound, otherwise a cold
+// build from the supplied catalog. Either way the store ends consistent —
+// a cold boot immediately writes a fresh snapshot and journal, so the next
+// restart is warm again.
+//
+// cat is the declared catalog to cold-build from (also the first-boot
+// path, when the directory is empty). opts apply to the engine either way;
+// they must not include WithCatalog, WithConstraintSource, WithSnapshot or
+// any option leaving the default retrieval stack.
+//
+// Warm restore refuses — and falls back to a cold build — on: a missing,
+// truncated or checksum-failing snapshot; a snapshot format-version or
+// schema skew; an unreadable journal; a journal bound to a different
+// schema; or a journal whose (snapID, seq) binding matches neither the
+// snapshot nor the stale-after-compaction-crash pattern (seq exactly one
+// behind). A torn journal tail is NOT a refusal: the valid prefix replays
+// and the tail — at most one unacknowledged batch — truncates away.
+func (s *SnapshotStore) Boot(sch *Schema, cat *Catalog, opts ...EngineOption) (*Engine, BootReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	var probe engineConfig
+	for _, o := range opts {
+		o(&probe)
+	}
+	if probe.catalog != nil || probe.source != nil || probe.snap != nil {
+		return nil, BootReport{}, errors.New("sqo: Boot options must not choose a catalog source; pass the catalog as the Boot argument")
+	}
+	if probe.closure || probe.grouping || probe.noIndex || probe.noIntern || probe.core.DisableInterning {
+		return nil, BootReport{}, errors.New("sqo: snapshot store requires the default retrieval stack (no closure or grouping, index and interning on)")
+	}
+
+	eng, rep, err := s.tryWarm(sch, opts)
+	if err != nil {
+		return nil, BootReport{}, err
+	}
+	if eng == nil {
+		eng, err = NewEngine(sch, append(append([]EngineOption{}, opts...), WithCatalog(cat))...)
+		if err != nil {
+			return nil, BootReport{}, err
+		}
+		if werr := s.writeSnapshotLocked(eng); werr != nil {
+			return nil, BootReport{}, fmt.Errorf("sqo: cold boot could not establish snapshot baseline: %w", werr)
+		}
+	}
+	rep.SnapshotID, rep.Seq = s.snapID, s.seq
+	rep.Constraints = eng.state.Load().constraintCount()
+	return eng, rep, nil
+}
+
+// tryWarm attempts the warm path. It returns (nil, reportWithColdReason,
+// nil) for every recoverable refusal — only environmental failures (I/O on
+// a structurally sound store) surface as errors.
+func (s *SnapshotStore) tryWarm(sch *Schema, opts []EngineOption) (*Engine, BootReport, error) {
+	rep := BootReport{}
+	refuse := func(format string, args ...any) (*Engine, BootReport, error) {
+		rep.Warm = false
+		rep.ColdReason = fmt.Sprintf(format, args...)
+		return nil, rep, nil
+	}
+
+	snapData, err := os.ReadFile(s.snapshotPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return refuse("no snapshot")
+	}
+	if err != nil {
+		return nil, rep, err
+	}
+	// Keep the sequence monotonic even when this boot ends cold: a fresh
+	// baseline written over a refused snapshot must supersede it.
+	if info, err := snapshot.ReadInfo(snapData); err == nil && info.Seq > s.seq {
+		s.seq = info.Seq
+	}
+	snap, err := func() (*Snapshot, error) {
+		m, info, err := snapshot.Decode(snapData)
+		if err != nil {
+			return nil, err
+		}
+		return &Snapshot{model: m, info: info}, nil
+	}()
+	if err != nil {
+		return refuse("snapshot unreadable: %v", err)
+	}
+	sh := schemaHash(sch)
+	if snap.info.SchemaHash != sh {
+		return refuse("snapshot schema %#016x differs from serving schema %#016x", snap.info.SchemaHash, sh)
+	}
+
+	// Relate the journal to the snapshot before building anything.
+	var batches [][]delta.Op
+	jpath := s.journalPath()
+	if _, err := os.Stat(jpath); errors.Is(err, os.ErrNotExist) {
+		batches = nil // fresh journal below
+	} else if err != nil {
+		return nil, rep, err
+	} else {
+		hdr, replayed, info, err := snapshot.ReplayJournal(jpath)
+		if err != nil {
+			return refuse("journal unreadable: %v", err)
+		}
+		switch {
+		case hdr.SchemaHash != sh:
+			return refuse("journal schema %#016x differs from serving schema %#016x", hdr.SchemaHash, sh)
+		case hdr.SnapID == snap.info.ID && hdr.Seq == snap.info.Seq:
+			batches = replayed
+			rep.TornTail = info.Torn
+		case hdr.Seq+1 == snap.info.Seq:
+			// Compaction crashed between the snapshot rename and the journal
+			// rotation: every record here is already folded into the
+			// snapshot. Ignore the stale journal; a fresh one is created
+			// below.
+			batches = nil
+		default:
+			return refuse("journal (snap %#x seq %d) does not extend snapshot (id %#x seq %d)",
+				hdr.SnapID, hdr.Seq, snap.info.ID, snap.info.Seq)
+		}
+	}
+
+	eng, err := NewEngine(sch, append(append([]EngineOption{}, opts...), WithSnapshot(snap))...)
+	if err != nil {
+		return refuse("restore rejected: %v", err)
+	}
+	for i, ops := range batches {
+		if _, err := eng.UpdateCatalog(&CatalogDelta{ops: ops}); err != nil {
+			// A journaled batch that applied cleanly before the restart must
+			// apply again; failure means snapshot and journal diverged.
+			return refuse("journal replay diverged at record %d: %v", i, err)
+		}
+	}
+
+	s.seq, s.snapID = snap.info.Seq, snap.info.ID
+	if batches == nil && !rep.TornTail {
+		// No usable journal on disk (absent, or stale post-compaction):
+		// start a fresh one bound to the snapshot.
+		j, err := snapshot.CreateJournal(jpath, snapshot.JournalHeader{
+			Version: snapshot.FormatVersion, SchemaHash: sh, SnapID: s.snapID, Seq: s.seq,
+		})
+		if err != nil {
+			return nil, rep, err
+		}
+		s.jrn = j
+	} else {
+		// Reopen for append; OpenJournal truncates the torn tail (if any) so
+		// the next append lands on a clean frame boundary.
+		j, _, _, err := snapshot.OpenJournal(jpath)
+		if err != nil {
+			return nil, rep, err
+		}
+		s.jrn = j
+	}
+	rep.Warm = true
+	rep.Replayed = len(batches)
+	return eng, rep, nil
+}
+
+// ApplyAndLog applies a catalog delta to the engine and makes it durable:
+// UpdateCatalog first, then a journal append of the same ops, then — when
+// the journal has grown past CompactRecords, or the engine fell off the
+// incremental path (it rebuilt anyway, so snapshotting now is compara-
+// tively free) — a compaction that folds the journal into a new snapshot.
+//
+// An error after the update succeeded (journal or compaction I/O) is
+// returned so the caller can refuse to acknowledge the mutation: the
+// in-memory engine is ahead of the store at that point, and only a later
+// successful compaction re-converges them.
+func (s *SnapshotStore) ApplyAndLog(e *Engine, d *CatalogDelta) (UpdateReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.jrn == nil {
+		return UpdateReport{}, errors.New("sqo: snapshot store is not booted")
+	}
+	rep, err := e.UpdateCatalog(d)
+	if err != nil || d.Empty() {
+		return rep, err
+	}
+	if !rep.Incremental {
+		return rep, s.writeSnapshotLocked(e)
+	}
+	if err := s.jrn.Append(d.ops); err != nil {
+		return rep, fmt.Errorf("sqo: journal append: %w", err)
+	}
+	limit := s.CompactRecords
+	if limit <= 0 {
+		limit = DefaultCompactRecords
+	}
+	if s.jrn.Records() >= limit {
+		return rep, s.writeSnapshotLocked(e)
+	}
+	return rep, nil
+}
+
+// WriteSnapshot folds the engine's current generation into a fresh
+// snapshot and rotates the journal. Servers call it on drain so the next
+// boot is warm with an empty journal; it is also the compaction step
+// ApplyAndLog triggers automatically.
+func (s *SnapshotStore) WriteSnapshot(e *Engine) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writeSnapshotLocked(e)
+}
+
+// writeSnapshotLocked is the compaction core. Ordering is the crash-safety
+// story: the new snapshot is fully durable under its final name before the
+// journal rotates, so the only crash window leaves new-snapshot +
+// old-journal — which Boot detects by the seq gap and ignores.
+func (s *SnapshotStore) writeSnapshotLocked(e *Engine) error {
+	m, err := e.snapshotModel(s.seq + 1)
+	if err != nil {
+		return err
+	}
+	data, id, err := snapshot.Encode(m)
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(s.snapshotPath(), data); err != nil {
+		return err
+	}
+	s.seq, s.snapID = s.seq+1, id
+
+	if s.jrn != nil {
+		s.jrn.Close()
+		s.jrn = nil
+	}
+	j, err := snapshot.CreateJournal(s.journalPath(), snapshot.JournalHeader{
+		Version: snapshot.FormatVersion, SchemaHash: m.SchemaHash, SnapID: id, Seq: s.seq,
+	})
+	if err != nil {
+		return err
+	}
+	s.jrn = j
+	return nil
+}
+
+// StoreStats is a point-in-time view of the store.
+type StoreStats struct {
+	SnapshotID     uint64
+	Seq            uint64
+	JournalRecords int
+}
+
+// Stats reports the store's current snapshot identity and journal length.
+func (s *SnapshotStore) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := StoreStats{SnapshotID: s.snapID, Seq: s.seq}
+	if s.jrn != nil {
+		st.JournalRecords = s.jrn.Records()
+	}
+	return st
+}
+
+// Close closes the journal. The store can be reopened with a fresh
+// OpenSnapshotStore + Boot.
+func (s *SnapshotStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.jrn == nil {
+		return nil
+	}
+	err := s.jrn.Close()
+	s.jrn = nil
+	return err
+}

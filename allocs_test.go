@@ -134,3 +134,50 @@ func TestStringSpaceFallbackStillWorks(t *testing.T) {
 		t.Errorf("string-space fallback = %.1f allocs/op, budget %d", af, uncachedAllocBudget)
 	}
 }
+
+// TestCanonicalHitZeroAllocs: a cache hit through the canonicalizing,
+// subsuming configuration also allocates nothing — the reduction scratch is
+// pooled, the canonical fingerprint streams over the input without
+// materializing the canonical query, and the cache probe is the same
+// comparable-key lookup the exact path uses. Guards the new lookup path to
+// the same standard as TestCachedOptimizeZeroAllocs.
+func TestCanonicalHitZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the non-race CI job runs this")
+	}
+	eng, err := sqo.NewEngine(datagen.Schema(), sqo.WithCatalog(datagen.Constraints()),
+		sqo.WithCache(sqo.CacheConfig{Capacity: 64, Subsume: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := eng.Optimize(ctx, figure23Query()); err != nil {
+		t.Fatal(err) // warm the cache with the canonical form
+	}
+	// A syntactic near-duplicate: conjuncts reordered and one duplicated.
+	// Canonicalization must collapse it onto the warmed slot on every call.
+	variant := sqo.NewQuery("cargo", "vehicle", "supplier").
+		AddProject("vehicle", "vehicle#").
+		AddProject("cargo", "desc").
+		AddSelect(sqo.Eq("supplier", "name", sqo.StringValue("SFI"))).
+		AddSelect(sqo.Eq("vehicle", "desc", sqo.StringValue("refrigerated truck"))).
+		AddSelect(sqo.Eq("vehicle", "desc", sqo.StringValue("refrigerated truck"))).
+		AddRelationship("supplies").
+		AddRelationship("collects")
+	if _, err := eng.Optimize(ctx, variant); err != nil {
+		t.Fatal(err) // warm the reduction pool
+	}
+	before := eng.Stats().Cache
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := eng.Optimize(ctx, variant); err != nil {
+			t.Fatal(err)
+		}
+	})
+	after := eng.Stats().Cache
+	if allocs != 0 {
+		t.Errorf("canonical-hit Engine.Optimize = %.1f allocs/op, want 0", allocs)
+	}
+	if after.CanonicalHits <= before.CanonicalHits {
+		t.Errorf("variant was not served as a canonical hit: %+v -> %+v", before, after)
+	}
+}

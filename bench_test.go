@@ -7,6 +7,7 @@ package sqo_test
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -427,4 +428,149 @@ func itoa(n int) string {
 		n /= 10
 	}
 	return string(buf[i:])
+}
+
+// BenchmarkCacheSubsumption prices the four ways the containment-aware cache
+// can serve one query: an exact repeat, a syntactic near-duplicate collapsed
+// by canonicalization, a contained query derived from a cached generalization
+// plus a residual conjunct, and the cold optimization everything else pays.
+// The world is the scaled 10²-constraint catalog, where cold optimization
+// carries a realistic O(m·n) table cost against which the O(result-size)
+// derivation is measured. The bench gate watches the ordering:
+// exact ≈ canonical ≪ subsumed < cold.
+func BenchmarkCacheSubsumption(b *testing.B) {
+	sch, cat, err := sqo.GenerateScaledWorld(sqo.ScaledConfig{Constraints: 100, Seed: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs, err := sqo.ScaledWorkload(sch, cat, 200, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+
+	newEng := func(b *testing.B, cc sqo.CacheConfig) *sqo.Engine {
+		b.Helper()
+		opts := []sqo.EngineOption{sqo.WithCatalog(cat)}
+		if cc.Capacity > 0 {
+			opts = append(opts, sqo.WithCache(cc))
+		}
+		eng, err := sqo.NewEngine(sch, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return eng
+	}
+	subCfg := sqo.CacheConfig{Capacity: 4096, Subsume: true}
+
+	// The generalization g: the first workload query with selective
+	// conjuncts and an attribute no constraint mentions — the carrier of
+	// the inert residual conjunct. Constants vary per iteration so every
+	// specialized query is a fresh cache key; a pool of 2× cache capacity
+	// cycled through a 4096-entry LRU guarantees each reuse has been
+	// evicted, so the subsumed and cold paths really pay per iteration.
+	// Of the eligible queries, g is the one whose cold optimization works
+	// hardest (most relevant constraints): that is the workload slice where
+	// answering from the cache pays, and what the subsumed-vs-cold spread
+	// measures.
+	warm := newEng(b, subCfg)
+	mentioned := mentionedAttrs(cat)
+	var g *sqo.Query
+	var probe sqo.Predicate
+	bestRelevant := -1
+	for _, q := range qs {
+		base, err := warm.Optimize(ctx, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p, ok := inertExtra(sch, mentioned, q, base); ok && len(q.Selects) > 0 &&
+			base.Stats.RelevantConstraints > bestRelevant {
+			g, probe, bestRelevant = q, p, base.Stats.RelevantConstraints
+		}
+	}
+	if g == nil {
+		b.Fatal("no workload query with a constraint-free attribute found")
+	}
+	at, _ := sch.Attr(probe.Left.Class, probe.Left.Attr)
+	specs := make([]*sqo.Query, 2*subCfg.Capacity)
+	for i := range specs {
+		var v sqo.Value
+		switch at.Type {
+		case sqo.KindInt:
+			v = sqo.IntValue(int64(i))
+		case sqo.KindFloat:
+			v = sqo.FloatValue(float64(i) + 0.5)
+		default:
+			v = sqo.StringValue(fmt.Sprintf("probe-%d", i))
+		}
+		q := cloneQuery(g)
+		q.Selects = append(q.Selects, sqo.Sel(probe.Left.Class, probe.Left.Attr, sqo.OpEQ, v))
+		specs[i] = q
+	}
+
+	b.Run("exact", func(b *testing.B) {
+		eng := newEng(b, subCfg)
+		if _, err := eng.Optimize(ctx, g); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Optimize(ctx, g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("canonical", func(b *testing.B) {
+		eng := newEng(b, subCfg)
+		if _, err := eng.Optimize(ctx, g); err != nil {
+			b.Fatal(err)
+		}
+		variant := cloneQuery(g)
+		variant.Selects = append(variant.Selects, variant.Selects[0])
+		variant.Selects[0], variant.Selects[1] = variant.Selects[1], variant.Selects[0]
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Optimize(ctx, variant); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("subsumed", func(b *testing.B) {
+		eng := newEng(b, subCfg)
+		if _, err := eng.Optimize(ctx, g); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i&1023 == 0 {
+				// Keep the generalization hot so LRU eviction cannot
+				// drop it mid-run (an exact hit, ~ns against the µs
+				// derivation).
+				if _, err := eng.Optimize(ctx, g); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := eng.Optimize(ctx, specs[i%len(specs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := eng.Stats().Cache
+		if st.SubsumptionHits == 0 {
+			b.Fatalf("no subsumption hits recorded: %+v", st)
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		eng := newEng(b, sqo.CacheConfig{})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Optimize(ctx, specs[i%len(specs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

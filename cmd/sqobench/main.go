@@ -183,7 +183,7 @@ func runEngine(queries int, seed int64, passes int) (string, error) {
 			sqo.WithGrouping(sqo.GroupLeastAccessed),
 		}
 		if cache > 0 {
-			opts = append(opts, sqo.WithResultCache(cache))
+			opts = append(opts, sqo.WithCache(sqo.CacheConfig{Capacity: cache}))
 		}
 		return sqo.NewEngine(db.Schema(), opts...)
 	}

@@ -60,6 +60,8 @@ var (
 	catFile     = flag.String("constraints", "", "constraint catalog file, one per line (default: logistics)")
 	dbName      = flag.String("db", "DB1", "database instance whose statistics drive the cost model (DB1..DB4, '' = heuristic)")
 	cacheSize   = flag.Int("cache", 4096, "result cache entries (0 disables)")
+	cacheCanon  = flag.Bool("cache-canon", false, "key the result cache by canonical query form (near-duplicates collapse onto one entry)")
+	cacheSub    = flag.Bool("cache-subsume", false, "answer contained queries from cached generalizations (implies -cache-canon; degrades to canonical-only under a statistics cost model)")
 	workers     = flag.Int("workers", 0, "batch worker pool width (0 = GOMAXPROCS)")
 	closure     = flag.Bool("closure", true, "materialize the constraint closure at startup and on swap")
 	retrieval   = flag.String("retrieval", "index", "constraint retrieval strategy: index (inverted constraint index), grouping (class-attached groups), scan (linear catalog scan)")
@@ -104,8 +106,9 @@ func run(logger *log.Logger) error {
 	}
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Printf("serving on %s (workers=%d cache=%d batching=%v window=%v)",
-			*addr, eng.Workers(), *cacheSize, srv.Batching(), *batchWindow)
+		cst := eng.Stats().Cache
+		logger.Printf("serving on %s (workers=%d cache=%d canon=%v subsume=%v batching=%v window=%v)",
+			*addr, eng.Workers(), *cacheSize, cst.Canonicalize, cst.Subsume, srv.Batching(), *batchWindow)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -141,8 +144,8 @@ func run(logger *log.Logger) error {
 		store.Close()
 	}
 	st := eng.Stats()
-	logger.Printf("drained; served %d optimizations (%d cache hits, %d swaps)",
-		st.Optimizations, st.CacheHits, st.CatalogSwaps)
+	logger.Printf("drained; served %d optimizations (%d exact / %d canonical / %d subsumption cache hits, %d swaps)",
+		st.Optimizations, st.Cache.ExactHits, st.Cache.CanonicalHits, st.Cache.SubsumptionHits, st.CatalogSwaps)
 	return nil
 }
 
@@ -207,7 +210,11 @@ func buildWorld() (*sqo.Schema, *sqo.Catalog, []sqo.EngineOption, error) {
 	}
 
 	opts := []sqo.EngineOption{
-		sqo.WithResultCache(*cacheSize),
+		sqo.WithCache(sqo.CacheConfig{
+			Capacity:     *cacheSize,
+			Canonicalize: *cacheCanon,
+			Subsume:      *cacheSub,
+		}),
 		sqo.WithWorkers(*workers),
 		sqo.WithDefaultDeadline(*maxTimeout),
 	}

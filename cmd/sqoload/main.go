@@ -51,6 +51,7 @@ var (
 	seed         = flag.Int64("seed", 41, "workload seed (matches sqogen)")
 	dbName       = flag.String("db", "DB1", "database instance used to generate the workload")
 	poolSize     = flag.Int("pool", 64, "distinct queries in the replay pool")
+	nearDup      = flag.Bool("near-dup", false, "expand the replay pool with near-duplicate variants of every query (shuffled lists, duplicated conjuncts, contained specializations) to exercise sqod's -cache-canon/-cache-subsume paths")
 	workloadFile = flag.String("workload", "", "replay queries from this file (one per line, as emitted by sqogen -emit) instead of generating")
 	timeout      = flag.Duration("timeout", 5*time.Second, "per-request client timeout")
 	jsonOut      = flag.String("json", "", "also write the JSON summary to this file ('-' for stdout)")
@@ -98,6 +99,20 @@ type summary struct {
 	Kinds               map[string]kindSummary `json:"kinds"`
 	Updates             int                    `json:"updates,omitempty"`
 	PostMutationHitRate *float64               `json:"post_mutation_hit_rate,omitempty"`
+	Cache               *cacheBreakdown        `json:"cache,omitempty"`
+}
+
+// cacheBreakdown is the engine's three-way cache hit split over the run —
+// the deltas of the daemon's cumulative counters between start and finish.
+// Canonical and subsumption hits only show up when sqod runs with
+// -cache-canon / -cache-subsume; against a -near-dup pool they are the
+// fraction of traffic the semantic cache rescued from cold optimization.
+type cacheBreakdown struct {
+	ExactHits       int64   `json:"exact_hits"`
+	CanonicalHits   int64   `json:"canonical_hits"`
+	SubsumptionHits int64   `json:"subsumption_hits"`
+	Misses          int64   `json:"misses"`
+	HitRate         float64 `json:"hit_rate"`
 }
 
 func run() error {
@@ -111,6 +126,8 @@ func run() error {
 	if err := waitHealthy(client, base); err != nil {
 		return err
 	}
+	startCtrs, err := fetchCacheCounters(client, base)
+	ctrsOK := err == nil
 
 	var (
 		mu      sync.Mutex
@@ -183,6 +200,18 @@ func run() error {
 	elapsed := time.Since(start)
 
 	sum := summarize(samples, elapsed)
+	if endCtrs, err := fetchCacheCounters(client, base); ctrsOK && err == nil {
+		d := cacheBreakdown{
+			ExactHits:       endCtrs.Exact - startCtrs.Exact,
+			CanonicalHits:   endCtrs.Canonical - startCtrs.Canonical,
+			SubsumptionHits: endCtrs.Subsumption - startCtrs.Subsumption,
+			Misses:          endCtrs.Misses - startCtrs.Misses,
+		}
+		if total := d.ExactHits + d.CanonicalHits + d.SubsumptionHits + d.Misses; total > 0 {
+			d.HitRate = float64(d.ExactHits+d.CanonicalHits+d.SubsumptionHits) / float64(total)
+			sum.Cache = &d
+		}
+	}
 	if mut != nil {
 		sum.Updates = mut.sent
 		if rate, ok := mut.hitRate(client, base); ok {
@@ -218,8 +247,14 @@ func waitDone(stop *atomic.Bool) <-chan struct{} {
 }
 
 // loadQueries builds the replay pool: a workload file, or the generator the
-// paper's evaluation (and sqogen) uses.
+// paper's evaluation (and sqogen) uses. Under -near-dup every pool entry is
+// followed by near-duplicate variants: a canonical rewrite (lists shuffled,
+// one conjunct duplicated) that only a canonicalizing cache collapses, and —
+// in the generated path, where the schema is known — a contained
+// specialization (one extra conjunct on an attribute the query never
+// touches) that only a subsuming cache can answer warm.
 func loadQueries() ([]string, error) {
+	rng := rand.New(rand.NewSource(*seed))
 	if *workloadFile != "" {
 		data, err := os.ReadFile(*workloadFile)
 		if err != nil {
@@ -231,10 +266,14 @@ func loadQueries() ([]string, error) {
 			if line == "" || strings.HasPrefix(line, "#") {
 				continue
 			}
-			if _, err := sqo.ParseQuery(line); err != nil {
+			q, err := sqo.ParseQuery(line)
+			if err != nil {
 				return nil, fmt.Errorf("%s: %w", *workloadFile, err)
 			}
 			out = append(out, line)
+			if *nearDup {
+				out = append(out, permutedDup(q, rng).String())
+			}
 		}
 		if len(out) == 0 {
 			return nil, fmt.Errorf("%s: no queries", *workloadFile)
@@ -260,11 +299,102 @@ func loadQueries() ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]string, len(qs))
-	for i, q := range qs {
-		out[i] = q.String()
+	out := make([]string, 0, len(qs))
+	for _, q := range qs {
+		out = append(out, q.String())
+		if *nearDup {
+			out = append(out, permutedDup(q, rng).String())
+			if spec, ok := specialize(db.Schema(), q, rng); ok {
+				out = append(out, spec.String())
+			}
+		}
 	}
 	return out, nil
+}
+
+// cloneQuery deep-copies a query's lists so variants never alias the pool.
+func cloneQuery(q *sqo.Query) *sqo.Query {
+	return &sqo.Query{
+		Project:       append([]sqo.AttrRef(nil), q.Project...),
+		Joins:         append([]sqo.Predicate(nil), q.Joins...),
+		Selects:       append([]sqo.Predicate(nil), q.Selects...),
+		Relationships: append([]string(nil), q.Relationships...),
+		Classes:       append([]string(nil), q.Classes...),
+	}
+}
+
+// permutedDup shuffles every list of q and duplicates one conjunct — a
+// syntactic near-duplicate that misses an exact-fingerprint cache but lands
+// on the same slot under canonicalization.
+func permutedDup(q *sqo.Query, rng *rand.Rand) *sqo.Query {
+	v := cloneQuery(q)
+	if len(v.Selects) > 0 {
+		v.Selects = append(v.Selects, v.Selects[rng.Intn(len(v.Selects))])
+	} else if len(v.Joins) > 0 {
+		v.Joins = append(v.Joins, v.Joins[rng.Intn(len(v.Joins))])
+	}
+	rng.Shuffle(len(v.Project), func(i, j int) { v.Project[i], v.Project[j] = v.Project[j], v.Project[i] })
+	rng.Shuffle(len(v.Joins), func(i, j int) { v.Joins[i], v.Joins[j] = v.Joins[j], v.Joins[i] })
+	rng.Shuffle(len(v.Selects), func(i, j int) { v.Selects[i], v.Selects[j] = v.Selects[j], v.Selects[i] })
+	rng.Shuffle(len(v.Relationships), func(i, j int) {
+		v.Relationships[i], v.Relationships[j] = v.Relationships[j], v.Relationships[i]
+	})
+	rng.Shuffle(len(v.Classes), func(i, j int) { v.Classes[i], v.Classes[j] = v.Classes[j], v.Classes[i] })
+	return v
+}
+
+// specialize appends one selective conjunct on an attribute the query never
+// touches — a strictly contained query. Whether the daemon can actually
+// derive it from the cached generalization depends on its catalog (the
+// engine bails to cold optimization when the attribute is
+// constraint-mentioned), which is exactly the mix real near-duplicate
+// traffic presents.
+func specialize(sch *sqo.Schema, q *sqo.Query, rng *rand.Rand) (*sqo.Query, bool) {
+	for _, off := range rng.Perm(len(q.Classes)) {
+		class := q.Classes[off]
+		for _, at := range sch.EffectiveAttributes(class) {
+			ref := sqo.AttrRef{Class: class, Attr: at.Name}
+			if queryTouches(q, ref) {
+				continue
+			}
+			var v sqo.Value
+			switch at.Type {
+			case sqo.KindInt:
+				v = sqo.IntValue(7)
+			case sqo.KindFloat:
+				v = sqo.FloatValue(7.5)
+			case sqo.KindString:
+				v = sqo.StringValue("zz-near-dup")
+			case sqo.KindBool:
+				v = sqo.BoolValue(true)
+			default:
+				continue
+			}
+			spec := cloneQuery(q)
+			spec.Selects = append(spec.Selects, sqo.Sel(class, at.Name, sqo.OpEQ, v))
+			return spec, true
+		}
+	}
+	return nil, false
+}
+
+func queryTouches(q *sqo.Query, ref sqo.AttrRef) bool {
+	for _, a := range q.Project {
+		if a == ref {
+			return true
+		}
+	}
+	for _, p := range q.Selects {
+		if p.Left == ref {
+			return true
+		}
+	}
+	for _, p := range q.Joins {
+		if p.Left == ref || p.RightAttr == ref {
+			return true
+		}
+	}
+	return false
 }
 
 func pick(rng *rand.Rand, pool []string, n int) []string {
@@ -334,8 +464,8 @@ type mutator struct {
 	sent   int
 	seq    int
 
-	baseHits, baseMisses int64
-	baselined            bool
+	baseline  cacheCounters
+	baselined bool
 }
 
 func (m *mutator) run(stop *atomic.Bool, record func(sample)) {
@@ -345,8 +475,8 @@ func (m *mutator) run(stop *atomic.Bool, record func(sample)) {
 			return
 		}
 		if !m.baselined {
-			if hits, misses, err := fetchCacheCounters(m.client, m.base); err == nil {
-				m.baseHits, m.baseMisses, m.baselined = hits, misses, true
+			if ctrs, err := fetchCacheCounters(m.client, m.base); err == nil {
+				m.baseline, m.baselined = ctrs, true
 			}
 		}
 		var body map[string]any
@@ -368,35 +498,53 @@ func (m *mutator) hitRate(client *http.Client, base string) (float64, bool) {
 	if !m.baselined {
 		return 0, false
 	}
-	hits, misses, err := fetchCacheCounters(client, base)
+	ctrs, err := fetchCacheCounters(client, base)
 	if err != nil {
 		return 0, false
 	}
-	dh, dm := hits-m.baseHits, misses-m.baseMisses
+	dh, dm := ctrs.hits()-m.baseline.hits(), ctrs.Misses-m.baseline.Misses
 	if dh+dm <= 0 {
 		return 0, false
 	}
 	return float64(dh) / float64(dh+dm), true
 }
 
+// cacheCounters is a point-in-time read of the engine's cumulative cache
+// counters, with the three-way hit breakdown.
+type cacheCounters struct {
+	Exact, Canonical, Subsumption, Misses int64
+}
+
+func (c cacheCounters) hits() int64 { return c.Exact + c.Canonical + c.Subsumption }
+
 // fetchCacheCounters reads the engine's cumulative cache counters from
 // GET /stats.
-func fetchCacheCounters(client *http.Client, base string) (hits, misses int64, err error) {
+func fetchCacheCounters(client *http.Client, base string) (cacheCounters, error) {
 	resp, err := client.Get(base + "/stats")
 	if err != nil {
-		return 0, 0, err
+		return cacheCounters{}, err
 	}
 	defer resp.Body.Close()
 	var body struct {
 		Engine struct {
-			CacheHits   int64 `json:"CacheHits"`
-			CacheMisses int64 `json:"CacheMisses"`
+			Cache struct {
+				ExactHits       int64 `json:"ExactHits"`
+				CanonicalHits   int64 `json:"CanonicalHits"`
+				SubsumptionHits int64 `json:"SubsumptionHits"`
+				Misses          int64 `json:"Misses"`
+			} `json:"Cache"`
 		} `json:"engine"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
-		return 0, 0, err
+		return cacheCounters{}, err
 	}
-	return body.Engine.CacheHits, body.Engine.CacheMisses, nil
+	c := body.Engine.Cache
+	return cacheCounters{
+		Exact:       c.ExactHits,
+		Canonical:   c.CanonicalHits,
+		Subsumption: c.SubsumptionHits,
+		Misses:      c.Misses,
+	}, nil
 }
 
 // sendSwap re-renders the logistics constraint catalog and swaps it in: a
@@ -465,6 +613,10 @@ func percentile(sorted []int64, q float64) int64 {
 func printHuman(sum summary) {
 	fmt.Printf("sqoload: %d requests (%d queries) in %.1fs against %s — %.1f req/s, %d non-2xx\n",
 		sum.Requests, sum.Queries, sum.DurationS, sum.Addr, sum.AchievedRPS, sum.Non2xx)
+	if c := sum.Cache; c != nil {
+		fmt.Printf("  cache: %.1f%% hit-rate (%d exact / %d canonical / %d subsumption hits, %d misses)\n",
+			c.HitRate*100, c.ExactHits, c.CanonicalHits, c.SubsumptionHits, c.Misses)
+	}
 	if sum.Updates > 0 {
 		if sum.PostMutationHitRate != nil {
 			fmt.Printf("  %d catalog deltas applied; post-mutation cache hit-rate %.1f%%\n",

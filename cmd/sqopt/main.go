@@ -30,6 +30,7 @@ import (
 
 var (
 	demo          = flag.Bool("demo", false, "optimize the paper's Figure 2.3 example query")
+	canonOnly     = flag.Bool("canon", false, "print the query's canonical form and fingerprint (the semantic cache's key) and exit")
 	budget        = flag.Int("budget", 0, "maximum number of transformations (0 = unlimited)")
 	priorities    = flag.Bool("priorities", false, "use the Section 4 priority queue")
 	contradict    = flag.Bool("contradictions", false, "prove contradictory queries empty")
@@ -63,6 +64,13 @@ func run() error {
 	q, err := sqo.ParseQuery(input)
 	if err != nil {
 		return err
+	}
+	if *canonOnly {
+		cq, fp := sqo.CanonicalizeQuery(q)
+		fmt.Println("original:   ", q)
+		fmt.Println("canonical:  ", cq)
+		fmt.Printf("fingerprint: %s\n", fp)
+		return nil
 	}
 
 	var db *sqo.Database

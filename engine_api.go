@@ -8,11 +8,13 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"sqo/internal/canon"
 	"sqo/internal/constraint"
 	"sqo/internal/core"
 	"sqo/internal/delta"
 	"sqo/internal/exec"
 	"sqo/internal/index"
+	"sqo/internal/predicate"
 	"sqo/internal/symtab"
 )
 
@@ -28,9 +30,12 @@ import (
 //
 //   - Context awareness: Optimize honors cancellation and deadlines inside
 //     the transformation loop.
-//   - Result caching: with WithResultCache, queries are keyed by a canonical
-//     fingerprint (normalized predicate ordering) into an LRU cache, so a
-//     repeated workload pays the O(m·n) table work once per distinct query.
+//   - Result caching: with WithCache, queries are keyed by fingerprint into
+//     an LRU cache — optionally by *canonical* fingerprint (duplicates
+//     dropped, dominated bounds pruned, lists sorted), and optionally with a
+//     subsumption lookup that answers a contained query from a cached
+//     generalization plus a residual pass — so a near-duplicate workload
+//     pays the O(m·n) table work once per distinct canonical query.
 //   - Hot catalog swap: SwapCatalog atomically replaces the declared
 //     constraint set — rebuilding closure and groups off to the side and
 //     flipping an atomic pointer — without blocking in-flight optimizations.
@@ -43,6 +48,13 @@ type Engine struct {
 	state  atomic.Pointer[engineState]
 	cache  *resultCache   // nil when caching is disabled
 	runner *exec.Executor // nil without WithDatabase
+
+	// subsume is true when the containment lookup is active: cache
+	// configured with CacheConfig.Subsume, engine owns its catalog, and
+	// the cost model is the query-insensitive heuristic (under a
+	// statistics model formulation depends on the whole query, so a
+	// derived result could diverge from cold optimization).
+	subsume bool
 
 	swapMu sync.Mutex // serializes SwapCatalog/UpdateCatalog (readers never take it)
 
@@ -88,6 +100,43 @@ type engineState struct {
 	gen     *delta.Gen
 	catOnce sync.Once
 	lazyCat *Catalog
+
+	// mentioned is the lazily-built set of every (class, attr) any live
+	// constraint mentions — antecedents and consequents, selective or
+	// join. The subsumption check uses it to prove a residual conjunct
+	// inert: a predicate on an unmentioned attribute can never fire, be
+	// implied by, or contradict anything the transformation table does.
+	mentionOnce sync.Once
+	mentioned   map[predicate.AttrRef]struct{}
+}
+
+// mentionSet returns the generation's constraint-mentioned attribute set,
+// building it on first use.
+func (st *engineState) mentionSet() map[predicate.AttrRef]struct{} {
+	st.mentionOnce.Do(func() {
+		var all []*Constraint
+		switch {
+		case st.active != nil:
+			all = st.active.All()
+		case st.gen != nil:
+			all = st.gen.Constraints()
+		}
+		m := make(map[predicate.AttrRef]struct{}, len(all)*2)
+		note := func(p predicate.Predicate) {
+			m[p.Left] = struct{}{}
+			if p.IsJoin() {
+				m[p.RightAttr] = struct{}{}
+			}
+		}
+		for _, c := range all {
+			for _, p := range c.Antecedents {
+				note(p)
+			}
+			note(c.Consequent)
+		}
+		st.mentioned = m
+	})
+	return st.mentioned
 }
 
 // catalogView returns the generation's declared catalog, materializing it
@@ -145,9 +194,22 @@ func NewEngine(s *Schema, opts ...EngineOption) (*Engine, error) {
 	case cfg.catalog != nil && cfg.source != nil:
 		return nil, errors.New("sqo: WithCatalog and WithConstraintSource are mutually exclusive")
 	}
+	if cfg.cache.Subsume {
+		cfg.cache.Canonicalize = true
+	}
 	e := &Engine{schema: s, cfg: cfg}
-	if cfg.cacheSize > 0 {
-		e.cache = newResultCache(cfg.cacheSize)
+	if cfg.cache.Capacity > 0 {
+		e.cache = newResultCache(cfg.cache.Capacity)
+		if cfg.cache.Subsume && cfg.source == nil {
+			// The containment derivation replays formulation decisions;
+			// that is only sound when those decisions cannot depend on
+			// the extra conjuncts, i.e. under the query-insensitive
+			// heuristic cost model.
+			if _, heuristic := e.effectiveCoreOpts().Cost.(HeuristicCost); heuristic {
+				e.subsume = true
+				e.cache.enableSubsumption()
+			}
+		}
 	}
 	if cfg.db != nil {
 		e.runner = exec.New(cfg.db)
@@ -247,11 +309,42 @@ func (e *Engine) Optimize(ctx context.Context, q *Query) (*Result, error) {
 	}
 	st := e.state.Load()
 	var key cacheKey
+	canonMode := e.cache != nil && e.cfg.cache.Canonicalize
+	var red *canon.Reduction
 	if e.cache != nil {
-		key = cacheKeyFor(st, q)
+		if canonMode {
+			// Key by the canonical form, computed streaming over the
+			// pooled reduction scratch — near-duplicates (duplicated,
+			// implied or mergeable conjuncts) collapse to one key
+			// without materializing a query on the hit path.
+			red = reductionPool.Get().(*canon.Reduction)
+			key = cacheKey{epoch: st.epoch, fp: canonFingerprintWith(q, st.syms, red)}
+		} else {
+			key = cacheKeyFor(st, q)
+		}
 		if res, ok := e.cache.get(key); ok {
+			if canonMode {
+				if red.Changed {
+					e.cache.canonHits.Add(1)
+				}
+				reductionPool.Put(red)
+			}
 			e.optimizations.Add(1)
 			return res, nil
+		}
+	}
+	runQ := q
+	if canonMode {
+		// Miss: optimize the canonical form, so the cached result is
+		// byte-identical to a cold optimization of that form no matter
+		// which syntactic variant arrived first.
+		runQ = canon.Canonicalize(q, red)
+		reductionPool.Put(red)
+		if e.subsume {
+			if res := e.trySubsume(st, key, runQ); res != nil {
+				e.optimizations.Add(1)
+				return res, nil
+			}
 		}
 	}
 	// Apply the default deadline only past the cache: a hit never consults
@@ -263,16 +356,25 @@ func (e *Engine) Optimize(ctx context.Context, q *Query) (*Result, error) {
 			defer cancel()
 		}
 	}
-	res, err := st.opt.OptimizeContext(ctx, q)
+	res, err := st.opt.OptimizeContext(ctx, runQ)
 	if err != nil {
 		return nil, err
 	}
 	e.optimizations.Add(1)
 	if e.cache != nil {
-		e.cache.put(key, res)
+		if e.subsume {
+			env := cacheKey{epoch: st.epoch, fp: envelopeFingerprintWith(runQ, st.syms)}
+			e.cache.putGen(key, env, runQ, res)
+		} else {
+			e.cache.put(key, res)
+		}
 	}
 	return res, nil
 }
+
+// reductionPool recycles canonicalization scratch across Optimize calls so
+// the canonical-key lookup allocates nothing in steady state.
+var reductionPool = sync.Pool{New: func() any { return new(canon.Reduction) }}
 
 // OptimizeBatch optimizes every query of a workload concurrently on the
 // engine's worker pool (WithWorkers), returning results positionally aligned
@@ -620,17 +722,67 @@ func (e *Engine) Workers() int { return e.cfg.workers }
 // on first call, in the generation's live order.
 func (e *Engine) Catalog() *Catalog { return e.state.Load().catalogView() }
 
+// CacheStats is the result cache's stats surface: the three-way hit
+// breakdown (exact, canonical, subsumption), occupancy, and the surgical
+// invalidation counters. All zero when caching is disabled.
+type CacheStats struct {
+	// ExactHits counts lookups served because the (canonical, when
+	// Canonicalize is on) fingerprint matched a cached entry and the
+	// incoming query was already in that form.
+	ExactHits int64
+	// CanonicalHits counts lookups served only because canonicalization
+	// collapsed the query — the raw conjunct multiset differed from the
+	// cached entry's (duplicates dropped, bounds merged or pruned).
+	CanonicalHits int64
+	// SubsumptionHits counts lookups served by deriving the answer from a
+	// cached generalization plus residual conjuncts.
+	SubsumptionHits int64
+	// Misses counts lookups that fell through to cold optimization.
+	Misses int64
+	// Evictions counts LRU evictions.
+	Evictions int64
+	// ResidualPredicates is the total number of residual conjuncts applied
+	// across all subsumption hits — the cumulative residual-pass cost.
+	ResidualPredicates int64
+	// Size and Capacity are the current and maximum number of cached
+	// results.
+	Size     int
+	Capacity int
+	// UpdatePurged and UpdateSurvived are cumulative counts of entries
+	// dropped by incremental catalog updates versus re-stamped into the
+	// new epoch.
+	UpdatePurged   int64
+	UpdateSurvived int64
+	// Canonicalize and Subsume echo the active cache configuration
+	// (Subsume reports the *effective* state — false when the
+	// configuration requested it but the engine had to serve without,
+	// e.g. under a statistics cost model).
+	Canonicalize bool
+	Subsume      bool
+}
+
+// Hits returns the total lookups served from the cache, all three kinds.
+func (c CacheStats) Hits() int64 { return c.ExactHits + c.CanonicalHits + c.SubsumptionHits }
+
 // EngineStats is a point-in-time snapshot of an engine's serving counters.
 type EngineStats struct {
 	// Optimizations counts Optimize calls served, cache hits included.
 	Optimizations int64
+	// Cache is the result cache's stats surface, including the three-way
+	// exact / canonical / subsumption hit breakdown.
+	Cache CacheStats
 	// CacheHits / CacheMisses / CacheEvictions describe the result cache;
 	// all zero when caching is disabled.
+	//
+	// Deprecated: read Cache instead. CacheHits mirrors Cache.Hits() —
+	// all three hit kinds combined.
 	CacheHits      int64
 	CacheMisses    int64
 	CacheEvictions int64
 	// CacheSize and CacheCapacity are the current and maximum number of
 	// cached results.
+	//
+	// Deprecated: read Cache.Size and Cache.Capacity.
 	CacheSize     int
 	CacheCapacity int
 	// CatalogSwaps counts successful SwapCatalog calls; CatalogUpdates
@@ -642,6 +794,8 @@ type EngineStats struct {
 	// CacheUpdatePurged and CacheUpdateSurvived are cumulative counts of
 	// result-cache entries dropped by catalog updates versus re-stamped
 	// into the new epoch — the measured surgical-invalidation win.
+	//
+	// Deprecated: read Cache.UpdatePurged and Cache.UpdateSurvived.
 	CacheUpdatePurged   int64
 	CacheUpdateSurvived int64
 	// Constraints is the size of the active catalog (after closure);
@@ -689,11 +843,32 @@ func (e *Engine) Stats() EngineStats {
 		s.ConstraintIndex = st.index.Stats()
 	}
 	if e.cache != nil {
-		s.CacheHits = e.cache.hits.Load()
-		s.CacheMisses = e.cache.misses.Load()
-		s.CacheEvictions = e.cache.evictions.Load()
-		s.CacheSize = e.cache.len()
-		s.CacheCapacity = e.cache.cap
+		// Load the sub-counters before the totals: each hit bumps the
+		// total first, so this order can only under-report the
+		// breakdown, never drive ExactHits or Misses negative.
+		canonHits := e.cache.canonHits.Load()
+		subHits := e.cache.subHits.Load()
+		hits := e.cache.hits.Load()
+		misses := e.cache.misses.Load()
+		s.Cache = CacheStats{
+			ExactHits:          hits - canonHits,
+			CanonicalHits:      canonHits,
+			SubsumptionHits:    subHits,
+			Misses:             misses - subHits,
+			Evictions:          e.cache.evictions.Load(),
+			ResidualPredicates: e.cache.residual.Load(),
+			Size:               e.cache.len(),
+			Capacity:           e.cache.cap,
+			UpdatePurged:       s.CacheUpdatePurged,
+			UpdateSurvived:     s.CacheUpdateSurvived,
+			Canonicalize:       e.cfg.cache.Canonicalize,
+			Subsume:            e.subsume,
+		}
+		s.CacheHits = s.Cache.Hits()
+		s.CacheMisses = s.Cache.Misses
+		s.CacheEvictions = s.Cache.Evictions
+		s.CacheSize = s.Cache.Size
+		s.CacheCapacity = s.Cache.Capacity
 	}
 	return s
 }

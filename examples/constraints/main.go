@@ -69,7 +69,7 @@ func main() {
 		sqo.WithCatalog(cat),
 		sqo.WithClosure(sqo.ClosureOptions{}),
 		sqo.WithGrouping(sqo.GroupLeastAccessed),
-		sqo.WithResultCache(64))
+		sqo.WithCache(sqo.CacheConfig{Capacity: 64}))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -61,7 +61,7 @@ func main() {
 	eng, err := sqo.NewEngine(db.Schema(),
 		sqo.WithCatalog(declared),
 		sqo.WithCostModel(model),
-		sqo.WithResultCache(32))
+		sqo.WithCache(sqo.CacheConfig{Capacity: 32}))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -36,7 +36,7 @@ func main() {
 		sqo.WithCatalog(cat),
 		sqo.WithCostModel(model),
 		sqo.WithGrouping(sqo.GroupLeastAccessed),
-		sqo.WithResultCache(64))
+		sqo.WithCache(sqo.CacheConfig{Capacity: 64}))
 	if err != nil {
 		log.Fatal(err)
 	}

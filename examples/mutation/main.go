@@ -35,7 +35,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng, err := sqo.NewEngine(db.Schema(), sqo.WithCatalog(catalog), sqo.WithResultCache(512))
+	eng, err := sqo.NewEngine(db.Schema(), sqo.WithCatalog(catalog), sqo.WithCache(sqo.CacheConfig{Capacity: 512}))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package sqo
 
 import (
+	"sqo/internal/canon"
 	"sqo/internal/predicate"
 	"sqo/internal/symtab"
 )
@@ -40,6 +41,18 @@ func (f QueryFingerprint) String() string {
 // result cache uses the interned-ID variant internally; this content form is
 // catalog-independent.
 func Fingerprint(q *Query) QueryFingerprint { return fingerprintWith(q, nil) }
+
+// CanonicalizeQuery returns the canonical form of q — duplicate and implied
+// conjuncts dropped, equal interval bounds merged into equalities, join
+// tautologies removed, all five lists sorted — together with its
+// catalog-independent content fingerprint. Queries with the same canonical
+// form share one result-cache slot when the engine runs with
+// CacheConfig.Canonicalize. When q is already canonical it is returned
+// as-is; otherwise a fresh query is built and q is never mutated.
+func CanonicalizeQuery(q *Query) (*Query, QueryFingerprint) {
+	cq, _ := canon.Canonical(q)
+	return cq, Fingerprint(cq)
+}
 
 // Domain seeds keep the item-hash spaces of IDs, content hashes and the five
 // sections from aliasing each other.
@@ -83,6 +96,111 @@ func fingerprintWith(q *Query, syms *symtab.Table) QueryFingerprint {
 		item(fpPred(p, syms))
 	}
 	flush('S')
+	for _, r := range q.Relationships {
+		item(fpString(r))
+	}
+	flush('R')
+	for _, c := range q.Classes {
+		if syms != nil {
+			if id, ok := syms.ClassID(c); ok && int(id) < syms.NumClasses() {
+				item(fpMix(fpSeedClassID ^ uint64(id)))
+				continue
+			}
+		}
+		item(fpString(c))
+	}
+	flush('C')
+	return f.final()
+}
+
+// canonFingerprintWith hashes the *canonical form* of q — surviving joins
+// and selects after reduction, plus merged bounds — without materializing a
+// canonical query. Because the per-section folds are order-insensitive, the
+// result is by construction identical to fingerprintWith(canon.Canonicalize(q),
+// syms): canonicalization only drops, adds and sorts, and sorting is
+// invisible to the fold. The reduction scratch is supplied by the caller
+// (the engine pools it), so the lookup path stays allocation-free.
+func canonFingerprintWith(q *Query, syms *symtab.Table, red *canon.Reduction) QueryFingerprint {
+	canon.Reduce(q, red)
+	var f fpFold
+	var sum, xor uint64
+	n := 0
+	item := func(h uint64) {
+		sum += h
+		xor ^= h
+		n++
+	}
+	flush := func(tag uint64) {
+		f.fold(tag, sum, xor, n)
+		sum, xor, n = 0, 0, 0
+	}
+
+	for _, a := range q.Project {
+		item(fpAttrRef(a, syms))
+	}
+	flush('P')
+	for i, p := range q.Joins {
+		if red.JoinKeep[i] {
+			item(fpPred(p, syms))
+		}
+	}
+	flush('J')
+	for i, p := range q.Selects {
+		if red.SelKeep[i] {
+			item(fpPred(p, syms))
+		}
+	}
+	for i, p := range red.Merged {
+		if red.SelKeep[len(q.Selects)+i] {
+			item(fpPred(p, syms))
+		}
+	}
+	flush('S')
+	for _, r := range q.Relationships {
+		item(fpString(r))
+	}
+	flush('R')
+	for _, c := range q.Classes {
+		if syms != nil {
+			if id, ok := syms.ClassID(c); ok && int(id) < syms.NumClasses() {
+				item(fpMix(fpSeedClassID ^ uint64(id)))
+				continue
+			}
+		}
+		item(fpString(c))
+	}
+	flush('C')
+	return f.final()
+}
+
+// envelopeFingerprintWith hashes a query's subsumption envelope: projection,
+// joins, relationships and classes — every part except the selective
+// predicates. Queries sharing an envelope are exactly the candidates for the
+// containment lookup (a cached generalization can only answer a query that
+// adds selective conjuncts). The caller passes an already-canonical query,
+// so no reduction runs here.
+func envelopeFingerprintWith(q *Query, syms *symtab.Table) QueryFingerprint {
+	var f fpFold
+	var sum, xor uint64
+	n := 0
+	item := func(h uint64) {
+		sum += h
+		xor ^= h
+		n++
+	}
+	flush := func(tag uint64) {
+		f.fold(tag, sum, xor, n)
+		sum, xor, n = 0, 0, 0
+	}
+
+	for _, a := range q.Project {
+		item(fpAttrRef(a, syms))
+	}
+	flush('P')
+	for _, p := range q.Joins {
+		item(fpPred(p, syms))
+	}
+	flush('J')
 	for _, r := range q.Relationships {
 		item(fpString(r))
 	}

@@ -3,6 +3,7 @@ package sqo
 import (
 	"testing"
 
+	"sqo/internal/canon"
 	"sqo/internal/datagen"
 )
 
@@ -156,5 +157,84 @@ func TestCacheKeyFoldsEpoch(t *testing.T) {
 	}
 	if before.epoch == after.epoch {
 		t.Fatalf("epoch did not advance: %d", before.epoch)
+	}
+}
+
+// TestCanonFingerprintMatchesMaterialized: the streaming canonical
+// fingerprint (reduction survivors hashed in place) must equal the plain
+// fingerprint of the materialized canonical query — in both the content and
+// the interned-ID hash spaces — across a generated workload plus handcrafted
+// reduction-heavy shapes. This is the identity the cache's canonical lookup
+// path rides on.
+func TestCanonFingerprintMatchesMaterialized(t *testing.T) {
+	db, err := GenerateDatabase(DB1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := LogisticsConstraints()
+	gen := NewWorkloadGenerator(db, cat, WorkloadOptions{Seed: 97})
+	qs, err := gen.Workload(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs = append(qs,
+		// Duplicates, a dominated bound, an interval collapsing to an
+		// equality, and a join tautology — every reduction rule at once.
+		NewQuery("driver", "vehicle").
+			AddProject("driver", "name").
+			AddSelect(Sel("driver", "age", OpGE, IntValue(30))).
+			AddSelect(Sel("driver", "age", OpGE, IntValue(30))).
+			AddSelect(Sel("driver", "age", OpGE, IntValue(21))).
+			AddSelect(Sel("driver", "age", OpLE, IntValue(30))).
+			AddJoin(JoinPred("driver", "salary", OpEQ, "driver", "salary")).
+			AddRelationship("drives"),
+	)
+
+	eng, err := NewEngine(db.Schema(), WithCatalog(cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := eng.state.Load().syms
+	if syms == nil {
+		t.Fatal("engine state carries no symbol space")
+	}
+
+	var red canon.Reduction
+	for i, q := range qs {
+		cq, _ := canon.Canonical(q)
+		if got, want := canonFingerprintWith(q, nil, &red), fingerprintWith(cq, nil); got != want {
+			t.Fatalf("q%d: streaming content fingerprint %v != materialized %v\nquery: %s\ncanon: %s",
+				i, got, want, q, cq)
+		}
+		if got, want := canonFingerprintWith(q, syms, &red), fingerprintWith(cq, syms); got != want {
+			t.Fatalf("q%d: streaming interned fingerprint %v != materialized %v\nquery: %s\ncanon: %s",
+				i, got, want, q, cq)
+		}
+	}
+}
+
+// TestEnvelopeFingerprint: queries differing only in selective conjuncts
+// share an envelope fingerprint (that is what routes a containment probe to
+// its candidate generalizations); queries differing in any envelope part do
+// not.
+func TestEnvelopeFingerprint(t *testing.T) {
+	base := func() *Query {
+		return NewQuery("supplier", "cargo").
+			AddProject("cargo", "desc").
+			AddRelationship("supplies")
+	}
+	g := base().AddSelect(Eq("supplier", "name", StringValue("SFI")))
+	s := base().
+		AddSelect(Eq("supplier", "name", StringValue("SFI"))).
+		AddSelect(Sel("cargo", "weight", OpLE, IntValue(900)))
+	if envelopeFingerprintWith(g, nil) != envelopeFingerprintWith(s, nil) {
+		t.Error("envelope fingerprints diverge across selective-only difference")
+	}
+	other := NewQuery("supplier", "cargo", "vehicle").
+		AddProject("cargo", "desc").
+		AddRelationship("supplies").
+		AddSelect(Eq("supplier", "name", StringValue("SFI")))
+	if envelopeFingerprintWith(g, nil) == envelopeFingerprintWith(other, nil) {
+		t.Error("envelope fingerprints collide across different class sets")
 	}
 }

@@ -1,0 +1,310 @@
+// Package canon normalizes queries into a canonical form so that syntactic
+// near-duplicates — permuted conjunct lists, duplicated predicates, redundant
+// bounds (A >= 5 alongside A >= 3), mergeable interval bounds
+// (A >= 5 ∧ A <= 5 ⇒ A = 5), and join tautologies (x.a = x.a) — collapse to
+// one representative. The engine fingerprints the canonical form, so all of
+// them share one result-cache slot, and the subsumption layer compares
+// canonical forms structurally.
+//
+// The reduction is deliberately confined to sound, decidable reasoning: it
+// only drops a predicate when another predicate over the same operand pair
+// provably entails it (predicate.Implies — the paper's own bound calculus),
+// and it never reasons across attributes. Contradictory pairs are left
+// untouched; proving emptiness is the optimizer's job (contradiction
+// detection), not the cache key's. Project, class and relationship lists are
+// sorted but never deduplicated — an invalid query with duplicate classes
+// must not collide with the valid query that has them once.
+//
+// Determinism is load-bearing: two queries with the same conjunct multiset
+// must reduce to the same canonical query object value, no matter how their
+// lists were ordered, because the differential suites compare a cached
+// canonical optimization byte-for-byte against a cold one. Reduce therefore
+// processes predicates in key-sorted order, so even mutually-implying
+// predicates with distinct keys (A >= 5 as int versus A >= 5.0 as float)
+// resolve to the same survivor — the smaller key — on every input ordering.
+package canon
+
+import (
+	"sort"
+
+	"sqo/internal/predicate"
+	"sqo/internal/query"
+)
+
+// Reduction is the reusable scratch state of one reduction: which join and
+// selective predicates survive, which merged predicates were synthesized, and
+// whether anything changed. The zero value is ready to use; the engine pools
+// Reductions so the cache-lookup path performs no allocation.
+type Reduction struct {
+	// JoinKeep is parallel to q.Joins; false marks a dropped predicate.
+	JoinKeep []bool
+	// SelKeep is parallel to the virtual selective list — q.Selects
+	// followed by Merged — so a synthesized bound can itself be pruned by
+	// a later pass.
+	SelKeep []bool
+	// Merged holds predicates synthesized by bound merging
+	// (A >= c ∧ A <= c ⇒ A = c).
+	Merged []predicate.Predicate
+	// Changed reports whether reduction altered the conjunct multiset
+	// (dropped or merged anything). A pure reordering leaves it false.
+	Changed bool
+	// Sorted reports whether the input lists were already in canonical
+	// order. When Sorted && !Changed, the query is already canonical and
+	// Canonicalize returns it unmaterialized.
+	Sorted bool
+
+	nSel int
+	ord  []int
+}
+
+// Reduce computes the canonical conjunct set of q into r without
+// materializing a query. It is allocation-free in steady state (scratch
+// slices are reused; only a bound merge constructs a new predicate).
+func Reduce(q *query.Query, r *Reduction) {
+	r.reset(q)
+	r.reduceJoins(q)
+	r.reduceSels(q)
+	r.Sorted = inputSorted(q)
+}
+
+func (r *Reduction) reset(q *query.Query) {
+	r.JoinKeep = resizeBool(r.JoinKeep, len(q.Joins))
+	r.SelKeep = resizeBool(r.SelKeep, len(q.Selects))
+	r.Merged = r.Merged[:0]
+	r.Changed = false
+	r.Sorted = false
+	r.nSel = len(q.Selects)
+}
+
+func resizeBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		s = make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = true
+	}
+	return s
+}
+
+// selAt resolves a virtual selective index: original selects first, then
+// merged predicates.
+func (r *Reduction) selAt(q *query.Query, i int) predicate.Predicate {
+	if i < r.nSel {
+		return q.Selects[i]
+	}
+	return r.Merged[i-r.nSel]
+}
+
+// sortOrd fills r.ord with the alive indices of a keep slice, sorted by
+// predicate key (insertion sort: the lists are small and this keeps the
+// lookup path allocation-free).
+func (r *Reduction) sortOrd(n int, keep []bool, keyAt func(int) string) {
+	r.ord = r.ord[:0]
+	for i := 0; i < n; i++ {
+		if keep[i] {
+			r.ord = append(r.ord, i)
+		}
+	}
+	for i := 1; i < len(r.ord); i++ {
+		for j := i; j > 0 && keyAt(r.ord[j]) < keyAt(r.ord[j-1]); j-- {
+			r.ord[j], r.ord[j-1] = r.ord[j-1], r.ord[j]
+		}
+	}
+}
+
+// reduceJoins drops join tautologies (x.a op x.a for reflexive op), duplicate
+// keys, and joins implied by a surviving join over the same operand pair.
+func (r *Reduction) reduceJoins(q *query.Query) {
+	for i, p := range q.Joins {
+		if p.IsJoin() && p.Left == p.RightAttr &&
+			(p.Op == predicate.EQ || p.Op == predicate.LE || p.Op == predicate.GE) {
+			r.JoinKeep[i] = false
+			r.Changed = true
+		}
+	}
+	r.sortOrd(len(q.Joins), r.JoinKeep, func(i int) string { return q.Joins[i].Key() })
+	for ii := 0; ii < len(r.ord); ii++ {
+		i := r.ord[ii]
+		if !r.JoinKeep[i] {
+			continue
+		}
+		pi := q.Joins[i]
+		for jj := ii + 1; jj < len(r.ord); jj++ {
+			j := r.ord[jj]
+			if !r.JoinKeep[j] {
+				continue
+			}
+			pj := q.Joins[j]
+			switch {
+			case pi.Key() == pj.Key(), pi.Implies(pj):
+				r.JoinKeep[j] = false
+				r.Changed = true
+			case pj.Implies(pi):
+				r.JoinKeep[i] = false
+				r.Changed = true
+			}
+			if !r.JoinKeep[i] {
+				break
+			}
+		}
+	}
+}
+
+// reduceSels runs the selective-predicate reduction to fixpoint: duplicate
+// keys and implied bounds are dropped, and a GE/LE pair on one attribute
+// whose constants compare equal merges into an EQ (which then participates in
+// the next pass like any other predicate). Every changed iteration strictly
+// shrinks the alive set, so the loop terminates.
+func (r *Reduction) reduceSels(q *query.Query) {
+	for {
+		changed := false
+		r.sortOrd(r.nSel+len(r.Merged), r.SelKeep, func(i int) string { return r.selAt(q, i).Key() })
+		// Prune: processing in key order makes the survivor of a
+		// mutually-implying pair (distinct keys, equal semantics) the
+		// smaller key on every input ordering.
+		for ii := 0; ii < len(r.ord); ii++ {
+			i := r.ord[ii]
+			if !r.SelKeep[i] {
+				continue
+			}
+			pi := r.selAt(q, i)
+			for jj := ii + 1; jj < len(r.ord); jj++ {
+				j := r.ord[jj]
+				if !r.SelKeep[j] {
+					continue
+				}
+				pj := r.selAt(q, j)
+				switch {
+				case pi.Key() == pj.Key(), pi.Implies(pj):
+					r.SelKeep[j] = false
+					changed = true
+				case pj.Implies(pi):
+					r.SelKeep[i] = false
+					changed = true
+				}
+				if !r.SelKeep[i] {
+					break
+				}
+			}
+		}
+		// Merge: A >= c ∧ A <= c ⇒ A = c. The synthesized predicate
+		// takes the GE operand's constant, so the result is independent
+		// of which bound was listed first.
+		for ii := 0; ii < len(r.ord); ii++ {
+			i := r.ord[ii]
+			if !r.SelKeep[i] {
+				continue
+			}
+			pi := r.selAt(q, i)
+			if pi.IsJoin() || (pi.Op != predicate.GE && pi.Op != predicate.LE) {
+				continue
+			}
+			for jj := ii + 1; jj < len(r.ord); jj++ {
+				j := r.ord[jj]
+				if !r.SelKeep[j] {
+					continue
+				}
+				pj := r.selAt(q, j)
+				if pj.IsJoin() || pj.Left != pi.Left {
+					continue
+				}
+				var ge, le predicate.Predicate
+				switch {
+				case pi.Op == predicate.GE && pj.Op == predicate.LE:
+					ge, le = pi, pj
+				case pi.Op == predicate.LE && pj.Op == predicate.GE:
+					ge, le = pj, pi
+				default:
+					continue
+				}
+				if cmp, err := ge.Const.Compare(le.Const); err != nil || cmp != 0 {
+					continue
+				}
+				r.Merged = append(r.Merged,
+					predicate.Sel(ge.Left.Class, ge.Left.Attr, predicate.EQ, ge.Const))
+				r.SelKeep = append(r.SelKeep, true)
+				r.SelKeep[i] = false
+				r.SelKeep[j] = false
+				changed = true
+				break
+			}
+		}
+		if !changed {
+			return
+		}
+		r.Changed = true
+	}
+}
+
+// inputSorted reports whether all five lists of q are already in canonical
+// order (non-decreasing; duplicates allowed — they set Changed anyway).
+func inputSorted(q *query.Query) bool {
+	for i := 1; i < len(q.Project); i++ {
+		if q.Project[i].Less(q.Project[i-1]) {
+			return false
+		}
+	}
+	for i := 1; i < len(q.Joins); i++ {
+		if q.Joins[i].Key() < q.Joins[i-1].Key() {
+			return false
+		}
+	}
+	for i := 1; i < len(q.Selects); i++ {
+		if q.Selects[i].Key() < q.Selects[i-1].Key() {
+			return false
+		}
+	}
+	for i := 1; i < len(q.Relationships); i++ {
+		if q.Relationships[i] < q.Relationships[i-1] {
+			return false
+		}
+	}
+	for i := 1; i < len(q.Classes); i++ {
+		if q.Classes[i] < q.Classes[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Canonicalize materializes the canonical query of a completed reduction.
+// When the input is already canonical (sorted, nothing reduced) it returns q
+// itself; otherwise it builds a fresh query — surviving conjuncts plus merged
+// bounds, every list sorted — and never mutates q.
+func Canonicalize(q *query.Query, r *Reduction) *query.Query {
+	if !r.Changed && r.Sorted {
+		return q
+	}
+	cq := &query.Query{
+		Project:       append([]predicate.AttrRef(nil), q.Project...),
+		Relationships: append([]string(nil), q.Relationships...),
+		Classes:       append([]string(nil), q.Classes...),
+	}
+	for i, p := range q.Joins {
+		if r.JoinKeep[i] {
+			cq.Joins = append(cq.Joins, p)
+		}
+	}
+	for i := 0; i < r.nSel+len(r.Merged); i++ {
+		if r.SelKeep[i] {
+			cq.Selects = append(cq.Selects, r.selAt(q, i))
+		}
+	}
+	sort.Slice(cq.Project, func(i, j int) bool { return cq.Project[i].Less(cq.Project[j]) })
+	sort.Slice(cq.Joins, func(i, j int) bool { return cq.Joins[i].Key() < cq.Joins[j].Key() })
+	sort.Slice(cq.Selects, func(i, j int) bool { return cq.Selects[i].Key() < cq.Selects[j].Key() })
+	sort.Strings(cq.Relationships)
+	sort.Strings(cq.Classes)
+	return cq
+}
+
+// Canonical is the one-shot convenience form: reduce q and materialize its
+// canonical query. The boolean reports whether the canonical query differs
+// from q (by content or by order).
+func Canonical(q *query.Query) (*query.Query, bool) {
+	var r Reduction
+	Reduce(q, &r)
+	cq := Canonicalize(q, &r)
+	return cq, cq != q
+}

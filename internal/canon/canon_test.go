@@ -1,0 +1,160 @@
+package canon
+
+import (
+	"testing"
+
+	"sqo/internal/predicate"
+	"sqo/internal/query"
+	"sqo/internal/value"
+)
+
+func sel(attr string, op predicate.Op, v int64) predicate.Predicate {
+	return predicate.Sel("c", attr, op, value.Int(v))
+}
+
+func baseQuery(sels ...predicate.Predicate) *query.Query {
+	q := query.New("c")
+	q.AddProject("c", "a")
+	for _, p := range sels {
+		q.AddSelect(p)
+	}
+	return q
+}
+
+func TestCanonicalDropsDuplicates(t *testing.T) {
+	q := baseQuery(sel("a", predicate.EQ, 5), sel("a", predicate.EQ, 5))
+	cq, changed := Canonical(q)
+	if !changed {
+		t.Fatal("duplicate predicate should change the query")
+	}
+	if len(cq.Selects) != 1 {
+		t.Fatalf("want 1 select, got %v", cq.Selects)
+	}
+	if len(q.Selects) != 2 {
+		t.Fatal("input query mutated")
+	}
+}
+
+func TestCanonicalKeepsStrongestBound(t *testing.T) {
+	q := baseQuery(sel("a", predicate.GE, 3), sel("a", predicate.GE, 5), sel("b", predicate.LT, 9))
+	cq, changed := Canonical(q)
+	if !changed {
+		t.Fatal("redundant bound should change the query")
+	}
+	if len(cq.Selects) != 2 {
+		t.Fatalf("want 2 selects, got %v", cq.Selects)
+	}
+	for _, p := range cq.Selects {
+		if p.Left.Attr == "a" && !(p.Op == predicate.GE && p.Const.IntVal() == 5) {
+			t.Fatalf("weaker bound survived: %v", p)
+		}
+	}
+}
+
+func TestCanonicalMergesIntervalToEquality(t *testing.T) {
+	q := baseQuery(sel("a", predicate.GE, 5), sel("a", predicate.LE, 5))
+	cq, changed := Canonical(q)
+	if !changed {
+		t.Fatal("mergeable interval should change the query")
+	}
+	if len(cq.Selects) != 1 || cq.Selects[0].Op != predicate.EQ || cq.Selects[0].Const.IntVal() != 5 {
+		t.Fatalf("want single a = 5, got %v", cq.Selects)
+	}
+}
+
+func TestCanonicalDropsJoinTautology(t *testing.T) {
+	q := query.New("c")
+	q.AddJoin(predicate.Join("c", "a", predicate.EQ, "c", "a"))
+	q.AddJoin(predicate.Join("c", "a", predicate.EQ, "c", "b"))
+	cq, changed := Canonical(q)
+	if !changed {
+		t.Fatal("tautological join should change the query")
+	}
+	if len(cq.Joins) != 1 || cq.Joins[0].Left.Attr != "a" || cq.Joins[0].RightAttr.Attr != "b" {
+		t.Fatalf("want only c.a = c.b, got %v", cq.Joins)
+	}
+}
+
+func TestCanonicalKeepsContradictions(t *testing.T) {
+	// Emptiness proofs belong to the optimizer, not the cache key: a
+	// contradictory pair must survive canonicalization verbatim.
+	q := baseQuery(sel("a", predicate.EQ, 5), sel("a", predicate.EQ, 6))
+	cq, _ := Canonical(q)
+	if len(cq.Selects) != 2 {
+		t.Fatalf("contradictory pair must survive, got %v", cq.Selects)
+	}
+}
+
+func TestCanonicalSortsWithoutDeduplicatingStructure(t *testing.T) {
+	q := query.New("z", "a")
+	q.AddRelationship("r2")
+	q.AddRelationship("r1")
+	q.AddProject("z", "x")
+	q.AddProject("a", "y")
+	cq, changed := Canonical(q)
+	if !changed {
+		t.Fatal("unsorted lists should change the query")
+	}
+	if cq.Classes[0] != "a" || cq.Classes[1] != "z" {
+		t.Fatalf("classes not sorted: %v", cq.Classes)
+	}
+	if cq.Relationships[0] != "r1" {
+		t.Fatalf("relationships not sorted: %v", cq.Relationships)
+	}
+	if cq.Project[0].Class != "a" {
+		t.Fatalf("projection not sorted: %v", cq.Project)
+	}
+	// Duplicate classes (an invalid query) must not collapse into the
+	// valid single-class form.
+	dup := query.New("a", "a")
+	cdup, _ := Canonical(dup)
+	if len(cdup.Classes) != 2 {
+		t.Fatalf("duplicate class list must keep its cardinality, got %v", cdup.Classes)
+	}
+}
+
+func TestCanonicalAlreadyCanonicalAliases(t *testing.T) {
+	q := baseQuery(sel("a", predicate.EQ, 5), sel("b", predicate.GT, 1))
+	cq, _ := Canonical(q) // sorts
+	cq2, changed := Canonical(cq)
+	if changed || cq2 != cq {
+		t.Fatal("canonical query must pass through unmaterialized")
+	}
+}
+
+func TestCanonicalIdempotent(t *testing.T) {
+	q := baseQuery(
+		sel("a", predicate.GE, 5), sel("a", predicate.LE, 5),
+		sel("b", predicate.GT, 3), sel("b", predicate.GT, 1),
+		sel("a", predicate.NE, 2),
+	)
+	c1, _ := Canonical(q)
+	c2, changed := Canonical(c1)
+	if changed {
+		t.Fatalf("canonical form not idempotent: %s vs %s", c1, c2)
+	}
+}
+
+func TestCanonicalOrderInsensitive(t *testing.T) {
+	// Cross-kind numeric bounds compare equal but have distinct keys —
+	// the mutual-implication case the key-ordered processing pins down.
+	preds := []predicate.Predicate{
+		sel("a", predicate.GE, 5),
+		predicate.Sel("c", "a", predicate.GE, value.Float(5)),
+		sel("a", predicate.LE, 5),
+		sel("b", predicate.GT, 3),
+		sel("b", predicate.GT, 1),
+	}
+	perm := []int{4, 2, 0, 3, 1}
+	q1 := baseQuery(preds...)
+	var permuted []predicate.Predicate
+	for _, i := range perm {
+		permuted = append(permuted, preds[i])
+	}
+	q2 := baseQuery(permuted...)
+	c1, _ := Canonical(q1)
+	c2, _ := Canonical(q2)
+	if c1.String() != c2.String() {
+		t.Fatalf("canonical form order-dependent:\n%s\n%s", c1, c2)
+	}
+}

@@ -1,0 +1,81 @@
+package canon
+
+import (
+	"math/rand"
+	"testing"
+
+	"sqo/internal/predicate"
+	"sqo/internal/query"
+	"sqo/internal/value"
+)
+
+// fuzzQuery decodes a byte stream into a small query: each predicate takes
+// three bytes (attribute, operator, constant), with joins mixed in. The
+// decoder is total — every input yields some query — so the fuzzer explores
+// the reduction rules, not a parser.
+func fuzzQuery(data []byte) *query.Query {
+	attrs := []string{"a", "b", "c", "d"}
+	q := query.New("x", "y")
+	q.AddProject("x", "a")
+	for i := 0; i+2 < len(data); i += 3 {
+		attr := attrs[int(data[i])%len(attrs)]
+		op := predicate.Op(int(data[i+1]) % 6)
+		c := int64(data[i+2]) % 8
+		switch data[i] % 5 {
+		case 4: // join, possibly reflexive
+			right := attrs[int(data[i+2])%len(attrs)]
+			q.AddJoin(predicate.Join("x", attr, op, "y", right))
+		case 3: // cross-kind numeric constant
+			q.AddSelect(predicate.Sel("x", attr, op, value.Float(float64(c))))
+		default:
+			q.AddSelect(predicate.Sel("x", attr, op, value.Int(c)))
+		}
+	}
+	return q
+}
+
+// permuted returns a deep-copied query with all five lists shuffled and a
+// few conjuncts duplicated, i.e. a syntactic near-duplicate with the same
+// semantics (duplication is idempotent for conjuncts).
+func permuted(q *query.Query, seed int64) *query.Query {
+	rng := rand.New(rand.NewSource(seed))
+	c := q.Clone()
+	if n := len(c.Selects); n > 0 {
+		c.Selects = append(c.Selects, c.Selects[rng.Intn(n)])
+	}
+	if n := len(c.Joins); n > 0 {
+		c.Joins = append(c.Joins, c.Joins[rng.Intn(n)])
+	}
+	rng.Shuffle(len(c.Selects), func(i, j int) { c.Selects[i], c.Selects[j] = c.Selects[j], c.Selects[i] })
+	rng.Shuffle(len(c.Joins), func(i, j int) { c.Joins[i], c.Joins[j] = c.Joins[j], c.Joins[i] })
+	rng.Shuffle(len(c.Project), func(i, j int) { c.Project[i], c.Project[j] = c.Project[j], c.Project[i] })
+	rng.Shuffle(len(c.Relationships), func(i, j int) {
+		c.Relationships[i], c.Relationships[j] = c.Relationships[j], c.Relationships[i]
+	})
+	rng.Shuffle(len(c.Classes), func(i, j int) { c.Classes[i], c.Classes[j] = c.Classes[j], c.Classes[i] })
+	return c
+}
+
+// FuzzCanonicalize checks the two invariants the semantic cache stands on:
+// the canonical form is idempotent, and it is stable under conjunct
+// permutation and duplication.
+func FuzzCanonicalize(f *testing.F) {
+	f.Add([]byte{0, 5, 3, 0, 3, 3, 1, 4, 2}, int64(1))
+	f.Add([]byte{3, 5, 5, 0, 3, 5, 4, 0, 0, 4, 0, 0}, int64(7))
+	f.Add([]byte{2, 0, 4, 2, 0, 4, 2, 1, 4}, int64(42))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		q := fuzzQuery(data)
+		cq, _ := Canonical(q)
+
+		c2, changed := Canonical(cq)
+		if changed || c2 != cq {
+			t.Fatalf("not idempotent:\nq     = %s\ncanon = %s\ntwice = %s", q, cq, c2)
+		}
+
+		near := permuted(q, seed)
+		cn, _ := Canonical(near)
+		if cq.String() != cn.String() {
+			t.Fatalf("order/duplication sensitive:\nq1 = %s\nq2 = %s\nc1 = %s\nc2 = %s", q, near, cq, cn)
+		}
+	})
+}

@@ -86,6 +86,15 @@ func (r *Result) TaggedPredicates() []TaggedPredicate {
 	return append([]TaggedPredicate(nil), r.tagged...)
 }
 
+// TaggedCount returns the length of the final tag list.
+func (r *Result) TaggedCount() int { return len(r.tagged) }
+
+// TaggedAt returns the i'th entry of the final tag list (0 <= i <
+// TaggedCount()) without copying the backing array — the engine's
+// containment derivation walks the cached generalization's tags through this
+// instead of materializing a TaggedPredicates copy per derived result.
+func (r *Result) TaggedAt(i int) TaggedPredicate { return r.tagged[i] }
+
 // FinalTags maps every predicate that was present at the end of the
 // transformation (original or introduced) to its final tag, keyed by
 // predicate.Key(). The map is materialized on first call — the optimize hot
@@ -100,6 +109,24 @@ func (r *Result) FinalTags() map[string]Tag {
 		r.ft = ft
 	})
 	return r.ft
+}
+
+// ComposeResult assembles a Result from parts computed outside the
+// transformation loop. The engine's containment-aware cache uses it to
+// derive the result of a contained query (cached generalization plus
+// residual conjuncts) without re-running the table; everything it passes in
+// must already be in final form — tagged in column order, deps ascending (or
+// nil when unknown). The slices are adopted, not copied.
+func ComposeResult(original, optimized *query.Query, empty bool, trace []Transformation, stats Stats, tagged []TaggedPredicate, deps []int32) *Result {
+	return &Result{
+		Original:    original,
+		Optimized:   optimized,
+		EmptyResult: empty,
+		Trace:       trace,
+		Stats:       stats,
+		tagged:      tagged,
+		deps:        deps,
+	}
 }
 
 // Optimize runs the full algorithm of Section 3 on q and returns the

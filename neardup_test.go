@@ -1,0 +1,88 @@
+package sqo_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"sqo"
+)
+
+// TestNearDupHitRate replays one near-duplicate query stream — each workload
+// query followed by an exact repeat, two canonical rewrites (shuffled lists,
+// a duplicated conjunct) and, where available, a strictly contained
+// specialization — through an exact-only cache and through the full semantic
+// cache (canonicalization + subsumption). The semantic combined hit-rate must
+// be at least twice the exact-only rate: the acceptance bar for answering
+// near-duplicates from the hot path.
+func TestNearDupHitRate(t *testing.T) {
+	db, err := sqo.GenerateDatabase(sqo.DB1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := db.Schema()
+	cat := sqo.LogisticsConstraints()
+	gen := sqo.NewWorkloadGenerator(db, cat, sqo.WorkloadOptions{Seed: 71})
+	bases, err := gen.Workload(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Build the stream once, against a reference engine, so both cache
+	// configurations see byte-identical traffic.
+	ref, err := sqo.NewEngine(sch, sqo.WithCatalog(cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mentioned := mentionedAttrs(cat)
+	rng := rand.New(rand.NewSource(57))
+	var stream []*sqo.Query
+	for _, q := range bases {
+		base, err := ref.Optimize(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream = append(stream, q, cloneQuery(q), permuteDup(q, rng), permuteDup(q, rng))
+		if extra, ok := inertExtra(sch, mentioned, q, base); ok {
+			spec := cloneQuery(q)
+			spec.Selects = append(spec.Selects, extra)
+			stream = append(stream, spec)
+		}
+	}
+
+	exactRate := replayStream(t, sch, cat, stream, sqo.CacheConfig{Capacity: 4096})
+	semRate := replayStream(t, sch, cat, stream, sqo.CacheConfig{Capacity: 4096, Subsume: true})
+
+	t.Logf("near-dup stream: %d lookups, exact-only hit-rate %.1f%%, semantic %.1f%%",
+		len(stream), 100*exactRate, 100*semRate)
+	if exactRate <= 0 {
+		t.Fatal("exact-only engine never hit: stream has no repeats?")
+	}
+	if semRate < 2*exactRate {
+		t.Fatalf("semantic hit-rate %.3f < 2x exact-only %.3f", semRate, exactRate)
+	}
+}
+
+// replayStream runs the stream through a fresh engine under one cache
+// configuration and returns the combined hit-rate.
+func replayStream(t *testing.T, sch *sqo.Schema, cat *sqo.Catalog, stream []*sqo.Query, cc sqo.CacheConfig) float64 {
+	t.Helper()
+	eng, err := sqo.NewEngine(sch, sqo.WithCatalog(cat), sqo.WithCache(cc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range stream {
+		if _, err := eng.Optimize(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.Stats().Cache
+	if cc.Subsume && st.SubsumptionHits == 0 {
+		t.Fatal("subsuming replay produced no subsumption hits")
+	}
+	total := st.Hits() + st.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.Hits()) / float64(total)
+}

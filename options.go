@@ -22,7 +22,7 @@ type engineConfig struct {
 	noIndex         bool
 	noIntern        bool
 	core            Options
-	cacheSize       int
+	cache           CacheConfig
 	workers         int
 	defaultDeadline time.Duration
 	db              *Database
@@ -124,13 +124,52 @@ func WithOptimizerOptions(o Options) EngineOption {
 	return func(c *engineConfig) { c.core = o }
 }
 
+// CacheConfig configures the engine's result cache — one struct for every
+// cache knob, passed through WithCache.
+type CacheConfig struct {
+	// Capacity is the maximum number of cached optimized queries.
+	// Capacity <= 0 disables caching entirely.
+	Capacity int
+	// Canonicalize keys the cache by the query's canonical form
+	// (CanonicalizeQuery) instead of the raw conjunct multiset: duplicate
+	// and implied conjuncts are dropped and equal interval bounds merged
+	// before fingerprinting, so syntactic near-duplicates share one slot.
+	// Cached results then answer the canonical query — Result.Original is
+	// the canonical form, not the verbatim input.
+	Canonicalize bool
+	// Subsume additionally probes cached generalizations on a canonical
+	// miss: when a cached query q provably contains the incoming q ∧ extra
+	// (same projection, joins, relationships and classes; extra selective
+	// conjuncts on attributes no constraint mentions), the answer is
+	// derived from the cached optimization plus a residual pass instead of
+	// re-running the transformation table. Derivations are byte-identical
+	// to cold optimization (the differential suite enforces it); queries
+	// outside the provable class fall through to cold optimization.
+	// Subsume implies Canonicalize. It requires the engine's own catalog
+	// (not WithConstraintSource) and the default heuristic cost model —
+	// under a statistics cost model formulation is query-dependent, so the
+	// engine silently serves without subsumption.
+	Subsume bool
+}
+
+// WithCache configures the result cache from one CacheConfig — capacity,
+// canonicalization, subsumption. Later cache options (including the
+// deprecated WithResultCache) override earlier ones wholesale.
+func WithCache(cc CacheConfig) EngineOption {
+	return func(c *engineConfig) { c.cache = cc }
+}
+
 // WithResultCache enables the fingerprint-keyed LRU result cache with room
 // for n optimized queries. Repeated queries — modulo predicate, class and
 // relationship ordering — are then served from the cache without re-running
 // the transformation algorithm. SwapCatalog invalidates the cache. n <= 0
 // leaves caching disabled (the default).
+//
+// Deprecated: use WithCache(CacheConfig{Capacity: n}), which also exposes
+// canonicalization and subsumption. WithResultCache remains as a shim and
+// configures an exact-match-only cache.
 func WithResultCache(n int) EngineOption {
-	return func(c *engineConfig) { c.cacheSize = n }
+	return WithCache(CacheConfig{Capacity: n})
 }
 
 // WithWorkers sets the number of goroutines OptimizeBatch fans out to.

@@ -31,7 +31,7 @@
 //			[]string{"collects"},
 //			sqo.Eq("cargo", "desc", sqo.StringValue("frozen food"))))
 //
-//	eng, err := sqo.NewEngine(sch, sqo.WithCatalog(cat), sqo.WithResultCache(1024))
+//	eng, err := sqo.NewEngine(sch, sqo.WithCatalog(cat), sqo.WithCache(sqo.CacheConfig{Capacity: 1024}))
 //	res, err := eng.Optimize(ctx, q)
 //
 // The Engine (engine_api.go) is the production entry point: a long-lived,

@@ -1,0 +1,349 @@
+package sqo_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sqo"
+	"sqo/internal/faultinject"
+)
+
+// chaos_test.go: the fault-injection suite for the persistence stack. Every
+// test here drives the SQO_FAULTS-gated injector through the snapshot store's
+// real seams — journal appends, snapshot writes, snapshot reads — and pins
+// the recovery contracts: a failed append degrades to the snapshot path, a
+// double failure refuses further mutations instead of diverging silently, a
+// corrupt snapshot falls back to a cold build, and a crash-restart always
+// lands on exactly the durable prefix.
+
+// chaosQuery is a fixed logistics probe the recovered engines must serve.
+func chaosQuery() *sqo.Query {
+	return sqo.NewQuery("driver").
+		AddProject("driver", "name").
+		AddSelect(sqo.Eq("driver", "rank", sqo.StringValue("supervisor")))
+}
+
+func catalogIDs(cs []*sqo.Constraint) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.ID
+	}
+	return out
+}
+
+// TestFaultInjectionJournalAppendFallsBackToSnapshot: when every journal
+// append fails mid-frame, ApplyAndLog folds the applied delta into a full
+// snapshot instead — the mutation stays durable, the journal rotates clean,
+// and a reboot (with the fault still active) lands warm with nothing to
+// replay and nothing lost.
+func TestFaultInjectionJournalAppendFallsBackToSnapshot(t *testing.T) {
+	t.Setenv(faultinject.EnvVar, "seed=3,journal.partial=1")
+	dir := t.TempDir()
+	sch := sqo.LogisticsSchema()
+	cat := sqo.LogisticsConstraints()
+
+	store, err := sqo.OpenSnapshotStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, rep, err := store.Boot(sch, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Warm {
+		t.Fatalf("first boot report = %+v, want cold", rep)
+	}
+	seq0 := store.Stats().Seq
+
+	r := freshRule(t)
+	if _, err := store.ApplyAndLog(eng, sqo.NewCatalogDelta().AddConstraints(r)); err != nil {
+		t.Fatalf("ApplyAndLog under journal faults = %v, want snapshot fallback to absorb it", err)
+	}
+	if st := store.Stats(); st.JournalRecords != 0 || st.Seq != seq0+1 {
+		t.Fatalf("store stats = %+v, want empty journal at seq %d (fallback compaction)", st, seq0+1)
+	}
+	store.Close()
+
+	store, err = sqo.OpenSnapshotStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, rep, err = store.Boot(sch, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if !rep.Warm || rep.Replayed != 0 || rep.TornTail {
+		t.Fatalf("reboot report = %+v, want clean warm boot", rep)
+	}
+	ids := catalogIDs(eng.Catalog().All())
+	if ids[len(ids)-1] != r.ID {
+		t.Fatalf("fallback snapshot lost the mutation: catalog tail = %s, want %s", ids[len(ids)-1], r.ID)
+	}
+	diffDelta(t, "journal-fallback recovery", eng, scratchEngine(t, sch, eng.Catalog()), chaosQuery())
+}
+
+// TestFaultInjectionDoubleFailureRefusesMutations: when the journal append
+// AND the snapshot fallback both fail, the store reports the divergence
+// honestly (delta applied in memory, durability not guaranteed), disables
+// further mutations so the gap cannot widen, and the next boot recovers the
+// durable prefix — truncating the torn frame the failed append left behind.
+func TestFaultInjectionDoubleFailureRefusesMutations(t *testing.T) {
+	dir := t.TempDir()
+	sch := sqo.LogisticsSchema()
+	cat := sqo.LogisticsConstraints()
+
+	store, err := sqo.OpenSnapshotStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, _, err := store.Boot(sch, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := freshRule(t)
+	if _, err := store.ApplyAndLog(eng, sqo.NewCatalogDelta().AddConstraints(r1)); err != nil {
+		t.Fatal(err)
+	}
+	store.Close()
+
+	t.Setenv(faultinject.EnvVar, "seed=3,journal.partial=1,snapshot.write=1")
+	store, err = sqo.OpenSnapshotStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, rep, err := store.Boot(sch, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Warm || rep.Replayed != 1 {
+		t.Fatalf("warm boot report = %+v, want 1 replayed", rep)
+	}
+
+	r2 := freshRule(t)
+	_, err = store.ApplyAndLog(eng, sqo.NewCatalogDelta().AddConstraints(r2))
+	if err == nil || !strings.Contains(err.Error(), "durability not guaranteed") {
+		t.Fatalf("double-failure ApplyAndLog err = %v, want an honest durability error", err)
+	}
+	// The engine is ahead of durable state now — and the store must refuse
+	// to let the gap widen.
+	if ids := catalogIDs(eng.Catalog().All()); ids[len(ids)-1] != r2.ID {
+		t.Fatal("failed ApplyAndLog should leave the delta applied in memory")
+	}
+	r3 := freshRule(t)
+	_, err = store.ApplyAndLog(eng, sqo.NewCatalogDelta().AddConstraints(r3))
+	if err == nil || !strings.Contains(err.Error(), "unavailable") {
+		t.Fatalf("post-failure ApplyAndLog err = %v, want refusal", err)
+	}
+	for _, id := range catalogIDs(eng.Catalog().All()) {
+		if id == r3.ID {
+			t.Fatal("refused ApplyAndLog still mutated the engine")
+		}
+	}
+	store.Close()
+
+	// Crash-restart with the faults cleared: the durable prefix — r1, not
+	// r2 — comes back, and the torn frame the failed append wrote is
+	// truncated away.
+	t.Setenv(faultinject.EnvVar, "")
+	store, err = sqo.OpenSnapshotStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	eng, rep, err = store.Boot(sch, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Warm || rep.Replayed != 1 {
+		t.Fatalf("recovery boot report = %+v, want 1 replayed", rep)
+	}
+	ids := catalogIDs(eng.Catalog().All())
+	if ids[len(ids)-1] != r1.ID {
+		t.Fatalf("recovered catalog tail = %s, want the durable %s", ids[len(ids)-1], r1.ID)
+	}
+	for _, id := range ids {
+		if id == r2.ID {
+			t.Fatal("non-durable delta survived the restart")
+		}
+	}
+	diffDelta(t, "double-failure recovery", eng, scratchEngine(t, sch, eng.Catalog()), chaosQuery())
+}
+
+// TestFaultInjectionSnapshotCorruptColdBoot: a snapshot whose bytes are
+// corrupted in flight fails its checksum at boot; Boot refuses the warm path,
+// cold-builds from the declared catalog and re-baselines the store, so the
+// following boot is warm and clean again.
+func TestFaultInjectionSnapshotCorruptColdBoot(t *testing.T) {
+	dir := t.TempDir()
+	sch := sqo.LogisticsSchema()
+	cat := sqo.LogisticsConstraints()
+
+	store, err := sqo.OpenSnapshotStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, _, err := store.Boot(sch, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.ApplyAndLog(eng, sqo.NewCatalogDelta().AddConstraints(freshRule(t))); err != nil {
+		t.Fatal(err)
+	}
+	store.Close()
+
+	t.Setenv(faultinject.EnvVar, "seed=2,snapshot.corrupt=1")
+	store, err = sqo.OpenSnapshotStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, rep, err := store.Boot(sch, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Warm || rep.ColdReason == "" {
+		t.Fatalf("corrupt-snapshot boot report = %+v, want a cold build with a reason", rep)
+	}
+	// Refuse-and-cold-build semantics: the journaled delta is gone; the
+	// engine serves exactly the declared catalog.
+	if got, want := catalogIDs(eng.Catalog().All()), catalogIDs(cat.All()); !reflect.DeepEqual(got, want) {
+		t.Fatalf("cold build catalog = %v, want declared %v", got, want)
+	}
+	if _, err := eng.Optimize(context.Background(), chaosQuery()); err != nil {
+		t.Fatalf("cold-built engine does not serve: %v", err)
+	}
+	store.Close()
+
+	t.Setenv(faultinject.EnvVar, "")
+	store, err = sqo.OpenSnapshotStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	_, rep, err = store.Boot(sch, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Warm {
+		t.Fatalf("post-rebaseline boot report = %+v, want warm", rep)
+	}
+}
+
+// TestChaosSoakApplyAndLog is the probabilistic soak: dozens of catalog
+// mutations under a 50% torn-append / 25% failed-snapshot fault mix, with a
+// crash-restart after every durability error. The invariant under all of it:
+// after each restart, and at the end with the faults cleared, the engine
+// holds exactly the durable prefix — the declared catalog plus every delta
+// ApplyAndLog acknowledged — and optimizes identically to a from-scratch
+// engine over that catalog.
+func TestChaosSoakApplyAndLog(t *testing.T) {
+	dir := t.TempDir()
+	sch := sqo.LogisticsSchema()
+	cat := sqo.LogisticsConstraints()
+
+	// Each store reads the fault spec at open, and an injector's decisions
+	// are a pure function of (seed, call count) — so every restart advances
+	// the seed, the way a real restart lands on different timing. The run
+	// stays reproducible end to end.
+	generation := 0
+	reopen := func() (*sqo.SnapshotStore, *sqo.Engine) {
+		t.Helper()
+		// A cold boot writes a baseline snapshot, which the fault mix can
+		// fail; each failed attempt is one more simulated crash-restart.
+		for attempt := 0; attempt < 50; attempt++ {
+			generation++
+			t.Setenv(faultinject.EnvVar,
+				fmt.Sprintf("seed=%d,journal.partial=0.5,snapshot.write=0.25", 11+generation))
+			store, err := sqo.OpenSnapshotStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, _, err := store.Boot(sch, cat)
+			if err == nil {
+				return store, eng
+			}
+			store.Close()
+		}
+		t.Fatal("boot did not succeed in 50 attempts")
+		return nil, nil
+	}
+
+	store, eng := reopen()
+	durable := append([]*sqo.Constraint(nil), cat.All()...)
+	removeID := func(id string) {
+		for i, c := range durable {
+			if c.ID == id {
+				durable = append(durable[:i], durable[i+1:]...)
+				return
+			}
+		}
+	}
+	checkDurable := func(label string, i int) {
+		t.Helper()
+		if got, want := catalogIDs(eng.Catalog().All()), catalogIDs(durable); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s (op %d): engine catalog %v != durable prefix %v", label, i, got, want)
+		}
+	}
+
+	var pendingRemove []*sqo.Constraint
+	crashes, acked := 0, 0
+	for i := 0; i < 30; i++ {
+		var d *sqo.CatalogDelta
+		var add *sqo.Constraint
+		var removed string
+		if i%3 == 2 && len(pendingRemove) > 0 {
+			victim := pendingRemove[0]
+			pendingRemove = pendingRemove[1:]
+			removed = victim.ID
+			d = sqo.NewCatalogDelta().RemoveConstraints(removed)
+		} else {
+			add = freshRule(t)
+			d = sqo.NewCatalogDelta().AddConstraints(add)
+		}
+		if _, err := store.ApplyAndLog(eng, d); err != nil {
+			// Durability failed: the in-memory engine may be ahead of the
+			// store. Crash-restart, then verify the durable prefix came back.
+			crashes++
+			store.Close()
+			store, eng = reopen()
+			checkDurable("post-crash restart", i)
+			continue
+		}
+		acked++
+		if add != nil {
+			durable = append(durable, add)
+			pendingRemove = append(pendingRemove, add)
+		} else {
+			removeID(removed)
+		}
+		checkDurable("acknowledged mutation", i)
+	}
+	finalSeq := store.Stats().Seq
+	store.Close()
+	t.Logf("chaos soak: %d acknowledged, %d crash-restarts, final seq %d", acked, crashes, finalSeq)
+
+	// Faults off: the final boot must land on the durable prefix and
+	// optimize byte-identically to a from-scratch build of that catalog.
+	t.Setenv(faultinject.EnvVar, "")
+	store, err := sqo.OpenSnapshotStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	var rep sqo.BootReport
+	eng, rep, err = store.Boot(sch, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Warm {
+		t.Fatalf("final boot report = %+v, want warm", rep)
+	}
+	checkDurable("final clean boot", -1)
+	if acked == 0 || crashes == 0 {
+		t.Fatalf("soak exercised nothing: %d acked, %d crashes — adjust seed/probabilities", acked, crashes)
+	}
+	diffDelta(t, "chaos soak final state", eng, scratchEngine(t, sch, sqo.MustCatalog(durable...)), chaosQuery())
+}

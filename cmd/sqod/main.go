@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"sqo"
+	"sqo/internal/faultinject"
 	"sqo/internal/server"
 )
 
@@ -71,6 +72,10 @@ var (
 	maxTimeout  = flag.Duration("max-timeout", time.Minute, "cap on client-supplied timeout_ms")
 	drain       = flag.Duration("drain", 15*time.Second, "graceful shutdown drain budget")
 	snapshotDir = flag.String("snapshot-dir", "", "directory for the catalog snapshot + delta journal (enables warm restart; requires -closure=false and -retrieval index)")
+
+	maxConcurrent = flag.Int("max-concurrent", 0, "admission limit on concurrent data-plane requests (0 = 16)")
+	maxQueue      = flag.Int("max-queue", 0, "admission queue depth behind the concurrency limit (0 = 4x max-concurrent)")
+	monitorEvery  = flag.Duration("monitor-interval", 250*time.Millisecond, "pressure-monitor cadence for the degradation ladder (<0 disables)")
 )
 
 func main() {
@@ -82,18 +87,26 @@ func main() {
 }
 
 func run(logger *log.Logger) error {
+	if in, err := faultinject.FromEnv(); err != nil {
+		return fmt.Errorf("%s: %w", faultinject.EnvVar, err)
+	} else if in != nil {
+		logger.Printf("FAULT INJECTION ACTIVE (%s=%s) — chaos testing only, not for production", faultinject.EnvVar, in)
+	}
 	eng, store, err := buildEngine(logger)
 	if err != nil {
 		return err
 	}
 	srv, err := server.New(server.Config{
-		Engine:         eng,
-		BatchWindow:    *batchWindow,
-		BatchLimit:     *batchLimit,
-		RequestTimeout: *reqTimeout,
-		MaxTimeout:     *maxTimeout,
-		Store:          store,
-		Log:            logger,
+		Engine:          eng,
+		BatchWindow:     *batchWindow,
+		BatchLimit:      *batchLimit,
+		RequestTimeout:  *reqTimeout,
+		MaxTimeout:      *maxTimeout,
+		MaxConcurrent:   *maxConcurrent,
+		MaxQueue:        *maxQueue,
+		MonitorInterval: *monitorEvery,
+		Store:           store,
+		Log:             logger,
 	})
 	if err != nil {
 		return err
@@ -120,9 +133,10 @@ func run(logger *log.Logger) error {
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown: stop accepting, drain in-flight connections,
-	// then flush the micro-batcher.
+	// Graceful shutdown: flip readiness so load balancers route away, stop
+	// accepting, drain in-flight connections, then flush the micro-batcher.
 	logger.Printf("shutdown: draining for up to %v", *drain)
+	srv.StartDraining()
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(drainCtx); err != nil {

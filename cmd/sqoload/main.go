@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -55,6 +56,9 @@ var (
 	workloadFile = flag.String("workload", "", "replay queries from this file (one per line, as emitted by sqogen -emit) instead of generating")
 	timeout      = flag.Duration("timeout", 5*time.Second, "per-request client timeout")
 	jsonOut      = flag.String("json", "", "also write the JSON summary to this file ('-' for stdout)")
+	retries      = flag.Int("retries", 3, "max retries per request on 429/503/transport errors (0 disables)")
+	retryBase    = flag.Duration("retry-base", 50*time.Millisecond, "backoff before the first retry (doubles per attempt, ±50% jitter)")
+	retryCap     = flag.Duration("retry-cap", 2*time.Second, "upper bound on a single backoff sleep, including server Retry-After hints")
 )
 
 func main() {
@@ -65,17 +69,30 @@ func main() {
 	}
 }
 
-// sample is one completed request.
+// sample is one completed request: the final attempt's status and latency,
+// plus how many retries it took and how many 429 sheds it saw along the way.
 type sample struct {
 	kind      string // "single", "batch", "swap"
 	status    int
 	latencyUS int64
+	retries   int
+	sheds     int
+}
+
+// transient reports whether a final status should be retried and, at the end
+// of the run, tolerated: transport errors (status 0), overload sheds (429),
+// and unavailability (503) are expected under deliberate overload and chaos
+// testing — the load generator's job is to measure them, not die on them.
+func transient(status int) bool {
+	return status == 0 || status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
 }
 
 // kindSummary aggregates one traffic kind for the report.
 type kindSummary struct {
 	Requests int   `json:"requests"`
 	Non2xx   int   `json:"non_2xx"`
+	Retries  int   `json:"retries,omitempty"`
+	Sheds    int   `json:"sheds,omitempty"`
 	P50US    int64 `json:"p50_us"`
 	P95US    int64 `json:"p95_us"`
 	P99US    int64 `json:"p99_us"`
@@ -95,6 +112,11 @@ type summary struct {
 	Requests            int                    `json:"requests"`
 	Queries             int                    `json:"queries"` // batches count batch-size queries
 	Non2xx              int                    `json:"non_2xx"`
+	TransientFailures   int                    `json:"transient_failures"` // final status still 429/503/transport after retries
+	HardFailures        int                    `json:"hard_failures"`      // final status non-2xx and non-retryable
+	Retries             int                    `json:"retries"`            // extra attempts across all requests
+	Sheds               int                    `json:"sheds"`              // 429 responses observed, including retried ones
+	ShedRate            float64                `json:"shed_rate"`          // sheds / total attempts (requests + retries)
 	AchievedRPS         float64                `json:"achieved_rps"`
 	Kinds               map[string]kindSummary `json:"kinds"`
 	Updates             int                    `json:"updates,omitempty"`
@@ -157,11 +179,11 @@ func run() error {
 			for !stop.Load() {
 				switch roll := rng.Float64(); {
 				case roll < *batchFrac:
-					record(sendBatch(client, base, pick(rng, queries, *batchSize)))
+					record(sendBatch(client, rng, base, pick(rng, queries, *batchSize)))
 				case roll < *batchFrac+*queryFrac:
-					record(sendQuery(client, base, queries[rng.Intn(len(queries))]))
+					record(sendQuery(client, rng, base, queries[rng.Intn(len(queries))]))
 				default:
-					record(sendSingle(client, base, queries[rng.Intn(len(queries))]))
+					record(sendSingle(client, rng, base, queries[rng.Intn(len(queries))]))
 				}
 				if interval > 0 {
 					// Jitter ±25% so the fleet doesn't phase-lock.
@@ -176,9 +198,10 @@ func run() error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed ^ 0x5eed))
 			select {
 			case <-time.After(*duration / 2):
-				record(sendSwap(client, base))
+				record(sendSwap(client, rng, base))
 			case <-waitDone(&stop):
 			}
 		}()
@@ -186,7 +209,7 @@ func run() error {
 
 	var mut *mutator
 	if *mutate {
-		mut = &mutator{client: client, base: base}
+		mut = &mutator{client: client, base: base, rng: rand.New(rand.NewSource(*seed ^ 0x30d1f))}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -222,14 +245,19 @@ func run() error {
 	if err := writeJSON(sum); err != nil {
 		return err
 	}
-	// Exit non-zero when the run observed failures, so CI smoke steps that
-	// shell out to sqoload actually fail. Transport errors are recorded
-	// with status 0 and count as non-2xx.
-	if sum.Non2xx > 0 {
-		return fmt.Errorf("%d of %d requests returned non-2xx", sum.Non2xx, sum.Requests)
+	// Exit non-zero only on hard failures (non-retryable non-2xx) or a run
+	// that got nothing through, so CI smoke steps that shell out to sqoload
+	// actually fail. Transient outcomes — 429 sheds, 503s, transport errors —
+	// are the expected face of deliberate overload and chaos testing: they
+	// are counted and reported, not fatal.
+	if sum.HardFailures > 0 {
+		return fmt.Errorf("%d of %d requests failed hard (non-retryable non-2xx)", sum.HardFailures, sum.Requests)
 	}
 	if sum.Requests == 0 {
 		return fmt.Errorf("no requests completed")
+	}
+	if sum.Non2xx == sum.Requests {
+		return fmt.Errorf("all %d requests failed (%d transient)", sum.Requests, sum.TransientFailures)
 	}
 	return nil
 }
@@ -423,32 +451,66 @@ func waitHealthy(client *http.Client, base string) error {
 	return fmt.Errorf("daemon not healthy: %w", lastErr)
 }
 
-func post(client *http.Client, url string, body any, kind string) sample {
+// post sends one logical request with bounded retries: transient outcomes
+// (429/503/transport error) back off exponentially with ±50% jitter — or by
+// the server's Retry-After hint when it is longer — and try again, up to
+// -retries times. The returned sample carries the final attempt's status and
+// latency plus the retry and shed counts accumulated across attempts.
+func post(client *http.Client, rng *rand.Rand, url string, body any, kind string) sample {
 	data, err := json.Marshal(body)
 	if err != nil {
 		return sample{kind: kind, status: 0}
 	}
+	var sheds int
+	for attempt := 0; ; attempt++ {
+		s, retryAfter := postOnce(client, url, data, kind)
+		if s.status == http.StatusTooManyRequests {
+			sheds++
+		}
+		s.retries, s.sheds = attempt, sheds
+		if !transient(s.status) || attempt >= *retries {
+			return s
+		}
+		d := *retryBase << attempt
+		if retryAfter > d {
+			d = retryAfter
+		}
+		if d > *retryCap {
+			d = *retryCap
+		}
+		d += time.Duration((rng.Float64() - 0.5) * float64(d))
+		time.Sleep(d)
+	}
+}
+
+// postOnce is a single attempt; the second return is the parsed Retry-After
+// header (0 when absent), the server's own estimate of when capacity frees.
+func postOnce(client *http.Client, url string, data []byte, kind string) (sample, time.Duration) {
 	start := time.Now()
 	resp, err := client.Post(url, "application/json", bytes.NewReader(data))
 	lat := time.Since(start).Microseconds()
 	if err != nil {
-		return sample{kind: kind, status: 0, latencyUS: lat}
+		return sample{kind: kind, status: 0, latencyUS: lat}, 0
 	}
 	io.Copy(io.Discard, resp.Body)
+	var retryAfter time.Duration
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		retryAfter = time.Duration(secs) * time.Second
+	}
 	resp.Body.Close()
-	return sample{kind: kind, status: resp.StatusCode, latencyUS: lat}
+	return sample{kind: kind, status: resp.StatusCode, latencyUS: lat}, retryAfter
 }
 
-func sendSingle(client *http.Client, base, query string) sample {
-	return post(client, base+"/optimize", map[string]any{"query": query}, "single")
+func sendSingle(client *http.Client, rng *rand.Rand, base, query string) sample {
+	return post(client, rng, base+"/optimize", map[string]any{"query": query}, "single")
 }
 
-func sendBatch(client *http.Client, base string, queries []string) sample {
-	return post(client, base+"/optimize/batch", map[string]any{"queries": queries}, "batch")
+func sendBatch(client *http.Client, rng *rand.Rand, base string, queries []string) sample {
+	return post(client, rng, base+"/optimize/batch", map[string]any{"queries": queries}, "batch")
 }
 
-func sendQuery(client *http.Client, base, query string) sample {
-	return post(client, base+"/query", map[string]any{"query": query}, "query")
+func sendQuery(client *http.Client, rng *rand.Rand, base, query string) sample {
+	return post(client, rng, base+"/query", map[string]any{"query": query}, "query")
 }
 
 // mutator drives the incremental-update traffic of -mutate: every
@@ -461,6 +523,7 @@ func sendQuery(client *http.Client, base, query string) sample {
 type mutator struct {
 	client *http.Client
 	base   string
+	rng    *rand.Rand
 	sent   int
 	seq    int
 
@@ -488,7 +551,7 @@ func (m *mutator) run(stop *atomic.Bool, record func(sample)) {
 		} else {
 			body = map[string]any{"remove": []string{fmt.Sprintf("zload%d", m.seq)}}
 		}
-		record(post(m.client, m.base+"/catalog/update", body, "update"))
+		record(post(m.client, m.rng, m.base+"/catalog/update", body, "update"))
 		m.sent++
 	}
 }
@@ -550,12 +613,12 @@ func fetchCacheCounters(client *http.Client, base string) (cacheCounters, error)
 // sendSwap re-renders the logistics constraint catalog and swaps it in: a
 // content-level no-op, but a real epoch bump that purges the result cache —
 // exactly the invalidation a production catalog update causes.
-func sendSwap(client *http.Client, base string) sample {
+func sendSwap(client *http.Client, rng *rand.Rand, base string) sample {
 	var lines []string
 	for _, c := range sqo.LogisticsConstraints().All() {
 		lines = append(lines, c.String())
 	}
-	return post(client, base+"/catalog/swap", map[string]any{"catalog": strings.Join(lines, "\n")}, "swap")
+	return post(client, rng, base+"/catalog/swap", map[string]any{"catalog": strings.Join(lines, "\n")}, "swap")
 }
 
 func summarize(samples []sample, elapsed time.Duration) summary {
@@ -571,9 +634,18 @@ func summarize(samples []sample, elapsed time.Duration) summary {
 	for _, s := range samples {
 		k := sum.Kinds[s.kind]
 		k.Requests++
+		k.Retries += s.retries
+		k.Sheds += s.sheds
+		sum.Retries += s.retries
+		sum.Sheds += s.sheds
 		if s.status < 200 || s.status > 299 {
 			k.Non2xx++
 			sum.Non2xx++
+			if transient(s.status) {
+				sum.TransientFailures++
+			} else {
+				sum.HardFailures++
+			}
 		}
 		sum.Kinds[s.kind] = k
 		byKind[s.kind] = append(byKind[s.kind], s.latencyUS)
@@ -595,6 +667,9 @@ func summarize(samples []sample, elapsed time.Duration) summary {
 	if elapsed > 0 {
 		sum.AchievedRPS = float64(len(samples)) / elapsed.Seconds()
 	}
+	if attempts := sum.Requests + sum.Retries; attempts > 0 {
+		sum.ShedRate = float64(sum.Sheds) / float64(attempts)
+	}
 	return sum
 }
 
@@ -613,6 +688,10 @@ func percentile(sorted []int64, q float64) int64 {
 func printHuman(sum summary) {
 	fmt.Printf("sqoload: %d requests (%d queries) in %.1fs against %s — %.1f req/s, %d non-2xx\n",
 		sum.Requests, sum.Queries, sum.DurationS, sum.Addr, sum.AchievedRPS, sum.Non2xx)
+	if sum.Retries > 0 || sum.Sheds > 0 {
+		fmt.Printf("  overload: %d sheds (%.1f%% of attempts), %d retries, %d transient / %d hard failures after retry\n",
+			sum.Sheds, sum.ShedRate*100, sum.Retries, sum.TransientFailures, sum.HardFailures)
+	}
 	if c := sum.Cache; c != nil {
 		fmt.Printf("  cache: %.1f%% hit-rate (%d exact / %d canonical / %d subsumption hits, %d misses)\n",
 			c.HitRate*100, c.ExactHits, c.CanonicalHits, c.SubsumptionHits, c.Misses)

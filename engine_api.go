@@ -13,8 +13,10 @@ import (
 	"sqo/internal/core"
 	"sqo/internal/delta"
 	"sqo/internal/exec"
+	"sqo/internal/faultinject"
 	"sqo/internal/index"
 	"sqo/internal/predicate"
+	"sqo/internal/resilience"
 	"sqo/internal/symtab"
 )
 
@@ -55,6 +57,24 @@ type Engine struct {
 	// statistics model formulation depends on the whole query, so a
 	// derived result could diverge from cold optimization).
 	subsume bool
+
+	// degrade is the serving degradation level (resilience.Level*), set by
+	// an overloaded serving layer and read once per Optimize. Every level is
+	// answer-preserving: it gates which optimizations of the *serving path*
+	// run (subsumption probing, canonical cache keys), never which semantic
+	// transformations apply — see SetDegradation.
+	degrade atomic.Int32
+
+	// quar short-circuits queries whose optimization panicked repeatedly
+	// (fingerprint-keyed), so one reproducible crash input cannot take the
+	// node down panic by panic.
+	quar *resilience.Quarantine
+
+	// faults injects optimizer/executor panics under SQO_FAULTS; nil in
+	// production.
+	faults *faultinject.Injector
+
+	panicsRecovered atomic.Int64
 
 	swapMu sync.Mutex // serializes SwapCatalog/UpdateCatalog (readers never take it)
 
@@ -198,6 +218,14 @@ func NewEngine(s *Schema, opts ...EngineOption) (*Engine, error) {
 		cfg.cache.Canonicalize = true
 	}
 	e := &Engine{schema: s, cfg: cfg}
+	e.quar = resilience.NewQuarantine(resilience.QuarantineConfig{})
+	faults, err := faultinject.FromEnv()
+	if err != nil {
+		return nil, err
+	}
+	if faults.Active("optimize.") || faults.Active("execute.") {
+		e.faults = faults
+	}
 	if cfg.cache.Capacity > 0 {
 		e.cache = newResultCache(cfg.cache.Capacity)
 		if cfg.cache.Subsume && cfg.source == nil {
@@ -212,7 +240,11 @@ func NewEngine(s *Schema, opts ...EngineOption) (*Engine, error) {
 		}
 	}
 	if cfg.db != nil {
-		e.runner = exec.New(cfg.db)
+		if faults.Active("storage.") {
+			e.runner = exec.NewWith(cfg.db, faultinject.WrapDB(cfg.db, faults))
+		} else {
+			e.runner = exec.New(cfg.db)
+		}
 	}
 	if cfg.snap != nil {
 		// Warm restore: adopt the snapshot's compiled generation instead of
@@ -308,8 +340,15 @@ func (e *Engine) Optimize(ctx context.Context, q *Query) (*Result, error) {
 		return nil, errors.New("sqo: Optimize requires a query")
 	}
 	st := e.state.Load()
+	// The degradation level gates serving-path optimizations only. Each gate
+	// is answer-preserving: disabling subsumption just skips a derivation
+	// shortcut, and disabling canonicalization keys the cache by the raw
+	// fingerprint — a raw-keyed and a canonical-keyed entry can only collide
+	// when the query already is its own canonical form, in which case they
+	// are the same bytes (see canonFingerprintWith).
+	level := int(e.degrade.Load())
 	var key cacheKey
-	canonMode := e.cache != nil && e.cfg.cache.Canonicalize
+	canonMode := e.cache != nil && e.cfg.cache.Canonicalize && level < resilience.LevelNoCanon
 	var red *canon.Reduction
 	if e.cache != nil {
 		if canonMode {
@@ -333,6 +372,18 @@ func (e *Engine) Optimize(ctx context.Context, q *Query) (*Result, error) {
 			return res, nil
 		}
 	}
+	// Poison-query short circuit: a fingerprint that panicked the optimizer
+	// repeatedly is refused here, before any transformation work. The check
+	// sits past the cache lookup on purpose — the 0-alloc hit path never
+	// pays for it, and a poison query cannot be cached (it never produced a
+	// result).
+	qk := e.quarKey(st, key, q)
+	if e.quar.Blocked(qk) {
+		if canonMode {
+			reductionPool.Put(red)
+		}
+		return nil, &QuarantinedError{Fingerprint: QueryFingerprint{Hi: qk[0], Lo: qk[1]}}
+	}
 	runQ := q
 	if canonMode {
 		// Miss: optimize the canonical form, so the cached result is
@@ -340,7 +391,7 @@ func (e *Engine) Optimize(ctx context.Context, q *Query) (*Result, error) {
 		// which syntactic variant arrived first.
 		runQ = canon.Canonicalize(q, red)
 		reductionPool.Put(red)
-		if e.subsume {
+		if e.subsume && level < resilience.LevelNoSubsume {
 			if res := e.trySubsume(st, key, runQ); res != nil {
 				e.optimizations.Add(1)
 				return res, nil
@@ -356,13 +407,13 @@ func (e *Engine) Optimize(ctx context.Context, q *Query) (*Result, error) {
 			defer cancel()
 		}
 	}
-	res, err := st.opt.OptimizeContext(ctx, runQ)
+	res, err := e.optimizeGuarded(ctx, st, runQ, qk)
 	if err != nil {
 		return nil, err
 	}
 	e.optimizations.Add(1)
 	if e.cache != nil {
-		if e.subsume {
+		if e.subsume && canonMode {
 			env := cacheKey{epoch: st.epoch, fp: envelopeFingerprintWith(runQ, st.syms)}
 			e.cache.putGen(key, env, runQ, res)
 		} else {
@@ -816,6 +867,13 @@ type EngineStats struct {
 	// zero when the index is disabled or superseded (WithGrouping,
 	// WithConstraintSource).
 	ConstraintIndex IndexStats
+	// DegradationLevel is the serving degradation level in force (0 =
+	// full serving; see SetDegradation); PanicsRecovered counts panics the
+	// optimizer/executor guards converted into errors; Quarantine describes
+	// the poison-query register.
+	DegradationLevel int
+	PanicsRecovered  int64
+	Quarantine       resilience.QuarantineStats
 }
 
 // Stats returns a snapshot of the engine's counters. Safe to call
@@ -834,6 +892,9 @@ func (e *Engine) Stats() EngineStats {
 		ExecPagesScanned:    e.execPages.Load(),
 		ExecIndexProbes:     e.execProbes.Load(),
 		ExecObjectFetches:   e.execFetches.Load(),
+		DegradationLevel:    int(e.degrade.Load()),
+		PanicsRecovered:     e.panicsRecovered.Load(),
+		Quarantine:          e.quar.Stats(),
 	}
 	s.Constraints = st.constraintCount()
 	if st.active != nil {

@@ -37,7 +37,9 @@ func (e *Engine) Execute(ctx context.Context, q *Query) (*Execution, error) {
 	if err != nil {
 		return nil, err
 	}
-	out, err := e.runner.ExecuteOptimized(ctx, res)
+	out, err := e.executeGuarded(q, func() (*Execution, error) {
+		return e.runner.ExecuteOptimized(ctx, res)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -56,7 +58,9 @@ func (e *Engine) ExecuteRaw(ctx context.Context, q *Query) (*Execution, error) {
 	if q == nil {
 		return nil, errors.New("sqo: ExecuteRaw requires a query")
 	}
-	out, err := e.runner.Execute(ctx, q)
+	out, err := e.executeGuarded(q, func() (*Execution, error) {
+		return e.runner.Execute(ctx, q)
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -63,17 +63,41 @@ func (r *Result) Canonical() []string {
 // Cost prices the result's meter with the given weights.
 func (r *Result) Cost(w engine.CostWeights) float64 { return w.Cost(r.Meter) }
 
+// Store is the read surface the run loop drives: exactly the five database
+// methods an executing plan touches. *storage.Database satisfies it
+// directly; the fault-injection harness satisfies it with a wrapper that
+// interposes on each call. Planning always sees the concrete database (the
+// planner needs its statistics), so a wrapper perturbs execution only.
+type Store interface {
+	Scan(class string, m *storage.Meter, fn func(storage.Instance) bool) error
+	Get(class string, oid storage.OID, m *storage.Meter) (storage.Instance, error)
+	IndexLookup(class, attr string, op storage.IndexOp, v value.Value, m *storage.Meter) ([]storage.OID, error)
+	Traverse(rel string, from string, oid storage.OID, m *storage.Meter) ([]storage.OID, error)
+	AttrIndexOf(class, attr string) (int, error)
+}
+
 // Executor runs queries end-to-end over one database. Construct with New;
 // safe for concurrent use (the underlying database allows concurrent reads).
 type Executor struct {
 	db      *storage.Database
+	access  Store
 	planner *engine.Executor
 }
 
 // New builds an executor over the database, sharing the greedy planner (and
 // its statistics snapshot) with internal/engine.
 func New(db *storage.Database) *Executor {
-	return &Executor{db: db, planner: engine.New(db)}
+	return &Executor{db: db, access: db, planner: engine.New(db)}
+}
+
+// NewWith builds an executor that plans against db but reads through access —
+// the seam the fault-injection harness uses to perturb the read path without
+// disturbing plan selection.
+func NewWith(db *storage.Database, access Store) *Executor {
+	if access == nil {
+		access = db
+	}
+	return &Executor{db: db, access: access, planner: engine.New(db)}
 }
 
 // Database returns the database this executor runs against.
@@ -147,7 +171,7 @@ func (x *Executor) compile(q *query.Query, plan *engine.Plan) (*compiledPlan, ma
 	}
 	for i, st := range plan.Steps {
 		for _, p := range st.Filters {
-			ai, err := x.db.AttrIndexOf(st.Class, p.Left.Attr)
+			ai, err := x.access.AttrIndexOf(st.Class, p.Left.Attr)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -162,11 +186,11 @@ func (x *Executor) compile(q *query.Query, plan *engine.Plan) (*compiledPlan, ma
 			if !ok {
 				return nil, nil, fmt.Errorf("exec: join %s references unplanned class", j)
 			}
-			la, err := x.db.AttrIndexOf(j.Left.Class, j.Left.Attr)
+			la, err := x.access.AttrIndexOf(j.Left.Class, j.Left.Attr)
 			if err != nil {
 				return nil, nil, err
 			}
-			ra, err := x.db.AttrIndexOf(j.RightAttr.Class, j.RightAttr.Attr)
+			ra, err := x.access.AttrIndexOf(j.RightAttr.Class, j.RightAttr.Attr)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -179,7 +203,7 @@ func (x *Executor) compile(q *query.Query, plan *engine.Plan) (*compiledPlan, ma
 		if !ok {
 			return nil, nil, fmt.Errorf("exec: projection %s references unplanned class", a)
 		}
-		ai, err := x.db.AttrIndexOf(a.Class, a.Attr)
+		ai, err := x.access.AttrIndexOf(a.Class, a.Attr)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -230,7 +254,7 @@ func (x *Executor) run(ctx context.Context, q *query.Query, plan *engine.Plan) (
 			if stepIdx != 0 {
 				return nil, fmt.Errorf("exec: non-seed scan step at position %d", stepIdx)
 			}
-			err := x.db.Scan(st.Class, m, func(inst storage.Instance) bool {
+			err := x.access.Scan(st.Class, m, func(inst storage.Instance) bool {
 				return admit(stepIdx, inst, nil, &next)
 			})
 			if err != nil {
@@ -245,12 +269,12 @@ func (x *Executor) run(ctx context.Context, q *query.Query, plan *engine.Plan) (
 			if !ok {
 				return nil, fmt.Errorf("exec: predicate %s cannot use an index", st.IndexPred)
 			}
-			oids, err := x.db.IndexLookup(st.Class, st.IndexPred.Left.Attr, op, st.IndexPred.Const, m)
+			oids, err := x.access.IndexLookup(st.Class, st.IndexPred.Left.Attr, op, st.IndexPred.Const, m)
 			if err != nil {
 				return nil, err
 			}
 			for _, oid := range oids {
-				inst, err := x.db.Get(st.Class, oid, m)
+				inst, err := x.access.Get(st.Class, oid, m)
 				if err != nil {
 					return nil, err
 				}
@@ -266,12 +290,12 @@ func (x *Executor) run(ctx context.Context, q *query.Query, plan *engine.Plan) (
 			}
 		traverse:
 			for _, b := range bindings {
-				oids, err := x.db.Traverse(st.ViaRel, st.FromClass, b[fromPos].OID, m)
+				oids, err := x.access.Traverse(st.ViaRel, st.FromClass, b[fromPos].OID, m)
 				if err != nil {
 					return nil, err
 				}
 				for _, oid := range oids {
-					inst, err := x.db.Get(st.Class, oid, m)
+					inst, err := x.access.Get(st.Class, oid, m)
 					if err != nil {
 						return nil, err
 					}

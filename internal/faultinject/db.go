@@ -1,0 +1,54 @@
+package faultinject
+
+import (
+	"sqo/internal/storage"
+	"sqo/internal/value"
+)
+
+// DB wraps a database's read surface with fault injection: each read either
+// fails with an injected error (or absorbs injected latency) or passes
+// through untouched. It satisfies the executor's Store interface; wire it
+// with exec.NewWith so planning still sees the concrete database.
+type DB struct {
+	*storage.Database
+	In *Injector
+}
+
+// WrapDB interposes in on db's read surface. A nil injector or one with no
+// storage.* rules returns a wrapper that is pure pass-through (the per-call
+// overhead is one nil-map lookup), so callers may wrap unconditionally.
+func WrapDB(db *storage.Database, in *Injector) *DB {
+	return &DB{Database: db, In: in}
+}
+
+// Scan injects on storage.scan, then delegates.
+func (d *DB) Scan(class string, m *storage.Meter, fn func(storage.Instance) bool) error {
+	if err := d.In.Fire("storage.scan"); err != nil {
+		return err
+	}
+	return d.Database.Scan(class, m, fn)
+}
+
+// Get injects on storage.get, then delegates.
+func (d *DB) Get(class string, oid storage.OID, m *storage.Meter) (storage.Instance, error) {
+	if err := d.In.Fire("storage.get"); err != nil {
+		return storage.Instance{}, err
+	}
+	return d.Database.Get(class, oid, m)
+}
+
+// IndexLookup injects on storage.lookup, then delegates.
+func (d *DB) IndexLookup(class, attr string, op storage.IndexOp, v value.Value, m *storage.Meter) ([]storage.OID, error) {
+	if err := d.In.Fire("storage.lookup"); err != nil {
+		return nil, err
+	}
+	return d.Database.IndexLookup(class, attr, op, v, m)
+}
+
+// Traverse injects on storage.traverse, then delegates.
+func (d *DB) Traverse(rel string, from string, oid storage.OID, m *storage.Meter) ([]storage.OID, error) {
+	if err := d.In.Fire("storage.traverse"); err != nil {
+		return nil, err
+	}
+	return d.Database.Traverse(rel, from, oid, m)
+}

@@ -1,0 +1,307 @@
+// Package faultinject is the chaos harness of the serving stack: an
+// env-gated injector of probabilistic errors, latency, partial writes and
+// panics, threaded through the storage read surface, the snapshot store's
+// file I/O and the optimizer entry points. Production binaries run with it
+// completely inert — every seam is a nil-receiver method call that compiles
+// to a pointer test — while a soak run sets SQO_FAULTS and proves the
+// resilience layer's contracts (torn-tail truncation, refuse-and-cold-build,
+// update failure atomicity, panic quarantine) under real injected faults.
+//
+// The spec is a comma-separated list of op=probability rules:
+//
+//	SQO_FAULTS="seed=7,storage.scan=0.01,journal.partial=0.05,optimize.panic=0.002:poison"
+//
+// A rule may carry one suffix after a colon: a duration (inject latency
+// instead of an error, e.g. storage.get=0.05:2ms) or the word "poison"
+// (make the decision sticky per key — the same query always fires, the way
+// a real poison input does). "seed=N" fixes the PRNG so a soak is
+// reproducible.
+//
+// Known ops:
+//
+//	storage.scan / storage.get / storage.lookup / storage.traverse
+//	    errors (or latency) on the executor's database read surface
+//	journal.append      error before a journal record is written
+//	journal.partial     torn write: a prefix of the frame lands, then error
+//	snapshot.write      error before the snapshot file replaces
+//	snapshot.corrupt    one byte of the snapshot flips on read (boot-time)
+//	optimize.panic      panic inside the optimizer (use :poison for
+//	                    quarantine-reachable repeat offenders)
+//	execute.panic       panic inside the execution runner
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// EnvVar is the environment variable holding the fault spec.
+const EnvVar = "SQO_FAULTS"
+
+// ErrInjected marks every error the harness fabricates, so tests and soak
+// gates can tell injected faults from real ones.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// knownOps guards against silently-dead rules from a typo in the spec.
+var knownOps = map[string]bool{
+	"storage.scan": true, "storage.get": true, "storage.lookup": true,
+	"storage.traverse": true, "journal.append": true, "journal.partial": true,
+	"snapshot.write": true, "snapshot.corrupt": true,
+	"optimize.panic": true, "execute.panic": true,
+}
+
+// Rule is one op's injection behavior.
+type Rule struct {
+	// Prob is the per-call firing probability in [0, 1].
+	Prob float64
+	// Latency, when non-zero, makes a firing inject a sleep instead of an
+	// error.
+	Latency time.Duration
+	// Sticky makes the decision a pure function of the call's key: the
+	// same key either always fires or never does (poison-input shape).
+	Sticky bool
+}
+
+// Injector holds a parsed fault spec. All methods are safe on a nil
+// receiver (no-ops), so call sites thread it unconditionally.
+type Injector struct {
+	seed  uint64
+	ctr   atomic.Uint64
+	rules map[string]*ruleState
+}
+
+type ruleState struct {
+	rule  Rule
+	fired atomic.Int64
+	calls atomic.Int64
+}
+
+// Parse builds an injector from a spec string. An empty spec returns
+// (nil, nil) — injection disabled.
+func Parse(spec string) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	in := &Injector{seed: 0x5eed5eed5eed5eed, rules: map[string]*ruleState{}}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		op, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: rule %q is not op=value", field)
+		}
+		op = strings.TrimSpace(op)
+		if op == "seed" {
+			s, err := strconv.ParseUint(strings.TrimSpace(val), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: seed %q: %v", val, err)
+			}
+			in.seed = mix64(s ^ 0x9e3779b97f4a7c15)
+			continue
+		}
+		if !knownOps[op] {
+			return nil, fmt.Errorf("faultinject: unknown op %q", op)
+		}
+		probStr, suffix, _ := strings.Cut(val, ":")
+		prob, err := strconv.ParseFloat(strings.TrimSpace(probStr), 64)
+		if err != nil || prob < 0 || prob > 1 {
+			return nil, fmt.Errorf("faultinject: %s probability %q not in [0,1]", op, probStr)
+		}
+		r := Rule{Prob: prob}
+		if suffix = strings.TrimSpace(suffix); suffix != "" {
+			if suffix == "poison" {
+				r.Sticky = true
+			} else {
+				d, err := time.ParseDuration(suffix)
+				if err != nil {
+					return nil, fmt.Errorf("faultinject: %s suffix %q is neither a duration nor \"poison\"", op, suffix)
+				}
+				r.Latency = d
+			}
+		}
+		in.rules[op] = &ruleState{rule: r}
+	}
+	if len(in.rules) == 0 {
+		return nil, nil
+	}
+	return in, nil
+}
+
+// FromEnv parses SQO_FAULTS. Unset or empty returns (nil, nil).
+func FromEnv() (*Injector, error) {
+	return Parse(os.Getenv(EnvVar))
+}
+
+// Active reports whether any configured op starts with prefix — the wrap
+// decision ("is any storage.* rule live?"). Safe on nil.
+func (in *Injector) Active(prefix string) bool {
+	if in == nil {
+		return false
+	}
+	for op := range in.rules {
+		if strings.HasPrefix(op, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// roll draws the next deterministic uniform in [0, 1).
+func (in *Injector) roll() float64 {
+	n := in.ctr.Add(1)
+	return float64(mix64(n^in.seed)>>11) / (1 << 53)
+}
+
+// decide evaluates op's rule for a call, recording counters. key matters
+// only for sticky rules.
+func (in *Injector) decide(op string, key uint64) (Rule, bool) {
+	if in == nil {
+		return Rule{}, false
+	}
+	st, ok := in.rules[op]
+	if !ok {
+		return Rule{}, false
+	}
+	st.calls.Add(1)
+	var fire bool
+	if st.rule.Sticky {
+		fire = float64(mix64(key^in.seed^fpOp(op))>>11)/(1<<53) < st.rule.Prob
+	} else {
+		fire = in.roll() < st.rule.Prob
+	}
+	if fire {
+		st.fired.Add(1)
+	}
+	return st.rule, fire
+}
+
+// Fire evaluates op: a latency rule sleeps and returns nil; an error rule
+// returns an injected error. Keyless (non-sticky) form.
+func (in *Injector) Fire(op string) error {
+	r, fire := in.decide(op, 0)
+	if !fire {
+		return nil
+	}
+	if r.Latency > 0 {
+		time.Sleep(r.Latency)
+		return nil
+	}
+	return fmt.Errorf("%w: %s", ErrInjected, op)
+}
+
+// ShouldPanic evaluates a panic op for the given key (the query
+// fingerprint under a :poison rule). The caller owns the actual panic so
+// it originates inside the guarded region.
+func (in *Injector) ShouldPanic(op string, key uint64) bool {
+	_, fire := in.decide(op, key)
+	return fire
+}
+
+// Partial evaluates a partial-write op: when it fires, the caller must
+// write only frame[:keep] and fail the operation. keep is deterministic in
+// the frame and strictly shorter than it.
+func (in *Injector) Partial(op string, frameLen int) (keep int, fire bool) {
+	_, fire = in.decide(op, 0)
+	if !fire || frameLen == 0 {
+		return 0, fire
+	}
+	return int(mix64(in.ctr.Add(1)^in.seed) % uint64(frameLen)), true
+}
+
+// Corrupt evaluates a corruption op: when it fires, one deterministic byte
+// of a copy of data is flipped and the copy returned; otherwise data is
+// returned untouched.
+func (in *Injector) Corrupt(op string, data []byte) []byte {
+	_, fire := in.decide(op, 0)
+	if !fire || len(data) == 0 {
+		return data
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	out[mix64(in.ctr.Add(1)^in.seed)%uint64(len(out))] ^= 0xff
+	return out
+}
+
+// OpStats is one op's injection counters.
+type OpStats struct {
+	Calls int64 `json:"calls"`
+	Fired int64 `json:"fired"`
+}
+
+// Stats reports per-op counters, keyed by op, sorted-key iterable via
+// Ops(). Safe on nil (returns nil).
+func (in *Injector) Stats() map[string]OpStats {
+	if in == nil {
+		return nil
+	}
+	out := make(map[string]OpStats, len(in.rules))
+	for op, st := range in.rules {
+		out[op] = OpStats{Calls: st.calls.Load(), Fired: st.fired.Load()}
+	}
+	return out
+}
+
+// Ops lists the configured ops in sorted order.
+func (in *Injector) Ops() []string {
+	if in == nil {
+		return nil
+	}
+	ops := make([]string, 0, len(in.rules))
+	for op := range in.rules {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	return ops
+}
+
+// String renders the active rules for a startup log line.
+func (in *Injector) String() string {
+	if in == nil {
+		return "off"
+	}
+	var b strings.Builder
+	for i, op := range in.Ops() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		r := in.rules[op].rule
+		fmt.Fprintf(&b, "%s=%g", op, r.Prob)
+		switch {
+		case r.Sticky:
+			b.WriteString(":poison")
+		case r.Latency > 0:
+			fmt.Fprintf(&b, ":%s", r.Latency)
+		}
+	}
+	return b.String()
+}
+
+// fpOp hashes an op name so sticky decisions for different ops on the same
+// key are independent.
+func fpOp(op string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(op); i++ {
+		h ^= uint64(op[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

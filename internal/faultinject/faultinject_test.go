@@ -1,0 +1,226 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseDisabled(t *testing.T) {
+	for _, spec := range []string{"", "   ", ",,"} {
+		in, err := Parse(spec)
+		if err != nil || in != nil {
+			t.Fatalf("Parse(%q) = %v, %v; want nil, nil", spec, in, err)
+		}
+	}
+	// Every method must be a no-op on the nil injector.
+	var nilIn *Injector
+	if nilIn.Active("storage.") {
+		t.Fatal("nil injector active")
+	}
+	if err := nilIn.Fire("storage.scan"); err != nil {
+		t.Fatal(err)
+	}
+	if nilIn.ShouldPanic("optimize.panic", 42) {
+		t.Fatal("nil injector panics")
+	}
+	if _, fire := nilIn.Partial("journal.partial", 100); fire {
+		t.Fatal("nil injector partial")
+	}
+	if got := nilIn.Corrupt("snapshot.corrupt", []byte{1}); got[0] != 1 {
+		t.Fatal("nil injector corrupted")
+	}
+	if nilIn.Stats() != nil || nilIn.Ops() != nil {
+		t.Fatal("nil injector has stats")
+	}
+	if nilIn.String() != "off" {
+		t.Fatalf("nil String = %q", nilIn.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"storage.scan",           // no '='
+		"nosuch.op=0.5",          // unknown op
+		"storage.scan=1.5",       // prob out of range
+		"storage.scan=x",         // prob not a number
+		"seed=notanumber",        // bad seed
+		"storage.scan=0.5:wrong", // suffix neither duration nor poison
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Fatalf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestFireProbabilities(t *testing.T) {
+	in, err := Parse("seed=1,storage.scan=1,storage.get=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Fire("storage.scan"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("prob=1 did not fire: %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := in.Fire("storage.get"); err != nil {
+			t.Fatalf("prob=0 fired: %v", err)
+		}
+	}
+	// Unconfigured op never fires.
+	if err := in.Fire("storage.traverse"); err != nil {
+		t.Fatal(err)
+	}
+	st := in.Stats()
+	if st["storage.scan"].Fired != 1 || st["storage.get"].Calls != 100 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestFireMidProbability(t *testing.T) {
+	in, err := Parse("seed=7,storage.scan=0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for i := 0; i < 2000; i++ {
+		if in.Fire("storage.scan") != nil {
+			fired++
+		}
+	}
+	// Binomial(2000, 0.3): mean 600, σ ≈ 20.5. ±10σ bounds.
+	if fired < 400 || fired > 800 {
+		t.Fatalf("fired %d/2000 at p=0.3", fired)
+	}
+}
+
+func TestLatencyRule(t *testing.T) {
+	in, err := Parse("storage.get=1:20ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := in.Fire("storage.get"); err != nil {
+		t.Fatalf("latency rule returned error: %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("latency rule slept only %v", d)
+	}
+}
+
+func TestStickyPanicDecision(t *testing.T) {
+	in, err := Parse("seed=3,optimize.panic=0.1:poison")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic per key: repeated evaluation never changes the verdict.
+	var poison, clean uint64
+	found := 0
+	for k := uint64(0); k < 4096 && found < 2; k++ {
+		if in.ShouldPanic("optimize.panic", k) {
+			if poison == 0 {
+				poison, found = k, found+1
+			}
+		} else if clean == 0 && k > 0 {
+			clean, found = k, found+1
+		}
+	}
+	if found < 2 {
+		t.Fatal("could not find both a poison and a clean key")
+	}
+	for i := 0; i < 50; i++ {
+		if !in.ShouldPanic("optimize.panic", poison) {
+			t.Fatal("poison key stopped firing")
+		}
+		if in.ShouldPanic("optimize.panic", clean) {
+			t.Fatal("clean key fired")
+		}
+	}
+}
+
+func TestPartialKeepsPrefix(t *testing.T) {
+	in, err := Parse("journal.partial=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		keep, fire := in.Partial("journal.partial", 64)
+		if !fire {
+			t.Fatal("prob=1 partial did not fire")
+		}
+		if keep < 0 || keep >= 64 {
+			t.Fatalf("keep=%d outside [0,64)", keep)
+		}
+	}
+}
+
+func TestCorruptFlipsOneByte(t *testing.T) {
+	in, err := Parse("snapshot.corrupt=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	got := in.Corrupt("snapshot.corrupt", orig)
+	diff := 0
+	for i := range orig {
+		if got[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", diff)
+	}
+	// The input slice must be untouched.
+	if orig[0] != 1 || orig[7] != 8 {
+		t.Fatal("Corrupt mutated its input")
+	}
+}
+
+func TestActiveAndString(t *testing.T) {
+	in, err := Parse("storage.scan=0.5,journal.append=0.1,optimize.panic=0.01:poison,storage.get=1:5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Active("storage.") || !in.Active("journal.") || in.Active("snapshot.") {
+		t.Fatal("Active prefixes wrong")
+	}
+	s := in.String()
+	for _, want := range []string{"storage.scan=0.5", "optimize.panic=0.01:poison", "storage.get=1:5ms"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	t.Setenv(EnvVar, "storage.scan=1")
+	in, err := FromEnv()
+	if err != nil || in == nil {
+		t.Fatalf("FromEnv: %v, %v", in, err)
+	}
+	t.Setenv(EnvVar, "")
+	in, err = FromEnv()
+	if err != nil || in != nil {
+		t.Fatalf("FromEnv empty: %v, %v", in, err)
+	}
+}
+
+func TestSeedReproducibility(t *testing.T) {
+	run := func() []bool {
+		in, err := Parse("seed=11,storage.scan=0.5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.Fire("storage.scan") != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+}

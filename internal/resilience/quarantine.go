@@ -1,0 +1,183 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// Key identifies a query in the quarantine: the engine's 128-bit query
+// fingerprint. Keys are compared exactly; two syntactic variants of one
+// poison query share a key exactly when they share a cache slot.
+type Key [2]uint64
+
+// QuarantineConfig sizes the quarantine.
+type QuarantineConfig struct {
+	// Strikes is how many recovered panics a fingerprint accumulates
+	// before it is quarantined (default 2): the first panic could be a
+	// transient (a fault-injection hit, a corrupted page); the second
+	// proves the query itself is the trigger.
+	Strikes int
+	// MaxTracked bounds the strike table (default 4096). At the bound,
+	// the oldest non-quarantined entry is evicted first — confirmed
+	// poison stays pinned.
+	MaxTracked int
+}
+
+// Quarantine is the poison-query register: queries whose optimization
+// panicked repeatedly are short-circuited to an error before they re-enter
+// the optimizer, so one reproducible crash input cannot grind a node down
+// panic by panic. Recovery converts each panic into an error (the request
+// fails cleanly); the quarantine makes the *repeat* cheap.
+type Quarantine struct {
+	mu      sync.Mutex
+	cfg     QuarantineConfig
+	entries map[Key]*quarEntry
+	order   []Key // insertion order, for bounded eviction
+
+	strikes     int64
+	quarantined int64
+	blocked     int64
+}
+
+type quarEntry struct {
+	strikes  int
+	lastMsg  string
+	firstHit time.Time
+	lastHit  time.Time
+}
+
+// NewQuarantine builds an empty quarantine.
+func NewQuarantine(cfg QuarantineConfig) *Quarantine {
+	if cfg.Strikes <= 0 {
+		cfg.Strikes = 2
+	}
+	if cfg.MaxTracked <= 0 {
+		cfg.MaxTracked = 4096
+	}
+	return &Quarantine{cfg: cfg, entries: make(map[Key]*quarEntry)}
+}
+
+// Blocked reports whether k is quarantined, counting the short-circuit.
+func (q *Quarantine) Blocked(k Key) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	e, ok := q.entries[k]
+	if !ok || e.strikes < q.cfg.Strikes {
+		return false
+	}
+	q.blocked++
+	e.lastHit = time.Now()
+	return true
+}
+
+// Strike records one recovered panic for k and returns the strike count.
+// Reaching the configured strike limit quarantines the fingerprint.
+func (q *Quarantine) Strike(k Key, msg string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.strikes++
+	e, ok := q.entries[k]
+	if !ok {
+		q.evictIfFullLocked()
+		e = &quarEntry{firstHit: time.Now()}
+		q.entries[k] = e
+		q.order = append(q.order, k)
+	}
+	e.strikes++
+	e.lastMsg = msg
+	e.lastHit = time.Now()
+	if e.strikes == q.cfg.Strikes {
+		q.quarantined++
+	}
+	return e.strikes
+}
+
+// evictIfFullLocked makes room for one entry, preferring the oldest
+// sub-threshold entry and falling back to the oldest outright.
+func (q *Quarantine) evictIfFullLocked() {
+	if len(q.entries) < q.cfg.MaxTracked {
+		return
+	}
+	victim := -1
+	for i, k := range q.order {
+		if e, ok := q.entries[k]; ok && e.strikes < q.cfg.Strikes {
+			victim = i
+			break
+		}
+	}
+	if victim == -1 && len(q.order) > 0 {
+		victim = 0
+	}
+	if victim >= 0 {
+		delete(q.entries, q.order[victim])
+		q.order = append(q.order[:victim], q.order[victim+1:]...)
+	}
+}
+
+// Reset clears every entry — the operator's "the bad deploy is rolled
+// back" lever — returning how many fingerprints were dropped.
+func (q *Quarantine) Reset() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := len(q.entries)
+	q.entries = make(map[Key]*quarEntry)
+	q.order = nil
+	return n
+}
+
+// QuarantineStats is a point-in-time view of the register.
+type QuarantineStats struct {
+	// Tracked is how many fingerprints carry at least one strike;
+	// Quarantined how many have crossed the strike limit (cumulative —
+	// Reset does not rewind it).
+	Tracked     int   `json:"tracked"`
+	Quarantined int64 `json:"quarantined"`
+	// Strikes counts recovered panics registered; Blocked counts
+	// requests short-circuited by an active quarantine.
+	Strikes int64 `json:"strikes"`
+	Blocked int64 `json:"blocked"`
+}
+
+// Stats snapshots the quarantine.
+func (q *Quarantine) Stats() QuarantineStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return QuarantineStats{
+		Tracked:     len(q.entries),
+		Quarantined: q.quarantined,
+		Strikes:     q.strikes,
+		Blocked:     q.blocked,
+	}
+}
+
+// QuarantineEntry is one register row, for the inspection endpoint.
+type QuarantineEntry struct {
+	Key      Key       `json:"-"`
+	Strikes  int       `json:"strikes"`
+	Active   bool      `json:"active"`
+	LastMsg  string    `json:"last_panic"`
+	FirstHit time.Time `json:"first_hit"`
+	LastHit  time.Time `json:"last_hit"`
+}
+
+// Entries lists the register in insertion order.
+func (q *Quarantine) Entries() []QuarantineEntry {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]QuarantineEntry, 0, len(q.entries))
+	for _, k := range q.order {
+		e, ok := q.entries[k]
+		if !ok {
+			continue
+		}
+		out = append(out, QuarantineEntry{
+			Key:      k,
+			Strikes:  e.strikes,
+			Active:   e.strikes >= q.cfg.Strikes,
+			LastMsg:  e.lastMsg,
+			FirstHit: e.firstHit,
+			LastHit:  e.lastHit,
+		})
+	}
+	return out
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -157,7 +158,24 @@ func (b *batcher) dispatch(group []*batchReq) {
 		// request's: per-request deadlines are enforced at the submit
 		// wait, and the engine's WithDefaultDeadline (if configured)
 		// bounds the work itself.
-		results, errs := b.eng.OptimizeEach(context.Background(), qs)
+		//
+		// The engine converts per-query panics to errors itself; this
+		// guard covers the dispatch machinery around it, so a panic here
+		// answers every waiter with an error instead of leaving the whole
+		// group blocked on a dead goroutine.
+		results, errs := func() (rs []*sqo.Result, es []error) {
+			defer func() {
+				if rec := recover(); rec != nil {
+					rs = make([]*sqo.Result, len(qs))
+					es = make([]error, len(qs))
+					perr := fmt.Errorf("server: batch dispatch panic (recovered): %v", rec)
+					for i := range es {
+						es[i] = perr
+					}
+				}
+			}()
+			return b.eng.OptimizeEach(context.Background(), qs)
+		}()
 		for i, req := range group {
 			req.out <- batchResp{res: results[i], err: errs[i]}
 		}

@@ -78,6 +78,29 @@ func (h *histogram) snapshot() HistogramSnapshot {
 	return s
 }
 
+// histCursor is a caller-held copy of the bucket counters, the baseline a
+// windowed quantile measures growth against.
+type histCursor [histBuckets]int64
+
+// windowP99 estimates the p99 of the observations recorded since the
+// previous call with the same cursor, advancing the cursor. It returns 0
+// when the window saw no traffic — the pressure monitor treats that as "no
+// latency signal", not "zero latency".
+func (h *histogram) windowP99(prev *histCursor) int64 {
+	var counts [histBuckets]int64
+	var total int64
+	for i := range h.buckets {
+		cur := h.buckets[i].Load()
+		counts[i] = cur - prev[i]
+		prev[i] = cur
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	return quantile(&counts, total, 0.99, h.maxUS.Load())
+}
+
 // quantile returns the upper bound of the bucket containing rank q·total,
 // clamped to the observed maximum.
 func quantile(counts *[histBuckets]int64, total int64, q float64, maxUS int64) int64 {

@@ -10,10 +10,12 @@ import (
 	"maps"
 	"net/http"
 	"slices"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"sqo"
+	"sqo/internal/resilience"
 )
 
 // Config assembles a Server. Engine is the only required field.
@@ -38,6 +40,19 @@ type Config struct {
 	// MaxBodyBytes caps request bodies (default 1 MiB).
 	MaxBodyBytes int64
 
+	// MaxConcurrent and MaxQueue size the admission controller over the
+	// data-plane endpoints (/optimize, /optimize/batch, /query): at most
+	// MaxConcurrent requests inside the engine, at most MaxQueue waiting
+	// behind them, everyone else shed with 429 + Retry-After. Defaults:
+	// 16 and 4 × MaxConcurrent.
+	MaxConcurrent int
+	MaxQueue      int
+
+	// MonitorInterval is the cadence of the pressure monitor driving the
+	// graceful-degradation ladder (default 250ms; < 0 disables the monitor,
+	// freezing the ladder at whatever level SetDegradation pinned).
+	MonitorInterval time.Duration
+
 	// Store, when set, makes catalog mutations durable: /catalog/update
 	// goes through SnapshotStore.ApplyAndLog (journal append + periodic
 	// compaction) and /catalog/swap re-baselines the store with a fresh
@@ -56,10 +71,20 @@ type Config struct {
 //	POST /query           — optimize-then-execute against the database
 //	POST /catalog/swap    — hot-swap the whole constraint catalog
 //	POST /catalog/update  — apply an incremental catalog delta
-//	GET  /healthz         — liveness
+//	GET  /healthz         — liveness (the process is up and serving HTTP)
+//	GET  /readyz          — readiness (take traffic? false while draining)
 //	GET  /stats           — engine counters + per-endpoint latency
+//	GET  /quarantine      — the poison-query register
+//	POST /quarantine/reset — clear the register
 //
-// Build one with New, mount Handler on an http.Server, and call Close after
+// Data-plane requests pass an admission controller (bounded concurrency +
+// bounded queue, deadline-aware shedding with 429 + Retry-After), and a
+// pressure monitor walks a graceful-degradation ladder that sheds
+// serving-path optimizations — subsumption probing, then canonical cache
+// keys, then micro-batch coalescing — in an order proven answer-preserving.
+//
+// Build one with New, mount Handler on an http.Server, call StartDraining
+// when shutdown begins (readiness goes false), and call Close after
 // http.Server.Shutdown has drained the connections.
 type Server struct {
 	eng     *sqo.Engine
@@ -67,6 +92,13 @@ type Server struct {
 	batcher *batcher // nil when micro-batching is disabled
 	mux     *http.ServeMux
 	start   time.Time
+
+	adm      *resilience.Admission
+	ladder   *resilience.Ladder
+	draining atomic.Bool
+	monStop  chan struct{}
+	monDone  chan struct{}
+	monOnce  sync.Once
 
 	optimizeM *endpointMetrics
 	batchM    *endpointMetrics
@@ -104,11 +136,18 @@ func New(cfg Config) (*Server, error) {
 		// single-core machines where Workers() is 1.
 		cfg.BatchLimit = max(4, 2*cfg.Engine.Workers())
 	}
+	if cfg.MonitorInterval == 0 {
+		cfg.MonitorInterval = 250 * time.Millisecond
+	}
 	s := &Server{
 		eng:       cfg.Engine,
 		cfg:       cfg,
 		mux:       http.NewServeMux(),
 		start:     time.Now(),
+		adm:       resilience.NewAdmission(resilience.AdmissionConfig{MaxConcurrent: cfg.MaxConcurrent, MaxQueue: cfg.MaxQueue}),
+		ladder:    resilience.NewLadder(resilience.LadderConfig{}),
+		monStop:   make(chan struct{}),
+		monDone:   make(chan struct{}),
 		optimizeM: &endpointMetrics{},
 		batchM:    &endpointMetrics{},
 		queryM:    &endpointMetrics{},
@@ -125,11 +164,19 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /catalog/swap", s.instrument(s.swapM, s.handleCatalogSwap))
 	s.mux.HandleFunc("POST /catalog/update", s.instrument(s.updateM, s.handleCatalogUpdate))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /stats", s.instrument(s.statsM, s.handleStats))
+	s.mux.HandleFunc("GET /quarantine", s.handleQuarantine)
+	s.mux.HandleFunc("POST /quarantine/reset", s.handleQuarantineReset)
 	if s.batcher != nil {
 		s.logf("micro-batching on (window=%v limit=%d)", cfg.BatchWindow, cfg.BatchLimit)
 	} else {
 		s.logf("micro-batching off")
+	}
+	if cfg.MonitorInterval > 0 {
+		go s.monitor()
+	} else {
+		close(s.monDone)
 	}
 	return s, nil
 }
@@ -147,11 +194,27 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Batching reports whether request coalescing is active.
 func (s *Server) Batching() bool { return s.batcher != nil }
 
-// Close stops the micro-batcher, flushing its pending group and waiting for
-// in-flight dispatches to deliver. Call it after http.Server.Shutdown has
-// drained connections; requests that still arrive afterwards degrade to
-// direct engine calls rather than failing.
+// StartDraining flips readiness off: /readyz answers 503 so load balancers
+// stop routing new traffic, while in-flight and straggler requests keep
+// being served. Call it when shutdown begins, before http.Server.Shutdown.
+func (s *Server) StartDraining() {
+	if !s.draining.Swap(true) {
+		s.logf("draining: readiness now false")
+	}
+}
+
+// Draining reports whether StartDraining has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close stops the pressure monitor and the micro-batcher, flushing the
+// batcher's pending group and waiting for in-flight dispatches to deliver.
+// Call it after http.Server.Shutdown has drained connections; requests that
+// still arrive afterwards degrade to direct engine calls rather than
+// failing.
 func (s *Server) Close() {
+	s.StartDraining()
+	s.monOnce.Do(func() { close(s.monStop) })
+	<-s.monDone
 	if s.batcher != nil {
 		s.batcher.close()
 		st := s.batcher.stats()
@@ -272,11 +335,12 @@ type EndpointStats struct {
 
 // StatsResponse is the body of GET /stats.
 type StatsResponse struct {
-	UptimeS   float64                  `json:"uptime_s"`
-	Batching  bool                     `json:"batching"`
-	Engine    sqo.EngineStats          `json:"engine"`
-	Batcher   *BatcherStats            `json:"batcher,omitempty"`
-	Endpoints map[string]EndpointStats `json:"endpoints"`
+	UptimeS    float64                  `json:"uptime_s"`
+	Batching   bool                     `json:"batching"`
+	Engine     sqo.EngineStats          `json:"engine"`
+	Batcher    *BatcherStats            `json:"batcher,omitempty"`
+	Resilience ResilienceStats          `json:"resilience"`
+	Endpoints  map[string]EndpointStats `json:"endpoints"`
 }
 
 type errorResponse struct {
@@ -297,10 +361,18 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
+	release, ok := s.admit(ctx, w)
+	if !ok {
+		return
+	}
+	defer release()
 	var res *sqo.Result
-	if s.batcher != nil {
+	if s.batcher != nil && s.ladder.Level() < resilience.LevelNoCoalesce {
 		res, err = s.batcher.submit(ctx, q)
 	} else {
+		// LevelNoCoalesce: skip the collection window — under heavy
+		// pressure every batch fills instantly anyway, so the window is
+		// pure added latency.
 		res, err = s.eng.Optimize(ctx, q)
 	}
 	if err != nil {
@@ -330,6 +402,11 @@ func (s *Server) handleOptimizeBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
+	release, ok := s.admit(ctx, w)
+	if !ok {
+		return
+	}
+	defer release()
 	results, err := s.eng.OptimizeBatch(ctx, qs)
 	if err != nil {
 		writeError(w, statusForError(err), err)
@@ -360,6 +437,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	optimize := req.Optimize == nil || *req.Optimize
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
+	release, ok := s.admit(ctx, w)
+	if !ok {
+		return
+	}
+	defer release()
 	start := time.Now()
 	var out *sqo.Execution
 	if optimize {
@@ -485,9 +567,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
-		UptimeS:  time.Since(s.start).Seconds(),
-		Batching: s.batcher != nil,
-		Engine:   s.eng.Stats(),
+		UptimeS:    time.Since(s.start).Seconds(),
+		Batching:   s.batcher != nil,
+		Engine:     s.eng.Stats(),
+		Resilience: s.resilienceStats(),
 		Endpoints: map[string]EndpointStats{
 			"/optimize":       s.optimizeM.snapshot(),
 			"/optimize/batch": s.batchM.snapshot(),

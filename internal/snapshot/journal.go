@@ -58,6 +58,13 @@ type ReplayInfo struct {
 type Journal struct {
 	f       *os.File
 	records int
+
+	// Fault, when set, is consulted before each appended frame lands. A
+	// non-nil error simulates a crash mid-append: frame[:keep] is written
+	// (unsynced) and the error returned, leaving exactly the torn tail that
+	// OpenJournal/ReplayJournal must truncate. The fault-injection harness
+	// is the only intended setter.
+	Fault func(frame []byte) (keep int, err error)
 }
 
 // CreateJournal creates (or truncates) a journal bound to the given
@@ -122,6 +129,17 @@ func (j *Journal) Append(ops []delta.Op) error {
 	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
 	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
 	copy(frame[8:], payload)
+	if j.Fault != nil {
+		if keep, ferr := j.Fault(frame); ferr != nil {
+			if keep > len(frame) {
+				keep = len(frame)
+			}
+			if keep > 0 {
+				j.f.Write(frame[:keep])
+			}
+			return ferr
+		}
+	}
 	if _, err := j.f.Write(frame); err != nil {
 		return err
 	}

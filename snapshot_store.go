@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"sqo/internal/delta"
+	"sqo/internal/faultinject"
 	"sqo/internal/snapshot"
 )
 
@@ -44,16 +45,51 @@ type SnapshotStore struct {
 	jrn    *snapshot.Journal
 	seq    uint64 // sequence of the snapshot currently on disk (0: none)
 	snapID uint64
+
+	// faults is the chaos harness for the store's file I/O (journal.append,
+	// journal.partial, snapshot.write, snapshot.corrupt); nil in production.
+	faults *faultinject.Injector
 }
 
 // OpenSnapshotStore opens (creating if needed) a snapshot store directory.
 // The store is inert until Boot; Boot decides warm versus cold and leaves
-// the store ready for ApplyAndLog.
+// the store ready for ApplyAndLog. When SQO_FAULTS configures snapshot.* or
+// journal.* rules, the store's file I/O runs under injection.
 func OpenSnapshotStore(dir string) (*SnapshotStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &SnapshotStore{dir: dir}, nil
+	in, err := faultinject.FromEnv()
+	if err != nil {
+		return nil, err
+	}
+	s := &SnapshotStore{dir: dir}
+	if in.Active("journal.") || in.Active("snapshot.") {
+		s.faults = in
+	}
+	return s, nil
+}
+
+// journalFault adapts the injector to the journal's partial-write hook:
+// journal.append fails before any byte lands; journal.partial writes a
+// prefix of the frame and then fails, leaving a genuine torn tail.
+func (s *SnapshotStore) journalFault(frame []byte) (int, error) {
+	if err := s.faults.Fire("journal.append"); err != nil {
+		return 0, err
+	}
+	if keep, fire := s.faults.Partial("journal.partial", len(frame)); fire {
+		return keep, fmt.Errorf("%w: journal.partial", faultinject.ErrInjected)
+	}
+	return 0, nil
+}
+
+// bindJournal installs the fault hook (when injection is live) and adopts j
+// as the store's journal.
+func (s *SnapshotStore) bindJournal(j *snapshot.Journal) {
+	if s.faults != nil {
+		j.Fault = s.journalFault
+	}
+	s.jrn = j
 }
 
 func (s *SnapshotStore) snapshotPath() string { return filepath.Join(s.dir, SnapshotFileName) }
@@ -139,6 +175,9 @@ func (s *SnapshotStore) tryWarm(sch *Schema, opts []EngineOption) (*Engine, Boot
 	if err != nil {
 		return nil, rep, err
 	}
+	// Chaos seam: a flipped byte must land in "snapshot unreadable" (the
+	// checksum catches it) and a clean cold build, never a bad restore.
+	snapData = s.faults.Corrupt("snapshot.corrupt", snapData)
 	// Keep the sequence monotonic even when this boot ends cold: a fresh
 	// baseline written over a refused snapshot must supersede it.
 	if info, err := snapshot.ReadInfo(snapData); err == nil && info.Seq > s.seq {
@@ -211,7 +250,7 @@ func (s *SnapshotStore) tryWarm(sch *Schema, opts []EngineOption) (*Engine, Boot
 		if err != nil {
 			return nil, rep, err
 		}
-		s.jrn = j
+		s.bindJournal(j)
 	} else {
 		// Reopen for append; OpenJournal truncates the torn tail (if any) so
 		// the next append lands on a clean frame boundary.
@@ -219,7 +258,7 @@ func (s *SnapshotStore) tryWarm(sch *Schema, opts []EngineOption) (*Engine, Boot
 		if err != nil {
 			return nil, rep, err
 		}
-		s.jrn = j
+		s.bindJournal(j)
 	}
 	rep.Warm = true
 	rep.Replayed = len(batches)
@@ -232,15 +271,18 @@ func (s *SnapshotStore) tryWarm(sch *Schema, opts []EngineOption) (*Engine, Boot
 // incremental path (it rebuilt anyway, so snapshotting now is compara-
 // tively free) — a compaction that folds the journal into a new snapshot.
 //
-// An error after the update succeeded (journal or compaction I/O) is
-// returned so the caller can refuse to acknowledge the mutation: the
-// in-memory engine is ahead of the store at that point, and only a later
-// successful compaction re-converges them.
+// A failed journal append degrades to the snapshot path: the append may
+// have left a torn frame, and any record a later append landed behind it
+// would be silently dropped at replay — so the applied delta is folded into
+// a full snapshot (rotating the journal clean) instead. Only when that
+// fallback also fails is an error returned; the in-memory engine is then
+// ahead of durable state, and the store refuses further mutations until
+// re-opened, so the divergence cannot widen silently.
 func (s *SnapshotStore) ApplyAndLog(e *Engine, d *CatalogDelta) (UpdateReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.jrn == nil {
-		return UpdateReport{}, errors.New("sqo: snapshot store is not booted")
+		return UpdateReport{}, errors.New("sqo: snapshot store journal is unavailable (not booted, or disabled after a durability failure)")
 	}
 	rep, err := e.UpdateCatalog(d)
 	if err != nil || d.Empty() {
@@ -250,7 +292,14 @@ func (s *SnapshotStore) ApplyAndLog(e *Engine, d *CatalogDelta) (UpdateReport, e
 		return rep, s.writeSnapshotLocked(e)
 	}
 	if err := s.jrn.Append(d.ops); err != nil {
-		return rep, fmt.Errorf("sqo: journal append: %w", err)
+		if serr := s.writeSnapshotLocked(e); serr != nil {
+			if s.jrn != nil {
+				s.jrn.Close()
+				s.jrn = nil
+			}
+			return rep, fmt.Errorf("sqo: journal append: %w (snapshot fallback failed: %v; delta applied in memory, durability not guaranteed)", err, serr)
+		}
+		return rep, nil
 	}
 	limit := s.CompactRecords
 	if limit <= 0 {
@@ -285,6 +334,9 @@ func (s *SnapshotStore) writeSnapshotLocked(e *Engine) error {
 	if err != nil {
 		return err
 	}
+	if err := s.faults.Fire("snapshot.write"); err != nil {
+		return err
+	}
 	if err := writeFileAtomic(s.snapshotPath(), data); err != nil {
 		return err
 	}
@@ -300,7 +352,7 @@ func (s *SnapshotStore) writeSnapshotLocked(e *Engine) error {
 	if err != nil {
 		return err
 	}
-	s.jrn = j
+	s.bindJournal(j)
 	return nil
 }
 

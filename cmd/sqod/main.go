@@ -42,8 +42,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -76,23 +77,46 @@ var (
 	maxConcurrent = flag.Int("max-concurrent", 0, "admission limit on concurrent data-plane requests (0 = 16)")
 	maxQueue      = flag.Int("max-queue", 0, "admission queue depth behind the concurrency limit (0 = 4x max-concurrent)")
 	monitorEvery  = flag.Duration("monitor-interval", 250*time.Millisecond, "pressure-monitor cadence for the degradation ladder (<0 disables)")
+
+	logFormat   = flag.String("log-format", "text", "log output format: text or json")
+	traceSample = flag.Int("trace-sample", 0, "trace one in every N requests (0 = only X-Sqo-Trace'd requests)")
+	slowQuery   = flag.Duration("slow-query", 0, "log traced requests slower than this with a full span breakdown (0 disables)")
+	debugAddr   = flag.String("debug-addr", "", "listen address for the debug mux (net/http/pprof); empty disables")
 )
 
 func main() {
 	flag.Parse()
-	logger := log.New(os.Stderr, "sqod: ", log.LstdFlags|log.Lmicroseconds)
+	logger, err := buildLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sqod:", err)
+		os.Exit(2)
+	}
 	if err := run(logger); err != nil {
-		logger.Fatal(err)
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
 	}
 }
 
-func run(logger *log.Logger) error {
+// buildLogger maps -log-format onto a slog handler writing to stderr.
+func buildLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
+
+func run(logger *slog.Logger) error {
 	if in, err := faultinject.FromEnv(); err != nil {
 		return fmt.Errorf("%s: %w", faultinject.EnvVar, err)
 	} else if in != nil {
-		logger.Printf("FAULT INJECTION ACTIVE (%s=%s) — chaos testing only, not for production", faultinject.EnvVar, in)
+		logger.Warn("FAULT INJECTION ACTIVE — chaos testing only, not for production",
+			"env", faultinject.EnvVar, "spec", fmt.Sprint(in))
 	}
-	eng, store, err := buildEngine(logger)
+	eng, store, bootMode, err := buildEngine(logger)
 	if err != nil {
 		return err
 	}
@@ -106,6 +130,9 @@ func run(logger *log.Logger) error {
 		MaxQueue:        *maxQueue,
 		MonitorInterval: *monitorEvery,
 		Store:           store,
+		TraceSample:     *traceSample,
+		SlowQuery:       *slowQuery,
+		BootMode:        bootMode,
 		Log:             logger,
 	})
 	if err != nil {
@@ -117,11 +144,17 @@ func run(logger *log.Logger) error {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr, logger)
+	}
 	errCh := make(chan error, 1)
 	go func() {
 		cst := eng.Stats().Cache
-		logger.Printf("serving on %s (workers=%d cache=%d canon=%v subsume=%v batching=%v window=%v)",
-			*addr, eng.Workers(), *cacheSize, cst.Canonicalize, cst.Subsume, srv.Batching(), *batchWindow)
+		logger.Info("serving",
+			"addr", *addr, "workers", eng.Workers(), "cache", *cacheSize,
+			"canon", cst.Canonicalize, "subsume", cst.Subsume,
+			"batching", srv.Batching(), "window", *batchWindow,
+			"trace_sample", *traceSample, "slow_query", *slowQuery)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -135,7 +168,7 @@ func run(logger *log.Logger) error {
 
 	// Graceful shutdown: flip readiness so load balancers route away, stop
 	// accepting, drain in-flight connections, then flush the micro-batcher.
-	logger.Printf("shutdown: draining for up to %v", *drain)
+	logger.Info("shutdown: draining", "budget", *drain)
 	srv.StartDraining()
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
@@ -150,53 +183,77 @@ func run(logger *log.Logger) error {
 		// Fold the journal into a final snapshot so the next boot is warm
 		// with nothing to replay.
 		if err := store.WriteSnapshot(eng); err != nil {
-			logger.Printf("drain snapshot FAILED (next boot replays the journal): %v", err)
+			logger.Error("drain snapshot failed (next boot replays the journal)", "err", err)
 		} else {
 			ss := store.Stats()
-			logger.Printf("drain snapshot written (id %#x, seq %d)", ss.SnapshotID, ss.Seq)
+			logger.Info("drain snapshot written", "id", fmt.Sprintf("%#x", ss.SnapshotID), "seq", ss.Seq)
 		}
 		store.Close()
 	}
 	st := eng.Stats()
-	logger.Printf("drained; served %d optimizations (%d exact / %d canonical / %d subsumption cache hits, %d swaps)",
-		st.Optimizations, st.Cache.ExactHits, st.Cache.CanonicalHits, st.Cache.SubsumptionHits, st.CatalogSwaps)
+	logger.Info("drained",
+		"optimizations", st.Optimizations,
+		"exact_hits", st.Cache.ExactHits, "canonical_hits", st.Cache.CanonicalHits,
+		"subsumption_hits", st.Cache.SubsumptionHits, "swaps", st.CatalogSwaps)
 	return nil
+}
+
+// serveDebug runs the opt-in debug mux: net/http/pprof's profiling
+// endpoints on their own listener, so profile handlers are never exposed on
+// the serving address.
+func serveDebug(addr string, logger *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Info("debug mux serving", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Error("debug mux failed", "err", err)
+	}
 }
 
 // buildEngine assembles the engine from the flags — the logistics evaluation
 // world by default, or user-supplied schema/catalog text files — either
-// directly, or through a SnapshotStore boot when -snapshot-dir is set.
-func buildEngine(logger *log.Logger) (*sqo.Engine, *sqo.SnapshotStore, error) {
+// directly, or through a SnapshotStore boot when -snapshot-dir is set. The
+// third return is the boot mode for /metrics: "warm", "cold", or "" without
+// a snapshot store.
+func buildEngine(logger *slog.Logger) (*sqo.Engine, *sqo.SnapshotStore, string, error) {
 	sch, cat, opts, err := buildWorld()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, "", err
 	}
 	if *snapshotDir == "" {
 		eng, err := sqo.NewEngine(sch, append(opts, sqo.WithCatalog(cat))...)
-		return eng, nil, err
+		return eng, nil, "", err
 	}
 	if *closure {
-		return nil, nil, errors.New("-snapshot-dir requires -closure=false (snapshots capture the default retrieval stack)")
+		return nil, nil, "", errors.New("-snapshot-dir requires -closure=false (snapshots capture the default retrieval stack)")
 	}
 	if *retrieval != "index" {
-		return nil, nil, fmt.Errorf("-snapshot-dir requires -retrieval index, not %q", *retrieval)
+		return nil, nil, "", fmt.Errorf("-snapshot-dir requires -retrieval index, not %q", *retrieval)
 	}
 	store, err := sqo.OpenSnapshotStore(*snapshotDir)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, "", err
 	}
 	eng, rep, err := store.Boot(sch, cat, opts...)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, "", err
 	}
+	mode := "cold"
 	if rep.Warm {
-		logger.Printf("warm boot from %s: snapshot %#x seq %d, %d journal batches replayed (torn tail: %v), %d constraints",
-			*snapshotDir, rep.SnapshotID, rep.Seq, rep.Replayed, rep.TornTail, rep.Constraints)
+		mode = "warm"
+		logger.Info("warm boot",
+			"dir", *snapshotDir, "snapshot", fmt.Sprintf("%#x", rep.SnapshotID), "seq", rep.Seq,
+			"replayed", rep.Replayed, "torn_tail", rep.TornTail, "constraints", rep.Constraints)
 	} else {
-		logger.Printf("cold boot (%s): built %d constraints from the declared catalog, baseline snapshot %#x seq %d",
-			rep.ColdReason, rep.Constraints, rep.SnapshotID, rep.Seq)
+		logger.Info("cold boot",
+			"reason", rep.ColdReason, "constraints", rep.Constraints,
+			"snapshot", fmt.Sprintf("%#x", rep.SnapshotID), "seq", rep.Seq)
 	}
-	return eng, store, nil
+	return eng, store, mode, nil
 }
 
 // buildWorld resolves the schema, declared catalog and catalog-independent

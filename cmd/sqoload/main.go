@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"sqo"
+	"sqo/internal/obs"
 )
 
 var (
@@ -59,7 +60,13 @@ var (
 	retries      = flag.Int("retries", 3, "max retries per request on 429/503/transport errors (0 disables)")
 	retryBase    = flag.Duration("retry-base", 50*time.Millisecond, "backoff before the first retry (doubles per attempt, ±50% jitter)")
 	retryCap     = flag.Duration("retry-cap", 2*time.Second, "upper bound on a single backoff sleep, including server Retry-After hints")
+	traceSample  = flag.Int("trace-sample", 0, "force-trace one in every N single requests (X-Sqo-Trace) and print the per-stage time breakdown in the summary (0 disables)")
 )
+
+// maxTraceFetch caps how many finished traces the summary pulls back from
+// GET /trace/{id} — enough for a stable stage profile without hammering the
+// daemon after the run.
+const maxTraceFetch = 64
 
 func main() {
 	flag.Parse()
@@ -71,12 +78,14 @@ func main() {
 
 // sample is one completed request: the final attempt's status and latency,
 // plus how many retries it took and how many 429 sheds it saw along the way.
+// traceID is the server-assigned pipeline trace (0 for untraced requests).
 type sample struct {
 	kind      string // "single", "batch", "swap"
 	status    int
 	latencyUS int64
 	retries   int
 	sheds     int
+	traceID   uint64
 }
 
 // transient reports whether a final status should be retried and, at the end
@@ -105,6 +114,7 @@ type kindSummary struct {
 // the window from the first delta to the end of the run — the measured
 // survival of the surgically invalidated cache.
 type summary struct {
+	Timestamp           string                 `json:"timestamp"`
 	Addr                string                 `json:"addr"`
 	Clients             int                    `json:"clients"`
 	TargetQPS           float64                `json:"target_qps"`
@@ -122,6 +132,28 @@ type summary struct {
 	Updates             int                    `json:"updates,omitempty"`
 	PostMutationHitRate *float64               `json:"post_mutation_hit_rate,omitempty"`
 	Cache               *cacheBreakdown        `json:"cache,omitempty"`
+	DegradationLevel    *int                   `json:"degradation_level,omitempty"`
+	DegradationName     string                 `json:"degradation_name,omitempty"`
+	Trace               *traceReport           `json:"trace,omitempty"`
+}
+
+// traceReport aggregates the force-traced requests of a -trace-sample run:
+// per-stage totals across every fetched trace, and how much of the measured
+// end-to-end time the recorded spans account for (glue code between stages
+// is the remainder).
+type traceReport struct {
+	Traces     int            `json:"traces"`
+	TotalUS    int64          `json:"total_us"`
+	StageSumUS int64          `json:"stage_sum_us"`
+	Coverage   float64        `json:"coverage"` // stage_sum_us / total_us
+	Stages     []stageSummary `json:"stages"`
+}
+
+// stageSummary is one pipeline stage's share of the traced time.
+type stageSummary struct {
+	Stage   string  `json:"stage"`
+	TotalUS int64   `json:"total_us"`
+	Share   float64 `json:"share"` // of TotalUS (end-to-end), not of the stage sum
 }
 
 // cacheBreakdown is the engine's three-way cache hit split over the run —
@@ -170,6 +202,7 @@ func run() error {
 	}
 
 	start := time.Now()
+	var singles atomic.Int64 // shared so the fleet traces an even 1-in-N
 	var wg sync.WaitGroup
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
@@ -183,7 +216,8 @@ func run() error {
 				case roll < *batchFrac+*queryFrac:
 					record(sendQuery(client, rng, base, queries[rng.Intn(len(queries))]))
 				default:
-					record(sendSingle(client, rng, base, queries[rng.Intn(len(queries))]))
+					trace := *traceSample > 0 && singles.Add(1)%int64(*traceSample) == 0
+					record(sendSingle(client, rng, base, queries[rng.Intn(len(queries))], trace))
 				}
 				if interval > 0 {
 					// Jitter ±25% so the fleet doesn't phase-lock.
@@ -241,6 +275,11 @@ func run() error {
 			sum.PostMutationHitRate = &rate
 		}
 	}
+	if level, name, err := fetchLadder(client, base); err == nil {
+		sum.DegradationLevel = &level
+		sum.DegradationName = name
+	}
+	sum.Trace = fetchTraces(client, base, samples)
 	printHuman(sum)
 	if err := writeJSON(sum); err != nil {
 		return err
@@ -457,13 +496,19 @@ func waitHealthy(client *http.Client, base string) error {
 // -retries times. The returned sample carries the final attempt's status and
 // latency plus the retry and shed counts accumulated across attempts.
 func post(client *http.Client, rng *rand.Rand, url string, body any, kind string) sample {
+	return postTraced(client, rng, url, body, kind, false)
+}
+
+// postTraced is post with an optional X-Sqo-Trace header forcing a pipeline
+// trace; the server-assigned trace ID lands in the sample.
+func postTraced(client *http.Client, rng *rand.Rand, url string, body any, kind string, trace bool) sample {
 	data, err := json.Marshal(body)
 	if err != nil {
 		return sample{kind: kind, status: 0}
 	}
 	var sheds int
 	for attempt := 0; ; attempt++ {
-		s, retryAfter := postOnce(client, url, data, kind)
+		s, retryAfter := postOnce(client, url, data, kind, trace)
 		if s.status == http.StatusTooManyRequests {
 			sheds++
 		}
@@ -485,9 +530,17 @@ func post(client *http.Client, rng *rand.Rand, url string, body any, kind string
 
 // postOnce is a single attempt; the second return is the parsed Retry-After
 // header (0 when absent), the server's own estimate of when capacity frees.
-func postOnce(client *http.Client, url string, data []byte, kind string) (sample, time.Duration) {
+func postOnce(client *http.Client, url string, data []byte, kind string, trace bool) (sample, time.Duration) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		return sample{kind: kind, status: 0}, 0
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if trace {
+		req.Header.Set("X-Sqo-Trace", "1")
+	}
 	start := time.Now()
-	resp, err := client.Post(url, "application/json", bytes.NewReader(data))
+	resp, err := client.Do(req)
 	lat := time.Since(start).Microseconds()
 	if err != nil {
 		return sample{kind: kind, status: 0, latencyUS: lat}, 0
@@ -497,12 +550,16 @@ func postOnce(client *http.Client, url string, data []byte, kind string) (sample
 	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
 		retryAfter = time.Duration(secs) * time.Second
 	}
+	var traceID uint64
+	if id, err := strconv.ParseUint(resp.Header.Get("X-Sqo-Trace-Id"), 10, 64); err == nil {
+		traceID = id
+	}
 	resp.Body.Close()
-	return sample{kind: kind, status: resp.StatusCode, latencyUS: lat}, retryAfter
+	return sample{kind: kind, status: resp.StatusCode, latencyUS: lat, traceID: traceID}, retryAfter
 }
 
-func sendSingle(client *http.Client, rng *rand.Rand, base, query string) sample {
-	return post(client, rng, base+"/optimize", map[string]any{"query": query}, "single")
+func sendSingle(client *http.Client, rng *rand.Rand, base, query string, trace bool) sample {
+	return postTraced(client, rng, base+"/optimize", map[string]any{"query": query}, "single", trace)
 }
 
 func sendBatch(client *http.Client, rng *rand.Rand, base string, queries []string) sample {
@@ -610,6 +667,86 @@ func fetchCacheCounters(client *http.Client, base string) (cacheCounters, error)
 	}, nil
 }
 
+// fetchLadder reads the degradation ladder level the daemon ends the run at
+// from GET /readyz (which reports it at any status, draining included).
+func fetchLadder(client *http.Client, base string) (int, string, error) {
+	resp, err := client.Get(base + "/readyz")
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		DegradationLevel int    `json:"degradation_level"`
+		DegradationName  string `json:"degradation_name"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return 0, "", err
+	}
+	return body.DegradationLevel, body.DegradationName, nil
+}
+
+// fetchTraces pulls back the span breakdowns of up to maxTraceFetch traced
+// requests (newest first, while the daemon's ring still holds them) and
+// aggregates them into the per-stage report. Nil when the run traced
+// nothing or every fetch missed the ring.
+func fetchTraces(client *http.Client, base string, samples []sample) *traceReport {
+	var ids []uint64
+	for i := len(samples) - 1; i >= 0 && len(ids) < maxTraceFetch; i-- {
+		if samples[i].traceID != 0 {
+			ids = append(ids, samples[i].traceID)
+		}
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	rep := &traceReport{}
+	stageNS := map[string]int64{}
+	var totalNS, sumNS int64
+	for _, id := range ids {
+		resp, err := client.Get(fmt.Sprintf("%s/trace/%d", base, id))
+		if err != nil {
+			continue
+		}
+		var snap struct {
+			TotalNS int64 `json:"total_ns"`
+			Spans   []struct {
+				Stage string `json:"stage"`
+				DurNS int64  `json:"dur_ns"`
+			} `json:"spans"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		rep.Traces++
+		totalNS += snap.TotalNS
+		for _, sp := range snap.Spans {
+			stageNS[sp.Stage] += sp.DurNS
+			sumNS += sp.DurNS
+		}
+	}
+	if rep.Traces == 0 {
+		return nil
+	}
+	rep.TotalUS, rep.StageSumUS = totalNS/1000, sumNS/1000
+	for _, name := range obs.StageNames() {
+		ns, ok := stageNS[name]
+		if !ok {
+			continue
+		}
+		st := stageSummary{Stage: name, TotalUS: ns / 1000}
+		if totalNS > 0 {
+			st.Share = float64(ns) / float64(totalNS)
+		}
+		rep.Stages = append(rep.Stages, st)
+	}
+	if totalNS > 0 {
+		rep.Coverage = float64(sumNS) / float64(totalNS)
+	}
+	return rep
+}
+
 // sendSwap re-renders the logistics constraint catalog and swaps it in: a
 // content-level no-op, but a real epoch bump that purges the result cache —
 // exactly the invalidation a production catalog update causes.
@@ -623,6 +760,7 @@ func sendSwap(client *http.Client, rng *rand.Rand, base string) sample {
 
 func summarize(samples []sample, elapsed time.Duration) summary {
 	sum := summary{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		Addr:      *addr,
 		Clients:   *clients,
 		TargetQPS: *qps,
@@ -714,6 +852,21 @@ func printHuman(sum summary) {
 		fmt.Printf("  %-7s n=%-6d non2xx=%-3d p50=%s p95=%s p99=%s max=%s\n",
 			kind, k.Requests, k.Non2xx,
 			usStr(k.P50US), usStr(k.P95US), usStr(k.P99US), usStr(k.MaxUS))
+	}
+	if sum.DegradationName != "" {
+		lvl := 0
+		if sum.DegradationLevel != nil {
+			lvl = *sum.DegradationLevel
+		}
+		fmt.Printf("  ladder: level %d (%s) at exit\n", lvl, sum.DegradationName)
+	}
+	if t := sum.Trace; t != nil {
+		fmt.Printf("  trace: %d traced requests, spans cover %.1f%% of %s end-to-end\n",
+			t.Traces, t.Coverage*100, usStr(t.TotalUS))
+		fmt.Printf("    %-12s %10s %7s\n", "stage", "total", "share")
+		for _, st := range t.Stages {
+			fmt.Printf("    %-12s %10s %6.1f%%\n", st.Stage, usStr(st.TotalUS), st.Share*100)
+		}
 	}
 }
 

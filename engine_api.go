@@ -15,6 +15,7 @@ import (
 	"sqo/internal/exec"
 	"sqo/internal/faultinject"
 	"sqo/internal/index"
+	"sqo/internal/obs"
 	"sqo/internal/predicate"
 	"sqo/internal/resilience"
 	"sqo/internal/symtab"
@@ -347,10 +348,15 @@ func (e *Engine) Optimize(ctx context.Context, q *Query) (*Result, error) {
 	// when the query already is its own canonical form, in which case they
 	// are the same bytes (see canonFingerprintWith).
 	level := int(e.degrade.Load())
+	// tr is this request's span recorder (nil for the overwhelming
+	// majority of traffic); every use below is nil-safe and free of both
+	// allocations and clock reads when disabled.
+	tr := obs.FromContext(ctx)
 	var key cacheKey
 	canonMode := e.cache != nil && e.cfg.cache.Canonicalize && level < resilience.LevelNoCanon
 	var red *canon.Reduction
 	if e.cache != nil {
+		at := tr.StartSpan()
 		if canonMode {
 			// Key by the canonical form, computed streaming over the
 			// pooled reduction scratch — near-duplicates (duplicated,
@@ -358,10 +364,15 @@ func (e *Engine) Optimize(ctx context.Context, q *Query) (*Result, error) {
 			// without materializing a query on the hit path.
 			red = reductionPool.Get().(*canon.Reduction)
 			key = cacheKey{epoch: st.epoch, fp: canonFingerprintWith(q, st.syms, red)}
+			tr.EndSpan(obs.StageCanon, at)
+			at = tr.StartSpan()
 		} else {
 			key = cacheKeyFor(st, q)
 		}
-		if res, ok := e.cache.get(key); ok {
+		tr.SetFingerprint(key.fp.Hi, key.fp.Lo)
+		res, ok := e.cache.get(key)
+		tr.EndSpan(obs.StageCacheProbe, at)
+		if ok {
 			if canonMode {
 				if red.Changed {
 					e.cache.canonHits.Add(1)
@@ -378,6 +389,7 @@ func (e *Engine) Optimize(ctx context.Context, q *Query) (*Result, error) {
 	// pays for it, and a poison query cannot be cached (it never produced a
 	// result).
 	qk := e.quarKey(st, key, q)
+	tr.SetFingerprint(qk[0], qk[1])
 	if e.quar.Blocked(qk) {
 		if canonMode {
 			reductionPool.Put(red)
@@ -389,10 +401,15 @@ func (e *Engine) Optimize(ctx context.Context, q *Query) (*Result, error) {
 		// Miss: optimize the canonical form, so the cached result is
 		// byte-identical to a cold optimization of that form no matter
 		// which syntactic variant arrived first.
+		at := tr.StartSpan()
 		runQ = canon.Canonicalize(q, red)
 		reductionPool.Put(red)
+		tr.EndSpan(obs.StageCanon, at)
 		if e.subsume && level < resilience.LevelNoSubsume {
-			if res := e.trySubsume(st, key, runQ); res != nil {
+			at = tr.StartSpan()
+			res := e.trySubsume(st, key, runQ)
+			tr.EndSpan(obs.StageSubsume, at)
+			if res != nil {
 				e.optimizations.Add(1)
 				return res, nil
 			}

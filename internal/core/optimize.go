@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sqo/internal/constraint"
+	"sqo/internal/obs"
 	"sqo/internal/predicate"
 	"sqo/internal/query"
 )
@@ -153,6 +154,11 @@ func (o *Optimizer) OptimizeContext(ctx context.Context, q *query.Query) (*Resul
 
 	relevant := o.source.Retrieve(q)
 	transformStart := time.Now()
+	// Pipeline tracing rides the timestamps this function takes anyway:
+	// a sampled request's retrieval/transformation/formulation spans cost
+	// zero extra clock reads, and a nil trace costs one context lookup.
+	tr := obs.FromContext(ctx)
+	tr.AddSpan(obs.StageRetrieve, start, transformStart.Sub(start))
 
 	// The table doubles as the per-query scratch arena: taken from the
 	// optimizer's pool, reused wholesale (columns, rows, adjacency arena,
@@ -198,16 +204,20 @@ func (o *Optimizer) OptimizeContext(ctx context.Context, q *query.Query) (*Resul
 	}
 
 	transformDur := time.Since(transformStart)
+	tr.AddSpan(obs.StageTransform, transformStart, transformDur)
 
+	formulateStart := transformStart.Add(transformDur)
 	res := o.formulate(t)
 	res.Original = q
+	duration := time.Since(start)
+	tr.AddSpan(obs.StageFormulate, formulateStart, start.Add(duration).Sub(formulateStart))
 	res.Stats = Stats{
 		RelevantConstraints: t.n(),
 		Predicates:          t.m(),
 		Fires:               fires,
 		Ops:                 t.ops,
 		TransformDuration:   transformDur,
-		Duration:            time.Since(start),
+		Duration:            duration,
 	}
 	return res, nil
 }

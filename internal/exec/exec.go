@@ -23,6 +23,7 @@ import (
 
 	"sqo/internal/core"
 	"sqo/internal/engine"
+	"sqo/internal/obs"
 	"sqo/internal/predicate"
 	"sqo/internal/query"
 	"sqo/internal/storage"
@@ -110,11 +111,17 @@ func (x *Executor) Database() *storage.Database { return x.db }
 // model's weighted page cost; raw and optimized executions therefore compete
 // under the same policy.
 func (x *Executor) Execute(ctx context.Context, q *query.Query) (*Result, error) {
+	tr := obs.FromContext(ctx)
+	at := tr.StartSpan()
 	plan, err := x.planner.PlanExamined(q)
+	tr.EndSpan(obs.StagePlan, at)
 	if err != nil {
 		return nil, err
 	}
-	return x.run(ctx, q, plan)
+	at = tr.StartSpan()
+	out, err := x.run(ctx, q, plan)
+	tr.EndSpan(obs.StageExecute, at)
+	return out, err
 }
 
 // ExecuteOptimized runs an optimization result end-to-end: a proven-empty

@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition is the strict scanner for the exposition format this
+// package renders (an OpenMetrics text subset). It is the normative
+// contract of GET /metrics: the go test guard and the CI smoke lint both
+// run rendered output through it, so a malformed line, an unregistered
+// suffix, a non-monotonic histogram or a missing # EOF fails the build
+// instead of a production scrape.
+//
+// Enforced rules:
+//
+//   - every family is introduced by # HELP then # TYPE, in that order;
+//   - every family name matches MetricNamePattern (sqo_ prefix);
+//   - sample lines belong to the most recent family, with the suffix its
+//     type dictates (counter → _total; histogram → _bucket/_sum/_count;
+//     gauge → bare name);
+//   - histogram buckets carry an le label, are cumulatively non-decreasing,
+//     end at le="+Inf", and the +Inf count equals _count;
+//   - exemplars (# {trace_id="..."} value) appear only on _bucket lines;
+//   - the exposition ends with exactly one # EOF line.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	st := scanState{seen: map[string]bool{}}
+	line := 0
+	eof := false
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if eof {
+			return fmt.Errorf("line %d: content after # EOF", line)
+		}
+		if text == "# EOF" {
+			eof = true
+			continue
+		}
+		if err := st.feed(text); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !eof {
+		return fmt.Errorf("missing # EOF terminator")
+	}
+	return st.finishFamily()
+}
+
+// ExpositionNames returns the family names of a valid exposition, in
+// order of appearance — the surface the metrics-name lint compares against
+// a registry.
+func ExpositionNames(r io.Reader) ([]string, error) {
+	var names []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if m := helpRE.FindStringSubmatch(sc.Text()); m != nil {
+			names = append(names, m[1])
+		}
+	}
+	return names, sc.Err()
+}
+
+var (
+	helpRE   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .+$`)
+	typeRE   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+	sampleRE = regexp.MustCompile(
+		`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|\+Inf|-Inf|NaN)( # \{trace_id="[0-9]+"\} (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?))?$`)
+	leRE = regexp.MustCompile(`le="([^"]*)"`)
+)
+
+type scanState struct {
+	seen       map[string]bool
+	family     string
+	familyType string
+	helpSeen   string // family name of a pending # HELP awaiting # TYPE
+
+	// histogram bookkeeping per label-set within the current family
+	hist map[string]*histCheck
+}
+
+type histCheck struct {
+	prev    int64
+	prevLE  float64
+	infSeen bool
+	inf     int64
+	count   int64
+	hasCnt  bool
+}
+
+func (st *scanState) feed(text string) error {
+	switch {
+	case strings.HasPrefix(text, "# HELP "):
+		m := helpRE.FindStringSubmatch(text)
+		if m == nil {
+			return fmt.Errorf("malformed HELP line %q", text)
+		}
+		if err := st.finishFamily(); err != nil {
+			return err
+		}
+		if st.seen[m[1]] {
+			return fmt.Errorf("family %s declared twice", m[1])
+		}
+		if !metricNameRE.MatchString(m[1]) {
+			return fmt.Errorf("family %s does not match %s", m[1], MetricNamePattern)
+		}
+		st.helpSeen = m[1]
+		return nil
+	case strings.HasPrefix(text, "# TYPE "):
+		m := typeRE.FindStringSubmatch(text)
+		if m == nil {
+			return fmt.Errorf("malformed TYPE line %q", text)
+		}
+		if st.helpSeen != m[1] {
+			return fmt.Errorf("TYPE %s without immediately preceding HELP", m[1])
+		}
+		st.seen[m[1]] = true
+		st.family, st.familyType, st.helpSeen = m[1], m[2], ""
+		st.hist = map[string]*histCheck{}
+		return nil
+	case strings.HasPrefix(text, "#"):
+		return fmt.Errorf("unexpected comment %q", text)
+	}
+	m := sampleRE.FindStringSubmatch(text)
+	if m == nil {
+		return fmt.Errorf("malformed sample line %q", text)
+	}
+	name, labels, value, exemplar := m[1], m[2], m[5], m[8]
+	if st.family == "" {
+		return fmt.Errorf("sample %s before any TYPE declaration", name)
+	}
+	suffix := strings.TrimPrefix(name, st.family)
+	if suffix == name && name != st.family {
+		return fmt.Errorf("sample %s does not belong to family %s", name, st.family)
+	}
+	switch st.familyType {
+	case "counter":
+		if suffix != "_total" {
+			return fmt.Errorf("counter sample %s must use the _total suffix", name)
+		}
+	case "gauge":
+		if suffix != "" {
+			return fmt.Errorf("gauge sample %s must use the bare family name", name)
+		}
+	case "histogram":
+		return st.feedHist(suffix, labels, value, exemplar)
+	}
+	if exemplar != "" {
+		return fmt.Errorf("exemplar on non-bucket sample %s", name)
+	}
+	return nil
+}
+
+func (st *scanState) feedHist(suffix, labels, value, exemplar string) error {
+	key := histKey(labels)
+	hc := st.hist[key]
+	if hc == nil {
+		hc = &histCheck{prevLE: math.Inf(-1)}
+		st.hist[key] = hc
+	}
+	switch suffix {
+	case "_bucket":
+		le := leRE.FindStringSubmatch(labels)
+		if le == nil {
+			return fmt.Errorf("histogram bucket without le label")
+		}
+		bound := math.Inf(1)
+		if le[1] != "+Inf" {
+			var err error
+			bound, err = strconv.ParseFloat(le[1], 64)
+			if err != nil {
+				return fmt.Errorf("bad le bound %q", le[1])
+			}
+		}
+		if bound <= hc.prevLE {
+			return fmt.Errorf("le bounds not increasing (%v after %v)", bound, hc.prevLE)
+		}
+		hc.prevLE = bound
+		v, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("non-integer bucket count %q", value)
+		}
+		if v < hc.prev {
+			return fmt.Errorf("bucket counts not cumulative (%d after %d)", v, hc.prev)
+		}
+		hc.prev = v
+		if math.IsInf(bound, 1) {
+			hc.infSeen, hc.inf = true, v
+		}
+		return nil
+	case "_sum":
+		if exemplar != "" {
+			return fmt.Errorf("exemplar on _sum sample")
+		}
+		return nil
+	case "_count":
+		if exemplar != "" {
+			return fmt.Errorf("exemplar on _count sample")
+		}
+		v, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("non-integer count %q", value)
+		}
+		hc.count, hc.hasCnt = v, true
+		return nil
+	default:
+		return fmt.Errorf("histogram sample with suffix %q (want _bucket, _sum or _count)", suffix)
+	}
+}
+
+// histKey normalizes a bucket/series label block to the label set minus le,
+// so _bucket lines land in the same histCheck as their _sum and _count
+// (which carry no le and therefore no leftover comma).
+func histKey(labels string) string {
+	key := leRE.ReplaceAllString(labels, "")
+	key = strings.ReplaceAll(key, "{,", "{")
+	key = strings.ReplaceAll(key, ",}", "}")
+	key = strings.ReplaceAll(key, ",,", ",")
+	if key == "{}" {
+		return ""
+	}
+	return key
+}
+
+// finishFamily closes the current family, verifying histogram invariants
+// that need the whole series (every label set saw +Inf, and _count equals
+// the +Inf bucket).
+func (st *scanState) finishFamily() error {
+	if st.helpSeen != "" {
+		return fmt.Errorf("HELP %s without a TYPE line", st.helpSeen)
+	}
+	if st.familyType == "histogram" {
+		for key, hc := range st.hist {
+			if !hc.infSeen {
+				return fmt.Errorf("family %s%s: no le=\"+Inf\" bucket", st.family, key)
+			}
+			if !hc.hasCnt {
+				return fmt.Errorf("family %s%s: missing _count", st.family, key)
+			}
+			if hc.count != hc.inf {
+				return fmt.Errorf("family %s%s: _count %d != +Inf bucket %d", st.family, key, hc.count, hc.inf)
+			}
+		}
+	}
+	st.family, st.familyType = "", ""
+	st.hist = nil
+	return nil
+}

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the exposition half of the package: a tiny hand-rolled
+// metric registry rendering the OpenMetrics text format — no client
+// library dependency, because every counter already exists as an atomic
+// somewhere in the serving stack and only needs stable names and a
+// renderer. Collectors are closures evaluated at scrape time.
+
+// ContentType is the Content-Type of a rendered exposition.
+const ContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// MetricNamePattern is the contract every registered family name must
+// match: prometheus-legal, and namespaced under the sqo_ prefix so the
+// fleet's scrape configs can select this system's series with one matcher.
+const MetricNamePattern = `^sqo_[a-z][a-z0-9_]*$`
+
+var metricNameRE = regexp.MustCompile(MetricNamePattern)
+
+// Sample is one scalar sample: pre-rendered label pairs (no braces; empty
+// for an unlabeled series) and the value.
+type Sample struct {
+	Labels string
+	Value  float64
+}
+
+// HistBucket is one cumulative histogram bucket. LE is the upper bound in
+// seconds (math.Inf(1) for +Inf). An ExemplarID != 0 attaches an
+// OpenMetrics exemplar referencing a trace.
+type HistBucket struct {
+	LE            float64
+	Cumulative    int64
+	ExemplarID    uint64
+	ExemplarValue float64
+}
+
+// HistSample is one labeled histogram series: cumulative buckets ending in
+// +Inf, plus sum and count.
+type HistSample struct {
+	Labels     string
+	Buckets    []HistBucket
+	SumSeconds float64
+	Count      int64
+}
+
+type familyType uint8
+
+const (
+	typeCounter familyType = iota
+	typeGauge
+	typeHistogram
+)
+
+func (t familyType) String() string {
+	switch t {
+	case typeCounter:
+		return "counter"
+	case typeGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type family struct {
+	name   string
+	help   string
+	typ    familyType
+	scalar func(emit func(Sample))
+	hist   func(emit func(HistSample))
+}
+
+// Registry holds metric families in registration order. Registration
+// panics on an invalid or duplicate name — the name lint is enforced at
+// the source, and a go test guard re-checks the rendered output.
+type Registry struct {
+	families []family
+	names    map[string]struct{}
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]struct{})}
+}
+
+func (r *Registry) register(f family) {
+	if !metricNameRE.MatchString(f.name) {
+		panic(fmt.Sprintf("obs: metric name %q does not match %s", f.name, MetricNamePattern))
+	}
+	if strings.HasSuffix(f.name, "_total") || strings.HasSuffix(f.name, "_bucket") ||
+		strings.HasSuffix(f.name, "_sum") || strings.HasSuffix(f.name, "_count") {
+		panic(fmt.Sprintf("obs: metric family %q must be registered without the reserved suffix (the renderer appends it)", f.name))
+	}
+	if _, dup := r.names[f.name]; dup {
+		panic(fmt.Sprintf("obs: metric %q registered twice", f.name))
+	}
+	r.names[f.name] = struct{}{}
+	r.families = append(r.families, f)
+}
+
+// Counter registers a counter family; samples render as name_total.
+func (r *Registry) Counter(name, help string, collect func(emit func(Sample))) {
+	r.register(family{name: name, help: help, typ: typeCounter, scalar: collect})
+}
+
+// Gauge registers a gauge family.
+func (r *Registry) Gauge(name, help string, collect func(emit func(Sample))) {
+	r.register(family{name: name, help: help, typ: typeGauge, scalar: collect})
+}
+
+// Histogram registers a histogram family; samples render as name_bucket /
+// name_sum / name_count.
+func (r *Registry) Histogram(name, help string, collect func(emit func(HistSample))) {
+	r.register(family{name: name, help: help, typ: typeHistogram, hist: collect})
+}
+
+// Names returns the registered family names, sorted — the lint surface.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.names))
+	for n := range r.names {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Render writes the whole exposition in the OpenMetrics text format,
+// families in registration order, terminated by # EOF.
+func (r *Registry) Render(w io.Writer) error {
+	for i := range r.families {
+		if err := r.families[i].render(w); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+func (f *family) render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+		return err
+	}
+	var err error
+	switch f.typ {
+	case typeHistogram:
+		f.hist(func(h HistSample) {
+			if err != nil {
+				return
+			}
+			err = renderHist(w, f.name, h)
+		})
+	default:
+		suffix := ""
+		if f.typ == typeCounter {
+			suffix = "_total"
+		}
+		f.scalar(func(s Sample) {
+			if err != nil {
+				return
+			}
+			_, err = fmt.Fprintf(w, "%s%s%s %s\n", f.name, suffix, braced(s.Labels), fmtFloat(s.Value))
+		})
+	}
+	return err
+}
+
+func renderHist(w io.Writer, name string, h HistSample) error {
+	for _, b := range h.Buckets {
+		le := "+Inf"
+		if !math.IsInf(b.LE, 1) {
+			le = fmtFloat(b.LE)
+		}
+		labels := h.Labels
+		if labels != "" {
+			labels += ","
+		}
+		line := fmt.Sprintf("%s_bucket{%sle=%q} %d", name, labels, le, b.Cumulative)
+		if b.ExemplarID != 0 {
+			line += fmt.Sprintf(" # {trace_id=\"%d\"} %s", b.ExemplarID, fmtFloat(b.ExemplarValue))
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, braced(h.Labels), fmtFloat(h.SumSeconds)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, braced(h.Labels), h.Count)
+	return err
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Label renders one label pair for Sample.Labels / HistSample.Labels.
+func Label(k, v string) string { return k + "=" + strconv.Quote(v) }

@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func testRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("sqo_requests", "Requests served.", func(emit func(Sample)) {
+		emit(Sample{Labels: Label("endpoint", "/query"), Value: 12})
+		emit(Sample{Labels: Label("endpoint", "/optimize"), Value: 3})
+	})
+	r.Gauge("sqo_in_flight", "In-flight requests.", func(emit func(Sample)) {
+		emit(Sample{Value: 2})
+	})
+	r.Histogram("sqo_request_duration_seconds", "Latency.", func(emit func(HistSample)) {
+		emit(HistSample{
+			Labels: Label("endpoint", "/query"),
+			Buckets: []HistBucket{
+				{LE: 0.001, Cumulative: 4, ExemplarID: 7, ExemplarValue: 0.0009},
+				{LE: 0.01, Cumulative: 9},
+				{LE: math.Inf(1), Cumulative: 10},
+			},
+			SumSeconds: 0.042,
+			Count:      10,
+		})
+		emit(HistSample{
+			Labels: Label("endpoint", "/optimize"),
+			Buckets: []HistBucket{
+				{LE: 0.001, Cumulative: 0},
+				{LE: math.Inf(1), Cumulative: 0},
+			},
+			SumSeconds: 0,
+			Count:      0,
+		})
+	})
+	return r
+}
+
+// The renderer and the strict scanner are two halves of one contract:
+// everything Render emits must pass ValidateExposition.
+func TestRenderValidateRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testRegistry().Render(&buf); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := buf.String()
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("ValidateExposition rejected rendered output: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		`sqo_requests_total{endpoint="/query"} 12`,
+		"sqo_in_flight 2",
+		`sqo_request_duration_seconds_bucket{endpoint="/query",le="0.001"} 4 # {trace_id="7"} 0.0009`,
+		`sqo_request_duration_seconds_bucket{endpoint="/query",le="+Inf"} 10`,
+		`sqo_request_duration_seconds_sum{endpoint="/query"} 0.042`,
+		`sqo_request_duration_seconds_count{endpoint="/query"} 10`,
+		"# EOF",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpositionNames(t *testing.T) {
+	var buf bytes.Buffer
+	reg := testRegistry()
+	if err := reg.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	names, err := ExpositionNames(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"sqo_requests", "sqo_in_flight", "sqo_request_duration_seconds"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+	// Registry.Names is sorted; every exposition name must be registered.
+	regNames := map[string]bool{}
+	for _, n := range reg.Names() {
+		regNames[n] = true
+	}
+	for _, n := range names {
+		if !regNames[n] {
+			t.Fatalf("exposed family %q not in registry", n)
+		}
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	cases := []struct {
+		desc string
+		reg  func(r *Registry)
+	}{
+		{"no sqo_ prefix", func(r *Registry) {
+			r.Counter("requests", "x.", func(func(Sample)) {})
+		}},
+		{"uppercase", func(r *Registry) {
+			r.Counter("sqo_Requests", "x.", func(func(Sample)) {})
+		}},
+		{"reserved _total suffix", func(r *Registry) {
+			r.Counter("sqo_requests_total", "x.", func(func(Sample)) {})
+		}},
+		{"reserved _bucket suffix", func(r *Registry) {
+			r.Histogram("sqo_lat_bucket", "x.", func(func(HistSample)) {})
+		}},
+		{"reserved _count suffix", func(r *Registry) {
+			r.Gauge("sqo_lat_count", "x.", func(func(Sample)) {})
+		}},
+		{"duplicate", func(r *Registry) {
+			r.Counter("sqo_dup", "x.", func(func(Sample)) {})
+			r.Gauge("sqo_dup", "x.", func(func(Sample)) {})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.desc, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: registration did not panic", tc.desc)
+				}
+			}()
+			tc.reg(NewRegistry())
+		})
+	}
+}
+
+func TestFmtFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		12:      "12",
+		-3:      "-3",
+		0.042:   "0.042",
+		1e-06:   "1e-06",
+		1048576: "1048576",
+	}
+	for v, want := range cases {
+		if got := fmtFloat(v); got != want {
+			t.Errorf("fmtFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := []struct {
+		desc, input, wantErr string
+	}{
+		{"missing EOF",
+			"# HELP sqo_x A.\n# TYPE sqo_x gauge\nsqo_x 1\n",
+			"missing # EOF"},
+		{"content after EOF",
+			"# HELP sqo_x A.\n# TYPE sqo_x gauge\nsqo_x 1\n# EOF\nsqo_x 2\n",
+			"after # EOF"},
+		{"HELP without TYPE",
+			"# HELP sqo_x A.\nsqo_x 1\n# EOF\n",
+			"before any TYPE"},
+		{"HELP then HELP",
+			"# HELP sqo_x A.\n# HELP sqo_y B.\n# TYPE sqo_y gauge\nsqo_y 1\n# EOF\n",
+			"without a TYPE"},
+		{"TYPE without HELP",
+			"# TYPE sqo_x gauge\nsqo_x 1\n# EOF\n",
+			"without immediately preceding HELP"},
+		{"sample before any family",
+			"sqo_x 1\n# EOF\n",
+			"before any TYPE"},
+		{"bad family name",
+			"# HELP bad_x A.\n# TYPE bad_x gauge\nbad_x 1\n# EOF\n",
+			"does not match"},
+		{"family declared twice",
+			"# HELP sqo_x A.\n# TYPE sqo_x gauge\nsqo_x 1\n# HELP sqo_x A.\n# TYPE sqo_x gauge\nsqo_x 1\n# EOF\n",
+			"declared twice"},
+		{"counter without _total",
+			"# HELP sqo_x A.\n# TYPE sqo_x counter\nsqo_x 1\n# EOF\n",
+			"_total suffix"},
+		{"gauge with suffix",
+			"# HELP sqo_x A.\n# TYPE sqo_x gauge\nsqo_x_total 1\n# EOF\n",
+			"bare family name"},
+		{"foreign sample in family",
+			"# HELP sqo_x A.\n# TYPE sqo_x gauge\nsqo_y 1\n# EOF\n",
+			"does not belong"},
+		{"histogram missing +Inf",
+			"# HELP sqo_h A.\n# TYPE sqo_h histogram\nsqo_h_bucket{le=\"1\"} 1\nsqo_h_sum 1\nsqo_h_count 1\n# EOF\n",
+			`no le="+Inf"`},
+		{"histogram missing _count",
+			"# HELP sqo_h A.\n# TYPE sqo_h histogram\nsqo_h_bucket{le=\"+Inf\"} 1\nsqo_h_sum 1\n# EOF\n",
+			"missing _count"},
+		{"histogram count mismatch",
+			"# HELP sqo_h A.\n# TYPE sqo_h histogram\nsqo_h_bucket{le=\"+Inf\"} 2\nsqo_h_sum 1\nsqo_h_count 3\n# EOF\n",
+			"_count 3 != +Inf bucket 2"},
+		{"buckets not cumulative",
+			"# HELP sqo_h A.\n# TYPE sqo_h histogram\nsqo_h_bucket{le=\"1\"} 5\nsqo_h_bucket{le=\"+Inf\"} 3\nsqo_h_sum 1\nsqo_h_count 3\n# EOF\n",
+			"not cumulative"},
+		{"le bounds not increasing",
+			"# HELP sqo_h A.\n# TYPE sqo_h histogram\nsqo_h_bucket{le=\"2\"} 1\nsqo_h_bucket{le=\"1\"} 1\nsqo_h_bucket{le=\"+Inf\"} 1\nsqo_h_sum 1\nsqo_h_count 1\n# EOF\n",
+			"not increasing"},
+		{"bucket without le",
+			"# HELP sqo_h A.\n# TYPE sqo_h histogram\nsqo_h_bucket{x=\"1\"} 1\n# EOF\n",
+			"without le label"},
+		{"exemplar on gauge",
+			"# HELP sqo_x A.\n# TYPE sqo_x gauge\nsqo_x 1 # {trace_id=\"3\"} 1\n# EOF\n",
+			"exemplar on non-bucket"},
+		{"exemplar on _sum",
+			"# HELP sqo_h A.\n# TYPE sqo_h histogram\nsqo_h_bucket{le=\"+Inf\"} 0\nsqo_h_sum 0 # {trace_id=\"3\"} 1\nsqo_h_count 0\n# EOF\n",
+			"exemplar on _sum"},
+		{"malformed sample line",
+			"# HELP sqo_x A.\n# TYPE sqo_x gauge\nsqo_x one\n# EOF\n",
+			"malformed sample"},
+		{"unexpected comment",
+			"# HELP sqo_x A.\n# TYPE sqo_x gauge\n# random\nsqo_x 1\n# EOF\n",
+			"unexpected comment"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.desc, func(t *testing.T) {
+			err := ValidateExposition(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatalf("%s: accepted", tc.desc)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("%s: error %q does not mention %q", tc.desc, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// Regression: bucket lines carry le alongside other labels while _sum and
+// _count carry the other labels alone; the scanner must key all three into
+// the same per-series check (a trailing comma once split them apart).
+func TestValidateLabeledHistogramSeriesKey(t *testing.T) {
+	input := "# HELP sqo_h A.\n# TYPE sqo_h histogram\n" +
+		"sqo_h_bucket{endpoint=\"/query\",le=\"0.001\"} 1\n" +
+		"sqo_h_bucket{endpoint=\"/query\",le=\"+Inf\"} 2\n" +
+		"sqo_h_sum{endpoint=\"/query\"} 0.5\n" +
+		"sqo_h_count{endpoint=\"/query\"} 2\n" +
+		"sqo_h_bucket{endpoint=\"/stats\",le=\"+Inf\"} 0\n" +
+		"sqo_h_sum{endpoint=\"/stats\"} 0\n" +
+		"sqo_h_count{endpoint=\"/stats\"} 0\n" +
+		"# EOF\n"
+	if err := ValidateExposition(strings.NewReader(input)); err != nil {
+		t.Fatalf("valid labeled histogram rejected: %v", err)
+	}
+	// Cross-series count mismatch must still be caught per label set.
+	bad := strings.Replace(input, "sqo_h_count{endpoint=\"/stats\"} 0", "sqo_h_count{endpoint=\"/stats\"} 9", 1)
+	if err := ValidateExposition(strings.NewReader(bad)); err == nil {
+		t.Fatal("per-series count mismatch not caught")
+	}
+}
+
+func TestHistKey(t *testing.T) {
+	cases := map[string]string{
+		`{endpoint="/query",le="0.001"}`: `{endpoint="/query"}`,
+		`{le="0.001",endpoint="/q"}`:     `{endpoint="/q"}`,
+		`{le="+Inf"}`:                    "",
+		`{endpoint="/query"}`:            `{endpoint="/query"}`,
+		"":                               "",
+		`{a="1",le="2",b="3"}`:           `{a="1",b="3"}`,
+	}
+	for in, want := range cases {
+		if got := histKey(in); got != want {
+			t.Errorf("histKey(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLabel(t *testing.T) {
+	if got := Label("endpoint", `/a"b`); got != `endpoint="/a\"b"` {
+		t.Fatalf("Label = %q", got)
+	}
+}

@@ -1,0 +1,67 @@
+// Command promlint validates a /metrics scrape against the strict
+// exposition contract (obs.ValidateExposition) and optionally requires
+// named metric families to be present. CI's sqod smoke step pipes a live
+// scrape through it so a malformed or incomplete exposition fails the
+// build:
+//
+//	curl -fsS localhost:7411/metrics | go run ./internal/obs/promlint \
+//	    -require sqo_cache_hits,sqo_admission_admitted,sqo_degradation
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"slices"
+	"strings"
+
+	"sqo/internal/obs"
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated metric family names that must be present")
+	flag.Parse()
+	if err := run(*require, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+	fmt.Println("promlint: exposition ok")
+}
+
+func run(require string, args []string) error {
+	var data []byte
+	var err error
+	switch len(args) {
+	case 0:
+		data, err = io.ReadAll(os.Stdin)
+	case 1:
+		data, err = os.ReadFile(args[0])
+	default:
+		return fmt.Errorf("at most one input file (default stdin)")
+	}
+	if err != nil {
+		return err
+	}
+	if err := obs.ValidateExposition(bytes.NewReader(data)); err != nil {
+		return err
+	}
+	if require == "" {
+		return nil
+	}
+	names, err := obs.ExpositionNames(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	var missing []string
+	for _, want := range strings.Split(require, ",") {
+		if want = strings.TrimSpace(want); want != "" && !slices.Contains(names, want) {
+			missing = append(missing, want)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("required families missing from exposition: %s", strings.Join(missing, ", "))
+	}
+	return nil
+}

@@ -1,0 +1,223 @@
+// Package obs is the zero-dependency observability layer of the serving
+// stack: pipeline tracing (pooled, sampled span recorders carried via
+// context through admission, canonicalization, cache probes, retrieval,
+// transformation, planning and execution), a Prometheus/OpenMetrics text
+// exposition registry for the counters and log₂ histograms the system
+// already collects, and the slow-query log.
+//
+// The design rule is that observability must never tax the untraced hot
+// path: FromContext on a trace-free context is one map-free Value walk,
+// every Trace method is nil-safe, and the disabled path is gated at zero
+// allocations per op. Sampled traces come from a sync.Pool and are
+// published into a fixed ring buffer, so steady-state tracing allocates
+// nothing either.
+package obs
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies one pipeline stage of a traced request. Stages are
+// leaves: a request's span set is non-overlapping, so the per-stage sum
+// approximates the end-to-end latency (the slack is glue code between
+// stages).
+type Stage uint8
+
+const (
+	// StageParse is request decoding: JSON body + query text parsing.
+	StageParse Stage = iota
+	// StageAdmission is time spent waiting in the admission controller.
+	StageAdmission
+	// StageCanon is canonicalization: the streamed reduction computing the
+	// canonical fingerprint, and (on a miss) materializing the canonical
+	// query.
+	StageCanon
+	// StageCacheProbe is the exact/canonical cache tier probe — one lookup
+	// serves both tiers; which tier hit is a property of the reduction.
+	StageCacheProbe
+	// StageSubsume is the containment tier probe: the envelope-indexed
+	// generalization lookup plus (on a hit) the residual derivation.
+	StageSubsume
+	// StageRetrieve is constraint retrieval (index lookup or catalog scan).
+	StageRetrieve
+	// StageTransform is the core transformation loop: table init, queue
+	// updates, fires and the chase.
+	StageTransform
+	// StageFormulate is query formulation (cost-benefit analyses).
+	StageFormulate
+	// StagePlan is execution plan selection.
+	StagePlan
+	// StageExecute is plan execution against storage.
+	StageExecute
+	// StageWrite is response serialization.
+	StageWrite
+
+	numStages
+)
+
+var stageNames = [numStages]string{
+	StageParse:      "parse",
+	StageAdmission:  "admission",
+	StageCanon:      "canon",
+	StageCacheProbe: "cache_probe",
+	StageSubsume:    "subsume",
+	StageRetrieve:   "retrieve",
+	StageTransform:  "transform",
+	StageFormulate:  "formulate",
+	StagePlan:       "plan",
+	StageExecute:    "execute",
+	StageWrite:      "write",
+}
+
+// String returns the stage's wire name (trace JSON, slow-query log,
+// sqoload breakdown tables).
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// StageNames lists every stage wire name in pipeline order — the span
+// glossary, in the order breakdown tables should print.
+func StageNames() []string { return append([]string(nil), stageNames[:]...) }
+
+// MaxSpans bounds the spans one trace can hold. A single request records
+// well under this (parse + admission + a handful of engine stages + write);
+// batch requests recording per-query engine spans may saturate it, in which
+// case the overflow is counted, not recorded.
+const MaxSpans = 48
+
+// Span is one recorded stage interval, offsets relative to the trace start.
+type Span struct {
+	Stage   Stage
+	StartNS int64
+	DurNS   int64
+}
+
+// Trace is one request's span recorder. A nil *Trace is the disabled
+// recorder: every method is a no-op, so instrumented code needs no
+// branching. Span recording is safe from concurrent goroutines (a traced
+// batch request optimizes queries on a worker pool); label and fingerprint
+// setters are last-writer-wins.
+type Trace struct {
+	id      uint64
+	start   time.Time
+	forced  bool
+	n       int32 // atomic; may exceed MaxSpans (overflow is dropped)
+	fpHi    uint64
+	fpLo    uint64
+	label   string
+	totalNS int64
+	spans   [MaxSpans]Span
+}
+
+// reset prepares a pooled trace for reuse.
+func (t *Trace) reset(id uint64, start time.Time, forced bool) {
+	t.id = id
+	t.start = start
+	t.forced = forced
+	atomic.StoreInt32(&t.n, 0)
+	t.fpHi, t.fpLo = 0, 0
+	t.label = ""
+	t.totalNS = 0
+}
+
+// ID returns the trace's identifier (0 for nil).
+func (t *Trace) ID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.id
+}
+
+// Forced reports whether the trace was client-requested rather than
+// sampled.
+func (t *Trace) Forced() bool { return t != nil && t.forced }
+
+// StartSpan returns the timestamp a subsequent EndSpan measures from — the
+// zero time (and no clock read) when the trace is nil. Use it when the
+// code being measured has no timestamps of its own:
+//
+//	at := tr.StartSpan()
+//	...work...
+//	tr.EndSpan(obs.StageCanon, at)
+func (t *Trace) StartSpan() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// EndSpan records one span from at to now. No-op on a nil trace.
+func (t *Trace) EndSpan(stage Stage, at time.Time) {
+	if t == nil {
+		return
+	}
+	t.AddSpan(stage, at, time.Since(at))
+}
+
+// AddSpan records one span from already-measured timestamps — the
+// instrumentation form for code that takes its own wall-clock readings
+// anyway (the core optimizer), costing zero extra clock reads.
+func (t *Trace) AddSpan(stage Stage, at time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	i := atomic.AddInt32(&t.n, 1) - 1
+	if int(i) >= MaxSpans {
+		return // counted by the inflated n, rendered as DroppedSpans
+	}
+	t.spans[i] = Span{Stage: stage, StartNS: at.Sub(t.start).Nanoseconds(), DurNS: d.Nanoseconds()}
+}
+
+// MarkFromStart records one span covering everything from the trace start
+// to now — the parse span, which begins before the handler could possibly
+// have a trace to instrument with.
+func (t *Trace) MarkFromStart(stage Stage) {
+	if t == nil {
+		return
+	}
+	t.AddSpan(stage, t.start, time.Since(t.start))
+}
+
+// SetFingerprint attaches the query fingerprint (as computed by the
+// engine's cache keying). First writer wins — on a traced batch the
+// fingerprint of one member is as good as another's for triage.
+func (t *Trace) SetFingerprint(hi, lo uint64) {
+	if t == nil || hi|lo == 0 {
+		return
+	}
+	if atomic.CompareAndSwapUint64(&t.fpLo, 0, lo) {
+		atomic.StoreUint64(&t.fpHi, hi)
+	}
+}
+
+// SetLabel attaches a human-readable request label (typically the query
+// text, truncated by the caller). Serving-layer use only: not safe for
+// concurrent writers.
+func (t *Trace) SetLabel(s string) {
+	if t == nil {
+		return
+	}
+	t.label = s
+}
+
+// traceCtxKey carries a *Trace through a request context.
+type traceCtxKey struct{}
+
+// WithTrace returns a context carrying t. Attach only sampled traces:
+// untraced requests should keep their context untouched so the disabled
+// path stays allocation-free.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil. The nil return is
+// directly usable: every Trace method is a no-op on nil.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return t
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A nil *Trace is the disabled recorder: every method must no-op without
+// panicking, and FromContext on an untraced context must return it.
+func TestNilTraceSafe(t *testing.T) {
+	var tr *Trace
+	at := tr.StartSpan()
+	if !at.IsZero() {
+		t.Fatalf("nil StartSpan read the clock: %v", at)
+	}
+	tr.EndSpan(StageCanon, at)
+	tr.AddSpan(StageParse, time.Now(), time.Millisecond)
+	tr.MarkFromStart(StageParse)
+	tr.SetFingerprint(1, 2)
+	tr.SetLabel("x")
+	if tr.ID() != 0 || tr.Forced() {
+		t.Fatalf("nil trace reported ID=%d forced=%v", tr.ID(), tr.Forced())
+	}
+}
+
+func TestFromContext(t *testing.T) {
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("untraced context returned %v", got)
+	}
+	tr := NewTestTrace()
+	ctx := WithTrace(context.Background(), tr)
+	if got := FromContext(ctx); got != tr {
+		t.Fatalf("FromContext = %p, want %p", got, tr)
+	}
+}
+
+func TestSpanOverflowCounted(t *testing.T) {
+	tr := NewTestTrace()
+	at := time.Now()
+	for i := 0; i < MaxSpans+7; i++ {
+		tr.AddSpan(StageTransform, at, time.Microsecond)
+	}
+	snap := tr.snapshot()
+	if len(snap.Spans) != MaxSpans {
+		t.Fatalf("recorded %d spans, want %d", len(snap.Spans), MaxSpans)
+	}
+	if snap.DroppedSpans != 7 {
+		t.Fatalf("DroppedSpans = %d, want 7", snap.DroppedSpans)
+	}
+}
+
+// Concurrent span recording must neither race nor lose spans under MaxSpans.
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTestTrace()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			at := time.Now()
+			for i := 0; i < 4; i++ {
+				tr.AddSpan(StageExecute, at, time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := len(tr.snapshot().Spans); n != 32 {
+		t.Fatalf("recorded %d spans, want 32", n)
+	}
+}
+
+// The first fingerprint writer wins — a traced batch calls SetFingerprint
+// once per member and the snapshot must stay coherent.
+func TestSetFingerprintFirstWriterWins(t *testing.T) {
+	tr := NewTestTrace()
+	tr.SetFingerprint(0, 0) // all-zero is "unset", ignored
+	tr.SetFingerprint(0xaaaa, 0xbbbb)
+	tr.SetFingerprint(0x1111, 0x2222)
+	snap := tr.snapshot()
+	want := "000000000000aaaa000000000000bbbb"
+	if snap.Fingerprint != want {
+		t.Fatalf("fingerprint = %q, want %q", snap.Fingerprint, want)
+	}
+}
+
+func TestStageTotalsAndBreakdown(t *testing.T) {
+	tr := NewTestTrace()
+	at := time.Now()
+	tr.AddSpan(StageParse, at, 3*time.Microsecond)
+	tr.AddSpan(StageTransform, at, 2*time.Microsecond)
+	tr.AddSpan(StageTransform, at, 5*time.Microsecond)
+	snap := tr.snapshot()
+	totals, sum := snap.StageTotals()
+	if totals["parse"] != 3000 || totals["transform"] != 7000 {
+		t.Fatalf("totals = %v", totals)
+	}
+	if sum != 10000 {
+		t.Fatalf("sum = %d, want 10000", sum)
+	}
+	b := snap.Breakdown()
+	// Pipeline order: parse before transform.
+	if !strings.Contains(b, "parse=3µs") || !strings.Contains(b, "transform=7µs") {
+		t.Fatalf("breakdown = %q", b)
+	}
+	if strings.Index(b, "parse") > strings.Index(b, "transform") {
+		t.Fatalf("breakdown not in pipeline order: %q", b)
+	}
+}
+
+func TestStageNamesCoverAllStages(t *testing.T) {
+	names := StageNames()
+	if len(names) != int(numStages) {
+		t.Fatalf("StageNames() has %d entries, want %d", len(names), numStages)
+	}
+	seen := map[string]bool{}
+	for i, n := range names {
+		if n == "" {
+			t.Fatalf("stage %d has no wire name", i)
+		}
+		if seen[n] {
+			t.Fatalf("duplicate stage name %q", n)
+		}
+		seen[n] = true
+		if Stage(i).String() != n {
+			t.Fatalf("Stage(%d).String() = %q, want %q", i, Stage(i).String(), n)
+		}
+	}
+	if Stage(200).String() != "unknown" {
+		t.Fatalf("out-of-range stage = %q", Stage(200).String())
+	}
+}

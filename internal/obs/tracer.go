@@ -1,0 +1,319 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TracerConfig assembles a Tracer.
+type TracerConfig struct {
+	// SampleN samples one in every N data-plane requests (1 = every
+	// request, 0 disables sampling). Client-forced traces (Force) are
+	// recorded regardless.
+	SampleN int
+	// SlowThreshold triggers the slow-query log: a finished trace whose
+	// total meets or exceeds it is logged with its full span breakdown.
+	// <= 0 disables the slow-query log.
+	SlowThreshold time.Duration
+	// RingSize is the recent-trace ring capacity, rounded up to a power of
+	// two (default 256).
+	RingSize int
+	// Logger receives slow-query records; nil discards them.
+	Logger *slog.Logger
+}
+
+// Tracer is the span-recorder factory and sink: it decides which requests
+// get a Trace (sampling or client force), pools the recorders, publishes
+// finished traces into a ring buffer for GET /trace/{id}, and emits the
+// slow-query log.
+type Tracer struct {
+	cfg     TracerConfig
+	sampleN uint64
+	slowNS  int64
+	logger  *slog.Logger
+
+	arrivals atomic.Uint64
+	nextID   atomic.Uint64
+	sampled  atomic.Int64
+	forced   atomic.Int64
+	slow     atomic.Int64
+
+	pool  sync.Pool
+	slots []traceSlot
+	mask  uint64
+}
+
+// traceSlot is one ring position. The mutex makes recycling safe: a
+// publisher swaps the slot's trace and only then returns the displaced one
+// to the pool, so a concurrent reader can never observe a reset in
+// progress.
+type traceSlot struct {
+	mu sync.Mutex
+	t  *Trace
+}
+
+// NewTracer builds a tracer. Always non-nil: a zero SampleN tracer still
+// serves forced traces.
+func NewTracer(cfg TracerConfig) *Tracer {
+	size := cfg.RingSize
+	if size <= 0 {
+		size = 256
+	}
+	// Round up to a power of two so slot selection is a mask.
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	tc := &Tracer{
+		cfg:    cfg,
+		slowNS: cfg.SlowThreshold.Nanoseconds(),
+		logger: cfg.Logger,
+		slots:  make([]traceSlot, n),
+		mask:   uint64(n - 1),
+		pool:   sync.Pool{New: func() any { return new(Trace) }},
+	}
+	if cfg.SampleN > 0 {
+		tc.sampleN = uint64(cfg.SampleN)
+	}
+	return tc
+}
+
+// Sampling reports whether probabilistic sampling is on.
+func (tc *Tracer) Sampling() bool { return tc != nil && tc.sampleN > 0 }
+
+// Sample returns a recorder for one in every SampleN calls, nil otherwise.
+// start is the request's arrival time, the zero point of every span offset.
+func (tc *Tracer) Sample(start time.Time) *Trace {
+	if tc == nil || tc.sampleN == 0 {
+		return nil
+	}
+	if tc.arrivals.Add(1)%tc.sampleN != 0 {
+		return nil
+	}
+	tc.sampled.Add(1)
+	return tc.get(start, false)
+}
+
+// Force returns a recorder unconditionally — the client asked for this
+// request to be traced (X-Sqo-Trace).
+func (tc *Tracer) Force(start time.Time) *Trace {
+	if tc == nil {
+		return nil
+	}
+	tc.forced.Add(1)
+	return tc.get(start, true)
+}
+
+func (tc *Tracer) get(start time.Time, forced bool) *Trace {
+	t := tc.pool.Get().(*Trace)
+	t.reset(tc.nextID.Add(1), start, forced)
+	return t
+}
+
+// Finish seals a trace — total duration measured now — publishes it into
+// the ring, and emits the slow-query log line when the total crosses the
+// threshold. The displaced ring occupant returns to the pool. No-op on nil.
+func (tc *Tracer) Finish(t *Trace) {
+	if tc == nil || t == nil {
+		return
+	}
+	t.totalNS = time.Since(t.start).Nanoseconds()
+	if tc.slowNS > 0 && t.totalNS >= tc.slowNS && tc.logger != nil {
+		tc.slow.Add(1)
+		snap := t.snapshot()
+		tc.logger.Warn("slow query",
+			slog.Uint64("trace_id", snap.ID),
+			slog.Int64("total_us", snap.TotalNS/1000),
+			slog.String("fingerprint", snap.Fingerprint),
+			slog.String("query", snap.Query),
+			slog.String("breakdown", snap.Breakdown()),
+		)
+	}
+	slot := &tc.slots[t.id&tc.mask]
+	slot.mu.Lock()
+	old := slot.t
+	slot.t = t
+	slot.mu.Unlock()
+	if old != nil {
+		tc.pool.Put(old)
+	}
+}
+
+// Discard returns an unpublished trace to the pool — the path for a
+// request that was refused before reaching any traced stage.
+func (tc *Tracer) Discard(t *Trace) {
+	if tc == nil || t == nil {
+		return
+	}
+	tc.pool.Put(t)
+}
+
+// Get returns the finished trace with the given ID, if the ring still
+// holds it.
+func (tc *Tracer) Get(id uint64) (TraceSnapshot, bool) {
+	if tc == nil || id == 0 {
+		return TraceSnapshot{}, false
+	}
+	slot := &tc.slots[id&tc.mask]
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if slot.t == nil || slot.t.id != id {
+		return TraceSnapshot{}, false
+	}
+	return slot.t.snapshot(), true
+}
+
+// Recent summarizes up to n of the most recent finished traces, newest
+// first.
+func (tc *Tracer) Recent(n int) []TraceSummary {
+	if tc == nil || n <= 0 {
+		return nil
+	}
+	out := make([]TraceSummary, 0, min(n, len(tc.slots)))
+	for i := range tc.slots {
+		slot := &tc.slots[i]
+		slot.mu.Lock()
+		if t := slot.t; t != nil {
+			out = append(out, TraceSummary{
+				ID:      t.id,
+				TotalUS: t.totalNS / 1000,
+				Query:   t.label,
+				Forced:  t.forced,
+			})
+		}
+		slot.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID > out[j].ID })
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// TracerStats is the tracer's own counter surface (for /metrics).
+type TracerStats struct {
+	Sampled     int64 `json:"sampled"`
+	Forced      int64 `json:"forced"`
+	SlowQueries int64 `json:"slow_queries"`
+}
+
+// Stats snapshots the tracer's counters.
+func (tc *Tracer) Stats() TracerStats {
+	if tc == nil {
+		return TracerStats{}
+	}
+	return TracerStats{
+		Sampled:     tc.sampled.Load(),
+		Forced:      tc.forced.Load(),
+		SlowQueries: tc.slow.Load(),
+	}
+}
+
+// TraceSummary is one ring entry in GET /traces.
+type TraceSummary struct {
+	ID      uint64 `json:"id"`
+	TotalUS int64  `json:"total_us"`
+	Query   string `json:"query,omitempty"`
+	Forced  bool   `json:"forced,omitempty"`
+}
+
+// SpanOut is one span on the wire.
+type SpanOut struct {
+	Stage   string `json:"stage"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+}
+
+// TraceSnapshot is a finished trace on the wire (GET /trace/{id}).
+type TraceSnapshot struct {
+	ID           uint64    `json:"id"`
+	TotalNS      int64     `json:"total_ns"`
+	Fingerprint  string    `json:"fingerprint,omitempty"`
+	Query        string    `json:"query,omitempty"`
+	Forced       bool      `json:"forced,omitempty"`
+	DroppedSpans int       `json:"dropped_spans,omitempty"`
+	Spans        []SpanOut `json:"spans"`
+}
+
+// snapshot copies a trace into its wire form. Callers must hold the ring
+// slot lock (or own the trace exclusively).
+func (t *Trace) snapshot() TraceSnapshot {
+	n := int(atomic.LoadInt32(&t.n))
+	dropped := 0
+	if n > MaxSpans {
+		dropped = n - MaxSpans
+		n = MaxSpans
+	}
+	snap := TraceSnapshot{
+		ID:           t.id,
+		TotalNS:      t.totalNS,
+		Query:        t.label,
+		Forced:       t.forced,
+		DroppedSpans: dropped,
+		Spans:        make([]SpanOut, n),
+	}
+	if hi, lo := atomic.LoadUint64(&t.fpHi), atomic.LoadUint64(&t.fpLo); hi|lo != 0 {
+		snap.Fingerprint = fmt.Sprintf("%016x%016x", hi, lo)
+	}
+	for i := 0; i < n; i++ {
+		sp := t.spans[i]
+		snap.Spans[i] = SpanOut{Stage: sp.Stage.String(), StartNS: sp.StartNS, DurNS: sp.DurNS}
+	}
+	return snap
+}
+
+// StageTotals sums span durations by stage name. The second return is the
+// sum across all stages — the number the acceptance gate compares against
+// TotalNS.
+func (s TraceSnapshot) StageTotals() (map[string]int64, int64) {
+	totals := make(map[string]int64, len(s.Spans))
+	var sum int64
+	for _, sp := range s.Spans {
+		totals[sp.Stage] += sp.DurNS
+		sum += sp.DurNS
+	}
+	return totals, sum
+}
+
+// Breakdown renders the per-stage time split as one log-friendly string,
+// stages in pipeline order.
+func (s TraceSnapshot) Breakdown() string {
+	totals, _ := s.StageTotals()
+	var b strings.Builder
+	for _, name := range stageNames {
+		if ns, ok := totals[name]; ok {
+			if b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%s=%s", name, time.Duration(ns))
+		}
+	}
+	return b.String()
+}
+
+// NewTestTrace returns a standalone trace starting now — for tests and
+// direct engine instrumentation outside a serving layer.
+func NewTestTrace() *Trace {
+	t := new(Trace)
+	t.reset(1, time.Now(), true)
+	return t
+}
+
+// nopHandler discards every record (slog.DiscardHandler needs go1.24; the
+// module supports 1.23).
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+// NopLogger returns a logger that discards everything — the nil-safety
+// default for optional Config loggers.
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }

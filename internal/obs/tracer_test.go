@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSampleRatio(t *testing.T) {
+	tc := NewTracer(TracerConfig{SampleN: 4})
+	var sampled int
+	for i := 0; i < 100; i++ {
+		if tr := tc.Sample(time.Now()); tr != nil {
+			sampled++
+			tc.Finish(tr)
+		}
+	}
+	if sampled != 25 {
+		t.Fatalf("sampled %d of 100 at 1-in-4, want 25", sampled)
+	}
+	if st := tc.Stats(); st.Sampled != 25 {
+		t.Fatalf("Stats().Sampled = %d, want 25", st.Sampled)
+	}
+}
+
+func TestSamplingDisabledStillServesForced(t *testing.T) {
+	tc := NewTracer(TracerConfig{SampleN: 0})
+	if tc.Sampling() {
+		t.Fatal("Sampling() true with SampleN=0")
+	}
+	if tr := tc.Sample(time.Now()); tr != nil {
+		t.Fatal("Sample returned a trace with sampling off")
+	}
+	tr := tc.Force(time.Now())
+	if tr == nil || !tr.Forced() {
+		t.Fatalf("Force returned %v", tr)
+	}
+	tc.Finish(tr)
+	if st := tc.Stats(); st.Forced != 1 {
+		t.Fatalf("Stats().Forced = %d, want 1", st.Forced)
+	}
+}
+
+func TestRingGetAndRecent(t *testing.T) {
+	tc := NewTracer(TracerConfig{SampleN: 1, RingSize: 8})
+	var lastID uint64
+	for i := 0; i < 5; i++ {
+		tr := tc.Sample(time.Now())
+		tr.SetLabel("q")
+		tr.AddSpan(StageParse, time.Now(), time.Microsecond)
+		tc.Finish(tr)
+		lastID = tr.ID()
+	}
+	snap, ok := tc.Get(lastID)
+	if !ok || snap.ID != lastID {
+		t.Fatalf("Get(%d) = %+v, %v", lastID, snap, ok)
+	}
+	if len(snap.Spans) != 1 || snap.Spans[0].Stage != "parse" {
+		t.Fatalf("snapshot spans = %+v", snap.Spans)
+	}
+	if _, ok := tc.Get(lastID + 100); ok {
+		t.Fatal("Get of unknown ID succeeded")
+	}
+	if _, ok := tc.Get(0); ok {
+		t.Fatal("Get(0) succeeded")
+	}
+	recent := tc.Recent(3)
+	if len(recent) != 3 {
+		t.Fatalf("Recent(3) returned %d entries", len(recent))
+	}
+	for i := 1; i < len(recent); i++ {
+		if recent[i-1].ID <= recent[i].ID {
+			t.Fatalf("Recent not newest-first: %+v", recent)
+		}
+	}
+	if recent[0].ID != lastID {
+		t.Fatalf("Recent[0].ID = %d, want %d", recent[0].ID, lastID)
+	}
+}
+
+// The ring holds RingSize slots keyed by id&mask: after overrunning the
+// ring, old IDs must be displaced, and a displaced trace must have been
+// recycled without corrupting published ones.
+func TestRingDisplacement(t *testing.T) {
+	tc := NewTracer(TracerConfig{SampleN: 1, RingSize: 4})
+	ids := make([]uint64, 0, 12)
+	for i := 0; i < 12; i++ {
+		tr := tc.Sample(time.Now())
+		tc.Finish(tr)
+		ids = append(ids, tr.ID())
+	}
+	if _, ok := tc.Get(ids[0]); ok {
+		t.Fatal("ID displaced 8 publishes ago is still readable")
+	}
+	if snap, ok := tc.Get(ids[11]); !ok || snap.ID != ids[11] {
+		t.Fatal("most recent ID unreadable")
+	}
+}
+
+func TestDiscardReturnsToPool(t *testing.T) {
+	tc := NewTracer(TracerConfig{SampleN: 1})
+	tr := tc.Force(time.Now())
+	id := tr.ID()
+	tc.Discard(tr)
+	if _, ok := tc.Get(id); ok {
+		t.Fatal("discarded trace was published")
+	}
+}
+
+// recordingHandler captures slog records for assertion.
+type recordingHandler struct {
+	mu   sync.Mutex
+	recs []slog.Record
+}
+
+func (h *recordingHandler) Enabled(context.Context, slog.Level) bool { return true }
+func (h *recordingHandler) Handle(_ context.Context, r slog.Record) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.recs = append(h.recs, r)
+	return nil
+}
+func (h *recordingHandler) WithAttrs([]slog.Attr) slog.Handler { return h }
+func (h *recordingHandler) WithGroup(string) slog.Handler      { return h }
+
+func TestSlowQueryLog(t *testing.T) {
+	h := &recordingHandler{}
+	tc := NewTracer(TracerConfig{
+		SampleN:       1,
+		SlowThreshold: time.Nanosecond, // everything is slow
+		Logger:        slog.New(h),
+	})
+	tr := tc.Sample(time.Now())
+	tr.SetLabel("the query")
+	tr.SetFingerprint(1, 2)
+	tr.AddSpan(StageTransform, time.Now(), 5*time.Microsecond)
+	time.Sleep(time.Microsecond)
+	tc.Finish(tr)
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.recs) != 1 {
+		t.Fatalf("slow-query log emitted %d records, want 1", len(h.recs))
+	}
+	rec := h.recs[0]
+	if rec.Message != "slow query" || rec.Level != slog.LevelWarn {
+		t.Fatalf("record = %q at %v", rec.Message, rec.Level)
+	}
+	attrs := map[string]slog.Value{}
+	rec.Attrs(func(a slog.Attr) bool { attrs[a.Key] = a.Value; return true })
+	for _, key := range []string{"trace_id", "total_us", "fingerprint", "query", "breakdown"} {
+		if _, ok := attrs[key]; !ok {
+			t.Fatalf("slow-query record missing attr %q (has %v)", key, attrs)
+		}
+	}
+	if got := attrs["query"].String(); got != "the query" {
+		t.Fatalf("query attr = %q", got)
+	}
+	if st := tc.Stats(); st.SlowQueries != 1 {
+		t.Fatalf("Stats().SlowQueries = %d, want 1", st.SlowQueries)
+	}
+}
+
+func TestSlowQueryThresholdNotCrossed(t *testing.T) {
+	h := &recordingHandler{}
+	tc := NewTracer(TracerConfig{
+		SampleN:       1,
+		SlowThreshold: time.Hour,
+		Logger:        slog.New(h),
+	})
+	tr := tc.Sample(time.Now())
+	tc.Finish(tr)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.recs) != 0 {
+		t.Fatalf("fast trace emitted %d slow-query records", len(h.recs))
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tc *Tracer
+	if tc.Sample(time.Now()) != nil || tc.Force(time.Now()) != nil {
+		t.Fatal("nil tracer returned a trace")
+	}
+	tc.Finish(nil)
+	tc.Discard(nil)
+	if _, ok := tc.Get(1); ok {
+		t.Fatal("nil tracer Get succeeded")
+	}
+	if tc.Recent(4) != nil {
+		t.Fatal("nil tracer Recent returned entries")
+	}
+	if tc.Stats() != (TracerStats{}) {
+		t.Fatal("nil tracer Stats non-zero")
+	}
+}
+
+func TestNopLoggerDiscards(t *testing.T) {
+	lg := NopLogger()
+	if lg == nil {
+		t.Fatal("NopLogger returned nil")
+	}
+	lg.Info("goes nowhere", "k", "v") // must not panic
+	lg.With("a", 1).WithGroup("g").Error("still nowhere")
+}

@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"time"
 
+	"sqo/internal/obs"
 	"sqo/internal/resilience"
 )
 
@@ -21,7 +22,10 @@ import (
 // the response itself — 429 with a Retry-After header for a shed, the
 // mapped status for a context expiry — and returns false.
 func (s *Server) admit(ctx context.Context, w http.ResponseWriter) (func(), bool) {
+	tr := obs.FromContext(ctx)
+	at := tr.StartSpan()
 	release, err := s.adm.Acquire(ctx)
+	tr.EndSpan(obs.StageAdmission, at)
 	if err == nil {
 		return release, true
 	}
@@ -63,9 +67,9 @@ func (s *Server) monitor() {
 		)
 		level := s.ladder.Observe(s.adm.QueueFraction(), p99)
 		if level != last {
-			s.logf("degradation %s -> %s (queue %.2f, window p99 %dus)",
-				resilience.LevelName(last), resilience.LevelName(level),
-				s.adm.QueueFraction(), p99)
+			s.log.Info("degradation level changed",
+				"from", resilience.LevelName(last), "to", resilience.LevelName(level),
+				"queue_fraction", s.adm.QueueFraction(), "window_p99_us", p99)
 			last = level
 		}
 		s.eng.SetDegradation(level)
@@ -171,6 +175,6 @@ func (s *Server) handleQuarantine(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleQuarantineReset(w http.ResponseWriter, r *http.Request) {
 	n := s.eng.QuarantineReset()
-	s.logf("quarantine reset: %d fingerprints dropped", n)
+	s.log.Info("quarantine reset", "dropped", n)
 	writeJSON(w, http.StatusOK, map[string]int{"dropped": n})
 }

@@ -6,15 +6,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"maps"
 	"net/http"
 	"slices"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sqo"
+	"sqo/internal/obs"
 	"sqo/internal/resilience"
 )
 
@@ -59,9 +61,31 @@ type Config struct {
 	// snapshot. The engine must have been booted from the same store.
 	Store *sqo.SnapshotStore
 
-	// Log receives one line per server lifecycle event (construction,
-	// catalog swaps, close); nil discards.
-	Log *log.Logger
+	// TraceSample samples one in every N instrumented requests for pipeline
+	// tracing (0 disables sampling). A request carrying an X-Sqo-Trace
+	// header is always traced, sampled or not; the assigned trace ID comes
+	// back in the X-Sqo-Trace-Id response header and the full span breakdown
+	// is served by GET /trace/{id} while the ring retains it.
+	TraceSample int
+
+	// SlowQuery triggers the slow-query log: any traced request whose
+	// service time meets or exceeds it is logged at Warn with its full
+	// span breakdown and query fingerprint. <= 0 disables the log.
+	SlowQuery time.Duration
+
+	// TraceRing is the recent-trace ring capacity (default 256, rounded up
+	// to a power of two).
+	TraceRing int
+
+	// BootMode records how the engine came up ("warm", "cold", or "" when
+	// the server was not booted from a snapshot store) — exported on
+	// /metrics as sqo_snapshot_boot_info so dashboards can tell a warm
+	// restart from a cold rebuild.
+	BootMode string
+
+	// Log receives structured lifecycle events (construction, catalog
+	// swaps, degradation changes, slow queries, close); nil discards.
+	Log *slog.Logger
 }
 
 // Server is the HTTP serving layer over one sqo.Engine:
@@ -92,6 +116,10 @@ type Server struct {
 	batcher *batcher // nil when micro-batching is disabled
 	mux     *http.ServeMux
 	start   time.Time
+	log     *slog.Logger
+	tracer  *obs.Tracer
+	reg     *obs.Registry
+	scrape  scrapeState
 
 	adm      *resilience.Admission
 	ladder   *resilience.Ladder
@@ -139,11 +167,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MonitorInterval == 0 {
 		cfg.MonitorInterval = 250 * time.Millisecond
 	}
+	if cfg.Log == nil {
+		cfg.Log = obs.NopLogger()
+	}
 	s := &Server{
 		eng:       cfg.Engine,
 		cfg:       cfg,
 		mux:       http.NewServeMux(),
 		start:     time.Now(),
+		log:       cfg.Log.With("component", "server"),
 		adm:       resilience.NewAdmission(resilience.AdmissionConfig{MaxConcurrent: cfg.MaxConcurrent, MaxQueue: cfg.MaxQueue}),
 		ladder:    resilience.NewLadder(resilience.LadderConfig{}),
 		monStop:   make(chan struct{}),
@@ -155,6 +187,13 @@ func New(cfg Config) (*Server, error) {
 		updateM:   &endpointMetrics{},
 		statsM:    &endpointMetrics{},
 	}
+	s.tracer = obs.NewTracer(obs.TracerConfig{
+		SampleN:       cfg.TraceSample,
+		SlowThreshold: cfg.SlowQuery,
+		RingSize:      cfg.TraceRing,
+		Logger:        s.log,
+	})
+	s.reg = s.newRegistry()
 	if cfg.BatchWindow > 0 && cfg.BatchLimit > 1 {
 		s.batcher = newBatcher(cfg.Engine, cfg.BatchWindow, cfg.BatchLimit)
 	}
@@ -168,10 +207,13 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /stats", s.instrument(s.statsM, s.handleStats))
 	s.mux.HandleFunc("GET /quarantine", s.handleQuarantine)
 	s.mux.HandleFunc("POST /quarantine/reset", s.handleQuarantineReset)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /trace/{id}", s.handleTrace)
+	s.mux.HandleFunc("GET /traces", s.handleTraces)
 	if s.batcher != nil {
-		s.logf("micro-batching on (window=%v limit=%d)", cfg.BatchWindow, cfg.BatchLimit)
+		s.log.Info("micro-batching on", "window", cfg.BatchWindow, "limit", cfg.BatchLimit)
 	} else {
-		s.logf("micro-batching off")
+		s.log.Info("micro-batching off")
 	}
 	if cfg.MonitorInterval > 0 {
 		go s.monitor()
@@ -179,13 +221,6 @@ func New(cfg Config) (*Server, error) {
 		close(s.monDone)
 	}
 	return s, nil
-}
-
-// logf writes one lifecycle line to Config.Log, if any.
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Log != nil {
-		s.cfg.Log.Printf("server: "+format, args...)
-	}
 }
 
 // Handler returns the server's routing handler.
@@ -199,7 +234,7 @@ func (s *Server) Batching() bool { return s.batcher != nil }
 // being served. Call it when shutdown begins, before http.Server.Shutdown.
 func (s *Server) StartDraining() {
 	if !s.draining.Swap(true) {
-		s.logf("draining: readiness now false")
+		s.log.Info("draining", "ready", false)
 	}
 }
 
@@ -218,8 +253,7 @@ func (s *Server) Close() {
 	if s.batcher != nil {
 		s.batcher.close()
 		st := s.batcher.stats()
-		s.logf("batcher closed after %d batches (%d requests coalesced)",
-			st.Batches, st.Coalesced)
+		s.log.Info("batcher closed", "batches", st.Batches, "coalesced", st.Coalesced)
 	}
 }
 
@@ -361,25 +395,41 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
+	tr := obs.FromContext(ctx)
+	tr.MarkFromStart(obs.StageParse)
+	tr.SetLabel(truncLabel(req.Query))
 	release, ok := s.admit(ctx, w)
 	if !ok {
 		return
 	}
 	defer release()
 	var res *sqo.Result
-	if s.batcher != nil && s.ladder.Level() < resilience.LevelNoCoalesce {
+	if tr == nil && s.batcher != nil && s.ladder.Level() < resilience.LevelNoCoalesce {
 		res, err = s.batcher.submit(ctx, q)
 	} else {
-		// LevelNoCoalesce: skip the collection window — under heavy
-		// pressure every batch fills instantly anyway, so the window is
-		// pure added latency.
+		// Two reasons to go direct: at LevelNoCoalesce the collection
+		// window is pure added latency (under heavy pressure every batch
+		// fills instantly anyway), and a traced request must keep its own
+		// context — the batcher optimizes under the group's context, which
+		// would drop the span recorder.
 		res, err = s.eng.Optimize(ctx, q)
 	}
 	if err != nil {
 		writeError(w, statusForError(err), err)
 		return
 	}
+	at := tr.StartSpan()
 	writeJSON(w, http.StatusOK, toOptimizeResponse(res))
+	tr.EndSpan(obs.StageWrite, at)
+}
+
+// truncLabel caps a query text for use as a trace label.
+func truncLabel(q string) string {
+	const maxLabel = 160
+	if len(q) > maxLabel {
+		return q[:maxLabel] + "…"
+	}
+	return q
 }
 
 func (s *Server) handleOptimizeBatch(w http.ResponseWriter, r *http.Request) {
@@ -402,6 +452,9 @@ func (s *Server) handleOptimizeBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
+	tr := obs.FromContext(ctx)
+	tr.MarkFromStart(obs.StageParse)
+	tr.SetLabel(fmt.Sprintf("batch[%d] %s", len(req.Queries), truncLabel(req.Queries[0])))
 	release, ok := s.admit(ctx, w)
 	if !ok {
 		return
@@ -416,7 +469,9 @@ func (s *Server) handleOptimizeBatch(w http.ResponseWriter, r *http.Request) {
 	for i, res := range results {
 		resp.Results[i] = toOptimizeResponse(res)
 	}
+	at := tr.StartSpan()
 	writeJSON(w, http.StatusOK, resp)
+	tr.EndSpan(obs.StageWrite, at)
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -437,6 +492,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	optimize := req.Optimize == nil || *req.Optimize
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
+	tr := obs.FromContext(ctx)
+	tr.MarkFromStart(obs.StageParse)
+	tr.SetLabel(truncLabel(req.Query))
 	release, ok := s.admit(ctx, w)
 	if !ok {
 		return
@@ -461,6 +519,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		rows[i] = vals
 	}
+	at := tr.StartSpan()
 	writeJSON(w, http.StatusOK, QueryResponse{
 		Rows:           rows,
 		RowCount:       len(rows),
@@ -473,6 +532,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		LinkTraversals: out.Meter.LinkTraversals,
 		DurationUS:     time.Since(start).Microseconds(),
 	})
+	tr.EndSpan(obs.StageWrite, at)
 }
 
 func (s *Server) handleCatalogSwap(w http.ResponseWriter, r *http.Request) {
@@ -493,15 +553,15 @@ func (s *Server) handleCatalogSwap(w http.ResponseWriter, r *http.Request) {
 		// A swap restarts the catalog lineage, orphaning the journal; only
 		// a fresh snapshot baseline makes the new generation bootable.
 		if err := s.cfg.Store.WriteSnapshot(s.eng); err != nil {
-			s.logf("catalog swap persisted FAILED: %v", err)
+			s.log.Error("catalog swap snapshot failed", "err", err)
 			writeError(w, http.StatusInternalServerError,
 				fmt.Errorf("catalog swapped in memory but snapshot baseline failed: %w", err))
 			return
 		}
 	}
 	st := s.eng.Stats()
-	s.logf("catalog swapped: %d constraints (%d derived), epoch %d",
-		st.Constraints, st.DerivedConstraints, st.Epoch)
+	s.log.Info("catalog swapped",
+		"constraints", st.Constraints, "derived", st.DerivedConstraints, "epoch", st.Epoch)
 	writeJSON(w, http.StatusOK, SwapResponse{
 		Constraints:        st.Constraints,
 		DerivedConstraints: st.DerivedConstraints,
@@ -548,8 +608,10 @@ func (s *Server) handleCatalogUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := s.eng.Stats()
-	s.logf("catalog updated: +%d -%d constraints (epoch %d, incremental=%v, cache %d purged / %d survived)",
-		rep.Added, rep.Removed, rep.Epoch, rep.Incremental, rep.CachePurged, rep.CacheSurvived)
+	s.log.Info("catalog updated",
+		"added", rep.Added, "removed", rep.Removed, "epoch", rep.Epoch,
+		"incremental", rep.Incremental,
+		"cache_purged", rep.CachePurged, "cache_survived", rep.CacheSurvived)
 	writeJSON(w, http.StatusOK, UpdateResponse{
 		Constraints:   st.Constraints,
 		Added:         rep.Added,
@@ -589,19 +651,40 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // --- plumbing -------------------------------------------------------------
 
-// instrument wraps a handler with request counting and latency recording.
+// instrument wraps a handler with request counting, latency recording and
+// pipeline tracing. A request carrying X-Sqo-Trace always gets a recorder;
+// otherwise the tracer samples one in every TraceSample requests. The
+// untraced majority path touches no trace machinery beyond one nil check,
+// and the assigned ID is exported up front in X-Sqo-Trace-Id (headers are
+// immutable once the handler writes).
 func (s *Server) instrument(m *endpointMetrics, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		m.inflight.Add(1)
 		defer m.inflight.Add(-1)
+		var tr *obs.Trace
+		if r.Header.Get("X-Sqo-Trace") != "" {
+			tr = s.tracer.Force(start)
+		} else {
+			tr = s.tracer.Sample(start)
+		}
+		if tr != nil {
+			w.Header().Set("X-Sqo-Trace-Id", strconv.FormatUint(tr.ID(), 10))
+			r = r.WithContext(obs.WithTrace(r.Context(), tr))
+		}
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		h(rec, r)
 		m.requests.Add(1)
 		if rec.code >= 400 {
 			m.errors.Add(1)
 		}
-		m.hist.observe(time.Since(start).Microseconds())
+		us := time.Since(start).Microseconds()
+		if tr != nil {
+			m.hist.observeTraced(us, tr.ID())
+			s.tracer.Finish(tr)
+		} else {
+			m.hist.observe(us)
+		}
 	}
 }
 
